@@ -1,0 +1,54 @@
+"""Benchmark fixtures: the full 164-app corpus and its feature table.
+
+Heavy artefacts are session-scoped and built once; each benchmark then
+times its experiment-specific computation and prints a paper-vs-measured
+table (captured with ``-s`` or in the captured output section).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full calibrated 164-application corpus (seed 42)."""
+    from repro.synth import build_corpus
+
+    return build_corpus(seed=42)
+
+
+@pytest.fixture(scope="session")
+def feature_table(corpus):
+    """Testbed feature rows for every application (~35 s, built once)."""
+    from repro.core.pipeline import build_feature_table
+
+    return build_feature_table(corpus)
+
+
+@pytest.fixture(scope="session")
+def training(corpus, feature_table):
+    """The fully trained model with 10-fold CV results."""
+    from repro.core.pipeline import train
+
+    return train(corpus, table=feature_table, k=10, seed=42)
+
+
+def print_table(title, headers, rows):
+    """Render one experiment's paper-vs-measured table to stdout."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,67 @@
+"""F3 — Figure 3: cyclomatic complexity vs number of vulnerabilities.
+
+Paper: whole-program McCabe complexity is "also weakly correlated to the
+number of vulnerabilities" — same story as Figure 2, different x-axis.
+The bench measures real McCabe totals on each app's sampled code, scales
+by the app's nominal size (density x kLoC, i.e. what running the tool on
+the full tree would approximate), fits the log-log trend, and checks the
+correlation stays weak-but-positive.
+"""
+
+import pytest
+
+from repro.analysis import cyclomatic, loc
+from repro.stats.correlation import pearson, spearman
+from repro.stats.regression import fit_loglog
+
+
+@pytest.fixture(scope="module")
+def complexity_series(corpus):
+    xs = []
+    ys = []
+    for app in corpus.apps:
+        sample_cc = cyclomatic.codebase_complexity(app.codebase)
+        sample_loc = max(loc.count_codebase(app.codebase).code, 1)
+        density = sample_cc / sample_loc
+        # Estimated whole-program complexity (Figure 3's x-axis).
+        xs.append(density * app.profile.kloc * 1000.0)
+        ys.append(app.profile.n_vulns)
+    return xs, ys
+
+
+def test_bench_fig3_cyclomatic_vs_vulns(
+    benchmark, corpus, complexity_series, table_printer
+):
+    xs, ys = complexity_series
+    fit = benchmark(fit_loglog, xs, ys)
+
+    table_printer(
+        "Figure 3 — cyclomatic complexity vs #vulns",
+        ("quantity", "paper", "measured"),
+        [
+            ("correlation", "weak (like Fig 2)", f"R^2 = {fit.r_squared:.2%}"),
+            ("slope sign", "positive", f"{fit.slope:+.3f}"),
+            ("complexity range", "100 .. 1,000,000",
+             f"{min(xs):,.0f} .. {max(xs):,.0f}"),
+            ("pearson(log-log)", "-", f"{pearson(xs, ys):.3f}"),
+            ("spearman", "-", f"{spearman(xs, ys):.3f}"),
+        ],
+    )
+
+    # Shape: positive but weak — comparable to the LoC fit, nowhere near
+    # strong enough to rank same-order-of-magnitude programs.
+    assert fit.slope > 0
+    assert 0.05 < fit.r_squared < 0.45
+    assert min(xs) >= 100 and max(xs) <= 2_000_000
+
+
+def test_bench_fig3_mccabe_tool(benchmark, corpus):
+    """Time the McCabe analyzer across the corpus (the testbed's cost)."""
+
+    def run_all():
+        return sum(
+            cyclomatic.codebase_complexity(app.codebase) for app in corpus.apps
+        )
+
+    total = benchmark(run_all)
+    assert total > 0

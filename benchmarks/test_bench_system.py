@@ -1,0 +1,112 @@
+"""E1 — whole-system evaluation (§5.3 future work, implemented here).
+
+No published numbers exist (the paper only poses the question), so the
+bench validates the qualitative laws §5.3 states: total system risk is
+dominated by the weakest link, network-facing placement matters, and
+containment boundaries reduce the damage a privileged component adds.
+Systems are composed from corpus applications so the model operates
+in-distribution.
+"""
+
+import pytest
+
+from repro.core.system import Component, SystemEvaluator, SystemProfile
+
+
+@pytest.fixture(scope="module")
+def ranked_apps(corpus, training, feature_table):
+    """Corpus apps ranked by the model's own risk estimate."""
+    name_to_row = dict(zip(feature_table.app_names, feature_table.rows))
+    scored = [
+        (training.model.assess(name_to_row[app.name]).overall_risk, app)
+        for app in corpus.apps
+    ]
+    scored.sort(key=lambda pair: pair[0])
+    return scored
+
+
+def component_for(app, **kwargs):
+    return Component(
+        app.name, app.codebase, nominal_kloc=app.profile.kloc, **kwargs
+    )
+
+
+def test_bench_system_weakest_link(benchmark, ranked_apps, training,
+                                   table_printer):
+    evaluator = SystemEvaluator(training.model, containment_discount=0.3)
+    (_, safest), (risk_hi, riskiest) = ranked_apps[0], ranked_apps[-1]
+    (_, median_app) = ranked_apps[len(ranked_apps) // 2]
+
+    def build(with_risky):
+        system = SystemProfile("stack")
+        system.add(component_for(safest, exposure="internet", domain="app"))
+        system.add(component_for(median_app, exposure="internal",
+                                 domain="app"))
+        if with_risky:
+            system.add(component_for(riskiest, exposure="internet",
+                                     domain="app"))
+        return system
+
+    def run():
+        return (
+            evaluator.evaluate(build(False)),
+            evaluator.evaluate(build(True)),
+        )
+
+    without, with_risky = benchmark(run)
+
+    table_printer(
+        "E1 — weakest link dominates system risk",
+        ("configuration", "weakest link", "entry risk", "system risk"),
+        [
+            ("safe + median", without.weakest_link,
+             f"{without.entry_risk:.2f}", f"{without.system_risk:.2f}"),
+            ("+ riskiest app", with_risky.weakest_link,
+             f"{with_risky.entry_risk:.2f}", f"{with_risky.system_risk:.2f}"),
+        ],
+    )
+
+    assert with_risky.system_risk >= without.system_risk
+    assert with_risky.weakest_link == riskiest.name
+
+
+def test_bench_system_containment(benchmark, ranked_apps, training,
+                                  table_printer):
+    _, risky = ranked_apps[-1]
+    _, privileged_app = ranked_apps[-2]
+
+    def evaluate(discount, same_domain):
+        evaluator = SystemEvaluator(training.model,
+                                    containment_discount=discount)
+        system = SystemProfile("stack")
+        system.add(component_for(risky, exposure="internet", domain="app"))
+        system.add(
+            component_for(
+                privileged_app, exposure="local",
+                domain="app" if same_domain else "system", privileged=True,
+            )
+        )
+        return evaluator.evaluate(system)
+
+    def run():
+        return (
+            evaluate(0.3, same_domain=True),
+            evaluate(0.3, same_domain=False),
+            evaluate(0.0, same_domain=False),
+        )
+
+    flat, contained, airgapped = benchmark(run)
+
+    table_printer(
+        "E1 — containment boundaries discount privileged escalation",
+        ("configuration", "system risk"),
+        [
+            ("privileged daemon in the same domain", f"{flat.system_risk:.3f}"),
+            ("behind a containment boundary (0.3)",
+             f"{contained.system_risk:.3f}"),
+            ("perfect boundary (discount 0.0)",
+             f"{airgapped.system_risk:.3f}"),
+        ],
+    )
+
+    assert flat.system_risk >= contained.system_risk >= airgapped.system_risk

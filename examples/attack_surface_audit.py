@@ -1,0 +1,94 @@
+"""Attack-surface deep dive: RASQ and attack graphs (§4.1 features).
+
+The prediction model consumes these as two numbers, but they are useful
+on their own: this example audits a network daemon, printing the RASQ
+channel breakdown, the derived exploit set, and the cheapest attack path
+to root — then shows how one hardening step (dropping the setuid call)
+breaks the escalation chain.
+"""
+
+from repro.lang import Codebase
+from repro.surface import AttackGraph, exploits_from_surface, rasq
+
+DAEMON = {
+    "daemon.c": """\
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int serve(int port) {
+    int sock = socket(AF_INET, SOCK_STREAM, 0);
+    bind(sock, addr, len);
+    listen(sock, 64);
+    while (1) {
+        int conn = accept(sock, addr, len);
+        char req[256];
+        recv(conn, req, 256, 0);
+        handle_request(req);
+    }
+}
+
+int handle_request(char *req) {
+    char path[128];
+    FILE *log = fopen("/var/log/d.log", "a");
+    fwrite(req, 1, strlen(req), log);
+    if (strncmp(req, "RUN ", 4) == 0) {
+        system(req + 4);
+    }
+    setuid(0);
+    return 0;
+}
+""",
+}
+
+
+def audit(name, sources):
+    codebase = Codebase.from_sources(name, sources)
+    surface = rasq.measure_codebase(codebase)
+    print(f"== {name} ==")
+    print(f"RASQ score: {surface.rasq:.1f}   network-facing: "
+          f"{surface.network_facing}")
+    print("channels:")
+    for channel, count in sorted(surface.channel_counts.items()):
+        if count:
+            weight = rasq.CHANNEL_WEIGHTS[channel]
+            print(f"  {channel:16s} x{count}  (weight {weight})")
+    print(f"public entry points: {surface.n_public_methods}   "
+          f"privilege sites: {surface.n_privilege_sites}")
+
+    exploits = exploits_from_surface(surface)
+    print("derived exploits:")
+    for e in exploits:
+        pre = ",".join(sorted(e.preconditions)) or "-"
+        post = ",".join(sorted(e.postconditions))
+        print(f"  {e.name:22s} {pre:14s} -> {post:10s} "
+              f"complexity {e.complexity:.2f}")
+
+    graph = AttackGraph(exploits, initial=("remote", "local"))
+    if graph.goal_reachable:
+        path = graph.shortest_attack_path()
+        cost = graph.cheapest_attack_cost()
+        print(f"root reachable via {len(path)} steps: {' -> '.join(path)} "
+              f"(cost {cost:.2f}); {graph.attack_path_count()} total paths")
+        cut = graph.critical_exploits()
+        print(f"patch to protect root: {', '.join(sorted(cut))}")
+        spof = graph.single_points_of_failure()
+        if spof:
+            print(f"single points of failure: {', '.join(spof)}")
+    else:
+        print("root NOT reachable from the modelled entry points")
+    print()
+
+
+def main() -> int:
+    audit("network-daemon", DAEMON)
+
+    hardened = {
+        "daemon.c": DAEMON["daemon.c"].replace("    setuid(0);\n", "")
+    }
+    audit("network-daemon (setuid removed)", hardened)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

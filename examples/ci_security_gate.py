@@ -1,0 +1,108 @@
+"""A CI security gate: did this change raise the risk of a vulnerability?
+
+§5.3: "Based on these code properties, the classifier can give the
+developer an evaluation of, say, whether a code change has raised or
+lowered the risk than the previous version of the code." This example
+plays both sides: a hardening patch (bounded copies, parameterised
+queries) and a regressing patch (new attacker-facing exec path), and
+shows the gate verdict plus the flagged properties for each.
+
+Exit status mimics a CI gate: nonzero if the *last* evaluated change
+regressed.
+"""
+
+from repro.core import ChangeEvaluator, format_delta, train
+from repro.core.evaluator import Verdict
+from repro.lang import Codebase
+from repro.synth import build_corpus
+
+BASE = {
+    "service.c": """\
+#include <stdio.h>
+#include <string.h>
+
+int lookup(char *user, char *out) {
+    char query[128];
+    sprintf(query, user);
+    strcpy(out, query);
+    return 0;
+}
+
+int main(int argc, char **argv) {
+    char result[64];
+    if (argc > 1) {
+        lookup(argv[1], result);
+    }
+    return 0;
+}
+""",
+}
+
+HARDENED = {
+    "service.c": """\
+#include <stdio.h>
+#include <string.h>
+
+int lookup(const char *user, char *out, size_t cap) {
+    char query[128];
+    snprintf(query, sizeof(query), "%s", user);
+    strncpy(out, query, cap - 1);
+    out[cap - 1] = 0;
+    return 0;
+}
+
+int main(int argc, char **argv) {
+    char result[64];
+    if (argc > 1) {
+        lookup(argv[1], result, sizeof(result));
+    }
+    return 0;
+}
+""",
+}
+
+REGRESSED = {
+    "service.c": BASE["service.c"],
+    "admin.c": """\
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+int admin_exec(char *request) {
+    char cmd[64];
+    int sock = socket(AF_INET, SOCK_STREAM, 0);
+    listen(sock, 4);
+    recv(sock, cmd, 64, 0);
+    strcat(cmd, request);
+    system(cmd);
+    gets(cmd);
+    return 0;
+}
+""",
+}
+
+
+def main() -> int:
+    print("training the gate's model (40-app corpus) ...")
+    corpus = build_corpus(seed=42, limit=40)
+    evaluator = ChangeEvaluator(train(corpus, k=5, seed=42).model)
+
+    base = Codebase.from_sources("service", BASE)
+
+    print("\n--- change 1: hardening patch -------------------------------")
+    delta = evaluator.risk_delta(base, Codebase.from_sources("service", HARDENED))
+    print(format_delta("bounded-copies patch", delta))
+
+    print("\n--- change 2: new remote admin endpoint ----------------------")
+    delta = evaluator.risk_delta(base, Codebase.from_sources("service", REGRESSED))
+    print(format_delta("admin-exec patch", delta))
+
+    if delta.verdict is Verdict.REGRESSED:
+        print("\nCI gate: BLOCK (risk increased)")
+        return 1
+    print("\nCI gate: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Choosing between two library implementations (§1's motivating case).
+
+"In selecting between two library implementations for use in a web
+service, our proposed metric would identify which is less likely to have
+vulnerabilities." Two JSON-ish parser candidates are assessed: one written
+defensively, one with classic C foot-guns. The example contrasts the
+model's choice with the status-quo LoC comparison — which here is not
+even statistically meaningful, because both candidates are the same order
+of magnitude (§3.1).
+"""
+
+from repro.core import ChangeEvaluator, loc_naive_choice, train
+from repro.lang import Codebase
+from repro.synth import build_corpus
+
+CAREFUL_PARSER = {
+    "parse.c": """\
+#include <stdlib.h>
+#include <string.h>
+
+static int parse_field(const char *src, char *dst, size_t cap) {
+    size_t n = strnlen(src, cap - 1);
+    memcpy(dst, src, n);
+    dst[n] = 0;
+    return (int)n;
+}
+
+int parse_document(const char *text, size_t len) {
+    if (text == NULL || len == 0) {
+        return -1;
+    }
+    char field[128];
+    size_t used = 0;
+    while (used < len) {
+        int n = parse_field(text + used, field, sizeof(field));
+        if (n <= 0) {
+            return -1;
+        }
+        used += (size_t)n + 1;
+    }
+    return 0;
+}
+""",
+}
+
+SLOPPY_PARSER = {
+    "fastparse.c": """\
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+char scratch[64];
+
+int parse_field(char *src, char *dst) {
+    strcpy(dst, src);
+    strcat(dst, scratch);
+    return strlen(dst);
+}
+
+int parse_document(char *text, int len) {
+    char field[32];
+    char *work = malloc(len * 2);
+    int used = 0;
+    while (used < len) {
+        used += parse_field(text + used, field);
+        sprintf(scratch, text + used);
+    }
+    system(getenv("POSTPROCESS"));
+    return 0;
+}
+""",
+}
+
+
+def main() -> int:
+    print("training the metric (40-app corpus) ...")
+    corpus = build_corpus(seed=42, limit=40)
+    result = train(corpus, k=5, seed=42)
+    evaluator = ChangeEvaluator(result.model)
+
+    careful = Codebase.from_sources("careful-parser", CAREFUL_PARSER)
+    sloppy = Codebase.from_sources("fast-parser", SLOPPY_PARSER)
+
+    winner, assess_a, assess_b = evaluator.choose(careful, sloppy)
+    print("\nmodel-based comparison")
+    print(f"  {careful.name:16s} overall risk {assess_a.overall_risk:.2f}")
+    print(f"  {sloppy.name:16s} overall risk {assess_b.overall_risk:.2f}")
+    print(f"  -> choose {winner}")
+
+    loc_winner, meaningful = loc_naive_choice(careful, sloppy)
+    print("\nstatus-quo comparison (fewer lines of code)")
+    print(f"  -> would choose {loc_winner}")
+    print(f"  statistically meaningful per §3.1? {'yes' if meaningful else 'no'}"
+          " (sizes are within one order of magnitude)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Clairvoyant: an empirical, ML-based software (in)security metric.
+
+Reproduction of "A Clairvoyant Approach to Evaluating Software
+(In)Security" (Jain, Tsai, Porter — HotOS '17). The package is organised
+as the paper's Figure 4 pipeline:
+
+- :mod:`repro.lang` — lexing and structural recovery (C/C++/Java/Python)
+- :mod:`repro.analysis` — static-analysis metric extractors (the testbed's
+  tools: LoC, McCabe, Halstead, CFG/dataflow, call graphs, smells, churn)
+- :mod:`repro.surface` — attack-surface metrics (RASQ, attack graphs)
+- :mod:`repro.bugfind` — bug-finding tools whose outputs become features
+- :mod:`repro.cve` — CVE database, CVSS v3 scoring, CWE taxonomy
+- :mod:`repro.ml` — the Weka-equivalent learning engine
+- :mod:`repro.stats` — regression/correlation used by the measurement study
+- :mod:`repro.synth` — calibrated synthetic corpus (apps, CVE histories,
+  commit histories, paper survey)
+- :mod:`repro.core` — the paper's contribution: feature testbed, CVE
+  hypotheses, training pipeline, trained model, developer-facing evaluator
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, bugfind, core, cve, lang, ml, stats, surface, synth
+from repro.core import (
+    ChangeEvaluator,
+    RiskAssessment,
+    SecurityModel,
+    extract_features,
+    train,
+)
+from repro.lang import Codebase, SourceFile
+from repro.synth import build_corpus
+
+__all__ = [
+    "ChangeEvaluator",
+    "Codebase",
+    "RiskAssessment",
+    "SecurityModel",
+    "SourceFile",
+    "analysis",
+    "bugfind",
+    "build_corpus",
+    "core",
+    "cve",
+    "extract_features",
+    "lang",
+    "ml",
+    "stats",
+    "surface",
+    "synth",
+    "train",
+]

@@ -1,0 +1,68 @@
+"""Static-analysis substrate: every code-property extractor the testbed runs.
+
+Modules:
+
+- :mod:`repro.analysis.loc` — cloc-equivalent line counting
+- :mod:`repro.analysis.cyclomatic` — McCabe complexity
+- :mod:`repro.analysis.halstead` — Halstead software-science measures
+- :mod:`repro.analysis.functions` — function/declaration/variable shape
+- :mod:`repro.analysis.cfg` — statement trees and control-flow graphs
+- :mod:`repro.analysis.dataflow` — reaching definitions, def-use, taint
+- :mod:`repro.analysis.callgraph` — whole-codebase call graphs
+- :mod:`repro.analysis.smells` — code-smell detectors
+- :mod:`repro.analysis.churn` — commit history, churn, developer activity
+"""
+
+from repro.analysis import (
+    callgraph,
+    cfg,
+    churn,
+    cyclomatic,
+    dataflow,
+    dynamic,
+    functions,
+    halstead,
+    identifiers,
+    loc,
+    maintainability,
+    oo,
+    smells,
+)
+from repro.analysis.cfg import CFG, build_cfg, parse_statements
+from repro.analysis.churn import Commit, CommitHistory, FileDelta
+from repro.analysis.cyclomatic import codebase_complexity, file_complexity
+from repro.analysis.halstead import HalsteadMetrics
+from repro.analysis.loc import LineCounts, count_codebase, count_file, kloc
+from repro.analysis.smells import Smell, detect_codebase, smell_counts
+
+__all__ = [
+    "CFG",
+    "Commit",
+    "CommitHistory",
+    "FileDelta",
+    "HalsteadMetrics",
+    "LineCounts",
+    "Smell",
+    "build_cfg",
+    "callgraph",
+    "cfg",
+    "churn",
+    "codebase_complexity",
+    "count_codebase",
+    "count_file",
+    "cyclomatic",
+    "dataflow",
+    "dynamic",
+    "detect_codebase",
+    "file_complexity",
+    "functions",
+    "halstead",
+    "identifiers",
+    "kloc",
+    "loc",
+    "maintainability",
+    "oo",
+    "parse_statements",
+    "smell_counts",
+    "smells",
+]

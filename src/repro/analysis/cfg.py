@@ -1,0 +1,642 @@
+"""Control-flow analysis [15].
+
+Recovers a statement tree from a function body (brace matching for
+C/C++/Java, indentation for Python), then lowers it to a control-flow
+graph of basic blocks. The CFG yields the control-flow features the paper
+proposes in §4.1 — numbers of calling/returning targets, branch and edge
+counts — plus an independent cyclomatic number (E - N + 2) that
+cross-checks the token-counting McCabe implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.lang.parser import FunctionInfo, extract_functions
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.lang.tokens import Token, TokenKind
+
+# ---------------------------------------------------------------------------
+# Statement tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """A node of the recovered statement tree."""
+
+    kind: str  # simple|if|loop|switch|return|break|continue|goto|label|try
+    tokens: List[Token] = field(default_factory=list)  # header/expression toks
+    body: List["Stmt"] = field(default_factory=list)
+    orelse: List["Stmt"] = field(default_factory=list)
+    cases: List[List["Stmt"]] = field(default_factory=list)  # switch/try arms
+
+
+_LOOP_KEYWORDS = {"while", "for", "do"}
+
+
+class _BraceStmtParser:
+    """Parses the statement shape of a brace-language token stream."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = [t for t in tokens if t.is_code()]
+        self.i = 0
+
+    def parse(self) -> List[Stmt]:
+        stmts, _ = self._parse_until({None})
+        return stmts
+
+    # -- helpers ----------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _advance(self) -> Optional[Token]:
+        tok = self._peek()
+        if tok is not None:
+            self.i += 1
+        return tok
+
+    def _skip_parens(self) -> List[Token]:
+        """Consume a balanced ``( ... )`` group; return the inner tokens."""
+        inner: List[Token] = []
+        tok = self._peek()
+        if tok is None or tok.text != "(":
+            return inner
+        depth = 0
+        while self.i < len(self.tokens):
+            tok = self.tokens[self.i]
+            self.i += 1
+            if tok.text == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            elif tok.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            inner.append(tok)
+        return inner
+
+    def _parse_until(self, terminators) -> Tuple[List[Stmt], Optional[str]]:
+        """Parse statements until EOF or a terminator token text."""
+        stmts: List[Stmt] = []
+        while True:
+            tok = self._peek()
+            if tok is None:
+                return stmts, None
+            if tok.text in terminators:
+                return stmts, tok.text
+            stmt = self._parse_statement()
+            if stmt is not None:
+                stmts.append(stmt)
+        # unreachable
+
+    def _parse_block_or_statement(self) -> List[Stmt]:
+        tok = self._peek()
+        if tok is not None and tok.text == "{":
+            self._advance()
+            stmts, term = self._parse_until({"}"})
+            if term == "}":
+                self._advance()
+            return stmts
+        stmt = self._parse_statement()
+        return [stmt] if stmt is not None else []
+
+    def _parse_statement(self) -> Optional[Stmt]:
+        tok = self._peek()
+        if tok is None:
+            return None
+        text = tok.text
+
+        if text == ";":
+            self._advance()
+            return None
+        if text == "{":
+            self._advance()
+            stmts, term = self._parse_until({"}"})
+            if term == "}":
+                self._advance()
+            return Stmt("simple", body=stmts) if stmts else None
+        if text == "}":
+            # Unbalanced close: consume so parsing always terminates.
+            self._advance()
+            return None
+
+        if tok.kind == TokenKind.KEYWORD:
+            if text == "if":
+                return self._parse_if()
+            if text in ("while", "for"):
+                self._advance()
+                cond = self._skip_parens()
+                body = self._parse_block_or_statement()
+                return Stmt("loop", tokens=cond, body=body)
+            if text == "do":
+                self._advance()
+                body = self._parse_block_or_statement()
+                cond: List[Token] = []
+                if self._peek() is not None and self._peek().text == "while":
+                    self._advance()
+                    cond = self._skip_parens()
+                    self._consume_semicolon()
+                return Stmt("loop", tokens=cond, body=body)
+            if text == "switch":
+                return self._parse_switch()
+            if text == "try":
+                return self._parse_try()
+            if text in ("return", "throw"):
+                self._advance()
+                expr = self._consume_simple()
+                return Stmt("return", tokens=expr)
+            if text in ("break", "continue"):
+                self._advance()
+                self._consume_semicolon()
+                return Stmt(text)
+            if text == "goto":
+                self._advance()
+                target = self._consume_simple()
+                return Stmt("goto", tokens=target)
+            if text == "else":
+                # Dangling else (shouldn't happen); treat as a block.
+                self._advance()
+                return Stmt("simple", body=self._parse_block_or_statement())
+
+        # Label: IDENT ':' not inside an expression.
+        if (
+            tok.kind == TokenKind.IDENT
+            and self.i + 1 < len(self.tokens)
+            and self.tokens[self.i + 1].text == ":"
+        ):
+            self._advance()
+            self._advance()
+            return Stmt("label", tokens=[tok])
+
+        return Stmt("simple", tokens=self._consume_simple(leading=True))
+
+    def _parse_if(self) -> Stmt:
+        self._advance()  # if
+        cond = self._skip_parens()
+        then = self._parse_block_or_statement()
+        orelse: List[Stmt] = []
+        nxt = self._peek()
+        if nxt is not None and nxt.text == "else":
+            self._advance()
+            orelse = self._parse_block_or_statement()
+        return Stmt("if", tokens=cond, body=then, orelse=orelse)
+
+    def _parse_switch(self) -> Stmt:
+        self._advance()  # switch
+        cond = self._skip_parens()
+        cases: List[List[Stmt]] = []
+        tok = self._peek()
+        if tok is None or tok.text != "{":
+            return Stmt("switch", tokens=cond, cases=cases)
+        self._advance()
+        current: Optional[List[Stmt]] = None
+        while True:
+            tok = self._peek()
+            if tok is None:
+                break
+            if tok.text == "}":
+                self._advance()
+                break
+            if tok.kind == TokenKind.KEYWORD and tok.text in ("case", "default"):
+                self._advance()
+                while self._peek() is not None and self._peek().text != ":":
+                    self._advance()
+                if self._peek() is not None:
+                    self._advance()  # ':'
+                current = []
+                cases.append(current)
+                continue
+            stmt = self._parse_statement()
+            if stmt is not None:
+                if current is None:
+                    current = []
+                    cases.append(current)
+                current.append(stmt)
+        return Stmt("switch", tokens=cond, cases=cases)
+
+    def _parse_try(self) -> Stmt:
+        self._advance()  # try
+        body = self._parse_block_or_statement()
+        cases: List[List[Stmt]] = []
+        while True:
+            tok = self._peek()
+            if tok is None or tok.text not in ("catch", "finally"):
+                break
+            self._advance()
+            if tok.text == "catch":
+                self._skip_parens()
+            cases.append(self._parse_block_or_statement())
+        return Stmt("try", body=body, cases=cases)
+
+    def _consume_semicolon(self) -> None:
+        tok = self._peek()
+        if tok is not None and tok.text == ";":
+            self._advance()
+
+    def _consume_simple(self, leading: bool = False) -> List[Token]:
+        """Consume an expression up to ``;`` (or a block boundary)."""
+        out: List[Token] = []
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok is None:
+                return out
+            if tok.text in "([":
+                depth += 1
+            elif tok.text in ")]":
+                if depth == 0:
+                    return out
+                depth -= 1
+            elif depth == 0:
+                if tok.text == ";":
+                    self._advance()
+                    return out
+                if tok.text in ("{", "}"):
+                    return out
+            out.append(tok)
+            self._advance()
+
+
+# ---------------------------------------------------------------------------
+# Python statement tree (indentation-based)
+# ---------------------------------------------------------------------------
+
+_PY_HEADERS = {"if", "elif", "else", "while", "for", "try", "except",
+               "finally", "with", "def", "class", "match", "case"}
+
+
+def _py_parse_lines(source: SourceFile, start: int, end: int) -> List[Stmt]:
+    """Parse lines [start, end] (1-based, inclusive) into a statement tree."""
+    lines = source.lines
+    tokens_by_line: dict = {}
+    for tok in source.tokens:
+        if tok.is_code():
+            tokens_by_line.setdefault(tok.line, []).append(tok)
+
+    def indent_of(ln: int) -> int:
+        line = lines[ln - 1]
+        width = 0
+        for ch in line:
+            if ch == " ":
+                width += 1
+            elif ch == "\t":
+                width += 8 - width % 8
+            else:
+                break
+        return width
+
+    def is_code_line(ln: int) -> bool:
+        return ln in tokens_by_line
+
+    def block_end(header: int, base_indent: int) -> int:
+        last = header
+        ln = header + 1
+        while ln <= end:
+            if is_code_line(ln):
+                if indent_of(ln) <= base_indent:
+                    break
+                last = ln
+            ln += 1
+        return last
+
+    def parse_range(lo: int, hi: int) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        ln = lo
+        while ln <= hi:
+            if not is_code_line(ln):
+                ln += 1
+                continue
+            toks = tokens_by_line[ln]
+            head = toks[0]
+            word = head.text if head.kind == TokenKind.KEYWORD else None
+            indent = indent_of(ln)
+            if word in ("if", "while", "for", "with", "try", "match"):
+                body_end = block_end(ln, indent)
+                body = parse_range(ln + 1, body_end)
+                kind = {"if": "if", "while": "loop", "for": "loop",
+                        "with": "simple", "try": "try", "match": "switch"}[word]
+                root = Stmt(kind, tokens=toks, body=body)
+                tail = root
+                ln = body_end + 1
+                while ln <= hi and is_code_line(ln) and indent_of(ln) == indent:
+                    nxt = tokens_by_line[ln][0]
+                    nword = nxt.text if nxt.kind == TokenKind.KEYWORD else None
+                    if nword not in ("elif", "else", "except", "finally", "case"):
+                        break
+                    arm_end = block_end(ln, indent)
+                    arm = parse_range(ln + 1, arm_end)
+                    if nword == "elif":
+                        nested = Stmt("if", tokens=tokens_by_line[ln], body=arm)
+                        tail.orelse = [nested]
+                        tail = nested
+                    elif nword == "else":
+                        tail.orelse = arm
+                    else:
+                        tail.cases.append(arm)
+                    ln = arm_end + 1
+                stmts.append(root)
+                continue
+            if word in ("return", "raise"):
+                stmts.append(Stmt("return", tokens=toks))
+            elif word == "break":
+                stmts.append(Stmt("break"))
+            elif word == "continue":
+                stmts.append(Stmt("continue"))
+            elif word in ("def", "class"):
+                body_end = block_end(ln, indent)
+                stmts.append(Stmt("simple", tokens=toks))
+                ln = body_end + 1
+                continue
+            else:
+                stmts.append(Stmt("simple", tokens=toks))
+            ln += 1
+        return stmts
+
+    return parse_range(start, end)
+
+
+def parse_statements(func: FunctionInfo, source: SourceFile) -> List[Stmt]:
+    """Recover the statement tree for one function."""
+    if source.spec.function_style == "indent":
+        return _py_parse_lines(source, func.start_line + 1, func.end_line)
+    body = func.body_tokens
+    # Strip the enclosing braces if present.
+    code = [t for t in body if t.is_code()]
+    if code and code[0].text == "{" and code[-1].text == "}":
+        code = code[1:-1]
+    return _BraceStmtParser(code).parse()
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CFG:
+    """A function's control-flow graph plus derived metrics."""
+
+    graph: nx.DiGraph
+    entry: int
+    exit: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def cyclomatic(self) -> int:
+        """Cyclomatic number from graph shape: E - N + 2."""
+        return self.n_edges - self.n_nodes + 2
+
+    @property
+    def n_branch_nodes(self) -> int:
+        return sum(1 for n in self.graph if self.graph.out_degree(n) > 1)
+
+    def path_count(self, cap: int = 10**9) -> int:
+        """Number of acyclic entry→exit paths (NPATH-like), capped.
+
+        Back edges are removed first, so loops contribute their fall-through
+        structure only; the count is exact on the resulting DAG.
+        """
+        dag = _acyclic_view(self.graph, self.entry)
+        counts = {self.entry: 1}
+        for node in nx.topological_sort(dag):
+            c = counts.get(node, 0)
+            if c == 0 and node != self.entry:
+                continue
+            for succ in dag.successors(node):
+                counts[succ] = min(cap, counts.get(succ, 0) + c)
+        return counts.get(self.exit, 0)
+
+    def max_depth(self) -> int:
+        """Longest acyclic path length from entry (statement depth proxy)."""
+        dag = _acyclic_view(self.graph, self.entry)
+        depth = {self.entry: 0}
+        for node in nx.topological_sort(dag):
+            if node not in depth:
+                continue
+            for succ in dag.successors(node):
+                depth[succ] = max(depth.get(succ, 0), depth[node] + 1)
+        return max(depth.values(), default=0)
+
+
+def _acyclic_view(graph: nx.DiGraph, entry: int) -> nx.DiGraph:
+    """Copy of ``graph`` with back edges (DFS on ``entry``) removed."""
+    dag = graph.copy()
+    back = []
+    state: dict = {}
+    stack = [(entry, iter(graph.successors(entry)))]
+    state[entry] = 1
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if state.get(succ, 0) == 1:
+                back.append((node, succ))
+            elif state.get(succ, 0) == 0:
+                state[succ] = 1
+                stack.append((succ, iter(graph.successors(succ))))
+                advanced = True
+                break
+        if not advanced:
+            state[node] = 2
+            stack.pop()
+    dag.remove_edges_from(back)
+    # Remove any residual cycles among nodes unreachable from entry.
+    while True:
+        try:
+            cycle = nx.find_cycle(dag)
+        except nx.NetworkXNoCycle:
+            break
+        dag.remove_edge(*cycle[0][:2])
+    return dag
+
+
+class _CFGBuilder:
+    """Lowers a statement tree to a CFG of abstract nodes."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self._ids = itertools.count()
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self._labels: dict = {}
+        self._pending_gotos: List[Tuple[int, str]] = []
+
+    def _new(self, kind: str, stmt: Optional[Stmt] = None) -> int:
+        node = next(self._ids)
+        self.graph.add_node(node, kind=kind, stmt=stmt)
+        return node
+
+    def build(self, stmts: List[Stmt]) -> CFG:
+        tails = self._lower_seq(stmts, [self.entry], None, None)
+        for tail in tails:
+            self.graph.add_edge(tail, self.exit)
+        for node, label in self._pending_gotos:
+            target = self._labels.get(label, self.exit)
+            self.graph.add_edge(node, target)
+        if self.graph.out_degree(self.entry) == 0:
+            self.graph.add_edge(self.entry, self.exit)
+        return CFG(self.graph, self.entry, self.exit)
+
+    def _connect(self, preds: List[int], node: int) -> None:
+        for p in preds:
+            self.graph.add_edge(p, node)
+
+    def _lower_seq(
+        self,
+        stmts: List[Stmt],
+        preds: List[int],
+        break_to: Optional[int],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        """Lower a statement list; return the open fall-through nodes."""
+        current = preds
+        for stmt in stmts:
+            if not current:
+                current = []  # unreachable code still lowered, dangling
+            current = self._lower_stmt(stmt, current, break_to, continue_to)
+        return current
+
+    def _lower_stmt(
+        self,
+        stmt: Stmt,
+        preds: List[int],
+        break_to: Optional[int],
+        continue_to: Optional[int],
+    ) -> List[int]:
+        kind = stmt.kind
+        if kind == "simple":
+            node = self._new("stmt", stmt)
+            self._connect(preds, node)
+            if stmt.body:  # brace block wrapped as simple
+                return self._lower_seq(stmt.body, [node], break_to, continue_to)
+            return [node]
+        if kind == "if":
+            cond = self._new("branch", stmt)
+            self._connect(preds, cond)
+            then_tails = self._lower_seq(stmt.body, [cond], break_to, continue_to)
+            if stmt.orelse:
+                else_tails = self._lower_seq(stmt.orelse, [cond], break_to, continue_to)
+                return then_tails + else_tails
+            return then_tails + [cond]
+        if kind == "loop":
+            head = self._new("loop", stmt)
+            after = self._new("join")
+            self._connect(preds, head)
+            body_tails = self._lower_seq(stmt.body, [head], after, head)
+            for tail in body_tails:
+                self.graph.add_edge(tail, head)
+            self.graph.add_edge(head, after)
+            return [after]
+        if kind == "switch":
+            head = self._new("branch", stmt)
+            after = self._new("join")
+            self._connect(preds, head)
+            arms = stmt.cases or [stmt.body]
+            for arm in arms:
+                tails = self._lower_seq(arm, [head], after, continue_to)
+                for tail in tails:
+                    self.graph.add_edge(tail, after)
+            self.graph.add_edge(head, after)  # no-match / fallthrough
+            return [after]
+        if kind == "try":
+            head = self._new("stmt", stmt)
+            self._connect(preds, head)
+            tails = self._lower_seq(stmt.body, [head], break_to, continue_to)
+            all_tails = list(tails)
+            for handler in stmt.cases:
+                h_tails = self._lower_seq(handler, [head], break_to, continue_to)
+                all_tails.extend(h_tails)
+            return all_tails
+        if kind == "return":
+            node = self._new("return", stmt)
+            self._connect(preds, node)
+            self.graph.add_edge(node, self.exit)
+            return []
+        if kind == "break":
+            node = self._new("break", stmt)
+            self._connect(preds, node)
+            self.graph.add_edge(node, break_to if break_to is not None else self.exit)
+            return []
+        if kind == "continue":
+            node = self._new("continue", stmt)
+            self._connect(preds, node)
+            self.graph.add_edge(
+                node, continue_to if continue_to is not None else self.exit
+            )
+            return []
+        if kind == "goto":
+            node = self._new("goto", stmt)
+            self._connect(preds, node)
+            label = stmt.tokens[0].text if stmt.tokens else ""
+            self._pending_gotos.append((node, label))
+            return []
+        if kind == "label":
+            node = self._new("label", stmt)
+            self._connect(preds, node)
+            if stmt.tokens:
+                self._labels[stmt.tokens[0].text] = node
+            return [node]
+        raise ValueError(f"unknown statement kind: {kind!r}")
+
+
+def build_cfg(func: FunctionInfo, source: SourceFile) -> CFG:
+    """Build the control-flow graph for one function."""
+    return _CFGBuilder().build(parse_statements(func, source))
+
+
+@dataclass(frozen=True)
+class ControlFlowMetrics:
+    """Codebase-level control-flow feature summary."""
+
+    n_cfg_nodes: int
+    n_cfg_edges: int
+    n_branch_nodes: int
+    n_return_nodes: int
+    total_paths: int
+    max_paths: int
+    mean_cyclomatic: float
+
+
+def measure_codebase(codebase: Codebase, path_cap: int = 10**6) -> ControlFlowMetrics:
+    """Aggregate CFG metrics across every function in ``codebase``."""
+    nodes = edges = branches = returns = 0
+    total_paths = 0
+    max_paths = 0
+    cyclomatics: List[int] = []
+    for source in codebase:
+        for func in extract_functions(source):
+            cfg = build_cfg(func, source)
+            nodes += cfg.n_nodes
+            edges += cfg.n_edges
+            branches += cfg.n_branch_nodes
+            returns += sum(
+                1 for n, d in cfg.graph.nodes(data=True) if d["kind"] == "return"
+            )
+            paths = cfg.path_count(cap=path_cap)
+            total_paths = min(path_cap, total_paths + paths)
+            max_paths = max(max_paths, paths)
+            cyclomatics.append(cfg.cyclomatic)
+    mean_cc = sum(cyclomatics) / len(cyclomatics) if cyclomatics else 0.0
+    return ControlFlowMetrics(
+        n_cfg_nodes=nodes,
+        n_cfg_edges=edges,
+        n_branch_nodes=branches,
+        n_return_nodes=returns,
+        total_paths=total_paths,
+        max_paths=max_paths,
+        mean_cyclomatic=mean_cc,
+    )

@@ -1,0 +1,237 @@
+"""Data-flow analysis [56].
+
+Classic iterative reaching-definitions over the recovered CFG, a def-use
+chain count, and a lightweight taint propagation from attacker-influenced
+sources (function parameters, input routines) to dangerous sinks. The paper
+proposes data-flow counts — "numbers of expressions or functions
+influencing the execution of other parts of the code" (§4.1) — as model
+features; taint flow counts double as an attack-surface-adjacent signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.lang.parser import FunctionInfo, extract_functions
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.lang.tokens import Token, TokenKind
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ":="}
+)
+
+#: Functions whose return value or out-parameter is attacker-influenced.
+TAINT_SOURCES = frozenset(
+    {"read", "recv", "recvfrom", "fread", "fgets", "gets", "scanf", "fscanf",
+     "getenv", "getchar", "input", "raw_input", "readline", "readLine",
+     "nextLine", "getParameter", "args", "argv"}
+)
+
+#: Functions where attacker-influenced data is dangerous.
+TAINT_SINKS = frozenset(
+    {"strcpy", "strcat", "sprintf", "vsprintf", "system", "popen", "exec",
+     "execl", "execlp", "execv", "execvp", "eval", "memcpy", "alloca",
+     "printf", "fprintf", "syslog", "Runtime", "query", "os"}
+)
+
+
+def _node_defs_uses(tokens: List[Token]) -> Tuple[Set[str], Set[str], Set[str]]:
+    """(defined vars, used vars, called functions) for one statement."""
+    defs: Set[str] = set()
+    uses: Set[str] = set()
+    calls: Set[str] = set()
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != TokenKind.IDENT:
+            continue
+        nxt = tokens[i + 1] if i + 1 < n else None
+        if nxt is not None and nxt.text == "(":
+            calls.add(tok.text)
+            continue
+        if (
+            nxt is not None
+            and nxt.kind == TokenKind.OPERATOR
+            and nxt.text in _ASSIGN_OPS
+        ):
+            defs.add(tok.text)
+            if nxt.text != "=":  # compound assignment also reads
+                uses.add(tok.text)
+            continue
+        if nxt is not None and nxt.text in ("++", "--"):
+            defs.add(tok.text)
+            uses.add(tok.text)
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        if prev is not None and prev.text in ("++", "--"):
+            defs.add(tok.text)
+        uses.add(tok.text)
+    return defs, uses, calls
+
+
+def _stmt_tokens(cfg: CFG, node: int) -> List[Token]:
+    stmt = cfg.graph.nodes[node].get("stmt")
+    return stmt.tokens if stmt is not None else []
+
+
+@dataclass(frozen=True)
+class ReachingDefinitions:
+    """Result of the reaching-definitions fixpoint for one function."""
+
+    #: IN set per CFG node: frozenset of (defining node, variable) pairs.
+    in_sets: Dict[int, FrozenSet[Tuple[int, str]]]
+    #: Definitions generated per node.
+    gen: Dict[int, FrozenSet[Tuple[int, str]]]
+    #: Variables used per node.
+    uses: Dict[int, FrozenSet[str]]
+
+    def def_use_pairs(self) -> int:
+        """Number of (definition, use-site) pairs where the def reaches."""
+        pairs = 0
+        for node, used in self.uses.items():
+            reaching = self.in_sets.get(node, frozenset())
+            pairs += sum(1 for (_, var) in reaching if var in used)
+        return pairs
+
+    def max_reaching(self) -> int:
+        """Largest IN set across nodes — a flow-density signal."""
+        return max((len(s) for s in self.in_sets.values()), default=0)
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    """Run the standard worklist reaching-definitions analysis on ``cfg``."""
+    gen: Dict[int, Set[Tuple[int, str]]] = {}
+    kill_vars: Dict[int, Set[str]] = {}
+    uses: Dict[int, Set[str]] = {}
+    for node in cfg.graph.nodes:
+        defs, used, _calls = _node_defs_uses(_stmt_tokens(cfg, node))
+        gen[node] = {(node, v) for v in defs}
+        kill_vars[node] = set(defs)
+        uses[node] = used
+
+    in_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in cfg.graph.nodes}
+    out_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in cfg.graph.nodes}
+    worklist = list(cfg.graph.nodes)
+    while worklist:
+        node = worklist.pop()
+        new_in: Set[Tuple[int, str]] = set()
+        for pred in cfg.graph.predecessors(node):
+            new_in |= out_sets[pred]
+        killed = kill_vars[node]
+        new_out = {d for d in new_in if d[1] not in killed} | gen[node]
+        if new_in != in_sets[node] or new_out != out_sets[node]:
+            in_sets[node] = new_in
+            out_sets[node] = new_out
+            worklist.extend(cfg.graph.successors(node))
+    return ReachingDefinitions(
+        in_sets={n: frozenset(s) for n, s in in_sets.items()},
+        gen={n: frozenset(s) for n, s in gen.items()},
+        uses={n: frozenset(s) for n, s in uses.items()},
+    )
+
+
+@dataclass(frozen=True)
+class TaintResult:
+    """Taint propagation result for one function."""
+
+    tainted_vars: FrozenSet[str]
+    tainted_sink_calls: int
+    source_sites: int
+    sink_sites: int
+
+
+def taint_analysis(cfg: CFG, params: List[str]) -> TaintResult:
+    """Propagate taint from parameters/input calls to dangerous sinks.
+
+    A statement taints the variables it defines when its right-hand side
+    mentions a tainted variable or calls a known source. A sink call whose
+    statement mentions any tainted variable counts as a tainted flow.
+    """
+    node_info = {
+        node: _node_defs_uses(_stmt_tokens(cfg, node)) for node in cfg.graph.nodes
+    }
+    source_sites = sum(
+        1 for _, (_, _, calls) in node_info.items() if calls & TAINT_SOURCES
+    )
+    sink_sites = sum(
+        1 for _, (_, _, calls) in node_info.items() if calls & TAINT_SINKS
+    )
+
+    in_taint: Dict[int, Set[str]] = {n: set() for n in cfg.graph.nodes}
+    out_taint: Dict[int, Set[str]] = {n: set() for n in cfg.graph.nodes}
+    seed = set(params)
+    out_taint[cfg.entry] = set(seed)
+
+    worklist = list(cfg.graph.nodes)
+    while worklist:
+        node = worklist.pop()
+        new_in: Set[str] = set(seed) if node == cfg.entry else set()
+        for pred in cfg.graph.predecessors(node):
+            new_in |= out_taint[pred]
+        defs, used, calls = node_info[node]
+        rhs_tainted = bool((used - defs) & new_in) or bool(calls & TAINT_SOURCES)
+        if rhs_tainted:
+            new_out = new_in | defs
+        else:
+            # A plain reassignment from untainted data clears the variable.
+            new_out = new_in - defs
+        if new_in != in_taint[node] or new_out != out_taint[node]:
+            in_taint[node] = new_in
+            out_taint[node] = new_out
+            worklist.extend(cfg.graph.successors(node))
+
+    tainted: Set[str] = set(seed)
+    tainted_sinks = 0
+    for node, (defs, used, calls) in node_info.items():
+        reach = in_taint[node] | (seed if node == cfg.entry else set())
+        if (used & reach) or (calls & TAINT_SOURCES):
+            tainted |= defs
+        if calls & TAINT_SINKS and (used & reach):
+            tainted_sinks += 1
+    return TaintResult(
+        tainted_vars=frozenset(tainted),
+        tainted_sink_calls=tainted_sinks,
+        source_sites=source_sites,
+        sink_sites=sink_sites,
+    )
+
+
+@dataclass(frozen=True)
+class DataflowMetrics:
+    """Codebase-level data-flow feature summary."""
+
+    n_defs: int
+    n_uses: int
+    def_use_pairs: int
+    max_reaching: int
+    source_sites: int
+    sink_sites: int
+    tainted_sink_calls: int
+
+
+def measure_codebase(codebase: Codebase) -> DataflowMetrics:
+    """Aggregate data-flow metrics across every function in ``codebase``."""
+    n_defs = n_uses = pairs = max_reach = 0
+    sources = sinks = tainted = 0
+    for source in codebase:
+        for func in extract_functions(source):
+            cfg = build_cfg(func, source)
+            rd = reaching_definitions(cfg)
+            n_defs += sum(len(g) for g in rd.gen.values())
+            n_uses += sum(len(u) for u in rd.uses.values())
+            pairs += rd.def_use_pairs()
+            max_reach = max(max_reach, rd.max_reaching())
+            taint = taint_analysis(cfg, func.param_names)
+            sources += taint.source_sites
+            sinks += taint.sink_sites
+            tainted += taint.tainted_sink_calls
+    return DataflowMetrics(
+        n_defs=n_defs,
+        n_uses=n_uses,
+        def_use_pairs=pairs,
+        max_reaching=max_reach,
+        source_sites=sources,
+        sink_sites=sinks,
+        tainted_sink_calls=tainted,
+    )

@@ -1,0 +1,186 @@
+"""Object-oriented design-security metrics (Alshammari et al. [16]).
+
+§3.2 discusses "security metrics for object-oriented class designs [that]
+measure accessibility of objects … interactions among classes". These are
+the implementable core of that family on recovered class structure:
+
+- class counts and method distribution;
+- *accessibility*: how much of a class's surface (methods, fields) is
+  public — Alshammari's central quantity;
+- *coupling*: calls from one class's methods to another class's methods
+  (CBO-style, name-resolved);
+- inheritance depth (deep hierarchies widen the accessible surface).
+
+C code yields zeros throughout (no classes), which is itself a signal
+the model can use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.parser import ClassInfo, extract_classes
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.lang.tokens import TokenKind
+
+_JAVA_FIELD_RE = re.compile(
+    r"^\s*(public|private|protected)\s+(?:static\s+|final\s+)*"
+    r"[A-Za-z_][\w<>\[\]]*\s+([A-Za-z_]\w*)\s*[;=]",
+    re.MULTILINE,
+)
+
+
+@dataclass(frozen=True)
+class ClassDesignMetrics:
+    """Codebase-level OO design-security summary."""
+
+    n_classes: int
+    mean_methods_per_class: float
+    max_methods_per_class: int
+    public_method_fraction: float
+    public_field_fraction: float  # Java fields / Python public attributes
+    mean_coupling: float  # cross-class call edges per class
+    max_coupling: int
+    max_inheritance_depth: int
+
+    @property
+    def accessibility(self) -> float:
+        """Alshammari-style accessibility: public share of the surface."""
+        return (self.public_method_fraction + self.public_field_fraction) / 2.0
+
+
+def _inheritance_edges(source: SourceFile) -> Dict[str, str]:
+    """Child-class -> parent-class edges recovered from headers."""
+    edges: Dict[str, str] = {}
+    tokens = [t for t in source.tokens if t.is_code()]
+    for i, tok in enumerate(tokens):
+        if tok.kind != TokenKind.KEYWORD or tok.text not in ("class",):
+            continue
+        if i + 1 >= len(tokens) or tokens[i + 1].kind != TokenKind.IDENT:
+            continue
+        child = tokens[i + 1].text
+        # Java: class A extends B | Python: class A(B) | C++: class A : B
+        j = i + 2
+        while j < len(tokens) and tokens[j].text not in ("{", ":", "(", ";"):
+            if tokens[j].text == "extends" and j + 1 < len(tokens):
+                edges[child] = tokens[j + 1].text
+                break
+            j += 1
+        if child in edges or j >= len(tokens):
+            continue
+        # Python bases sit in parens (the header colon opens the block);
+        # C++ bases follow a colon (after access specifiers).
+        opener = "(" if source.spec.name == "python" else ":"
+        if tokens[j].text == opener and source.spec.name in ("python", "cpp"):
+            k = j + 1
+            while k < len(tokens) and tokens[k].kind == TokenKind.KEYWORD:
+                k += 1
+            if k < len(tokens) and tokens[k].kind == TokenKind.IDENT:
+                edges[child] = tokens[k].text
+    return edges
+
+
+def _depth(edges: Dict[str, str], cls: str) -> int:
+    depth = 0
+    seen = {cls}
+    while cls in edges:
+        cls = edges[cls]
+        if cls in seen:  # defensive: cyclic header noise
+            break
+        seen.add(cls)
+        depth += 1
+    return depth
+
+
+def _field_visibility(source: SourceFile, cls: ClassInfo) -> Tuple[int, int]:
+    """(public fields, total visibility-annotated fields) for one class."""
+    if source.spec.name == "java":
+        body = "\n".join(
+            source.lines[cls.start_line - 1 : cls.end_line]
+        )
+        public = total = 0
+        for match in _JAVA_FIELD_RE.finditer(body):
+            total += 1
+            if match.group(1) == "public":
+                public += 1
+        return public, total
+    if source.spec.name == "python":
+        # Attributes assigned as self.<name> inside methods.
+        names: Set[str] = set()
+        for method in cls.methods:
+            tokens = [t for t in method.body_tokens if t.is_code()]
+            for i in range(len(tokens) - 2):
+                if (
+                    tokens[i].text == "self"
+                    and tokens[i + 1].text == "."
+                    and tokens[i + 2].kind == TokenKind.IDENT
+                ):
+                    # self.name( is a method call, not a field.
+                    if i + 3 < len(tokens) and tokens[i + 3].text == "(":
+                        continue
+                    names.add(tokens[i + 2].text)
+        if not names:
+            return 0, 0
+        public = sum(1 for n in names if not n.startswith("_"))
+        return public, len(names)
+    return 0, 0
+
+
+def measure_codebase(codebase: Codebase) -> ClassDesignMetrics:
+    """Compute OO design metrics over every class in ``codebase``."""
+    all_classes: List[Tuple[SourceFile, ClassInfo]] = []
+    inheritance: Dict[str, str] = {}
+    method_owner: Dict[str, str] = {}
+    for source in codebase:
+        for cls in extract_classes(source):
+            all_classes.append((source, cls))
+            for method in cls.methods:
+                method_owner.setdefault(method.name, cls.name)
+        inheritance.update(_inheritance_edges(source))
+
+    if not all_classes:
+        return ClassDesignMetrics(0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0)
+
+    methods_per_class = [len(cls.methods) for _, cls in all_classes]
+    public_methods = sum(
+        1 for _, cls in all_classes for m in cls.methods if m.is_public
+    )
+    total_methods = sum(methods_per_class)
+
+    public_fields = total_fields = 0
+    for source, cls in all_classes:
+        pub, tot = _field_visibility(source, cls)
+        public_fields += pub
+        total_fields += tot
+
+    couplings: List[int] = []
+    for _, cls in all_classes:
+        coupled: Set[str] = set()
+        for method in cls.methods:
+            tokens = [t for t in method.body_tokens if t.is_code()]
+            for i, tok in enumerate(tokens[:-1]):
+                if tok.kind != TokenKind.IDENT or tokens[i + 1].text != "(":
+                    continue
+                owner = method_owner.get(tok.text)
+                if owner is not None and owner != cls.name:
+                    coupled.add(owner)
+        couplings.append(len(coupled))
+
+    depths = [_depth(inheritance, cls.name) for _, cls in all_classes]
+
+    return ClassDesignMetrics(
+        n_classes=len(all_classes),
+        mean_methods_per_class=total_methods / len(all_classes),
+        max_methods_per_class=max(methods_per_class),
+        public_method_fraction=(
+            public_methods / total_methods if total_methods else 0.0
+        ),
+        public_field_fraction=(
+            public_fields / total_fields if total_fields else 0.0
+        ),
+        mean_coupling=sum(couplings) / len(couplings),
+        max_coupling=max(couplings),
+        max_inheritance_depth=max(depths, default=0),
+    )

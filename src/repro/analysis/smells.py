@@ -1,0 +1,199 @@
+"""Code-smell detection [45, 46, 49, 55, 58, 64, 65, 68].
+
+"Symptoms or patterns of bad coding practice" (§3): long methods, long
+parameter lists, deep nesting, god files, magic numbers, commented-out
+code, TODO markers, duplicated line windows, and over-long lines. Each
+detector yields :class:`Smell` records; the codebase-level counts feed the
+prediction model's feature vector.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List
+
+from repro.lang.parser import extract_functions
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.lang.tokens import TokenKind
+
+
+@dataclass(frozen=True)
+class Smell:
+    """One detected code smell."""
+
+    kind: str
+    path: str
+    line: int
+    detail: str
+
+
+# -- thresholds (classic values from the smell literature) -------------------
+LONG_METHOD_LINES = 60
+LONG_PARAMETER_LIST = 5
+DEEP_NESTING = 4
+GOD_FILE_LINES = 1000
+LONG_LINE_COLUMNS = 120
+DUPLICATE_WINDOW = 6
+
+
+def long_methods(source: SourceFile) -> List[Smell]:
+    """Functions longer than LONG_METHOD_LINES physical lines."""
+    return [
+        Smell("long-method", source.path, f.start_line,
+              f"{f.name} is {f.length} lines")
+        for f in extract_functions(source)
+        if f.length > LONG_METHOD_LINES
+    ]
+
+
+def long_parameter_lists(source: SourceFile) -> List[Smell]:
+    """Functions with more than LONG_PARAMETER_LIST parameters."""
+    return [
+        Smell("long-parameter-list", source.path, f.start_line,
+              f"{f.name} takes {f.param_count} parameters")
+        for f in extract_functions(source)
+        if f.param_count > LONG_PARAMETER_LIST
+    ]
+
+
+def deep_nesting(source: SourceFile) -> List[Smell]:
+    """Functions nested deeper than DEEP_NESTING levels."""
+    return [
+        Smell("deep-nesting", source.path, f.start_line,
+              f"{f.name} nests {f.max_nesting} levels")
+        for f in extract_functions(source)
+        if f.max_nesting > DEEP_NESTING
+    ]
+
+
+def god_files(source: SourceFile) -> List[Smell]:
+    """Files longer than GOD_FILE_LINES physical lines."""
+    n = len(source.lines)
+    if n > GOD_FILE_LINES:
+        return [Smell("god-file", source.path, 1, f"file is {n} lines")]
+    return []
+
+
+def magic_numbers(source: SourceFile) -> List[Smell]:
+    """Numeric literals other than 0/1/2 outside of declarations."""
+    smells = []
+    trivial = {"0", "1", "2", "0.0", "1.0", "-1", "10", "100"}
+    for tok in source.tokens:
+        if tok.kind != TokenKind.NUMBER:
+            continue
+        norm = tok.text.rstrip("uUlLfF")
+        if norm in trivial:
+            continue
+        smells.append(
+            Smell("magic-number", source.path, tok.line, f"literal {tok.text}")
+        )
+    return smells
+
+
+def todo_comments(source: SourceFile) -> List[Smell]:
+    """TODO/FIXME/XXX/HACK markers in comments."""
+    markers = ("TODO", "FIXME", "XXX", "HACK")
+    smells = []
+    for tok in source.tokens:
+        if tok.kind != TokenKind.COMMENT:
+            continue
+        upper = tok.text.upper()
+        for marker in markers:
+            if marker in upper:
+                smells.append(
+                    Smell("todo-comment", source.path, tok.line, marker)
+                )
+                break
+    return smells
+
+
+def commented_out_code(source: SourceFile) -> List[Smell]:
+    """Comments that look like disabled code (end in ';' or contain '=')."""
+    smells = []
+    for tok in source.tokens:
+        if tok.kind != TokenKind.COMMENT:
+            continue
+        body = tok.text
+        for marker in source.spec.line_comment:
+            if body.startswith(marker):
+                body = body[len(marker):]
+                break
+        body = body.strip().rstrip("*/").strip()
+        looks_like_code = (
+            body.endswith(";")
+            or body.endswith("{")
+            or body.startswith(("if (", "for (", "while (", "return "))
+        )
+        if looks_like_code and len(body) > 4:
+            smells.append(
+                Smell("commented-out-code", source.path, tok.line, body[:40])
+            )
+    return smells
+
+
+def long_lines(source: SourceFile) -> List[Smell]:
+    """Physical lines longer than LONG_LINE_COLUMNS columns."""
+    return [
+        Smell("long-line", source.path, i + 1, f"{len(line)} columns")
+        for i, line in enumerate(source.lines)
+        if len(line) > LONG_LINE_COLUMNS
+    ]
+
+
+def duplicate_code(source: SourceFile) -> List[Smell]:
+    """Repeated windows of DUPLICATE_WINDOW consecutive non-blank lines."""
+    lines = [ln.strip() for ln in source.lines]
+    meaningful = [(i + 1, ln) for i, ln in enumerate(lines) if ln]
+    seen: Dict[str, int] = {}
+    smells = []
+    for start in range(len(meaningful) - DUPLICATE_WINDOW + 1):
+        window = meaningful[start : start + DUPLICATE_WINDOW]
+        digest = hashlib.sha1(
+            "\n".join(ln for _, ln in window).encode()
+        ).hexdigest()
+        first = seen.setdefault(digest, window[0][0])
+        if first != window[0][0]:
+            smells.append(
+                Smell("duplicate-code", source.path, window[0][0],
+                      f"duplicates lines starting at {first}")
+            )
+    return smells
+
+
+ALL_DETECTORS: Dict[str, Callable[[SourceFile], List[Smell]]] = {
+    "long-method": long_methods,
+    "long-parameter-list": long_parameter_lists,
+    "deep-nesting": deep_nesting,
+    "god-file": god_files,
+    "magic-number": magic_numbers,
+    "todo-comment": todo_comments,
+    "commented-out-code": commented_out_code,
+    "long-line": long_lines,
+    "duplicate-code": duplicate_code,
+}
+
+
+def detect_file(source: SourceFile) -> List[Smell]:
+    """Run every detector over one file."""
+    smells: List[Smell] = []
+    for detector in ALL_DETECTORS.values():
+        smells.extend(detector(source))
+    smells.sort(key=lambda s: (s.line, s.kind))
+    return smells
+
+
+def detect_codebase(codebase: Codebase) -> List[Smell]:
+    """Run every detector over every file of ``codebase``."""
+    smells: List[Smell] = []
+    for source in codebase:
+        smells.extend(detect_file(source))
+    return smells
+
+
+def smell_counts(codebase: Codebase) -> Dict[str, int]:
+    """Per-kind smell counts — the shape the feature vector consumes."""
+    counts = {kind: 0 for kind in ALL_DETECTORS}
+    for smell in detect_codebase(codebase):
+        counts[smell.kind] += 1
+    return counts

@@ -1,0 +1,17 @@
+"""Bug-finding substrate: lint-style tools whose outputs become features."""
+
+from repro.bugfind import c_checkers, generic_checkers, meta
+from repro.bugfind.findings import Checker, Finding, Severity
+from repro.bugfind.meta import TOOLS, MetaReport, run_all
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "MetaReport",
+    "Severity",
+    "TOOLS",
+    "c_checkers",
+    "generic_checkers",
+    "meta",
+    "run_all",
+]

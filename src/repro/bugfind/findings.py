@@ -1,0 +1,47 @@
+"""Finding model shared by all bug-finding tools.
+
+§4.2 of the paper proposes feeding "the bug reports or count of bug types
+into the machine learning engine" so that noisy, high-false-positive tools
+still contribute signal. Every checker in this package therefore emits
+uniform :class:`Finding` records that the meta-tool and the feature
+testbed can count and classify.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.lang.sourcefile import SourceFile
+
+
+class Severity(enum.IntEnum):
+    """Severity scale used by the checkers (ordered, comparable)."""
+
+    INFO = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One report from one checker."""
+
+    tool: str
+    rule: str
+    path: str
+    line: int
+    severity: Severity
+    message: str
+    cwe: int = 0  # associated CWE id when the rule maps to one, else 0
+
+    def key(self) -> tuple:
+        """Deduplication key: same defect reported by different tools."""
+        return (self.path, self.line, self.cwe or self.rule)
+
+
+#: A checker maps one source file to a list of findings.
+Checker = Callable[[SourceFile], List[Finding]]

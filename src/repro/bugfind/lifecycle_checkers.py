@@ -1,0 +1,100 @@
+"""Memory-lifecycle checkers for C/C++ (tool "memlint").
+
+Flow-insensitive but order-aware token patterns over each function body:
+double free (CWE-415), use after free (CWE-416), and leaked allocations
+(CWE-401, allocation with no reachable free in the same function —
+deliberately noisy, like the real tools §4.2 proposes to amortise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.bugfind.findings import Finding, Severity
+from repro.lang.parser import extract_functions
+from repro.lang.sourcefile import SourceFile
+from repro.lang.tokens import Token, TokenKind
+
+TOOL = "memlint"
+
+_ALLOC = frozenset({"malloc", "calloc", "realloc", "strdup"})
+
+
+def _events(tokens: List[Token]) -> List[Tuple[str, str, int]]:
+    """(kind, variable, line) events: alloc / free / use, in token order."""
+    events: List[Tuple[str, str, int]] = []
+    n = len(tokens)
+    skip: Set[int] = set()
+    for i, tok in enumerate(tokens):
+        if i in skip or tok.kind != TokenKind.IDENT:
+            continue
+        nxt = tokens[i + 1] if i + 1 < n else None
+        if nxt is not None and nxt.text == "(" and tok.text == "free":
+            if i + 2 < n and tokens[i + 2].kind == TokenKind.IDENT:
+                events.append(("free", tokens[i + 2].text, tok.line))
+                skip.add(i + 2)  # the argument is consumed by the free
+            continue
+        if nxt is not None and nxt.text == "(" and tok.text in _ALLOC:
+            # `p = malloc(...)` — the assigned variable is two back.
+            if i >= 2 and tokens[i - 1].text == "=" \
+                    and tokens[i - 2].kind == TokenKind.IDENT:
+                events.append(("alloc", tokens[i - 2].text, tok.line))
+            continue
+        if nxt is not None and (
+            nxt.text in ("[", "->")
+            or (nxt.text == "=" and i + 2 < n and tokens[i + 2].text != "=")
+        ):
+            kind = "assign" if nxt.text == "=" else "use"
+            events.append((kind, tok.text, tok.line))
+        elif tok.text not in _ALLOC and tok.text != "free":
+            events.append(("read", tok.text, tok.line))
+    return events
+
+
+def check_memory_lifecycle(source: SourceFile) -> List[Finding]:
+    """Per-function double-free / use-after-free / leak detection."""
+    findings: List[Finding] = []
+    for func in extract_functions(source):
+        tokens = [t for t in func.body_tokens if t.is_code()]
+        freed: Set[str] = set()
+        allocated: Dict[str, int] = {}
+        for kind, var, line in _events(tokens):
+            if kind == "alloc":
+                allocated[var] = line
+                freed.discard(var)  # realloc-style reuse
+            elif kind == "free":
+                if var in freed:
+                    findings.append(
+                        Finding(TOOL, "double-free", source.path, line,
+                                Severity.CRITICAL,
+                                f"{var!r} freed twice in {func.name}()",
+                                cwe=415)
+                    )
+                freed.add(var)
+                allocated.pop(var, None)
+            elif kind == "assign":
+                freed.discard(var)  # reassignment gives a fresh object
+            elif kind in ("use", "read") and var in freed:
+                findings.append(
+                    Finding(TOOL, "use-after-free", source.path, line,
+                            Severity.CRITICAL,
+                            f"{var!r} used after free in {func.name}()",
+                            cwe=416)
+                )
+                freed.discard(var)  # one report per free
+        for var, line in allocated.items():
+            findings.append(
+                Finding(TOOL, "memory-leak", source.path, line,
+                        Severity.LOW,
+                        f"{var!r} allocated in {func.name}() but never "
+                        "freed here", cwe=401)
+            )
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def run(source: SourceFile) -> List[Finding]:
+    """Run the lifecycle checker (C/C++ only)."""
+    if source.spec.name not in ("c", "cpp"):
+        return []
+    return check_memory_lifecycle(source)

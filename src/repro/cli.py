@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``analyze PATH`` — run every static analyzer over a source tree and
+  print the metric summary (the testbed's view of one codebase).
+- ``train`` — build the calibrated corpus, train the model with CV, and
+  save it (pickle) for the other commands.
+- ``assess PATH`` — predict the hypotheses for a source tree (§5.3's
+  developer-facing report), with a saved or freshly trained model.
+- ``gate OLD NEW`` — CI gate: exit 1 if the change raised predicted risk.
+- ``compare A B`` — pick the safer of two candidate codebases (§1).
+- ``hotspots PATH`` — rank least-maintainable functions and findings
+  (no model needed; the "focus bug-finding effort" use the paper closes
+  with).
+- ``survey`` — print the Figure-1 survey table.
+- ``corpus --out FEED.json`` — export the calibrated CVE corpus as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from typing import List, Optional
+
+from repro.bugfind.findings import Severity
+from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
+from repro.core.features import extract_features
+from repro.core.model import SecurityModel
+from repro.core.pipeline import train as train_pipeline
+from repro.core.report import format_assessment, format_delta
+from repro.lang import Codebase
+from repro.synth import build_corpus
+
+
+def _load_codebase(path: str) -> Codebase:
+    codebase = Codebase.from_directory(path)
+    if len(codebase) == 0:
+        raise SystemExit(f"error: no recognised source files under {path!r}")
+    return codebase
+
+
+def _train_model(seed: int, apps: int, folds: int, quiet: bool = False):
+    if not quiet:
+        print(f"training on a {apps}-app corpus (seed {seed}) ...",
+              file=sys.stderr)
+    corpus = build_corpus(seed=seed, limit=apps)
+    return train_pipeline(corpus, k=folds, seed=seed)
+
+
+def _obtain_model(args) -> SecurityModel:
+    if getattr(args, "model", None):
+        with open(args.model, "rb") as handle:
+            model = pickle.load(handle)
+        if not isinstance(model, SecurityModel):
+            raise SystemExit(f"error: {args.model!r} is not a saved model")
+        return model
+    return _train_model(args.seed, args.apps, args.folds).model
+
+
+def cmd_analyze(args) -> int:
+    codebase = _load_codebase(args.path)
+    row = extract_features(codebase, include_dynamic=args.dynamic)
+    print(f"metrics for {codebase.name} ({len(codebase)} files, primary "
+          f"language: {codebase.primary_language()})")
+    for name in sorted(row):
+        print(f"  {name:44s} {row[name]:12.4f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    result = _train_model(args.seed, args.apps, args.folds)
+    print("cross-validated quality:")
+    for hyp_id, metric, value in result.summary_rows():
+        print(f"  {hyp_id:24s} {metric} = {value:.3f}")
+    with open(args.out, "wb") as handle:
+        pickle.dump(result.model, handle)
+    print(f"model saved to {args.out}")
+    return 0
+
+
+def cmd_assess(args) -> int:
+    model = _obtain_model(args)
+    codebase = _load_codebase(args.path)
+    features = extract_features(codebase)
+    assessment = model.assess(features)
+    print(format_assessment(codebase.name, assessment, model, features))
+    return 0
+
+
+def cmd_gate(args) -> int:
+    model = _obtain_model(args)
+    evaluator = ChangeEvaluator(model)
+    delta = evaluator.risk_delta(
+        _load_codebase(args.old), _load_codebase(args.new)
+    )
+    print(format_delta(f"{args.old} -> {args.new}", delta))
+    if delta.verdict is Verdict.REGRESSED:
+        print("gate: BLOCK (risk increased)")
+        return 1
+    print("gate: pass")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    model = _obtain_model(args)
+    evaluator = ChangeEvaluator(model)
+    a = _load_codebase(args.candidate_a)
+    b = _load_codebase(args.candidate_b)
+    winner, assess_a, assess_b = evaluator.choose(a, b)
+    print(f"{a.name}: overall risk {assess_a.overall_risk:.2f}")
+    print(f"{b.name}: overall risk {assess_b.overall_risk:.2f}")
+    print(f"model chooses: {winner}")
+    loc_winner, meaningful = loc_naive_choice(a, b)
+    qualifier = "" if meaningful else " (not statistically meaningful, §3.1)"
+    print(f"LoC-naive metric would choose: {loc_winner}{qualifier}")
+    return 0
+
+
+def cmd_hotspots(args) -> int:
+    from repro.analysis.maintainability import worst_functions
+    from repro.bugfind import run_all
+
+    codebase = _load_codebase(args.path)
+    print(f"hotspots in {codebase.name} ({len(codebase)} files)")
+    print("\nleast maintainable functions:")
+    for report in worst_functions(codebase, k=args.top):
+        print(f"  {report.mi:5.1f} [{report.band:6s}] {report.name}")
+    findings = run_all(codebase)
+    if findings.total:
+        print(f"\nsecurity findings ({findings.total} total, "
+              f"{findings.count_at_least(Severity.HIGH)} high+):")
+        for finding in findings.findings[: args.top]:
+            print(f"  {finding.severity.name:8s} {finding.path}:{finding.line}"
+                  f"  {finding.rule}  {finding.message}")
+        if findings.total > args.top:
+            print(f"  ... and {findings.total - args.top} more")
+    else:
+        print("\nno security findings from the bundled checkers")
+    return 0
+
+
+def cmd_survey(args) -> int:
+    from repro.synth.papersurvey import generate_corpus, survey
+
+    result = survey(generate_corpus(seed=args.seed))
+    print("papers per evaluation style (Figure 1):")
+    venues = sorted(result.by_venue)
+    header = f"  {'style':8s} {'total':>6s}  " + "  ".join(
+        f"{v:>7s}" for v in venues
+    )
+    print(header)
+    for style in ("loc", "cve", "formal", "other"):
+        row = "  ".join(f"{result.by_venue[v][style]:7d}" for v in venues)
+        print(f"  {style:8s} {result.totals[style]:6d}  {row}")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    from repro.cve import io as cve_io
+    from repro.synth.cvegen import generate_database, generate_profiles
+
+    profiles = generate_profiles(seed=args.seed)
+    database = generate_database(profiles, seed=args.seed)
+    cve_io.dump(database, args.out)
+    apps, vulns = database.totals()
+    print(f"wrote {vulns} reports for {apps} applications to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clairvoyant: empirical, ML-based software (in)security "
+                    "metric (HotOS '17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_options(p):
+        p.add_argument("--model", help="path to a model saved by `train`")
+        p.add_argument("--seed", type=int, default=42,
+                       help="corpus seed when training on the fly")
+        p.add_argument("--apps", type=int, default=40,
+                       help="corpus size when training on the fly")
+        p.add_argument("--folds", type=int, default=5,
+                       help="cross-validation folds")
+
+    p = sub.add_parser("analyze", help="print every metric for a source tree")
+    p.add_argument("path")
+    p.add_argument("--dynamic", action="store_true",
+                   help="include simulated dynamic-trace features")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("train", help="train and save the security model")
+    p.add_argument("--out", default="clairvoyant-model.pkl")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--apps", type=int, default=164)
+    p.add_argument("--folds", type=int, default=10)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("assess", help="predict the hypotheses for a tree")
+    p.add_argument("path")
+    add_model_options(p)
+    p.set_defaults(func=cmd_assess)
+
+    p = sub.add_parser("gate", help="CI gate: block risk-raising changes")
+    p.add_argument("old")
+    p.add_argument("new")
+    add_model_options(p)
+    p.set_defaults(func=cmd_gate)
+
+    p = sub.add_parser("compare", help="choose the safer of two candidates")
+    p.add_argument("candidate_a")
+    p.add_argument("candidate_b")
+    add_model_options(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("hotspots",
+                       help="rank least-maintainable functions and findings")
+    p.add_argument("path")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_hotspots)
+
+    p = sub.add_parser("survey", help="print the Figure-1 survey table")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser("corpus", help="export the calibrated CVE corpus")
+    p.add_argument("--out", default="cve-corpus.json")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_corpus)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""The paper's contribution: testbed, hypotheses, training, evaluation.
+
+Quickstart::
+
+    from repro.synth import build_corpus
+    from repro.core import train, ChangeEvaluator
+
+    corpus = build_corpus(seed=42)
+    result = train(corpus)
+    evaluator = ChangeEvaluator(result.model)
+    assessment = evaluator.assess(my_codebase)
+"""
+
+from repro.core import (
+    evaluator,
+    features,
+    filelevel,
+    hypotheses,
+    model,
+    pipeline,
+    report,
+    system,
+)
+from repro.core.evaluator import (
+    ChangeEvaluator,
+    RiskDelta,
+    Verdict,
+    loc_naive_choice,
+)
+from repro.core.features import FEATURE_GROUPS, extract_features, feature_group
+from repro.core.hypotheses import (
+    CLASSIFICATION_HYPOTHESES,
+    DEFAULT_HYPOTHESES,
+    REGRESSION_HYPOTHESES,
+    Hypothesis,
+)
+from repro.core.filelevel import (
+    FilePredictionResult,
+    build_file_dataset,
+    evaluate_file_prediction,
+    file_features,
+)
+from repro.core.model import RiskAssessment, SecurityModel
+from repro.core.pipeline import (
+    FeatureTable,
+    TrainingResult,
+    build_feature_table,
+    train,
+)
+from repro.core.system import (
+    Component,
+    SystemEvaluator,
+    SystemProfile,
+    SystemRisk,
+    format_system_report,
+)
+from repro.core.report import (
+    format_assessment,
+    format_delta,
+    recommendations_for,
+    risk_band,
+)
+
+__all__ = [
+    "CLASSIFICATION_HYPOTHESES",
+    "ChangeEvaluator",
+    "Component",
+    "DEFAULT_HYPOTHESES",
+    "FEATURE_GROUPS",
+    "FeatureTable",
+    "FilePredictionResult",
+    "Hypothesis",
+    "REGRESSION_HYPOTHESES",
+    "RiskAssessment",
+    "RiskDelta",
+    "SecurityModel",
+    "SystemEvaluator",
+    "SystemProfile",
+    "SystemRisk",
+    "TrainingResult",
+    "Verdict",
+    "build_feature_table",
+    "evaluator",
+    "build_file_dataset",
+    "evaluate_file_prediction",
+    "extract_features",
+    "file_features",
+    "filelevel",
+    "feature_group",
+    "features",
+    "format_assessment",
+    "format_delta",
+    "format_system_report",
+    "hypotheses",
+    "loc_naive_choice",
+    "model",
+    "pipeline",
+    "system",
+    "recommendations_for",
+    "report",
+    "risk_band",
+    "train",
+]

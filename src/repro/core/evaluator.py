@@ -1,0 +1,175 @@
+"""Developer-facing evaluation (§5.3 and the §1 use cases).
+
+Two workflows the paper motivates:
+
+1. **Did my change raise or lower risk?** — ``risk_delta`` assesses two
+   versions of a codebase with the trained model and reports, per
+   hypothesis, whether risk moved and which code properties moved it.
+   This is the check "one can incorporate into the standard development
+   cycle".
+2. **Which of two candidate libraries is safer?** — ``choose`` compares
+   two codebases ("in selecting between two library implementations for
+   use in a web service, our proposed metric would identify which is less
+   likely to have vulnerabilities").
+
+For contrast, ``loc_naive_choice`` implements the status-quo metric the
+paper criticises — pick whichever has fewer lines of code — including the
+§3.1 caveat that a same-order-of-magnitude comparison is statistically
+meaningless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import loc
+from repro.analysis.churn import CommitHistory
+from repro.core.features import extract_features
+from repro.core.model import RiskAssessment, SecurityModel
+from repro.lang.sourcefile import Codebase
+from repro.stats.bucketing import meaningful_loc_comparison
+
+
+class Verdict(enum.Enum):
+    """Outcome of a two-version or two-candidate comparison."""
+
+    IMPROVED = "improved"
+    REGRESSED = "regressed"
+    NEUTRAL = "neutral"
+
+
+#: Minimum change in overall risk considered a real movement.
+NEUTRAL_BAND = 0.02
+
+
+@dataclass(frozen=True)
+class RiskDelta:
+    """Risk movement between two versions of a codebase."""
+
+    before: RiskAssessment
+    after: RiskAssessment
+    verdict: Verdict
+    #: hypothesis id -> probability delta (after - before).
+    probability_deltas: Dict[str, float]
+    #: properties whose movement raised risk most, per §5.3's hint list.
+    moved_properties: List[Tuple[str, float]]
+
+    @property
+    def overall_delta(self) -> float:
+        return self.after.overall_risk - self.before.overall_risk
+
+
+class ChangeEvaluator:
+    """Applies a trained :class:`SecurityModel` to developer workflows."""
+
+    def __init__(self, model: SecurityModel):
+        self.model = model
+
+    def assess(
+        self,
+        codebase: Codebase,
+        nominal_kloc: Optional[float] = None,
+        history: Optional[CommitHistory] = None,
+    ) -> RiskAssessment:
+        """Run the testbed and the model on one codebase."""
+        features = extract_features(
+            codebase, nominal_kloc=nominal_kloc, history=history
+        )
+        return self.model.assess(features)
+
+    def risk_delta(
+        self,
+        before: Codebase,
+        after: Codebase,
+        nominal_kloc_before: Optional[float] = None,
+        nominal_kloc_after: Optional[float] = None,
+        history_before: Optional[CommitHistory] = None,
+        history_after: Optional[CommitHistory] = None,
+    ) -> RiskDelta:
+        """Assess a code change: did risk move, and which properties moved it."""
+        features_before = extract_features(
+            before, nominal_kloc=nominal_kloc_before, history=history_before
+        )
+        features_after = extract_features(
+            after, nominal_kloc=nominal_kloc_after, history=history_after
+        )
+        assess_before = self.model.assess(features_before)
+        assess_after = self.model.assess(features_after)
+        deltas = {
+            hyp: assess_after.probabilities[hyp]
+            - assess_before.probabilities[hyp]
+            for hyp in assess_before.probabilities
+        }
+        overall = assess_after.overall_risk - assess_before.overall_risk
+        if overall > NEUTRAL_BAND:
+            verdict = Verdict.REGRESSED
+        elif overall < -NEUTRAL_BAND:
+            verdict = Verdict.IMPROVED
+        else:
+            verdict = Verdict.NEUTRAL
+        moved = self._moved_properties(features_before, features_after, deltas)
+        return RiskDelta(
+            before=assess_before,
+            after=assess_after,
+            verdict=verdict,
+            probability_deltas=deltas,
+            moved_properties=moved,
+        )
+
+    def _moved_properties(
+        self,
+        features_before: Dict[str, float],
+        features_after: Dict[str, float],
+        deltas: Dict[str, float],
+    ) -> List[Tuple[str, float]]:
+        """Feature movements weighted by the riskiest hypothesis's weights."""
+        if not deltas:
+            return []
+        worst = max(deltas, key=lambda hyp: deltas[hyp])
+        weights = dict(
+            self.model.top_properties(worst, k=len(self.model.feature_names))
+        )
+        movements = []
+        for name, weight in weights.items():
+            move = (
+                features_after.get(name, 0.0) - features_before.get(name, 0.0)
+            ) * weight
+            if move > 0:
+                movements.append((name, float(move)))
+        movements.sort(key=lambda p: -p[1])
+        return movements[:8]
+
+    def choose(
+        self, candidate_a: Codebase, candidate_b: Codebase
+    ) -> Tuple[str, RiskAssessment, RiskAssessment]:
+        """Pick the candidate less likely to harbour vulnerabilities.
+
+        Returns (winner name, assessment of a, assessment of b); ties go
+        to the alphabetically first name for determinism.
+        """
+        assess_a = self.assess(candidate_a)
+        assess_b = self.assess(candidate_b)
+        if abs(assess_a.overall_risk - assess_b.overall_risk) < 1e-12:
+            winner = min(candidate_a.name, candidate_b.name)
+        elif assess_a.overall_risk < assess_b.overall_risk:
+            winner = candidate_a.name
+        else:
+            winner = candidate_b.name
+        return winner, assess_a, assess_b
+
+
+def loc_naive_choice(
+    candidate_a: Codebase, candidate_b: Codebase
+) -> Tuple[str, bool]:
+    """The status-quo baseline: fewer lines of code wins.
+
+    Returns (winner name, meaningful) where ``meaningful`` applies §3.1's
+    rule — the comparison only carries statistical weight when the sizes
+    differ by more than an order of magnitude.
+    """
+    loc_a = max(loc.count_codebase(candidate_a).code, 1)
+    loc_b = max(loc.count_codebase(candidate_b).code, 1)
+    winner = candidate_a.name if loc_a <= loc_b else candidate_b.name
+    return winner, meaningful_loc_comparison(loc_a, loc_b)

@@ -1,0 +1,244 @@
+"""The testbed: assemble the full code-property feature vector (Figure 4).
+
+"We also need an automated framework to collect all the code properties
+from the sample applications" (§5.1). This module runs every analyzer in
+the package over an application and emits one flat ``{name: value}``
+feature row:
+
+- size and language (LoC, comment ratio, language one-hots, nominal kLoC);
+- complexity (McCabe totals and distribution, Halstead suite);
+- shape (functions, parameters, declarations, variables, nesting);
+- control flow (CFG nodes/edges/branches/paths) and data flow (def-use,
+  taint source/sink counts);
+- call graph (fan-in/out, reachability);
+- attack surface (RASQ channels, attack-graph difficulty);
+- bug-finding tool outputs (per-rule and per-severity counts);
+- code smells (per-kind counts);
+- churn and developer activity, when a commit history is available.
+
+Count features are emitted both raw (over the analysed sample) and as
+per-kLoC densities: densities estimate the full application from the
+sample, which is what lets the model generalise across sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.analysis import (
+    callgraph,
+    cfg as cfg_mod,
+    churn as churn_mod,
+    cyclomatic,
+    dataflow,
+    functions,
+    halstead,
+    identifiers,
+    loc,
+    maintainability,
+    oo,
+    smells,
+)
+from repro.analysis.churn import CommitHistory
+from repro.bugfind import Severity, run_all
+from repro.lang.languages import ALL_LANGUAGES
+from repro.lang.sourcefile import Codebase
+from repro.surface import attack_graph, rasq
+
+#: Feature-name prefixes, in vector order (useful for ablations).
+FEATURE_GROUPS = (
+    "size", "lang", "complexity", "halstead", "shape", "flow", "calls",
+    "surface", "bugs", "smell", "churn", "oo", "dynamic",
+)
+
+
+def extract_features(
+    codebase: Codebase,
+    nominal_kloc: Optional[float] = None,
+    history: Optional[CommitHistory] = None,
+    include_dynamic: bool = False,
+) -> Dict[str, float]:
+    """Extract the full feature row for one application.
+
+    Args:
+        codebase: the (possibly sampled) source tree to analyse.
+        nominal_kloc: the application's full size in kLoC as cloc would
+            report it; defaults to the analysed sample's own size.
+        history: optional commit history for churn/developer features.
+        include_dynamic: also simulate dynamic traces (§5.3's optional
+            improvement; costs roughly another CFG pass per function).
+
+    Returns:
+        An ordered-by-name dict of float features; missing analysers never
+        occur (every group is always emitted, with zeros where the
+        codebase has no relevant constructs).
+    """
+    row: Dict[str, float] = {}
+    counts = loc.count_codebase(codebase)
+    sample_kloc = max(counts.code / 1000.0, 1e-6)
+    kloc = nominal_kloc if nominal_kloc is not None else sample_kloc
+
+    def density(value: float) -> float:
+        return value / sample_kloc
+
+    # -- size / language ----------------------------------------------------
+    row["size.kloc"] = kloc
+    row["size.log_kloc"] = math.log10(max(kloc, 1e-6))
+    row["size.sample_loc"] = float(counts.code)
+    row["size.comment_ratio"] = counts.comment_ratio
+    row["size.blank_ratio"] = counts.blank / max(counts.total, 1)
+    row["size.preproc_per_kloc"] = density(counts.preproc)
+    primary = codebase.primary_language()
+    for spec in ALL_LANGUAGES:
+        row[f"lang.{spec.name}"] = 1.0 if primary == spec.name else 0.0
+
+    # -- complexity -----------------------------------------------------------
+    total_cc = cyclomatic.codebase_complexity(codebase)
+    dist = cyclomatic.complexity_distribution(codebase)
+    row["complexity.total"] = float(total_cc)
+    row["complexity.per_kloc"] = density(total_cc)
+    row["complexity.mean_function"] = dist["mean"]
+    row["complexity.max_function"] = dist["max"]
+    row["complexity.p90_function"] = dist["p90"]
+    row["complexity.share_over_10"] = dist["over_10"]
+
+    hal = halstead.measure_codebase(codebase)
+    row["halstead.volume_per_kloc"] = density(hal.volume)
+    mi = maintainability.measure_codebase(codebase)
+    row["complexity.maintainability_index"] = mi.mi
+    row["halstead.difficulty"] = hal.difficulty
+    row["halstead.effort_per_kloc"] = density(hal.effort)
+    row["halstead.estimated_bugs_per_kloc"] = density(hal.estimated_bugs)
+    row["halstead.vocabulary"] = float(hal.vocabulary)
+
+    # -- shape -----------------------------------------------------------------
+    shape = functions.measure_codebase(codebase)
+    row["shape.functions_per_kloc"] = density(shape.n_functions)
+    row["shape.public_share"] = (
+        shape.n_public_functions / shape.n_functions if shape.n_functions else 0.0
+    )
+    row["shape.mean_params"] = shape.mean_params
+    row["shape.max_params"] = float(shape.max_params)
+    row["shape.mean_length"] = shape.mean_length
+    row["shape.max_length"] = float(shape.max_length)
+    row["shape.mean_nesting"] = shape.mean_nesting
+    row["shape.max_nesting"] = float(shape.max_nesting)
+    row["shape.declarations_per_kloc"] = density(shape.n_declarations)
+    row["shape.variables_per_kloc"] = density(shape.n_variables)
+    names = identifiers.measure_codebase(codebase)
+    row["shape.identifier_mean_length"] = names.mean_length
+    row["shape.identifier_short_fraction"] = names.short_name_fraction
+    row["shape.identifier_numeric_suffixes"] = names.numeric_suffix_fraction
+    row["shape.identifier_entropy"] = names.entropy
+
+    # -- control / data flow -------------------------------------------------
+    flow = cfg_mod.measure_codebase(codebase)
+    row["flow.cfg_nodes_per_kloc"] = density(flow.n_cfg_nodes)
+    row["flow.cfg_edges_per_kloc"] = density(flow.n_cfg_edges)
+    row["flow.branch_nodes_per_kloc"] = density(flow.n_branch_nodes)
+    row["flow.return_nodes_per_kloc"] = density(flow.n_return_nodes)
+    row["flow.mean_cyclomatic"] = flow.mean_cyclomatic
+    row["flow.log_paths"] = math.log10(1.0 + flow.total_paths)
+    data = dataflow.measure_codebase(codebase)
+    row["flow.defs_per_kloc"] = density(data.n_defs)
+    row["flow.def_use_per_kloc"] = density(data.def_use_pairs)
+    row["flow.max_reaching"] = float(data.max_reaching)
+    row["flow.taint_sources"] = float(data.source_sites)
+    row["flow.taint_sinks"] = float(data.sink_sites)
+    row["flow.tainted_sink_calls"] = float(data.tainted_sink_calls)
+
+    # -- call graph ---------------------------------------------------------------
+    calls = callgraph.measure_codebase(codebase)
+    row["calls.edges_per_function"] = (
+        calls.n_edges / calls.n_functions if calls.n_functions else 0.0
+    )
+    row["calls.external_per_kloc"] = density(calls.n_external_calls)
+    row["calls.max_fan_in"] = float(calls.max_fan_in)
+    row["calls.max_fan_out"] = float(calls.max_fan_out)
+    row["calls.reachable_fraction"] = calls.reachable_fraction
+    row["calls.recursive_cycles"] = float(calls.n_recursive_cycles)
+
+    # -- attack surface ---------------------------------------------------------
+    surface = rasq.measure_codebase(codebase)
+    row["surface.rasq_per_kloc"] = density(surface.rasq)
+    row["surface.network_facing"] = 1.0 if surface.network_facing else 0.0
+    for channel, count in sorted(surface.channel_counts.items()):
+        row[f"surface.{channel}_per_kloc"] = density(count)
+    row["surface.privilege_sites"] = float(surface.n_privilege_sites)
+    graph_metrics = attack_graph.measure_codebase(codebase)
+    row["surface.attack_states"] = float(graph_metrics.n_states)
+    row["surface.goal_reachable"] = 1.0 if graph_metrics.goal_reachable else 0.0
+    row["surface.shortest_attack_path"] = float(
+        graph_metrics.shortest_path_length
+    )
+    row["surface.attack_cost"] = (
+        graph_metrics.cheapest_cost
+        if math.isfinite(graph_metrics.cheapest_cost)
+        else 10.0  # sentinel: unreachable goal is "very costly"
+    )
+
+    # -- bug-finding tools -------------------------------------------------------
+    report = run_all(codebase)
+    row["bugs.total_per_kloc"] = density(report.total)
+    row["bugs.high_per_kloc"] = density(report.count_at_least(Severity.HIGH))
+    for rule, count in sorted(report.per_rule.items()):
+        row[f"bugs.rule.{rule}_per_kloc"] = density(count)
+    for cwe_id, count in sorted(report.per_cwe.items()):
+        row[f"bugs.cwe.{cwe_id}_per_kloc"] = density(count)
+
+    # -- smells ---------------------------------------------------------------------
+    for kind, count in sorted(smells.smell_counts(codebase).items()):
+        row[f"smell.{kind}_per_kloc"] = density(count)
+
+    # -- churn / developers -------------------------------------------------------
+    if history is not None:
+        churn = churn_mod.churn_metrics(history)
+        activity = churn_mod.developer_activity(history)
+        row["churn.log_total"] = math.log10(1.0 + churn.total_churn)
+        row["churn.relative"] = churn.relative_churn
+        row["churn.high_churn_files"] = float(churn.n_high_churn_files)
+        row["churn.mean_file"] = churn.mean_file_churn
+        row["churn.authors"] = float(activity.n_authors)
+        row["churn.commits_per_file"] = (
+            activity.n_commits / max(len(history.files), 1)
+        )
+        row["churn.mean_authors_per_file"] = activity.mean_authors_per_file
+        row["churn.network_density"] = activity.network_density
+        row["churn.peripheral_authors"] = float(activity.n_peripheral_authors)
+    else:
+        for name in ("log_total", "relative", "high_churn_files", "mean_file",
+                     "authors", "commits_per_file", "mean_authors_per_file",
+                     "network_density", "peripheral_authors"):
+            row[f"churn.{name}"] = 0.0
+
+    # -- object-oriented design (Alshammari et al.) ----------------------------
+    design = oo.measure_codebase(codebase)
+    row["oo.classes_per_kloc"] = density(design.n_classes)
+    row["oo.mean_methods_per_class"] = design.mean_methods_per_class
+    row["oo.public_method_fraction"] = design.public_method_fraction
+    row["oo.public_field_fraction"] = design.public_field_fraction
+    row["oo.accessibility"] = design.accessibility
+    row["oo.mean_coupling"] = design.mean_coupling
+    row["oo.max_inheritance_depth"] = float(design.max_inheritance_depth)
+
+    # -- dynamic traces (optional, §5.3) ---------------------------------------
+    if include_dynamic:
+        from repro.analysis import dynamic
+
+        traces = dynamic.measure_codebase(codebase)
+        row["dynamic.node_coverage"] = traces.mean_node_coverage
+        row["dynamic.edge_coverage"] = traces.mean_edge_coverage
+        row["dynamic.trace_length"] = traces.mean_trace_length
+        row["dynamic.hot_concentration"] = traces.mean_hot_concentration
+        row["dynamic.dangerous_exec_per_kloc"] = density(
+            traces.dangerous_executions
+        )
+        row["dynamic.truncation_rate"] = traces.truncation_rate
+
+    return row
+
+
+def feature_group(name: str) -> str:
+    """The group prefix of a feature name (before the first dot)."""
+    return name.split(".", 1)[0]

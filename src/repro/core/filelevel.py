@@ -1,0 +1,139 @@
+"""File-level vulnerable-file prediction (Shin et al. [61]).
+
+The paper's §4 anchor: "Shin et al. evaluate complexity, code churn, and
+developer activity metrics as indicators of software vulnerabilities …
+They are able to predict 80% of the vulnerable files." This module
+reproduces that experiment shape on the corpus: per-file feature rows
+(complexity + churn + developer activity), binary vulnerable-file labels,
+and a recall-oriented evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import cyclomatic, halstead, loc
+from repro.analysis.churn import CommitHistory, file_churn
+from repro.analysis.functions import measure_file
+from repro.lang.sourcefile import SourceFile
+from repro.ml.crossval import stratified_kfold_indices
+from repro.ml.dataset import Dataset
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import precision_recall_f1, roc_auc
+from repro.ml.preprocess import StandardScaler
+from repro.synth.corpus import Corpus
+
+
+def file_features(
+    source: SourceFile, history: Optional[CommitHistory] = None
+) -> Dict[str, float]:
+    """Shin-style feature row for one file.
+
+    Complexity dimension: LoC, McCabe, Halstead volume, function shape,
+    preprocessor lines. Churn/developer dimension (when a history is
+    given): commits, churn, authors, active days.
+    """
+    counts = loc.count_file(source)
+    shape = measure_file(source)
+    hal = halstead.measure_file(source)
+    row: Dict[str, float] = {
+        "loc": float(counts.code),
+        "comment_ratio": counts.comment_ratio,
+        "preproc_lines": float(counts.preproc),
+        "cyclomatic": float(cyclomatic.file_complexity(source)),
+        "halstead_volume": hal.volume,
+        "n_functions": float(shape.n_functions),
+        "mean_params": shape.mean_params,
+        "max_nesting": float(shape.max_nesting),
+        "mean_length": shape.mean_length,
+        "n_variables": float(shape.n_variables),
+    }
+    churn_stats = file_churn(history).get(source.path) if history else None
+    if churn_stats is not None:
+        row["churn_commits"] = float(churn_stats.n_commits)
+        row["churn_total"] = float(churn_stats.total_churn)
+        row["churn_per_commit"] = churn_stats.churn_per_commit
+        row["n_authors"] = float(churn_stats.n_authors)
+        row["days_active"] = float(churn_stats.days_active)
+    else:
+        for name in ("churn_commits", "churn_total", "churn_per_commit",
+                     "n_authors", "days_active"):
+            row[name] = 0.0
+    return row
+
+
+def build_file_dataset(corpus: Corpus) -> Dataset:
+    """Per-file dataset over the whole corpus (labels: vulnerable file)."""
+    rows: List[Dict[str, float]] = []
+    labels: List[int] = []
+    ids: List[str] = []
+    for app in corpus.apps:
+        history = corpus.histories.get(app.name)
+        for source in app.codebase:
+            rows.append(file_features(source, history))
+            labels.append(1 if source.path in app.vulnerable_files else 0)
+            ids.append(f"{app.name}:{source.path}")
+    return Dataset.from_rows(rows, labels, name="vulnerable-files",
+                             row_ids=ids)
+
+
+@dataclass(frozen=True)
+class FilePredictionResult:
+    """Cross-validated vulnerable-file prediction quality."""
+
+    recall: float  # the paper's headline: % of vulnerable files found
+    precision: float
+    f1: float
+    auc: float
+    n_files: int
+    n_vulnerable: int
+
+
+def evaluate_file_prediction(
+    corpus: Corpus,
+    k: int = 10,
+    seed: int = 0,
+    factory=None,
+) -> FilePredictionResult:
+    """Run the Shin-style experiment with stratified k-fold CV.
+
+    The per-fold decision threshold is tuned for recall the way Shin et
+    al.'s inspection-oriented models are: a file is flagged when the
+    predicted probability exceeds the vulnerable-class prior (cheaper to
+    over-inspect than to miss a vulnerable file).
+    """
+    if factory is None:
+        factory = lambda: LogisticRegression(max_iter=400)
+    dataset = build_file_dataset(corpus)
+    y = np.asarray(dataset.y, dtype=int)
+    folds = min(k, int(np.bincount(y).min()))
+    splits = stratified_kfold_indices(y, max(2, folds), seed=seed)
+    all_true: List[int] = []
+    all_pred: List[int] = []
+    all_scores: List[float] = []
+    for train_idx, test_idx in splits:
+        scaler = StandardScaler()
+        x_train = scaler.fit_apply(dataset.x[train_idx])
+        x_test = scaler.apply(dataset.x[test_idx])
+        model = factory().fit(x_train, y[train_idx])
+        classes = list(model.classes_)
+        proba = model.predict_proba(x_test)
+        scores = proba[:, classes.index(1)] if 1 in classes else np.zeros(
+            len(test_idx)
+        )
+        threshold = max(float(y[train_idx].mean()), 1e-6)
+        all_true.extend(y[test_idx].tolist())
+        all_pred.extend((scores > threshold).astype(int).tolist())
+        all_scores.extend(scores.tolist())
+    precision, recall, f1 = precision_recall_f1(all_true, all_pred)
+    return FilePredictionResult(
+        recall=recall,
+        precision=precision,
+        f1=f1,
+        auc=roc_auc(all_true, all_scores),
+        n_files=len(all_true),
+        n_vulnerable=int(sum(all_true)),
+    )

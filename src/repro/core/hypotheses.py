@@ -1,0 +1,171 @@
+"""CVE hypotheses — the prediction targets of Figure 4.
+
+§5.2: "we use machine learning to train a series of hypotheses on the
+sample applications: How many high-severity vulnerabilities exist in an
+application (CVSS > 7)? Does an application contain any vulnerabilities
+that are accessible from the network (Attack Vectors = N)? Does an
+application suffer any stack-based buffer overflow (CWE = 121)?"
+
+A :class:`Hypothesis` turns an application's
+:class:`~repro.cve.database.AppVulnSummary` into a target value.
+Classification hypotheses whose raw condition would be almost always true
+on the corpus (every big app has *some* network-reachable CVE) support a
+``median`` threshold mode: the yes/no split is taken against the corpus
+median of the underlying count, which is how one gets a balanced, learnable
+question ("more network-reachable vulnerabilities than the typical app?").
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.cve.database import AppVulnSummary
+
+KIND_CLASSIFICATION = "classification"
+KIND_REGRESSION = "regression"
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One prediction target.
+
+    Attributes:
+        hypothesis_id: short stable identifier (used in reports/benches).
+        description: the question, phrased as in §5.2.
+        kind: classification or regression.
+        raw_value: summary -> float (count, score, or 0/1 indicator).
+        median_split: for classification, compare raw values against the
+            corpus median instead of against zero.
+    """
+
+    hypothesis_id: str
+    description: str
+    kind: str
+    raw_value: Callable[[AppVulnSummary], float]
+    median_split: bool = False
+    #: Valid range for regression predictions (min, max); predictions are
+    #: clamped into it (e.g. a CVSS mean can never exceed 10).
+    value_range: tuple = (0.0, float("inf"))
+
+    def labels(self, summaries: Sequence[AppVulnSummary]) -> List:
+        """Target vector for a corpus of app summaries."""
+        raw = [self.raw_value(s) for s in summaries]
+        if self.kind == KIND_REGRESSION:
+            return raw
+        if self.median_split:
+            cut = statistics.median(raw)
+            return [1 if v > cut else 0 for v in raw]
+        return [1 if v > 0 else 0 for v in raw]
+
+
+def _log_count(summary: AppVulnSummary) -> float:
+    return math.log10(1.0 + summary.n_total)
+
+
+def _log_high_severity(summary: AppVulnSummary) -> float:
+    return math.log10(1.0 + summary.n_high_severity)
+
+
+def _n_high_severity(summary: AppVulnSummary) -> float:
+    return float(summary.n_high_severity)
+
+
+def _n_network(summary: AppVulnSummary) -> float:
+    return float(summary.n_network)
+
+
+def _n_cwe121(summary: AppVulnSummary) -> float:
+    return float(summary.count_cwe(121, include_descendants=False))
+
+
+def _n_memory(summary: AppVulnSummary) -> float:
+    return float(summary.n_by_category.get("memory", 0))
+
+
+def _mean_score(summary: AppVulnSummary) -> float:
+    return summary.mean_score
+
+
+HIGH_SEVERITY_COUNT = Hypothesis(
+    hypothesis_id="high_severity_count",
+    description="How many high-severity vulnerabilities (CVSS > 7)?",
+    kind=KIND_REGRESSION,
+    raw_value=_log_high_severity,
+)
+
+MANY_HIGH_SEVERITY = Hypothesis(
+    hypothesis_id="many_high_severity",
+    description="More high-severity vulnerabilities (CVSS > 7) than the "
+                "typical application?",
+    kind=KIND_CLASSIFICATION,
+    raw_value=_n_high_severity,
+    median_split=True,
+)
+
+NETWORK_ACCESSIBLE = Hypothesis(
+    hypothesis_id="network_accessible",
+    description="More network-reachable vulnerabilities (AV = N) than the "
+                "typical application?",
+    kind=KIND_CLASSIFICATION,
+    raw_value=_n_network,
+    median_split=True,
+)
+
+STACK_OVERFLOW = Hypothesis(
+    hypothesis_id="stack_overflow",
+    description="Any stack-based buffer overflow (CWE = 121)?",
+    kind=KIND_CLASSIFICATION,
+    raw_value=_n_cwe121,
+)
+
+MEMORY_SAFETY = Hypothesis(
+    hypothesis_id="memory_safety",
+    description="More memory-safety weaknesses than the typical application?",
+    kind=KIND_CLASSIFICATION,
+    raw_value=_n_memory,
+    median_split=True,
+)
+
+TOTAL_COUNT = Hypothesis(
+    hypothesis_id="total_count",
+    description="How many vulnerabilities in total (log10)?",
+    kind=KIND_REGRESSION,
+    raw_value=_log_count,
+)
+
+MEAN_SEVERITY = Hypothesis(
+    hypothesis_id="mean_severity",
+    description="What is the mean CVSS score of the app's vulnerabilities?",
+    kind=KIND_REGRESSION,
+    raw_value=_mean_score,
+    value_range=(0.0, 10.0),
+)
+
+#: The default hypothesis battery trained by the pipeline.
+DEFAULT_HYPOTHESES = (
+    MANY_HIGH_SEVERITY,
+    NETWORK_ACCESSIBLE,
+    STACK_OVERFLOW,
+    MEMORY_SAFETY,
+    HIGH_SEVERITY_COUNT,
+    TOTAL_COUNT,
+    MEAN_SEVERITY,
+)
+
+CLASSIFICATION_HYPOTHESES = tuple(
+    h for h in DEFAULT_HYPOTHESES if h.kind == KIND_CLASSIFICATION
+)
+REGRESSION_HYPOTHESES = tuple(
+    h for h in DEFAULT_HYPOTHESES if h.kind == KIND_REGRESSION
+)
+
+
+def by_id(hypothesis_id: str) -> Hypothesis:
+    """Look up a default hypothesis by its id."""
+    for hypothesis in DEFAULT_HYPOTHESES:
+        if hypothesis.hypothesis_id == hypothesis_id:
+            return hypothesis
+    raise KeyError(hypothesis_id)

@@ -1,0 +1,149 @@
+"""The trained security model (the output of Figure 4's training phase).
+
+A :class:`SecurityModel` bundles, per hypothesis, a fitted estimator plus
+the shared feature scaler. §5.3 drives the API:
+
+- ``assess`` turns a feature row into predicted probabilities/estimates —
+  "the classifier can give the developer an evaluation";
+- ``top_properties`` exposes the trained weights — "each weight in the
+  trained model shows the importance of the corresponding code property";
+- ``flagged_properties`` names the properties that push one application's
+  risk up — "properties that heavily contribute to a given result can be
+  flagged for developer attention".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hypotheses import (
+    KIND_CLASSIFICATION,
+    KIND_REGRESSION,
+    Hypothesis,
+)
+from repro.ml.base import Classifier, Regressor
+from repro.ml.preprocess import StandardScaler
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """Model output for one application."""
+
+    #: hypothesis id -> probability the answer is "yes" (classification).
+    probabilities: Dict[str, float]
+    #: hypothesis id -> predicted value (regression; log-count or score).
+    estimates: Dict[str, float]
+
+    @property
+    def overall_risk(self) -> float:
+        """Mean yes-probability over the classification hypotheses.
+
+        A deliberately simple headline number; per-hypothesis values are
+        the real deliverable.
+        """
+        if not self.probabilities:
+            return 0.0
+        return sum(self.probabilities.values()) / len(self.probabilities)
+
+
+class SecurityModel:
+    """Per-hypothesis estimators over a shared, scaled feature space."""
+
+    def __init__(
+        self,
+        feature_names: Sequence[str],
+        scaler: StandardScaler,
+        classifiers: Dict[str, Classifier],
+        regressors: Dict[str, Regressor],
+        hypotheses: Sequence[Hypothesis],
+    ):
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self._scaler = scaler
+        self._classifiers = dict(classifiers)
+        self._regressors = dict(regressors)
+        self.hypotheses: Tuple[Hypothesis, ...] = tuple(hypotheses)
+
+    # -- prediction ---------------------------------------------------------
+
+    def vectorise(self, features: Dict[str, float]) -> np.ndarray:
+        """Align a feature dict to the training columns (missing -> 0)."""
+        return np.array(
+            [[float(features.get(name, 0.0)) for name in self.feature_names]]
+        )
+
+    def assess(self, features: Dict[str, float]) -> RiskAssessment:
+        """Predict every hypothesis for one application's feature row."""
+        x = self._scaler.apply(self.vectorise(features))
+        probabilities: Dict[str, float] = {}
+        estimates: Dict[str, float] = {}
+        for hyp_id, model in self._classifiers.items():
+            proba = model.predict_proba(x)[0]
+            classes = list(model.classes_)
+            probabilities[hyp_id] = (
+                float(proba[classes.index(1)]) if 1 in classes else 0.0
+            )
+        ranges = {h.hypothesis_id: h.value_range for h in self.hypotheses}
+        for hyp_id, model in self._regressors.items():
+            lo, hi = ranges.get(hyp_id, (0.0, float("inf")))
+            estimates[hyp_id] = min(max(float(model.predict(x)[0]), lo), hi)
+        return RiskAssessment(probabilities=probabilities, estimates=estimates)
+
+    # -- introspection -----------------------------------------------------------
+
+    def top_properties(
+        self, hypothesis_id: str, k: int = 10
+    ) -> List[Tuple[str, float]]:
+        """The k most influential features for one hypothesis.
+
+        Logistic/linear models report signed weights; tree ensembles
+        report impurity-based importances (always non-negative).
+        """
+        model = self._classifiers.get(hypothesis_id) or self._regressors.get(
+            hypothesis_id
+        )
+        if model is None:
+            raise KeyError(hypothesis_id)
+        if hasattr(model, "weights"):
+            return model.weights(self.feature_names)[:k]
+        importances = getattr(model, "feature_importances_", None)
+        if importances is None:
+            raise TypeError(
+                f"model for {hypothesis_id!r} exposes no weights/importances"
+            )
+        pairs = list(zip(self.feature_names, importances.tolist()))
+        pairs.sort(key=lambda p: (-abs(p[1]), p[0]))
+        return pairs[:k]
+
+    def flagged_properties(
+        self, features: Dict[str, float], hypothesis_id: str, k: int = 5
+    ) -> List[Tuple[str, float]]:
+        """Properties pushing *this* application's risk up (§5.3).
+
+        Contribution = standardized feature value x signed weight; only
+        positive (risk-increasing) contributions are returned, largest
+        first. Falls back to importance x |z| for tree models.
+        """
+        x = self._scaler.apply(self.vectorise(features))[0]
+        ranked = self.top_properties(hypothesis_id, k=len(self.feature_names))
+        index = {name: i for i, name in enumerate(self.feature_names)}
+        contributions = []
+        for name, weight in ranked:
+            z = x[index[name]]
+            contribution = z * weight
+            if contribution > 0:
+                contributions.append((name, float(contribution)))
+        contributions.sort(key=lambda p: -p[1])
+        return contributions[:k]
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def classification_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._classifiers))
+
+    @property
+    def regression_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._regressors))

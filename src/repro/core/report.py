@@ -1,0 +1,146 @@
+"""Developer-facing reports and defense recommendations (§5.3).
+
+Renders :class:`~repro.core.model.RiskAssessment` and
+:class:`~repro.core.evaluator.RiskDelta` objects as plain-text reports,
+and maps predicted risks to concrete defenses: "applying bound checking
+if there is high risk of buffer overflow, or placing the application
+behind firewall or intrusion protection if a network attack is
+predicted".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.evaluator import RiskDelta, Verdict
+from repro.core.model import RiskAssessment, SecurityModel
+
+#: Defense playbook per hypothesis (§5.3's examples, extended).
+RECOMMENDATIONS: Dict[str, str] = {
+    "stack_overflow": "apply bounds checking / use bounded copy APIs "
+                      "(strlcpy, snprintf); enable stack protectors",
+    "memory_safety": "audit allocation sites; consider sanitizers "
+                     "(ASan) in CI and fuzzing the parsers",
+    "network_accessible": "place the application behind a firewall or "
+                          "intrusion protection; reduce listening surface",
+    "many_high_severity": "prioritise a security review of the flagged "
+                          "properties; consider privilege separation",
+}
+
+#: Property-driven hints: feature prefix -> defence.
+PROPERTY_HINTS: Tuple[Tuple[str, str], ...] = (
+    ("bugs.rule.unbounded-copy", "replace unbounded copies with bounded APIs"),
+    ("bugs.rule.format-string", "use literal format strings"),
+    ("bugs.rule.command-injection", "avoid shell interpolation; use exec arrays"),
+    ("bugs.rule.sql-concatenation", "switch to parameterised queries"),
+    ("surface.network", "audit the network-facing entry points"),
+    ("surface.process_spawn", "sandbox or drop privileges before spawning"),
+    ("complexity.", "refactor the most complex functions (McCabe > 10)"),
+    ("churn.", "add review gates on high-churn files"),
+    ("smell.deep-nesting", "flatten deeply nested logic"),
+)
+
+_RISK_BANDS = ((0.75, "HIGH"), (0.45, "MEDIUM"), (0.0, "LOW"))
+
+
+def risk_band(probability: float) -> str:
+    """Qualitative band for a predicted probability."""
+    for threshold, label in _RISK_BANDS:
+        if probability >= threshold:
+            return label
+    return "LOW"
+
+
+def recommendations_for(
+    assessment: RiskAssessment, threshold: float = 0.5
+) -> List[str]:
+    """Defenses for every hypothesis predicted above ``threshold``."""
+    out = []
+    for hyp_id, probability in sorted(assessment.probabilities.items()):
+        if probability >= threshold and hyp_id in RECOMMENDATIONS:
+            out.append(f"{hyp_id}: {RECOMMENDATIONS[hyp_id]}")
+    return out
+
+
+def property_hints(flagged: Sequence[Tuple[str, float]]) -> List[str]:
+    """Defense hints for flagged code properties."""
+    hints = []
+    for name, _contribution in flagged:
+        for prefix, hint in PROPERTY_HINTS:
+            if name.startswith(prefix):
+                hints.append(f"{name}: {hint}")
+                break
+    return hints
+
+
+def format_assessment(
+    name: str,
+    assessment: RiskAssessment,
+    model: SecurityModel = None,
+    features: Dict[str, float] = None,
+) -> str:
+    """Render one application's assessment as a text report."""
+    lines = [f"Security assessment: {name}", "=" * (21 + len(name))]
+    lines.append(f"overall risk: {assessment.overall_risk:.2f} "
+                 f"({risk_band(assessment.overall_risk)})")
+    lines.append("")
+    lines.append("classification hypotheses (probability of 'yes'):")
+    for hyp_id, p in sorted(assessment.probabilities.items()):
+        lines.append(f"  {hyp_id:24s} {p:5.2f}  [{risk_band(p)}]")
+    if assessment.estimates:
+        lines.append("regression hypotheses (predicted value):")
+        for hyp_id, value in sorted(assessment.estimates.items()):
+            lines.append(f"  {hyp_id:24s} {value:6.2f}")
+    recs = recommendations_for(assessment)
+    if recs:
+        lines.append("")
+        lines.append("recommended defenses:")
+        lines.extend(f"  - {r}" for r in recs)
+    if model is not None and features is not None:
+        worst = max(
+            assessment.probabilities,
+            key=lambda h: assessment.probabilities[h],
+            default=None,
+        )
+        if worst is not None:
+            flagged = model.flagged_properties(features, worst, k=5)
+            if flagged:
+                lines.append("")
+                lines.append(f"properties driving {worst}:")
+                for prop, contribution in flagged:
+                    lines.append(f"  {prop:40s} +{contribution:.2f}")
+                hints = property_hints(flagged)
+                if hints:
+                    lines.append("suggested actions:")
+                    lines.extend(f"  - {h}" for h in hints)
+    return "\n".join(lines)
+
+
+def format_delta(name: str, delta: RiskDelta) -> str:
+    """Render a code-change risk delta as a text report."""
+    arrow = {
+        Verdict.IMPROVED: "risk DOWN",
+        Verdict.REGRESSED: "risk UP",
+        Verdict.NEUTRAL: "risk unchanged",
+    }[delta.verdict]
+    lines = [
+        f"Change evaluation: {name}",
+        "=" * (19 + len(name)),
+        f"verdict: {arrow} (overall {delta.before.overall_risk:.2f} -> "
+        f"{delta.after.overall_risk:.2f})",
+        "",
+        "per-hypothesis movement:",
+    ]
+    for hyp_id, d in sorted(delta.probability_deltas.items()):
+        sign = "+" if d >= 0 else ""
+        lines.append(f"  {hyp_id:24s} {sign}{d:.3f}")
+    if delta.moved_properties and delta.verdict is Verdict.REGRESSED:
+        lines.append("")
+        lines.append("properties that raised risk:")
+        for prop, move in delta.moved_properties[:5]:
+            lines.append(f"  {prop:40s} +{move:.3f}")
+        hints = property_hints(delta.moved_properties[:5])
+        if hints:
+            lines.append("suggested actions:")
+            lines.extend(f"  - {h}" for h in hints)
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Whole-system security evaluation (§5.3's future-work question).
+
+"Can we use the same approach of evaluating application programs to
+evaluate whole systems? We expect that total system security is
+dependent upon the weakest link, although factors such as which
+applications are network-facing have a role as well. Similarly, it is
+challenging to model areas of containment … A goal for future work is to
+apply the metric to a VM or Docker image."
+
+This module implements that proposal: a :class:`SystemProfile` is a
+manifest of components (a VM/container image's applications), each with
+an exposure level and a containment domain. Per-component risk comes
+from the trained :class:`~repro.core.model.SecurityModel`; system risk
+composes them weakest-link-style, with containment boundaries
+discounting lateral movement:
+
+- components in the same domain share fate (compromise flows freely);
+- a privilege/containment boundary between domains attenuates the
+  contribution of inner components by ``containment_discount``;
+- non-exposed components only matter once something in their domain (or
+  an adjacent, less-contained domain) is compromised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.churn import CommitHistory
+from repro.core.features import extract_features
+from repro.core.model import RiskAssessment, SecurityModel
+from repro.lang.sourcefile import Codebase
+
+#: Exposure multipliers: how reachable a component is to an attacker.
+EXPOSURE_WEIGHTS: Dict[str, float] = {
+    "internet": 1.0,  # listens on an external interface
+    "internal": 0.6,  # reachable from inside the deployment only
+    "local": 0.3,  # local processes / IPC only
+    "isolated": 0.1,  # no external inputs (batch, cron)
+}
+
+#: Attenuation applied across one containment boundary (ring crossing,
+#: separate unprivileged user, container).
+DEFAULT_CONTAINMENT_DISCOUNT = 0.5
+
+
+@dataclass(frozen=True)
+class Component:
+    """One application inside the system image."""
+
+    name: str
+    codebase: Codebase
+    exposure: str = "internal"  # key of EXPOSURE_WEIGHTS
+    domain: str = "default"  # containment domain (container/user/ring)
+    privileged: bool = False  # runs with elevated privilege
+    nominal_kloc: Optional[float] = None
+    history: Optional[CommitHistory] = None
+
+    def __post_init__(self) -> None:
+        if self.exposure not in EXPOSURE_WEIGHTS:
+            raise ValueError(f"unknown exposure level: {self.exposure!r}")
+
+
+@dataclass
+class SystemProfile:
+    """A deployable system: a named set of components."""
+
+    name: str
+    components: List[Component] = field(default_factory=list)
+
+    def add(self, component: Component) -> None:
+        if any(c.name == component.name for c in self.components):
+            raise ValueError(f"duplicate component name: {component.name}")
+        self.components.append(component)
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted({c.domain for c in self.components})
+
+
+@dataclass(frozen=True)
+class ComponentRisk:
+    """Per-component model output plus its system-level weighting."""
+
+    name: str
+    domain: str
+    exposure: str
+    privileged: bool
+    assessment: RiskAssessment
+    effective_risk: float  # exposure-weighted overall risk
+
+
+@dataclass(frozen=True)
+class SystemRisk:
+    """System-level evaluation result."""
+
+    system: str
+    components: Tuple[ComponentRisk, ...]
+    weakest_link: str
+    weakest_link_risk: float
+    #: P(at least one exposed component compromised), exposure-weighted.
+    entry_risk: float
+    #: entry risk amplified by privileged components reachable after
+    #: containment discounts — the "total system" number.
+    system_risk: float
+
+    def by_domain(self) -> Dict[str, List[ComponentRisk]]:
+        out: Dict[str, List[ComponentRisk]] = {}
+        for c in self.components:
+            out.setdefault(c.domain, []).append(c)
+        return out
+
+
+class SystemEvaluator:
+    """Applies a trained model to whole-system manifests."""
+
+    def __init__(
+        self,
+        model: SecurityModel,
+        containment_discount: float = DEFAULT_CONTAINMENT_DISCOUNT,
+    ):
+        if not 0.0 <= containment_discount <= 1.0:
+            raise ValueError("containment_discount must be in [0, 1]")
+        self.model = model
+        self.containment_discount = containment_discount
+
+    def evaluate(self, system: SystemProfile) -> SystemRisk:
+        """Evaluate every component and compose the system risk."""
+        if not system.components:
+            raise ValueError(f"system {system.name!r} has no components")
+        risks: List[ComponentRisk] = []
+        for component in system.components:
+            features = extract_features(
+                component.codebase,
+                nominal_kloc=component.nominal_kloc,
+                history=component.history,
+            )
+            assessment = self.model.assess(features)
+            effective = (
+                assessment.overall_risk * EXPOSURE_WEIGHTS[component.exposure]
+            )
+            risks.append(
+                ComponentRisk(
+                    name=component.name,
+                    domain=component.domain,
+                    exposure=component.exposure,
+                    privileged=component.privileged,
+                    assessment=assessment,
+                    effective_risk=effective,
+                )
+            )
+
+        weakest = max(risks, key=lambda r: r.effective_risk)
+
+        # Entry: chance that at least one component falls to direct input.
+        survival = 1.0
+        for r in risks:
+            survival *= 1.0 - min(r.effective_risk, 1.0)
+        entry_risk = 1.0 - survival
+
+        # Escalation: a privileged component amplifies system risk; if it
+        # sits in a different containment domain than the likely entry
+        # point, the boundary discounts the amplification. The entry point
+        # is the riskiest *externally reachable* component — a local-only
+        # daemon is never where the attacker lands first.
+        reachable = [r for r in risks if r.exposure in ("internet",
+                                                        "internal")]
+        entry_domain = (
+            max(reachable, key=lambda r: r.effective_risk).domain
+            if reachable
+            else weakest.domain
+        )
+        amplification = 1.0
+        for r in risks:
+            if not r.privileged:
+                continue
+            barrier = 1.0 if r.domain == entry_domain else (
+                self.containment_discount
+            )
+            amplification = max(
+                amplification,
+                1.0 + barrier * r.assessment.overall_risk,
+            )
+        system_risk = min(entry_risk * amplification, 1.0)
+
+        return SystemRisk(
+            system=system.name,
+            components=tuple(
+                sorted(risks, key=lambda r: -r.effective_risk)
+            ),
+            weakest_link=weakest.name,
+            weakest_link_risk=weakest.effective_risk,
+            entry_risk=entry_risk,
+            system_risk=system_risk,
+        )
+
+
+def format_system_report(risk: SystemRisk) -> str:
+    """Plain-text report for a system evaluation."""
+    lines = [
+        f"System assessment: {risk.system}",
+        "=" * (19 + len(risk.system)),
+        f"system risk: {risk.system_risk:.2f}   "
+        f"entry risk: {risk.entry_risk:.2f}   "
+        f"weakest link: {risk.weakest_link} "
+        f"({risk.weakest_link_risk:.2f})",
+        "",
+        "components (by effective risk):",
+    ]
+    for c in risk.components:
+        flags = []
+        if c.privileged:
+            flags.append("privileged")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {c.name:20s} domain={c.domain:10s} "
+            f"exposure={c.exposure:9s} risk={c.effective_risk:.2f}{suffix}"
+        )
+    return "\n".join(lines)

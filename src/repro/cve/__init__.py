@@ -1,0 +1,39 @@
+"""CVE substrate: records, CVSS v3 scoring, CWE taxonomy, database, baselines."""
+
+from repro.cve import aggregate, cwe, cvss2, database, io, records, trends
+from repro.cve.aggregate import AggregateScore, rank_apps, score_app
+from repro.cve.cvss import CvssError, CvssV3, severity_rating
+from repro.cve.cvss2 import CvssV2, v2_to_v3
+from repro.cve.trends import HistoryTrend, analyse, rank_by_maturity
+from repro.cve.database import (
+    CONVERGING_HISTORY_YEARS,
+    AppVulnSummary,
+    CVEDatabase,
+)
+from repro.cve.records import CVERecord, InvalidCveError
+
+__all__ = [
+    "AggregateScore",
+    "AppVulnSummary",
+    "CONVERGING_HISTORY_YEARS",
+    "CVEDatabase",
+    "CVERecord",
+    "CvssError",
+    "CvssV2",
+    "CvssV3",
+    "HistoryTrend",
+    "InvalidCveError",
+    "aggregate",
+    "analyse",
+    "cvss2",
+    "cwe",
+    "io",
+    "database",
+    "rank_apps",
+    "rank_by_maturity",
+    "records",
+    "score_app",
+    "severity_rating",
+    "trends",
+    "v2_to_v3",
+]

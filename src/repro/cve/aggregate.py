@@ -1,0 +1,57 @@
+"""CVSS-aggregation security metric (Wang et al. [67]) — a baseline.
+
+Wang et al. "combine the CVSS score of all the known CVE reports of a
+software, to assign a final security metric score". The paper's critique
+(§3.2): the aggregate ignores *unknown* vulnerabilities and uses no signal
+beyond CVSS. We implement it faithfully so the benchmarks can compare the
+trained model against it (experiment A2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.cve.database import CVEDatabase
+
+
+@dataclass(frozen=True)
+class AggregateScore:
+    """Wang-style aggregate of an application's known-CVE scores."""
+
+    app: str
+    n_reports: int
+    sum_score: float
+    mean_score: float
+    #: Probabilistic union: 1 - prod(1 - score/10); reads as "chance at
+    #: least one known flaw is exploitable" under independence.
+    union_score: float
+
+    @property
+    def risk_rank_key(self) -> float:
+        """Higher means riskier (used to order candidate programs)."""
+        return self.union_score * math.log1p(self.n_reports)
+
+
+def score_app(db: CVEDatabase, app: str) -> AggregateScore:
+    """Compute the Wang-style aggregate for one application."""
+    records = db.records_for(app)
+    scores = [r.score for r in records]
+    survival = 1.0
+    for s in scores:
+        survival *= 1.0 - min(s, 10.0) / 10.0
+    return AggregateScore(
+        app=app,
+        n_reports=len(scores),
+        sum_score=sum(scores),
+        mean_score=sum(scores) / len(scores) if scores else 0.0,
+        union_score=1.0 - survival,
+    )
+
+
+def rank_apps(db: CVEDatabase, apps: List[str]) -> List[AggregateScore]:
+    """Rank applications from riskiest to safest by the aggregate metric."""
+    scored = [score_app(db, app) for app in apps]
+    scored.sort(key=lambda a: a.risk_rank_key, reverse=True)
+    return scored

@@ -1,0 +1,210 @@
+"""CVSS v3.0 vectors and scoring [3].
+
+Implements the Common Vulnerability Scoring System v3.0 specification's
+base-score equations exactly: metric weights, the impact sub-score (ISC),
+the exploitability sub-score, scope handling, and the spec's Roundup
+(ceiling to one decimal). Temporal scoring supports the Exploit Code
+Maturity (E) factor the paper names explicitly (§5.1).
+
+The CVE database labels every vulnerability with one of these vectors,
+and the core hypotheses (``CVSS > 7``, ``AV = N`` …) are queries over
+the parsed metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "CvssError",
+    "CvssV3",
+    "severity_rating",
+]
+
+
+class CvssError(ValueError):
+    """Raised for malformed CVSS vectors or invalid metric values."""
+
+
+_AV = {"N": 0.85, "A": 0.62, "L": 0.55, "P": 0.2}
+_AC = {"L": 0.77, "H": 0.44}
+_PR_UNCHANGED = {"N": 0.85, "L": 0.62, "H": 0.27}
+_PR_CHANGED = {"N": 0.85, "L": 0.68, "H": 0.5}
+_UI = {"N": 0.85, "R": 0.62}
+_CIA = {"H": 0.56, "L": 0.22, "N": 0.0}
+_SCOPE = ("U", "C")
+_EXPLOIT_MATURITY = {"X": 1.0, "H": 1.0, "F": 0.97, "P": 0.94, "U": 0.91}
+
+_REQUIRED = ("AV", "AC", "PR", "UI", "S", "C", "I", "A")
+
+
+def _roundup(value: float) -> float:
+    """CVSS Roundup: smallest number, to one decimal, >= value.
+
+    The spec defines it over one-decimal precision; the int trick avoids
+    float artefacts like ceil(8.000000001*10)/10 -> 8.1.
+    """
+    int_input = round(value * 100000)
+    if int_input % 10000 == 0:
+        return int_input / 100000.0
+    return (math.floor(int_input / 10000) + 1) / 10.0
+
+
+def severity_rating(score: float) -> str:
+    """Qualitative severity band for a CVSS score (spec table 14)."""
+    if not 0.0 <= score <= 10.0:
+        raise CvssError(f"score out of range: {score}")
+    if score == 0.0:
+        return "NONE"
+    if score < 4.0:
+        return "LOW"
+    if score < 7.0:
+        return "MEDIUM"
+    if score < 9.0:
+        return "HIGH"
+    return "CRITICAL"
+
+
+@dataclass(frozen=True)
+class CvssV3:
+    """A parsed CVSS v3.0 vector.
+
+    Attributes mirror the spec's base metrics; ``exploit_maturity`` is the
+    temporal E metric ('X' = not defined).
+    """
+
+    attack_vector: str  # AV: N/A/L/P
+    attack_complexity: str  # AC: L/H
+    privileges_required: str  # PR: N/L/H
+    user_interaction: str  # UI: N/R
+    scope: str  # S: U/C
+    confidentiality: str  # C: H/L/N
+    integrity: str  # I: H/L/N
+    availability: str  # A: H/L/N
+    exploit_maturity: str = "X"  # E: X/H/F/P/U
+
+    def __post_init__(self) -> None:
+        checks = (
+            (self.attack_vector, _AV, "AV"),
+            (self.attack_complexity, _AC, "AC"),
+            (self.privileges_required, _PR_UNCHANGED, "PR"),
+            (self.user_interaction, _UI, "UI"),
+            (self.confidentiality, _CIA, "C"),
+            (self.integrity, _CIA, "I"),
+            (self.availability, _CIA, "A"),
+            (self.exploit_maturity, _EXPLOIT_MATURITY, "E"),
+        )
+        for value, table, name in checks:
+            if value not in table:
+                raise CvssError(f"invalid {name} value: {value!r}")
+        if self.scope not in _SCOPE:
+            raise CvssError(f"invalid S value: {self.scope!r}")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, vector: str) -> "CvssV3":
+        """Parse a ``CVSS:3.0/AV:N/AC:L/...`` vector string."""
+        parts = vector.strip().split("/")
+        if not parts or not parts[0].startswith("CVSS:3"):
+            raise CvssError(f"not a CVSS v3 vector: {vector!r}")
+        metrics: Dict[str, str] = {}
+        for part in parts[1:]:
+            if ":" not in part:
+                raise CvssError(f"malformed metric {part!r} in {vector!r}")
+            key, value = part.split(":", 1)
+            if key in metrics:
+                raise CvssError(f"duplicate metric {key!r} in {vector!r}")
+            metrics[key] = value
+        missing = [m for m in _REQUIRED if m not in metrics]
+        if missing:
+            raise CvssError(f"vector {vector!r} missing metrics {missing}")
+        return cls(
+            attack_vector=metrics["AV"],
+            attack_complexity=metrics["AC"],
+            privileges_required=metrics["PR"],
+            user_interaction=metrics["UI"],
+            scope=metrics["S"],
+            confidentiality=metrics["C"],
+            integrity=metrics["I"],
+            availability=metrics["A"],
+            exploit_maturity=metrics.get("E", "X"),
+        )
+
+    def vector(self) -> str:
+        """Serialise back to the canonical vector string (base + E if set)."""
+        base = (
+            f"CVSS:3.0/AV:{self.attack_vector}/AC:{self.attack_complexity}"
+            f"/PR:{self.privileges_required}/UI:{self.user_interaction}"
+            f"/S:{self.scope}/C:{self.confidentiality}/I:{self.integrity}"
+            f"/A:{self.availability}"
+        )
+        if self.exploit_maturity != "X":
+            base += f"/E:{self.exploit_maturity}"
+        return base
+
+    # -- scoring --------------------------------------------------------------
+
+    @property
+    def impact_subscore_base(self) -> float:
+        """ISCBase = 1 - (1-C)(1-I)(1-A)."""
+        return 1.0 - (
+            (1.0 - _CIA[self.confidentiality])
+            * (1.0 - _CIA[self.integrity])
+            * (1.0 - _CIA[self.availability])
+        )
+
+    @property
+    def impact_subscore(self) -> float:
+        """ISC, scope-dependent (spec section 8.1)."""
+        isc_base = self.impact_subscore_base
+        if self.scope == "U":
+            return 6.42 * isc_base
+        return 7.52 * (isc_base - 0.029) - 3.25 * (isc_base - 0.02) ** 15
+
+    @property
+    def exploitability_subscore(self) -> float:
+        """8.22 x AV x AC x PR x UI."""
+        pr_table = _PR_CHANGED if self.scope == "C" else _PR_UNCHANGED
+        return (
+            8.22
+            * _AV[self.attack_vector]
+            * _AC[self.attack_complexity]
+            * pr_table[self.privileges_required]
+            * _UI[self.user_interaction]
+        )
+
+    @property
+    def base_score(self) -> float:
+        """The CVSS v3.0 base score in [0, 10]."""
+        isc = self.impact_subscore
+        if isc <= 0:
+            return 0.0
+        total = isc + self.exploitability_subscore
+        if self.scope == "C":
+            total *= 1.08
+        return _roundup(min(total, 10.0))
+
+    @property
+    def temporal_score(self) -> float:
+        """Base score modulated by exploit code maturity (RL/RC at X)."""
+        return _roundup(self.base_score * _EXPLOIT_MATURITY[self.exploit_maturity])
+
+    @property
+    def severity(self) -> str:
+        """Qualitative severity of the base score."""
+        return severity_rating(self.base_score)
+
+    # -- hypothesis helpers ----------------------------------------------------
+
+    @property
+    def is_network(self) -> bool:
+        """AV = N — the paper's network-accessibility hypothesis."""
+        return self.attack_vector == "N"
+
+    @property
+    def is_high_severity(self) -> bool:
+        """CVSS > 7 — the paper's high-severity hypothesis."""
+        return self.base_score > 7.0

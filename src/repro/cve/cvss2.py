@@ -1,0 +1,177 @@
+"""CVSS v2 vectors and scoring.
+
+The paper's corpus spans CVE history back to the late 1990s; the NVD
+scored everything before December 2015 with CVSS v2, so a faithful CVE
+substrate needs both generations. This implements the v2 base and
+temporal equations exactly (AV/AC/Au and partial/complete impacts), plus
+a conversion helper that maps a v2 vector onto the nearest v3 metrics so
+mixed-era histories can be analysed uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cve.cvss import CvssError, CvssV3
+
+__all__ = ["CvssV2", "v2_to_v3"]
+
+_AV2 = {"N": 1.0, "A": 0.646, "L": 0.395}
+_AC2 = {"L": 0.71, "M": 0.61, "H": 0.35}
+_AU2 = {"N": 0.704, "S": 0.56, "M": 0.45}
+_IMPACT2 = {"C": 0.660, "P": 0.275, "N": 0.0}
+_E2 = {"ND": 1.0, "H": 1.0, "F": 0.95, "POC": 0.9, "U": 0.85}
+_RL2 = {"ND": 1.0, "U": 1.0, "W": 0.95, "TF": 0.9, "OF": 0.87}
+_RC2 = {"ND": 1.0, "C": 1.0, "UR": 0.95, "UC": 0.9}
+
+_REQUIRED2 = ("AV", "AC", "Au", "C", "I", "A")
+
+
+def _round1(value: float) -> float:
+    """Round to one decimal, the v2 spec's convention."""
+    return round(value + 1e-9, 1)
+
+
+@dataclass(frozen=True)
+class CvssV2:
+    """A parsed CVSS v2 vector, e.g. ``AV:N/AC:L/Au:N/C:P/I:P/A:P``."""
+
+    access_vector: str  # AV: N/A/L
+    access_complexity: str  # AC: L/M/H
+    authentication: str  # Au: N/S/M
+    confidentiality: str  # C/P/N impacts
+    integrity: str
+    availability: str
+    exploitability: str = "ND"  # E
+    remediation_level: str = "ND"  # RL
+    report_confidence: str = "ND"  # RC
+
+    def __post_init__(self) -> None:
+        checks = (
+            (self.access_vector, _AV2, "AV"),
+            (self.access_complexity, _AC2, "AC"),
+            (self.authentication, _AU2, "Au"),
+            (self.confidentiality, _IMPACT2, "C"),
+            (self.integrity, _IMPACT2, "I"),
+            (self.availability, _IMPACT2, "A"),
+            (self.exploitability, _E2, "E"),
+            (self.remediation_level, _RL2, "RL"),
+            (self.report_confidence, _RC2, "RC"),
+        )
+        for value, table, name in checks:
+            if value not in table:
+                raise CvssError(f"invalid v2 {name} value: {value!r}")
+
+    @classmethod
+    def parse(cls, vector: str) -> "CvssV2":
+        """Parse a v2 vector (optionally wrapped in parentheses)."""
+        body = vector.strip().strip("()")
+        if body.startswith("CVSS2#"):
+            body = body[len("CVSS2#"):]
+        metrics: Dict[str, str] = {}
+        for part in body.split("/"):
+            if ":" not in part:
+                raise CvssError(f"malformed v2 metric {part!r} in {vector!r}")
+            key, value = part.split(":", 1)
+            if key in metrics:
+                raise CvssError(f"duplicate v2 metric {key!r}")
+            metrics[key] = value
+        missing = [m for m in _REQUIRED2 if m not in metrics]
+        if missing:
+            raise CvssError(f"v2 vector {vector!r} missing {missing}")
+        return cls(
+            access_vector=metrics["AV"],
+            access_complexity=metrics["AC"],
+            authentication=metrics["Au"],
+            confidentiality=metrics["C"],
+            integrity=metrics["I"],
+            availability=metrics["A"],
+            exploitability=metrics.get("E", "ND"),
+            remediation_level=metrics.get("RL", "ND"),
+            report_confidence=metrics.get("RC", "ND"),
+        )
+
+    def vector(self) -> str:
+        """Canonical base-vector string."""
+        return (
+            f"AV:{self.access_vector}/AC:{self.access_complexity}"
+            f"/Au:{self.authentication}/C:{self.confidentiality}"
+            f"/I:{self.integrity}/A:{self.availability}"
+        )
+
+    # -- scoring (v2 spec section 3.2.1) -----------------------------------
+
+    @property
+    def impact_subscore(self) -> float:
+        """10.41 * (1 - (1-C)(1-I)(1-A))."""
+        return 10.41 * (
+            1.0
+            - (1.0 - _IMPACT2[self.confidentiality])
+            * (1.0 - _IMPACT2[self.integrity])
+            * (1.0 - _IMPACT2[self.availability])
+        )
+
+    @property
+    def exploitability_subscore(self) -> float:
+        """20 * AV * AC * Au."""
+        return (
+            20.0
+            * _AV2[self.access_vector]
+            * _AC2[self.access_complexity]
+            * _AU2[self.authentication]
+        )
+
+    @property
+    def base_score(self) -> float:
+        """((0.6*I) + (0.4*E) - 1.5) * f(I), rounded to one decimal."""
+        impact = self.impact_subscore
+        f_impact = 0.0 if impact == 0.0 else 1.176
+        raw = (0.6 * impact + 0.4 * self.exploitability_subscore - 1.5)
+        return _round1(raw * f_impact)
+
+    @property
+    def temporal_score(self) -> float:
+        """Base modulated by E, RL, RC."""
+        return _round1(
+            self.base_score
+            * _E2[self.exploitability]
+            * _RL2[self.remediation_level]
+            * _RC2[self.report_confidence]
+        )
+
+    @property
+    def severity(self) -> str:
+        """NVD's v2 severity bands: low < 4.0 <= medium < 7.0 <= high."""
+        score = self.base_score
+        if score < 4.0:
+            return "LOW"
+        if score < 7.0:
+            return "MEDIUM"
+        return "HIGH"
+
+
+def v2_to_v3(v2: CvssV2) -> CvssV3:
+    """Best-effort mapping of a v2 vector onto v3 metrics.
+
+    Follows the common NVD rescoring heuristics: v2 Adjacent/Local map
+    directly; v2 ``AC:M`` maps to v3 ``AC:L`` with ``UI:R`` (the usual
+    reason v2 called it medium); authentication maps to privileges;
+    Partial impacts map to Low. Scope is always Unchanged (v2 had no
+    scope concept).
+    """
+    ac = "L" if v2.access_complexity in ("L", "M") else "H"
+    ui = "R" if v2.access_complexity == "M" else "N"
+    pr = {"N": "N", "S": "L", "M": "H"}[v2.authentication]
+    impact = {"C": "H", "P": "L", "N": "N"}
+    return CvssV3(
+        attack_vector=v2.access_vector if v2.access_vector in ("N", "A", "L")
+        else "L",
+        attack_complexity=ac,
+        privileges_required=pr,
+        user_interaction=ui,
+        scope="U",
+        confidentiality=impact[v2.confidentiality],
+        integrity=impact[v2.integrity],
+        availability=impact[v2.availability],
+    )

@@ -1,0 +1,133 @@
+"""Common Weakness Enumeration taxonomy subset [4, 6].
+
+A curated subset of the CWE hierarchy covering the weakness classes the
+paper's hypotheses and our bug-finding tools reference (stack buffer
+overflow CWE-121 is called out explicitly in §5.2). Entries carry their
+parent link so hypothesis queries can match a class *or any descendant*
+("does this app suffer any memory-safety weakness?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CweEntry:
+    """One CWE weakness type."""
+
+    cwe_id: int
+    name: str
+    parent: Optional[int]  # immediate parent in the simplified hierarchy
+    category: str  # coarse bucket used for feature aggregation
+
+
+_ENTRIES: Tuple[CweEntry, ...] = (
+    # Memory safety
+    CweEntry(119, "Improper Restriction of Operations within Memory Buffer", None, "memory"),
+    CweEntry(120, "Buffer Copy without Checking Size of Input", 119, "memory"),
+    CweEntry(121, "Stack-based Buffer Overflow", 120, "memory"),
+    CweEntry(122, "Heap-based Buffer Overflow", 120, "memory"),
+    CweEntry(125, "Out-of-bounds Read", 119, "memory"),
+    CweEntry(787, "Out-of-bounds Write", 119, "memory"),
+    CweEntry(416, "Use After Free", 119, "memory"),
+    CweEntry(415, "Double Free", 119, "memory"),
+    CweEntry(476, "NULL Pointer Dereference", None, "memory"),
+    CweEntry(190, "Integer Overflow or Wraparound", None, "numeric"),
+    CweEntry(191, "Integer Underflow", 190, "numeric"),
+    CweEntry(242, "Use of Inherently Dangerous Function", None, "memory"),
+    # Injection
+    CweEntry(74, "Injection", None, "injection"),
+    CweEntry(77, "Command Injection", 74, "injection"),
+    CweEntry(78, "OS Command Injection", 77, "injection"),
+    CweEntry(79, "Cross-site Scripting", 74, "injection"),
+    CweEntry(89, "SQL Injection", 74, "injection"),
+    CweEntry(94, "Code Injection", 74, "injection"),
+    CweEntry(95, "Eval Injection", 94, "injection"),
+    CweEntry(134, "Uncontrolled Format String", 74, "injection"),
+    # Crypto / secrets
+    CweEntry(310, "Cryptographic Issues", None, "crypto"),
+    CweEntry(327, "Use of Broken Crypto Algorithm", 310, "crypto"),
+    CweEntry(330, "Use of Insufficiently Random Values", 310, "crypto"),
+    CweEntry(338, "Use of Cryptographically Weak PRNG", 330, "crypto"),
+    CweEntry(798, "Use of Hard-coded Credentials", None, "crypto"),
+    CweEntry(321, "Use of Hard-coded Cryptographic Key", 798, "crypto"),
+    # Access / privilege
+    CweEntry(264, "Permissions, Privileges, and Access Controls", None, "access"),
+    CweEntry(269, "Improper Privilege Management", 264, "access"),
+    CweEntry(284, "Improper Access Control", 264, "access"),
+    CweEntry(287, "Improper Authentication", 264, "access"),
+    CweEntry(306, "Missing Authentication for Critical Function", 287, "access"),
+    CweEntry(732, "Incorrect Permission Assignment", 264, "access"),
+    # Resource / state
+    CweEntry(362, "Race Condition", None, "state"),
+    CweEntry(367, "Time-of-check Time-of-use Race", 362, "state"),
+    CweEntry(400, "Uncontrolled Resource Consumption", None, "state"),
+    CweEntry(401, "Memory Leak", 400, "state"),
+    CweEntry(390, "Detection of Error Without Action", None, "state"),
+    CweEntry(377, "Insecure Temporary File", None, "state"),
+    CweEntry(617, "Reachable Assertion", None, "state"),
+    # Input validation / info leak
+    CweEntry(20, "Improper Input Validation", None, "input"),
+    CweEntry(22, "Path Traversal", 20, "input"),
+    CweEntry(200, "Information Exposure", None, "info"),
+    CweEntry(209, "Information Exposure Through Error Message", 200, "info"),
+    CweEntry(352, "Cross-Site Request Forgery", None, "input"),
+    CweEntry(611, "XML External Entity Reference", 20, "input"),
+    CweEntry(502, "Deserialization of Untrusted Data", 20, "input"),
+)
+
+_BY_ID: Dict[int, CweEntry] = {e.cwe_id: e for e in _ENTRIES}
+
+#: All CWE ids in the subset, ascending.
+ALL_CWE_IDS: Tuple[int, ...] = tuple(sorted(_BY_ID))
+
+#: Coarse categories used as feature-aggregation buckets.
+CATEGORIES: Tuple[str, ...] = tuple(
+    sorted({e.category for e in _ENTRIES})
+)
+
+
+class UnknownCweError(KeyError):
+    """Raised when a CWE id is not in the curated subset."""
+
+
+def get(cwe_id: int) -> CweEntry:
+    """Fetch a CWE entry; raises :class:`UnknownCweError` if absent."""
+    try:
+        return _BY_ID[cwe_id]
+    except KeyError:
+        raise UnknownCweError(cwe_id) from None
+
+
+def exists(cwe_id: int) -> bool:
+    """Whether ``cwe_id`` is in the curated subset."""
+    return cwe_id in _BY_ID
+
+
+def ancestors(cwe_id: int) -> List[int]:
+    """Chain of parents from ``cwe_id`` (exclusive) to a root."""
+    out: List[int] = []
+    entry = get(cwe_id)
+    while entry.parent is not None:
+        out.append(entry.parent)
+        entry = get(entry.parent)
+    return out
+
+
+def is_a(cwe_id: int, ancestor_id: int) -> bool:
+    """True if ``cwe_id`` equals or descends from ``ancestor_id``."""
+    return cwe_id == ancestor_id or ancestor_id in ancestors(cwe_id)
+
+
+def category_of(cwe_id: int) -> str:
+    """Coarse category bucket for a CWE id."""
+    return get(cwe_id).category
+
+
+def in_category(category: str) -> FrozenSet[int]:
+    """All CWE ids in a coarse category."""
+    if category not in CATEGORIES:
+        raise UnknownCweError(category)
+    return frozenset(e.cwe_id for e in _ENTRIES if e.category == category)

@@ -1,0 +1,120 @@
+"""In-memory CVE database with the paper's selection queries [5].
+
+Supports the queries the training phase needs (§5.1): group reports by
+application, measure each application's CVE history span ("the time of
+the newest CVE report minus the time of the oldest"), select applications
+with a *converging* (>= 5 year) history, and aggregate per-app counts by
+severity, attack vector, and CWE class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cve import cwe as cwe_mod
+from repro.cve.records import CVERecord
+
+DAYS_PER_YEAR = 365.25
+
+#: The paper's selection threshold: at least 5 years of CVE history.
+CONVERGING_HISTORY_YEARS = 5.0
+
+
+@dataclass(frozen=True)
+class AppVulnSummary:
+    """Aggregated vulnerability statistics for one application."""
+
+    app: str
+    n_total: int
+    n_high_severity: int  # CVSS > 7
+    n_network: int  # AV = N
+    n_by_category: Dict[str, int]
+    n_by_cwe: Dict[int, int]
+    mean_score: float
+    max_score: float
+    history_years: float
+
+    def count_cwe(self, cwe_id: int, include_descendants: bool = True) -> int:
+        """Reports with the given CWE (optionally any descendant class)."""
+        if not include_descendants:
+            return self.n_by_cwe.get(cwe_id, 0)
+        return sum(
+            count
+            for cid, count in self.n_by_cwe.items()
+            if cwe_mod.is_a(cid, cwe_id)
+        )
+
+
+class CVEDatabase:
+    """A queryable collection of :class:`CVERecord`."""
+
+    def __init__(self, records: Iterable[CVERecord] = ()):
+        self._by_app: Dict[str, List[CVERecord]] = {}
+        self._ids: set = set()
+        for record in records:
+            self.add(record)
+
+    def add(self, record: CVERecord) -> None:
+        """Insert a record; duplicate CVE ids are rejected."""
+        if record.cve_id in self._ids:
+            raise ValueError(f"duplicate CVE id: {record.cve_id}")
+        self._ids.add(record.cve_id)
+        self._by_app.setdefault(record.app, []).append(record)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def apps(self) -> List[str]:
+        """All application names, sorted."""
+        return sorted(self._by_app)
+
+    def records_for(self, app: str) -> List[CVERecord]:
+        """All reports for ``app``, ordered by report day."""
+        return sorted(self._by_app.get(app, []), key=lambda r: (r.day, r.cve_id))
+
+    def history_years(self, app: str) -> float:
+        """Span of ``app``'s CVE history in years (0 for < 2 reports)."""
+        records = self._by_app.get(app, [])
+        if len(records) < 2:
+            return 0.0
+        days = [r.day for r in records]
+        return (max(days) - min(days)) / DAYS_PER_YEAR
+
+    def select_converging(
+        self, min_years: float = CONVERGING_HISTORY_YEARS
+    ) -> List[str]:
+        """Applications with a converging history (>= ``min_years``).
+
+        This is the paper's §5.1 sample-selection rule; Figure 2/3 and the
+        training set use exactly this subset.
+        """
+        return [
+            app for app in self.apps if self.history_years(app) >= min_years
+        ]
+
+    def summary(self, app: str) -> AppVulnSummary:
+        """Aggregate the statistics the hypotheses and figures consume."""
+        records = self.records_for(app)
+        scores = [r.score for r in records]
+        by_category: Dict[str, int] = {}
+        by_cwe: Dict[int, int] = {}
+        for r in records:
+            by_category[r.category] = by_category.get(r.category, 0) + 1
+            by_cwe[r.cwe_id] = by_cwe.get(r.cwe_id, 0) + 1
+        return AppVulnSummary(
+            app=app,
+            n_total=len(records),
+            n_high_severity=sum(1 for r in records if r.cvss.is_high_severity),
+            n_network=sum(1 for r in records if r.cvss.is_network),
+            n_by_category=by_category,
+            n_by_cwe=by_cwe,
+            mean_score=sum(scores) / len(scores) if scores else 0.0,
+            max_score=max(scores, default=0.0),
+            history_years=self.history_years(app),
+        )
+
+    def totals(self) -> Tuple[int, int]:
+        """(number of applications, number of vulnerability reports)."""
+        return (len(self._by_app), len(self._ids))

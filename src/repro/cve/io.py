@@ -1,0 +1,140 @@
+"""CVE database import/export in an NVD-like JSON shape.
+
+"CVE exports a data set that is ready for analysis" (§5.1). This module
+round-trips :class:`~repro.cve.database.CVEDatabase` through a JSON
+document shaped like the NVD data feeds (one item per CVE with id,
+affected product, CVSS vector, CWE id, and a day offset standing in for
+the published date), so corpora can be saved, shared, and diffed, and
+externally prepared CVE feeds can be loaded into the training pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO, Union
+
+from repro.cve.cvss import CvssError, CvssV3
+from repro.cve.database import CVEDatabase
+from repro.cve.records import CVERecord, InvalidCveError
+
+FORMAT_NAME = "repro-cve-feed"
+FORMAT_VERSION = 1
+
+
+class CveFeedError(ValueError):
+    """Raised for malformed feed documents."""
+
+
+def to_document(db: CVEDatabase) -> Dict:
+    """Serialise a database to a feed document (JSON-ready dict)."""
+    items: List[Dict] = []
+    for app in db.apps:
+        for record in db.records_for(app):
+            items.append(
+                {
+                    "cve": {"id": record.cve_id},
+                    "product": record.app,
+                    "publishedDay": record.day,
+                    "impact": {
+                        "baseMetricV3": {
+                            "vectorString": record.cvss.vector(),
+                            "baseScore": record.cvss.base_score,
+                            "baseSeverity": record.cvss.severity,
+                        }
+                    },
+                    "weakness": {"cweId": f"CWE-{record.cwe_id}"},
+                    "description": record.description,
+                }
+            )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "itemCount": len(items),
+        "items": items,
+    }
+
+
+def dumps(db: CVEDatabase, indent: int = 2) -> str:
+    """Serialise a database to feed JSON text."""
+    return json.dumps(to_document(db), indent=indent, sort_keys=True)
+
+
+def dump(db: CVEDatabase, fp: Union[str, TextIO]) -> None:
+    """Write feed JSON to a path or file object."""
+    text = dumps(db)
+    if isinstance(fp, str):
+        with open(fp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        fp.write(text)
+
+
+def _parse_cwe(token: str) -> int:
+    if not isinstance(token, str) or not token.upper().startswith("CWE-"):
+        raise CveFeedError(f"malformed CWE id: {token!r}")
+    try:
+        return int(token.split("-", 1)[1])
+    except ValueError as exc:
+        raise CveFeedError(f"malformed CWE id: {token!r}") from exc
+
+
+def from_document(document: Dict) -> CVEDatabase:
+    """Reconstruct a database from a feed document.
+
+    Validates structure, vector strings, CWE ids, and score consistency
+    (a recomputed base score must match the recorded one — feeds with
+    tampered or stale scores are rejected rather than silently trusted).
+    """
+    if document.get("format") != FORMAT_NAME:
+        raise CveFeedError(f"not a {FORMAT_NAME} document")
+    if document.get("version") != FORMAT_VERSION:
+        raise CveFeedError(f"unsupported version: {document.get('version')}")
+    items = document.get("items")
+    if not isinstance(items, list):
+        raise CveFeedError("missing items list")
+    if document.get("itemCount") != len(items):
+        raise CveFeedError("itemCount disagrees with items")
+
+    db = CVEDatabase()
+    for i, item in enumerate(items):
+        try:
+            metric = item["impact"]["baseMetricV3"]
+            cvss = CvssV3.parse(metric["vectorString"])
+            recorded = float(metric["baseScore"])
+            if abs(cvss.base_score - recorded) > 1e-9:
+                raise CveFeedError(
+                    f"item {i}: recorded score {recorded} != recomputed "
+                    f"{cvss.base_score}"
+                )
+            record = CVERecord(
+                cve_id=item["cve"]["id"],
+                app=item["product"],
+                day=int(item["publishedDay"]),
+                cvss=cvss,
+                cwe_id=_parse_cwe(item["weakness"]["cweId"]),
+                description=item.get("description", ""),
+            )
+        except CveFeedError:
+            raise
+        except (KeyError, TypeError, ValueError, CvssError,
+                InvalidCveError) as exc:
+            raise CveFeedError(f"item {i}: {exc}") from exc
+        db.add(record)
+    return db
+
+
+def loads(text: str) -> CVEDatabase:
+    """Parse feed JSON text into a database."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CveFeedError(f"invalid JSON: {exc}") from exc
+    return from_document(document)
+
+
+def load(fp: Union[str, TextIO]) -> CVEDatabase:
+    """Read feed JSON from a path or file object."""
+    if isinstance(fp, str):
+        with open(fp, encoding="utf-8") as handle:
+            return loads(handle.read())
+    return loads(fp.read())

@@ -1,0 +1,73 @@
+"""CVE record model [5].
+
+Each record mirrors the fields the paper's training phase consumes
+(Figure 4): the affected application, the report date, the CVSS v3 vector
+(hence severity, attack vector, impact factors), and the CWE weakness
+class.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cve import cwe as cwe_mod
+from repro.cve.cvss import CvssV3
+
+_CVE_ID_RE = re.compile(r"^CVE-(\d{4})-\d{4,}$")
+
+
+class InvalidCveError(ValueError):
+    """Raised for malformed CVE records."""
+
+
+@dataclass(frozen=True)
+class CVERecord:
+    """One vulnerability report.
+
+    Attributes:
+        cve_id: canonical id, e.g. ``CVE-2014-0160``.
+        app: affected application name (the database's grouping key).
+        day: report date as days since epoch-of-corpus (ordering only).
+        cvss: parsed CVSS v3 vector.
+        cwe_id: weakness class (must be in the curated CWE subset).
+        description: free-text summary.
+    """
+
+    cve_id: str
+    app: str
+    day: int
+    cvss: CvssV3
+    cwe_id: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _CVE_ID_RE.match(self.cve_id):
+            raise InvalidCveError(f"malformed CVE id: {self.cve_id!r}")
+        if not self.app:
+            raise InvalidCveError("app name must be non-empty")
+        if self.day < 0:
+            raise InvalidCveError(f"negative report day: {self.day}")
+        if not cwe_mod.exists(self.cwe_id):
+            raise InvalidCveError(f"unknown CWE id: {self.cwe_id}")
+
+    @property
+    def year(self) -> int:
+        """The year encoded in the CVE id."""
+        return int(_CVE_ID_RE.match(self.cve_id).group(1))
+
+    @property
+    def score(self) -> float:
+        """CVSS base score."""
+        return self.cvss.base_score
+
+    @property
+    def severity(self) -> str:
+        """Qualitative severity band."""
+        return self.cvss.severity
+
+    @property
+    def category(self) -> str:
+        """Coarse CWE category (memory/injection/...)."""
+        return cwe_mod.category_of(self.cwe_id)

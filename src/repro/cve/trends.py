@@ -1,0 +1,123 @@
+"""Vulnerability-history dynamics: rates, maturity, convergence.
+
+§5.1 selects applications with "a converging history of vulnerability
+reporting" — code that "has been maintained and debugged for decades"
+versus "relatively immature" projects. A span check (>= 5 years) is the
+paper's operationalisation; this module implements the underlying notion:
+the report-*rate* timeline, an exponential trend on it, and a maturity
+index that distinguishes a project whose reporting is settling down from
+one still accelerating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cve.database import DAYS_PER_YEAR, CVEDatabase
+from repro.cve.records import CVERecord
+from repro.stats.regression import RegressionError, fit_linear
+
+
+@dataclass(frozen=True)
+class HistoryTrend:
+    """Report-rate dynamics for one application."""
+
+    app: str
+    n_reports: int
+    span_years: float
+    mean_rate: float  # reports per year over the span
+    #: Exponential trend of the yearly rate: rate ~ exp(slope * year).
+    #: Negative slope = reporting is decaying (project maturing).
+    rate_trend: float
+    #: Share of reports in the second half of the history window.
+    late_share: float
+
+    @property
+    def is_converging(self) -> bool:
+        """Converging = long-lived and not accelerating.
+
+        Matches the paper's intuition: enough history to trust, and the
+        reporting rate is flat or decaying rather than still ramping up.
+        """
+        return self.span_years >= 5.0 and self.rate_trend <= 0.25
+
+    @property
+    def maturity_index(self) -> float:
+        """[0, 1]; higher = longer history with more front-loaded reports.
+
+        0.5 * span saturation (20-year scale) + 0.5 * front-loading.
+        """
+        span_part = min(self.span_years / 20.0, 1.0)
+        front_part = 1.0 - self.late_share
+        return 0.5 * span_part + 0.5 * front_part
+
+
+def yearly_counts(records: Sequence[CVERecord]) -> List[Tuple[int, int]]:
+    """(year-index, count) pairs over the app's history window."""
+    if not records:
+        return []
+    days = [r.day for r in records]
+    start = min(days)
+    buckets = {}
+    for day in days:
+        year = int((day - start) / DAYS_PER_YEAR)
+        buckets[year] = buckets.get(year, 0) + 1
+    last = int((max(days) - start) / DAYS_PER_YEAR)
+    return [(year, buckets.get(year, 0)) for year in range(last + 1)]
+
+
+def analyse(db: CVEDatabase, app: str) -> HistoryTrend:
+    """Compute the :class:`HistoryTrend` for one application."""
+    records = db.records_for(app)
+    n = len(records)
+    span_years = db.history_years(app)
+    if n == 0:
+        return HistoryTrend(app, 0, 0.0, 0.0, 0.0, 0.0)
+    mean_rate = n / span_years if span_years > 0 else float(n)
+
+    counts = yearly_counts(records)
+    rate_trend = 0.0
+    if len(counts) >= 3:
+        try:
+            # log(1 + count) regression on year index: slope in log space
+            # is the exponential growth/decay rate of reporting.
+            fit = fit_linear(
+                [y for y, _ in counts],
+                [math.log1p(c) for _, c in counts],
+            )
+            rate_trend = fit.slope
+        except RegressionError:
+            rate_trend = 0.0
+
+    days = [r.day for r in records]
+    midpoint = (min(days) + max(days)) / 2.0
+    late = sum(1 for d in days if d > midpoint)
+    late_share = late / n
+
+    return HistoryTrend(
+        app=app,
+        n_reports=n,
+        span_years=span_years,
+        mean_rate=mean_rate,
+        rate_trend=rate_trend,
+        late_share=late_share,
+    )
+
+
+def select_converging(db: CVEDatabase) -> List[str]:
+    """Applications with converging histories under the trend definition.
+
+    Stricter than :meth:`CVEDatabase.select_converging` (which is the
+    span-only rule the paper states): this also requires the reporting
+    rate to have stopped accelerating.
+    """
+    return [app for app in db.apps if analyse(db, app).is_converging]
+
+
+def rank_by_maturity(db: CVEDatabase) -> List[HistoryTrend]:
+    """All applications, most mature first."""
+    trends = [analyse(db, app) for app in db.apps]
+    trends.sort(key=lambda t: -t.maturity_index)
+    return trends

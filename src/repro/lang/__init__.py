@@ -1,0 +1,55 @@
+"""Language substrate: lexing and structural recovery for C/C++/Java/Python.
+
+Public API::
+
+    from repro.lang import (
+        Codebase, SourceFile, Token, TokenKind, tokenize,
+        detect_language, language_by_name,
+        extract_functions, extract_classes, FunctionInfo, ClassInfo,
+    )
+"""
+
+from repro.lang.languages import (
+    ALL_LANGUAGES,
+    C,
+    CPP,
+    JAVA,
+    PYTHON,
+    LanguageSpec,
+    UnknownLanguageError,
+    detect_language,
+    language_by_name,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import (
+    ClassInfo,
+    FunctionInfo,
+    extract_classes,
+    extract_functions,
+)
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.lang.tokens import OPERAND_KINDS, OPERATOR_KINDS, Token, TokenKind
+
+__all__ = [
+    "ALL_LANGUAGES",
+    "C",
+    "CPP",
+    "JAVA",
+    "PYTHON",
+    "ClassInfo",
+    "Codebase",
+    "FunctionInfo",
+    "LanguageSpec",
+    "Lexer",
+    "OPERAND_KINDS",
+    "OPERATOR_KINDS",
+    "SourceFile",
+    "Token",
+    "TokenKind",
+    "UnknownLanguageError",
+    "detect_language",
+    "extract_classes",
+    "extract_functions",
+    "language_by_name",
+    "tokenize",
+]

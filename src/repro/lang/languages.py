@@ -1,0 +1,137 @@
+"""Language specifications.
+
+A :class:`LanguageSpec` bundles everything the generic lexer and the metric
+analyzers need to know about a language: comment syntax, string delimiters,
+keyword sets, decision keywords (for McCabe), and file extensions.
+
+The four languages here are the four the paper's measurement study
+categorises applications by (Figure 2): C, C++, Java, and Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_C_KEYWORDS = frozenset(
+    """auto break case char const continue default do double else enum extern
+    float for goto if inline int long register restrict return short signed
+    sizeof static struct switch typedef union unsigned void volatile while
+    _Bool _Complex _Imaginary""".split()
+)
+
+_CPP_KEYWORDS = _C_KEYWORDS | frozenset(
+    """alignas alignof and and_eq asm bitand bitor bool catch class compl
+    constexpr const_cast decltype delete dynamic_cast explicit export false
+    friend mutable namespace new noexcept not not_eq nullptr operator or
+    or_eq private protected public reinterpret_cast static_assert static_cast
+    template this thread_local throw true try typeid typename using virtual
+    wchar_t xor xor_eq""".split()
+)
+
+_JAVA_KEYWORDS = frozenset(
+    """abstract assert boolean break byte case catch char class const continue
+    default do double else enum extends final finally float for goto if
+    implements import instanceof int interface long native new package private
+    protected public return short static strictfp super switch synchronized
+    this throw throws transient try void volatile while var record sealed
+    permits true false null""".split()
+)
+
+_PYTHON_KEYWORDS = frozenset(
+    """False None True and as assert async await break class continue def del
+    elif else except finally for from global if import in is lambda nonlocal
+    not or pass raise return try while with yield match case""".split()
+)
+
+#: Decision points counted by McCabe cyclomatic complexity, per language.
+_C_DECISIONS = frozenset({"if", "for", "while", "case", "&&", "||", "?"})
+_CPP_DECISIONS = _C_DECISIONS | frozenset({"catch", "and", "or"})
+_JAVA_DECISIONS = frozenset({"if", "for", "while", "case", "catch", "&&", "||", "?"})
+_PYTHON_DECISIONS = frozenset(
+    {"if", "elif", "for", "while", "except", "and", "or", "assert", "case"}
+)
+
+
+@dataclass(frozen=True)
+class LanguageSpec:
+    """Static description of a programming language for lexing and metrics."""
+
+    name: str
+    extensions: Tuple[str, ...]
+    keywords: frozenset
+    decision_tokens: frozenset
+    line_comment: Tuple[str, ...] = ("//",)
+    block_comment: Optional[Tuple[str, str]] = ("/*", "*/")
+    string_delims: Tuple[str, ...] = ('"',)
+    char_delim: Optional[str] = "'"
+    triple_strings: bool = False
+    has_preprocessor: bool = False
+    case_sensitive: bool = True
+    function_style: str = "braces"  # "braces" or "indent"
+
+
+C = LanguageSpec(
+    name="c",
+    extensions=(".c", ".h"),
+    keywords=_C_KEYWORDS,
+    decision_tokens=_C_DECISIONS,
+    has_preprocessor=True,
+)
+
+CPP = LanguageSpec(
+    name="cpp",
+    extensions=(".cc", ".cpp", ".cxx", ".hpp", ".hh", ".hxx"),
+    keywords=_CPP_KEYWORDS,
+    decision_tokens=_CPP_DECISIONS,
+    has_preprocessor=True,
+)
+
+JAVA = LanguageSpec(
+    name="java",
+    extensions=(".java",),
+    keywords=_JAVA_KEYWORDS,
+    decision_tokens=_JAVA_DECISIONS,
+)
+
+PYTHON = LanguageSpec(
+    name="python",
+    extensions=(".py",),
+    keywords=_PYTHON_KEYWORDS,
+    decision_tokens=_PYTHON_DECISIONS,
+    line_comment=("#",),
+    block_comment=None,
+    string_delims=('"', "'"),
+    char_delim=None,
+    triple_strings=True,
+    function_style="indent",
+)
+
+ALL_LANGUAGES: Tuple[LanguageSpec, ...] = (C, CPP, JAVA, PYTHON)
+
+_BY_NAME = {spec.name: spec for spec in ALL_LANGUAGES}
+_BY_EXTENSION = {ext: spec for spec in ALL_LANGUAGES for ext in spec.extensions}
+
+
+class UnknownLanguageError(ValueError):
+    """Raised when a language name or file extension is not recognised."""
+
+
+def language_by_name(name: str) -> LanguageSpec:
+    """Look up a :class:`LanguageSpec` by its canonical name.
+
+    Raises:
+        UnknownLanguageError: if ``name`` is not one of c/cpp/java/python.
+    """
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise UnknownLanguageError(f"unknown language: {name!r}") from None
+
+
+def detect_language(path: str) -> Optional[LanguageSpec]:
+    """Detect the language of ``path`` from its extension, or None."""
+    dot = path.rfind(".")
+    if dot < 0:
+        return None
+    return _BY_EXTENSION.get(path[dot:].lower())

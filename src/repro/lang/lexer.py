@@ -1,0 +1,249 @@
+"""A generic, specification-driven lexer.
+
+One lexer covers C, C++, Java, and Python by being parameterised over a
+:class:`~repro.lang.languages.LanguageSpec`. It is deliberately tolerant:
+unterminated strings and comments lex to the end of file rather than raising,
+because the analyzers must degrade gracefully on malformed real-world code
+(the paper's testbed runs unattended over hundreds of applications).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.languages import LanguageSpec
+from repro.lang.tokens import Token, TokenKind
+
+# Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=", ">>=", "...", "->*", "**=", "//=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "**", "//",
+    ":=",
+)
+
+_SINGLE_OPS = set("+-*/%<>=!&|^~?.@")
+_PUNCT = set("()[]{},;:")
+
+
+class Lexer:
+    """Tokenises source text according to a :class:`LanguageSpec`."""
+
+    def __init__(self, spec: LanguageSpec):
+        self.spec = spec
+
+    def tokenize(self, text: str) -> List[Token]:
+        """Tokenise ``text`` into a list of :class:`Token`.
+
+        Newlines are emitted as NEWLINE tokens so line-oriented analyses
+        (LoC counting, smell detection) can recover physical structure.
+        """
+        spec = self.spec
+        tokens: List[Token] = []
+        i = 0
+        line = 1
+        col = 1
+        n = len(text)
+
+        def emit(kind: TokenKind, start: int, end: int, tline: int, tcol: int) -> None:
+            tokens.append(Token(kind, text[start:end], tline, tcol))
+
+        while i < n:
+            ch = text[i]
+
+            if ch == "\n":
+                tokens.append(Token(TokenKind.NEWLINE, "\n", line, col))
+                i += 1
+                line += 1
+                col = 1
+                continue
+
+            if ch in " \t\r\f\v":
+                i += 1
+                col += 1
+                continue
+
+            # Preprocessor directive: consume the (possibly continued) line.
+            if spec.has_preprocessor and ch == "#" and _at_line_start(tokens):
+                start, tline, tcol = i, line, col
+                while i < n:
+                    if text[i] == "\n":
+                        if i > start and text[i - 1] == "\\":
+                            line += 1
+                            i += 1
+                            continue
+                        break
+                    i += 1
+                emit(TokenKind.PREPROC, start, i, tline, tcol)
+                col = 1
+                continue
+
+            # Line comments.
+            matched = False
+            for marker in spec.line_comment:
+                if text.startswith(marker, i):
+                    start, tline, tcol = i, line, col
+                    while i < n and text[i] != "\n":
+                        i += 1
+                    emit(TokenKind.COMMENT, start, i, tline, tcol)
+                    matched = True
+                    break
+            if matched:
+                continue
+
+            # Block comments.
+            if spec.block_comment is not None:
+                open_m, close_m = spec.block_comment
+                if text.startswith(open_m, i):
+                    start, tline, tcol = i, line, col
+                    i += len(open_m)
+                    while i < n and not text.startswith(close_m, i):
+                        if text[i] == "\n":
+                            line += 1
+                        i += 1
+                    if i < n:
+                        i += len(close_m)
+                    emit(TokenKind.COMMENT, start, i, tline, tcol)
+                    col = 1
+                    continue
+
+            # Triple-quoted strings (Python).
+            if spec.triple_strings and (
+                text.startswith('"""', i) or text.startswith("'''", i)
+            ):
+                quote = text[i : i + 3]
+                start, tline, tcol = i, line, col
+                i += 3
+                while i < n and not text.startswith(quote, i):
+                    if text[i] == "\n":
+                        line += 1
+                    elif text[i] == "\\" and i + 1 < n:
+                        i += 1
+                    i += 1
+                if i < n:
+                    i += 3
+                emit(TokenKind.STRING, start, i, tline, tcol)
+                col = 1
+                continue
+
+            # Ordinary strings.
+            if ch in spec.string_delims:
+                start, tline, tcol = i, line, col
+                i += 1
+                while i < n and text[i] != ch:
+                    if text[i] == "\\" and i + 1 < n:
+                        i += 1
+                    if text[i] == "\n":
+                        break  # tolerate unterminated string at EOL
+                    i += 1
+                if i < n and text[i] == ch:
+                    i += 1
+                emit(TokenKind.STRING, start, i, tline, tcol)
+                col += i - start
+                continue
+
+            # Character literals (C/C++/Java).
+            if spec.char_delim is not None and ch == spec.char_delim:
+                start, tline, tcol = i, line, col
+                i += 1
+                while i < n and text[i] != spec.char_delim:
+                    if text[i] == "\\" and i + 1 < n:
+                        i += 1
+                    if text[i] == "\n":
+                        break
+                    i += 1
+                if i < n and text[i] == spec.char_delim:
+                    i += 1
+                emit(TokenKind.CHAR, start, i, tline, tcol)
+                col += i - start
+                continue
+
+            # Numbers.
+            if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+                start, tline, tcol = i, line, col
+                i = _scan_number(text, i)
+                emit(TokenKind.NUMBER, start, i, tline, tcol)
+                col += i - start
+                continue
+
+            # Identifiers and keywords.
+            if ch.isalpha() or ch == "_":
+                start, tline, tcol = i, line, col
+                while i < n and (text[i].isalnum() or text[i] == "_"):
+                    i += 1
+                word = text[start:i]
+                kind = (
+                    TokenKind.KEYWORD if word in spec.keywords else TokenKind.IDENT
+                )
+                emit(kind, start, i, tline, tcol)
+                col += i - start
+                continue
+
+            # Multi-character operators (maximal munch).
+            for op in _MULTI_OPS:
+                if text.startswith(op, i):
+                    emit(TokenKind.OPERATOR, i, i + len(op), line, col)
+                    i += len(op)
+                    col += len(op)
+                    matched = True
+                    break
+            if matched:
+                continue
+
+            if ch in _PUNCT:
+                emit(TokenKind.PUNCT, i, i + 1, line, col)
+            elif ch in _SINGLE_OPS:
+                emit(TokenKind.OPERATOR, i, i + 1, line, col)
+            else:
+                emit(TokenKind.UNKNOWN, i, i + 1, line, col)
+            i += 1
+            col += 1
+
+        return tokens
+
+
+def _at_line_start(tokens: List[Token]) -> bool:
+    """True if the next token would be the first non-whitespace on its line."""
+    return not tokens or tokens[-1].kind == TokenKind.NEWLINE
+
+
+def _scan_number(text: str, i: int) -> int:
+    """Scan a numeric literal starting at ``i``; return the end offset."""
+    n = len(text)
+    start = i
+    if text.startswith(("0x", "0X"), i):
+        i += 2
+        while i < n and (text[i] in "0123456789abcdefABCDEF_"):
+            i += 1
+    elif text.startswith(("0b", "0B"), i):
+        i += 2
+        while i < n and text[i] in "01_":
+            i += 1
+    else:
+        seen_dot = False
+        seen_exp = False
+        while i < n:
+            c = text[i]
+            if c.isdigit() or c == "_":
+                i += 1
+            elif c == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                i += 1
+            elif c in "eE" and not seen_exp and i > start:
+                # Exponent must be followed by digits or a sign.
+                if i + 1 < n and (text[i + 1].isdigit() or text[i + 1] in "+-"):
+                    seen_exp = True
+                    i += 2 if text[i + 1] in "+-" else 1
+                else:
+                    break
+            else:
+                break
+    # Integer/float suffixes (C/Java): 10UL, 1.5f, 100L
+    while i < n and text[i] in "uUlLfF":
+        i += 1
+    return i
+
+
+def tokenize(text: str, spec: LanguageSpec) -> List[Token]:
+    """Convenience wrapper: tokenise ``text`` with language ``spec``."""
+    return Lexer(spec).tokenize(text)

@@ -1,0 +1,60 @@
+"""Token model shared by all lexers.
+
+The analysis substrate operates on flat token streams rather than full
+abstract syntax trees: every metric the paper draws on (LoC, McCabe,
+Halstead, declaration counts, smells, bug patterns) is computable from
+tokens plus light structural recovery, which keeps the lexers small enough
+to be correct for four languages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Classification of a lexical token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    COMMENT = "comment"
+    PREPROC = "preproc"
+    NEWLINE = "newline"
+    UNKNOWN = "unknown"
+
+
+#: Kinds that contribute to Halstead operator/operand classification.
+OPERATOR_KINDS = frozenset({TokenKind.KEYWORD, TokenKind.OPERATOR, TokenKind.PUNCT})
+OPERAND_KINDS = frozenset(
+    {TokenKind.IDENT, TokenKind.NUMBER, TokenKind.STRING, TokenKind.CHAR}
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: the :class:`TokenKind` classification.
+        text: the exact source text of the token.
+        line: 1-based line number where the token starts.
+        col: 1-based column number where the token starts.
+    """
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int = 1
+
+    def is_code(self) -> bool:
+        """True for tokens that are part of executable/declarative code."""
+        return self.kind not in (TokenKind.COMMENT, TokenKind.NEWLINE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

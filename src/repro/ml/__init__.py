@@ -1,0 +1,97 @@
+"""Learning engine (the Weka equivalent of Figure 4).
+
+Datasets, preprocessing, feature selection, classifiers (ZeroR, OneR,
+Gaussian naive Bayes, logistic regression, CART, random forest, k-NN),
+regressors (OLS/ridge, CART, random forest), cross-validation, and a full
+metric suite.
+"""
+
+from repro.ml import (
+    arff,
+    base,
+    baselines,
+    calibration,
+    crossval,
+    dataset,
+    ensemble,
+    feature_selection,
+    forest,
+    knn,
+    linear,
+    logistic,
+    metrics,
+    naive_bayes,
+    preprocess,
+    svm,
+    tree,
+)
+from repro.ml.base import Classifier, NotFittedError, Regressor
+from repro.ml.baselines import OneR, ZeroR
+from repro.ml.calibration import CalibratedClassifier, brier_score
+from repro.ml.ensemble import (
+    AdaBoostClassifier,
+    BaggingClassifier,
+    VotingClassifier,
+)
+from repro.ml.crossval import (
+    CVResult,
+    cross_validate_classifier,
+    cross_validate_regressor,
+    kfold_indices,
+    stratified_kfold_indices,
+)
+from repro.ml.dataset import Dataset, DatasetError
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearRegressor
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.svm import LinearSVM, Perceptron
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "AdaBoostClassifier",
+    "BaggingClassifier",
+    "CVResult",
+    "CalibratedClassifier",
+    "Classifier",
+    "Dataset",
+    "DatasetError",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "LinearRegressor",
+    "LinearSVM",
+    "LogisticRegression",
+    "NotFittedError",
+    "OneR",
+    "Perceptron",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Regressor",
+    "VotingClassifier",
+    "ZeroR",
+    "arff",
+    "base",
+    "baselines",
+    "brier_score",
+    "calibration",
+    "cross_validate_classifier",
+    "cross_validate_regressor",
+    "crossval",
+    "dataset",
+    "ensemble",
+    "feature_selection",
+    "forest",
+    "kfold_indices",
+    "knn",
+    "linear",
+    "logistic",
+    "metrics",
+    "naive_bayes",
+    "preprocess",
+    "svm",
+    "stratified_kfold_indices",
+    "tree",
+]

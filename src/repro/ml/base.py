@@ -1,0 +1,85 @@
+"""Estimator interfaces for the learning engine.
+
+The paper leaves the learner open ("a data mining tool, such as Weka");
+this package provides the same algorithm families Weka ships, behind two
+small abstract interfaces. All estimators are deterministic given their
+``seed`` and operate on dense numpy arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict* is called before fit."""
+
+
+def check_xy(x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Validate and coerce a feature matrix (and optional target length)."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise ValueError("X must have at least one row")
+    if not np.isfinite(x).all():
+        raise ValueError("X contains NaN or infinite values")
+    if y is not None:
+        y = np.asarray(y)
+        if y.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"X has {x.shape[0]} rows but y has {y.shape[0]}"
+            )
+    return x
+
+
+class Classifier(abc.ABC):
+    """A classifier over integer-coded class labels."""
+
+    classes_: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Fit on features ``x`` and labels ``y``; returns self."""
+
+    @abc.abstractmethod
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape (n_rows, n_classes)."""
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def _require_fitted(self) -> None:
+        if getattr(self, "classes_", None) is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+
+class Regressor(abc.ABC):
+    """A regressor over continuous targets."""
+
+    fitted_: bool = False
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Regressor":
+        """Fit on features ``x`` and targets ``y``; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted target per row."""
+
+    def _require_fitted(self) -> None:
+        if not self.fitted_:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+
+def encode_labels(y: np.ndarray) -> tuple:
+    """(sorted unique classes, integer-coded labels)."""
+    classes = np.unique(y)
+    index = {c: i for i, c in enumerate(classes)}
+    coded = np.array([index[v] for v in y], dtype=int)
+    return classes, coded

@@ -1,0 +1,103 @@
+"""Trivial baseline learners (Weka's ZeroR and OneR).
+
+ZeroR predicts the majority class and anchors every benchmark: a model is
+only informative if it beats ZeroR. OneR picks the single best
+discretised feature — effectively the "one metric" approach the paper
+argues against, making it the perfect single-metric baseline in the
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+
+
+class ZeroR(Classifier):
+    """Majority-class predictor."""
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+        self._proba: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ZeroR":
+        check_xy(x, np.asarray(y))
+        self.classes_, coded = encode_labels(np.asarray(y))
+        counts = np.bincount(coded, minlength=len(self.classes_))
+        self._proba = counts / counts.sum()
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        return np.tile(self._proba, (x.shape[0], 1))
+
+
+class OneR(Classifier):
+    """Single-feature rule learner.
+
+    Discretises each feature into ``n_bins`` equal-width bins, assigns each
+    bin its training-majority class, and keeps the feature with the lowest
+    training error.
+    """
+
+    def __init__(self, n_bins: int = 5):
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.classes_: Optional[np.ndarray] = None
+        self.feature_: int = -1
+        self._edges: Optional[np.ndarray] = None
+        self._bin_class: Optional[np.ndarray] = None
+        self._fallback: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneR":
+        x = check_xy(x, np.asarray(y))
+        self.classes_, coded = encode_labels(np.asarray(y))
+        n_classes = len(self.classes_)
+        majority = int(np.argmax(np.bincount(coded, minlength=n_classes)))
+        self._fallback = majority
+
+        best_err = None
+        for col in range(x.shape[1]):
+            lo, hi = x[:, col].min(), x[:, col].max()
+            if hi == lo:
+                continue
+            edges = np.linspace(lo, hi, self.n_bins + 1)[1:-1]
+            binned = np.searchsorted(edges, x[:, col], side="right")
+            bin_class = np.full(self.n_bins, majority, dtype=int)
+            errors = 0
+            for b in range(self.n_bins):
+                mask = binned == b
+                if not mask.any():
+                    continue
+                counts = np.bincount(coded[mask], minlength=n_classes)
+                bin_class[b] = int(np.argmax(counts))
+                errors += int(mask.sum() - counts.max())
+            if best_err is None or errors < best_err:
+                best_err = errors
+                self.feature_ = col
+                self._edges = edges
+                self._bin_class = bin_class
+        if self.feature_ < 0:
+            # All features constant: behave like ZeroR.
+            self._edges = np.array([])
+            self._bin_class = np.array([majority])
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        n_classes = len(self.classes_)
+        proba = np.zeros((x.shape[0], n_classes))
+        if self.feature_ < 0:
+            proba[:, self._fallback] = 1.0
+            return proba
+        binned = np.searchsorted(self._edges, x[:, self.feature_], side="right")
+        binned = np.clip(binned, 0, len(self._bin_class) - 1)
+        for i, b in enumerate(binned):
+            proba[i, self._bin_class[b]] = 1.0
+        return proba

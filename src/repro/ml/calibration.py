@@ -1,0 +1,108 @@
+"""Probability calibration (Platt scaling) and the Brier score.
+
+The §5.3 workflow turns predicted probabilities into developer-facing
+risk bands, so the probabilities themselves need to be trustworthy —
+a tree ensemble's vote shares or a boosted margin are rankings, not
+calibrated probabilities. :class:`CalibratedClassifier` wraps any binary
+classifier, holds out a calibration split, and fits a logistic link from
+raw scores to observed outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+
+
+def brier_score(y_true: Sequence, probabilities: Sequence[float],
+                positive=1) -> float:
+    """Mean squared error of predicted probabilities (lower is better)."""
+    y = np.asarray(y_true)
+    p = np.asarray(probabilities, dtype=float)
+    if y.shape[0] != p.shape[0]:
+        raise ValueError("length mismatch")
+    if y.shape[0] == 0:
+        raise ValueError("empty inputs")
+    target = (y == positive).astype(float)
+    return float(np.mean((p - target) ** 2))
+
+
+class CalibratedClassifier(Classifier):
+    """Platt-scaled wrapper around a binary base classifier.
+
+    The training set is split (stratified) into a fit part and a
+    calibration part; a 1-D logistic regression maps the base model's
+    raw positive-class score to a calibrated probability.
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Classifier],
+        calibration_fraction: float = 0.3,
+        seed: int = 0,
+        max_iter: int = 300,
+    ):
+        if not 0.05 <= calibration_fraction <= 0.5:
+            raise ValueError("calibration_fraction must be in [0.05, 0.5]")
+        self.base_factory = base_factory
+        self.calibration_fraction = calibration_fraction
+        self.seed = seed
+        self.max_iter = max_iter
+        self.classes_: Optional[np.ndarray] = None
+        self._base: Optional[Classifier] = None
+        self._a: float = 1.0
+        self._b: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CalibratedClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, coded = encode_labels(y)
+        if len(self.classes_) != 2:
+            raise ValueError("CalibratedClassifier is binary-only")
+        rng = np.random.default_rng(self.seed)
+        # Stratified split: a slice of each class goes to calibration.
+        calib_idx = []
+        fit_idx = []
+        for cls in (0, 1):
+            members = np.flatnonzero(coded == cls)
+            rng.shuffle(members)
+            cut = max(1, int(len(members) * self.calibration_fraction))
+            calib_idx.extend(members[:cut].tolist())
+            fit_idx.extend(members[cut:].tolist())
+        if not fit_idx:
+            fit_idx = calib_idx
+        self._base = self.base_factory().fit(x[fit_idx], coded[fit_idx])
+        raw = self._raw_scores(x[calib_idx])
+        target = coded[calib_idx].astype(float)
+        self._fit_platt(raw, target)
+        return self
+
+    def _raw_scores(self, x: np.ndarray) -> np.ndarray:
+        proba = self._base.predict_proba(x)
+        classes = list(self._base.classes_)
+        if 1 in classes:
+            return proba[:, classes.index(1)]
+        return np.zeros(x.shape[0])
+
+    def _fit_platt(self, scores: np.ndarray, target: np.ndarray) -> None:
+        a, b = 1.0, 0.0
+        lr = 0.5
+        for _ in range(self.max_iter):
+            z = np.clip(a * scores + b, -30, 30)
+            p = 1.0 / (1.0 + np.exp(-z))
+            grad_a = float(np.mean((p - target) * scores))
+            grad_b = float(np.mean(p - target))
+            a -= lr * grad_a
+            b -= lr * grad_b
+        self._a, self._b = a, b
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        z = np.clip(self._a * self._raw_scores(x) + self._b, -30, 30)
+        p1 = 1.0 / (1.0 + np.exp(-z))
+        return np.column_stack([1.0 - p1, p1])

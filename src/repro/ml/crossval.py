@@ -1,0 +1,168 @@
+"""Cross-validation — "with cross validation within the ground truth" (§1).
+
+Stratified k-fold for classification hypotheses (fold class ratios track
+the full set) and plain k-fold for regression targets. ``cross_validate``
+re-fits a fresh estimator per fold via a factory, applies an optional
+transform fit on the training fold only, and aggregates the metric suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Classifier, Regressor
+from repro.ml.dataset import Dataset
+from repro.ml.metrics import (
+    accuracy,
+    mae,
+    precision_recall_f1,
+    r2_score,
+    rmse,
+    roc_auc,
+    within_order_of_magnitude,
+)
+from repro.ml.preprocess import Transform
+
+
+class CrossValError(ValueError):
+    """Raised for invalid fold configuration."""
+
+
+def kfold_indices(
+    n: int, k: int, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """(train, test) index pairs for shuffled k-fold splitting."""
+    if k < 2:
+        raise CrossValError("k must be >= 2")
+    if n < k:
+        raise CrossValError(f"cannot split {n} rows into {k} folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def stratified_kfold_indices(
+    labels: Sequence, k: int, seed: int = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Stratified (train, test) pairs: per-class round-robin assignment."""
+    if k < 2:
+        raise CrossValError("k must be >= 2")
+    labels = np.asarray(labels)
+    n = len(labels)
+    if n < k:
+        raise CrossValError(f"cannot split {n} rows into {k} folds")
+    rng = np.random.default_rng(seed)
+    fold_of = np.zeros(n, dtype=int)
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        for pos, idx in enumerate(members):
+            fold_of[idx] = pos % k
+    out = []
+    for i in range(k):
+        test = np.flatnonzero(fold_of == i)
+        train = np.flatnonzero(fold_of != i)
+        if len(test) == 0 or len(train) == 0:
+            raise CrossValError("empty fold; reduce k")
+        out.append((train, test))
+    return out
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Aggregated cross-validation outcome."""
+
+    metrics: Dict[str, float]  # mean over folds
+    per_fold: Tuple[Dict[str, float], ...]
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+
+def _mean_metrics(folds: List[Dict[str, float]]) -> Dict[str, float]:
+    keys = folds[0].keys()
+    return {k: float(np.mean([f[k] for f in folds])) for k in keys}
+
+
+def cross_validate_classifier(
+    dataset: Dataset,
+    factory: Callable[[], Classifier],
+    k: int = 10,
+    seed: int = 0,
+    transform_factory: Optional[Callable[[], Transform]] = None,
+    positive=1,
+) -> CVResult:
+    """Stratified k-fold CV of a classifier factory on ``dataset``.
+
+    Reports accuracy, precision/recall/F1 and AUC for the ``positive``
+    label, averaged over folds.
+    """
+    splits = stratified_kfold_indices(dataset.y, k, seed)
+    per_fold: List[Dict[str, float]] = []
+    for train_idx, test_idx in splits:
+        x_train, y_train = dataset.x[train_idx], dataset.y[train_idx]
+        x_test, y_test = dataset.x[test_idx], dataset.y[test_idx]
+        if transform_factory is not None:
+            transform = transform_factory()
+            x_train = transform.fit_apply(x_train)
+            x_test = transform.apply(x_test)
+        model = factory().fit(x_train, y_train)
+        pred = model.predict(x_test)
+        proba = model.predict_proba(x_test)
+        classes = list(model.classes_)
+        if positive in classes:
+            scores = proba[:, classes.index(positive)]
+        else:
+            scores = np.zeros(len(y_test))
+        precision, recall, f1 = precision_recall_f1(y_test, pred, positive)
+        per_fold.append(
+            {
+                "accuracy": accuracy(y_test, pred),
+                "precision": precision,
+                "recall": recall,
+                "f1": f1,
+                "auc": roc_auc(y_test, scores, positive),
+            }
+        )
+    return CVResult(_mean_metrics(per_fold), tuple(per_fold))
+
+
+def cross_validate_regressor(
+    dataset: Dataset,
+    factory: Callable[[], Regressor],
+    k: int = 10,
+    seed: int = 0,
+    transform_factory: Optional[Callable[[], Transform]] = None,
+) -> CVResult:
+    """k-fold CV of a regressor factory on ``dataset``."""
+    splits = kfold_indices(dataset.n_rows, k, seed)
+    per_fold: List[Dict[str, float]] = []
+    for train_idx, test_idx in splits:
+        x_train = dataset.x[train_idx]
+        y_train = np.asarray(dataset.y[train_idx], dtype=float)
+        x_test = dataset.x[test_idx]
+        y_test = np.asarray(dataset.y[test_idx], dtype=float)
+        if transform_factory is not None:
+            transform = transform_factory()
+            x_train = transform.fit_apply(x_train)
+            x_test = transform.apply(x_test)
+        model = factory().fit(x_train, y_train)
+        pred = model.predict(x_test)
+        per_fold.append(
+            {
+                "mae": mae(y_test, pred),
+                "rmse": rmse(y_test, pred),
+                "r2": r2_score(y_test, pred),
+                "within_order": within_order_of_magnitude(y_test, pred),
+            }
+        )
+    return CVResult(_mean_metrics(per_fold), tuple(per_fold))

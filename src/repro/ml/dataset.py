@@ -1,0 +1,131 @@
+"""Tabular dataset model (the Weka ARFF-instances equivalent).
+
+A :class:`Dataset` is an immutable table of named numeric features plus a
+target column (class labels for classification hypotheses, floats for
+count/severity regression). The feature testbed emits these; every
+estimator, preprocessor, and cross-validation routine consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DatasetError(ValueError):
+    """Raised for inconsistent dataset construction or access."""
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable feature table.
+
+    Attributes:
+        feature_names: column names, in X's column order.
+        x: float matrix (n_rows, n_features).
+        y: target vector (n_rows,), any dtype.
+        name: human-readable label (e.g. the hypothesis id).
+        row_ids: optional stable identifier per row (e.g. app names).
+    """
+
+    feature_names: Tuple[str, ...]
+    x: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+    row_ids: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y)
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+        if x.ndim != 2:
+            raise DatasetError(f"X must be 2-D, got {x.shape}")
+        if len(self.feature_names) != x.shape[1]:
+            raise DatasetError(
+                f"{len(self.feature_names)} names for {x.shape[1]} columns"
+            )
+        if len(set(self.feature_names)) != len(self.feature_names):
+            raise DatasetError("duplicate feature names")
+        if y.shape[0] != x.shape[0]:
+            raise DatasetError(f"{x.shape[0]} rows but {y.shape[0]} targets")
+        if self.row_ids and len(self.row_ids) != x.shape[0]:
+            raise DatasetError("row_ids length mismatch")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Dict[str, float]],
+        targets: Sequence,
+        name: str = "dataset",
+        row_ids: Sequence[str] = (),
+    ) -> "Dataset":
+        """Build from dict rows; the union of keys becomes the columns.
+
+        Missing keys in a row become 0.0 (the testbed emits complete rows;
+        zero-fill keeps ad-hoc construction convenient in tests).
+        """
+        if not rows:
+            raise DatasetError("no rows")
+        names = tuple(sorted({k for row in rows for k in row}))
+        x = np.array([[float(row.get(k, 0.0)) for k in names] for row in rows])
+        return cls(names, x, np.asarray(targets), name=name,
+                   row_ids=tuple(row_ids))
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.x.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """One feature column by name."""
+        try:
+            idx = self.feature_names.index(name)
+        except ValueError:
+            raise DatasetError(f"no feature named {name!r}") from None
+        return self.x[:, idx]
+
+    # -- derivation -------------------------------------------------------------
+
+    def select_features(self, names: Sequence[str]) -> "Dataset":
+        """A new dataset with only the named columns (in the given order)."""
+        indices = []
+        for n in names:
+            if n not in self.feature_names:
+                raise DatasetError(f"no feature named {n!r}")
+            indices.append(self.feature_names.index(n))
+        return Dataset(
+            tuple(names), self.x[:, indices], self.y, name=self.name,
+            row_ids=self.row_ids,
+        )
+
+    def select_rows(self, indices: Sequence[int]) -> "Dataset":
+        """A new dataset with only the given rows."""
+        idx = np.asarray(indices, dtype=int)
+        row_ids = tuple(self.row_ids[i] for i in idx) if self.row_ids else ()
+        return Dataset(
+            self.feature_names, self.x[idx], self.y[idx], name=self.name,
+            row_ids=row_ids,
+        )
+
+    def with_target(self, y: Sequence, name: Optional[str] = None) -> "Dataset":
+        """Same features, different target (used per-hypothesis)."""
+        return Dataset(
+            self.feature_names, self.x, np.asarray(y),
+            name=name or self.name, row_ids=self.row_ids,
+        )
+
+    def class_distribution(self) -> Dict:
+        """Label -> count for classification targets."""
+        values, counts = np.unique(self.y, return_counts=True)
+        return {v.item() if hasattr(v, "item") else v: int(c)
+                for v, c in zip(values, counts)}

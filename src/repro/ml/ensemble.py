@@ -1,0 +1,178 @@
+"""Ensemble meta-learners: AdaBoost, bagging, and voting.
+
+Weka's meta-classifier family, which the paper's "machine learning tool
+(e.g., Weka)" step would expose. Voting also mirrors Zeng's [69]
+combine-several-tools approach at the model level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier(Classifier):
+    """SAMME AdaBoost over shallow decision trees (binary or multiclass).
+
+    Each round fits a depth-limited tree on importance-weighted resamples
+    of the data; rounds whose weighted error reaches 1 - 1/K are dropped,
+    and a perfect learner short-circuits the ensemble.
+    """
+
+    def __init__(
+        self,
+        n_rounds: int = 30,
+        max_depth: int = 2,
+        seed: int = 0,
+    ):
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        self.n_rounds = n_rounds
+        self.max_depth = max_depth
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._stages: List[DecisionTreeClassifier] = []
+        self._alphas: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, coded = encode_labels(y)
+        n = x.shape[0]
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            self._stages, self._alphas = [], []
+            return self
+        weights = np.full(n, 1.0 / n)
+        rng = np.random.default_rng(self.seed)
+        self._stages = []
+        self._alphas = []
+        for t in range(self.n_rounds):
+            idx = rng.choice(n, size=n, p=weights)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth, seed=self.seed + 31 * t
+            )
+            tree.fit(x[idx], coded[idx])
+            pred = tree.predict(x).astype(int)
+            miss = pred != coded
+            error = float(np.sum(weights[miss]))
+            if error <= 1e-12:
+                # Perfect stage: it alone decides.
+                self._stages = [tree]
+                self._alphas = [1.0]
+                break
+            if error >= 1.0 - 1.0 / n_classes:
+                continue  # no better than chance under SAMME; skip round
+            alpha = math.log((1.0 - error) / error) + math.log(n_classes - 1)
+            self._stages.append(tree)
+            self._alphas.append(alpha)
+            weights = weights * np.exp(alpha * miss)
+            weights /= weights.sum()
+        if not self._stages:
+            # Fall back to a single unweighted tree.
+            tree = DecisionTreeClassifier(max_depth=self.max_depth,
+                                          seed=self.seed)
+            tree.fit(x, coded)
+            self._stages = [tree]
+            self._alphas = [1.0]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        n_classes = len(self.classes_)
+        votes = np.zeros((x.shape[0], n_classes))
+        for tree, alpha in zip(self._stages, self._alphas):
+            pred = tree.predict(x).astype(int)
+            for i, p in enumerate(pred):
+                votes[i, p] += alpha
+        total = votes.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return votes / total
+
+
+class BaggingClassifier(Classifier):
+    """Bootstrap aggregation over any base classifier factory."""
+
+    def __init__(
+        self,
+        base_factory: Callable[[], Classifier],
+        n_estimators: int = 15,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.base_factory = base_factory
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._members: List[Classifier] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BaggingClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, coded = encode_labels(y)
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        self._members = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            member = self.base_factory()
+            member.fit(x[idx], coded[idx])
+            self._members.append(member)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        n_classes = len(self.classes_)
+        acc = np.zeros((x.shape[0], n_classes))
+        for member in self._members:
+            proba = member.predict_proba(x)
+            for j, cls in enumerate(member.classes_):
+                acc[:, int(cls)] += proba[:, j]
+        return acc / len(self._members)
+
+
+class VotingClassifier(Classifier):
+    """Soft-voting combination of heterogeneous classifiers."""
+
+    def __init__(
+        self,
+        factories: Sequence[Callable[[], Classifier]],
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if not factories:
+            raise ValueError("need at least one member factory")
+        if weights is not None and len(weights) != len(factories):
+            raise ValueError("weights length must match factories")
+        self.factories = list(factories)
+        self.weights = list(weights) if weights is not None else None
+        self.classes_: Optional[np.ndarray] = None
+        self._members: List[Classifier] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "VotingClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, coded = encode_labels(y)
+        self._members = [f().fit(x, coded) for f in self.factories]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        n_classes = len(self.classes_)
+        weights = self.weights or [1.0] * len(self._members)
+        acc = np.zeros((x.shape[0], n_classes))
+        for member, weight in zip(self._members, weights):
+            proba = member.predict_proba(x)
+            for j, cls in enumerate(member.classes_):
+                acc[:, int(cls)] += weight * proba[:, j]
+        total = acc.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return acc / total

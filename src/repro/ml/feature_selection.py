@@ -1,0 +1,83 @@
+"""Feature selection: "filtering features that are irrelevant" (§5.2)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+from repro.stats.correlation import pearson
+
+
+def correlation_ranking(dataset: Dataset) -> List[Tuple[str, float]]:
+    """Features ranked by |Pearson correlation| with the target.
+
+    The target is coerced to float (binary hypotheses become 0/1), so the
+    score is the point-biserial correlation for classification targets.
+    """
+    y = np.asarray(dataset.y, dtype=float)
+    ranked = [
+        (name, abs(pearson(dataset.x[:, i], y)))
+        for i, name in enumerate(dataset.feature_names)
+    ]
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked
+
+
+def _entropy(labels: np.ndarray) -> float:
+    _, counts = np.unique(labels, return_counts=True)
+    probs = counts / counts.sum()
+    return float(-np.sum(probs * np.log2(probs)))
+
+
+def information_gain(
+    column: np.ndarray, labels: np.ndarray, n_bins: int = 5
+) -> float:
+    """Information gain of a (binned) numeric feature about the labels.
+
+    The feature is discretised into equal-width bins first, as Weka's
+    InfoGainAttributeEval does for numeric attributes.
+    """
+    column = np.asarray(column, dtype=float)
+    labels = np.asarray(labels)
+    lo, hi = column.min(), column.max()
+    if hi == lo:
+        return 0.0
+    edges = np.linspace(lo, hi, n_bins + 1)[1:-1]
+    binned = np.searchsorted(edges, column, side="right")
+    base = _entropy(labels)
+    conditional = 0.0
+    for b in np.unique(binned):
+        mask = binned == b
+        conditional += mask.mean() * _entropy(labels[mask])
+    return max(base - conditional, 0.0)
+
+
+def information_gain_ranking(
+    dataset: Dataset, n_bins: int = 5
+) -> List[Tuple[str, float]]:
+    """Features ranked by information gain about the target."""
+    ranked = [
+        (name, information_gain(dataset.x[:, i], dataset.y, n_bins))
+        for i, name in enumerate(dataset.feature_names)
+    ]
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked
+
+
+def select_top_k(
+    dataset: Dataset, k: int, method: str = "correlation"
+) -> Dataset:
+    """Keep the ``k`` most relevant features by the chosen ranking."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if method == "correlation":
+        ranked = correlation_ranking(dataset)
+    elif method == "information_gain":
+        ranked = information_gain_ranking(dataset)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    keep = [name for name, _ in ranked[:k]]
+    return dataset.select_features(keep)

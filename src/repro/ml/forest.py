@@ -1,0 +1,123 @@
+"""Random forests: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, Regressor, check_xy, encode_labels
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees (sqrt-feature subsampling)."""
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        min_leaf: int = 2,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._trees: List[DecisionTreeClassifier] = []
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, coded = encode_labels(y)
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        max_features = max(1, int(math.sqrt(d)))
+        self._trees = []
+        importances = np.zeros(d)
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=max_features,
+                seed=self.seed + 7919 * t,
+            )
+            # Train on the label codes so every tree shares class order.
+            tree.fit(x[idx], coded[idx])
+            self._trees.append(tree)
+            if tree.feature_importances_ is not None:
+                importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        n_classes = len(self.classes_)
+        acc = np.zeros((x.shape[0], n_classes))
+        for tree in self._trees:
+            proba = tree.predict_proba(x)
+            # A bootstrap sample can miss classes; align by code value.
+            for j, cls in enumerate(tree.classes_):
+                acc[:, int(cls)] += proba[:, j]
+        return acc / len(self._trees)
+
+
+class RandomForestRegressor(Regressor):
+    """Bootstrap-aggregated regression trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        min_leaf: int = 2,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self._trees: List[DecisionTreeRegressor] = []
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        y = np.asarray(y, dtype=float)
+        x = check_xy(x, y)
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        max_features = max(1, d // 3)
+        self._trees = []
+        importances = np.zeros(d)
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=max_features,
+                seed=self.seed + 104729 * t,
+            )
+            tree.fit(x[idx], y[idx])
+            self._trees.append(tree)
+            if tree.feature_importances_ is not None:
+                importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        self.fitted_ = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        acc = np.zeros(x.shape[0])
+        for tree in self._trees:
+            acc += tree.predict(x)
+        return acc / len(self._trees)

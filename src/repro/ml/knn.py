@@ -1,0 +1,57 @@
+"""k-nearest-neighbours classifier (Weka's IBk)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+
+
+class KNeighborsClassifier(Classifier):
+    """Distance-weighted k-NN over standardised Euclidean distance.
+
+    Features are standardised internally (fit statistics from the training
+    set) so size-like columns do not dominate the metric.
+    """
+
+    def __init__(self, k: int = 5, weighted: bool = True):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self.classes_: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
+        self._coded: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        y = np.asarray(y)
+        x = check_xy(x, y)
+        self.classes_, self._coded = encode_labels(y)
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-10 * (np.abs(self._mean) + 1.0)] = np.inf
+        self._std = std
+        self._x = (x - self._mean) / self._std
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = (check_xy(x) - self._mean) / self._std
+        n_classes = len(self.classes_)
+        k = min(self.k, self._x.shape[0])
+        out = np.zeros((x.shape[0], n_classes))
+        for i, row in enumerate(x):
+            dist = np.sqrt(np.sum((self._x - row) ** 2, axis=1))
+            nearest = np.argsort(dist, kind="mergesort")[:k]
+            if self.weighted:
+                weights = 1.0 / (dist[nearest] + 1e-9)
+            else:
+                weights = np.ones(k)
+            for idx, w in zip(nearest, weights):
+                out[i, self._coded[idx]] += w
+            out[i] /= out[i].sum()
+        return out

@@ -1,0 +1,56 @@
+"""Linear regression: OLS and ridge (closed form via normal equations)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Regressor, check_xy
+
+
+class LinearRegressor(Regressor):
+    """Ordinary least squares with optional L2 (ridge) regularisation.
+
+    Solves ``(X'X + l2*I) w = X'y`` with an intercept column; the pseudo-
+    inverse path handles rank-deficient design matrices when ``l2 = 0``.
+    """
+
+    def __init__(self, l2: float = 0.0):
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        self.l2 = l2
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        y = np.asarray(y, dtype=float)
+        x = check_xy(x, y)
+        n, d = x.shape
+        design = np.column_stack([np.ones(n), x])
+        if self.l2 > 0:
+            penalty = self.l2 * np.eye(d + 1)
+            penalty[0, 0] = 0.0  # never regularise the intercept
+            coeffs = np.linalg.solve(
+                design.T @ design + penalty, design.T @ y
+            )
+        else:
+            coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(coeffs[0])
+        self.coef_ = coeffs[1:]
+        self.fitted_ = True
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        return x @ self.coef_ + self.intercept_
+
+    def weights(self, feature_names) -> List[tuple]:
+        """(feature, weight) pairs sorted by |weight|."""
+        self._require_fitted()
+        if len(feature_names) != len(self.coef_):
+            raise ValueError("feature_names length mismatch")
+        pairs = list(zip(feature_names, self.coef_.tolist()))
+        pairs.sort(key=lambda p: (-abs(p[1]), p[0]))
+        return pairs

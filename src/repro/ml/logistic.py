@@ -1,0 +1,120 @@
+"""L2-regularised logistic regression (binary and one-vs-rest).
+
+Gradient descent on the regularised negative log-likelihood. Logistic
+regression is the workhorse for the paper's hypotheses because its
+*weights are the deliverable*: §5.3 says "each weight in the trained
+model shows the importance of the corresponding code property to the
+predicted vulnerability", which :meth:`LogisticRegression.weights`
+exposes directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() finite; gradients saturate anyway beyond +-30.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class LogisticRegression(Classifier):
+    """Binary/one-vs-rest logistic regression trained by gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        l2: float = 1e-3,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None  # (n_classes_or_1, n_features)
+        self.intercept_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = check_xy(x, np.asarray(y))
+        self.classes_, coded = encode_labels(np.asarray(y))
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            # Degenerate single-class training set: constant predictor.
+            self.coef_ = np.zeros((1, x.shape[1]))
+            self.intercept_ = np.array([np.inf])
+            return self
+        targets: List[np.ndarray]
+        if n_classes == 2:
+            targets = [(coded == 1).astype(float)]
+        else:
+            targets = [(coded == c).astype(float) for c in range(n_classes)]
+        coefs = []
+        intercepts = []
+        for target in targets:
+            w, b = self._fit_binary(x, target)
+            coefs.append(w)
+            intercepts.append(b)
+        self.coef_ = np.vstack(coefs)
+        self.intercept_ = np.array(intercepts)
+        return self
+
+    def _fit_binary(self, x: np.ndarray, target: np.ndarray):
+        n, d = x.shape
+        w = np.zeros(d)
+        b = 0.0
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            z = x @ w + b
+            p = _sigmoid(z)
+            grad_w = x.T @ (p - target) / n + self.l2 * w
+            grad_b = float(np.mean(p - target))
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            eps = 1e-12
+            loss = float(
+                -np.mean(target * np.log(p + eps)
+                         + (1 - target) * np.log(1 - p + eps))
+                + 0.5 * self.l2 * float(w @ w)
+            )
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        return w, b
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        if len(self.classes_) == 1:
+            return np.ones((x.shape[0], 1))
+        if len(self.classes_) == 2:
+            p1 = _sigmoid(x @ self.coef_[0] + self.intercept_[0])
+            return np.column_stack([1.0 - p1, p1])
+        scores = _sigmoid(x @ self.coef_.T + self.intercept_)
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return scores / total
+
+    def weights(self, feature_names) -> List[tuple]:
+        """(feature, weight) pairs sorted by |weight| — §5.3's hint list.
+
+        For binary problems the weights are those of the positive class.
+        """
+        self._require_fitted()
+        if len(feature_names) != self.coef_.shape[1]:
+            raise ValueError("feature_names length mismatch")
+        row = self.coef_[0] if self.coef_.shape[0] == 1 else self.coef_[-1]
+        pairs = list(zip(feature_names, row.tolist()))
+        pairs.sort(key=lambda p: (-abs(p[1]), p[0]))
+        return pairs

@@ -1,0 +1,131 @@
+"""Evaluation metrics for classification and regression."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+class MetricError(ValueError):
+    """Raised for invalid metric inputs."""
+
+
+def _pair(y_true: Sequence, y_pred: Sequence) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape[0] != p.shape[0]:
+        raise MetricError("y_true and y_pred lengths differ")
+    if t.shape[0] == 0:
+        raise MetricError("empty inputs")
+    return t, p
+
+
+# -- classification -----------------------------------------------------------
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exact label matches."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(y_true: Sequence, y_pred: Sequence) -> Dict[tuple, int]:
+    """Sparse confusion counts: (true label, predicted label) -> count."""
+    t, p = _pair(y_true, y_pred)
+    out: Dict[tuple, int] = {}
+    for a, b in zip(t, p):
+        key = (a.item() if hasattr(a, "item") else a,
+               b.item() if hasattr(b, "item") else b)
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def precision_recall_f1(
+    y_true: Sequence, y_pred: Sequence, positive=1
+) -> Tuple[float, float, float]:
+    """Binary precision/recall/F1 for the ``positive`` label.
+
+    Degenerate denominators yield 0.0 (never NaN), the convention most
+    useful when cross-validation folds occasionally miss a class.
+    """
+    t, p = _pair(y_true, y_pred)
+    tp = int(np.sum((t == positive) & (p == positive)))
+    fp = int(np.sum((t != positive) & (p == positive)))
+    fn = int(np.sum((t == positive) & (p != positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def roc_auc(y_true: Sequence, scores: Sequence[float], positive=1) -> float:
+    """Area under the ROC curve via the rank (Mann-Whitney) formulation.
+
+    Returns 0.5 when only one class is present (no ranking measurable).
+    """
+    t, s = _pair(y_true, scores)
+    s = s.astype(float)
+    pos = s[t == positive]
+    neg = s[t != positive]
+    if len(pos) == 0 or len(neg) == 0:
+        return 0.5
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(len(combined), dtype=float)
+    i = 0
+    while i < len(combined):
+        j = i
+        # Mid-rank handling of ties.
+        while j + 1 < len(combined) and combined[order[j + 1]] == combined[order[i]]:
+            j += 1
+        mid = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mid
+        i = j + 1
+    rank_sum_pos = float(np.sum(ranks[: len(pos)]))
+    n_pos, n_neg = len(pos), len(neg)
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+# -- regression -----------------------------------------------------------------
+
+
+def mae(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(t.astype(float) - p.astype(float))))
+
+
+def rmse(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Root mean squared error."""
+    t, p = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((t.astype(float) - p.astype(float)) ** 2)))
+
+
+def r2_score(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Coefficient of determination (1 - SS_res/SS_tot)."""
+    t, p = _pair(y_true, y_pred)
+    t = t.astype(float)
+    p = p.astype(float)
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if np.allclose(t, p) else 0.0
+    return 1.0 - float(np.sum((t - p) ** 2)) / ss_tot
+
+
+def within_order_of_magnitude(
+    y_true: Sequence[float], y_pred: Sequence[float]
+) -> float:
+    """Fraction of predictions within 1 order of magnitude of the truth.
+
+    The paper argues sub-order-of-magnitude precision is what single
+    metrics cannot deliver; this is the corresponding success criterion
+    for count predictions.
+    """
+    t, p = _pair(y_true, y_pred)
+    t = np.maximum(t.astype(float), 0.5)
+    p = np.maximum(p.astype(float), 0.5)
+    return float(np.mean(np.abs(np.log10(t) - np.log10(p)) <= 1.0))

@@ -1,0 +1,61 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy, encode_labels
+
+_MIN_VAR = 1e-9
+
+
+class GaussianNB(Classifier):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    Variances are floored at a small epsilon (plus Weka-style relative
+    smoothing) so constant features never produce singular likelihoods.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[np.ndarray] = None
+        self._prior: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._var: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        x = check_xy(x, np.asarray(y))
+        self.classes_, coded = encode_labels(np.asarray(y))
+        n_classes = len(self.classes_)
+        n_features = x.shape[1]
+        self._prior = np.bincount(coded, minlength=n_classes) / len(coded)
+        self._mean = np.zeros((n_classes, n_features))
+        self._var = np.zeros((n_classes, n_features))
+        global_var = x.var(axis=0).max() if x.shape[0] > 1 else 1.0
+        epsilon = self.var_smoothing * max(global_var, 1.0) + _MIN_VAR
+        for c in range(n_classes):
+            rows = x[coded == c]
+            self._mean[c] = rows.mean(axis=0)
+            self._var[c] = rows.var(axis=0) + epsilon
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        log_proba = np.log(self._prior)[None, :] + np.zeros(
+            (x.shape[0], len(self.classes_))
+        )
+        for c in range(len(self.classes_)):
+            diff = x - self._mean[c]
+            log_like = -0.5 * (
+                np.log(2.0 * np.pi * self._var[c]) + diff**2 / self._var[c]
+            )
+            log_proba[:, c] += log_like.sum(axis=1)
+        # Normalise in log space for numeric stability.
+        log_proba -= log_proba.max(axis=1, keepdims=True)
+        proba = np.exp(log_proba)
+        return proba / proba.sum(axis=1, keepdims=True)

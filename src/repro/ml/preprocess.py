@@ -1,0 +1,164 @@
+"""Preprocessing transforms.
+
+§5.2 names "determining necessary data transformation for numeric
+features" as one of the model-refinement challenges. These transforms are
+fit on training folds only and applied to held-out folds, mirroring
+Weka's filtered-classifier discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import NotFittedError, check_xy
+
+
+class Transform:
+    """Base fit/apply transform over a feature matrix."""
+
+    def fit(self, x: np.ndarray) -> "Transform":
+        raise NotImplementedError
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_apply(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` then transform it."""
+        return self.fit(x).apply(x)
+
+
+class StandardScaler(Transform):
+    """Zero-mean, unit-variance scaling; constant columns stay 0."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = check_xy(x)
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # A relative threshold: a visually-constant column can have a
+        # tiny nonzero std from float rounding, and dividing by it would
+        # amplify noise into O(1) garbage.
+        tiny = std < 1e-10 * (np.abs(self.mean_) + 1.0)
+        std[tiny] = np.inf
+        self.std_ = std
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler is not fitted")
+        return (check_xy(x) - self.mean_) / self.std_
+
+
+class MinMaxScaler(Transform):
+    """Scale each column to [0, 1]; constant columns map to 0."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        x = check_xy(x)
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        span[span < 1e-10 * (np.abs(self.min_) + 1.0)] = np.inf
+        self.range_ = span
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted")
+        return (check_xy(x) - self.min_) / self.range_
+
+
+class Log1pTransform(Transform):
+    """log(1 + x) on non-negative columns; negatives are clipped to 0.
+
+    Size-like code properties (LoC, complexity, counts) span orders of
+    magnitude; the paper's own figures work in log space.
+    """
+
+    def fit(self, x: np.ndarray) -> "Log1pTransform":
+        check_xy(x)
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.log1p(np.maximum(check_xy(x), 0.0))
+
+
+class EqualWidthDiscretizer(Transform):
+    """Discretise each column into ``n_bins`` equal-width integer bins."""
+
+    def __init__(self, n_bins: int = 5):
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.edges_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "EqualWidthDiscretizer":
+        x = check_xy(x)
+        lo = x.min(axis=0)
+        hi = x.max(axis=0)
+        hi = np.where(hi == lo, lo + 1.0, hi)
+        # edges_ has shape (n_bins + 1, n_features).
+        self.edges_ = np.linspace(lo, hi, self.n_bins + 1)
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self.edges_ is None:
+            raise NotFittedError("EqualWidthDiscretizer is not fitted")
+        x = check_xy(x)
+        out = np.zeros_like(x)
+        for col in range(x.shape[1]):
+            out[:, col] = np.clip(
+                np.searchsorted(self.edges_[1:-1, col], x[:, col], side="right"),
+                0, self.n_bins - 1,
+            )
+        return out
+
+
+class MeanImputer(Transform):
+    """Replace NaNs with the column's training mean."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "MeanImputer":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("X must be 2-D")
+        with np.errstate(invalid="ignore"):
+            mean = np.nanmean(x, axis=0)
+        self.mean_ = np.where(np.isnan(mean), 0.0, mean)
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("MeanImputer is not fitted")
+        x = np.asarray(x, dtype=float).copy()
+        mask = np.isnan(x)
+        x[mask] = np.broadcast_to(self.mean_, x.shape)[mask]
+        return x
+
+
+class Pipeline(Transform):
+    """Sequential composition of transforms."""
+
+    def __init__(self, *steps: Transform):
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        self.steps = steps
+
+    def fit(self, x: np.ndarray) -> "Pipeline":
+        for step in self.steps:
+            x = step.fit_apply(x)
+        return self
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        for step in self.steps:
+            x = step.apply(x)
+        return x

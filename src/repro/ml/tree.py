@@ -1,0 +1,230 @@
+"""CART decision trees: classifier (Gini) and regressor (variance).
+
+Depth- and leaf-size-bounded binary trees with axis-aligned splits.
+``feature_importances`` accumulates impurity decrease per feature — the
+tree-family analogue of the logistic weights the paper's §5.3 surfaces to
+developers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, Regressor, check_xy, encode_labels
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[np.ndarray] = None  # class distribution / mean target
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+def _best_split_classification(x, coded, n_classes, min_leaf, rng, max_features):
+    n, d = x.shape
+    parent_counts = np.bincount(coded, minlength=n_classes)
+    parent_impurity = _gini(parent_counts)
+    best = None  # (gain, feature, threshold)
+    features = np.arange(d)
+    if max_features is not None and max_features < d:
+        features = rng.choice(d, size=max_features, replace=False)
+    for feature in features:
+        order = np.argsort(x[:, feature], kind="mergesort")
+        xs = x[order, feature]
+        ys = coded[order]
+        left_counts = np.zeros(n_classes)
+        right_counts = parent_counts.astype(float).copy()
+        for i in range(n - 1):
+            c = ys[i]
+            left_counts[c] += 1
+            right_counts[c] -= 1
+            if xs[i] == xs[i + 1]:
+                continue
+            n_left = i + 1
+            n_right = n - n_left
+            if n_left < min_leaf or n_right < min_leaf:
+                continue
+            impurity = (n_left * _gini(left_counts)
+                        + n_right * _gini(right_counts)) / n
+            gain = parent_impurity - impurity
+            if best is None or gain > best[0]:
+                best = (gain, int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+    return best
+
+
+def _best_split_regression(x, y, min_leaf, rng, max_features):
+    n, d = x.shape
+    parent_var = float(np.var(y)) * n
+    best = None
+    features = np.arange(d)
+    if max_features is not None and max_features < d:
+        features = rng.choice(d, size=max_features, replace=False)
+    for feature in features:
+        order = np.argsort(x[:, feature], kind="mergesort")
+        xs = x[order, feature]
+        ys = y[order]
+        # Prefix sums make each candidate split O(1).
+        csum = np.cumsum(ys)
+        csum2 = np.cumsum(ys * ys)
+        total, total2 = csum[-1], csum2[-1]
+        for i in range(n - 1):
+            if xs[i] == xs[i + 1]:
+                continue
+            n_left = i + 1
+            n_right = n - n_left
+            if n_left < min_leaf or n_right < min_leaf:
+                continue
+            left_ss = csum2[i] - csum[i] ** 2 / n_left
+            right_sum = total - csum[i]
+            right_ss = (total2 - csum2[i]) - right_sum**2 / n_right
+            gain = parent_var - (left_ss + right_ss)
+            if best is None or gain > best[0]:
+                best = (gain, int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+    return best
+
+
+class DecisionTreeClassifier(Classifier):
+    """Gini-impurity CART classifier."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.classes_: Optional[np.ndarray] = None
+        self._root: Optional[_Node] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = check_xy(x, np.asarray(y))
+        self.classes_, coded = encode_labels(np.asarray(y))
+        self.feature_importances_ = np.zeros(x.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, coded, depth=0, rng=rng)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _grow(self, x, coded, depth, rng) -> _Node:
+        n_classes = len(self.classes_)
+        counts = np.bincount(coded, minlength=n_classes).astype(float)
+        node = _Node(value=counts / counts.sum())
+        if depth >= self.max_depth or len(coded) < 2 * self.min_leaf:
+            return node
+        if len(np.unique(coded)) == 1:
+            return node
+        best = _best_split_classification(
+            x, coded, n_classes, self.min_leaf, rng, self.max_features
+        )
+        if best is None or best[0] <= 0:
+            return node
+        gain, feature, threshold = best
+        self.feature_importances_[feature] += gain * len(coded)
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], coded[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], coded[~mask], depth + 1, rng)
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        out = np.zeros((x.shape[0], len(self.classes_)))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class DecisionTreeRegressor(Regressor):
+    """Variance-reduction CART regressor."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_leaf: int = 2,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_leaf < 1:
+            raise ValueError("min_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        y = np.asarray(y, dtype=float)
+        x = check_xy(x, y)
+        self.feature_importances_ = np.zeros(x.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self._root = self._grow(x, y, depth=0, rng=rng)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        self.fitted_ = True
+        return self
+
+    def _grow(self, x, y, depth, rng) -> _Node:
+        node = _Node(value=np.array([float(np.mean(y))]))
+        if depth >= self.max_depth or len(y) < 2 * self.min_leaf:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        best = _best_split_regression(x, y, self.min_leaf, rng, self.max_features)
+        if best is None or best[0] <= 0:
+            return node
+        gain, feature, threshold = best
+        self.feature_importances_[feature] += gain
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        x = check_xy(x)
+        out = np.zeros(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value[0]
+        return out

@@ -1,0 +1,58 @@
+"""Statistics substrate: regression, correlation, order-of-magnitude buckets."""
+
+from repro.stats import bucketing, correlation, inference, regression
+from repro.stats.bucketing import (
+    BucketingError,
+    bucket_by_magnitude,
+    bucketed_means,
+    magnitude_histogram,
+    meaningful_loc_comparison,
+    order_of_magnitude,
+    orders_apart,
+    same_order,
+)
+from repro.stats.correlation import CorrelationError, pearson, spearman
+from repro.stats.inference import (
+    BootstrapResult,
+    InferenceError,
+    PermutationResult,
+    bootstrap_ci,
+    paired_difference_test,
+    permutation_test,
+)
+from repro.stats.regression import (
+    LinearFit,
+    RegressionError,
+    fit_linear,
+    fit_loglog,
+    r_squared,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "BucketingError",
+    "CorrelationError",
+    "InferenceError",
+    "LinearFit",
+    "PermutationResult",
+    "RegressionError",
+    "bucket_by_magnitude",
+    "bucketed_means",
+    "bootstrap_ci",
+    "bucketing",
+    "correlation",
+    "fit_linear",
+    "inference",
+    "fit_loglog",
+    "magnitude_histogram",
+    "meaningful_loc_comparison",
+    "order_of_magnitude",
+    "orders_apart",
+    "paired_difference_test",
+    "pearson",
+    "permutation_test",
+    "r_squared",
+    "regression",
+    "same_order",
+    "spearman",
+]

@@ -1,0 +1,83 @@
+"""Order-of-magnitude bucketing (§3.1).
+
+The paper's key statistical lesson: "Only when one buckets application
+sizes and vulnerability counts by orders of magnitude is there a weak
+correlation", and comparisons *within* one or two orders of magnitude are
+not statistically meaningful. This module provides the bucketing transform
+and the within-order comparison test used by the figures and by the
+developer-facing evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+class BucketingError(ValueError):
+    """Raised for non-positive inputs to log-scale bucketing."""
+
+
+def order_of_magnitude(value: float) -> int:
+    """floor(log10(value)) — the value's order of magnitude.
+
+    Raises:
+        BucketingError: for non-positive values (no log-scale bucket).
+    """
+    if value <= 0:
+        raise BucketingError(f"cannot bucket non-positive value {value}")
+    return math.floor(math.log10(value))
+
+
+def bucket_by_magnitude(values: Sequence[float]) -> List[int]:
+    """Order-of-magnitude bucket of each value."""
+    return [order_of_magnitude(v) for v in values]
+
+
+def magnitude_histogram(values: Sequence[float]) -> Dict[int, int]:
+    """Count of values per order-of-magnitude bucket."""
+    hist: Dict[int, int] = {}
+    for v in values:
+        bucket = order_of_magnitude(v)
+        hist[bucket] = hist.get(bucket, 0) + 1
+    return hist
+
+
+def same_order(a: float, b: float) -> bool:
+    """Whether two values fall in the same order of magnitude."""
+    return order_of_magnitude(a) == order_of_magnitude(b)
+
+
+def orders_apart(a: float, b: float) -> int:
+    """Absolute order-of-magnitude gap between two values."""
+    return abs(order_of_magnitude(a) - order_of_magnitude(b))
+
+
+def meaningful_loc_comparison(loc_a: float, loc_b: float,
+                              min_orders: int = 1) -> bool:
+    """The paper's rule of thumb for LoC-based security claims.
+
+    "Using LoC for security evaluation is not statistically significant if
+    the difference is within one or two orders of magnitude." A comparison
+    is *meaningful* only when the gap exceeds ``min_orders`` orders.
+    """
+    return orders_apart(loc_a, loc_b) > min_orders
+
+
+def bucketed_means(
+    xs: Sequence[float], ys: Sequence[float]
+) -> List[Tuple[int, float]]:
+    """Mean of ``ys`` per order-of-magnitude bucket of ``xs``.
+
+    This is the "bucketed by order of magnitude" view under which Figure 2
+    shows its weak trend; returned as (bucket, mean-y) sorted by bucket.
+    """
+    if len(xs) != len(ys):
+        raise BucketingError("x and y lengths differ")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for x, y in zip(xs, ys):
+        bucket = order_of_magnitude(x)
+        sums[bucket] = sums.get(bucket, 0.0) + y
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return [(b, sums[b] / counts[b]) for b in sorted(sums)]

@@ -1,0 +1,57 @@
+"""Correlation coefficients used throughout the measurement study."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class CorrelationError(ValueError):
+    """Raised for degenerate correlation inputs."""
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise CorrelationError("x and y lengths differ")
+    if len(xs) < 2:
+        raise CorrelationError("need at least 2 points")
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson product-moment correlation in [-1, 1].
+
+    Returns 0.0 when either variable is constant (no linear association
+    is measurable), rather than propagating a NaN into the feature code.
+    """
+    _validate(xs, ys)
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    sx = float(np.std(x))
+    sy = float(np.std(y))
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    """Fractional (mid) ranks, handling ties."""
+    arr = np.asarray(values, dtype=float)
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(len(arr), dtype=float)
+    i = 0
+    while i < len(arr):
+        j = i
+        while j + 1 < len(arr) and arr[order[j + 1]] == arr[order[i]]:
+            j += 1
+        mid = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mid
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over mid-ranks)."""
+    _validate(xs, ys)
+    return pearson(_ranks(xs), _ranks(ys))

@@ -1,0 +1,154 @@
+"""Resampling-based statistical inference.
+
+§3.1's lesson is phrased in significance language ("not statistically
+significant if the difference is within one or two orders of magnitude").
+These utilities quantify that kind of claim without distributional
+assumptions: bootstrap confidence intervals for any sample statistic
+(e.g. the R² of the Figure-2 fit) and permutation tests for association
+(is the LoC↔vulnerability correlation distinguishable from chance?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+class InferenceError(ValueError):
+    """Raised for degenerate inference inputs."""
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A bootstrap estimate with its percentile confidence interval."""
+
+    estimate: float  # statistic on the original sample
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    statistic: Callable[[Sequence[float], Sequence[float]], float],
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for a paired-sample statistic.
+
+    Resamples (x, y) pairs with replacement; degenerate resamples (where
+    the statistic raises) are skipped, which handles statistics like R²
+    that need x-variance.
+    """
+    if len(xs) != len(ys):
+        raise InferenceError("x and y lengths differ")
+    if len(xs) < 3:
+        raise InferenceError("need at least 3 pairs")
+    if not 0.5 < confidence < 1.0:
+        raise InferenceError("confidence must be in (0.5, 1)")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    rng = np.random.default_rng(seed)
+    estimate = float(statistic(x, y))
+    values = []
+    attempts = 0
+    while len(values) < n_resamples and attempts < n_resamples * 3:
+        attempts += 1
+        idx = rng.integers(0, len(x), size=len(x))
+        try:
+            values.append(float(statistic(x[idx], y[idx])))
+        except Exception:
+            continue
+    if len(values) < n_resamples // 2:
+        raise InferenceError("too many degenerate bootstrap resamples")
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=len(values),
+    )
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """A permutation test outcome."""
+
+    statistic: float  # observed value
+    p_value: float  # two-sided
+    n_permutations: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def permutation_test(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    statistic: Callable[[Sequence[float], Sequence[float]], float],
+    n_permutations: int = 1000,
+    seed: int = 0,
+) -> PermutationResult:
+    """Two-sided permutation test of association between x and y.
+
+    The null distribution comes from shuffling y against x; the p-value
+    is the share of permuted |statistic| values at least as extreme as
+    the observed one (with the +1 smoothing that keeps p > 0).
+    """
+    if len(xs) != len(ys):
+        raise InferenceError("x and y lengths differ")
+    if len(xs) < 3:
+        raise InferenceError("need at least 3 pairs")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    rng = np.random.default_rng(seed)
+    observed = float(statistic(x, y))
+    extreme = 0
+    for _ in range(n_permutations):
+        permuted = rng.permutation(y)
+        value = float(statistic(x, permuted))
+        if abs(value) >= abs(observed) - 1e-15:
+            extreme += 1
+    p_value = (extreme + 1) / (n_permutations + 1)
+    return PermutationResult(
+        statistic=observed, p_value=p_value, n_permutations=n_permutations
+    )
+
+
+def paired_difference_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_permutations: int = 1000,
+    seed: int = 0,
+) -> PermutationResult:
+    """Sign-flip permutation test for a paired difference in means.
+
+    Use case: per-fold metric comparisons between two learners ("is the
+    full feature vector really better than LoC-only?").
+    """
+    if len(a) != len(b):
+        raise InferenceError("paired samples must have equal length")
+    if len(a) < 3:
+        raise InferenceError("need at least 3 pairs")
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    rng = np.random.default_rng(seed)
+    observed = float(diff.mean())
+    extreme = 0
+    for _ in range(n_permutations):
+        signs = rng.choice([-1.0, 1.0], size=len(diff))
+        if abs(float((diff * signs).mean())) >= abs(observed) - 1e-15:
+            extreme += 1
+    p_value = (extreme + 1) / (n_permutations + 1)
+    return PermutationResult(
+        statistic=observed, p_value=p_value, n_permutations=n_permutations
+    )

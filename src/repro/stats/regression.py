@@ -1,0 +1,76 @@
+"""Ordinary least squares and the paper's log-log trend fit.
+
+Figure 2's trend line is an OLS fit in log10-log10 space:
+``log10(#vuln) = 0.17 + 0.39 * log10(kLoC)`` with R² = 24.66%. This module
+provides plain OLS, the log-log convenience wrapper, and the coefficient
+of determination the paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class RegressionError(ValueError):
+    """Raised for degenerate regression inputs."""
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a simple linear regression y = intercept + slope * x."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.intercept + self.slope * x
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """OLS fit of ``ys`` on ``xs``.
+
+    Raises:
+        RegressionError: fewer than 2 points or zero x-variance.
+    """
+    if len(xs) != len(ys):
+        raise RegressionError("x and y lengths differ")
+    if len(xs) < 2:
+        raise RegressionError("need at least 2 points")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    x_var = float(np.var(x))
+    if x_var == 0.0:
+        raise RegressionError("x has zero variance")
+    slope = float(np.cov(x, y, bias=True)[0, 1] / x_var)
+    intercept = float(np.mean(y) - slope * np.mean(x))
+    predicted = intercept + slope * x
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r2, n=len(xs))
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """OLS fit in log10-log10 space (Figure 2's trend line).
+
+    Points with a non-positive coordinate are dropped, since the paper's
+    axes are log scaled and such points cannot appear on them.
+    """
+    pairs = [(x, y) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise RegressionError("need at least 2 strictly positive points")
+    log_x = [math.log10(x) for x, _ in pairs]
+    log_y = [math.log10(y) for _, y in pairs]
+    return fit_linear(log_x, log_y)
+
+
+def r_squared(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of determination of the OLS fit of ys on xs."""
+    return fit_linear(xs, ys).r_squared

@@ -1,0 +1,28 @@
+"""Attack-surface substrate: RASQ [41] and attack graphs [60]."""
+
+from repro.surface.attack_graph import (
+    AttackGraph,
+    AttackGraphMetrics,
+    Exploit,
+    exploits_from_surface,
+)
+from repro.surface.rasq import (
+    CHANNEL_APIS,
+    CHANNEL_WEIGHTS,
+    AttackSurface,
+    relative_quotient,
+)
+from repro.surface import attack_graph, rasq
+
+__all__ = [
+    "AttackGraph",
+    "AttackGraphMetrics",
+    "AttackSurface",
+    "CHANNEL_APIS",
+    "CHANNEL_WEIGHTS",
+    "Exploit",
+    "attack_graph",
+    "exploits_from_surface",
+    "rasq",
+    "relative_quotient",
+]

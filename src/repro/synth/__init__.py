@@ -1,0 +1,48 @@
+"""Calibrated synthetic corpus: apps, CVE histories, commit logs, surveys.
+
+See DESIGN.md's substitution table: every generator here stands in for a
+data source the paper used but that is unavailable offline, calibrated to
+the paper's published aggregate statistics.
+"""
+
+from repro.synth import appgen, corpus, cvegen, history, papersurvey, profiles
+from repro.synth.appgen import (
+    GeneratorConfig,
+    SyntheticApp,
+    generate_app,
+    generate_apps,
+)
+from repro.synth.corpus import Corpus, build_corpus
+from repro.synth.cvegen import (
+    generate_database,
+    generate_profiles,
+    generate_records,
+)
+from repro.synth.history import generate_history, history_for_app
+from repro.synth.papersurvey import Paper, SurveyResult, generate_corpus, survey
+from repro.synth.profiles import AppProfile
+
+__all__ = [
+    "AppProfile",
+    "Corpus",
+    "GeneratorConfig",
+    "Paper",
+    "SurveyResult",
+    "SyntheticApp",
+    "appgen",
+    "build_corpus",
+    "corpus",
+    "cvegen",
+    "generate_app",
+    "generate_apps",
+    "generate_corpus",
+    "generate_database",
+    "generate_history",
+    "generate_profiles",
+    "generate_records",
+    "history",
+    "history_for_app",
+    "papersurvey",
+    "profiles",
+    "survey",
+]

@@ -1,0 +1,435 @@
+"""Synthetic application source generator.
+
+Produces *actual source text* in C/C++/Java/Python for each
+:class:`~repro.synth.profiles.AppProfile`, so the static-analysis testbed
+runs end-to-end on real token streams rather than mocked numbers. The
+profile's latent factors control measurable densities:
+
+- ``z_complexity`` — branching probability, loop nesting, function length;
+- ``z_danger`` — density of dangerous-API call sites (strcpy/eval/...);
+- ``z_surface`` — density of channel APIs (sockets, exec, file I/O) and,
+  with ``network_facing``, the presence of a server loop;
+- ``z_churn`` — (used by :mod:`repro.synth.history`, not here).
+
+Generating the full nominal size (up to millions of lines) is pointless
+and slow, so the generator emits a *representative sample* capped at
+``max_lines``; density features measured on the sample estimate the full
+app's densities, while the nominal kLoC is carried as profile metadata —
+exactly the split a real testbed faces between cloc totals and sampled
+deep analysis. Files that receive seeded dangerous sites are returned as
+the app's *vulnerable files* (ground truth for the Shin-et-al. file-level
+experiment).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.lang.sourcefile import Codebase, SourceFile
+from repro.synth.profiles import AppProfile
+
+_EXTENSION = {"c": ".c", "cpp": ".cc", "java": ".java", "python": ".py"}
+
+_DANGEROUS_CALLS = {
+    "c": ('strcpy(buf, input)', 'sprintf(buf, fmt)', 'gets(buf)',
+          'strcat(buf, input)', 'system(cmd)'),
+    "cpp": ('strcpy(buf, input)', 'sprintf(buf, fmt)', 'memcpy(dst, src, n * m)',
+            'system(cmd)'),
+    "java": ('stmt.query("SELECT * FROM t WHERE k=" + key)',
+             'Runtime.exec(cmd)'),
+    "python": ('eval(expr)', 'os.system(cmd)',
+               'cur.query("SELECT * FROM t WHERE k=" + key)'),
+}
+
+_SURFACE_CALLS = {
+    "c": ("recv(sock, buf, n, 0)", "fopen(path, mode)", "getenv(name)",
+          "read(fd, buf, n)"),
+    "cpp": ("recv(sock, buf, n, 0)", "fopen(path, mode)", "getenv(name)"),
+    "java": ("FileReader(path)", "ProcessBuilder(cmd)"),
+    "python": ("open(path)", "subprocess.run(cmd)", "os.getenv(name)"),
+}
+
+_NETWORK_SNIPPET = {
+    "c": ("sock = socket(AF_INET, SOCK_STREAM, 0)",
+          "bind(sock, addr, len)", "listen(sock, 16)",
+          "conn = accept(sock, addr, len)"),
+    "cpp": ("sock = socket(AF_INET, SOCK_STREAM, 0)",
+            "listen(sock, 16)", "conn = accept(sock, addr, len)"),
+    "java": ("server = ServerSocket(port)", "conn = server.accept()"),
+    "python": ("sock = socket.socket()", "sock.bind(addr)",
+               "sock.listen(16)", "conn = sock.accept()"),
+}
+
+
+def _sigmoid(z: float) -> float:
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunables for the code generator."""
+
+    max_lines: int = 1400  # sample-size cap per application
+    min_lines: int = 300
+    mean_function_lines: int = 18
+    comment_probability: float = 0.12
+
+
+@dataclass
+class SyntheticApp:
+    """One generated application: profile, sampled code, ground truth."""
+
+    profile: AppProfile
+    codebase: Codebase
+    vulnerable_files: FrozenSet[str]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+class _Writer:
+    """Indentation-aware line buffer."""
+
+    def __init__(self, indent_unit: str = "    "):
+        self.lines: List[str] = []
+        self.depth = 0
+        self.unit = indent_unit
+
+    def emit(self, text: str = "") -> None:
+        if text:
+            self.lines.append(self.unit * self.depth + text)
+        else:
+            self.lines.append("")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+class _AppGenerator:
+    """Generates one application's sampled codebase from its profile."""
+
+    def __init__(self, profile: AppProfile, seed: int, config: GeneratorConfig):
+        self.profile = profile
+        self.rng = random.Random(f"{seed}:{profile.name}:code")
+        self.config = config
+        self.language = profile.language
+        # Densities from the latent factors (bounded, monotone).
+        self.p_branch = 0.20 + 0.16 * _sigmoid(profile.z_complexity)
+        self.p_loop = 0.10 + 0.08 * _sigmoid(profile.z_complexity)
+        self.extra_nesting = profile.z_complexity > 0.8
+        self.p_danger = 0.01 + 0.05 * _sigmoid(1.3 * profile.z_danger)
+        self.p_surface = 0.01 + 0.05 * _sigmoid(1.2 * profile.z_surface)
+        #: Danger sites cluster in "risky" files (matching the empirical
+        #: observation behind Shin et al.: vulnerabilities concentrate in a
+        #: minority of files, which is what makes file-level prediction a
+        #: meaningful task).
+        self.p_risky_file = 0.12 + 0.38 * _sigmoid(profile.z_danger)
+        self._counter = 0
+        self._functions: List[str] = []
+        self._file_is_risky = False
+        self.vulnerable_files: List[str] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def _sample_lines(self) -> int:
+        # Sub-linear in nominal size: big apps get bigger samples, but the
+        # cap keeps whole-corpus analysis tractable. Calibrated so the
+        # 8-6000 kLoC profile range maps onto [min_lines, max_lines).
+        target = 90.0 * self.profile.kloc**0.4
+        return int(
+            min(self.config.max_lines, max(self.config.min_lines, target))
+        )
+
+    def generate(self) -> Tuple[Codebase, FrozenSet[str]]:
+        """Generate the sampled codebase and its vulnerable-file set."""
+        total_budget = self._sample_lines()
+        n_files = max(3, min(12, total_budget // 120))
+        per_file = total_budget // n_files
+        sources: Dict[str, str] = {}
+        ext = _EXTENSION[self.language]
+        for i in range(n_files):
+            path = f"src/module_{i:02d}{ext}"
+            sources[path] = self._generate_file(i, per_file, path)
+        if self.profile.network_facing:
+            path = f"src/server{ext}"
+            sources[path] = self._generate_server_file(path)
+        codebase = Codebase.from_sources(self.profile.name, sources)
+        return codebase, frozenset(self.vulnerable_files)
+
+    # -- file generation -------------------------------------------------------
+
+    def _generate_file(self, index: int, budget: int, path: str) -> str:
+        writer = _Writer()
+        self._file_is_risky = self.rng.random() < self.p_risky_file
+        self._file_header(writer, index)
+        n_functions = max(2, budget // self.config.mean_function_lines)
+        class_name = None
+        if self.language == "java":
+            class_name = f"Module{index:02d}"
+            writer.emit(f"public class {class_name} {{")
+            writer.depth += 1
+        for f in range(n_functions):
+            if len(writer) >= budget:
+                break
+            self._generate_function(writer, path)
+            writer.emit()
+        if self.language == "c" and index == 0:
+            self._generate_main(writer)
+        if class_name is not None:
+            writer.depth -= 1
+            writer.emit("}")
+        return writer.text()
+
+    def _file_header(self, writer: _Writer, index: int) -> None:
+        if self.language in ("c", "cpp"):
+            writer.emit("#include <stdio.h>")
+            writer.emit("#include <stdlib.h>")
+            writer.emit("#include <string.h>")
+        elif self.language == "python":
+            writer.emit("import os")
+            writer.emit("import sys")
+        elif self.language == "java":
+            writer.emit("import java.io.*;")
+        writer.emit()
+
+    # -- function bodies ------------------------------------------------------
+
+    def _generate_function(self, writer: _Writer, path: str) -> None:
+        name = self._fresh("proc")
+        params = [self._fresh("arg") for _ in range(self.rng.randint(0, 4))]
+        self._functions.append(name)
+        if self.rng.random() < self.config.comment_probability:
+            writer.emit(self._comment(f"{name}: generated routine"))
+        self._open_function(writer, name, params)
+        body_lines = max(4, int(self.rng.gauss(self.config.mean_function_lines, 5)))
+        self._statement_block(writer, body_lines, depth=0, path=path,
+                              vars_in_scope=list(params) or ["state"])
+        self._close_function(writer, name)
+
+    def _open_function(self, writer: _Writer, name: str, params: List[str]) -> None:
+        if self.language in ("c", "cpp"):
+            sig = ", ".join(f"int {p}" for p in params) or "void"
+            writer.emit(f"static int {name}({sig}) {{")
+        elif self.language == "java":
+            sig = ", ".join(f"int {p}" for p in params)
+            writer.emit(f"public int {name}({sig}) {{")
+        else:
+            sig = ", ".join(params)
+            writer.emit(f"def {name}({sig}):")
+        writer.depth += 1
+        if self.language in ("c", "cpp"):
+            writer.emit("char buf[64];")
+            writer.emit("int result = 0;")
+        elif self.language == "java":
+            writer.emit("int result = 0;")
+        else:
+            writer.emit("result = 0")
+
+    def _close_function(self, writer: _Writer, name: str) -> None:
+        if self.language == "python":
+            writer.emit("return result")
+            writer.depth -= 1
+        else:
+            writer.emit("return result;")
+            writer.depth -= 1
+            writer.emit("}")
+
+    def _statement_block(
+        self,
+        writer: _Writer,
+        budget: int,
+        depth: int,
+        path: str,
+        vars_in_scope: List[str],
+    ) -> None:
+        emitted = 0
+        max_depth = 3 if self.extra_nesting else 2
+        p_danger = self.p_danger if self._file_is_risky else self.p_danger / 25.0
+        # Risky files are also somewhat gnarlier (Shin et al. found file
+        # complexity itself predicts vulnerable files).
+        p_branch = self.p_branch * (1.35 if self._file_is_risky else 1.0)
+        while emitted < budget:
+            roll = self.rng.random()
+            nested_ok = depth < max_depth
+            threshold_branch = p_branch if nested_ok else 0.0
+            threshold_loop = threshold_branch + (self.p_loop if nested_ok else 0.0)
+            threshold_danger = threshold_loop + p_danger
+            threshold_surface = threshold_danger + self.p_surface
+            if roll < threshold_branch:
+                emitted += self._emit_branch(writer, budget - emitted, depth,
+                                             path, vars_in_scope)
+            elif roll < threshold_loop:
+                emitted += self._emit_loop(writer, budget - emitted, depth,
+                                           path, vars_in_scope)
+            elif roll < threshold_danger:
+                self._emit_danger(writer, path)
+                emitted += 1
+            elif roll < threshold_surface:
+                self._emit_surface(writer)
+                emitted += 1
+            else:
+                self._emit_simple(writer, vars_in_scope)
+                emitted += 1
+
+    def _cond(self, vars_in_scope: List[str]) -> str:
+        var = self.rng.choice(vars_in_scope)
+        op = self.rng.choice((">", "<", "==", "!="))
+        value = self.rng.choice((0, 1, 7, 64, 255))
+        cond = f"{var} {op} {value}"
+        if self.rng.random() < 0.3:
+            other = self.rng.choice(vars_in_scope)
+            joiner = "&&" if self.language != "python" else "and"
+            cond += f" {joiner} {other} > 0"
+        return cond
+
+    def _emit_branch(self, writer, budget, depth, path, vars_in_scope) -> int:
+        cond = self._cond(vars_in_scope)
+        inner = min(budget, self.rng.randint(1, 4))
+        if self.language == "python":
+            writer.emit(f"if {cond}:")
+        else:
+            writer.emit(f"if ({cond}) {{")
+        writer.depth += 1
+        self._statement_block(writer, inner, depth + 1, path, vars_in_scope)
+        writer.depth -= 1
+        used = inner + 1
+        if self.language != "python":
+            writer.emit("}")
+        if self.rng.random() < 0.4 and budget - used > 1:
+            if self.language == "python":
+                writer.emit("else:")
+            else:
+                writer.emit("else {")
+            writer.depth += 1
+            extra = min(budget - used, self.rng.randint(1, 3))
+            self._statement_block(writer, extra, depth + 1, path, vars_in_scope)
+            writer.depth -= 1
+            if self.language != "python":
+                writer.emit("}")
+            used += extra + 1
+        return used
+
+    def _emit_loop(self, writer, budget, depth, path, vars_in_scope) -> int:
+        inner = min(budget, self.rng.randint(1, 4))
+        idx = self._fresh("i")
+        bound = self.rng.choice((8, 16, 100))
+        if self.language == "python":
+            writer.emit(f"for {idx} in range({bound}):")
+        elif self.language == "java":
+            writer.emit(f"for (int {idx} = 0; {idx} < {bound}; {idx}++) {{")
+        else:
+            writer.emit(f"for (int {idx} = 0; {idx} < {bound}; {idx}++) {{")
+        writer.depth += 1
+        self._statement_block(writer, inner, depth + 1, path,
+                              vars_in_scope + [idx])
+        writer.depth -= 1
+        if self.language != "python":
+            writer.emit("}")
+        return inner + 1
+
+    def _emit_danger(self, writer, path: str) -> None:
+        call = self.rng.choice(_DANGEROUS_CALLS[self.language])
+        writer.emit(call if self.language == "python" else call + ";")
+        if path not in self.vulnerable_files:
+            self.vulnerable_files.append(path)
+
+    def _emit_surface(self, writer) -> None:
+        call = self.rng.choice(_SURFACE_CALLS[self.language])
+        target = self._fresh("h")
+        if self.language == "python":
+            writer.emit(f"{target} = {call}")
+        else:
+            writer.emit(f"int {target} = {call};")
+
+    def _emit_simple(self, writer, vars_in_scope: List[str]) -> None:
+        if self.rng.random() < self.config.comment_probability:
+            writer.emit(self._comment("bookkeeping"))
+            return
+        var = self.rng.choice(vars_in_scope + ["result"])
+        expr_var = self.rng.choice(vars_in_scope + ["result"])
+        op = self.rng.choice(("+", "-", "*"))
+        value = self.rng.choice((1, 2, 3, 31, 97))
+        if self.language == "python":
+            writer.emit(f"{var} = {expr_var} {op} {value}")
+        else:
+            writer.emit(f"{var} = {expr_var} {op} {value};")
+        if self._functions and self.rng.random() < 0.25:
+            callee = self.rng.choice(self._functions)
+            args = ", ".join(
+                self.rng.choice(vars_in_scope + ["result"])
+                for _ in range(self.rng.randint(0, 2))
+            )
+            if self.language == "python":
+                writer.emit(f"result = {callee}({args})")
+            else:
+                writer.emit(f"result = {callee}({args});")
+
+    def _comment(self, text: str) -> str:
+        return f"# {text}" if self.language == "python" else f"/* {text} */"
+
+    # -- special files -----------------------------------------------------------
+
+    def _generate_main(self, writer: _Writer) -> None:
+        writer.emit("int main(int argc, char **argv) {")
+        writer.depth += 1
+        writer.emit("int result = 0;")
+        if self._functions:
+            writer.emit(f"result = {self.rng.choice(self._functions)}(argc);")
+        writer.emit("return result;")
+        writer.depth -= 1
+        writer.emit("}")
+
+    def _generate_server_file(self, path: str) -> str:
+        writer = _Writer()
+        self._file_header(writer, 99)
+        lang = self.language
+        if lang == "java":
+            writer.emit("public class Server {")
+            writer.depth += 1
+        name = "serve_loop"
+        self._open_function(writer, name, ["port"])
+        for line in _NETWORK_SNIPPET[lang]:
+            writer.emit(line if lang == "python" else line + ";")
+        # A network-facing input is handled, sometimes dangerously.
+        if self.rng.random() < _sigmoid(self.profile.z_danger):
+            self._emit_danger(writer, path)
+        self._emit_simple(writer, ["port"])
+        self._close_function(writer, name)
+        if lang == "java":
+            writer.depth -= 1
+            writer.emit("}")
+        return writer.text()
+
+
+def generate_app(
+    profile: AppProfile,
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+) -> SyntheticApp:
+    """Generate the sampled codebase for one application profile."""
+    generator = _AppGenerator(profile, seed, config or GeneratorConfig())
+    codebase, vulnerable = generator.generate()
+    return SyntheticApp(
+        profile=profile, codebase=codebase, vulnerable_files=vulnerable
+    )
+
+
+def generate_apps(
+    profiles: Sequence[AppProfile],
+    seed: int = 0,
+    config: Optional[GeneratorConfig] = None,
+) -> List[SyntheticApp]:
+    """Generate sampled codebases for every profile."""
+    cfg = config or GeneratorConfig()
+    return [generate_app(p, seed=seed, config=cfg) for p in profiles]

@@ -1,0 +1,156 @@
+"""Figure-1 survey: synthetic paper corpus plus the survey classifier.
+
+The paper surveys CCS, PLDI, SOSP, ASPLOS, and EuroSys proceedings and
+counts papers whose security evaluation uses (a) lines of code — 384,
+(b) CVE-report counts — 116, (c) formal verification or proof — 31.
+We cannot crawl proceedings offline, so :func:`generate_corpus` emits
+paper metadata (title + evaluation excerpt) with per-venue quotas pinned
+to the published totals, and :func:`survey` re-derives the counts by
+keyword classification over the generated text — exercising the same
+classify-and-count pipeline the authors ran by hand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.synth import profiles as P
+
+#: Evaluation styles the survey distinguishes.
+STYLE_LOC = "loc"
+STYLE_CVE = "cve"
+STYLE_FORMAL = "formal"
+STYLE_OTHER = "other"
+
+_EXCERPTS: Dict[str, Tuple[str, ...]] = {
+    STYLE_LOC: (
+        "our trusted computing base is only {n} lines of code",
+        "we reduce the TCB to {n} KLoC compared to the monolithic design",
+        "the kernel portion comprises {n} lines of code (LoC)",
+        "attack surface shrinks from {m} to {n} lines of code",
+    ),
+    STYLE_CVE: (
+        "we analysed {n} CVE reports affecting the target application",
+        "of the {n} vulnerabilities in the CVE database, our system stops {m}",
+        "the CVE history of the daemon shows {n} memory-safety reports",
+    ),
+    STYLE_FORMAL: (
+        "we formally verify the protocol in Coq",
+        "the implementation is proved correct against the specification",
+        "a machine-checked proof establishes noninterference",
+        "we model-check the state machine and prove the invariant",
+    ),
+    STYLE_OTHER: (
+        "throughput improves by {n}% over the baseline",
+        "we evaluate latency on a {n}-node cluster",
+        "the prototype sustains {n}k requests per second",
+        "energy consumption drops by {n}% under the new scheduler",
+    ),
+}
+
+_TITLE_WORDS = (
+    "secure", "practical", "scalable", "modular", "efficient", "transparent",
+    "isolation", "enclave", "microkernel", "hypervisor", "sandbox", "memory",
+    "network", "storage", "consensus", "scheduler",
+)
+
+
+@dataclass(frozen=True)
+class Paper:
+    """One surveyed paper: venue, title, and its evaluation excerpt."""
+
+    venue: str
+    title: str
+    excerpt: str
+    style: str  # ground-truth evaluation style
+
+
+def generate_corpus(seed: int = 0) -> List[Paper]:
+    """Generate the survey corpus with per-venue quotas from profiles.py."""
+    rng = random.Random(seed)
+    papers: List[Paper] = []
+    quota_tables = (
+        (STYLE_LOC, P.SURVEY_LOC_PAPERS),
+        (STYLE_CVE, P.SURVEY_CVE_PAPERS),
+        (STYLE_FORMAL, P.SURVEY_FORMAL_PAPERS),
+        (STYLE_OTHER, P.SURVEY_OTHER_PAPERS),
+    )
+    for style, quotas in quota_tables:
+        for venue in P.SURVEY_VENUES:
+            for _ in range(quotas[venue]):
+                template = rng.choice(_EXCERPTS[style])
+                excerpt = template.format(
+                    n=rng.randint(2, 900), m=rng.randint(2, 900)
+                )
+                title = " ".join(
+                    rng.choice(_TITLE_WORDS)
+                    for _ in range(rng.randint(3, 5))
+                ).title()
+                papers.append(Paper(venue, title, excerpt, style))
+    rng.shuffle(papers)
+    return papers
+
+
+# -- the survey classifier ----------------------------------------------------
+
+import re as _re
+
+_LOC_PATTERN = _re.compile(
+    r"lines of code|\bk?loc\b|\btcb\b", _re.IGNORECASE
+)
+_CVE_PATTERN = _re.compile(r"\bcve\b|\bvulnerabilit", _re.IGNORECASE)
+_FORMAL_PATTERN = _re.compile(
+    r"\bformally\b|\bverif\w*|\bproofs?\b|\bproved?\b|\bprove\b"
+    r"|model-check|machine-checked",
+    _re.IGNORECASE,
+)
+
+
+def classify(paper: Paper) -> str:
+    """Keyword classification of one paper's evaluation style.
+
+    Formal wins over CVE wins over LoC when several keywords appear,
+    matching the paper's bucketing (a verified system is counted as
+    verified even if it also reports its size).
+    """
+    # The survey judges how a paper *evaluates*, so only the
+    # evaluation excerpt is classified; titles are rhetoric.
+    text = paper.excerpt
+    if _FORMAL_PATTERN.search(text):
+        return STYLE_FORMAL
+    if _CVE_PATTERN.search(text):
+        return STYLE_CVE
+    if _LOC_PATTERN.search(text):
+        return STYLE_LOC
+    return STYLE_OTHER
+
+
+@dataclass(frozen=True)
+class SurveyResult:
+    """Figure 1's data: per-style totals and per-venue breakdown."""
+
+    totals: Dict[str, int]
+    by_venue: Dict[str, Dict[str, int]]
+    accuracy: float  # classifier agreement with generation ground truth
+
+
+def survey(papers: Sequence[Paper]) -> SurveyResult:
+    """Run the keyword survey over a corpus (Figure 1's pipeline)."""
+    totals = {STYLE_LOC: 0, STYLE_CVE: 0, STYLE_FORMAL: 0, STYLE_OTHER: 0}
+    by_venue: Dict[str, Dict[str, int]] = {
+        venue: dict(totals) for venue in P.SURVEY_VENUES
+    }
+    correct = 0
+    for paper in papers:
+        style = classify(paper)
+        totals[style] += 1
+        by_venue[paper.venue][style] += 1
+        if style == paper.style:
+            correct += 1
+    return SurveyResult(
+        totals=totals,
+        by_venue=by_venue,
+        accuracy=correct / len(papers) if papers else 0.0,
+    )

@@ -1,0 +1,165 @@
+"""Version-evolution generator: successive versions of an application.
+
+§5.3's headline workflow is evaluating a *code change*: "whether a code
+change has raised or lowered the risk than the previous version of the
+code." To validate that workflow at corpus scale we need version pairs
+with known ground truth. Given a generated application, this module
+produces a successor version by applying one of three labelled change
+kinds:
+
+- ``harden``  — remove dangerous call sites (risk should go down);
+- ``regress`` — inject a new risky module (risk should go up);
+- ``neutral`` — refactor-ish noise: comments and benign arithmetic
+  (risk should stay put).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.lang.sourcefile import Codebase
+from repro.synth.appgen import _DANGEROUS_CALLS, _EXTENSION, SyntheticApp
+
+CHANGE_KINDS = ("harden", "regress", "neutral")
+
+#: Replacement text per language for a removed dangerous call.
+_SAFE_REPLACEMENT = {
+    "c": "snprintf(buf, sizeof(buf), \"%d\", 0);",
+    "cpp": "snprintf(buf, sizeof(buf), \"%d\", 0);",
+    "java": "stmt.query(SAFE_QUERY);",
+    "python": "result = result + 0",
+}
+
+_REGRESSION_MODULE = {
+    "c": """\
+#include <string.h>
+#include <stdlib.h>
+
+static int imported_handler(char *request) {{
+    char buf[{size}];
+    strcpy(buf, request);
+    sprintf(buf, request);
+    system(request);
+    gets(buf);
+    return 0;
+}}
+""",
+    "cpp": """\
+#include <cstring>
+
+static int imported_handler(char *request) {{
+    char buf[{size}];
+    strcpy(buf, request);
+    memcpy(buf, request, n * m);
+    system(request);
+    return 0;
+}}
+""",
+    "java": """\
+public class ImportedHandler {{
+    public int handle(String key) {{
+        stmt.query("SELECT * FROM t WHERE k=" + key);
+        Runtime.exec(key);
+        int pad{size} = 0;
+        return pad{size};
+    }}
+}}
+""",
+    "python": """\
+import os
+
+def imported_handler(request):
+    eval(request)
+    os.system(request)
+    pad{size} = 0
+    return pad{size}
+""",
+}
+
+
+@dataclass(frozen=True)
+class VersionPair:
+    """A (before, after) version pair with its ground-truth label."""
+
+    app_name: str
+    kind: str  # harden | regress | neutral
+    before: Codebase
+    after: Codebase
+    #: Net dangerous call sites added (negative for hardening).
+    danger_delta: int
+
+
+def _dangerous_lines(language: str) -> Tuple[str, ...]:
+    return tuple(
+        call if language == "python" else call + ";"
+        for call in _DANGEROUS_CALLS[language]
+    )
+
+
+def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
+    """Produce the successor version of ``app`` under change ``kind``."""
+    if kind not in CHANGE_KINDS:
+        raise ValueError(f"unknown change kind: {kind!r}")
+    rng = random.Random(f"{seed}:{app.name}:{kind}")
+    language = app.profile.language
+    sources: Dict[str, str] = {f.path: f.text for f in app.codebase}
+    danger_delta = 0
+
+    if kind == "harden":
+        markers = _dangerous_lines(language)
+        for path in sorted(sources):
+            lines = sources[path].splitlines()
+            new_lines: List[str] = []
+            for line in lines:
+                stripped = line.strip()
+                if stripped in markers and rng.random() < 0.8:
+                    indent = line[: len(line) - len(line.lstrip())]
+                    new_lines.append(indent + _SAFE_REPLACEMENT[language])
+                    danger_delta -= 1
+                else:
+                    new_lines.append(line)
+            sources[path] = "\n".join(new_lines) + "\n"
+    elif kind == "regress":
+        # The imported module scales with the application: one risky
+        # handler per ~2 existing files, so the change is material at the
+        # app level (a one-liner in a million-line app would rightly be
+        # invisible to an aggregate metric).
+        n_handlers = max(3, len(sources) // 2 + 1)
+        for h in range(n_handlers):
+            chunk = _REGRESSION_MODULE[language].format(
+                size=rng.randint(8, 64)
+            )
+            chunk = chunk.replace("imported_handler",
+                                  f"imported_handler_{h}")
+            chunk = chunk.replace("ImportedHandler",
+                                  f"ImportedHandler{h}")
+            sources[f"src/imported_{h}{_EXTENSION[language]}"] = chunk
+            danger_delta += chunk.count("(") // 2  # rough site count
+    else:  # neutral
+        comment = "# maintenance pass" if language == "python" \
+            else "/* maintenance pass */"
+        for path in sorted(sources):
+            if rng.random() < 0.5:
+                sources[path] = comment + "\n" + sources[path]
+
+    after = Codebase.from_sources(app.name, sources)
+    return VersionPair(
+        app_name=app.name,
+        kind=kind,
+        before=app.codebase,
+        after=after,
+        danger_delta=danger_delta,
+    )
+
+
+def version_pairs(
+    apps, seed: int = 0, kinds: Tuple[str, ...] = CHANGE_KINDS
+) -> List[VersionPair]:
+    """One labelled version pair per (app, kind), round-robin over kinds."""
+    pairs: List[VersionPair] = []
+    for i, app in enumerate(apps):
+        kind = kinds[i % len(kinds)]
+        pairs.append(evolve(app, kind, seed=seed))
+    return pairs

@@ -1,0 +1,101 @@
+"""Commit-history, churn, and developer-activity tests."""
+
+import pytest
+
+from repro.analysis.churn import (
+    Commit,
+    CommitHistory,
+    FileDelta,
+    churn_metrics,
+    developer_activity,
+    developer_network,
+    file_churn,
+)
+
+
+def history():
+    h = CommitHistory()
+    h.add(Commit("alice", 0, (FileDelta("a.c", 10, 0),)))
+    h.add(Commit("bob", 5, (FileDelta("a.c", 5, 3), FileDelta("b.c", 20, 0))))
+    h.add(Commit("alice", 9, (FileDelta("b.c", 1, 1),)))
+    h.add(Commit("carol", 20, (FileDelta("c.c", 100, 50),)))
+    return h
+
+
+class TestModel:
+    def test_commits_sorted_by_day(self):
+        h = CommitHistory()
+        h.add(Commit("a", 10, ()))
+        h.add(Commit("b", 2, ()))
+        assert [c.day for c in h.commits] == [2, 10]
+
+    def test_files_and_authors(self):
+        h = history()
+        assert h.files == {"a.c", "b.c", "c.c"}
+        assert h.authors == {"alice", "bob", "carol"}
+
+    def test_span(self):
+        assert history().span_days == 20
+
+    def test_empty_span(self):
+        assert CommitHistory().span_days == 0
+
+    def test_touched(self):
+        c = Commit("a", 1, (FileDelta("x", 1, 0), FileDelta("y", 2, 2)))
+        assert c.touched == {"x", "y"}
+
+
+class TestFileChurn:
+    def test_per_file_stats(self):
+        churn = file_churn(history())
+        a = churn["a.c"]
+        assert a.n_commits == 2
+        assert a.lines_added == 15
+        assert a.lines_deleted == 3
+        assert a.total_churn == 18
+        assert a.n_authors == 2
+        assert a.days_active == 5
+
+    def test_churn_per_commit(self):
+        churn = file_churn(history())
+        assert churn["a.c"].churn_per_commit == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert file_churn(CommitHistory()) == {}
+
+
+class TestDeveloperNetwork:
+    def test_shared_file_creates_edge(self):
+        g = developer_network(history())
+        assert g.has_edge("alice", "bob")  # both touched a.c and b.c
+        assert not g.has_edge("alice", "carol")
+
+    def test_activity_metrics(self):
+        m = developer_activity(history())
+        assert m.n_authors == 3
+        assert m.n_commits == 4
+        assert m.max_authors_per_file == 2
+        assert m.n_peripheral_authors >= 1  # carol works alone
+
+    def test_density_single_author(self):
+        h = CommitHistory()
+        h.add(Commit("solo", 0, (FileDelta("a.c", 1, 0),)))
+        assert developer_activity(h).network_density == 0.0
+
+
+class TestChurnMetrics:
+    def test_aggregates(self):
+        m = churn_metrics(history())
+        assert m.total_churn == 18 + 22 + 150
+        assert m.max_file_churn == 150
+        assert m.n_high_churn_files == 1
+
+    def test_relative_churn(self):
+        m = churn_metrics(history())
+        added = 10 + 5 + 20 + 1 + 100
+        assert m.relative_churn == pytest.approx(m.total_churn / added)
+
+    def test_empty(self):
+        m = churn_metrics(CommitHistory())
+        assert m.total_churn == 0
+        assert m.relative_churn == 0.0

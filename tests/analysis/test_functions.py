@@ -1,0 +1,80 @@
+"""Function/declaration/variable metric tests."""
+
+import pytest
+
+from repro.analysis.functions import (
+    count_declarations,
+    count_variables,
+    function_table,
+    measure_codebase,
+    measure_file,
+)
+from repro.lang import Codebase, SourceFile
+
+
+class TestDeclarations:
+    def test_c_declarations(self):
+        src = SourceFile("t.c", "int a;\nchar b;\nstruct foo s;\n")
+        assert count_declarations(src) == 3
+
+    def test_python_declarations(self):
+        src = SourceFile(
+            "t.py", "def f():\n    pass\n\nclass A:\n    pass\n\ng = lambda x: x\n"
+        )
+        assert count_declarations(src) == 3
+
+    def test_java_declarations(self):
+        src = SourceFile("T.java", "int a; final int b = 2; double d;")
+        assert count_declarations(src) == 3
+
+
+class TestVariables:
+    def test_assigned_variables_counted(self):
+        src = SourceFile("t.c", "a = 1;\nb = 2;\na = 3;\n")
+        assert count_variables(src) == 2  # distinct names
+
+    def test_comparison_not_assignment(self):
+        src = SourceFile("t.c", "if (a == 1) { b = 2; }")
+        assert count_variables(src) == 1
+
+    def test_compound_assignment(self):
+        src = SourceFile("t.c", "total += 5;")
+        assert count_variables(src) == 1
+
+    def test_walrus_python(self):
+        src = SourceFile("t.py", "if (n := read()) > 0:\n    pass\n")
+        assert count_variables(src) == 1
+
+
+class TestFileMetrics:
+    def test_c_sample(self, c_source):
+        m = measure_file(c_source)
+        assert m.n_functions == 2
+        assert m.n_public_functions == 1
+        assert m.max_params == 3
+        assert m.mean_params == pytest.approx(2.5)
+        assert m.max_length >= 12
+
+    def test_py_sample(self, py_source):
+        m = measure_file(py_source)
+        assert m.n_functions == 3
+        assert m.total_params == 5  # name,times / self,who / self
+
+    def test_empty(self):
+        m = measure_file(SourceFile("t.c", ""))
+        assert m.n_functions == 0
+        assert m.mean_length == 0.0
+        assert m.mean_params == 0.0
+
+
+class TestCodebaseMetrics:
+    def test_aggregates(self, mixed_codebase):
+        m = measure_codebase(mixed_codebase)
+        assert m.n_functions == 8  # 2 C + 3 Py + 3 Java
+        assert m.n_declarations > 0
+        assert m.n_variables > 0
+
+    def test_function_table_paths(self, mixed_codebase):
+        table = function_table(mixed_codebase)
+        assert set(table) == {"main.c", "app.py", "Widget.java"}
+        assert len(table["app.py"]) == 3

@@ -1,0 +1,107 @@
+"""Halstead measure tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import SourceFile, tokenize, C
+from repro.analysis.halstead import (
+    HalsteadMetrics,
+    measure_codebase,
+    measure_file,
+    measure_tokens,
+)
+
+
+class TestCounts:
+    def test_simple_expression(self):
+        # `a = b + 1;` -> operators {=, +, ;} x3, operands {a, b, 1} x3
+        m = measure_tokens(tokenize("a = b + 1;", C))
+        assert m.distinct_operators == 3
+        assert m.distinct_operands == 3
+        assert m.total_operators == 3
+        assert m.total_operands == 3
+
+    def test_repeated_operand_counts_total_not_distinct(self):
+        m = measure_tokens(tokenize("a = a + a;", C))
+        assert m.distinct_operands == 1
+        assert m.total_operands == 3
+
+    def test_keywords_are_operators(self):
+        m = measure_tokens(tokenize("return x;", C))
+        assert m.distinct_operators == 2  # return, ;
+        assert m.distinct_operands == 1
+
+    def test_comments_ignored(self):
+        a = measure_tokens(tokenize("x = 1; // note", C))
+        b = measure_tokens(tokenize("x = 1;", C))
+        assert a == b
+
+
+class TestDerived:
+    def test_vocabulary_and_length(self):
+        m = HalsteadMetrics(2, 3, 10, 15)
+        assert m.vocabulary == 5
+        assert m.length == 25
+
+    def test_volume_formula(self):
+        m = HalsteadMetrics(2, 3, 10, 15)
+        assert m.volume == pytest.approx(25 * math.log2(5))
+
+    def test_difficulty_formula(self):
+        m = HalsteadMetrics(4, 5, 10, 15)
+        assert m.difficulty == pytest.approx((4 / 2) * (15 / 5))
+
+    def test_effort_is_difficulty_times_volume(self):
+        m = HalsteadMetrics(4, 5, 10, 15)
+        assert m.effort == pytest.approx(m.difficulty * m.volume)
+
+    def test_estimated_bugs(self):
+        m = HalsteadMetrics(4, 5, 10, 15)
+        assert m.estimated_bugs == pytest.approx(m.volume / 3000.0)
+
+    def test_time_is_effort_over_18(self):
+        m = HalsteadMetrics(4, 5, 10, 15)
+        assert m.time_seconds == pytest.approx(m.effort / 18.0)
+
+    def test_estimated_length(self):
+        m = HalsteadMetrics(4, 8, 0, 0)
+        assert m.estimated_length == pytest.approx(4 * 2 + 8 * 3)
+
+    def test_empty_metrics_all_zero(self):
+        m = HalsteadMetrics(0, 0, 0, 0)
+        assert m.volume == 0.0
+        assert m.difficulty == 0.0
+        assert m.effort == 0.0
+        assert m.estimated_length == 0.0
+
+
+class TestAggregation:
+    def test_add(self):
+        a = HalsteadMetrics(1, 2, 3, 4)
+        b = HalsteadMetrics(10, 20, 30, 40)
+        c = a + b
+        assert c == HalsteadMetrics(11, 22, 33, 44)
+
+    def test_codebase_is_sum_of_files(self, mixed_codebase):
+        total = measure_codebase(mixed_codebase)
+        acc = HalsteadMetrics(0, 0, 0, 0)
+        for f in mixed_codebase:
+            acc = acc + measure_file(f)
+        assert total == acc
+
+    def test_c_sample_nonzero(self, c_source):
+        m = measure_file(c_source)
+        assert m.volume > 0
+        assert m.difficulty > 0
+
+
+@settings(max_examples=40)
+@given(st.text(alphabet="abc123 +-*/;=()", max_size=120))
+def test_totals_bound_distincts(text):
+    m = measure_tokens(tokenize(text, C))
+    assert m.total_operators >= m.distinct_operators
+    assert m.total_operands >= m.distinct_operands
+    assert m.volume >= 0

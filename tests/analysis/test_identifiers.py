@@ -1,0 +1,73 @@
+"""Identifier-quality metric tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.identifiers import measure_codebase, measure_file
+from repro.lang import Codebase, SourceFile
+
+
+def src(text, path="t.c"):
+    return SourceFile(path, text)
+
+
+class TestBasics:
+    def test_counts(self):
+        m = measure_file(src("alpha = beta + alpha;"))
+        assert m.n_occurrences == 3
+        assert m.n_distinct == 2
+
+    def test_mean_length_weighted(self):
+        m = measure_file(src("ab = abcd;"))
+        assert m.mean_length == pytest.approx(3.0)
+
+    def test_empty_file(self):
+        m = measure_file(src(""))
+        assert m.n_occurrences == 0
+        assert m.vocabulary_richness == 0.0
+
+    def test_keywords_not_counted(self):
+        m = measure_file(src("int value;"))
+        assert m.n_distinct == 1  # `int` is a keyword
+
+
+class TestSmellSignals:
+    def test_conventional_counters_not_short(self):
+        m = measure_file(src("for (int i = 0; i < n; i++) { total += i; }"))
+        assert m.short_name_fraction == 0.0
+
+    def test_cryptic_short_names_flagged(self):
+        m = measure_file(src("qq = ab + qq;"))
+        assert m.short_name_fraction == 1.0
+
+    def test_numeric_suffixes(self):
+        m = measure_file(src("buf2 = buf3;"))
+        assert m.numeric_suffix_fraction == 1.0
+
+    def test_pure_number_not_suffix(self):
+        m = measure_file(src("value = other;"))
+        assert m.numeric_suffix_fraction == 0.0
+
+
+class TestEntropy:
+    def test_single_identifier_zero_entropy(self):
+        m = measure_file(src("spam = spam + spam;"))
+        assert m.entropy == 0.0
+
+    def test_uniform_two_identifiers_one_bit(self):
+        m = measure_file(src("alpha = beta;"))
+        assert m.entropy == pytest.approx(1.0)
+
+    def test_richer_vocabulary_higher_entropy(self):
+        poor = measure_file(src("a3 = a3 + a3 + a3;"))
+        rich = measure_file(src("alpha = beta + gamma + delta;"))
+        assert rich.entropy > poor.entropy
+
+
+class TestCodebase:
+    def test_aggregates_files(self, mixed_codebase):
+        m = measure_codebase(mixed_codebase)
+        assert m.n_occurrences > 0
+        assert 0.0 < m.vocabulary_richness <= 1.0
+        assert math.isfinite(m.entropy)

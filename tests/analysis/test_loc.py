@@ -1,0 +1,100 @@
+"""LoC counter tests (the cloc equivalent)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import Codebase, SourceFile
+from repro.analysis.loc import (
+    LineCounts,
+    count_by_language,
+    count_codebase,
+    count_file,
+    kloc,
+)
+
+
+def counts_of(text, path="t.c"):
+    return count_file(SourceFile(path, text))
+
+
+class TestClassification:
+    def test_pure_code(self):
+        assert counts_of("int x;\nint y;\n") == LineCounts(code=2)
+
+    def test_blank_lines(self):
+        c = counts_of("int x;\n\n\nint y;\n")
+        assert c.blank == 2 and c.code == 2
+
+    def test_comment_only_line(self):
+        c = counts_of("// note\nint x;\n")
+        assert c.comment == 1 and c.code == 1
+
+    def test_trailing_comment_counts_as_code(self):
+        # cloc convention: mixed line is a code line.
+        c = counts_of("int x; // note\n")
+        assert c.code == 1 and c.comment == 0
+
+    def test_block_comment_spanning_lines(self):
+        c = counts_of("/* a\n b\n c */\nint x;\n")
+        assert c.comment == 3 and c.code == 1
+
+    def test_preproc_counted_as_code_and_tallied(self):
+        c = counts_of("#include <a.h>\nint x;\n")
+        assert c.code == 2 and c.preproc == 1
+
+    def test_string_containing_comment_marker(self):
+        c = counts_of('char *s = "//not a comment";\n')
+        assert c.code == 1 and c.comment == 0
+
+    def test_python_docstring_is_code(self):
+        # Strings are tokens, not comments (matching cloc's treatment of
+        # docstrings as code by default).
+        c = counts_of('"""doc"""\nx = 1\n', path="t.py")
+        assert c.code == 2
+
+    def test_empty_file(self):
+        assert counts_of("").total == 0
+
+    def test_total_is_sum(self):
+        c = counts_of("int x;\n\n// c\n")
+        assert c.total == c.code + c.comment + c.blank == 3
+
+    def test_comment_ratio(self):
+        c = counts_of("// a\n// b\nint x;\n")
+        assert c.comment_ratio == pytest.approx(2 / 3)
+
+    def test_comment_ratio_empty(self):
+        assert counts_of("").comment_ratio == 0.0
+
+
+class TestAggregation:
+    def test_add(self):
+        a = LineCounts(code=1, comment=2, blank=3, preproc=1)
+        b = LineCounts(code=10, comment=20, blank=30, preproc=0)
+        c = a + b
+        assert (c.code, c.comment, c.blank, c.preproc) == (11, 22, 33, 1)
+
+    def test_codebase_total(self, mixed_codebase):
+        total = count_codebase(mixed_codebase)
+        per_file = sum(
+            (count_file(f) for f in mixed_codebase), LineCounts()
+        )
+        assert total == per_file
+
+    def test_by_language(self, mixed_codebase):
+        per_lang = count_by_language(mixed_codebase)
+        assert set(per_lang) == {"c", "python", "java"}
+        assert all(v.code > 0 for v in per_lang.values())
+
+    def test_kloc(self):
+        cb = Codebase.from_sources("x", {"a.c": "int a;\n" * 500})
+        assert kloc(cb) == pytest.approx(0.5)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.sampled_from(["int x;", "", "// c", "/* b */"]), max_size=40))
+def test_every_line_classified_exactly_once(lines):
+    text = "\n".join(lines) + ("\n" if lines else "")
+    c = counts_of(text)
+    assert c.total == len(lines)

@@ -1,0 +1,79 @@
+"""Maintainability Index tests."""
+
+import pytest
+
+from repro.analysis.maintainability import (
+    measure_codebase,
+    measure_file,
+    measure_functions,
+    worst_functions,
+)
+from repro.lang import Codebase, SourceFile
+
+
+def simple_file():
+    return SourceFile("s.c", "int f(void) {\n    return 1;\n}\n")
+
+
+def gnarly_file():
+    body = []
+    for i in range(40):
+        body.append(f"  if (a > {i}) {{ x = x * {i} + a - b / (c + {i}); }}")
+    text = "int g(int a, int b, int c) {\n  int x = 0;\n" + "\n".join(body) \
+        + "\n  return x;\n}\n"
+    return SourceFile("g.c", text)
+
+
+class TestFileMI:
+    def test_simple_file_high_mi(self):
+        report = measure_file(simple_file())
+        assert report.mi > 70
+        assert report.band == "GREEN"
+
+    def test_gnarly_file_lower_mi(self):
+        simple = measure_file(simple_file()).mi
+        gnarly = measure_file(gnarly_file()).mi
+        assert gnarly < simple
+
+    def test_mi_bounds(self):
+        for source in (simple_file(), gnarly_file()):
+            assert 0.0 <= measure_file(source).mi <= 100.0
+
+    def test_comment_bonus_non_negative(self):
+        commented = SourceFile(
+            "c.c", "// explains the routine\n// thoroughly\nint f(void) {\n    return 1;\n}\n"
+        )
+        assert measure_file(commented).comment_bonus >= 0.0
+
+    def test_empty_file_safe(self):
+        report = measure_file(SourceFile("e.c", ""))
+        assert 0.0 <= report.mi <= 100.0
+
+
+class TestFunctionMI:
+    def test_per_function_reports(self, c_source):
+        reports = measure_functions(c_source)
+        assert len(reports) == 2
+        assert all(":" in r.name for r in reports)
+
+    def test_worst_functions_sorted(self, mixed_codebase):
+        worst = worst_functions(mixed_codebase, k=5)
+        values = [r.mi for r in worst]
+        assert values == sorted(values)
+
+    def test_worst_functions_k_bound(self, mixed_codebase):
+        assert len(worst_functions(mixed_codebase, k=3)) == 3
+
+
+class TestCodebaseMI:
+    def test_codebase_report(self, mixed_codebase):
+        report = measure_codebase(mixed_codebase)
+        assert report.name == "demo"
+        assert 0.0 <= report.mi <= 100.0
+
+    def test_bands(self):
+        from repro.analysis.maintainability import MaintainabilityReport
+
+        assert MaintainabilityReport("x", 171.0, 0.0).band == "GREEN"
+        assert MaintainabilityReport("x", 25.0, 0.0).band == "YELLOW"
+        assert MaintainabilityReport("x", 5.0, 0.0).band == "RED"

@@ -1,0 +1,134 @@
+"""Code-smell detector tests."""
+
+import pytest
+
+from repro.analysis.smells import (
+    ALL_DETECTORS,
+    DUPLICATE_WINDOW,
+    LONG_METHOD_LINES,
+    commented_out_code,
+    deep_nesting,
+    detect_codebase,
+    detect_file,
+    duplicate_code,
+    god_files,
+    long_lines,
+    long_methods,
+    long_parameter_lists,
+    magic_numbers,
+    smell_counts,
+    todo_comments,
+)
+from repro.lang import Codebase, SourceFile
+
+
+def c_src(text):
+    return SourceFile("t.c", text)
+
+
+class TestLongMethod:
+    def test_detected(self):
+        body = "\n".join("    x = x + 1;" for _ in range(LONG_METHOD_LINES + 5))
+        text = f"int f(int x) {{\n{body}\n    return x;\n}}\n"
+        smells = long_methods(c_src(text))
+        assert len(smells) == 1
+        assert smells[0].kind == "long-method"
+
+    def test_short_method_clean(self, c_source):
+        assert long_methods(c_source) == []
+
+
+class TestLongParameterList:
+    def test_detected(self):
+        text = "int f(int a, int b, int c, int d, int e, int g) { return 0; }"
+        assert len(long_parameter_lists(c_src(text))) == 1
+
+    def test_five_params_ok(self):
+        text = "int f(int a, int b, int c, int d, int e) { return 0; }"
+        assert long_parameter_lists(c_src(text)) == []
+
+
+class TestDeepNesting:
+    def test_detected(self):
+        text = (
+            "int f(int a) {\n"
+            "  if (a) {\n    if (a) {\n      if (a) {\n        if (a) {\n"
+            "          if (a) { a = 1; }\n        }\n      }\n    }\n  }\n"
+            "  return a;\n}\n"
+        )
+        assert len(deep_nesting(c_src(text))) == 1
+
+    def test_shallow_clean(self, c_source):
+        assert deep_nesting(c_source) == []
+
+
+class TestGodFile:
+    def test_detected(self):
+        text = "int x;\n" * 1100
+        assert len(god_files(c_src(text))) == 1
+
+    def test_normal_clean(self, c_source):
+        assert god_files(c_source) == []
+
+
+class TestMagicNumbers:
+    def test_detected(self):
+        smells = magic_numbers(c_src("int x = 31337;\n"))
+        assert len(smells) == 1
+        assert "31337" in smells[0].detail
+
+    def test_trivial_values_ignored(self):
+        assert magic_numbers(c_src("int x = 0;\nint y = 1;\nint z = 2;\n")) == []
+
+    def test_suffix_normalised(self):
+        assert magic_numbers(c_src("long x = 1UL;\n")) == []
+
+
+class TestComments:
+    def test_todo_detected(self):
+        smells = todo_comments(c_src("// TODO: fix overflow\nint x;\n"))
+        assert len(smells) == 1
+
+    def test_fixme_detected(self):
+        assert todo_comments(c_src("/* FIXME later */\n"))
+
+    def test_commented_out_code(self):
+        smells = commented_out_code(c_src("// x = compute(a, b);\nint y;\n"))
+        assert len(smells) == 1
+
+    def test_prose_comment_clean(self):
+        assert commented_out_code(c_src("// computes the sum\nint y;\n")) == []
+
+
+class TestLongLines:
+    def test_detected(self):
+        text = "int x; // " + "a" * 130 + "\n"
+        assert len(long_lines(c_src(text))) == 1
+
+
+class TestDuplicateCode:
+    def test_detected(self):
+        block = "\n".join(f"x{i} = {i};" for i in range(DUPLICATE_WINDOW))
+        text = block + "\nint sep;\n" + block + "\n"
+        smells = duplicate_code(c_src(text))
+        assert len(smells) >= 1
+        assert smells[0].kind == "duplicate-code"
+
+    def test_unique_code_clean(self):
+        text = "\n".join(f"y{i} = {i} + {i};" for i in range(20))
+        assert duplicate_code(c_src(text)) == []
+
+
+class TestAggregation:
+    def test_detect_file_sorted(self, c_source):
+        smells = detect_file(c_source)
+        assert smells == sorted(smells, key=lambda s: (s.line, s.kind))
+
+    def test_counts_cover_all_kinds(self, mixed_codebase):
+        counts = smell_counts(mixed_codebase)
+        assert set(counts) == set(ALL_DETECTORS)
+        assert all(v >= 0 for v in counts.values())
+
+    def test_counts_match_detection(self, mixed_codebase):
+        counts = smell_counts(mixed_codebase)
+        assert sum(counts.values()) == len(detect_codebase(mixed_codebase))

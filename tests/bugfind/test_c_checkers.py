@@ -1,0 +1,133 @@
+"""C/C++ security checker tests."""
+
+import pytest
+
+from repro.bugfind.c_checkers import (
+    check_command_injection,
+    check_format_string,
+    check_multiplication_in_alloc,
+    check_toctou,
+    check_unbounded_copy,
+    check_unchecked_allocation,
+    check_weak_random,
+    run,
+)
+from repro.bugfind.findings import Severity
+from repro.lang import SourceFile
+
+
+def c(text):
+    return SourceFile("t.c", text)
+
+
+class TestUnboundedCopy:
+    def test_strcpy_flagged(self):
+        findings = check_unbounded_copy(c("strcpy(dst, src);"))
+        assert len(findings) == 1
+        assert findings[0].cwe == 121
+        assert findings[0].severity == Severity.HIGH
+
+    def test_gets_critical(self):
+        findings = check_unbounded_copy(c("gets(buf);"))
+        assert findings[0].severity == Severity.CRITICAL
+        assert findings[0].cwe == 242
+
+    def test_strncpy_clean(self):
+        assert check_unbounded_copy(c("strncpy(dst, src, n);")) == []
+
+    def test_name_not_call_clean(self):
+        assert check_unbounded_copy(c("int strcpy;")) == []
+
+
+class TestFormatString:
+    def test_variable_format_flagged(self):
+        findings = check_format_string(c("printf(user_input);"))
+        assert len(findings) == 1
+        assert findings[0].cwe == 134
+
+    def test_literal_format_clean(self):
+        assert check_format_string(c('printf("%s", x);')) == []
+
+    def test_fprintf_second_arg(self):
+        findings = check_format_string(c("fprintf(stderr, fmt);"))
+        assert len(findings) == 1
+
+    def test_fprintf_literal_clean(self):
+        assert check_format_string(c('fprintf(stderr, "%d", x);')) == []
+
+    def test_snprintf_third_arg(self):
+        findings = check_format_string(c("snprintf(buf, n, fmt);"))
+        assert len(findings) == 1
+        assert check_format_string(c('snprintf(buf, n, "%d", x);')) == []
+
+
+class TestUncheckedAllocation:
+    def test_unchecked_flagged(self):
+        text = "void f(void) {\n  char *p = malloc(10);\n  p[0] = 1;\n}\n"
+        findings = check_unchecked_allocation(c(text))
+        assert len(findings) == 1
+        assert findings[0].cwe == 476
+
+    def test_null_check_clean(self):
+        text = (
+            "void f(void) {\n  char *p = malloc(10);\n"
+            "  if (p == NULL) { return; }\n  p[0] = 1;\n}\n"
+        )
+        assert check_unchecked_allocation(c(text)) == []
+
+    def test_negated_check_clean(self):
+        text = "void f(void) {\n  char *p = malloc(4);\n  if (!p) return;\n}\n"
+        assert check_unchecked_allocation(c(text)) == []
+
+
+class TestAllocOverflow:
+    def test_multiplication_flagged(self):
+        findings = check_multiplication_in_alloc(c("p = malloc(n * size);"))
+        assert len(findings) == 1
+        assert findings[0].cwe == 190
+
+    def test_constant_clean(self):
+        assert check_multiplication_in_alloc(c("p = malloc(64);")) == []
+
+
+class TestCommandInjection:
+    def test_variable_command_flagged(self):
+        findings = check_command_injection(c("system(cmd);"))
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.CRITICAL
+
+    def test_literal_command_clean(self):
+        assert check_command_injection(c('system("ls");')) == []
+
+
+class TestToctou:
+    def test_access_then_open(self):
+        findings = check_toctou(c("if (access(p, R_OK)) { f = open(p); }"))
+        assert len(findings) == 1
+        assert findings[0].cwe == 367
+
+    def test_open_only_clean(self):
+        assert check_toctou(c("f = open(p);")) == []
+
+
+class TestWeakRandom:
+    def test_rand_near_security_idents(self):
+        findings = check_weak_random(c("token = rand();"))
+        assert len(findings) == 1
+
+    def test_rand_without_security_context_clean(self):
+        assert check_weak_random(c("jitter = rand();")) == []
+
+
+class TestRunner:
+    def test_run_only_for_c_family(self, py_source):
+        assert run(py_source) == []
+
+    def test_run_sorted(self):
+        text = "void f(void) {\n  system(cmd);\n  strcpy(a, b);\n}\n"
+        findings = run(c(text))
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+    def test_sample_has_strcpy(self, c_source):
+        rules = {f.rule for f in run(c_source)}
+        assert "unbounded-copy/strcpy" in rules

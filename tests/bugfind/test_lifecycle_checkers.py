@@ -1,0 +1,95 @@
+"""Memory-lifecycle checker tests (memlint)."""
+
+import pytest
+
+from repro.bugfind.lifecycle_checkers import run
+from repro.lang import SourceFile
+
+
+def findings_for(body):
+    text = f"void f(void) {{\n{body}\n}}\n"
+    return run(SourceFile("t.c", text))
+
+
+def rules(body):
+    return [f.rule for f in findings_for(body)]
+
+
+class TestDoubleFree:
+    def test_detected(self):
+        assert "double-free" in rules(
+            "  char *p = malloc(8);\n  free(p);\n  free(p);"
+        )
+
+    def test_free_after_realloc_clean(self):
+        body = (
+            "  char *p = malloc(8);\n  free(p);\n"
+            "  p = malloc(16);\n  free(p);"
+        )
+        assert "double-free" not in rules(body)
+
+    def test_distinct_pointers_clean(self):
+        body = (
+            "  char *p = malloc(8);\n  char *q = malloc(8);\n"
+            "  free(p);\n  free(q);"
+        )
+        assert "double-free" not in rules(body)
+
+
+class TestUseAfterFree:
+    def test_index_use_detected(self):
+        assert "use-after-free" in rules(
+            "  char *p = malloc(8);\n  free(p);\n  p[0] = 1;"
+        )
+
+    def test_arrow_use_detected(self):
+        assert "use-after-free" in rules(
+            "  struct node *p = malloc(32);\n  free(p);\n  p->next = 0;"
+        )
+
+    def test_free_argument_itself_not_a_use(self):
+        body = "  char *p = malloc(8);\n  free(p);"
+        assert "use-after-free" not in rules(body)
+
+    def test_reassignment_clears(self):
+        body = (
+            "  char *p = malloc(8);\n  free(p);\n"
+            "  p = other;\n  p[0] = 1;"
+        )
+        assert "use-after-free" not in rules(body)
+
+
+class TestLeak:
+    def test_unfreed_allocation_flagged(self):
+        assert "memory-leak" in rules("  char *p = malloc(8);\n  p[0] = 1;")
+
+    def test_freed_allocation_clean(self):
+        assert "memory-leak" not in rules(
+            "  char *p = malloc(8);\n  free(p);"
+        )
+
+    def test_leak_reports_alloc_line(self):
+        findings = findings_for("  char *p = malloc(8);")
+        leak = [f for f in findings if f.rule == "memory-leak"][0]
+        assert leak.line == 2
+
+
+class TestScope:
+    def test_non_c_ignored(self, py_source):
+        assert run(py_source) == []
+
+    def test_per_function_isolation(self):
+        # An alloc in one function and a free in another: the leak fires
+        # (flow is per-function), but no double-free/UAF noise appears.
+        text = (
+            "void a(void) {\n  char *p = malloc(8);\n}\n"
+            "void b(char *p) {\n  free(p);\n}\n"
+        )
+        found = run(SourceFile("t.c", text))
+        assert [f.rule for f in found] == ["memory-leak"]
+
+    def test_cwe_mapping(self):
+        findings = findings_for(
+            "  char *p = malloc(8);\n  free(p);\n  free(p);"
+        )
+        assert {f.cwe for f in findings} == {415}

@@ -1,0 +1,64 @@
+"""Meta-tool (multi-tool combiner) tests."""
+
+import pytest
+
+from repro.bugfind.findings import Finding, Severity
+from repro.bugfind.meta import TOOLS, run_all
+from repro.lang import Codebase
+
+
+def cb(text, path="t.c"):
+    return Codebase.from_sources("app", {path: text})
+
+
+class TestRunAll:
+    def test_combines_tools(self):
+        text = 'void f(void) {\n  strcpy(a, b);\n  password = "letmein1";\n}\n'
+        report = run_all(cb(text))
+        tools = {f.tool for f in report.findings}
+        assert tools == {"clint", "genlint"}
+
+    def test_per_tool_counts(self):
+        text = "void f(void) {\n  strcpy(a, b);\n}\n"
+        report = run_all(cb(text))
+        assert report.per_tool["clint"] == 1
+        assert report.per_tool["genlint"] == 0
+
+    def test_per_cwe_counts(self):
+        text = "void f(void) {\n  strcpy(a, b);\n  strcat(a, b);\n}\n"
+        report = run_all(cb(text))
+        assert report.per_cwe[121] == 2
+
+    def test_per_severity(self):
+        text = "void f(void) {\n  gets(buf);\n}\n"
+        report = run_all(cb(text))
+        assert report.per_severity[Severity.CRITICAL] == 1
+
+    def test_count_at_least(self):
+        text = "void f(void) {\n  gets(buf);\n  strcpy(a, b);\n}\n"
+        report = run_all(cb(text))
+        assert report.count_at_least(Severity.HIGH) == 2
+        assert report.count_at_least(Severity.CRITICAL) == 1
+
+    def test_dedup_same_defect(self):
+        # sprintf with a variable format triggers both unbounded-copy (121)
+        # and format-string (134) — different CWEs, so both survive; but
+        # two tools reporting the same (path, line, cwe) collapse.
+        text = "void f(void) {\n  sprintf(buf, fmt);\n}\n"
+        report = run_all(cb(text))
+        keys = [f.key() for f in report.findings]
+        assert len(keys) == len(set(keys))
+
+    def test_sorted_by_location(self):
+        text = "void f(void) {\n  system(c);\n  gets(b);\n  strcpy(a, b);\n}\n"
+        report = run_all(cb(text))
+        locations = [(f.path, f.line, f.rule) for f in report.findings]
+        assert locations == sorted(locations)
+
+    def test_empty_codebase(self):
+        report = run_all(Codebase("empty"))
+        assert report.total == 0
+        assert report.duplicates_removed == 0
+
+    def test_registry_names_match_modules(self):
+        assert set(TOOLS) == {"clint", "genlint", "memlint"}

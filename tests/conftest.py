@@ -1,0 +1,138 @@
+"""Shared fixtures: sample sources, a small corpus, a trained model.
+
+Session-scoped where construction is expensive; everything is
+deterministic (fixed seeds) so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import Codebase, SourceFile
+
+C_SAMPLE = """\
+#include <stdio.h>
+#include <string.h>
+
+/* copy helper */
+static int helper(char *dst, const char *src, int n) {
+    int i;
+    for (i = 0; i < n && src[i]; i++) {
+        if (src[i] == 37) {
+            dst[i] = 95;
+        } else {
+            dst[i] = src[i];
+        }
+    }
+    dst[i] = 0;
+    return i;
+}
+
+int main(int argc, char **argv) {
+    char buf[64]; // trailing comment
+    if (argc > 1) {
+        strcpy(buf, argv[1]);
+        helper(buf, argv[1], 63);
+        switch (argc) {
+        case 2:
+            printf("%d", argc);
+            break;
+        default:
+            break;
+        }
+    }
+    while (argc-- > 0) {
+        continue;
+    }
+    return 0;
+}
+"""
+
+PY_SAMPLE = '''\
+import os
+
+def greet(name, times=2):
+    """Say hi a few times."""
+    if not name:
+        return None
+    for _ in range(times):
+        print("hi", name)
+    return name
+
+
+class Greeter:
+    def __init__(self, who):
+        self.who = who
+
+    def run(self):
+        try:
+            greet(self.who)
+        except ValueError:
+            pass
+        return 1
+'''
+
+JAVA_SAMPLE = """\
+import java.io.*;
+
+public class Widget {
+    private int count;
+
+    public Widget(int count) {
+        this.count = count;
+    }
+
+    public int total(int extra) {
+        int sum = 0;
+        for (int i = 0; i < count; i++) {
+            if (i % 2 == 0 && extra > 0) {
+                sum += i;
+            }
+        }
+        return sum;
+    }
+
+    private void reset() {
+        count = 0;
+    }
+}
+"""
+
+
+@pytest.fixture
+def c_source():
+    return SourceFile("main.c", C_SAMPLE)
+
+
+@pytest.fixture
+def py_source():
+    return SourceFile("app.py", PY_SAMPLE)
+
+
+@pytest.fixture
+def java_source():
+    return SourceFile("Widget.java", JAVA_SAMPLE)
+
+
+@pytest.fixture
+def mixed_codebase():
+    return Codebase.from_sources(
+        "demo",
+        {"main.c": C_SAMPLE, "app.py": PY_SAMPLE, "Widget.java": JAVA_SAMPLE},
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A 16-app corpus (session-scoped; ~2s to build)."""
+    from repro.synth import build_corpus
+
+    return build_corpus(seed=7, limit=16)
+
+
+@pytest.fixture(scope="session")
+def small_training(small_corpus):
+    """Trained model over the small corpus (session-scoped)."""
+    from repro.core.pipeline import train
+
+    return train(small_corpus, k=4, seed=7)

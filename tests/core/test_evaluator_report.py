@@ -1,0 +1,140 @@
+"""ChangeEvaluator and report rendering tests."""
+
+import pytest
+
+from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
+from repro.core.report import (
+    format_assessment,
+    format_delta,
+    property_hints,
+    recommendations_for,
+    risk_band,
+)
+from repro.lang import Codebase
+
+RISKY_EXTRA = """
+
+static int handle_input(char *req) {
+    char buf[16];
+    strcpy(buf, req);
+    gets(buf);
+    sprintf(buf, req);
+    system(req);
+    eval(req);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_training):
+    return ChangeEvaluator(small_training.model)
+
+
+@pytest.fixture(scope="module")
+def base_app(small_corpus):
+    return small_corpus.apps[0]
+
+
+def with_extra(codebase, extra):
+    sources = {f.path: f.text for f in codebase}
+    first = sorted(sources)[0]
+    sources[first] = sources[first] + extra
+    return Codebase.from_sources(codebase.name, sources)
+
+
+class TestAssess:
+    def test_assess_runs(self, evaluator, base_app):
+        a = evaluator.assess(base_app.codebase,
+                             nominal_kloc=base_app.profile.kloc)
+        assert 0.0 <= a.overall_risk <= 1.0
+
+    def test_history_changes_features(self, evaluator, base_app, small_corpus):
+        plain = evaluator.assess(base_app.codebase)
+        with_history = evaluator.assess(
+            base_app.codebase, history=small_corpus.history(base_app.name)
+        )
+        # Assessments may coincide numerically, but must both be valid.
+        assert 0.0 <= with_history.overall_risk <= 1.0
+        assert set(plain.probabilities) == set(with_history.probabilities)
+
+
+class TestRiskDelta:
+    def test_identity_change_neutral(self, evaluator, base_app):
+        delta = evaluator.risk_delta(base_app.codebase, base_app.codebase)
+        assert delta.verdict is Verdict.NEUTRAL
+        assert delta.overall_delta == pytest.approx(0.0)
+
+    def test_added_danger_never_lowers_risk(self, evaluator, base_app):
+        risky = with_extra(base_app.codebase, RISKY_EXTRA)
+        delta = evaluator.risk_delta(base_app.codebase, risky)
+        assert delta.overall_delta >= -0.05
+
+    def test_deltas_keys(self, evaluator, base_app):
+        delta = evaluator.risk_delta(base_app.codebase, base_app.codebase)
+        assert set(delta.probability_deltas) == set(
+            evaluator.model.classification_ids
+        )
+
+
+class TestChoose:
+    def test_choose_returns_winner(self, evaluator, small_corpus):
+        a = small_corpus.apps[0].codebase
+        b = small_corpus.apps[1].codebase
+        winner, assess_a, assess_b = evaluator.choose(a, b)
+        assert winner in (a.name, b.name)
+        expected = a.name if assess_a.overall_risk <= assess_b.overall_risk \
+            else b.name
+        assert winner == expected
+
+    def test_loc_naive_choice(self):
+        small = Codebase.from_sources("small", {"a.c": "int a;\n"})
+        big = Codebase.from_sources("big", {"a.c": "int a;\n" * 500})
+        winner, meaningful = loc_naive_choice(small, big)
+        assert winner == "small"
+        assert meaningful  # 1 vs 500 lines: >1 order apart
+
+    def test_loc_naive_same_order_not_meaningful(self):
+        a = Codebase.from_sources("a", {"a.c": "int a;\n" * 100})
+        b = Codebase.from_sources("b", {"a.c": "int a;\n" * 300})
+        _, meaningful = loc_naive_choice(a, b)
+        assert not meaningful
+
+
+class TestReports:
+    def test_risk_band(self):
+        assert risk_band(0.9) == "HIGH"
+        assert risk_band(0.5) == "MEDIUM"
+        assert risk_band(0.1) == "LOW"
+
+    def test_recommendations_threshold(self, evaluator, base_app):
+        assessment = evaluator.assess(base_app.codebase)
+        recs = recommendations_for(assessment, threshold=0.0)
+        assert recs  # at threshold 0 every known hypothesis fires
+        assert recommendations_for(assessment, threshold=1.1) == []
+
+    def test_property_hints_mapping(self):
+        hints = property_hints(
+            [("bugs.rule.format-string_per_kloc", 1.0), ("nohint.x", 0.5)]
+        )
+        assert len(hints) == 1
+        assert "format" in hints[0]
+
+    def test_format_assessment_contains_sections(
+        self, evaluator, base_app, small_training
+    ):
+        from repro.core.features import extract_features
+
+        features = extract_features(base_app.codebase)
+        assessment = small_training.model.assess(features)
+        text = format_assessment(
+            base_app.name, assessment, small_training.model, features
+        )
+        assert "Security assessment" in text
+        assert "classification hypotheses" in text
+        assert "regression hypotheses" in text
+
+    def test_format_delta_verdict_line(self, evaluator, base_app):
+        delta = evaluator.risk_delta(base_app.codebase, base_app.codebase)
+        text = format_delta(base_app.name, delta)
+        assert "risk unchanged" in text

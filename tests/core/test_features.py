@@ -1,0 +1,101 @@
+"""Feature-testbed tests."""
+
+import math
+
+import pytest
+
+from repro.core.features import FEATURE_GROUPS, extract_features, feature_group
+from repro.lang import Codebase
+
+
+@pytest.fixture(scope="module")
+def row(request):
+    from tests.conftest import C_SAMPLE, JAVA_SAMPLE, PY_SAMPLE
+
+    cb = Codebase.from_sources(
+        "demo",
+        {"main.c": C_SAMPLE, "app.py": PY_SAMPLE, "Widget.java": JAVA_SAMPLE},
+    )
+    return extract_features(cb)
+
+
+class TestShape:
+    def test_all_groups_present(self, row):
+        groups = {feature_group(name) for name in row}
+        # "dynamic" is opt-in (include_dynamic=True); all others default.
+        assert set(FEATURE_GROUPS) - {"dynamic"} <= groups | {"lang"}
+
+    def test_all_values_finite_floats(self, row):
+        for name, value in row.items():
+            assert isinstance(value, float), name
+            assert math.isfinite(value), name
+
+    def test_language_one_hot(self, row):
+        langs = {k: v for k, v in row.items() if k.startswith("lang.")}
+        assert sum(langs.values()) == 1.0
+        assert langs["lang.c"] == 1.0  # C dominates the fixture
+
+    def test_feature_group_helper(self):
+        assert feature_group("bugs.rule.format-string_per_kloc") == "bugs"
+        assert feature_group("plain") == "plain"
+
+
+class TestValues:
+    def test_nominal_kloc_used(self):
+        cb = Codebase.from_sources("x", {"a.c": "int a;\n"})
+        row = extract_features(cb, nominal_kloc=250.0)
+        assert row["size.kloc"] == 250.0
+        assert row["size.log_kloc"] == pytest.approx(math.log10(250.0))
+
+    def test_default_kloc_is_sample(self):
+        cb = Codebase.from_sources("x", {"a.c": "int a;\nint b;\n"})
+        row = extract_features(cb)
+        assert row["size.kloc"] == pytest.approx(0.002)
+
+    def test_densities_scale_with_sample(self, row):
+        # strcpy appears once in the sample -> positive density.
+        assert row["bugs.rule.unbounded-copy/strcpy_per_kloc"] > 0
+
+    def test_taint_features(self, row):
+        assert row["flow.tainted_sink_calls"] >= 1
+
+    def test_churn_zero_without_history(self, row):
+        assert row["churn.log_total"] == 0.0
+        assert row["churn.authors"] == 0.0
+
+    def test_churn_with_history(self):
+        from repro.analysis.churn import Commit, CommitHistory, FileDelta
+
+        cb = Codebase.from_sources("x", {"a.c": "int a;\n"})
+        history = CommitHistory()
+        history.add(Commit("dev0", 0, (FileDelta("a.c", 100, 50),)))
+        history.add(Commit("dev1", 10, (FileDelta("a.c", 10, 5),)))
+        row = extract_features(cb, history=history)
+        assert row["churn.log_total"] > 0
+        assert row["churn.authors"] == 2.0
+
+    def test_network_facing_flag(self):
+        server = Codebase.from_sources(
+            "s", {"s.c": "int serve(void) {\n  accept(s, a, l);\n  return 0;\n}\n"}
+        )
+        row = extract_features(server)
+        assert row["surface.network_facing"] == 1.0
+
+    def test_empty_codebase_safe(self):
+        row = extract_features(Codebase.from_sources("e", {"a.c": "\n"}))
+        assert all(math.isfinite(v) for v in row.values())
+
+
+class TestStability:
+    def test_deterministic(self, row):
+        from tests.conftest import C_SAMPLE
+
+        cb = Codebase.from_sources("demo2", {"main.c": C_SAMPLE})
+        assert extract_features(cb) == extract_features(cb)
+
+    def test_same_code_same_features_regardless_of_name(self):
+        from tests.conftest import C_SAMPLE
+
+        a = extract_features(Codebase.from_sources("a", {"m.c": C_SAMPLE}))
+        b = extract_features(Codebase.from_sources("b", {"m.c": C_SAMPLE}))
+        assert a == b

@@ -1,0 +1,73 @@
+"""Hypothesis (prediction-target) tests."""
+
+import pytest
+
+from repro.core import hypotheses as H
+from repro.cve.database import AppVulnSummary
+
+
+def summary(n_total=10, high=3, network=5, cwe121=1, memory=4, mean=6.0):
+    return AppVulnSummary(
+        app="x",
+        n_total=n_total,
+        n_high_severity=high,
+        n_network=network,
+        n_by_category={"memory": memory},
+        n_by_cwe={121: cwe121},
+        mean_score=mean,
+        max_score=9.8,
+        history_years=6.0,
+    )
+
+
+class TestLabels:
+    def test_stack_overflow_indicator(self):
+        labels = H.STACK_OVERFLOW.labels([summary(cwe121=0), summary(cwe121=2)])
+        assert labels == [0, 1]
+
+    def test_median_split_balanced(self):
+        summaries = [summary(high=i) for i in range(10)]
+        labels = H.MANY_HIGH_SEVERITY.labels(summaries)
+        assert sum(labels) == 5  # strictly above the median 4.5
+
+    def test_median_split_with_duplicates(self):
+        summaries = [summary(network=v) for v in [0, 0, 0, 5, 5, 9]]
+        labels = H.NETWORK_ACCESSIBLE.labels(summaries)
+        assert labels == [0, 0, 0, 1, 1, 1]
+
+    def test_regression_values(self):
+        import math
+
+        labels = H.TOTAL_COUNT.labels([summary(n_total=99)])
+        assert labels[0] == pytest.approx(math.log10(100))
+
+    def test_mean_severity(self):
+        assert H.MEAN_SEVERITY.labels([summary(mean=7.7)]) == [7.7]
+
+    def test_high_severity_count_log(self):
+        import math
+
+        labels = H.HIGH_SEVERITY_COUNT.labels([summary(high=9)])
+        assert labels[0] == pytest.approx(math.log10(10))
+
+
+class TestBattery:
+    def test_default_battery_ids_unique(self):
+        ids = [h.hypothesis_id for h in H.DEFAULT_HYPOTHESES]
+        assert len(ids) == len(set(ids))
+
+    def test_kind_partition(self):
+        assert set(H.CLASSIFICATION_HYPOTHESES) | set(
+            H.REGRESSION_HYPOTHESES
+        ) == set(H.DEFAULT_HYPOTHESES)
+
+    def test_by_id(self):
+        assert H.by_id("stack_overflow") is H.STACK_OVERFLOW
+
+    def test_by_id_unknown(self):
+        with pytest.raises(KeyError):
+            H.by_id("nonsense")
+
+    def test_descriptions_are_questions(self):
+        for h in H.DEFAULT_HYPOTHESES:
+            assert h.description.endswith("?")

@@ -1,0 +1,164 @@
+"""Training pipeline and SecurityModel tests (on the small fixture corpus)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypotheses import DEFAULT_HYPOTHESES
+from repro.core.pipeline import build_feature_table, train
+
+
+class TestFeatureTable:
+    def test_rows_align_with_apps(self, small_corpus, small_training):
+        table = small_training.table
+        assert table.app_names == tuple(a.name for a in small_corpus.apps)
+        assert len(table.rows) == len(small_corpus.apps)
+
+    def test_dataset_for_hypothesis(self, small_training):
+        ds = small_training.table.dataset_for(DEFAULT_HYPOTHESES[0])
+        assert ds.n_rows == len(small_training.table.rows)
+        assert ds.name == DEFAULT_HYPOTHESES[0].hypothesis_id
+
+    def test_restricted_groups(self, small_training):
+        size_only = small_training.table.restricted(["size"])
+        assert all(
+            k.startswith("size.") for row in size_only.rows for k in row
+        )
+
+    def test_restricted_features(self, small_training):
+        table = small_training.table.restricted_to_features(["size.log_kloc"])
+        assert all(list(row) == ["size.log_kloc"] for row in table.rows)
+
+
+class TestTraining:
+    def test_cv_results_for_all_hypotheses(self, small_training):
+        expected = {h.hypothesis_id for h in DEFAULT_HYPOTHESES}
+        assert set(small_training.cv_results) == expected
+
+    def test_cv_metrics_in_range(self, small_training):
+        for hyp_id, result in small_training.cv_results.items():
+            for name, value in result.metrics.items():
+                if name in ("accuracy", "precision", "recall", "f1", "auc",
+                            "within_order"):
+                    assert 0.0 <= value <= 1.0, (hyp_id, name)
+
+    def test_summary_rows(self, small_training):
+        rows = small_training.summary_rows()
+        assert len(rows) == len(DEFAULT_HYPOTHESES)
+        assert all(metric in ("auc", "r2") for _, metric, _ in rows)
+
+    def test_model_ids_partition(self, small_training):
+        model = small_training.model
+        assert set(model.classification_ids) == {
+            h.hypothesis_id for h in DEFAULT_HYPOTHESES
+            if h.kind == "classification"
+        }
+        assert set(model.regression_ids) == {
+            h.hypothesis_id for h in DEFAULT_HYPOTHESES
+            if h.kind == "regression"
+        }
+
+
+class TestSecurityModel:
+    def test_assess_shape(self, small_training):
+        row = small_training.table.rows[0]
+        assessment = small_training.model.assess(row)
+        assert set(assessment.probabilities) == set(
+            small_training.model.classification_ids
+        )
+        assert set(assessment.estimates) == set(
+            small_training.model.regression_ids
+        )
+        for p in assessment.probabilities.values():
+            assert 0.0 <= p <= 1.0
+
+    def test_overall_risk_mean(self, small_training):
+        a = small_training.model.assess(small_training.table.rows[0])
+        assert a.overall_risk == pytest.approx(
+            sum(a.probabilities.values()) / len(a.probabilities)
+        )
+
+    def test_missing_features_default_zero(self, small_training):
+        assessment = small_training.model.assess({})
+        assert all(0.0 <= p <= 1.0 for p in assessment.probabilities.values())
+
+    def test_extra_features_ignored(self, small_training):
+        row = dict(small_training.table.rows[0])
+        row["totally.unknown"] = 42.0
+        base = small_training.model.assess(small_training.table.rows[0])
+        extra = small_training.model.assess(row)
+        assert base.probabilities == extra.probabilities
+
+    def test_top_properties_sorted(self, small_training):
+        props = small_training.model.top_properties("many_high_severity", k=8)
+        magnitudes = [abs(w) for _, w in props]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        assert len(props) == 8
+
+    def test_top_properties_unknown_hypothesis(self, small_training):
+        with pytest.raises(KeyError):
+            small_training.model.top_properties("nope")
+
+    def test_flagged_properties_positive(self, small_training):
+        row = small_training.table.rows[0]
+        flagged = small_training.model.flagged_properties(
+            row, "many_high_severity", k=5
+        )
+        assert all(contribution > 0 for _, contribution in flagged)
+
+    def test_vectorise_order(self, small_training):
+        model = small_training.model
+        row = {model.feature_names[0]: 5.0}
+        vec = model.vectorise(row)
+        assert vec[0, 0] == 5.0
+        assert vec[0, 1:].sum() == 0.0
+
+
+class TestFeatureSelection:
+    def test_top_k_reduces_columns(self, small_corpus, small_training):
+        from repro.core.pipeline import train
+
+        result = train(
+            small_corpus, table=small_training.table, k=4, seed=7,
+            top_k_features=10,
+        )
+        # 10 selected + the always-kept LoC column at most.
+        assert len(result.model.feature_names) <= 11
+
+    def test_log_kloc_always_kept(self, small_corpus, small_training):
+        from repro.core.pipeline import train
+
+        result = train(
+            small_corpus, table=small_training.table, k=4, seed=7,
+            top_k_features=3,
+        )
+        assert "size.log_kloc" in result.model.feature_names
+
+    def test_selection_method_validation(self, small_training):
+        from repro.core.hypotheses import MANY_HIGH_SEVERITY
+        from repro.core.pipeline import select_features
+
+        with pytest.raises(ValueError, match="unknown selection"):
+            select_features(small_training.table, MANY_HIGH_SEVERITY, 5,
+                            method="psychic")
+
+    def test_correlation_method(self, small_training):
+        from repro.core.hypotheses import MANY_HIGH_SEVERITY
+        from repro.core.pipeline import select_features
+
+        reduced = select_features(
+            small_training.table, MANY_HIGH_SEVERITY, 5, method="correlation"
+        )
+        assert all(len(row) <= 6 for row in reduced.rows)
+
+
+class TestModelPersistence:
+    def test_pickle_roundtrip_identical_assessments(self, small_training):
+        import pickle
+
+        blob = pickle.dumps(small_training.model)
+        restored = pickle.loads(blob)
+        for row in small_training.table.rows[:4]:
+            a = small_training.model.assess(row)
+            b = restored.assess(row)
+            assert a.probabilities == b.probabilities
+            assert a.estimates == b.estimates

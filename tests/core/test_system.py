@@ -1,0 +1,172 @@
+"""Whole-system evaluation tests."""
+
+import pytest
+
+from repro.core.system import (
+    Component,
+    EXPOSURE_WEIGHTS,
+    SystemEvaluator,
+    SystemProfile,
+    format_system_report,
+)
+from repro.lang import Codebase
+
+SAFE_CODE = {
+    "util.c": "static int add(int a, int b) {\n    return a + b;\n}\n",
+}
+
+RISKY_CODE = {
+    "srv.c": (
+        "int serve(char *req) {\n"
+        "    char buf[16];\n"
+        "    int s = socket(AF_INET, SOCK_STREAM, 0);\n"
+        "    recv(s, buf, 64, 0);\n"
+        "    strcpy(buf, req);\n"
+        "    system(req);\n"
+        "    gets(buf);\n"
+        "    return 0;\n}\n"
+    ),
+}
+
+
+def component(name, sources, **kwargs):
+    return Component(name, Codebase.from_sources(name, sources), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def evaluator(small_training):
+    return SystemEvaluator(small_training.model)
+
+
+class TestProfile:
+    def test_duplicate_component_rejected(self):
+        system = SystemProfile("s")
+        system.add(component("a", SAFE_CODE))
+        with pytest.raises(ValueError, match="duplicate"):
+            system.add(component("a", SAFE_CODE))
+
+    def test_unknown_exposure_rejected(self):
+        with pytest.raises(ValueError, match="exposure"):
+            component("a", SAFE_CODE, exposure="martian")
+
+    def test_domains(self):
+        system = SystemProfile("s")
+        system.add(component("a", SAFE_CODE, domain="web"))
+        system.add(component("b", SAFE_CODE, domain="db"))
+        assert system.domains == ["db", "web"]
+
+
+class TestEvaluation:
+    def test_empty_system_rejected(self, evaluator):
+        with pytest.raises(ValueError, match="no components"):
+            evaluator.evaluate(SystemProfile("empty"))
+
+    def test_weakest_link_is_max_effective_risk(self, evaluator,
+                                                small_corpus):
+        # Two in-distribution corpus apps: the weakest link must be the
+        # component whose effective risk tops the ranking.
+        system = SystemProfile("s")
+        for app in small_corpus.apps[:3]:
+            system.add(
+                Component(app.name, app.codebase, exposure="internet",
+                          nominal_kloc=app.profile.kloc)
+            )
+        risk = evaluator.evaluate(system)
+        top = max(risk.components, key=lambda c: c.effective_risk)
+        assert risk.weakest_link == top.name
+        assert risk.weakest_link_risk == pytest.approx(top.effective_risk)
+        # Components come back sorted by effective risk.
+        ordering = [c.effective_risk for c in risk.components]
+        assert ordering == sorted(ordering, reverse=True)
+
+    def test_exposure_weights_risk(self, evaluator):
+        exposed = SystemProfile("a")
+        exposed.add(component("app", RISKY_CODE, exposure="internet"))
+        hidden = SystemProfile("b")
+        hidden.add(component("app", RISKY_CODE, exposure="isolated"))
+        assert (
+            evaluator.evaluate(exposed).entry_risk
+            >= evaluator.evaluate(hidden).entry_risk
+        )
+        ratio = EXPOSURE_WEIGHTS["isolated"] / EXPOSURE_WEIGHTS["internet"]
+        assert ratio < 1.0
+
+    def test_more_components_no_lower_entry_risk(self, evaluator):
+        one = SystemProfile("one")
+        one.add(component("a", RISKY_CODE, exposure="internet"))
+        two = SystemProfile("two")
+        two.add(component("a", RISKY_CODE, exposure="internet"))
+        two.add(component("b", RISKY_CODE, exposure="internet"))
+        assert (
+            evaluator.evaluate(two).entry_risk
+            >= evaluator.evaluate(one).entry_risk
+        )
+
+    def test_privileged_component_amplifies(self, evaluator):
+        base = SystemProfile("base")
+        base.add(component("web", RISKY_CODE, exposure="internet"))
+        base.add(component("helper", RISKY_CODE, exposure="local"))
+        escalated = SystemProfile("escalated")
+        escalated.add(component("web", RISKY_CODE, exposure="internet"))
+        escalated.add(
+            component("helper", RISKY_CODE, exposure="local", privileged=True)
+        )
+        assert (
+            evaluator.evaluate(escalated).system_risk
+            >= evaluator.evaluate(base).system_risk
+        )
+
+    def test_containment_discounts_cross_domain_escalation(
+        self, small_training
+    ):
+        def build(same_domain):
+            system = SystemProfile("s")
+            system.add(
+                component("web", RISKY_CODE, exposure="internet",
+                          domain="web")
+            )
+            system.add(
+                component(
+                    "daemon", RISKY_CODE, exposure="local",
+                    domain="web" if same_domain else "system",
+                    privileged=True,
+                )
+            )
+            return system
+
+        evaluator = SystemEvaluator(small_training.model,
+                                    containment_discount=0.2)
+        same = evaluator.evaluate(build(same_domain=True))
+        split = evaluator.evaluate(build(same_domain=False))
+        assert split.system_risk <= same.system_risk
+
+    def test_system_risk_bounded(self, evaluator):
+        system = SystemProfile("s")
+        for i in range(4):
+            system.add(
+                component(f"c{i}", RISKY_CODE, exposure="internet",
+                          privileged=True)
+            )
+        risk = evaluator.evaluate(system)
+        assert 0.0 <= risk.system_risk <= 1.0
+
+    def test_invalid_discount(self, small_training):
+        with pytest.raises(ValueError):
+            SystemEvaluator(small_training.model, containment_discount=1.5)
+
+    def test_by_domain_partition(self, evaluator):
+        system = SystemProfile("s")
+        system.add(component("a", SAFE_CODE, domain="web"))
+        system.add(component("b", SAFE_CODE, domain="db"))
+        risk = evaluator.evaluate(system)
+        grouped = risk.by_domain()
+        assert set(grouped) == {"web", "db"}
+
+    def test_report_contains_components(self, evaluator):
+        system = SystemProfile("stack")
+        system.add(component("web", RISKY_CODE, exposure="internet"))
+        system.add(component("db", SAFE_CODE, domain="data"))
+        text = format_system_report(evaluator.evaluate(system))
+        assert "System assessment: stack" in text
+        assert "web" in text and "db" in text
+        assert "weakest link" in text

@@ -1,0 +1,62 @@
+"""Wang-style CVSS aggregation baseline tests."""
+
+import pytest
+
+from repro.cve.aggregate import rank_apps, score_app
+from repro.cve.cvss import CvssV3
+from repro.cve.database import CVEDatabase
+from repro.cve.records import CVERecord
+
+RCE = CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")  # 9.8
+LOW = CvssV3.parse("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N")  # 1.6
+
+
+def db_with(app_scores):
+    db = CVEDatabase()
+    n = 0
+    for app, vectors in app_scores.items():
+        for v in vectors:
+            n += 1
+            db.add(CVERecord(f"CVE-2015-{10000+n}", app, n, v, 121))
+    return db
+
+
+class TestScoreApp:
+    def test_empty_app(self):
+        s = score_app(CVEDatabase(), "ghost")
+        assert s.n_reports == 0
+        assert s.union_score == 0.0
+        assert s.mean_score == 0.0
+
+    def test_sums_and_means(self):
+        db = db_with({"a": [RCE, LOW]})
+        s = score_app(db, "a")
+        assert s.n_reports == 2
+        assert s.sum_score == pytest.approx(9.8 + 1.6)
+        assert s.mean_score == pytest.approx((9.8 + 1.6) / 2)
+
+    def test_union_score_formula(self):
+        db = db_with({"a": [RCE, LOW]})
+        s = score_app(db, "a")
+        expected = 1.0 - (1 - 0.98) * (1 - 0.16)
+        assert s.union_score == pytest.approx(expected)
+
+    def test_union_monotone_in_reports(self):
+        one = score_app(db_with({"a": [LOW]}), "a")
+        two = score_app(db_with({"a": [LOW, LOW]}), "a")
+        assert two.union_score > one.union_score
+
+
+class TestRanking:
+    def test_riskier_first(self):
+        db = db_with({"risky": [RCE, RCE, RCE], "mild": [LOW]})
+        ranked = rank_apps(db, ["mild", "risky"])
+        assert [s.app for s in ranked] == ["risky", "mild"]
+
+    def test_rank_key_uses_volume(self):
+        many_low = score_app(db_with({"a": [LOW] * 30}), "a")
+        one_high = score_app(db_with({"b": [RCE]}), "b")
+        # Both orderings are defensible; the key must at least be finite
+        # and monotone in its inputs.
+        assert many_low.risk_rank_key > 0
+        assert one_high.risk_rank_key > 0

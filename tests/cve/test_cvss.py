@@ -1,0 +1,158 @@
+"""CVSS v3.0 tests: reference scores, parsing, and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cve.cvss import CvssError, CvssV3, severity_rating
+
+# Reference base scores computed per the v3.0 specification equations and
+# cross-checked against the FIRST calculator for well-known CVEs.
+REFERENCE = [
+    ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),  # classic RCE
+    ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),
+    ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5),  # Heartbleed-like
+    ("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 5.5),
+    ("CVSS:3.0/AV:N/AC:H/PR:N/UI:R/S:U/C:L/I:N/A:N", 3.1),
+    ("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6),
+    ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),
+    ("CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:C/C:H/I:H/A:H", 7.2),
+    # Exploitability 8.22*0.62*0.77*0.62*0.85 = 2.0681; impact
+    # 6.42*(1-0.78^3) = 3.3734; roundup(5.4414) = 5.5.
+    ("CVSS:3.0/AV:A/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:L", 5.5),
+]
+
+
+class TestReferenceScores:
+    @pytest.mark.parametrize("vector,expected", REFERENCE)
+    def test_base_score(self, vector, expected):
+        assert CvssV3.parse(vector).base_score == pytest.approx(expected)
+
+    def test_temporal_with_poc_maturity(self):
+        v = CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/E:P")
+        assert v.temporal_score == pytest.approx(9.3)
+
+    def test_temporal_undefined_equals_base(self):
+        v = CvssV3.parse(REFERENCE[0][0])
+        assert v.temporal_score == v.base_score
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        vector = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+        assert CvssV3.parse(vector).vector() == vector
+
+    def test_roundtrip_with_maturity(self):
+        vector = "CVSS:3.0/AV:L/AC:H/PR:L/UI:R/S:C/C:L/I:L/A:N/E:F"
+        assert CvssV3.parse(vector).vector() == vector
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(CvssError, match="missing"):
+            CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H")
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(CvssError, match="duplicate"):
+            CvssV3.parse("CVSS:3.0/AV:N/AV:L/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(CvssError):
+            CvssV3.parse("CVSS:2.0/AV:N/AC:L/Au:N/C:P/I:P/A:P")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(CvssError, match="invalid AV"):
+            CvssV3.parse("CVSS:3.0/AV:Z/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_malformed_metric_rejected(self):
+        with pytest.raises(CvssError, match="malformed"):
+            CvssV3.parse("CVSS:3.0/AVN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_constructor_validation(self):
+        with pytest.raises(CvssError):
+            CvssV3("N", "L", "N", "N", "X", "H", "H", "H")  # bad scope
+
+
+class TestSeverityBands:
+    @pytest.mark.parametrize(
+        "score,band",
+        [(0.0, "NONE"), (0.1, "LOW"), (3.9, "LOW"), (4.0, "MEDIUM"),
+         (6.9, "MEDIUM"), (7.0, "HIGH"), (8.9, "HIGH"), (9.0, "CRITICAL"),
+         (10.0, "CRITICAL")],
+    )
+    def test_bands(self, score, band):
+        assert severity_rating(score) == band
+
+    def test_out_of_range(self):
+        with pytest.raises(CvssError):
+            severity_rating(10.1)
+        with pytest.raises(CvssError):
+            severity_rating(-0.1)
+
+
+class TestHelpers:
+    def test_is_network(self):
+        assert CvssV3.parse(REFERENCE[0][0]).is_network
+        assert not CvssV3.parse(REFERENCE[3][0]).is_network
+
+    def test_is_high_severity(self):
+        assert CvssV3.parse(REFERENCE[0][0]).is_high_severity  # 9.8
+        assert not CvssV3.parse(REFERENCE[3][0]).is_high_severity  # 5.5
+        # exactly 7.5 > 7
+        assert CvssV3.parse(REFERENCE[2][0]).is_high_severity
+
+
+_metric = st.sampled_from
+
+
+@st.composite
+def vectors(draw):
+    return CvssV3(
+        attack_vector=draw(_metric("NALP")),
+        attack_complexity=draw(_metric("LH")),
+        privileges_required=draw(_metric("NLH")),
+        user_interaction=draw(_metric("NR")),
+        scope=draw(_metric("UC")),
+        confidentiality=draw(_metric("HLN")),
+        integrity=draw(_metric("HLN")),
+        availability=draw(_metric("HLN")),
+        exploit_maturity=draw(_metric("XHFPU")),
+    )
+
+
+@settings(max_examples=200)
+@given(vectors())
+def test_score_in_range(v):
+    assert 0.0 <= v.base_score <= 10.0
+
+
+@settings(max_examples=200)
+@given(vectors())
+def test_score_one_decimal(v):
+    assert round(v.base_score * 10) == pytest.approx(v.base_score * 10)
+
+
+@settings(max_examples=200)
+@given(vectors())
+def test_temporal_never_exceeds_base(v):
+    assert v.temporal_score <= v.base_score + 1e-9
+
+
+@settings(max_examples=200)
+@given(vectors())
+def test_zero_iff_no_impact(v):
+    no_impact = (v.confidentiality, v.integrity, v.availability) == ("N",) * 3
+    assert (v.base_score == 0.0) == no_impact
+
+
+@settings(max_examples=100)
+@given(vectors())
+def test_parse_vector_roundtrip(v):
+    assert CvssV3.parse(v.vector()) == v
+
+
+@settings(max_examples=100)
+@given(vectors())
+def test_network_av_dominates_physical(v):
+    """Changing AV from P to N never lowers the score (monotonicity)."""
+    physical = CvssV3(**{**v.__dict__, "attack_vector": "P"})
+    network = CvssV3(**{**v.__dict__, "attack_vector": "N"})
+    assert network.base_score >= physical.base_score

@@ -1,0 +1,126 @@
+"""CVSS v2 tests: reference scores, parsing, conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cve.cvss import CvssError
+from repro.cve.cvss2 import CvssV2, v2_to_v3
+
+REFERENCE_V2 = [
+    ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5),
+    ("AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0),
+    ("AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3),  # classic XSS
+    ("AV:L/AC:L/Au:N/C:C/I:C/A:C", 7.2),
+    ("AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0),
+    ("AV:N/AC:L/Au:N/C:P/I:N/A:N", 5.0),
+    # 1.176*(0.6*2.8628 + 0.4*1.2443 - 1.5) = 0.84 -> 0.8
+    ("AV:L/AC:H/Au:M/C:P/I:N/A:N", 0.8),
+]
+
+
+class TestReferenceScores:
+    @pytest.mark.parametrize("vector,expected", REFERENCE_V2)
+    def test_base_score(self, vector, expected):
+        assert CvssV2.parse(vector).base_score == pytest.approx(expected)
+
+    def test_temporal(self):
+        v = CvssV2.parse("AV:N/AC:L/Au:N/C:P/I:P/A:P/E:POC/RL:OF/RC:C")
+        # 7.5 * 0.9 * 0.87 * 1.0 = 5.8725 -> 5.9
+        assert v.temporal_score == pytest.approx(5.9)
+
+    def test_temporal_nd_equals_base(self):
+        v = CvssV2.parse(REFERENCE_V2[0][0])
+        assert v.temporal_score == v.base_score
+
+
+class TestParsing:
+    def test_parenthesised(self):
+        assert CvssV2.parse("(AV:N/AC:L/Au:N/C:P/I:P/A:P)").base_score == 7.5
+
+    def test_nvd_prefix(self):
+        assert CvssV2.parse("CVSS2#AV:N/AC:L/Au:N/C:P/I:P/A:P").base_score == 7.5
+
+    def test_roundtrip(self):
+        vec = "AV:A/AC:M/Au:S/C:C/I:P/A:N"
+        assert CvssV2.parse(vec).vector() == vec
+
+    def test_missing_metric(self):
+        with pytest.raises(CvssError, match="missing"):
+            CvssV2.parse("AV:N/AC:L/Au:N/C:P/I:P")
+
+    def test_bad_value(self):
+        with pytest.raises(CvssError, match="invalid v2"):
+            CvssV2.parse("AV:X/AC:L/Au:N/C:P/I:P/A:P")
+
+    def test_duplicate(self):
+        with pytest.raises(CvssError, match="duplicate"):
+            CvssV2.parse("AV:N/AV:L/AC:L/Au:N/C:P/I:P/A:P")
+
+
+class TestSeverity:
+    @pytest.mark.parametrize(
+        "vector,band",
+        [
+            ("AV:N/AC:L/Au:N/C:C/I:C/A:C", "HIGH"),
+            ("AV:N/AC:M/Au:N/C:N/I:P/A:N", "MEDIUM"),
+            ("AV:L/AC:H/Au:M/C:P/I:N/A:N", "LOW"),
+        ],
+    )
+    def test_bands(self, vector, band):
+        assert CvssV2.parse(vector).severity == band
+
+
+class TestConversion:
+    def test_xss_maps_to_ui_required(self):
+        v3 = v2_to_v3(CvssV2.parse("AV:N/AC:M/Au:N/C:N/I:P/A:N"))
+        assert v3.user_interaction == "R"
+        assert v3.integrity == "L"
+
+    def test_complete_maps_to_high(self):
+        v3 = v2_to_v3(CvssV2.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C"))
+        assert (v3.confidentiality, v3.integrity, v3.availability) == (
+            "H", "H", "H"
+        )
+        assert v3.base_score == pytest.approx(9.8)
+
+    def test_authentication_maps_to_privileges(self):
+        v3 = v2_to_v3(CvssV2.parse("AV:N/AC:L/Au:S/C:P/I:N/A:N"))
+        assert v3.privileges_required == "L"
+
+    def test_conversion_preserves_ordering(self):
+        low = CvssV2.parse("AV:L/AC:H/Au:M/C:P/I:N/A:N")
+        high = CvssV2.parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert v2_to_v3(high).base_score > v2_to_v3(low).base_score
+
+
+@st.composite
+def v2_vectors(draw):
+    return CvssV2(
+        access_vector=draw(st.sampled_from("NAL")),
+        access_complexity=draw(st.sampled_from("LMH")),
+        authentication=draw(st.sampled_from("NSM")),
+        confidentiality=draw(st.sampled_from("CPN")),
+        integrity=draw(st.sampled_from("CPN")),
+        availability=draw(st.sampled_from("CPN")),
+    )
+
+
+@settings(max_examples=200)
+@given(v2_vectors())
+def test_v2_score_in_range(v):
+    assert 0.0 <= v.base_score <= 10.0
+
+
+@settings(max_examples=200)
+@given(v2_vectors())
+def test_v2_zero_iff_no_impact(v):
+    no_impact = (v.confidentiality, v.integrity, v.availability) == ("N",) * 3
+    assert (v.base_score == 0.0) == no_impact
+
+
+@settings(max_examples=100)
+@given(v2_vectors())
+def test_v2_to_v3_always_valid(v):
+    v3 = v2_to_v3(v)
+    assert 0.0 <= v3.base_score <= 10.0

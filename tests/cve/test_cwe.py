@@ -1,0 +1,80 @@
+"""CWE taxonomy tests."""
+
+import pytest
+
+from repro.cve import cwe
+
+
+class TestLookup:
+    def test_get_known(self):
+        entry = cwe.get(121)
+        assert entry.name == "Stack-based Buffer Overflow"
+        assert entry.category == "memory"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(cwe.UnknownCweError):
+            cwe.get(99999)
+
+    def test_exists(self):
+        assert cwe.exists(121)
+        assert not cwe.exists(99999)
+
+    def test_all_ids_sorted(self):
+        assert list(cwe.ALL_CWE_IDS) == sorted(cwe.ALL_CWE_IDS)
+
+
+class TestHierarchy:
+    def test_ancestors_chain(self):
+        # 121 (stack overflow) -> 120 (unchecked copy) -> 119 (buffer ops)
+        assert cwe.ancestors(121) == [120, 119]
+
+    def test_root_has_no_ancestors(self):
+        assert cwe.ancestors(119) == []
+
+    def test_is_a_reflexive(self):
+        assert cwe.is_a(121, 121)
+
+    def test_is_a_transitive(self):
+        assert cwe.is_a(121, 119)
+
+    def test_is_a_negative(self):
+        assert not cwe.is_a(119, 121)  # parent is not a child
+        assert not cwe.is_a(89, 119)
+
+    def test_parents_exist(self):
+        for cwe_id in cwe.ALL_CWE_IDS:
+            parent = cwe.get(cwe_id).parent
+            assert parent is None or cwe.exists(parent)
+
+    def test_no_cycles(self):
+        for cwe_id in cwe.ALL_CWE_IDS:
+            chain = cwe.ancestors(cwe_id)
+            assert cwe_id not in chain
+            assert len(chain) == len(set(chain))
+
+
+class TestCategories:
+    def test_category_of(self):
+        assert cwe.category_of(89) == "injection"
+        assert cwe.category_of(798) == "crypto"
+
+    def test_in_category(self):
+        memory = cwe.in_category("memory")
+        assert 121 in memory and 89 not in memory
+
+    def test_in_category_unknown(self):
+        with pytest.raises(cwe.UnknownCweError):
+            cwe.in_category("nonsense")
+
+    def test_children_share_parent_category(self):
+        # The curated hierarchy keeps children in their parent's bucket
+        # except where the taxonomy genuinely crosses (numeric is its own).
+        for cwe_id in cwe.ALL_CWE_IDS:
+            entry = cwe.get(cwe_id)
+            if entry.parent is not None:
+                parent = cwe.get(entry.parent)
+                assert entry.category == parent.category
+
+    def test_every_category_non_empty(self):
+        for category in cwe.CATEGORIES:
+            assert cwe.in_category(category)

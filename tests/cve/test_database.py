@@ -1,0 +1,103 @@
+"""CVE record and database tests."""
+
+import pytest
+
+from repro.cve.cvss import CvssV3
+from repro.cve.database import CVEDatabase
+from repro.cve.records import CVERecord, InvalidCveError
+
+RCE = CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")  # 9.8
+LOCAL = CvssV3.parse("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N")  # 5.5
+
+
+def record(cve_id="CVE-2015-10001", app="nginx", day=0, cvss=RCE, cwe=121):
+    return CVERecord(cve_id=cve_id, app=app, day=day, cvss=cvss, cwe_id=cwe)
+
+
+class TestRecord:
+    def test_valid_record(self):
+        r = record()
+        assert r.year == 2015
+        assert r.score == pytest.approx(9.8)
+        assert r.severity == "CRITICAL"
+        assert r.category == "memory"
+
+    @pytest.mark.parametrize(
+        "bad_id", ["CVE-15-0001", "cve-2015-10001", "CVE-2015-1", "2015-10001"]
+    )
+    def test_malformed_id(self, bad_id):
+        with pytest.raises(InvalidCveError):
+            record(cve_id=bad_id)
+
+    def test_empty_app(self):
+        with pytest.raises(InvalidCveError):
+            record(app="")
+
+    def test_negative_day(self):
+        with pytest.raises(InvalidCveError):
+            record(day=-1)
+
+    def test_unknown_cwe(self):
+        with pytest.raises(InvalidCveError):
+            record(cwe=99999)
+
+
+class TestDatabase:
+    def build(self):
+        db = CVEDatabase()
+        db.add(record("CVE-2010-10000", day=0))
+        db.add(record("CVE-2013-10001", day=1200, cvss=LOCAL, cwe=89))
+        db.add(record("CVE-2017-10002", day=2600))
+        db.add(record("CVE-2016-10003", app="redis", day=2000, cwe=78))
+        return db
+
+    def test_len_and_apps(self):
+        db = self.build()
+        assert len(db) == 4
+        assert db.apps == ["nginx", "redis"]
+
+    def test_duplicate_id_rejected(self):
+        db = self.build()
+        with pytest.raises(ValueError, match="duplicate"):
+            db.add(record("CVE-2010-10000", day=5))
+
+    def test_records_ordered_by_day(self):
+        db = self.build()
+        days = [r.day for r in db.records_for("nginx")]
+        assert days == sorted(days)
+
+    def test_history_years(self):
+        db = self.build()
+        assert db.history_years("nginx") == pytest.approx(2600 / 365.25)
+        assert db.history_years("redis") == 0.0  # single report
+
+    def test_history_missing_app(self):
+        assert self.build().history_years("nope") == 0.0
+
+    def test_select_converging(self):
+        db = self.build()
+        assert db.select_converging(min_years=5.0) == ["nginx"]
+
+    def test_summary_counts(self):
+        db = self.build()
+        s = db.summary("nginx")
+        assert s.n_total == 3
+        assert s.n_high_severity == 2  # two 9.8s; 5.5 is not > 7
+        assert s.n_network == 2
+        assert s.n_by_category == {"memory": 2, "injection": 1}
+        assert s.max_score == pytest.approx(9.8)
+
+    def test_summary_cwe_descendants(self):
+        db = self.build()
+        s = db.summary("nginx")
+        assert s.count_cwe(121, include_descendants=False) == 2
+        # 121 descends from 119, so counting 119 with descendants sees them.
+        assert s.count_cwe(119) == 2
+
+    def test_totals(self):
+        assert self.build().totals() == (2, 4)
+
+    def test_empty_summary(self):
+        s = CVEDatabase().summary("ghost")
+        assert s.n_total == 0
+        assert s.mean_score == 0.0

@@ -1,0 +1,117 @@
+"""CVE feed JSON import/export tests."""
+
+import json
+
+import pytest
+
+from repro.cve import io as cve_io
+from repro.cve.cvss import CvssV3
+from repro.cve.database import CVEDatabase
+from repro.cve.records import CVERecord
+
+RCE = CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+
+def sample_db():
+    db = CVEDatabase()
+    db.add(CVERecord("CVE-2014-10001", "nginx", 100, RCE, 121, "overflow"))
+    db.add(CVERecord("CVE-2016-10002", "nginx", 900, RCE, 89))
+    db.add(CVERecord("CVE-2015-10003", "redis", 500, RCE, 78))
+    return db
+
+
+class TestExport:
+    def test_document_shape(self):
+        doc = cve_io.to_document(sample_db())
+        assert doc["format"] == "repro-cve-feed"
+        assert doc["itemCount"] == 3
+        item = doc["items"][0]
+        assert item["cve"]["id"].startswith("CVE-")
+        assert item["impact"]["baseMetricV3"]["baseScore"] == 9.8
+        assert item["weakness"]["cweId"].startswith("CWE-")
+
+    def test_dump_to_path(self, tmp_path):
+        path = str(tmp_path / "feed.json")
+        cve_io.dump(sample_db(), path)
+        assert json.load(open(path))["itemCount"] == 3
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = sample_db()
+        restored = cve_io.loads(cve_io.dumps(original))
+        assert restored.totals() == original.totals()
+        for app in original.apps:
+            old = original.records_for(app)
+            new = restored.records_for(app)
+            assert [(r.cve_id, r.day, r.cwe_id, r.cvss) for r in old] == [
+                (r.cve_id, r.day, r.cwe_id, r.cvss) for r in new
+            ]
+
+    def test_roundtrip_description(self):
+        restored = cve_io.loads(cve_io.dumps(sample_db()))
+        record = restored.records_for("nginx")[0]
+        assert record.description == "overflow"
+
+    def test_load_from_path(self, tmp_path):
+        path = str(tmp_path / "feed.json")
+        cve_io.dump(sample_db(), path)
+        assert cve_io.load(path).totals() == (2, 3)
+
+
+class TestValidation:
+    def base_doc(self):
+        return cve_io.to_document(sample_db())
+
+    def test_wrong_format(self):
+        doc = self.base_doc()
+        doc["format"] = "something-else"
+        with pytest.raises(cve_io.CveFeedError, match="not a"):
+            cve_io.from_document(doc)
+
+    def test_wrong_version(self):
+        doc = self.base_doc()
+        doc["version"] = 99
+        with pytest.raises(cve_io.CveFeedError, match="version"):
+            cve_io.from_document(doc)
+
+    def test_item_count_mismatch(self):
+        doc = self.base_doc()
+        doc["itemCount"] = 5
+        with pytest.raises(cve_io.CveFeedError, match="itemCount"):
+            cve_io.from_document(doc)
+
+    def test_tampered_score_rejected(self):
+        doc = self.base_doc()
+        doc["items"][0]["impact"]["baseMetricV3"]["baseScore"] = 1.0
+        with pytest.raises(cve_io.CveFeedError, match="recomputed"):
+            cve_io.from_document(doc)
+
+    def test_bad_vector_rejected(self):
+        doc = self.base_doc()
+        doc["items"][0]["impact"]["baseMetricV3"]["vectorString"] = "garbage"
+        with pytest.raises(cve_io.CveFeedError, match="item 0"):
+            cve_io.from_document(doc)
+
+    def test_bad_cwe_rejected(self):
+        doc = self.base_doc()
+        doc["items"][0]["weakness"]["cweId"] = "WEAK-121"
+        with pytest.raises(cve_io.CveFeedError, match="CWE"):
+            cve_io.from_document(doc)
+
+    def test_missing_field_rejected(self):
+        doc = self.base_doc()
+        del doc["items"][0]["product"]
+        with pytest.raises(cve_io.CveFeedError, match="item 0"):
+            cve_io.from_document(doc)
+
+    def test_invalid_json(self):
+        with pytest.raises(cve_io.CveFeedError, match="invalid JSON"):
+            cve_io.loads("{not json")
+
+    def test_synthetic_corpus_roundtrip(self, small_corpus):
+        text = cve_io.dumps(small_corpus.database)
+        restored = cve_io.loads(text)
+        assert restored.totals() == small_corpus.database.totals()
+        assert restored.select_converging() == \
+            small_corpus.database.select_converging()

@@ -1,0 +1,103 @@
+"""Vulnerability-history trend tests."""
+
+import pytest
+
+from repro.cve.cvss import CvssV3
+from repro.cve.database import CVEDatabase
+from repro.cve.records import CVERecord
+from repro.cve.trends import (
+    analyse,
+    rank_by_maturity,
+    select_converging,
+    yearly_counts,
+)
+
+RCE = CvssV3.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+
+def db_with_days(app_days):
+    db = CVEDatabase()
+    n = 0
+    for app, days in app_days.items():
+        for day in days:
+            n += 1
+            db.add(CVERecord(f"CVE-2015-{10000+n}", app, day, RCE, 121))
+    return db
+
+
+def spread(start, end, count):
+    if count == 1:
+        return [start]
+    step = (end - start) / (count - 1)
+    return [int(start + i * step) for i in range(count)]
+
+
+class TestYearlyCounts:
+    def test_buckets(self):
+        db = db_with_days({"a": [0, 100, 400, 800]})
+        counts = yearly_counts(db.records_for("a"))
+        assert counts == [(0, 2), (1, 1), (2, 1)]
+
+    def test_gap_years_zero(self):
+        db = db_with_days({"a": [0, 1200]})
+        counts = yearly_counts(db.records_for("a"))
+        assert counts == [(0, 1), (1, 0), (2, 0), (3, 1)]
+
+    def test_empty(self):
+        assert yearly_counts([]) == []
+
+
+class TestAnalyse:
+    def test_flat_history_converging(self):
+        db = db_with_days({"a": spread(0, 3650, 20)})  # 10 years, uniform
+        trend = analyse(db, "a")
+        assert trend.span_years == pytest.approx(10.0, abs=0.1)
+        assert trend.is_converging
+        assert abs(trend.rate_trend) < 0.25
+
+    def test_accelerating_history_not_converging(self):
+        # Counts doubling every year: clearly still ramping up.
+        days = []
+        day = 0
+        for year, count in enumerate([1, 2, 4, 8, 16, 32]):
+            for i in range(count):
+                days.append(int(year * 366 + i * 10))
+        db = db_with_days({"a": days})
+        trend = analyse(db, "a")
+        assert trend.rate_trend > 0.25
+        assert not trend.is_converging
+
+    def test_short_history_not_converging(self):
+        db = db_with_days({"a": spread(0, 700, 6)})  # < 2 years
+        assert not analyse(db, "a").is_converging
+
+    def test_decaying_history_front_loaded(self):
+        days = spread(0, 365, 15) + spread(2000, 3650, 3)
+        db = db_with_days({"a": days})
+        trend = analyse(db, "a")
+        assert trend.late_share < 0.5
+        assert trend.maturity_index > 0.5
+
+    def test_empty_app(self):
+        trend = analyse(CVEDatabase(), "ghost")
+        assert trend.n_reports == 0
+        assert not trend.is_converging
+
+    def test_mean_rate(self):
+        db = db_with_days({"a": spread(0, 3652, 30)})
+        assert analyse(db, "a").mean_rate == pytest.approx(3.0, abs=0.1)
+
+
+class TestSelection:
+    def test_select_converging_subset_of_span_rule(self, small_corpus):
+        db = small_corpus.database
+        trend_based = set(select_converging(db))
+        span_based = set(db.select_converging())
+        assert trend_based <= span_based
+        assert trend_based  # synthetic corpus is uniform-rate: most pass
+
+    def test_rank_by_maturity_sorted(self, small_corpus):
+        trends = rank_by_maturity(small_corpus.database)
+        indices = [t.maturity_index for t in trends]
+        assert indices == sorted(indices, reverse=True)
+        assert len(trends) == 164

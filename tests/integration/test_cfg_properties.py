@@ -1,0 +1,164 @@
+"""Property-based tests over generated structured programs.
+
+A hypothesis grammar emits random-but-valid C-like and Python function
+bodies; the structural parser, CFG builder, and dataflow analyses must
+uphold their invariants on every one of them.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.cyclomatic import function_complexity
+from repro.analysis.dataflow import reaching_definitions, taint_analysis
+from repro.lang import SourceFile, extract_functions
+
+# -- random structured-program generator -------------------------------------
+
+
+@st.composite
+def c_statements(draw, depth=0):
+    """A list of C statement strings, bounded nesting."""
+    n = draw(st.integers(1, 4))
+    statements = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["assign", "if", "ifelse", "while", "return", "call"]
+                if depth < 2
+                else ["assign", "return", "call"]
+            )
+        )
+        var = draw(st.sampled_from("abcxyz"))
+        value = draw(st.integers(0, 99))
+        if kind == "assign":
+            statements.append(f"{var} = {value};")
+        elif kind == "call":
+            statements.append(f"{var} = helper({var});")
+        elif kind == "return":
+            statements.append(f"return {var};")
+        elif kind == "if":
+            inner = draw(c_statements(depth=depth + 1))
+            statements.append(
+                f"if ({var} > {value}) {{\n" + "\n".join(inner) + "\n}"
+            )
+        elif kind == "ifelse":
+            then = draw(c_statements(depth=depth + 1))
+            other = draw(c_statements(depth=depth + 1))
+            statements.append(
+                f"if ({var} > {value}) {{\n" + "\n".join(then)
+                + "\n} else {\n" + "\n".join(other) + "\n}"
+            )
+        elif kind == "while":
+            inner = draw(c_statements(depth=depth + 1))
+            statements.append(
+                f"while ({var} < {value}) {{\n" + "\n".join(inner) + "\n}"
+            )
+    return statements
+
+
+@st.composite
+def c_functions(draw):
+    body = "\n".join(draw(c_statements()))
+    return (
+        "int f(int a, int b) {\n"
+        "int x = 0;\nint y = 1;\nint c = 2;\nint z = 3;\n"
+        + body
+        + "\nreturn x;\n}"
+    )
+
+
+def _function_and_cfg(text, path="t.c"):
+    src = SourceFile(path, text)
+    functions = extract_functions(src)
+    assert functions, text
+    return functions[0], src, build_cfg(functions[0], src)
+
+
+@settings(max_examples=120, deadline=None)
+@given(c_functions())
+def test_cfg_structural_invariants(text):
+    fn, src, cfg = _function_and_cfg(text)
+    graph = cfg.graph
+    # Entry has no predecessors; exit has no successors.
+    assert graph.in_degree(cfg.entry) == 0
+    assert graph.out_degree(cfg.exit) == 0
+    # Every node reachable from entry can reach exit (no trap states).
+    reachable = nx.descendants(graph, cfg.entry) | {cfg.entry}
+    for node in reachable:
+        if node == cfg.exit:
+            continue
+        assert nx.has_path(graph, node, cfg.exit), (text, node)
+
+
+@settings(max_examples=120, deadline=None)
+@given(c_functions())
+def test_cfg_cyclomatic_lower_bound(text):
+    fn, src, cfg = _function_and_cfg(text)
+    # Graph cyclomatic >= 1 and within the token count's neighbourhood.
+    assert cfg.cyclomatic >= 1
+    token_cc = function_complexity(fn, src)
+    assert abs(cfg.cyclomatic - token_cc) <= token_cc  # same magnitude
+
+
+@settings(max_examples=100, deadline=None)
+@given(c_functions())
+def test_path_count_at_least_one(text):
+    _, _, cfg = _function_and_cfg(text)
+    assert cfg.path_count() >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(c_functions())
+def test_reaching_definitions_terminates_and_is_sound(text):
+    _, _, cfg = _function_and_cfg(text)
+    rd = reaching_definitions(cfg)
+    # Every reaching definition's origin node generated it.
+    for node, reaching in rd.in_sets.items():
+        for def_node, var in reaching:
+            assert (def_node, var) in rd.gen[def_node]
+
+
+@settings(max_examples=100, deadline=None)
+@given(c_functions())
+def test_taint_monotone_in_seed_params(text):
+    fn, src, cfg = _function_and_cfg(text)
+    none = taint_analysis(cfg, [])
+    all_params = taint_analysis(cfg, fn.param_names)
+    assert none.tainted_sink_calls <= all_params.tainted_sink_calls
+    assert none.tainted_vars <= all_params.tainted_vars | set(fn.param_names)
+
+
+@st.composite
+def py_functions(draw):
+    lines = ["def f(a, b):", "    x = 0"]
+    n = draw(st.integers(1, 4))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["assign", "if", "for", "return"]))
+        var = draw(st.sampled_from("abxyz"))
+        value = draw(st.integers(0, 9))
+        if kind == "assign":
+            lines.append(f"    {var} = {value}")
+        elif kind == "if":
+            lines.append(f"    if {var} > {value}:")
+            lines.append(f"        {var} = {value} + 1")
+        elif kind == "for":
+            lines.append(f"    for i in range({value + 1}):")
+            lines.append(f"        {var} = {var} + i" if var != "i"
+                         else "        x = x + i")
+        else:
+            lines.append(f"    return {var}")
+    lines.append("    return x")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=100, deadline=None)
+@given(py_functions())
+def test_python_cfg_invariants(text):
+    fn, src, cfg = _function_and_cfg(text, path="t.py")
+    assert cfg.graph.in_degree(cfg.entry) == 0
+    assert cfg.graph.out_degree(cfg.exit) == 0
+    assert cfg.path_count() >= 1
+    reaching_definitions(cfg)  # must terminate without raising

@@ -1,0 +1,102 @@
+"""Failure injection: the testbed must survive hostile, broken input.
+
+The paper's testbed runs unattended over hundreds of applications (§5.1);
+real trees contain truncated files, mismatched braces, binary garbage,
+and weird encodings. Every analyzer — and the full feature extraction —
+must degrade gracefully (finite numbers, no exceptions) on all of it.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bugfind import run_all
+from repro.core.features import extract_features
+from repro.lang import Codebase, SourceFile
+
+
+def _corrupt(text: str, mode: str, seed: int) -> str:
+    rng = random.Random(seed)
+    if not text:
+        return text
+    if mode == "truncate":
+        return text[: rng.randint(0, len(text) - 1)]
+    if mode == "drop_braces":
+        return text.replace("}", "", rng.randint(1, 3))
+    if mode == "extra_braces":
+        pos = rng.randint(0, len(text))
+        return text[:pos] + "}}}{{" + text[pos:]
+    if mode == "binary_noise":
+        pos = rng.randint(0, len(text))
+        return text[:pos] + "\x00\xff\x7f�" + text[pos:]
+    if mode == "shuffle_lines":
+        lines = text.splitlines()
+        rng.shuffle(lines)
+        return "\n".join(lines)
+    raise ValueError(mode)
+
+
+MODES = ("truncate", "drop_braces", "extra_braces", "binary_noise",
+         "shuffle_lines")
+
+
+@pytest.fixture(scope="module")
+def donor_sources(small_corpus):
+    app = small_corpus.apps[0]
+    return {f.path: f.text for f in app.codebase}
+
+
+class TestCorruptedCorpusFiles:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_feature_extraction_survives(self, donor_sources, mode):
+        corrupted = {
+            path: _corrupt(text, mode, seed=i)
+            for i, (path, text) in enumerate(sorted(donor_sources.items()))
+        }
+        codebase = Codebase.from_sources("corrupted", corrupted)
+        row = extract_features(codebase)
+        import math
+
+        assert all(math.isfinite(v) for v in row.values()), mode
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_bugfind_survives(self, donor_sources, mode):
+        corrupted = {
+            path: _corrupt(text, mode, seed=i + 100)
+            for i, (path, text) in enumerate(sorted(donor_sources.items()))
+        }
+        run_all(Codebase.from_sources("corrupted", corrupted))
+
+    def test_single_brace_file(self):
+        row = extract_features(Codebase.from_sources("b", {"a.c": "}\n"}))
+        import math
+
+        assert all(math.isfinite(v) for v in row.values())
+
+    def test_only_comments_file(self):
+        cb = Codebase.from_sources("c", {"a.c": "/* nothing but talk */\n"})
+        row = extract_features(cb)
+        assert row["size.sample_loc"] == 0.0
+
+    def test_gigantic_single_line(self):
+        text = "int x = " + " + ".join(str(i) for i in range(2000)) + ";\n"
+        extract_features(Codebase.from_sources("g", {"a.c": text}))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.text(
+        alphabet=st.characters(min_codepoint=1, max_codepoint=0x2FF),
+        max_size=400,
+    ),
+    st.sampled_from([".c", ".py", ".java", ".cc"]),
+)
+def test_feature_extraction_on_arbitrary_text(text, ext):
+    """Pure fuzz: any unicode soup in any language must analyse finitely."""
+    import math
+
+    codebase = Codebase.from_sources("fuzz", {f"f{ext}": text})
+    row = extract_features(codebase)
+    assert all(math.isfinite(v) for v in row.values())

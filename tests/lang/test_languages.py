@@ -1,0 +1,80 @@
+"""Language spec and detection tests."""
+
+import pytest
+
+from repro.lang import (
+    ALL_LANGUAGES,
+    C,
+    CPP,
+    JAVA,
+    PYTHON,
+    UnknownLanguageError,
+    detect_language,
+    language_by_name,
+)
+
+
+class TestDetection:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("a.c", C),
+            ("dir/b.h", C),
+            ("x.cc", CPP),
+            ("x.cpp", CPP),
+            ("x.hpp", CPP),
+            ("Foo.java", JAVA),
+            ("pkg/mod.py", PYTHON),
+        ],
+    )
+    def test_by_extension(self, path, expected):
+        assert detect_language(path) is expected
+
+    def test_case_insensitive_extension(self):
+        assert detect_language("A.C") is C
+
+    def test_unknown_extension(self):
+        assert detect_language("readme.txt") is None
+
+    def test_no_extension(self):
+        assert detect_language("Makefile") is None
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["c", "cpp", "java", "python"])
+    def test_by_name(self, name):
+        assert language_by_name(name).name == name
+
+    def test_by_name_case_insensitive(self):
+        assert language_by_name("Python") is PYTHON
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownLanguageError):
+            language_by_name("cobol")
+
+
+class TestSpecs:
+    def test_all_extensions_unique(self):
+        seen = set()
+        for spec in ALL_LANGUAGES:
+            for ext in spec.extensions:
+                assert ext not in seen
+                seen.add(ext)
+
+    def test_cpp_keywords_superset_of_c(self):
+        assert C.keywords < CPP.keywords
+
+    def test_python_has_no_block_comment(self):
+        assert PYTHON.block_comment is None
+
+    def test_c_has_preprocessor(self):
+        assert C.has_preprocessor and CPP.has_preprocessor
+        assert not JAVA.has_preprocessor and not PYTHON.has_preprocessor
+
+    def test_decision_tokens_contain_if(self):
+        for spec in ALL_LANGUAGES:
+            assert "if" in spec.decision_tokens
+
+    def test_python_uses_indent_style(self):
+        assert PYTHON.function_style == "indent"
+        assert C.function_style == "braces"

@@ -1,0 +1,221 @@
+"""Lexer tests: token classification, tolerance, and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import C, CPP, JAVA, PYTHON, Token, TokenKind, tokenize
+
+
+def kinds(text, spec):
+    return [t.kind for t in tokenize(text, spec) if t.kind != TokenKind.NEWLINE]
+
+
+def texts(text, spec, kind=None):
+    return [
+        t.text
+        for t in tokenize(text, spec)
+        if (kind is None and t.is_code()) or t.kind == kind
+    ]
+
+
+class TestBasicTokens:
+    def test_keyword_vs_identifier(self):
+        toks = tokenize("int foo;", C)
+        assert toks[0].kind == TokenKind.KEYWORD
+        assert toks[1].kind == TokenKind.IDENT
+
+    def test_number_literal(self):
+        assert kinds("42", C) == [TokenKind.NUMBER]
+
+    def test_hex_literal(self):
+        toks = tokenize("0xFF07", C)
+        assert toks[0].kind == TokenKind.NUMBER
+        assert toks[0].text == "0xFF07"
+
+    def test_binary_literal(self):
+        assert texts("0b1010", PYTHON, TokenKind.NUMBER) == ["0b1010"]
+
+    def test_float_with_exponent(self):
+        toks = tokenize("1.5e-3", C)
+        assert [t.text for t in toks] == ["1.5e-3"]
+
+    def test_float_suffix(self):
+        assert texts("2.5f", C, TokenKind.NUMBER) == ["2.5f"]
+
+    def test_integer_suffix(self):
+        assert texts("10UL", C, TokenKind.NUMBER) == ["10UL"]
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"', C)
+        assert toks[0].kind == TokenKind.STRING
+        assert toks[0].text == '"hello world"'
+
+    def test_string_with_escape(self):
+        toks = tokenize(r'"a\"b"', C)
+        assert toks[0].text == r'"a\"b"'
+        assert len([t for t in toks if t.kind == TokenKind.STRING]) == 1
+
+    def test_char_literal(self):
+        toks = tokenize("'x'", C)
+        assert toks[0].kind == TokenKind.CHAR
+
+    def test_char_escape(self):
+        toks = tokenize(r"'\n'", C)
+        assert toks[0].kind == TokenKind.CHAR
+        assert toks[0].text == r"'\n'"
+
+    def test_multichar_operators_maximal_munch(self):
+        assert texts("a <<= b", C) == ["a", "<<=", "b"]
+
+    def test_arrow_operator(self):
+        assert "->" in texts("p->field", C)
+
+    def test_increment(self):
+        assert "++" in texts("i++", C)
+
+    def test_punctuation(self):
+        toks = tokenize("f(a, b);", C)
+        punct = [t.text for t in toks if t.kind == TokenKind.PUNCT]
+        assert punct == ["(", ",", ")", ";"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b", C)
+        ident_b = [t for t in toks if t.text == "b"][0]
+        assert ident_b.line == 2
+        assert ident_b.col == 3
+
+    def test_unknown_character(self):
+        toks = tokenize("a $ b", C)
+        assert TokenKind.UNKNOWN in [t.kind for t in toks]
+
+
+class TestComments:
+    def test_line_comment(self):
+        toks = tokenize("x = 1; // note\ny = 2;", C)
+        comments = [t for t in toks if t.kind == TokenKind.COMMENT]
+        assert len(comments) == 1
+        assert comments[0].text == "// note"
+
+    def test_block_comment(self):
+        toks = tokenize("/* multi\nline */ x", C)
+        assert toks[0].kind == TokenKind.COMMENT
+        assert "multi" in toks[0].text
+
+    def test_unterminated_block_comment(self):
+        toks = tokenize("/* never closed", C)
+        assert toks[0].kind == TokenKind.COMMENT
+
+    def test_comment_marker_inside_string(self):
+        toks = tokenize('"no // comment"', C)
+        assert toks[0].kind == TokenKind.STRING
+        assert all(t.kind != TokenKind.COMMENT for t in toks)
+
+    def test_python_hash_comment(self):
+        toks = tokenize("x = 1  # note", PYTHON)
+        assert toks[-1].kind == TokenKind.COMMENT
+
+    def test_python_no_block_comments(self):
+        toks = tokenize("x = 1 / 2 * 3", PYTHON)
+        assert all(t.kind != TokenKind.COMMENT for t in toks)
+
+    def test_line_numbers_after_block_comment(self):
+        toks = tokenize("/* a\nb\nc */\nx", C)
+        x_tok = [t for t in toks if t.text == "x"][0]
+        assert x_tok.line == 4
+
+
+class TestPython:
+    def test_triple_quoted_string(self):
+        toks = tokenize('"""doc\nstring"""\nx = 1', PYTHON)
+        assert toks[0].kind == TokenKind.STRING
+        assert "doc" in toks[0].text
+
+    def test_triple_single_quotes(self):
+        toks = tokenize("'''doc'''", PYTHON)
+        assert toks[0].kind == TokenKind.STRING
+
+    def test_single_quote_string(self):
+        toks = tokenize("x = 'hi'", PYTHON)
+        assert toks[-1].kind == TokenKind.STRING
+
+    def test_python_keywords(self):
+        toks = tokenize("def f(): return None", PYTHON)
+        keywords = [t.text for t in toks if t.kind == TokenKind.KEYWORD]
+        assert keywords == ["def", "return", "None"]
+
+    def test_walrus_operator(self):
+        assert ":=" in texts("if (n := 10) > 5: pass", PYTHON)
+
+
+class TestPreprocessor:
+    def test_include_is_preproc(self):
+        toks = tokenize("#include <stdio.h>\nint x;", C)
+        assert toks[0].kind == TokenKind.PREPROC
+
+    def test_define_with_continuation(self):
+        toks = tokenize("#define MAX(a, b) \\\n  ((a) > (b))\nint x;", C)
+        assert toks[0].kind == TokenKind.PREPROC
+        assert "((a) > (b))" in toks[0].text
+
+    def test_hash_not_at_line_start_java(self):
+        # Java has no preprocessor; '#' lexes as unknown.
+        toks = tokenize("# x", JAVA)
+        assert toks[0].kind == TokenKind.UNKNOWN
+
+    def test_preproc_only_at_line_start(self):
+        toks = tokenize("int a; # not preproc", C)
+        assert all(t.kind != TokenKind.PREPROC for t in toks)
+
+
+class TestTolerance:
+    def test_unterminated_string_stops_at_newline(self):
+        toks = tokenize('"open\nnext', C)
+        kinds_ = [t.kind for t in toks]
+        assert TokenKind.STRING in kinds_
+        assert TokenKind.IDENT in kinds_  # `next` still lexes
+
+    def test_empty_input(self):
+        assert tokenize("", C) == []
+
+    def test_whitespace_only(self):
+        assert [t.kind for t in tokenize("  \t \n ", C)] == [TokenKind.NEWLINE]
+
+
+@settings(max_examples=60)
+@given(st.text(max_size=300))
+def test_lexer_never_crashes_on_arbitrary_text(text):
+    """Tolerance invariant: any input lexes without raising."""
+    for spec in (C, CPP, JAVA, PYTHON):
+        tokenize(text, spec)
+
+
+@settings(max_examples=60)
+@given(st.text(max_size=200))
+def test_newline_tokens_match_newline_count(text):
+    toks = tokenize(text, C)
+    assert sum(1 for t in toks if t.kind == TokenKind.NEWLINE) == text.count("\n")
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.sampled_from(["int", "x", "42", "+", "(", ")", ";", '"s"', "if"]),
+        max_size=30,
+    )
+)
+def test_token_texts_reassemble_code(parts):
+    """Code tokens reproduce the input when joined (modulo whitespace)."""
+    text = " ".join(parts)
+    toks = tokenize(text, C)
+    reassembled = " ".join(t.text for t in toks if t.kind != TokenKind.NEWLINE)
+    assert reassembled == text.strip()
+
+
+@settings(max_examples=40)
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=200))
+def test_offsets_are_monotonic(text):
+    toks = tokenize(text, C)
+    lines = [t.line for t in toks]
+    assert lines == sorted(lines)

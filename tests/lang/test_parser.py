@@ -1,0 +1,157 @@
+"""Structural parser tests: function and class recovery."""
+
+import pytest
+
+from repro.lang import SourceFile, extract_classes, extract_functions
+
+
+def c_functions(text):
+    return extract_functions(SourceFile("t.c", text))
+
+
+def py_functions(text):
+    return extract_functions(SourceFile("t.py", text))
+
+
+class TestCFunctions:
+    def test_simple_function(self, c_source):
+        names = [f.name for f in extract_functions(c_source)]
+        assert names == ["helper", "main"]
+
+    def test_param_names(self, c_source):
+        helper = extract_functions(c_source)[0]
+        assert helper.param_names == ["dst", "src", "n"]
+        assert helper.param_count == 3
+
+    def test_void_params(self):
+        fns = c_functions("int f(void) {\n    return 0;\n}\n")
+        assert fns[0].param_count == 0
+
+    def test_empty_params(self):
+        fns = c_functions("int f() { return 0; }")
+        assert fns[0].param_count == 0
+
+    def test_pointer_params(self):
+        fns = c_functions("int g(char **argv, int *n) { return 0; }")
+        assert fns[0].param_names == ["argv", "n"]
+
+    def test_extent_lines(self, c_source):
+        helper, main = extract_functions(c_source)
+        assert helper.start_line == 5
+        assert helper.end_line == 16
+        assert main.length == main.end_line - main.start_line + 1
+
+    def test_static_is_not_public(self, c_source):
+        helper, main = extract_functions(c_source)
+        assert not helper.is_public
+        assert main.is_public
+
+    def test_nesting_depth(self, c_source):
+        helper, main = extract_functions(c_source)
+        assert helper.max_nesting >= 2
+
+    def test_if_is_not_a_function(self):
+        fns = c_functions("int f(int x) {\n  if (x) { return 1; }\n  return 0;\n}")
+        assert [f.name for f in fns] == ["f"]
+
+    def test_call_with_block_initializer_not_matched(self):
+        # `x = foo(1)` followed by struct block should not produce `foo`.
+        fns = c_functions("int f(void) {\n  int x = foo(1);\n  return x;\n}")
+        assert [f.name for f in fns] == ["f"]
+
+    def test_function_with_const_qualifier_cpp(self):
+        src = SourceFile("t.cc", "class A {\nint get(int i) const {\n  return i;\n}\n};\n")
+        fns = extract_functions(src)
+        assert [f.name for f in fns] == ["get"]
+
+    def test_unbalanced_braces_tolerated(self):
+        fns = c_functions("int f(int a) {\n  if (a) {\n  return 1;\n")
+        assert fns and fns[0].name == "f"
+
+
+class TestJava:
+    def test_methods_and_class(self, java_source):
+        classes = extract_classes(java_source)
+        assert [c.name for c in classes] == ["Widget"]
+        method_names = {m.name for m in classes[0].methods}
+        assert {"Widget", "total", "reset"} <= method_names
+
+    def test_private_method_visibility(self, java_source):
+        fns = {f.name: f for f in extract_functions(java_source)}
+        assert not fns["reset"].is_public
+        assert fns["total"].is_public
+
+    def test_owner_assigned(self, java_source):
+        classes = extract_classes(java_source)
+        assert all(m.owner == "Widget" for m in classes[0].methods)
+
+
+class TestPythonFunctions:
+    def test_names(self, py_source):
+        names = [f.name for f in extract_functions(py_source)]
+        assert names == ["greet", "__init__", "run"]
+
+    def test_param_names_exclude_defaults(self, py_source):
+        greet = extract_functions(py_source)[0]
+        assert greet.param_names == ["name", "times"]
+
+    def test_underscore_private(self):
+        fns = py_functions("def _hidden():\n    pass\n")
+        assert not fns[0].is_public
+
+    def test_block_extent(self, py_source):
+        greet = extract_functions(py_source)[0]
+        assert greet.start_line == 3
+        assert greet.end_line == 9
+
+    def test_nested_function_extent(self):
+        text = (
+            "def outer(a):\n"
+            "    def inner(b):\n"
+            "        return b\n"
+            "    return inner(a)\n"
+            "\n"
+            "def after():\n"
+            "    return 1\n"
+        )
+        fns = py_functions(text)
+        by_name = {f.name: f for f in fns}
+        assert by_name["outer"].end_line == 4
+        assert by_name["inner"].end_line == 3
+        assert by_name["after"].start_line == 6
+
+    def test_default_value_idents_not_params(self):
+        fns = py_functions("def f(a, b=DEFAULT, *args, **kw):\n    pass\n")
+        assert fns[0].param_names == ["a", "b", "args", "kw"]
+
+    def test_annotation_idents_not_params(self):
+        fns = py_functions("def f(a: int, b: str = name):\n    pass\n")
+        assert "int" not in fns[0].param_names
+        assert fns[0].param_names[:2] == ["a", "b"]
+
+    def test_python_classes(self, py_source):
+        classes = extract_classes(py_source)
+        assert [c.name for c in classes] == ["Greeter"]
+        assert {m.name for m in classes[0].methods} == {"__init__", "run"}
+
+    def test_comment_lines_do_not_end_block(self):
+        text = (
+            "def f():\n"
+            "    x = 1\n"
+            "# outdented comment\n"
+            "    return x\n"
+        )
+        fns = py_functions(text)
+        assert fns[0].end_line == 4
+
+
+class TestEdgeCases:
+    def test_empty_file(self):
+        assert c_functions("") == []
+
+    def test_declaration_only_no_body(self):
+        assert c_functions("int f(int a);\n") == []
+
+    def test_macro_call_at_top_level_skipped(self):
+        # No '{' after the parens -> not a function.
+        assert c_functions("MODULE_LICENSE(x);\n") == []

@@ -1,0 +1,82 @@
+"""SourceFile and Codebase tests."""
+
+import os
+
+import pytest
+
+from repro.lang import Codebase, SourceFile
+
+
+class TestSourceFile:
+    def test_language_detection(self):
+        assert SourceFile("x.py", "pass\n").language == "python"
+
+    def test_undetectable_raises(self):
+        with pytest.raises(ValueError):
+            SourceFile("notes.txt", "hello")
+
+    def test_explicit_spec_overrides(self):
+        from repro.lang import C
+
+        src = SourceFile("weird.txt", "int x;", spec=C)
+        assert src.language == "c"
+
+    def test_tokens_cached(self):
+        src = SourceFile("x.c", "int x;")
+        assert src.tokens is src.tokens
+
+    def test_lines(self):
+        src = SourceFile("x.c", "a\nb\n")
+        assert src.lines == ["a", "b"]
+
+
+class TestCodebase:
+    def test_from_sources_sorted(self):
+        cb = Codebase.from_sources("app", {"b.c": "int b;", "a.c": "int a;"})
+        assert [f.path for f in cb.files] == ["a.c", "b.c"]
+
+    def test_len_and_iter(self, mixed_codebase):
+        assert len(mixed_codebase) == 3
+        assert len(list(mixed_codebase)) == 3
+
+    def test_add_replaces_by_path(self):
+        cb = Codebase("app")
+        cb.add(SourceFile("a.c", "int a;"))
+        cb.add(SourceFile("a.c", "int b;"))
+        assert len(cb) == 1
+        assert "b" in cb.get("a.c").text
+
+    def test_remove(self, mixed_codebase):
+        mixed_codebase.remove("app.py")
+        assert mixed_codebase.get("app.py") is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Codebase("x").remove("nope.c")
+
+    def test_by_language(self, mixed_codebase):
+        assert [f.path for f in mixed_codebase.by_language("python")] == ["app.py"]
+
+    def test_languages_counts(self, mixed_codebase):
+        assert mixed_codebase.languages() == {"c": 1, "python": 1, "java": 1}
+
+    def test_primary_language_by_loc(self, mixed_codebase):
+        # The C sample is the longest in the fixture.
+        assert mixed_codebase.primary_language() == "c"
+
+    def test_primary_language_empty(self):
+        assert Codebase("empty").primary_language() is None
+
+    def test_from_directory(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.c").write_text("int a;\n")
+        (tmp_path / "sub" / "b.py").write_text("x = 1\n")
+        (tmp_path / "notes.md").write_text("skip me\n")
+        cb = Codebase.from_directory(str(tmp_path), name="scan")
+        assert sorted(f.path for f in cb) == ["a.c", os.path.join("sub", "b.py")]
+        assert cb.name == "scan"
+
+    def test_from_directory_bad_encoding_tolerated(self, tmp_path):
+        (tmp_path / "bin.c").write_bytes(b"int x;\n\xff\xfe\n")
+        cb = Codebase.from_directory(str(tmp_path))
+        assert len(cb) == 1

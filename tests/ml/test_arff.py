@@ -1,0 +1,140 @@
+"""ARFF import/export tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.ml.arff import ArffError, dump, dumps, load, loads
+from repro.ml.dataset import Dataset
+
+
+def classification_ds():
+    return Dataset(
+        ("loc", "mccabe score"),
+        np.array([[10.0, 2.5], [200.0, 8.0], [35.0, 3.0]]),
+        np.array(["risky", "safe", "risky"]),
+        name="vuln apps",
+    )
+
+
+def regression_ds():
+    return Dataset(
+        ("a", "b"),
+        np.array([[1.0, 2.0], [3.0, 4.0]]),
+        np.array([0.5, 1.5]),
+        name="reg",
+    )
+
+
+class TestExport:
+    def test_header_structure(self):
+        text = dumps(classification_ds())
+        assert "@relation 'vuln apps'" in text
+        assert "@attribute loc numeric" in text
+        assert "@attribute 'mccabe score' numeric" in text
+        assert "@attribute class {risky,safe}" in text
+        assert "@data" in text
+
+    def test_numeric_class(self):
+        text = dumps(regression_ds())
+        assert "@attribute class numeric" in text
+
+    def test_integer_formatting(self):
+        text = dumps(regression_ds())
+        assert "1,2,0.5" in text
+
+    def test_dump_to_file_object(self):
+        buf = io.StringIO()
+        dump(classification_ds(), buf)
+        assert "@data" in buf.getvalue()
+
+    def test_dump_to_path(self, tmp_path):
+        path = str(tmp_path / "out.arff")
+        dump(classification_ds(), path)
+        assert "@data" in open(path).read()
+
+
+class TestRoundtrip:
+    def test_classification_roundtrip(self):
+        original = classification_ds()
+        restored = loads(dumps(original))
+        assert restored.feature_names == original.feature_names
+        assert np.allclose(restored.x, original.x)
+        assert list(restored.y) == list(original.y)
+        assert restored.name == original.name
+
+    def test_regression_roundtrip(self):
+        original = regression_ds()
+        restored = loads(dumps(original))
+        assert np.allclose(np.asarray(restored.y, dtype=float), original.y)
+
+    def test_load_from_path(self, tmp_path):
+        path = str(tmp_path / "d.arff")
+        dump(classification_ds(), path)
+        assert load(path).n_rows == 3
+
+
+class TestImport:
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "% comment\n@relation r\n\n@attribute a numeric\n"
+            "@attribute class {x,y}\n@data\n% another\n1,x\n2,y\n"
+        )
+        ds = loads(text)
+        assert ds.n_rows == 2
+        assert list(ds.y) == ["x", "y"]
+
+    def test_missing_data_section(self):
+        with pytest.raises(ArffError):
+            loads("@relation r\n@attribute a numeric\n@attribute c numeric\n")
+
+    def test_too_few_attributes(self):
+        with pytest.raises(ArffError):
+            loads("@relation r\n@attribute c numeric\n@data\n1\n")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ArffError, match="cells"):
+            loads(
+                "@relation r\n@attribute a numeric\n@attribute c numeric\n"
+                "@data\n1,2,3\n"
+            )
+
+    def test_undeclared_nominal_value(self):
+        with pytest.raises(ArffError, match="not in declared"):
+            loads(
+                "@relation r\n@attribute a numeric\n@attribute c {x}\n"
+                "@data\n1,z\n"
+            )
+
+    def test_non_numeric_feature_cell(self):
+        with pytest.raises(ArffError, match="non-numeric"):
+            loads(
+                "@relation r\n@attribute a numeric\n@attribute c {x}\n"
+                "@data\nfoo,x\n"
+            )
+
+    def test_nominal_feature_rejected(self):
+        with pytest.raises(ArffError, match="unsupported"):
+            loads(
+                "@relation r\n@attribute a {p,q}\n@attribute c numeric\n"
+                "@data\np,1\n"
+            )
+
+    def test_unknown_header_line(self):
+        with pytest.raises(ArffError, match="unexpected"):
+            loads("@relation r\n@banana\n")
+
+
+class TestWekaCompatibility:
+    def test_trains_after_roundtrip(self):
+        from repro.ml.logistic import LogisticRegression
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 3))
+        y = np.where(x[:, 0] > 0, "pos", "neg")
+        ds = Dataset(("f0", "f1", "f2"), x, y, name="t")
+        restored = loads(dumps(ds))
+        model = LogisticRegression().fit(restored.x, restored.y)
+        acc = float(np.mean(model.predict(restored.x) == restored.y))
+        assert acc > 0.8

@@ -1,0 +1,50 @@
+"""Estimator-interface utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import check_xy, encode_labels
+
+
+class TestCheckXy:
+    def test_accepts_valid(self):
+        x = check_xy([[1, 2], [3, 4]])
+        assert x.dtype == float
+        assert x.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_xy(np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            check_xy(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_xy([[1.0, float("nan")]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_xy([[float("inf"), 1.0]])
+
+    def test_rejects_target_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows but"):
+            check_xy(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestEncodeLabels:
+    def test_sorted_classes(self):
+        classes, coded = encode_labels(np.array(["b", "a", "b"]))
+        assert list(classes) == ["a", "b"]
+        assert list(coded) == [1, 0, 1]
+
+    def test_integer_labels(self):
+        classes, coded = encode_labels(np.array([5, 3, 5, 9]))
+        assert list(classes) == [3, 5, 9]
+        assert list(coded) == [1, 0, 1, 2]
+
+    def test_single_class(self):
+        classes, coded = encode_labels(np.array([7, 7]))
+        assert list(classes) == [7]
+        assert list(coded) == [0, 0]

@@ -1,0 +1,115 @@
+"""Platt calibration and Brier score tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import CalibratedClassifier, brier_score
+from repro.ml.ensemble import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def noisy_task(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    logit = 1.5 * x[:, 0]
+    p = 1.0 / (1.0 + np.exp(-logit))
+    y = (rng.random(n) < p).astype(int)
+    return x, y
+
+
+class TestBrierScore:
+    def test_perfect(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_worst(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+    def test_uninformed(self):
+        assert brier_score([1, 0], [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            brier_score([1], [0.5, 0.5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            brier_score([], [])
+
+
+class TestCalibratedClassifier:
+    def test_probabilities_valid(self):
+        x, y = noisy_task()
+        model = CalibratedClassifier(
+            lambda: RandomForestClassifier(n_trees=10), seed=1
+        ).fit(x, y)
+        proba = model.predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_calibration_fixes_overconfident_tree(self):
+        # A deep unpruned tree emits near-0/1 leaf purities: terribly
+        # overconfident on noisy labels. Platt scaling pulls the scores
+        # back toward honest probabilities.
+        x, y = noisy_task(n=600)
+        x_test, y_test = noisy_task(n=400, seed=99)
+        factory = lambda: DecisionTreeClassifier(max_depth=12, min_leaf=1,
+                                                 seed=2)
+        raw = factory().fit(x, y)
+        calibrated = CalibratedClassifier(factory, seed=2).fit(x, y)
+
+        def positive_scores(model, data):
+            proba = model.predict_proba(data)
+            return proba[:, list(model.classes_).index(1)]
+
+        raw_brier = brier_score(y_test, positive_scores(raw, x_test))
+        cal_brier = brier_score(y_test, positive_scores(calibrated, x_test))
+        assert cal_brier < raw_brier - 0.05
+
+    def test_calibration_keeps_good_probabilities_good(self):
+        # AdaBoost vote shares are already mid-range: calibration should
+        # not blow them up.
+        x, y = noisy_task(n=600)
+        x_test, y_test = noisy_task(n=400, seed=99)
+        raw = AdaBoostClassifier(n_rounds=25, seed=2).fit(x, y)
+        calibrated = CalibratedClassifier(
+            lambda: AdaBoostClassifier(n_rounds=25, seed=2), seed=2
+        ).fit(x, y)
+
+        def positive_scores(model, data):
+            proba = model.predict_proba(data)
+            return proba[:, list(model.classes_).index(1)]
+
+        raw_brier = brier_score(y_test, positive_scores(raw, x_test))
+        cal_brier = brier_score(y_test, positive_scores(calibrated, x_test))
+        assert cal_brier <= raw_brier + 0.03
+
+    def test_accuracy_preserved(self):
+        x, y = noisy_task()
+        model = CalibratedClassifier(
+            lambda: DecisionTreeClassifier(max_depth=4), seed=1
+        ).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.7
+
+    def test_multiclass_rejected(self):
+        x = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.arange(30) % 3
+        with pytest.raises(ValueError, match="binary"):
+            CalibratedClassifier(
+                lambda: DecisionTreeClassifier()
+            ).fit(x, y)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            CalibratedClassifier(lambda: DecisionTreeClassifier(),
+                                 calibration_fraction=0.9)
+
+    def test_deterministic(self):
+        x, y = noisy_task(n=200)
+        a = CalibratedClassifier(
+            lambda: DecisionTreeClassifier(max_depth=3), seed=5
+        ).fit(x, y).predict_proba(x)
+        b = CalibratedClassifier(
+            lambda: DecisionTreeClassifier(max_depth=3), seed=5
+        ).fit(x, y).predict_proba(x)
+        assert np.allclose(a, b)

@@ -1,0 +1,192 @@
+"""Classifier tests: every learner on shared sanity tasks, plus
+per-learner behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.baselines import OneR, ZeroR
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+
+ALL_CLASSIFIERS = [
+    ZeroR,
+    OneR,
+    GaussianNB,
+    LogisticRegression,
+    lambda: RandomForestClassifier(n_trees=10),
+    KNeighborsClassifier,
+]
+LEARNING_CLASSIFIERS = ALL_CLASSIFIERS[1:]
+
+
+def separable(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+@pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+class TestCommonBehaviour:
+    def test_predict_before_fit_raises(self, factory):
+        with pytest.raises(NotFittedError):
+            factory().predict(np.zeros((1, 4)))
+
+    def test_proba_rows_sum_to_one(self, factory):
+        x, y = separable()
+        proba = factory().fit(x, y).predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_shape(self, factory):
+        x, y = separable()
+        proba = factory().fit(x, y).predict_proba(x[:5])
+        assert proba.shape == (5, 2)
+
+    def test_predictions_are_known_labels(self, factory):
+        x, y = separable()
+        pred = factory().fit(x, y).predict(x)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    def test_string_labels_supported(self, factory):
+        x, y = separable()
+        labels = np.where(y == 1, "vuln", "safe")
+        pred = factory().fit(x, labels).predict(x[:10])
+        assert set(pred) <= {"vuln", "safe"}
+
+
+@pytest.mark.parametrize("factory", LEARNING_CLASSIFIERS)
+class TestLearning:
+    def test_beats_chance_on_separable(self, factory):
+        x, y = separable()
+        model = factory().fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.8
+
+    def test_deterministic(self, factory):
+        x, y = separable()
+        p1 = factory().fit(x, y).predict_proba(x)
+        p2 = factory().fit(x, y).predict_proba(x)
+        assert np.allclose(p1, p2)
+
+
+class TestZeroR:
+    def test_predicts_majority(self):
+        x = np.zeros((5, 2))
+        y = np.array([1, 1, 1, 0, 0])
+        assert (ZeroR().fit(x, y).predict(x) == 1).all()
+
+    def test_proba_matches_frequencies(self):
+        x = np.zeros((4, 1))
+        y = np.array([0, 0, 0, 1])
+        proba = ZeroR().fit(x, y).predict_proba(x)
+        assert np.allclose(proba[0], [0.75, 0.25])
+
+
+class TestOneR:
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=100)
+        signal = np.repeat([0.0, 10.0], 50)
+        x = np.column_stack([noise, signal])
+        y = np.repeat([0, 1], 50)
+        model = OneR().fit(x, y)
+        assert model.feature_ == 1
+        assert np.mean(model.predict(x) == y) == 1.0
+
+    def test_all_constant_features_fallback(self):
+        x = np.ones((6, 2))
+        y = np.array([0, 0, 0, 0, 1, 1])
+        assert (OneR().fit(x, y).predict(x) == 0).all()
+
+
+class TestGaussianNB:
+    def test_constant_feature_no_crash(self):
+        x = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = (np.arange(20) >= 10).astype(int)
+        model = GaussianNB().fit(x, y)
+        assert np.mean(model.predict(x) == y) == 1.0
+
+    def test_priors_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 1))
+        y = np.array([0] * 90 + [1] * 10)
+        proba = GaussianNB().fit(x, y).predict_proba(x)
+        assert proba[:, 0].mean() > 0.5
+
+
+class TestLogistic:
+    def test_weights_recover_signal(self):
+        x, y = separable(n=300)
+        model = LogisticRegression(max_iter=800).fit(x, y)
+        weights = dict(model.weights(("f0", "f1", "f2", "f3")))
+        assert abs(weights["f0"]) > abs(weights["f2"])
+        assert weights["f0"] > 0
+
+    def test_weights_name_mismatch(self):
+        x, y = separable()
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(ValueError):
+            model.weights(("a",))
+
+    def test_multiclass_one_vs_rest(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0, 0], [5, 5], [0, 5]])
+        x = np.vstack([rng.normal(c, 0.4, size=(40, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 40)
+        model = LogisticRegression(max_iter=800).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_single_class_degenerate(self):
+        x = np.zeros((4, 2))
+        y = np.ones(4, dtype=int)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == 1).all()
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+
+class TestKNN:
+    def test_memorises_training_set(self):
+        x, y = separable(n=60)
+        model = KNeighborsClassifier(k=1).fit(x, y)
+        assert np.mean(model.predict(x) == y) == 1.0
+
+    def test_k_larger_than_data(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = KNeighborsClassifier(k=10).fit(x, y)
+        model.predict(x)  # must not raise
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(k=0)
+
+
+class TestRandomForest:
+    def test_importances_normalised(self):
+        x, y = separable()
+        model = RandomForestClassifier(n_trees=10).fit(x, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_ranked_first(self):
+        x, y = separable(n=300)
+        model = RandomForestClassifier(n_trees=20).fit(x, y)
+        assert int(np.argmax(model.feature_importances_)) in (0, 1)
+
+    def test_seed_controls_result(self):
+        x, y = separable()
+        a = RandomForestClassifier(n_trees=5, seed=1).fit(x, y).predict_proba(x)
+        b = RandomForestClassifier(n_trees=5, seed=2).fit(x, y).predict_proba(x)
+        assert not np.allclose(a, b)
+
+    def test_invalid_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)

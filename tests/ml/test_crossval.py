@@ -1,0 +1,143 @@
+"""Cross-validation and feature-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import ZeroR
+from repro.ml.crossval import (
+    CrossValError,
+    cross_validate_classifier,
+    cross_validate_regressor,
+    kfold_indices,
+    stratified_kfold_indices,
+)
+from repro.ml.dataset import Dataset
+from repro.ml.feature_selection import (
+    correlation_ranking,
+    information_gain,
+    information_gain_ranking,
+    select_top_k,
+)
+from repro.ml.linear import LinearRegressor
+from repro.ml.logistic import LogisticRegression
+from repro.ml.preprocess import StandardScaler
+
+
+def classification_dataset(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 5))
+    y = (x[:, 0] > 0).astype(int)
+    return Dataset(tuple(f"f{i}" for i in range(5)), x, y)
+
+
+class TestFolds:
+    def test_kfold_partition(self):
+        splits = kfold_indices(20, 4)
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test) == list(range(20))
+
+    def test_kfold_disjoint(self):
+        for train, test in kfold_indices(20, 4):
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 20
+
+    def test_kfold_too_few_rows(self):
+        with pytest.raises(CrossValError):
+            kfold_indices(3, 5)
+
+    def test_kfold_k_must_be_at_least_2(self):
+        with pytest.raises(CrossValError):
+            kfold_indices(10, 1)
+
+    def test_stratified_preserves_ratio(self):
+        labels = np.array([0] * 40 + [1] * 20)
+        for train, test in stratified_kfold_indices(labels, 4, seed=1):
+            ratio = labels[test].mean()
+            assert 0.2 <= ratio <= 0.45
+
+    def test_stratified_partition(self):
+        labels = np.array([0, 1] * 10)
+        splits = stratified_kfold_indices(labels, 5)
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test) == list(range(20))
+
+    def test_seed_changes_assignment(self):
+        labels = np.array([0, 1] * 20)
+        a = stratified_kfold_indices(labels, 4, seed=1)
+        b = stratified_kfold_indices(labels, 4, seed=2)
+        assert any(
+            not np.array_equal(x[1], y[1]) for x, y in zip(a, b)
+        )
+
+
+class TestCrossValidate:
+    def test_classifier_metrics_present(self):
+        res = cross_validate_classifier(
+            classification_dataset(), LogisticRegression, k=4
+        )
+        assert set(res.metrics) == {"accuracy", "precision", "recall", "f1", "auc"}
+        assert len(res.per_fold) == 4
+
+    def test_learner_beats_zeror(self):
+        ds = classification_dataset()
+        zero = cross_validate_classifier(ds, ZeroR, k=4)
+        logit = cross_validate_classifier(ds, LogisticRegression, k=4)
+        assert logit["auc"] > zero["auc"]
+
+    def test_transform_factory_applied(self):
+        ds = classification_dataset()
+        res = cross_validate_classifier(
+            ds, LogisticRegression, k=4, transform_factory=StandardScaler
+        )
+        assert res["accuracy"] > 0.8
+
+    def test_regressor_metrics(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 3))
+        y = x @ np.array([1.0, 2.0, 0.0]) + 0.05 * rng.normal(size=60)
+        ds = Dataset(("a", "b", "c"), x, y)
+        res = cross_validate_regressor(ds, LinearRegressor, k=5)
+        assert res["r2"] > 0.9
+        assert res["rmse"] < 1.0
+        assert 0.0 <= res["within_order"] <= 1.0
+
+    def test_getitem(self):
+        res = cross_validate_classifier(
+            classification_dataset(), ZeroR, k=3
+        )
+        assert res["accuracy"] == res.metrics["accuracy"]
+
+
+class TestFeatureSelection:
+    def test_correlation_ranks_signal_first(self):
+        ds = classification_dataset(n=200)
+        ranked = correlation_ranking(ds)
+        assert ranked[0][0] == "f0"
+
+    def test_information_gain_positive_for_signal(self):
+        ds = classification_dataset(n=200)
+        gain = information_gain(ds.column("f0"), ds.y)
+        noise = information_gain(ds.column("f3"), ds.y)
+        assert gain > noise
+
+    def test_information_gain_constant_feature(self):
+        assert information_gain(np.ones(10), np.arange(10) % 2) == 0.0
+
+    def test_ig_ranking_order(self):
+        ds = classification_dataset(n=200)
+        ranked = information_gain_ranking(ds)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_select_top_k(self):
+        ds = classification_dataset(n=200)
+        reduced = select_top_k(ds, 2)
+        assert reduced.n_features == 2
+        assert "f0" in reduced.feature_names
+
+    def test_select_top_k_invalid(self):
+        ds = classification_dataset()
+        with pytest.raises(ValueError):
+            select_top_k(ds, 0)
+        with pytest.raises(ValueError):
+            select_top_k(ds, 2, method="psychic")

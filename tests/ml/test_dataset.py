@@ -1,0 +1,89 @@
+"""Dataset model tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import Dataset, DatasetError
+
+
+def simple():
+    return Dataset(
+        ("a", "b"),
+        np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]),
+        np.array([0, 1, 0]),
+        name="t",
+        row_ids=("r0", "r1", "r2"),
+    )
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        ds = simple()
+        assert ds.n_rows == 3
+        assert ds.n_features == 2
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset(("a",), np.zeros((2, 2)), np.zeros(2))
+
+    def test_duplicate_names(self):
+        with pytest.raises(DatasetError):
+            Dataset(("a", "a"), np.zeros((2, 2)), np.zeros(2))
+
+    def test_target_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset(("a",), np.zeros((2, 1)), np.zeros(3))
+
+    def test_row_ids_mismatch(self):
+        with pytest.raises(DatasetError):
+            Dataset(("a",), np.zeros((2, 1)), np.zeros(2), row_ids=("x",))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(("a",), np.zeros(3), np.zeros(3))
+
+    def test_from_rows_union_of_keys(self):
+        ds = Dataset.from_rows(
+            [{"a": 1.0}, {"b": 2.0}], [0, 1]
+        )
+        assert ds.feature_names == ("a", "b")
+        assert ds.x[0, 1] == 0.0  # missing key zero-filled
+        assert ds.x[1, 0] == 0.0
+
+    def test_from_rows_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset.from_rows([], [])
+
+
+class TestAccess:
+    def test_column(self):
+        assert list(simple().column("b")) == [2.0, 4.0, 6.0]
+
+    def test_column_missing(self):
+        with pytest.raises(DatasetError):
+            simple().column("zz")
+
+    def test_class_distribution(self):
+        assert simple().class_distribution() == {0: 2, 1: 1}
+
+
+class TestDerivation:
+    def test_select_features_order(self):
+        ds = simple().select_features(["b", "a"])
+        assert ds.feature_names == ("b", "a")
+        assert ds.x[0, 0] == 2.0
+
+    def test_select_features_missing(self):
+        with pytest.raises(DatasetError):
+            simple().select_features(["zz"])
+
+    def test_select_rows(self):
+        ds = simple().select_rows([2, 0])
+        assert list(ds.y) == [0, 0]
+        assert ds.row_ids == ("r2", "r0")
+
+    def test_with_target(self):
+        ds = simple().with_target([9.0, 8.0, 7.0], name="reg")
+        assert ds.name == "reg"
+        assert list(ds.y) == [9.0, 8.0, 7.0]
+        assert ds.feature_names == simple().feature_names

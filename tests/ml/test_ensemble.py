@@ -1,0 +1,120 @@
+"""Ensemble learner tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.baselines import ZeroR
+from repro.ml.ensemble import (
+    AdaBoostClassifier,
+    BaggingClassifier,
+    VotingClassifier,
+)
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def xor_like(n=200, seed=0):
+    """A task depth-1 stumps cannot solve but boosted stumps can."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+def separable(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = (x[:, 0] > 0).astype(int)
+    return x, y
+
+
+class TestAdaBoost:
+    def test_boosting_beats_single_stump(self):
+        x, y = xor_like()
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        boosted = AdaBoostClassifier(n_rounds=40, max_depth=2, seed=0).fit(x, y)
+        acc_stump = np.mean(stump.predict(x) == y)
+        acc_boost = np.mean(boosted.predict(x) == y)
+        assert acc_boost > acc_stump
+        assert acc_boost > 0.85
+
+    def test_perfect_stage_short_circuit(self):
+        x, y = separable()
+        model = AdaBoostClassifier(n_rounds=30, max_depth=4).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[0, 0], [4, 4], [0, 4]])
+        x = np.vstack([rng.normal(c, 0.5, size=(40, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 40)
+        model = AdaBoostClassifier(n_rounds=25, max_depth=2).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.85
+
+    def test_proba_normalised(self):
+        x, y = xor_like()
+        proba = AdaBoostClassifier(n_rounds=10).fit(x, y).predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(n_rounds=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            AdaBoostClassifier().predict(np.zeros((1, 2)))
+
+
+class TestBagging:
+    def test_bagging_trees(self):
+        x, y = separable()
+        model = BaggingClassifier(
+            lambda: DecisionTreeClassifier(max_depth=4), n_estimators=9
+        ).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_deterministic(self):
+        x, y = separable()
+        a = BaggingClassifier(GaussianNB, n_estimators=5, seed=3).fit(x, y)
+        b = BaggingClassifier(GaussianNB, n_estimators=5, seed=3).fit(x, y)
+        assert np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            BaggingClassifier(GaussianNB, n_estimators=0)
+
+
+class TestVoting:
+    def test_combines_members(self):
+        x, y = separable()
+        model = VotingClassifier(
+            [LogisticRegression, GaussianNB,
+             lambda: DecisionTreeClassifier(max_depth=4)]
+        ).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_weights_bias_result(self):
+        x, y = separable()
+        # All weight on ZeroR makes the ensemble behave like ZeroR.
+        model = VotingClassifier(
+            [LogisticRegression, ZeroR], weights=[0.0, 1.0]
+        ).fit(x, y)
+        zero = ZeroR().fit(x, y)
+        assert np.array_equal(model.predict(x), zero.predict(x))
+
+    def test_weight_length_validation(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([GaussianNB], weights=[1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([])
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = separable()
+        proba = VotingClassifier([GaussianNB, LogisticRegression]).fit(
+            x, y
+        ).predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)

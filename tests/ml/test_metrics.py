@@ -1,0 +1,96 @@
+"""Evaluation metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    MetricError,
+    accuracy,
+    confusion_matrix,
+    mae,
+    precision_recall_f1,
+    r2_score,
+    rmse,
+    roc_auc,
+    within_order_of_magnitude,
+)
+
+
+class TestClassification:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_perfect(self):
+        assert accuracy([1, 0], [1, 0]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(MetricError):
+            accuracy([1], [1, 0])
+
+    def test_empty(self):
+        with pytest.raises(MetricError):
+            accuracy([], [])
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([1, 0, 1, 0], [1, 1, 1, 0])
+        assert cm == {(1, 1): 2, (0, 1): 1, (0, 0): 1}
+
+    def test_precision_recall_f1(self):
+        p, r, f = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f == pytest.approx(0.5)
+
+    def test_no_positive_predictions(self):
+        p, r, f = precision_recall_f1([1, 1], [0, 0])
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_perfect_f1(self):
+        p, r, f = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert f == 1.0
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties(self):
+        assert roc_auc([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class(self):
+        assert roc_auc([1, 1], [0.2, 0.9]) == 0.5
+
+    def test_partial(self):
+        # One inversion among 2x2 pairs -> AUC 0.75
+        assert roc_auc([0, 1, 0, 1], [0.1, 0.4, 0.6, 0.9]) == pytest.approx(0.75)
+
+
+class TestRegression:
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        assert r2_score([1.0, 2.0, 3.0], [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_within_order(self):
+        # 10 vs 99 is within one order; 10 vs 1001 is not.
+        assert within_order_of_magnitude([10.0], [99.0]) == 1.0
+        assert within_order_of_magnitude([10.0], [1001.0]) == 0.0
+
+    def test_within_order_fraction(self):
+        assert within_order_of_magnitude(
+            [10.0, 10.0], [99.0, 2000.0]
+        ) == pytest.approx(0.5)

@@ -1,0 +1,95 @@
+"""Linear SVM and perceptron tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm import LinearSVM, Perceptron
+
+
+def separable(n=200, margin=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + 0.3 * x[:, 1] > 0).astype(int)
+    x[y == 1] += margin / 2
+    x[y == 0] -= margin / 2
+    return x, y
+
+
+class TestLinearSVM:
+    def test_separates_clean_data(self):
+        x, y = separable()
+        model = LinearSVM(epochs=40).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.97
+
+    def test_decision_function_sign_matches_prediction(self):
+        x, y = separable()
+        model = LinearSVM().fit(x, y)
+        margins = model.decision_function(x)
+        pred = model.predict(x)
+        assert ((margins > 0) == (pred == 1)).all()
+
+    def test_weights_expose_signal(self):
+        x, y = separable(n=400)
+        model = LinearSVM(epochs=40).fit(x, y)
+        top = model.weights(("f0", "f1"))[0]
+        assert top[0] == "f0" and top[1] > 0
+
+    def test_stronger_l2_smaller_weights(self):
+        x, y = separable()
+        soft = LinearSVM(l2=0.001, epochs=20).fit(x, y)
+        hard = LinearSVM(l2=1.0, epochs=20).fit(x, y)
+        assert np.linalg.norm(hard.coef_) < np.linalg.norm(soft.coef_)
+
+    def test_proba_valid(self):
+        x, y = separable()
+        proba = LinearSVM().fit(x, y).predict_proba(x)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_multiclass_rejected(self):
+        x = np.zeros((9, 2))
+        y = np.arange(9) % 3
+        with pytest.raises(ValueError, match="binary"):
+            LinearSVM().fit(x, y)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVM(l2=0)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearSVM().predict(np.zeros((1, 2)))
+
+    def test_string_labels(self):
+        x, y = separable()
+        labels = np.where(y == 1, "vuln", "safe")
+        pred = LinearSVM().fit(x, labels).predict(x[:5])
+        assert set(pred) <= {"vuln", "safe"}
+
+
+class TestPerceptron:
+    def test_separates_clean_data(self):
+        x, y = separable()
+        model = Perceptron(epochs=30).fit(x, y)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_averaging_stabilises(self):
+        # Averaged weights must not be the trivial zero vector.
+        x, y = separable()
+        model = Perceptron(epochs=5).fit(x, y)
+        assert np.linalg.norm(model.coef_) > 0
+
+    def test_multiclass_rejected(self):
+        x = np.zeros((9, 2))
+        y = np.arange(9) % 3
+        with pytest.raises(ValueError, match="binary"):
+            Perceptron().fit(x, y)
+
+    def test_deterministic(self):
+        x, y = separable()
+        a = Perceptron(seed=2).fit(x, y).predict_proba(x)
+        b = Perceptron(seed=2).fit(x, y).predict_proba(x)
+        assert np.allclose(a, b)

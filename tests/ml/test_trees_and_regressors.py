@@ -1,0 +1,135 @@
+"""Decision tree and regressor tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import LinearRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def linear_data(n=150, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5 + rng.normal(scale=noise, size=n)
+    return x, y
+
+
+def step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.2, 5.0, -5.0)
+    return x, y
+
+
+class TestDecisionTreeClassifier:
+    def test_pure_split(self):
+        x = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        model = DecisionTreeClassifier().fit(x, y)
+        assert (model.predict(x) == y).all()
+
+    def test_max_depth_limits_tree(self):
+        x, y = step_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, (y > 0).astype(int))
+        assert stump._root.left is not None
+        assert stump._root.left.is_leaf
+
+    def test_min_leaf_respected(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = (x[:, 0] > 4.5).astype(int)
+        model = DecisionTreeClassifier(min_leaf=5).fit(x, y)
+        assert np.mean(model.predict(x) == y) == 1.0
+
+    def test_single_class_leaf(self):
+        x = np.zeros((5, 1))
+        y = np.ones(5, dtype=int)
+        model = DecisionTreeClassifier().fit(x, y)
+        assert model._root.is_leaf
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_leaf=0)
+
+
+class TestDecisionTreeRegressor:
+    def test_step_function_learned(self):
+        x, y = step_data()
+        model = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        pred = model.predict(x)
+        assert np.mean((pred - y) ** 2) < 1.0
+
+    def test_constant_target_single_leaf(self):
+        x = np.arange(8, dtype=float).reshape(-1, 1)
+        y = np.full(8, 3.0)
+        model = DecisionTreeRegressor().fit(x, y)
+        assert model._root.is_leaf
+        assert model.predict(x)[0] == pytest.approx(3.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+class TestLinearRegressor:
+    def test_recovers_coefficients(self):
+        x, y = linear_data(noise=0.0)
+        model = LinearRegressor().fit(x, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=1e-6)
+        assert model.coef_[1] == pytest.approx(-1.0, abs=1e-6)
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-6)
+
+    def test_ridge_shrinks(self):
+        x, y = linear_data(noise=0.0)
+        ols = LinearRegressor().fit(x, y)
+        ridge = LinearRegressor(l2=100.0).fit(x, y)
+        assert abs(ridge.coef_[0]) < abs(ols.coef_[0])
+
+    def test_intercept_not_regularised(self):
+        x = np.zeros((10, 1))
+        y = np.full(10, 7.0)
+        model = LinearRegressor(l2=1000.0).fit(x, y)
+        assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(7.0)
+
+    def test_rank_deficient_ols(self):
+        # Duplicate column: lstsq path must still fit.
+        x = np.column_stack([np.arange(5.0), np.arange(5.0)])
+        y = np.arange(5.0)
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-8)
+
+    def test_weights_sorted_by_magnitude(self):
+        x, y = linear_data(noise=0.0)
+        model = LinearRegressor().fit(x, y)
+        weights = model.weights(("a", "b", "c"))
+        magnitudes = [abs(w) for _, w in weights]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressor(l2=-0.1)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearRegressor().predict(np.zeros((1, 1)))
+
+
+class TestRandomForestRegressor:
+    def test_fits_step_function(self):
+        x, y = step_data()
+        model = RandomForestRegressor(n_trees=15).fit(x, y)
+        assert np.mean((model.predict(x) - y) ** 2) < 2.0
+
+    def test_importances_sum_to_one(self):
+        x, y = step_data()
+        model = RandomForestRegressor(n_trees=10).fit(x, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_prediction_is_tree_average(self):
+        x, y = linear_data(n=60)
+        model = RandomForestRegressor(n_trees=7).fit(x, y)
+        manual = np.mean([t.predict(x) for t in model._trees], axis=0)
+        assert np.allclose(model.predict(x), manual)

@@ -1,0 +1,100 @@
+"""Bootstrap and permutation inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson
+from repro.stats.inference import (
+    InferenceError,
+    bootstrap_ci,
+    paired_difference_test,
+    permutation_test,
+)
+from repro.stats.regression import r_squared
+
+
+def correlated_data(n=80, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = x + rng.normal(scale=noise, size=n)
+    return x, y
+
+
+class TestBootstrap:
+    def test_ci_contains_estimate(self):
+        x, y = correlated_data()
+        result = bootstrap_ci(x, y, pearson, n_resamples=300)
+        assert result.low <= result.estimate <= result.high
+
+    def test_strong_correlation_ci_excludes_zero(self):
+        x, y = correlated_data(noise=0.2)
+        result = bootstrap_ci(x, y, pearson, n_resamples=300)
+        assert result.low > 0.0
+        assert 0.0 not in result
+
+    def test_wider_confidence_wider_interval(self):
+        x, y = correlated_data()
+        narrow = bootstrap_ci(x, y, pearson, confidence=0.8, n_resamples=400)
+        wide = bootstrap_ci(x, y, pearson, confidence=0.99, n_resamples=400)
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_r_squared_statistic(self):
+        x, y = correlated_data(noise=0.3)
+        result = bootstrap_ci(x, y, r_squared, n_resamples=200)
+        assert 0.0 <= result.low <= result.high <= 1.0
+
+    def test_deterministic(self):
+        x, y = correlated_data()
+        a = bootstrap_ci(x, y, pearson, n_resamples=100, seed=3)
+        b = bootstrap_ci(x, y, pearson, n_resamples=100, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            bootstrap_ci([1, 2], [1, 2], pearson)
+        with pytest.raises(InferenceError):
+            bootstrap_ci([1, 2, 3], [1, 2], pearson)
+        with pytest.raises(InferenceError):
+            bootstrap_ci([1, 2, 3], [1, 2, 3], pearson, confidence=0.3)
+
+
+class TestPermutation:
+    def test_real_association_significant(self):
+        x, y = correlated_data(noise=0.2)
+        result = permutation_test(x, y, pearson, n_permutations=300)
+        assert result.significant(0.05)
+        assert result.p_value < 0.05
+
+    def test_no_association_not_significant(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=60)
+        y = rng.normal(size=60)
+        result = permutation_test(x, y, pearson, n_permutations=300)
+        assert result.p_value > 0.05
+
+    def test_p_value_bounds(self):
+        x, y = correlated_data()
+        result = permutation_test(x, y, pearson, n_permutations=99)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            permutation_test([1], [1], pearson)
+
+
+class TestPairedDifference:
+    def test_clear_difference_significant(self):
+        a = [0.8, 0.82, 0.79, 0.85, 0.81, 0.83, 0.8, 0.84]
+        b = [0.6, 0.61, 0.58, 0.63, 0.6, 0.62, 0.59, 0.61]
+        result = paired_difference_test(a, b, n_permutations=500)
+        assert result.significant(0.05)
+        assert result.statistic > 0
+
+    def test_identical_samples_not_significant(self):
+        a = [0.7, 0.72, 0.69, 0.71, 0.7]
+        result = paired_difference_test(a, list(a), n_permutations=200)
+        assert not result.significant(0.05)
+
+    def test_validation(self):
+        with pytest.raises(InferenceError):
+            paired_difference_test([1, 2, 3], [1, 2])

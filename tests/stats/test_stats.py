@@ -1,0 +1,162 @@
+"""Regression, correlation, and bucketing tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bucketing import (
+    BucketingError,
+    bucket_by_magnitude,
+    bucketed_means,
+    magnitude_histogram,
+    meaningful_loc_comparison,
+    order_of_magnitude,
+    orders_apart,
+    same_order,
+)
+from repro.stats.correlation import CorrelationError, pearson, spearman
+from repro.stats.regression import (
+    RegressionError,
+    fit_linear,
+    fit_loglog,
+    r_squared,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = fit_linear([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [0, 2])
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_r_squared_noise_lower(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 100)
+        clean = r_squared(x, 2 * x)
+        noisy = r_squared(x, 2 * x + rng.normal(scale=5.0, size=100))
+        assert clean == pytest.approx(1.0)
+        assert noisy < clean
+
+    def test_too_few_points(self):
+        with pytest.raises(RegressionError):
+            fit_linear([1], [1])
+
+    def test_zero_variance(self):
+        with pytest.raises(RegressionError):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(RegressionError):
+            fit_linear([1, 2], [1])
+
+    def test_loglog_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [2 * x**0.5 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.intercept == pytest.approx(math.log10(2))
+
+    def test_loglog_drops_nonpositive(self):
+        fit = fit_loglog([10, 100, -5, 0], [1, 10, 3, 4])
+        assert fit.n == 2
+
+    def test_loglog_all_nonpositive(self):
+        with pytest.raises(RegressionError):
+            fit_loglog([-1, 0], [1, 2])
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_spearman_monotone_nonlinear(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [x**3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, ys) < 1.0
+
+    def test_spearman_ties(self):
+        assert -1.0 <= spearman([1, 1, 2, 2], [3, 3, 4, 4]) <= 1.0
+
+    def test_errors(self):
+        with pytest.raises(CorrelationError):
+            pearson([1], [1])
+        with pytest.raises(CorrelationError):
+            spearman([1, 2], [1])
+
+
+class TestBucketing:
+    @pytest.mark.parametrize(
+        "value,bucket",
+        [(1, 0), (9.99, 0), (10, 1), (999, 2), (1000, 3), (0.5, -1)],
+    )
+    def test_order_of_magnitude(self, value, bucket):
+        assert order_of_magnitude(value) == bucket
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(BucketingError):
+            order_of_magnitude(0)
+        with pytest.raises(BucketingError):
+            order_of_magnitude(-3)
+
+    def test_bucket_list(self):
+        assert bucket_by_magnitude([1, 10, 100]) == [0, 1, 2]
+
+    def test_histogram(self):
+        assert magnitude_histogram([1, 2, 10, 20, 100]) == {0: 2, 1: 2, 2: 1}
+
+    def test_same_order(self):
+        assert same_order(15, 99)
+        assert not same_order(9, 10)
+
+    def test_orders_apart(self):
+        assert orders_apart(10, 10000) == 3
+
+    def test_meaningful_loc_comparison(self):
+        # Within 1 order: not meaningful (the paper's rule).
+        assert not meaningful_loc_comparison(5000, 50000)
+        assert meaningful_loc_comparison(5000, 5000000)
+
+    def test_bucketed_means(self):
+        means = bucketed_means([1, 2, 10, 20], [1.0, 3.0, 10.0, 30.0])
+        assert means == [(0, 2.0), (1, 20.0)]
+
+    def test_bucketed_means_mismatch(self):
+        with pytest.raises(BucketingError):
+            bucketed_means([1, 2], [1.0])
+
+
+@settings(max_examples=80)
+@given(st.floats(min_value=1e-9, max_value=1e12))
+def test_order_of_magnitude_bounds(value):
+    bucket = order_of_magnitude(value)
+    assert 10**bucket <= value * 1.0000001
+    assert value < 10 ** (bucket + 1) * 1.0000001
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=3,
+        max_size=50,
+    )
+)
+def test_pearson_bounded(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    assert -1.0000001 <= pearson(xs, ys) <= 1.0000001

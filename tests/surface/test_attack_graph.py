@@ -1,0 +1,158 @@
+"""Attack-graph generation and analysis tests."""
+
+import pytest
+
+from repro.lang import Codebase
+from repro.surface.attack_graph import (
+    AttackGraph,
+    Exploit,
+    exploits_from_surface,
+    measure_codebase,
+)
+from repro.surface.rasq import AttackSurface
+
+
+def chain_exploits():
+    return [
+        Exploit("entry", frozenset({"remote"}), frozenset({"user"}), 0.5),
+        Exploit("escalate", frozenset({"user"}), frozenset({"root"}), 0.8),
+    ]
+
+
+class TestGeneration:
+    def test_goal_reachable_via_chain(self):
+        graph = AttackGraph(chain_exploits(), initial=("remote",))
+        assert graph.goal_reachable
+        assert graph.shortest_attack_path() == ["entry", "escalate"]
+
+    def test_goal_unreachable_without_entry(self):
+        graph = AttackGraph(
+            [Exploit("escalate", frozenset({"user"}), frozenset({"root"}), 0.5)],
+            initial=("remote",),
+        )
+        assert not graph.goal_reachable
+        assert graph.shortest_attack_path() is None
+        assert graph.cheapest_attack_cost() is None
+
+    def test_exploit_applicable(self):
+        e = Exploit("x", frozenset({"a"}), frozenset({"b"}))
+        assert e.applicable(frozenset({"a"}))
+        assert not e.applicable(frozenset())
+        assert not e.applicable(frozenset({"a", "b"}))  # nothing to gain
+
+    def test_state_space_bounded(self):
+        exploits = [
+            Exploit(f"e{i}", frozenset({"remote"}), frozenset({f"p{i}"}), 0.5)
+            for i in range(20)
+        ]
+        graph = AttackGraph(exploits, initial=("remote",), max_states=50)
+        assert graph.graph.number_of_nodes() <= 50
+
+    def test_path_count(self):
+        exploits = chain_exploits() + [
+            Exploit("alt-entry", frozenset({"remote"}), frozenset({"user"}), 0.3)
+        ]
+        graph = AttackGraph(exploits, initial=("remote",))
+        assert graph.attack_path_count() >= 2
+
+    def test_cheapest_cost(self):
+        graph = AttackGraph(chain_exploits(), initial=("remote",))
+        assert graph.cheapest_attack_cost() == pytest.approx(1.3)
+
+
+class TestFromSurface:
+    def test_network_surface_yields_remote_entry(self):
+        surface = AttackSurface(
+            channel_counts={"network": 3}, n_public_methods=2,
+            n_privilege_sites=0,
+        )
+        names = {e.name for e in exploits_from_surface(surface)}
+        assert "remote-entry" in names
+
+    def test_full_chain_reaches_root(self):
+        surface = AttackSurface(
+            channel_counts={"network": 1, "process_spawn": 2, "file_write": 1},
+            n_public_methods=4,
+            n_privilege_sites=1,
+        )
+        graph = AttackGraph(exploits_from_surface(surface),
+                            initial=("remote", "local"))
+        assert graph.goal_reachable
+
+    def test_more_channels_lower_complexity(self):
+        lo = AttackSurface(channel_counts={"network": 1}, n_public_methods=0,
+                           n_privilege_sites=0)
+        hi = AttackSurface(channel_counts={"network": 9}, n_public_methods=0,
+                           n_privilege_sites=0)
+        e_lo = exploits_from_surface(lo)[0]
+        e_hi = exploits_from_surface(hi)[0]
+        assert e_hi.complexity < e_lo.complexity
+
+
+class TestCodebaseMetrics:
+    def test_dangerous_network_app(self):
+        text = (
+            "int serve(void) {\n"
+            "  int s = socket(AF_INET, SOCK_STREAM, 0);\n"
+            "  accept(s, a, l);\n"
+            "  system(cmd);\n"
+            "  setuid(0);\n"
+            "  return 0;\n}\n"
+        )
+        m = measure_codebase(Codebase.from_sources("danger", {"s.c": text}))
+        assert m.goal_reachable
+        assert m.shortest_attack_path_len_ok() if hasattr(m, "shortest_attack_path_len_ok") else m.shortest_path_length >= 2
+
+    def test_inert_app(self):
+        text = "static int f(int a) {\n  return a;\n}\n"
+        m = measure_codebase(Codebase.from_sources("inert", {"s.c": text}))
+        assert not m.goal_reachable
+        assert m.cheapest_cost == float("inf")
+        assert m.attack_paths == 0
+
+
+class TestDefenderAnalysis:
+    def test_single_chain_every_link_critical(self):
+        graph = AttackGraph(chain_exploits(), initial=("remote",))
+        spof = graph.single_points_of_failure()
+        assert spof == ["entry", "escalate"]
+        assert graph.critical_exploits() in (
+            frozenset({"entry"}), frozenset({"escalate"})
+        )
+
+    def test_parallel_entries_need_both_patched(self):
+        exploits = chain_exploits() + [
+            Exploit("alt-entry", frozenset({"remote"}), frozenset({"user"}), 0.3)
+        ]
+        graph = AttackGraph(exploits, initial=("remote",))
+        # escalate is still a single point of failure; entry alone is not.
+        assert graph.single_points_of_failure() == ["escalate"]
+        cut = graph.critical_exploits()
+        assert cut == frozenset({"escalate"}) or cut == frozenset(
+            {"entry", "alt-entry"}
+        )
+
+    def test_unreachable_goal_no_cut_needed(self):
+        graph = AttackGraph(
+            [Exploit("dead", frozenset({"nothing"}), frozenset({"root"}))],
+            initial=("remote",),
+        )
+        assert graph.critical_exploits() is None
+        assert graph.single_points_of_failure() == []
+
+    def test_cut_actually_protects(self):
+        from repro.surface.rasq import AttackSurface
+
+        surface = AttackSurface(
+            channel_counts={"network": 2, "process_spawn": 1, "file_write": 1},
+            n_public_methods=3,
+            n_privilege_sites=1,
+        )
+        graph = AttackGraph(exploits_from_surface(surface),
+                            initial=("remote", "local"))
+        cut = graph.critical_exploits()
+        assert cut is not None
+        assert not graph._reaches_goal_without(cut)
+        # Minimality: removing any single member restores reachability.
+        for member in cut:
+            assert graph._reaches_goal_without(cut - {member}) or len(cut) == 1

@@ -1,0 +1,100 @@
+"""RASQ attack-surface tests."""
+
+import pytest
+
+from repro.lang import Codebase
+from repro.surface.rasq import (
+    CHANNEL_WEIGHTS,
+    AttackSurface,
+    measure_codebase,
+    relative_quotient,
+)
+
+
+def cb(text, path="t.c", name="app"):
+    return Codebase.from_sources(name, {path: text})
+
+
+NETWORK_APP = """\
+int serve(int port) {
+    int sock = socket(AF_INET, SOCK_STREAM, 0);
+    bind(sock, addr, len);
+    listen(sock, 8);
+    int conn = accept(sock, addr, len);
+    recv(conn, buf, 64, 0);
+    return 0;
+}
+"""
+
+LOCAL_APP = """\
+static int compute(int a) {
+    return a * 2;
+}
+"""
+
+
+class TestChannels:
+    def test_network_channels_detected(self):
+        surface = measure_codebase(cb(NETWORK_APP))
+        assert surface.channel_counts["network"] == 5
+        assert surface.network_facing
+
+    def test_local_app_no_network(self):
+        surface = measure_codebase(cb(LOCAL_APP))
+        assert surface.channel_counts["network"] == 0
+        assert not surface.network_facing
+
+    def test_file_channels(self):
+        text = 'int f(void) {\n  FILE *h = fopen(path, mode);\n  fread(b, 1, 8, h);\n  return 0;\n}\n'
+        surface = measure_codebase(cb(text))
+        assert surface.channel_counts["file_write"] == 1  # fopen
+        assert surface.channel_counts["file_read"] == 1  # fread
+
+    def test_process_spawn(self):
+        surface = measure_codebase(cb("int f(void) {\n  system(cmd);\n  return 0;\n}\n"))
+        assert surface.channel_counts["process_spawn"] == 1
+
+    def test_privilege_sites(self):
+        surface = measure_codebase(cb("int f(void) {\n  setuid(0);\n  return 0;\n}\n"))
+        assert surface.n_privilege_sites == 1
+
+    def test_name_without_call_not_counted(self):
+        surface = measure_codebase(cb("int socket;\n"))
+        assert surface.channel_counts["network"] == 0
+
+
+class TestScore:
+    def test_rasq_weights(self):
+        surface = AttackSurface(
+            channel_counts={"network": 2, "file_read": 1},
+            n_public_methods=3,
+            n_privilege_sites=1,
+        )
+        expected = 2 * CHANNEL_WEIGHTS["network"] + CHANNEL_WEIGHTS["file_read"]
+        expected += 3 * 0.2 + 1.5
+        assert surface.rasq == pytest.approx(expected)
+
+    def test_network_app_scores_higher(self):
+        net = measure_codebase(cb(NETWORK_APP, name="net"))
+        local = measure_codebase(cb(LOCAL_APP, name="local"))
+        assert net.rasq > local.rasq
+
+    def test_public_methods_counted(self):
+        surface = measure_codebase(cb(LOCAL_APP))
+        assert surface.n_public_methods == 0  # static
+        surface2 = measure_codebase(cb("int api(void) {\n  return 1;\n}\n"))
+        assert surface2.n_public_methods == 1
+
+
+class TestRelative:
+    def test_relative_quotient(self):
+        a = cb(NETWORK_APP, name="a")
+        b = cb(LOCAL_APP, name="b")
+        assert relative_quotient(a, b) > 1.0
+        assert relative_quotient(b, a) < 1.0
+
+    def test_zero_denominator(self):
+        empty = Codebase("empty")
+        a = cb(NETWORK_APP)
+        assert relative_quotient(a, empty) == float("inf")
+        assert relative_quotient(empty, Codebase("empty2")) == 1.0

@@ -1,0 +1,100 @@
+"""Application source-generator tests."""
+
+import statistics
+
+import pytest
+
+from repro.analysis import cyclomatic, loc
+from repro.bugfind import run_all
+from repro.lang import extract_functions
+from repro.stats.correlation import pearson
+from repro.synth import appgen, cvegen
+from repro.synth.appgen import GeneratorConfig, generate_app, generate_apps
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return cvegen.generate_profiles(seed=42)
+
+
+@pytest.fixture(scope="module")
+def apps(profiles):
+    return generate_apps(profiles, seed=42)
+
+
+class TestSingleApp:
+    def test_language_matches_profile(self, profiles):
+        for p in profiles[:4]:
+            app = generate_app(p, seed=1)
+            assert app.codebase.primary_language() == p.language
+
+    def test_sample_size_within_config(self, profiles):
+        config = GeneratorConfig(max_lines=500, min_lines=100)
+        app = generate_app(profiles[0], seed=1, config=config)
+        total = sum(len(f.lines) for f in app.codebase)
+        # Budget is approximate (functions finish their bodies).
+        assert 80 <= total <= 900
+
+    def test_code_is_lexically_sane(self, profiles):
+        app = generate_app(profiles[0], seed=1)
+        for f in app.codebase:
+            functions = extract_functions(f)
+            if f.path.endswith((".c", ".cc", ".java")):
+                assert functions, f"{f.path} yielded no functions"
+                # Braces must balance for the parser to recover extents.
+                assert f.text.count("{") == f.text.count("}")
+
+    def test_deterministic(self, profiles):
+        a = generate_app(profiles[0], seed=9)
+        b = generate_app(profiles[0], seed=9)
+        assert {f.path: f.text for f in a.codebase} == {
+            f.path: f.text for f in b.codebase
+        }
+        assert a.vulnerable_files == b.vulnerable_files
+
+    def test_network_facing_gets_server_file(self, profiles):
+        facing = next(p for p in profiles if p.network_facing)
+        hidden = next(p for p in profiles if not p.network_facing)
+        app_f = generate_app(facing, seed=1)
+        app_h = generate_app(hidden, seed=1)
+        assert any("server" in f.path for f in app_f.codebase)
+        assert not any("server" in f.path for f in app_h.codebase)
+
+    def test_vulnerable_files_subset_of_files(self, apps):
+        for app in apps[:20]:
+            paths = {f.path for f in app.codebase}
+            assert app.vulnerable_files <= paths
+
+
+class TestCorpusSignal:
+    def test_vulnerable_fraction_reasonable(self, apps):
+        fractions = [
+            len(a.vulnerable_files) / len(a.codebase) for a in apps
+        ]
+        mean = statistics.mean(fractions)
+        assert 0.1 < mean < 0.7
+        assert min(fractions) < 0.3  # some clean apps exist
+
+    def test_danger_density_tracks_z_danger(self, apps):
+        densities = [
+            run_all(a.codebase).total / loc.count_codebase(a.codebase).code
+            for a in apps
+        ]
+        r = pearson(densities, [a.profile.z_danger for a in apps])
+        assert r > 0.3
+
+    def test_complexity_tracks_z_complexity(self, apps):
+        densities = [
+            cyclomatic.codebase_complexity(a.codebase)
+            / loc.count_codebase(a.codebase).code
+            for a in apps
+        ]
+        r = pearson(densities, [a.profile.z_complexity for a in apps])
+        assert r > 0.3
+
+    def test_larger_apps_get_larger_samples(self, apps):
+        small = min(apps, key=lambda a: a.profile.kloc)
+        large = max(apps, key=lambda a: a.profile.kloc)
+        assert loc.count_codebase(large.codebase).code >= loc.count_codebase(
+            small.codebase
+        ).code

@@ -1,0 +1,39 @@
+"""Corpus bundle tests."""
+
+import pytest
+
+from repro.synth.corpus import build_corpus
+
+
+class TestBuildCorpus:
+    def test_limit(self, small_corpus):
+        assert len(small_corpus.apps) == 16
+
+    def test_histories_aligned(self, small_corpus):
+        for app in small_corpus.apps:
+            history = small_corpus.history(app.name)
+            assert history.files == {f.path for f in app.codebase}
+
+    def test_database_covers_all_profiles(self, small_corpus):
+        # The database is built over the FULL profile set even when apps
+        # are limited, so corpus-level statistics stay calibrated.
+        assert small_corpus.database.totals()[0] == 164
+
+    def test_app_lookup(self, small_corpus):
+        app = small_corpus.apps[3]
+        assert small_corpus.app(app.name) is app
+
+    def test_app_lookup_missing(self, small_corpus):
+        with pytest.raises(KeyError):
+            small_corpus.app("no-such-app")
+
+    def test_profiles_property(self, small_corpus):
+        assert [p.name for p in small_corpus.profiles] == [
+            a.name for a in small_corpus.apps
+        ]
+
+    def test_deterministic(self):
+        a = build_corpus(seed=3, limit=4)
+        b = build_corpus(seed=3, limit=4)
+        assert [x.name for x in a.apps] == [x.name for x in b.apps]
+        assert a.database.totals() == b.database.totals()

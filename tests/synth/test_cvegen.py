@@ -1,0 +1,116 @@
+"""Calibrated CVE-corpus generator tests.
+
+The full 164-app generation takes ~1s; it is session-cached here because
+several invariants are checked against the same corpus.
+"""
+
+import math
+
+import pytest
+
+from repro.stats.regression import fit_loglog
+from repro.synth import cvegen
+from repro.synth import profiles as P
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return cvegen.generate_profiles(seed=42)
+
+
+@pytest.fixture(scope="module")
+def database(profiles):
+    return cvegen.generate_database(profiles, seed=42)
+
+
+class TestCalibration:
+    def test_app_count(self, profiles):
+        assert len(profiles) == P.N_APPS == 164
+
+    def test_language_composition(self, profiles):
+        by_lang = {}
+        for p in profiles:
+            by_lang[p.language] = by_lang.get(p.language, 0) + 1
+        assert by_lang == P.APPS_PER_LANGUAGE
+
+    def test_total_reports_exact(self, profiles):
+        assert sum(p.n_vulns for p in profiles) == P.N_VULNERABILITIES
+
+    def test_fig2_trend_reproduced(self, profiles):
+        fit = fit_loglog([p.kloc for p in profiles],
+                         [p.n_vulns for p in profiles])
+        assert fit.slope == pytest.approx(P.FIG2_SLOPE, abs=0.02)
+        assert fit.intercept == pytest.approx(P.FIG2_INTERCEPT, abs=0.03)
+        assert fit.r_squared == pytest.approx(P.FIG2_R_SQUARED, abs=0.02)
+
+    def test_min_reports(self, profiles):
+        assert min(p.n_vulns for p in profiles) >= cvegen.MIN_REPORTS
+
+    def test_history_at_least_five_years(self, profiles):
+        assert all(p.history_years >= 5.0 for p in profiles)
+
+    def test_sizes_within_figure_axis(self, profiles):
+        for p in profiles:
+            assert 10 ** P.LOG10_KLOC_MIN <= p.kloc <= 10 ** P.LOG10_KLOC_MAX
+
+    def test_deterministic(self):
+        a = cvegen.generate_profiles(seed=3)
+        b = cvegen.generate_profiles(seed=3)
+        assert [(p.name, p.n_vulns, p.kloc) for p in a] == [
+            (p.name, p.n_vulns, p.kloc) for p in b
+        ]
+
+    def test_seed_changes_profiles(self, profiles):
+        other = cvegen.generate_profiles(seed=5)
+        assert [p.n_vulns for p in other] != [p.n_vulns for p in profiles]
+
+    def test_latent_factors_correlate_with_counts(self, profiles):
+        from repro.stats.correlation import pearson
+
+        log_counts = [math.log10(p.n_vulns) for p in profiles]
+        for attr in ("z_complexity", "z_danger", "z_surface", "z_churn"):
+            r = pearson([getattr(p, attr) for p in profiles], log_counts)
+            assert r > 0.1, f"{attr} carries no signal (r={r:.3f})"
+
+
+class TestDatabaseGeneration:
+    def test_totals_match(self, database):
+        assert database.totals() == (164, P.N_VULNERABILITIES)
+
+    def test_all_converging(self, database):
+        assert len(database.select_converging()) == 164
+
+    def test_history_span_matches_profile(self, profiles, database):
+        p = max(profiles, key=lambda q: q.n_vulns)
+        assert database.history_years(p.app if hasattr(p, "app") else p.name) \
+            == pytest.approx(p.history_years, abs=0.2)
+
+    def test_cwe_mix_respects_language(self, profiles, database):
+        c_apps = [p.name for p in profiles if p.language == "c"][:20]
+        memory = injection = 0
+        for app in c_apps:
+            s = database.summary(app)
+            memory += s.n_by_category.get("memory", 0)
+            injection += s.n_by_category.get("injection", 0)
+        assert memory > injection  # C skews to memory weaknesses
+
+    def test_network_facing_apps_more_av_n(self, profiles, database):
+        facing = [p for p in profiles if p.network_facing and p.n_vulns >= 10]
+        hidden = [p for p in profiles if not p.network_facing and p.n_vulns >= 10]
+        if not facing or not hidden:
+            pytest.skip("degenerate corpus split")
+        share = lambda ps: sum(
+            database.summary(p.name).n_network for p in ps
+        ) / sum(p.n_vulns for p in ps)
+        assert share(facing) > share(hidden)
+
+    def test_unique_cve_ids(self, database):
+        # CVEDatabase.add enforces uniqueness; totals confirm no loss.
+        assert len(database) == P.N_VULNERABILITIES
+
+    def test_records_deterministic(self, profiles):
+        a = cvegen.generate_records(profiles[0], seed=1, id_offset=0)
+        b = cvegen.generate_records(profiles[0], seed=1, id_offset=0)
+        assert [(r.cve_id, r.day, r.cwe_id) for r in a] == [
+            (r.cve_id, r.day, r.cwe_id) for r in b
+        ]

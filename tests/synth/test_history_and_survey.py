@@ -1,0 +1,115 @@
+"""Commit-history generator and paper-survey tests."""
+
+import statistics
+
+import pytest
+
+from repro.analysis.churn import churn_metrics, developer_activity, file_churn
+from repro.synth import cvegen, papersurvey
+from repro.synth import profiles as P
+from repro.synth.appgen import generate_app
+from repro.synth.history import generate_history, history_for_app
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return cvegen.generate_profiles(seed=42)[0]
+
+
+@pytest.fixture(scope="module")
+def app(profile):
+    return generate_app(profile, seed=42)
+
+
+class TestHistoryGenerator:
+    def test_covers_all_files(self, app):
+        history = history_for_app(app, seed=1)
+        assert history.files == {f.path for f in app.codebase}
+
+    def test_span_tracks_history_years(self, app):
+        history = history_for_app(app, seed=1)
+        expected = app.profile.history_years * 365.25
+        assert history.span_days <= expected
+        assert history.span_days >= expected * 0.5
+
+    def test_vulnerable_files_more_churn(self, app):
+        if not app.vulnerable_files or app.vulnerable_files == {
+            f.path for f in app.codebase
+        }:
+            pytest.skip("app has no clean/vulnerable split")
+        history = history_for_app(app, seed=1)
+        churn = file_churn(history)
+        vuln = [churn[p].total_churn for p in app.vulnerable_files]
+        clean = [
+            c.total_churn
+            for p, c in churn.items()
+            if p not in app.vulnerable_files
+        ]
+        assert statistics.mean(vuln) > statistics.mean(clean)
+
+    def test_authors_bounded_by_profile(self, app):
+        history = history_for_app(app, seed=1)
+        assert len(history.authors) <= app.profile.n_developers
+
+    def test_deterministic(self, profile, app):
+        h1 = history_for_app(app, seed=5)
+        h2 = history_for_app(app, seed=5)
+        assert churn_metrics(h1) == churn_metrics(h2)
+
+    def test_generate_history_empty_files(self, profile):
+        history = generate_history(profile, [], frozenset(), seed=1)
+        assert len(history.commits) == 0
+
+
+class TestPaperSurvey:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return papersurvey.generate_corpus(seed=11)
+
+    def test_totals_match_figure1(self, corpus):
+        result = papersurvey.survey(corpus)
+        assert result.totals["loc"] == 384
+        assert result.totals["cve"] == 116
+        assert result.totals["formal"] == 31
+
+    def test_classifier_accuracy(self, corpus):
+        assert papersurvey.survey(corpus).accuracy == 1.0
+
+    def test_per_venue_sums(self, corpus):
+        result = papersurvey.survey(corpus)
+        for style in ("loc", "cve", "formal"):
+            assert sum(v[style] for v in result.by_venue.values()) == \
+                result.totals[style]
+
+    def test_venues_complete(self, corpus):
+        result = papersurvey.survey(corpus)
+        assert set(result.by_venue) == set(P.SURVEY_VENUES)
+
+    def test_corpus_size(self, corpus):
+        expected = (
+            sum(P.SURVEY_LOC_PAPERS.values())
+            + sum(P.SURVEY_CVE_PAPERS.values())
+            + sum(P.SURVEY_FORMAL_PAPERS.values())
+            + sum(P.SURVEY_OTHER_PAPERS.values())
+        )
+        assert len(corpus) == expected
+
+    def test_classify_styles(self):
+        paper = papersurvey.Paper("CCS", "T", "we prove the invariant", "formal")
+        assert papersurvey.classify(paper) == "formal"
+        paper2 = papersurvey.Paper("CCS", "T", "only 12 lines of code", "loc")
+        assert papersurvey.classify(paper2) == "loc"
+        paper3 = papersurvey.Paper("CCS", "T", "34 CVE reports", "cve")
+        assert papersurvey.classify(paper3) == "cve"
+
+    def test_formal_precedence(self):
+        paper = papersurvey.Paper(
+            "CCS", "T", "we prove the kernel correct in 9k lines of code",
+            "formal",
+        )
+        assert papersurvey.classify(paper) == "formal"
+
+    def test_empty_survey(self):
+        result = papersurvey.survey([])
+        assert result.accuracy == 0.0
+        assert result.totals["loc"] == 0

@@ -1,0 +1,74 @@
+"""Version-evolution generator tests."""
+
+import pytest
+
+from repro.bugfind import run_all
+from repro.synth.versions import CHANGE_KINDS, evolve, version_pairs
+
+
+@pytest.fixture(scope="module")
+def app(small_corpus):
+    # Pick an app with some danger sites so hardening has work to do.
+    return max(small_corpus.apps, key=lambda a: len(a.vulnerable_files))
+
+
+class TestEvolve:
+    def test_unknown_kind(self, app):
+        with pytest.raises(ValueError):
+            evolve(app, "explode")
+
+    def test_harden_reduces_findings(self, app):
+        pair = evolve(app, "harden", seed=1)
+        before = run_all(pair.before).total
+        after = run_all(pair.after).total
+        assert after < before
+        assert pair.danger_delta < 0
+
+    def test_regress_adds_findings(self, app):
+        pair = evolve(app, "regress", seed=1)
+        before = run_all(pair.before).total
+        after = run_all(pair.after).total
+        assert after > before
+        assert pair.danger_delta > 0
+        assert any("imported" in f.path for f in pair.after)
+
+    def test_neutral_keeps_findings(self, app):
+        pair = evolve(app, "neutral", seed=1)
+        assert run_all(pair.after).total == run_all(pair.before).total
+        assert pair.danger_delta == 0
+
+    def test_before_is_untouched(self, app):
+        original = {f.path: f.text for f in app.codebase}
+        evolve(app, "harden", seed=1)
+        assert {f.path: f.text for f in app.codebase} == original
+
+    def test_deterministic(self, app):
+        a = evolve(app, "regress", seed=5)
+        b = evolve(app, "regress", seed=5)
+        assert {f.path: f.text for f in a.after} == {
+            f.path: f.text for f in b.after
+        }
+
+    def test_code_still_parses(self, app):
+        from repro.lang import extract_functions
+
+        for kind in CHANGE_KINDS:
+            pair = evolve(app, kind, seed=2)
+            for source in pair.after:
+                extract_functions(source)  # must not raise
+                if source.path.endswith((".c", ".cc", ".java")):
+                    assert source.text.count("{") == source.text.count("}")
+
+
+class TestVersionPairs:
+    def test_round_robin_kinds(self, small_corpus):
+        pairs = version_pairs(small_corpus.apps[:6], seed=1)
+        assert [p.kind for p in pairs] == [
+            "harden", "regress", "neutral", "harden", "regress", "neutral"
+        ]
+
+    def test_one_pair_per_app(self, small_corpus):
+        pairs = version_pairs(small_corpus.apps[:5], seed=1)
+        assert [p.app_name for p in pairs] == [
+            a.name for a in small_corpus.apps[:5]
+        ]

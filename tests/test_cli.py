@@ -1,0 +1,143 @@
+"""CLI tests (invoking main() in-process)."""
+
+import pickle
+
+import pytest
+
+from repro.cli import main
+
+RISKY_C = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    system(req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+SAFE_C = (
+    "#include <string.h>\n"
+    "int handle(const char *req, char *out, unsigned cap) {\n"
+    "    strncpy(out, req, cap - 1);\n"
+    "    out[cap - 1] = 0;\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def risky_tree(tmp_path):
+    d = tmp_path / "risky"
+    d.mkdir()
+    (d / "app.c").write_text(RISKY_C)
+    return str(d)
+
+
+@pytest.fixture
+def safe_tree(tmp_path):
+    d = tmp_path / "safe"
+    d.mkdir()
+    (d / "app.c").write_text(SAFE_C)
+    return str(d)
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, small_training):
+    path = tmp_path_factory.mktemp("model") / "m.pkl"
+    with open(path, "wb") as handle:
+        pickle.dump(small_training.model, handle)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_prints_metrics(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree]) == 0
+        out = capsys.readouterr().out
+        assert "complexity.per_kloc" in out
+        assert "bugs.rule.unbounded-copy/strcpy_per_kloc" in out
+
+    def test_dynamic_flag(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree, "--dynamic"]) == 0
+        assert "dynamic.node_coverage" in capsys.readouterr().out
+
+    def test_empty_directory_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no recognised"):
+            main(["analyze", str(tmp_path)])
+
+
+class TestAssess:
+    def test_with_saved_model(self, risky_tree, model_path, capsys):
+        assert main(["assess", risky_tree, "--model", model_path]) == 0
+        out = capsys.readouterr().out
+        assert "Security assessment" in out
+        assert "classification hypotheses" in out
+
+    def test_bad_model_file(self, risky_tree, tmp_path):
+        bogus = tmp_path / "bogus.pkl"
+        with open(bogus, "wb") as handle:
+            pickle.dump({"not": "a model"}, handle)
+        with pytest.raises(SystemExit, match="not a saved model"):
+            main(["assess", risky_tree, "--model", str(bogus)])
+
+
+class TestGateAndCompare:
+    def test_gate_identical_passes(self, risky_tree, model_path, capsys):
+        code = main(["gate", risky_tree, risky_tree, "--model", model_path])
+        assert code == 0
+        assert "gate: pass" in capsys.readouterr().out
+
+    def test_compare_reports_both(self, risky_tree, safe_tree, model_path,
+                                  capsys):
+        assert main(
+            ["compare", safe_tree, risky_tree, "--model", model_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "model chooses:" in out
+        assert "LoC-naive metric would choose" in out
+
+
+class TestSurveyAndCorpus:
+    def test_survey_totals(self, capsys):
+        assert main(["survey", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "384" in out and "116" in out and "31" in out
+
+    def test_corpus_export(self, tmp_path, capsys):
+        out_path = str(tmp_path / "feed.json")
+        assert main(["corpus", "--out", out_path, "--seed", "5"]) == 0
+        from repro.cve import io as cve_io
+
+        db = cve_io.load(out_path)
+        assert db.totals() == (164, 5975)
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestHotspots:
+    def test_lists_functions_and_findings(self, risky_tree, capsys):
+        assert main(["hotspots", risky_tree]) == 0
+        out = capsys.readouterr().out
+        assert "least maintainable functions" in out
+        assert "unbounded-copy/strcpy" in out
+        assert "handle" in out
+
+    def test_clean_tree_no_findings(self, tmp_path, capsys):
+        d = tmp_path / "clean"
+        d.mkdir()
+        (d / "m.c").write_text("static int add(int a, int b) {\n    return a + b;\n}\n")
+        assert main(["hotspots", str(d)]) == 0
+        assert "no security findings" in capsys.readouterr().out
+
+    def test_top_limits_output(self, risky_tree, capsys):
+        assert main(["hotspots", risky_tree, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more" in out or out.count("HIGH") <= 2
