@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
+from repro import obs
 from repro.bugfind import c_checkers, generic_checkers, lifecycle_checkers
 from repro.bugfind.findings import Finding, Severity
 from repro.lang.sourcefile import Codebase, SourceFile
@@ -50,11 +51,18 @@ def run_all(codebase: Codebase) -> MetaReport:
     Findings with the same deduplication key (path, line, CWE-or-rule) are
     collapsed to the most severe instance, mirroring Rutar's observation
     that tools overlap heavily on real defects.
+
+    Each tool runs under a ``bugfind.<tool>`` tracing span. The tool-major
+    loop order is equivalent to a file-major one for deduplication: the
+    key pins (path, line), so candidates for any key still arrive in
+    registry order for that file.
     """
     raw: List[Finding] = []
-    for source in codebase:
-        for tool in TOOLS.values():
-            raw.extend(tool(source))
+    with obs.span("bugfind.run_all", files=len(codebase)):
+        for name, tool in TOOLS.items():
+            with obs.span(f"bugfind.{name}"):
+                for source in codebase:
+                    raw.extend(tool(source))
 
     merged: Dict[tuple, Finding] = {}
     for finding in raw:
@@ -65,6 +73,8 @@ def run_all(codebase: Codebase) -> MetaReport:
     findings = tuple(
         sorted(merged.values(), key=lambda f: (f.path, f.line, f.rule))
     )
+    obs.incr("bugfind.findings", len(findings))
+    obs.incr("bugfind.duplicates_removed", len(raw) - len(findings))
 
     per_tool: Dict[str, int] = {name: 0 for name in TOOLS}
     per_rule: Dict[str, int] = {}

@@ -15,15 +15,24 @@ Commands:
   with).
 - ``survey`` — print the Figure-1 survey table.
 - ``corpus --out FEED.json`` — export the calibrated CVE corpus as JSON.
+
+Observability (accepted before or after the subcommand):
+
+- ``--trace FILE.jsonl`` — record every tracing span (one JSON object
+  per line: name, parent, start, duration, attrs).
+- ``--profile`` — print the ``repro telemetry`` report (per-analyzer /
+  per-phase time breakdown plus counters) after the command finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.bugfind.findings import Severity
 from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
 from repro.core.features import extract_features
@@ -51,10 +60,25 @@ def _train_model(seed: int, apps: int, folds: int, quiet: bool = False):
 
 def _obtain_model(args) -> SecurityModel:
     if getattr(args, "model", None):
-        with open(args.model, "rb") as handle:
-            model = pickle.load(handle)
+        try:
+            with open(args.model, "rb") as handle:
+                model = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError,
+                UnicodeDecodeError) as exc:
+            raise SystemExit(
+                f"error: {args.model!r} is not a readable model file "
+                f"({type(exc).__name__}); retrain with `repro train`"
+            )
         if not isinstance(model, SecurityModel):
             raise SystemExit(f"error: {args.model!r} is not a saved model")
+        version = getattr(model, "format_version", None)
+        if version != SecurityModel.FORMAT_VERSION:
+            raise SystemExit(
+                f"error: {args.model!r} has model format version {version!r} "
+                f"but this build expects {SecurityModel.FORMAT_VERSION}; "
+                f"retrain with `repro train`"
+            )
         return model
     return _train_model(args.seed, args.apps, args.folds).model
 
@@ -62,6 +86,15 @@ def _obtain_model(args) -> SecurityModel:
 def cmd_analyze(args) -> int:
     codebase = _load_codebase(args.path)
     row = extract_features(codebase, include_dynamic=args.dynamic)
+    if args.json:
+        payload = {
+            "app": codebase.name,
+            "files": len(codebase),
+            "primary_language": codebase.primary_language(),
+            "features": dict(sorted(row.items())),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"metrics for {codebase.name} ({len(codebase)} files, primary "
           f"language: {codebase.primary_language()})")
     for name in sorted(row):
@@ -169,13 +202,38 @@ def cmd_corpus(args) -> int:
     return 0
 
 
+def _add_obs_options(parser, top_level: bool) -> None:
+    """``--trace``/``--profile``, accepted before *and* after the command.
+
+    The subcommand copies default to ``SUPPRESS`` so a value parsed at
+    the top level is not clobbered back to the default by the subparser.
+    """
+    trace_kwargs = {"default": None} if top_level else \
+        {"default": argparse.SUPPRESS}
+    profile_kwargs = {"default": False} if top_level else \
+        {"default": argparse.SUPPRESS}
+    parser.add_argument(
+        "--trace", metavar="FILE.jsonl",
+        help="write a JSONL span trace of the whole run", **trace_kwargs)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a telemetry report (per-analyzer/per-phase timings) "
+             "after the command", **profile_kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Clairvoyant: empirical, ML-based software (in)security "
                     "metric (HotOS '17 reproduction)",
     )
+    _add_obs_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name, **kwargs):
+        p = sub.add_parser(name, **kwargs)
+        _add_obs_options(p, top_level=False)
+        return p
 
     def add_model_options(p):
         p.add_argument("--model", help="path to a model saved by `train`")
@@ -186,47 +244,49 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--folds", type=int, default=5,
                        help="cross-validation folds")
 
-    p = sub.add_parser("analyze", help="print every metric for a source tree")
+    p = add_parser("analyze", help="print every metric for a source tree")
     p.add_argument("path")
     p.add_argument("--dynamic", action="store_true",
                    help="include simulated dynamic-trace features")
+    p.add_argument("--json", action="store_true",
+                   help="emit the feature row as JSON (keys sorted)")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("train", help="train and save the security model")
+    p = add_parser("train", help="train and save the security model")
     p.add_argument("--out", default="clairvoyant-model.pkl")
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--apps", type=int, default=164)
     p.add_argument("--folds", type=int, default=10)
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("assess", help="predict the hypotheses for a tree")
+    p = add_parser("assess", help="predict the hypotheses for a tree")
     p.add_argument("path")
     add_model_options(p)
     p.set_defaults(func=cmd_assess)
 
-    p = sub.add_parser("gate", help="CI gate: block risk-raising changes")
+    p = add_parser("gate", help="CI gate: block risk-raising changes")
     p.add_argument("old")
     p.add_argument("new")
     add_model_options(p)
     p.set_defaults(func=cmd_gate)
 
-    p = sub.add_parser("compare", help="choose the safer of two candidates")
+    p = add_parser("compare", help="choose the safer of two candidates")
     p.add_argument("candidate_a")
     p.add_argument("candidate_b")
     add_model_options(p)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("hotspots",
+    p = add_parser("hotspots",
                        help="rank least-maintainable functions and findings")
     p.add_argument("path")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_hotspots)
 
-    p = sub.add_parser("survey", help="print the Figure-1 survey table")
+    p = add_parser("survey", help="print the Figure-1 survey table")
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_survey)
 
-    p = sub.add_parser("corpus", help="export the calibrated CVE corpus")
+    p = add_parser("corpus", help="export the calibrated CVE corpus")
     p.add_argument("--out", default="cve-corpus.json")
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_corpus)
@@ -237,8 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    session = None
+    if trace_path or profile:
+        session = obs.configure(profile=profile, trace_path=trace_path)
     try:
-        return args.func(args)
+        try:
+            code = args.func(args)
+        finally:
+            if session is not None:
+                obs.disable()
+                if trace_path:
+                    try:
+                        session.write_trace()
+                    except OSError as exc:
+                        print(f"error: cannot write trace to "
+                              f"{trace_path!r}: {exc}", file=sys.stderr)
+                        code = 1
+        if session is not None and profile:
+            print()
+            print(obs.format_run_report(session))
+        return code
     except BrokenPipeError:
         # Output truncated by a closed pipe (e.g. `| head`): not an error.
         try:

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis import loc
 from repro.analysis.churn import CommitHistory
 from repro.core.features import extract_features
@@ -74,10 +75,11 @@ class ChangeEvaluator:
         history: Optional[CommitHistory] = None,
     ) -> RiskAssessment:
         """Run the testbed and the model on one codebase."""
-        features = extract_features(
-            codebase, nominal_kloc=nominal_kloc, history=history
-        )
-        return self.model.assess(features)
+        with obs.span("evaluate.assess", app=codebase.name):
+            features = extract_features(
+                codebase, nominal_kloc=nominal_kloc, history=history
+            )
+            return self.model.assess(features)
 
     def risk_delta(
         self,
@@ -89,34 +91,39 @@ class ChangeEvaluator:
         history_after: Optional[CommitHistory] = None,
     ) -> RiskDelta:
         """Assess a code change: did risk move, and which properties moved it."""
-        features_before = extract_features(
-            before, nominal_kloc=nominal_kloc_before, history=history_before
-        )
-        features_after = extract_features(
-            after, nominal_kloc=nominal_kloc_after, history=history_after
-        )
-        assess_before = self.model.assess(features_before)
-        assess_after = self.model.assess(features_after)
-        deltas = {
-            hyp: assess_after.probabilities[hyp]
-            - assess_before.probabilities[hyp]
-            for hyp in assess_before.probabilities
-        }
-        overall = assess_after.overall_risk - assess_before.overall_risk
-        if overall > NEUTRAL_BAND:
-            verdict = Verdict.REGRESSED
-        elif overall < -NEUTRAL_BAND:
-            verdict = Verdict.IMPROVED
-        else:
-            verdict = Verdict.NEUTRAL
-        moved = self._moved_properties(features_before, features_after, deltas)
-        return RiskDelta(
-            before=assess_before,
-            after=assess_after,
-            verdict=verdict,
-            probability_deltas=deltas,
-            moved_properties=moved,
-        )
+        with obs.span("evaluate.risk_delta", before=before.name,
+                      after=after.name):
+            features_before = extract_features(
+                before, nominal_kloc=nominal_kloc_before,
+                history=history_before
+            )
+            features_after = extract_features(
+                after, nominal_kloc=nominal_kloc_after, history=history_after
+            )
+            assess_before = self.model.assess(features_before)
+            assess_after = self.model.assess(features_after)
+            deltas = {
+                hyp: assess_after.probabilities[hyp]
+                - assess_before.probabilities[hyp]
+                for hyp in assess_before.probabilities
+            }
+            overall = assess_after.overall_risk - assess_before.overall_risk
+            if overall > NEUTRAL_BAND:
+                verdict = Verdict.REGRESSED
+            elif overall < -NEUTRAL_BAND:
+                verdict = Verdict.IMPROVED
+            else:
+                verdict = Verdict.NEUTRAL
+            moved = self._moved_properties(
+                features_before, features_after, deltas
+            )
+            return RiskDelta(
+                before=assess_before,
+                after=assess_after,
+                verdict=verdict,
+                probability_deltas=deltas,
+                moved_properties=moved,
+            )
 
     def _moved_properties(
         self,
@@ -149,8 +156,10 @@ class ChangeEvaluator:
         Returns (winner name, assessment of a, assessment of b); ties go
         to the alphabetically first name for determinism.
         """
-        assess_a = self.assess(candidate_a)
-        assess_b = self.assess(candidate_b)
+        with obs.span("evaluate.choose", a=candidate_a.name,
+                      b=candidate_b.name):
+            assess_a = self.assess(candidate_a)
+            assess_b = self.assess(candidate_b)
         if abs(assess_a.overall_risk - assess_b.overall_risk) < 1e-12:
             winner = min(candidate_a.name, candidate_b.name)
         elif assess_a.overall_risk < assess_b.overall_risk:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional
 
+from repro import obs
 from repro.analysis import (
     callgraph,
     cfg as cfg_mod,
@@ -74,8 +75,21 @@ def extract_features(
         occur (every group is always emitted, with zeros where the
         codebase has no relevant constructs).
     """
+    with obs.span("testbed.extract_features", app=codebase.name,
+                  files=len(codebase)):
+        return _extract(codebase, nominal_kloc, history, include_dynamic)
+
+
+def _extract(
+    codebase: Codebase,
+    nominal_kloc: Optional[float],
+    history: Optional[CommitHistory],
+    include_dynamic: bool,
+) -> Dict[str, float]:
     row: Dict[str, float] = {}
-    counts = loc.count_codebase(codebase)
+    obs.incr("testbed.files_analyzed", len(codebase))
+    with obs.span("analysis.loc"):
+        counts = loc.count_codebase(codebase)
     sample_kloc = max(counts.code / 1000.0, 1e-6)
     kloc = nominal_kloc if nominal_kloc is not None else sample_kloc
 
@@ -94,8 +108,9 @@ def extract_features(
         row[f"lang.{spec.name}"] = 1.0 if primary == spec.name else 0.0
 
     # -- complexity -----------------------------------------------------------
-    total_cc = cyclomatic.codebase_complexity(codebase)
-    dist = cyclomatic.complexity_distribution(codebase)
+    with obs.span("analysis.cyclomatic"):
+        total_cc = cyclomatic.codebase_complexity(codebase)
+        dist = cyclomatic.complexity_distribution(codebase)
     row["complexity.total"] = float(total_cc)
     row["complexity.per_kloc"] = density(total_cc)
     row["complexity.mean_function"] = dist["mean"]
@@ -103,9 +118,11 @@ def extract_features(
     row["complexity.p90_function"] = dist["p90"]
     row["complexity.share_over_10"] = dist["over_10"]
 
-    hal = halstead.measure_codebase(codebase)
+    with obs.span("analysis.halstead"):
+        hal = halstead.measure_codebase(codebase)
     row["halstead.volume_per_kloc"] = density(hal.volume)
-    mi = maintainability.measure_codebase(codebase)
+    with obs.span("analysis.maintainability"):
+        mi = maintainability.measure_codebase(codebase)
     row["complexity.maintainability_index"] = mi.mi
     row["halstead.difficulty"] = hal.difficulty
     row["halstead.effort_per_kloc"] = density(hal.effort)
@@ -113,7 +130,8 @@ def extract_features(
     row["halstead.vocabulary"] = float(hal.vocabulary)
 
     # -- shape -----------------------------------------------------------------
-    shape = functions.measure_codebase(codebase)
+    with obs.span("analysis.functions"):
+        shape = functions.measure_codebase(codebase)
     row["shape.functions_per_kloc"] = density(shape.n_functions)
     row["shape.public_share"] = (
         shape.n_public_functions / shape.n_functions if shape.n_functions else 0.0
@@ -126,21 +144,24 @@ def extract_features(
     row["shape.max_nesting"] = float(shape.max_nesting)
     row["shape.declarations_per_kloc"] = density(shape.n_declarations)
     row["shape.variables_per_kloc"] = density(shape.n_variables)
-    names = identifiers.measure_codebase(codebase)
+    with obs.span("analysis.identifiers"):
+        names = identifiers.measure_codebase(codebase)
     row["shape.identifier_mean_length"] = names.mean_length
     row["shape.identifier_short_fraction"] = names.short_name_fraction
     row["shape.identifier_numeric_suffixes"] = names.numeric_suffix_fraction
     row["shape.identifier_entropy"] = names.entropy
 
     # -- control / data flow -------------------------------------------------
-    flow = cfg_mod.measure_codebase(codebase)
+    with obs.span("analysis.cfg"):
+        flow = cfg_mod.measure_codebase(codebase)
     row["flow.cfg_nodes_per_kloc"] = density(flow.n_cfg_nodes)
     row["flow.cfg_edges_per_kloc"] = density(flow.n_cfg_edges)
     row["flow.branch_nodes_per_kloc"] = density(flow.n_branch_nodes)
     row["flow.return_nodes_per_kloc"] = density(flow.n_return_nodes)
     row["flow.mean_cyclomatic"] = flow.mean_cyclomatic
     row["flow.log_paths"] = math.log10(1.0 + flow.total_paths)
-    data = dataflow.measure_codebase(codebase)
+    with obs.span("analysis.dataflow"):
+        data = dataflow.measure_codebase(codebase)
     row["flow.defs_per_kloc"] = density(data.n_defs)
     row["flow.def_use_per_kloc"] = density(data.def_use_pairs)
     row["flow.max_reaching"] = float(data.max_reaching)
@@ -149,7 +170,8 @@ def extract_features(
     row["flow.tainted_sink_calls"] = float(data.tainted_sink_calls)
 
     # -- call graph ---------------------------------------------------------------
-    calls = callgraph.measure_codebase(codebase)
+    with obs.span("analysis.callgraph"):
+        calls = callgraph.measure_codebase(codebase)
     row["calls.edges_per_function"] = (
         calls.n_edges / calls.n_functions if calls.n_functions else 0.0
     )
@@ -160,13 +182,15 @@ def extract_features(
     row["calls.recursive_cycles"] = float(calls.n_recursive_cycles)
 
     # -- attack surface ---------------------------------------------------------
-    surface = rasq.measure_codebase(codebase)
+    with obs.span("surface.rasq"):
+        surface = rasq.measure_codebase(codebase)
     row["surface.rasq_per_kloc"] = density(surface.rasq)
     row["surface.network_facing"] = 1.0 if surface.network_facing else 0.0
     for channel, count in sorted(surface.channel_counts.items()):
         row[f"surface.{channel}_per_kloc"] = density(count)
     row["surface.privilege_sites"] = float(surface.n_privilege_sites)
-    graph_metrics = attack_graph.measure_codebase(codebase)
+    with obs.span("surface.attack_graph"):
+        graph_metrics = attack_graph.measure_codebase(codebase)
     row["surface.attack_states"] = float(graph_metrics.n_states)
     row["surface.goal_reachable"] = 1.0 if graph_metrics.goal_reachable else 0.0
     row["surface.shortest_attack_path"] = float(
@@ -179,7 +203,8 @@ def extract_features(
     )
 
     # -- bug-finding tools -------------------------------------------------------
-    report = run_all(codebase)
+    with obs.span("analysis.bugfind"):
+        report = run_all(codebase)
     row["bugs.total_per_kloc"] = density(report.total)
     row["bugs.high_per_kloc"] = density(report.count_at_least(Severity.HIGH))
     for rule, count in sorted(report.per_rule.items()):
@@ -188,13 +213,16 @@ def extract_features(
         row[f"bugs.cwe.{cwe_id}_per_kloc"] = density(count)
 
     # -- smells ---------------------------------------------------------------------
-    for kind, count in sorted(smells.smell_counts(codebase).items()):
+    with obs.span("analysis.smells"):
+        smell_counts = smells.smell_counts(codebase)
+    for kind, count in sorted(smell_counts.items()):
         row[f"smell.{kind}_per_kloc"] = density(count)
 
     # -- churn / developers -------------------------------------------------------
     if history is not None:
-        churn = churn_mod.churn_metrics(history)
-        activity = churn_mod.developer_activity(history)
+        with obs.span("analysis.churn"):
+            churn = churn_mod.churn_metrics(history)
+            activity = churn_mod.developer_activity(history)
         row["churn.log_total"] = math.log10(1.0 + churn.total_churn)
         row["churn.relative"] = churn.relative_churn
         row["churn.high_churn_files"] = float(churn.n_high_churn_files)
@@ -213,7 +241,8 @@ def extract_features(
             row[f"churn.{name}"] = 0.0
 
     # -- object-oriented design (Alshammari et al.) ----------------------------
-    design = oo.measure_codebase(codebase)
+    with obs.span("analysis.oo"):
+        design = oo.measure_codebase(codebase)
     row["oo.classes_per_kloc"] = density(design.n_classes)
     row["oo.mean_methods_per_class"] = design.mean_methods_per_class
     row["oo.public_method_fraction"] = design.public_method_fraction
@@ -226,7 +255,8 @@ def extract_features(
     if include_dynamic:
         from repro.analysis import dynamic
 
-        traces = dynamic.measure_codebase(codebase)
+        with obs.span("analysis.dynamic"):
+            traces = dynamic.measure_codebase(codebase)
         row["dynamic.node_coverage"] = traces.mean_node_coverage
         row["dynamic.edge_coverage"] = traces.mean_edge_coverage
         row["dynamic.trace_length"] = traces.mean_trace_length

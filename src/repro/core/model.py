@@ -52,6 +52,12 @@ class RiskAssessment:
 class SecurityModel:
     """Per-hypothesis estimators over a shared, scaled feature space."""
 
+    #: Bumped whenever the pickled layout changes incompatibly; stamped
+    #: on every instance and checked by the CLI when loading a saved
+    #: model so stale files fail with a clear message, not an attribute
+    #: error deep in prediction.
+    FORMAT_VERSION = 1
+
     def __init__(
         self,
         feature_names: Sequence[str],
@@ -60,6 +66,7 @@ class SecurityModel:
         regressors: Dict[str, Regressor],
         hypotheses: Sequence[Hypothesis],
     ):
+        self.format_version = self.FORMAT_VERSION
         self.feature_names: Tuple[str, ...] = tuple(feature_names)
         self._scaler = scaler
         self._classifiers = dict(classifiers)

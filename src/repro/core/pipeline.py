@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.features import extract_features, feature_group
 from repro.core.hypotheses import (
     DEFAULT_HYPOTHESES,
@@ -94,16 +95,19 @@ def build_feature_table(
     names: List[str] = []
     rows: List[Dict[str, float]] = []
     summaries: List[AppVulnSummary] = []
-    for app in corpus.apps:
-        names.append(app.name)
-        rows.append(
-            extract_features(
-                app.codebase,
-                nominal_kloc=app.profile.kloc,
-                history=corpus.histories.get(app.name),
-            )
-        )
-        summaries.append(db.summary(app.name))
+    with obs.span("testbed.build_feature_table", apps=len(corpus.apps)):
+        for app in corpus.apps:
+            names.append(app.name)
+            with obs.span("testbed.app", app=app.name):
+                rows.append(
+                    extract_features(
+                        app.codebase,
+                        nominal_kloc=app.profile.kloc,
+                        history=corpus.histories.get(app.name),
+                    )
+                )
+            summaries.append(db.summary(app.name))
+        obs.incr("testbed.apps_analyzed", len(corpus.apps))
     return FeatureTable(tuple(names), tuple(rows), tuple(summaries))
 
 
@@ -176,9 +180,11 @@ def train(
     if table is None:
         table = build_feature_table(corpus)
     if top_k_features is not None:
-        table = select_features(
-            table, hypotheses[0], top_k_features, method=selection_method
-        )
+        with obs.span("train.select_features", k=top_k_features,
+                      method=selection_method):
+            table = select_features(
+                table, hypotheses[0], top_k_features, method=selection_method
+            )
     cv_results: Dict[str, CVResult] = {}
     classifiers = {}
     regressors = {}
@@ -188,32 +194,39 @@ def train(
     feature_names = first_dataset.feature_names
 
     for hypothesis in hypotheses:
-        dataset = table.dataset_for(hypothesis)
-        if dataset.feature_names != feature_names:
-            raise ValueError("hypotheses disagree on feature columns")
-        if hypothesis.kind == KIND_CLASSIFICATION:
-            folds = min(k, _max_stratified_folds(dataset.y))
-            cv_results[hypothesis.hypothesis_id] = cross_validate_classifier(
-                dataset,
-                classifier_factory,
-                k=folds,
-                seed=seed,
-                transform_factory=StandardScaler,
-            )
-            model = classifier_factory().fit(x_scaled, dataset.y)
-            classifiers[hypothesis.hypothesis_id] = model
-        else:
-            cv_results[hypothesis.hypothesis_id] = cross_validate_regressor(
-                dataset,
-                regressor_factory,
-                k=min(k, dataset.n_rows),
-                seed=seed,
-                transform_factory=StandardScaler,
-            )
-            model = regressor_factory().fit(
-                x_scaled, np.asarray(dataset.y, dtype=float)
-            )
-            regressors[hypothesis.hypothesis_id] = model
+        with obs.span("train.hypothesis",
+                      hypothesis=hypothesis.hypothesis_id,
+                      kind=hypothesis.kind):
+            dataset = table.dataset_for(hypothesis)
+            if dataset.feature_names != feature_names:
+                raise ValueError("hypotheses disagree on feature columns")
+            if hypothesis.kind == KIND_CLASSIFICATION:
+                folds = min(k, _max_stratified_folds(dataset.y))
+                cv_results[hypothesis.hypothesis_id] = (
+                    cross_validate_classifier(
+                        dataset,
+                        classifier_factory,
+                        k=folds,
+                        seed=seed,
+                        transform_factory=StandardScaler,
+                    )
+                )
+                model = classifier_factory().fit(x_scaled, dataset.y)
+                classifiers[hypothesis.hypothesis_id] = model
+            else:
+                cv_results[hypothesis.hypothesis_id] = (
+                    cross_validate_regressor(
+                        dataset,
+                        regressor_factory,
+                        k=min(k, dataset.n_rows),
+                        seed=seed,
+                        transform_factory=StandardScaler,
+                    )
+                )
+                model = regressor_factory().fit(
+                    x_scaled, np.asarray(dataset.y, dtype=float)
+                )
+                regressors[hypothesis.hypothesis_id] = model
 
     security_model = SecurityModel(
         feature_names=feature_names,

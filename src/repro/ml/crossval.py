@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.ml.base import Classifier, Regressor
 from repro.ml.dataset import Dataset
 from repro.ml.metrics import (
@@ -108,31 +109,34 @@ def cross_validate_classifier(
     """
     splits = stratified_kfold_indices(dataset.y, k, seed)
     per_fold: List[Dict[str, float]] = []
-    for train_idx, test_idx in splits:
-        x_train, y_train = dataset.x[train_idx], dataset.y[train_idx]
-        x_test, y_test = dataset.x[test_idx], dataset.y[test_idx]
-        if transform_factory is not None:
-            transform = transform_factory()
-            x_train = transform.fit_apply(x_train)
-            x_test = transform.apply(x_test)
-        model = factory().fit(x_train, y_train)
-        pred = model.predict(x_test)
-        proba = model.predict_proba(x_test)
-        classes = list(model.classes_)
-        if positive in classes:
-            scores = proba[:, classes.index(positive)]
-        else:
-            scores = np.zeros(len(y_test))
-        precision, recall, f1 = precision_recall_f1(y_test, pred, positive)
-        per_fold.append(
-            {
-                "accuracy": accuracy(y_test, pred),
-                "precision": precision,
-                "recall": recall,
-                "f1": f1,
-                "auc": roc_auc(y_test, scores, positive),
-            }
-        )
+    for fold, (train_idx, test_idx) in enumerate(splits):
+        with obs.span("cv.fold", fold=fold, dataset=dataset.name,
+                      kind="classification") as fold_span:
+            x_train, y_train = dataset.x[train_idx], dataset.y[train_idx]
+            x_test, y_test = dataset.x[test_idx], dataset.y[test_idx]
+            if transform_factory is not None:
+                transform = transform_factory()
+                x_train = transform.fit_apply(x_train)
+                x_test = transform.apply(x_test)
+            model = factory().fit(x_train, y_train)
+            pred = model.predict(x_test)
+            proba = model.predict_proba(x_test)
+            classes = list(model.classes_)
+            if positive in classes:
+                scores = proba[:, classes.index(positive)]
+            else:
+                scores = np.zeros(len(y_test))
+            precision, recall, f1 = precision_recall_f1(y_test, pred, positive)
+            per_fold.append(
+                {
+                    "accuracy": accuracy(y_test, pred),
+                    "precision": precision,
+                    "recall": recall,
+                    "f1": f1,
+                    "auc": roc_auc(y_test, scores, positive),
+                }
+            )
+        obs.observe("cv.fold_seconds", fold_span.duration)
     return CVResult(_mean_metrics(per_fold), tuple(per_fold))
 
 
@@ -146,23 +150,26 @@ def cross_validate_regressor(
     """k-fold CV of a regressor factory on ``dataset``."""
     splits = kfold_indices(dataset.n_rows, k, seed)
     per_fold: List[Dict[str, float]] = []
-    for train_idx, test_idx in splits:
-        x_train = dataset.x[train_idx]
-        y_train = np.asarray(dataset.y[train_idx], dtype=float)
-        x_test = dataset.x[test_idx]
-        y_test = np.asarray(dataset.y[test_idx], dtype=float)
-        if transform_factory is not None:
-            transform = transform_factory()
-            x_train = transform.fit_apply(x_train)
-            x_test = transform.apply(x_test)
-        model = factory().fit(x_train, y_train)
-        pred = model.predict(x_test)
-        per_fold.append(
-            {
-                "mae": mae(y_test, pred),
-                "rmse": rmse(y_test, pred),
-                "r2": r2_score(y_test, pred),
-                "within_order": within_order_of_magnitude(y_test, pred),
-            }
-        )
+    for fold, (train_idx, test_idx) in enumerate(splits):
+        with obs.span("cv.fold", fold=fold, dataset=dataset.name,
+                      kind="regression") as fold_span:
+            x_train = dataset.x[train_idx]
+            y_train = np.asarray(dataset.y[train_idx], dtype=float)
+            x_test = dataset.x[test_idx]
+            y_test = np.asarray(dataset.y[test_idx], dtype=float)
+            if transform_factory is not None:
+                transform = transform_factory()
+                x_train = transform.fit_apply(x_train)
+                x_test = transform.apply(x_test)
+            model = factory().fit(x_train, y_train)
+            pred = model.predict(x_test)
+            per_fold.append(
+                {
+                    "mae": mae(y_test, pred),
+                    "rmse": rmse(y_test, pred),
+                    "r2": r2_score(y_test, pred),
+                    "within_order": within_order_of_magnitude(y_test, pred),
+                }
+            )
+        obs.observe("cv.fold_seconds", fold_span.duration)
     return CVResult(_mean_metrics(per_fold), tuple(per_fold))

@@ -1,0 +1,130 @@
+"""Observability layer: tracing spans, metrics, and run reports.
+
+This package is the instrumentation substrate every perf claim in the
+repo is measured against. Call sites use the module-level facade:
+
+    from repro import obs
+
+    with obs.span("analysis.cfg", file=path):
+        ...
+    obs.incr("testbed.files_analyzed", n)
+    obs.observe("cv.fold_seconds", dt)
+
+The facade is **disabled by default**: ``span`` returns a shared no-op
+singleton and the metric helpers return immediately, so the instrumented
+hot paths cost one global read plus a call when observability is off.
+``configure()`` (the CLI's ``--trace``/``--profile`` flags, or tests)
+installs an :class:`ObsSession` holding a live
+:class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`; ``disable()`` removes it.
+
+Every finished span also feeds a ``span.<name>.seconds`` histogram in
+the registry, so per-analyzer duration distributions come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.export import (
+    SPAN_RECORD_KEYS,
+    read_jsonl,
+    trace_lines,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.report import aggregate_spans, format_run_report
+from repro.obs.spans import NULL_SPAN, NullSpan, Span
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_SPAN",
+    "NullSpan", "ObsSession", "SPAN_RECORD_KEYS", "Span", "Tracer",
+    "active", "aggregate_spans", "configure", "disable",
+    "format_run_report", "gauge", "incr", "is_enabled", "observe",
+    "percentile", "read_jsonl", "span", "trace_lines", "write_jsonl",
+]
+
+
+class ObsSession:
+    """One enabled observability window: a tracer plus a registry."""
+
+    def __init__(self, profile: bool = False,
+                 trace_path: Optional[str] = None):
+        self.profile = profile
+        self.trace_path = trace_path
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(on_finish=self._span_finished)
+
+    def _span_finished(self, span: Span) -> None:
+        self.metrics.histogram(f"span.{span.name}.seconds").observe(
+            span.duration
+        )
+
+    def write_trace(self) -> int:
+        """Export the trace to ``trace_path``; returns spans written."""
+        if not self.trace_path:
+            return 0
+        return write_jsonl(self.tracer, self.trace_path)
+
+
+_session: Optional[ObsSession] = None
+
+
+def configure(profile: bool = False,
+              trace_path: Optional[str] = None) -> ObsSession:
+    """Enable observability with a fresh session (replacing any prior)."""
+    global _session
+    _session = ObsSession(profile=profile, trace_path=trace_path)
+    return _session
+
+
+def disable() -> Optional[ObsSession]:
+    """Disable observability; returns the session that was active."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+def active() -> Optional[ObsSession]:
+    """The active session, or None when disabled."""
+    return _session
+
+
+def is_enabled() -> bool:
+    return _session is not None
+
+
+def span(name: str, **attrs: Any):
+    """A tracing span context manager (no-op singleton when disabled)."""
+    session = _session
+    if session is None:
+        return NULL_SPAN
+    return session.tracer.span(name, **attrs)
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Increment a counter (no-op when disabled)."""
+    session = _session
+    if session is not None:
+        session.metrics.counter(name).inc(amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge (no-op when disabled)."""
+    session = _session
+    if session is not None:
+        session.metrics.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    session = _session
+    if session is not None:
+        session.metrics.histogram(name).observe(value)

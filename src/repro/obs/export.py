@@ -1,0 +1,61 @@
+"""JSONL trace export: one finished span per line.
+
+Line schema (stable; covered by unit tests and documented in README):
+
+    {"name": str, "span_id": int, "parent": int | null,
+     "start": float, "duration": float, "attrs": {…}}
+
+``start`` is monotonic seconds since the tracer's epoch, ``duration`` is
+seconds inside the span, and ``parent`` links a nested span to its
+enclosing span's ``span_id``. Lines are ordered by ``start``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.tracer import Tracer
+
+#: Keys every exported trace line carries.
+SPAN_RECORD_KEYS = ("name", "span_id", "parent", "start", "duration", "attrs")
+
+
+def _sanitise(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-safe scalars."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def trace_lines(tracer: Tracer) -> List[str]:
+    """The JSONL lines (without newlines) for every finished span."""
+    lines = []
+    for record in tracer.records():
+        record["attrs"] = _sanitise(record["attrs"])
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path: str) -> int:
+    """Write the trace to ``path``; returns the number of spans written."""
+    lines = trace_lines(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a trace file back into span records (the export inverse)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

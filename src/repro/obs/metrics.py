@@ -1,0 +1,129 @@
+"""Metrics registry: counters, gauges, and summary histograms.
+
+Instruments are created lazily by name (`registry.counter("x")` is
+get-or-create) so call sites never need setup code. Histograms keep raw
+observations and summarise on demand with count/total/mean/min/p50/p95/
+max — the shape the run report renders and `BENCH_*.json` perf claims
+will cite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of ``values``.
+
+    Matches numpy's default ("linear") method; implemented locally so the
+    hot recording path stays allocation-free and numpy-free.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observations with on-demand summaries."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        """count/total/mean/min/p50/p95/max over the observations."""
+        if not self.values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+                    "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": len(self.values),
+            "total": self.total,
+            "mean": self.total / len(self.values),
+            "min": min(self.values),
+            "p50": percentile(self.values, 50.0),
+            "p95": percentile(self.values, 95.0),
+            "max": max(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict dump of every instrument (JSON-serialisable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }

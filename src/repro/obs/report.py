@@ -1,0 +1,103 @@
+"""Run-report formatter: the per-phase/per-analyzer time breakdown.
+
+Aggregates finished spans by name into calls/total/self/mean/p95/max
+rows, ranks them by self-time (time in the span's own code, excluding
+nested spans) so the table answers "which analyzer dominates
+wall-clock", and appends the registry's counters, gauges, and non-span
+histograms. This is what ``--profile`` prints after a command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.spans import Span
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing for all spans sharing one name."""
+
+    name: str
+    calls: int
+    total: float       # summed durations (includes nested spans)
+    self_total: float  # summed self-times (excludes nested spans)
+    mean: float
+    p95: float
+    max: float
+
+
+def aggregate_spans(spans: Sequence[Span]) -> List[SpanStats]:
+    """Per-name aggregates, ranked by self-time (descending)."""
+    by_name: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    stats = []
+    for name, group in by_name.items():
+        durations = [s.duration for s in group]
+        stats.append(SpanStats(
+            name=name,
+            calls=len(group),
+            total=sum(durations),
+            self_total=sum(s.self_time for s in group),
+            mean=sum(durations) / len(group),
+            p95=percentile(durations, 95.0),
+            max=max(durations),
+        ))
+    stats.sort(key=lambda s: (-s.self_total, s.name))
+    return stats
+
+
+def format_span_table(spans: Sequence[Span]) -> str:
+    """The per-phase/per-analyzer breakdown table."""
+    stats = aggregate_spans(spans)
+    if not stats:
+        return "  (no spans recorded)"
+    grand_self = sum(s.self_total for s in stats) or 1.0
+    header = (f"  {'span':40s} {'calls':>6s} {'total s':>9s} {'self s':>9s}"
+              f" {'mean ms':>9s} {'p95 ms':>9s} {'max ms':>9s} {'self%':>6s}")
+    lines = [header]
+    for s in stats:
+        lines.append(
+            f"  {s.name:40s} {s.calls:6d} {s.total:9.3f} {s.self_total:9.3f}"
+            f" {s.mean * 1e3:9.2f} {s.p95 * 1e3:9.2f} {s.max * 1e3:9.2f}"
+            f" {100.0 * s.self_total / grand_self:5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Counters, gauges, and non-span histograms as report lines."""
+    lines: List[str] = []
+    snap = registry.snapshot()
+    for name, value in snap["counters"].items():
+        lines.append(f"  counter  {name:38s} {value:12g}")
+    for name, value in snap["gauges"].items():
+        lines.append(f"  gauge    {name:38s} {value:12g}")
+    for name, summary in snap["histograms"].items():
+        if name.startswith("span."):
+            continue  # already covered by the span table
+        lines.append(
+            f"  histogram {name:37s} n={summary['count']:<5d}"
+            f" mean={summary['mean']:.4g} p50={summary['p50']:.4g}"
+            f" p95={summary['p95']:.4g} max={summary['max']:.4g}"
+        )
+    return "\n".join(lines) if lines else "  (no metrics recorded)"
+
+
+def format_run_report(session, title: str = "repro telemetry") -> str:
+    """The full ``--profile`` report for one obs session."""
+    tracer = session.tracer
+    lines = [
+        f"{title} — {len(tracer.spans)} spans,"
+        f" {tracer.wall_seconds:.3f}s since start",
+        "",
+        "per-phase / per-analyzer breakdown (ranked by self-time):",
+        format_span_table(tracer.spans),
+        "",
+        "metrics:",
+        format_metrics(session.metrics),
+    ]
+    return "\n".join(lines)

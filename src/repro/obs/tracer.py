@@ -1,0 +1,84 @@
+"""Span-based tracer with nesting and monotonic timings.
+
+The tracer keeps an explicit stack of open spans; a span entered while
+another is open becomes its child (``parent_id`` links them, and the
+parent's ``child_time`` grows by the child's duration on exit). Finished
+spans land on :attr:`Tracer.spans` in completion order, ready for the
+JSONL exporter and the run-report aggregator.
+
+The pipeline is single-threaded, so the tracer deliberately carries no
+locks; one tracer must not be shared across threads.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.spans import Span
+
+
+class Tracer:
+    """Creates, nests, and collects :class:`~repro.obs.spans.Span`.
+
+    Args:
+        on_finish: optional callback invoked with each finished span —
+            the obs session uses it to feed per-span duration
+            histograms into the metrics registry.
+    """
+
+    def __init__(self, on_finish: Optional[Callable[[Span], None]] = None):
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._epoch = perf_counter()
+        self._next_id = 1
+        self._on_finish = on_finish
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span, to be used as a context manager."""
+        return Span(self, name, attrs)
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) -----------------
+
+    def _push(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+        span._t0 = perf_counter()
+        span.start = span._t0 - self._epoch
+
+    def _pop(self, span: Span) -> None:
+        span.duration = perf_counter() - span._t0
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # mismatched exit: drop abandoned children
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            if self._stack:
+                self._stack.pop()
+        if self._stack:
+            self._stack[-1].child_time += span.duration
+        self.spans.append(span)
+        if self._on_finish is not None:
+            self._on_finish(span)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        """Monotonic seconds since this tracer was created."""
+        return perf_counter() - self._epoch
+
+    @property
+    def open_spans(self) -> int:
+        """Spans currently entered but not yet exited."""
+        return len(self._stack)
+
+    def spans_named(self, name: str) -> List[Span]:
+        """All finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished spans as export dicts, ordered by start time."""
+        return [s.to_dict() for s in sorted(self.spans, key=lambda s: s.start)]

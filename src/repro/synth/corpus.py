@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.analysis.churn import CommitHistory
 from repro.cve.database import CVEDatabase
 from repro.synth.appgen import GeneratorConfig, SyntheticApp, generate_apps
@@ -58,10 +59,19 @@ def build_corpus(
             corpus-level calibration statistics stay valid.
         config: source-generator tunables.
     """
-    profiles = generate_profiles(seed=seed)
-    database = generate_database(profiles, seed=seed)
-    if limit is not None:
-        profiles = profiles[:limit]
-    apps = generate_apps(profiles, seed=seed, config=config)
-    histories = {app.name: history_for_app(app, seed=seed) for app in apps}
+    with obs.span("corpus.build", seed=seed,
+                  limit=-1 if limit is None else limit):
+        with obs.span("corpus.profiles"):
+            profiles = generate_profiles(seed=seed)
+        with obs.span("corpus.database"):
+            database = generate_database(profiles, seed=seed)
+        if limit is not None:
+            profiles = profiles[:limit]
+        with obs.span("corpus.apps", apps=len(profiles)):
+            apps = generate_apps(profiles, seed=seed, config=config)
+        with obs.span("corpus.histories"):
+            histories = {
+                app.name: history_for_app(app, seed=seed) for app in apps
+            }
+    obs.incr("corpus.apps_generated", len(apps))
     return Corpus(apps=apps, histories=histories, database=database, seed=seed)

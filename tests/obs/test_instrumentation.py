@@ -1,0 +1,115 @@
+"""The pipeline hot paths actually emit spans and metrics when enabled."""
+
+import pytest
+
+from repro import obs
+from repro.bugfind import run_all
+from repro.core.features import extract_features
+from repro.ml.crossval import cross_validate_classifier
+from repro.ml.dataset import Dataset
+from repro.ml.logistic import LogisticRegression
+
+
+@pytest.fixture(autouse=True)
+def clean_session():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+#: Analyzer spans extract_features must emit on any codebase.
+ANALYZER_SPANS = {
+    "analysis.loc", "analysis.cyclomatic", "analysis.halstead",
+    "analysis.maintainability", "analysis.functions",
+    "analysis.identifiers", "analysis.cfg", "analysis.dataflow",
+    "analysis.callgraph", "surface.rasq", "surface.attack_graph",
+    "analysis.bugfind", "analysis.smells", "analysis.oo",
+}
+
+
+class TestExtractFeatures:
+    def test_emits_one_span_per_analyzer(self, mixed_codebase):
+        session = obs.configure()
+        extract_features(mixed_codebase)
+        names = {s.name for s in session.tracer.spans}
+        assert ANALYZER_SPANS <= names
+        (root,) = session.tracer.spans_named("testbed.extract_features")
+        assert root.attrs["app"] == "demo"
+        assert root.attrs["files"] == len(mixed_codebase)
+
+    def test_analyzer_spans_nest_under_root(self, mixed_codebase):
+        session = obs.configure()
+        extract_features(mixed_codebase)
+        (root,) = session.tracer.spans_named("testbed.extract_features")
+        for name in ANALYZER_SPANS:
+            for span in session.tracer.spans_named(name):
+                assert span.parent_id == root.span_id, name
+
+    def test_counts_files_analyzed(self, mixed_codebase):
+        session = obs.configure()
+        extract_features(mixed_codebase)
+        counter = session.metrics.counters["testbed.files_analyzed"]
+        assert counter.value == len(mixed_codebase)
+
+    def test_disabled_records_nothing(self, mixed_codebase):
+        row = extract_features(mixed_codebase)
+        assert not obs.is_enabled()
+        assert row  # still produces the feature vector
+
+
+class TestBugfind:
+    def test_per_tool_spans(self, mixed_codebase):
+        session = obs.configure()
+        run_all(mixed_codebase)
+        names = {s.name for s in session.tracer.spans}
+        assert {"bugfind.run_all", "bugfind.clint", "bugfind.genlint",
+                "bugfind.memlint"} <= names
+
+    def test_loop_reorder_preserves_report(self, mixed_codebase):
+        # tool-major iteration (for spans) must not change the merged
+        # report vs the seed's file-major order
+        report = run_all(mixed_codebase)
+        raw = []
+        from repro.bugfind.meta import TOOLS
+
+        for source in mixed_codebase:
+            for tool in TOOLS.values():
+                raw.extend(tool(source))
+        merged = {}
+        for finding in raw:
+            key = finding.key()
+            if key not in merged or finding.severity > merged[key].severity:
+                merged[key] = finding
+        expected = tuple(sorted(
+            merged.values(), key=lambda f: (f.path, f.line, f.rule)
+        ))
+        assert report.findings == expected
+
+
+class TestCrossval:
+    def test_fold_spans_and_histogram(self):
+        rows = [{"a": float(i), "b": float(i % 3)} for i in range(8)]
+        labels = [i % 2 for i in range(8)]
+        dataset = Dataset.from_rows(rows, labels, name="toy")
+        session = obs.configure()
+        cross_validate_classifier(
+            dataset, lambda: LogisticRegression(max_iter=50), k=2, seed=0
+        )
+        folds = session.tracer.spans_named("cv.fold")
+        assert len(folds) == 2
+        assert {s.attrs["fold"] for s in folds} == {0, 1}
+        assert folds[0].attrs["dataset"] == "toy"
+        hist = session.metrics.histograms["cv.fold_seconds"]
+        assert hist.count == 2
+
+
+class TestCorpus:
+    def test_corpus_build_phases(self):
+        from repro.synth import build_corpus
+
+        session = obs.configure()
+        build_corpus(seed=3, limit=1)
+        names = {s.name for s in session.tracer.spans}
+        assert {"corpus.build", "corpus.profiles", "corpus.database",
+                "corpus.apps", "corpus.histories"} <= names
+        assert session.metrics.counters["corpus.apps_generated"].value == 1

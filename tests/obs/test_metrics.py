@@ -1,0 +1,88 @@
+"""Counters, gauges, histograms, and the registry snapshot."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, percentile
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_matches_numpy_linear(self):
+        np = pytest.importorskip("numpy")
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        for q in (0, 10, 50, 90, 95, 100):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 0) == 1.0
+        assert percentile([9.0, 1.0, 5.0], 100) == 9.0
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("files").inc()
+        registry.counter("files").inc(4)
+        assert registry.counters["files"].value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("apps").set(3)
+        registry.gauge("apps").set(11)
+        assert registry.gauges["apps"].value == 11.0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["total"] == pytest.approx(5050.0)
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {"count": 0, "total": 0.0, "mean": 0.0,
+                           "min": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        json.dumps(registry.snapshot())

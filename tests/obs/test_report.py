@@ -1,0 +1,99 @@
+"""Run-report formatting: span aggregation and the telemetry table."""
+
+import pytest
+
+from repro import obs
+from repro.obs.report import (
+    aggregate_spans,
+    format_metrics,
+    format_run_report,
+    format_span_table,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_session():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _tracer_with_spans():
+    tracer = Tracer()
+    with tracer.span("phase"):
+        for _ in range(3):
+            with tracer.span("analyzer.a"):
+                pass
+        with tracer.span("analyzer.b"):
+            pass
+    return tracer
+
+
+class TestAggregate:
+    def test_groups_by_name(self):
+        stats = aggregate_spans(_tracer_with_spans().spans)
+        by_name = {s.name: s for s in stats}
+        assert by_name["analyzer.a"].calls == 3
+        assert by_name["analyzer.b"].calls == 1
+        assert by_name["phase"].calls == 1
+
+    def test_totals_and_self_time(self):
+        stats = aggregate_spans(_tracer_with_spans().spans)
+        by_name = {s.name: s for s in stats}
+        phase = by_name["phase"]
+        children = by_name["analyzer.a"].total + by_name["analyzer.b"].total
+        assert phase.self_total == pytest.approx(phase.total - children)
+        for s in stats:
+            assert s.max >= s.p95 >= 0.0
+            assert s.total == pytest.approx(s.mean * s.calls)
+
+    def test_empty_spans(self):
+        assert aggregate_spans([]) == []
+        assert "no spans" in format_span_table([])
+
+
+class TestFormat:
+    def test_table_lists_every_name(self):
+        table = format_span_table(_tracer_with_spans().spans)
+        assert "analyzer.a" in table
+        assert "analyzer.b" in table
+        assert "phase" in table
+        assert "self%" in table
+
+    def test_share_column_sums_to_100(self):
+        table = format_span_table(_tracer_with_spans().spans)
+        shares = [float(line.rsplit(None, 1)[1].rstrip("%"))
+                  for line in table.splitlines()[1:]]
+        assert sum(shares) == pytest.approx(100.0, abs=0.5)
+
+    def test_metrics_section(self):
+        session = obs.configure()
+        obs.incr("files_analyzed", 7)
+        obs.gauge("apps", 2)
+        obs.observe("cv.fold_seconds", 0.25)
+        text = format_metrics(session.metrics)
+        assert "files_analyzed" in text
+        assert "cv.fold_seconds" in text
+        # span.* histograms are redundant with the span table
+        with obs.span("x"):
+            pass
+        assert "span.x.seconds" not in format_metrics(session.metrics)
+
+    def test_run_report_headline(self):
+        session = obs.configure()
+        with obs.span("analysis.cfg"):
+            pass
+        obs.incr("testbed.files_analyzed")
+        obs.disable()
+        report = format_run_report(session)
+        assert report.startswith("repro telemetry")
+        assert "analysis.cfg" in report
+        assert "testbed.files_analyzed" in report
+
+    def test_run_report_without_data(self):
+        session = obs.configure()
+        obs.disable()
+        report = format_run_report(session)
+        assert "no spans" in report
+        assert "no metrics" in report

@@ -1,10 +1,20 @@
 """CLI tests (invoking main() in-process)."""
 
+import json
 import pickle
 
 import pytest
 
+from repro import obs
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled():
+    """main() manages its own obs session; never leak one across tests."""
+    obs.disable()
+    yield
+    obs.disable()
 
 RISKY_C = (
     "#include <string.h>\n"
@@ -65,6 +75,75 @@ class TestAnalyze:
         with pytest.raises(SystemExit, match="no recognised"):
             main(["analyze", str(tmp_path)])
 
+    def test_json_output(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "risky"
+        assert payload["files"] == 1
+        assert payload["primary_language"] == "c"
+        features = payload["features"]
+        assert list(features) == sorted(features)
+        assert features["bugs.rule.unbounded-copy/strcpy_per_kloc"] > 0
+        assert isinstance(features["complexity.per_kloc"], float)
+
+    def test_json_matches_text_values(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree, "--json"]) == 0
+        features = json.loads(capsys.readouterr().out)["features"]
+        assert main(["analyze", risky_tree]) == 0
+        text = capsys.readouterr().out
+        assert f"{features['size.sample_loc']:12.4f}" in text
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_jsonl(self, risky_tree, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["--trace", trace, "analyze", risky_tree]) == 0
+        records = [json.loads(line) for line in open(trace)]
+        assert records, "trace file is empty"
+        for record in records:
+            assert sorted(record) == ["attrs", "duration", "name",
+                                      "parent", "span_id", "start"]
+        names = {r["name"] for r in records}
+        assert "testbed.extract_features" in names
+        assert "analysis.cfg" in names
+        # nested spans link to a recorded parent
+        ids = {r["span_id"] for r in records}
+        assert all(r["parent"] in ids for r in records
+                   if r["parent"] is not None)
+
+    def test_trace_flag_after_subcommand(self, risky_tree, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["analyze", risky_tree, "--trace", trace]) == 0
+        assert [json.loads(line) for line in open(trace)]
+
+    def test_trace_unwritable_path_fails_cleanly(self, risky_tree, capsys):
+        code = main(["analyze", risky_tree,
+                     "--trace", "/nonexistent-dir/t.jsonl"])
+        assert code == 1
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_profile_prints_telemetry(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "repro telemetry" in out
+        assert "per-phase / per-analyzer breakdown" in out
+        assert "analysis.cfg" in out
+        assert "testbed.files_analyzed" in out
+
+    def test_profile_survey(self, capsys):
+        assert main(["--profile", "survey", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "papers per evaluation style" in out
+        assert "repro telemetry" in out
+
+    def test_obs_disabled_after_run(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree, "--profile"]) == 0
+        assert not obs.is_enabled()
+
+    def test_no_flags_no_telemetry(self, risky_tree, capsys):
+        assert main(["analyze", risky_tree]) == 0
+        assert "repro telemetry" not in capsys.readouterr().out
+
 
 class TestAssess:
     def test_with_saved_model(self, risky_tree, model_path, capsys):
@@ -80,12 +159,62 @@ class TestAssess:
         with pytest.raises(SystemExit, match="not a saved model"):
             main(["assess", risky_tree, "--model", str(bogus)])
 
+    def test_corrupt_model_file(self, risky_tree, tmp_path):
+        corrupt = tmp_path / "corrupt.pkl"
+        corrupt.write_bytes(b"\x80\x04this is not a pickle at all")
+        with pytest.raises(SystemExit, match="not a readable model file"):
+            main(["assess", risky_tree, "--model", str(corrupt)])
+
+    def test_truncated_model_file(self, risky_tree, tmp_path, model_path):
+        truncated = tmp_path / "truncated.pkl"
+        truncated.write_bytes(open(model_path, "rb").read()[:64])
+        with pytest.raises(SystemExit, match="not a readable model file"):
+            main(["assess", risky_tree, "--model", str(truncated)])
+
+    def test_model_format_version_stamped(self, model_path):
+        from repro.core.model import SecurityModel
+
+        with open(model_path, "rb") as handle:
+            model = pickle.load(handle)
+        assert model.format_version == SecurityModel.FORMAT_VERSION
+
+    def test_model_format_version_mismatch(self, risky_tree, tmp_path,
+                                           model_path):
+        with open(model_path, "rb") as handle:
+            model = pickle.load(handle)
+        model.format_version = 0  # simulate a stale on-disk format
+        stale = tmp_path / "stale.pkl"
+        with open(stale, "wb") as handle:
+            pickle.dump(model, handle)
+        with pytest.raises(SystemExit, match="model format version"):
+            main(["assess", risky_tree, "--model", str(stale)])
+
 
 class TestGateAndCompare:
     def test_gate_identical_passes(self, risky_tree, model_path, capsys):
         code = main(["gate", risky_tree, risky_tree, "--model", model_path])
         assert code == 0
         assert "gate: pass" in capsys.readouterr().out
+
+    def test_gate_blocks_on_regression(self, risky_tree, safe_tree,
+                                       model_path, capsys, monkeypatch):
+        from repro.core.evaluator import ChangeEvaluator, RiskDelta, Verdict
+        from repro.core.model import RiskAssessment
+
+        regressed = RiskDelta(
+            before=RiskAssessment(probabilities={"h1": 0.2}, estimates={}),
+            after=RiskAssessment(probabilities={"h1": 0.8}, estimates={}),
+            verdict=Verdict.REGRESSED,
+            probability_deltas={"h1": 0.6},
+            moved_properties=[("complexity.total", 0.5)],
+        )
+        monkeypatch.setattr(ChangeEvaluator, "risk_delta",
+                            lambda self, before, after: regressed)
+        code = main(["gate", safe_tree, risky_tree, "--model", model_path])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gate: BLOCK" in out
+        assert "risk UP" in out
 
     def test_compare_reports_both(self, risky_tree, safe_tree, model_path,
                                   capsys):
