@@ -1,0 +1,81 @@
+"""Engine micro-benchmark — serial vs parallel vs warm-cache extraction.
+
+Times ``build_feature_table`` over a mid-sized corpus under the three
+engine configurations and prints the speedup table. The *correctness*
+claims (bit-identical rows everywhere) are asserted here too, but the
+timing assertions are deliberately one-sided: parallel extraction may
+not beat serial on a starved CI runner (this repo's reference machine
+has a single core), whereas a warm cache must always win by a wide
+margin because it does no extraction at all.
+
+Uses ``time.perf_counter`` rather than pytest-benchmark so the CI leg
+can run it with the baseline dependency set.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import build_feature_table
+from repro.engine import ExtractionEngine, FeatureCache
+
+N_APPS = 24
+
+
+@pytest.fixture(scope="module")
+def bench_corpus():
+    from repro.synth import build_corpus
+
+    return build_corpus(seed=5, limit=N_APPS)
+
+
+def _timed(corpus, engine):
+    start = time.perf_counter()
+    table = build_feature_table(corpus, engine=engine)
+    return time.perf_counter() - start, table
+
+
+def test_bench_engine(bench_corpus, tmp_path, table_printer):
+    obs.disable()
+    cache = FeatureCache(str(tmp_path / "cache"))
+
+    serial_s, serial = _timed(bench_corpus, ExtractionEngine(workers=1))
+    par2_s, par2 = _timed(bench_corpus, ExtractionEngine(workers=2))
+    par4_s, par4 = _timed(bench_corpus, ExtractionEngine(workers=4))
+    cold_s, cold = _timed(
+        bench_corpus, ExtractionEngine(workers=2, cache=cache)
+    )
+    warm_s, warm = _timed(
+        bench_corpus, ExtractionEngine(workers=2, cache=cache)
+    )
+
+    per_app_ms = serial_s / N_APPS * 1e3
+    rows = [
+        ("serial (workers=1)", f"{serial_s:8.3f}", "1.00x", "baseline"),
+        ("workers=2", f"{par2_s:8.3f}", f"{serial_s / par2_s:.2f}x", ""),
+        ("workers=4", f"{par4_s:8.3f}", f"{serial_s / par4_s:.2f}x", ""),
+        ("workers=2, cold cache", f"{cold_s:8.3f}",
+         f"{serial_s / cold_s:.2f}x", "populates cache"),
+        ("workers=2, warm cache", f"{warm_s:8.3f}",
+         f"{serial_s / warm_s:.2f}x", "zero extractions"),
+    ]
+    table_printer(
+        f"engine — {N_APPS}-app feature extraction "
+        f"({per_app_ms:.0f} ms/app serial)",
+        ("configuration", "seconds", "speedup", "note"),
+        rows,
+    )
+
+    # Correctness is non-negotiable regardless of the machine.
+    for table in (par2, par4, cold, warm):
+        assert table.rows == serial.rows
+        assert table.app_names == serial.app_names
+
+    # A warm cache skips extraction entirely; even with process-pool
+    # overhead it must clearly beat the serial cold path.
+    assert warm_s < serial_s / 2, (
+        f"warm cache {warm_s:.3f}s vs serial {serial_s:.3f}s"
+    )

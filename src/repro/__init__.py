@@ -16,11 +16,17 @@ as the paper's Figure 4 pipeline:
   commit histories, paper survey)
 - :mod:`repro.core` — the paper's contribution: feature testbed, CVE
   hypotheses, training pipeline, trained model, developer-facing evaluator
+- :mod:`repro.engine` — parallel, cache-aware execution layer for
+  corpus-scale feature extraction
+- :mod:`repro.obs` — tracing spans, metrics, and run reports
 """
 
 __version__ = "1.0.0"
 
-from repro import analysis, bugfind, core, cve, lang, ml, stats, surface, synth
+from repro import (
+    analysis, bugfind, core, cve, engine, lang, ml, stats, surface, synth,
+)
+from repro.engine import ExtractionEngine, FeatureCache
 from repro.core import (
     ChangeEvaluator,
     RiskAssessment,
@@ -34,6 +40,8 @@ from repro.synth import build_corpus
 __all__ = [
     "ChangeEvaluator",
     "Codebase",
+    "ExtractionEngine",
+    "FeatureCache",
     "RiskAssessment",
     "SecurityModel",
     "SourceFile",
@@ -42,6 +50,7 @@ __all__ = [
     "build_corpus",
     "core",
     "cve",
+    "engine",
     "extract_features",
     "lang",
     "ml",

@@ -22,6 +22,15 @@ Observability (accepted before or after the subcommand):
   per line: name, parent, start, duration, attrs).
 - ``--profile`` — print the ``repro telemetry`` report (per-analyzer /
   per-phase time breakdown plus counters) after the command finishes.
+
+Engine knobs (on ``analyze``, ``train``, and the model-using commands):
+
+- ``--workers N`` — fan feature extraction / corpus generation out
+  across N worker processes (default ``$REPRO_WORKERS`` or serial).
+- ``--cache-dir PATH`` — content-addressed feature cache; re-analysing
+  an unchanged tree is a read, not a recompute (default
+  ``$REPRO_CACHE_DIR`` or no cache).
+- ``--no-cache`` — force recomputation even when a cache is configured.
 """
 
 from __future__ import annotations
@@ -35,10 +44,10 @@ from typing import List, Optional
 from repro import obs
 from repro.bugfind.findings import Severity
 from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
-from repro.core.features import extract_features
 from repro.core.model import SecurityModel
 from repro.core.pipeline import train as train_pipeline
 from repro.core.report import format_assessment, format_delta
+from repro.engine import ExtractionEngine, FeatureCache
 from repro.lang import Codebase
 from repro.synth import build_corpus
 
@@ -50,12 +59,35 @@ def _load_codebase(path: str) -> Codebase:
     return codebase
 
 
-def _train_model(seed: int, apps: int, folds: int, quiet: bool = False):
+def _engine_from_args(args) -> ExtractionEngine:
+    """Build the extraction engine the command's knobs ask for.
+
+    Explicit flags win; unset flags fall back to the environment
+    (``REPRO_WORKERS``/``REPRO_CACHE_DIR``); ``--no-cache`` disables
+    caching even when the environment configures a cache dir.
+    """
+    env_engine = ExtractionEngine.from_env()
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = env_engine.workers
+    if getattr(args, "no_cache", False):
+        cache = None
+    elif getattr(args, "cache_dir", None):
+        cache = FeatureCache(args.cache_dir)
+    else:
+        cache = env_engine.cache
+    return ExtractionEngine(workers=workers, cache=cache)
+
+
+def _train_model(seed: int, apps: int, folds: int, quiet: bool = False,
+                 engine: Optional[ExtractionEngine] = None):
     if not quiet:
         print(f"training on a {apps}-app corpus (seed {seed}) ...",
               file=sys.stderr)
-    corpus = build_corpus(seed=seed, limit=apps)
-    return train_pipeline(corpus, k=folds, seed=seed)
+    if engine is None:
+        engine = ExtractionEngine.from_env()
+    corpus = build_corpus(seed=seed, limit=apps, workers=engine.workers)
+    return train_pipeline(corpus, k=folds, seed=seed, engine=engine)
 
 
 def _obtain_model(args) -> SecurityModel:
@@ -80,12 +112,14 @@ def _obtain_model(args) -> SecurityModel:
                 f"retrain with `repro train`"
             )
         return model
-    return _train_model(args.seed, args.apps, args.folds).model
+    return _train_model(args.seed, args.apps, args.folds,
+                        engine=_engine_from_args(args)).model
 
 
 def cmd_analyze(args) -> int:
     codebase = _load_codebase(args.path)
-    row = extract_features(codebase, include_dynamic=args.dynamic)
+    engine = _engine_from_args(args)
+    row = engine.extract_one(codebase, include_dynamic=args.dynamic)
     if args.json:
         payload = {
             "app": codebase.name,
@@ -103,7 +137,8 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_train(args) -> int:
-    result = _train_model(args.seed, args.apps, args.folds)
+    result = _train_model(args.seed, args.apps, args.folds,
+                          engine=_engine_from_args(args))
     print("cross-validated quality:")
     for hyp_id, metric, value in result.summary_rows():
         print(f"  {hyp_id:24s} {metric} = {value:.3f}")
@@ -116,7 +151,7 @@ def cmd_train(args) -> int:
 def cmd_assess(args) -> int:
     model = _obtain_model(args)
     codebase = _load_codebase(args.path)
-    features = extract_features(codebase)
+    features = _engine_from_args(args).extract_one(codebase)
     assessment = model.assess(features)
     print(format_assessment(codebase.name, assessment, model, features))
     return 0
@@ -221,6 +256,22 @@ def _add_obs_options(parser, top_level: bool) -> None:
              "after the command", **profile_kwargs)
 
 
+def _add_engine_options(parser) -> None:
+    """``--workers``/``--cache-dir``/``--no-cache`` for extraction-heavy
+    commands. Defaults fall back to ``REPRO_WORKERS``/``REPRO_CACHE_DIR``."""
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="parallel extraction worker processes (default: "
+             "$REPRO_WORKERS or 1)")
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="content-addressed feature cache directory (default: "
+             "$REPRO_CACHE_DIR or no cache)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the feature cache even if $REPRO_CACHE_DIR is set")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -243,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="corpus size when training on the fly")
         p.add_argument("--folds", type=int, default=5,
                        help="cross-validation folds")
+        _add_engine_options(p)
 
     p = add_parser("analyze", help="print every metric for a source tree")
     p.add_argument("path")
@@ -250,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include simulated dynamic-trace features")
     p.add_argument("--json", action="store_true",
                    help="emit the feature row as JSON (keys sorted)")
+    _add_engine_options(p)
     p.set_defaults(func=cmd_analyze)
 
     p = add_parser("train", help="train and save the security model")
@@ -257,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--apps", type=int, default=164)
     p.add_argument("--folds", type=int, default=10)
+    _add_engine_options(p)
     p.set_defaults(func=cmd_train)
 
     p = add_parser("assess", help="predict the hypotheses for a tree")

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.core.features import extract_features, feature_group
+from repro.core.features import feature_group
 from repro.core.hypotheses import (
     DEFAULT_HYPOTHESES,
     KIND_CLASSIFICATION,
@@ -22,6 +22,7 @@ from repro.core.hypotheses import (
 )
 from repro.core.model import SecurityModel
 from repro.cve.database import AppVulnSummary, CVEDatabase
+from repro.engine.scheduler import ExtractionEngine, ExtractionTask
 from repro.ml.crossval import (
     CVResult,
     cross_validate_classifier,
@@ -88,27 +89,43 @@ class FeatureTable:
 
 
 def build_feature_table(
-    corpus: Corpus, database: Optional[CVEDatabase] = None
+    corpus: Corpus,
+    database: Optional[CVEDatabase] = None,
+    engine: Optional[ExtractionEngine] = None,
 ) -> FeatureTable:
-    """Run the testbed over every application in ``corpus``."""
+    """Run the testbed over every application in ``corpus``.
+
+    Applications are processed in name-sorted order regardless of how
+    the corpus list happens to be arranged, so a shuffled corpus yields
+    a bit-identical table (and, downstream, identical model bytes).
+    With no explicit ``engine``, one is built from the environment
+    (``REPRO_WORKERS``/``REPRO_CACHE_DIR``) — serial and uncached when
+    those are unset.
+    """
     db = database if database is not None else corpus.database
-    names: List[str] = []
-    rows: List[Dict[str, float]] = []
-    summaries: List[AppVulnSummary] = []
-    with obs.span("testbed.build_feature_table", apps=len(corpus.apps)):
-        for app in corpus.apps:
-            names.append(app.name)
-            with obs.span("testbed.app", app=app.name):
-                rows.append(
-                    extract_features(
-                        app.codebase,
-                        nominal_kloc=app.profile.kloc,
-                        history=corpus.histories.get(app.name),
-                    )
-                )
-            summaries.append(db.summary(app.name))
-        obs.incr("testbed.apps_analyzed", len(corpus.apps))
-    return FeatureTable(tuple(names), tuple(rows), tuple(summaries))
+    if engine is None:
+        engine = ExtractionEngine.from_env()
+    apps = sorted(corpus.apps, key=lambda app: app.name)
+    if len({app.name for app in apps}) != len(apps):
+        raise ValueError(
+            "corpus app names must be unique for deterministic row order"
+        )
+    tasks = [
+        ExtractionTask(
+            name=app.name,
+            codebase=app.codebase,
+            nominal_kloc=app.profile.kloc,
+            history=corpus.histories.get(app.name),
+        )
+        for app in apps
+    ]
+    with obs.span("testbed.build_feature_table", apps=len(apps),
+                  workers=engine.workers):
+        rows = engine.extract_rows(tasks)
+        obs.incr("testbed.apps_analyzed", len(apps))
+    names = tuple(app.name for app in apps)
+    summaries = tuple(db.summary(app.name) for app in apps)
+    return FeatureTable(names, tuple(rows), summaries)
 
 
 @dataclass
@@ -168,6 +185,7 @@ def train(
     table: Optional[FeatureTable] = None,
     top_k_features: Optional[int] = None,
     selection_method: str = "information_gain",
+    engine: Optional[ExtractionEngine] = None,
 ) -> TrainingResult:
     """Train the full model with k-fold cross-validation per hypothesis.
 
@@ -178,7 +196,7 @@ def train(
     *first* hypothesis (so one shared feature space serves the model).
     """
     if table is None:
-        table = build_feature_table(corpus)
+        table = build_feature_table(corpus, engine=engine)
     if top_k_features is not None:
         with obs.span("train.select_features", k=top_k_features,
                       method=selection_method):

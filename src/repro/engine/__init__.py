@@ -1,0 +1,47 @@
+"""Parallel, cache-aware execution engine for the testbed.
+
+The paper's framework must run "all the code properties" analyzers over
+hundreds of applications (§5.1); this package is the layer that makes
+that corpus-scale extraction fast and incremental:
+
+- :mod:`repro.engine.digest` — content-addressed keys over codebase
+  bytes, commit history, extraction args, and the analyzer-set version;
+- :mod:`repro.engine.cache` — a JSON feature cache under a directory,
+  robust to corruption, with hit/miss counters in :mod:`repro.obs`;
+- :mod:`repro.engine.scheduler` — a process-pool scheduler with a
+  serial fallback sharing the same code path, plus the generic
+  :func:`~repro.engine.scheduler.parallel_map` primitive the corpus
+  builder reuses.
+
+Results are deterministic: rows merge in task order and are
+bit-identical to a serial uncached run.
+"""
+
+from repro.engine.cache import CACHE_FORMAT_VERSION, FeatureCache
+from repro.engine.digest import (
+    ANALYZER_SET_VERSION,
+    codebase_digest,
+    history_digest,
+    task_digest,
+)
+from repro.engine.scheduler import (
+    CACHE_DIR_ENV,
+    WORKERS_ENV,
+    ExtractionEngine,
+    ExtractionTask,
+    parallel_map,
+)
+
+__all__ = [
+    "ANALYZER_SET_VERSION",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "ExtractionEngine",
+    "ExtractionTask",
+    "FeatureCache",
+    "WORKERS_ENV",
+    "codebase_digest",
+    "history_digest",
+    "parallel_map",
+    "task_digest",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed feature cache: JSON rows keyed by task digest.
+
+Layout (under ``cache_dir``)::
+
+    <cache_dir>/<d[:2]>/<digest>.json
+
+Entries are sharded by the first two hex characters of the digest so a
+corpus-scale cache never piles tens of thousands of files into one
+directory. Each entry carries::
+
+    {"cache_format": 1, "analyzer_version": "...", "app": "...",
+     "row": {"size.kloc": 8.0, ...}}
+
+``cache_format`` guards the entry layout itself; ``analyzer_version``
+re-checks the analyzer set (it is already folded into the digest, so a
+mismatch here means a hand-edited or collided entry — treated as a
+miss). Rows are stored without key sorting so a cached row round-trips
+with the exact key order ``extract_features`` produced, keeping cached
+and cold results bit-identical.
+
+Robustness: any unreadable, truncated, corrupt, or wrong-shape entry is
+a *miss* (counted separately as an error), never an exception — the
+engine recomputes and overwrites it. Writes go through a temp file and
+``os.replace`` so a crashed run can leave at worst a stale temp file,
+not a half-written entry.
+
+Counters (live in the :mod:`repro.obs` registry when enabled):
+``engine.cache.hits`` / ``.misses`` / ``.stores`` / ``.errors``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro import obs
+from repro.engine.digest import ANALYZER_SET_VERSION
+
+#: Bump when the entry layout (not the analyzer set) changes.
+CACHE_FORMAT_VERSION = 1
+
+
+class FeatureCache:
+    """A directory of content-addressed feature rows."""
+
+    def __init__(self, cache_dir: str,
+                 analyzer_version: str = ANALYZER_SET_VERSION):
+        self.cache_dir = cache_dir
+        self.analyzer_version = analyzer_version
+
+    def entry_path(self, digest: str) -> str:
+        """Where the entry for ``digest`` lives (shard dir + file)."""
+        return os.path.join(self.cache_dir, digest[:2], f"{digest}.json")
+
+    def get(self, digest: str) -> Optional[Dict[str, float]]:
+        """The cached row for ``digest``, or None on miss/corruption."""
+        try:
+            with open(self.entry_path(digest), encoding="utf-8") as handle:
+                entry = json.load(handle)
+            row = self._validate(entry)
+        except FileNotFoundError:
+            obs.incr("engine.cache.misses")
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError, TypeError, KeyError):
+            # Corrupt/truncated/foreign file: recompute rather than crash.
+            obs.incr("engine.cache.errors")
+            obs.incr("engine.cache.misses")
+            return None
+        obs.incr("engine.cache.hits")
+        return row
+
+    def put(self, digest: str, row: Dict[str, float],
+            app: str = "") -> None:
+        """Store ``row`` under ``digest`` (atomic; best-effort on OSError)."""
+        entry = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "analyzer_version": self.analyzer_version,
+            "app": app,
+            "row": row,
+        }
+        path = self.entry_path(digest)
+        shard = os.path.dirname(path)
+        try:
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache dir degrades to no caching.
+            obs.incr("engine.cache.errors")
+            return
+        obs.incr("engine.cache.stores")
+
+    def _validate(self, entry: object) -> Dict[str, float]:
+        """Check an entry's shape; raise ValueError on anything off."""
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+        if entry.get("cache_format") != CACHE_FORMAT_VERSION:
+            raise ValueError("wrong cache format version")
+        if entry.get("analyzer_version") != self.analyzer_version:
+            raise ValueError("wrong analyzer version")
+        row = entry.get("row")
+        if not isinstance(row, dict):
+            raise ValueError("row is not an object")
+        out: Dict[str, float] = {}
+        for key, value in row.items():
+            if not isinstance(key, str) or isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                raise ValueError("row is not a {str: number} mapping")
+            out[key] = float(value)
+        return out

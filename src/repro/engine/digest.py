@@ -1,0 +1,99 @@
+"""Content-addressed digests for the feature cache.
+
+A cache entry is valid only while *everything* that feeds the feature
+row is unchanged: the codebase's file contents (and their paths — a
+rename moves findings), the commit history behind the churn features,
+the extraction arguments, and the analyzer set itself. Each of those is
+folded into one hex key here.
+
+The digest deliberately ignores *how* a :class:`~repro.lang.sourcefile.
+Codebase` was assembled: files are hashed in path-sorted order, so two
+byte-identical codebases built in different insertion orders (or loaded
+from disk vs memory) share a key, while editing, adding, deleting, or
+renaming any file produces a new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.analysis.churn import CommitHistory
+from repro.lang.sourcefile import Codebase
+
+#: Version of the analyzer set feeding :func:`repro.core.features
+#: .extract_features`. Bump whenever any analyzer, the bug-finding
+#: rules, or the feature-row schema changes in a way that alters
+#: emitted values — every cached entry keyed on the old version then
+#: misses cleanly instead of serving stale rows.
+ANALYZER_SET_VERSION = "2026.08.06-1"
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.sha256()
+
+
+def codebase_digest(codebase: Codebase) -> str:
+    """Digest of a codebase's contents, invariant to assembly order.
+
+    Hashes ``(path, language, sha256(text))`` per file, iterating in the
+    codebase's canonical path-sorted order. The application *name* is
+    excluded on purpose: the same tree analysed under two names yields
+    the same features (only densities and counts depend on content).
+    """
+    h = _hasher()
+    for source in codebase.files:
+        h.update(source.path.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(source.language.encode("ascii"))
+        h.update(b"\x00")
+        h.update(hashlib.sha256(source.text.encode("utf-8")).digest())
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def history_digest(history: Optional[CommitHistory]) -> str:
+    """Digest of a commit history (empty-string sentinel hashed for None)."""
+    h = _hasher()
+    if history is None:
+        h.update(b"no-history")
+        return h.hexdigest()
+    for commit in history.commits:
+        h.update(commit.author.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(str(commit.day).encode("ascii"))
+        for delta in commit.deltas:
+            h.update(b"\x00")
+            h.update(delta.path.encode("utf-8"))
+            h.update(
+                f":{delta.lines_added}:{delta.lines_deleted}".encode("ascii")
+            )
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def task_digest(
+    codebase: Codebase,
+    nominal_kloc: Optional[float] = None,
+    history: Optional[CommitHistory] = None,
+    include_dynamic: bool = False,
+    analyzer_version: str = ANALYZER_SET_VERSION,
+) -> str:
+    """The cache key for one feature-extraction task.
+
+    Combines the codebase and history digests with the extraction
+    arguments and the analyzer-set version. ``nominal_kloc`` enters via
+    ``repr`` so the float round-trips exactly.
+    """
+    payload = json.dumps(
+        {
+            "analyzer_version": analyzer_version,
+            "codebase": codebase_digest(codebase),
+            "history": history_digest(history),
+            "include_dynamic": include_dynamic,
+            "nominal_kloc": repr(nominal_kloc),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()

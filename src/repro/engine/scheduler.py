@@ -1,0 +1,269 @@
+"""Parallel, cache-aware execution layer for feature extraction.
+
+Two layers live here:
+
+- :func:`parallel_map` — a generic ordered fan-out primitive. With
+  ``workers > 1`` it runs the function across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; with ``workers <= 1``
+  a lazy in-process pool stands in, so the serial fallback exercises the
+  *same* submit/collect code path (results are always merged in input
+  order, never completion order — determinism does not depend on the
+  scheduler's timing).
+- :class:`ExtractionEngine` — the feature-extraction scheduler the
+  pipeline and CLI use. Per task it consults the content-addressed
+  :class:`~repro.engine.cache.FeatureCache` (when configured), fans
+  misses out across workers, grafts the workers' tracing spans and
+  counters back into the parent :mod:`repro.obs` session, and stores
+  fresh rows back to the cache.
+
+Worker processes re-import this module, so the task payload must stay
+picklable: :class:`~repro.lang.sourcefile.SourceFile` serialises as
+(path, text, language) and re-lexes lazily on the far side.
+
+Results are bit-identical to the serial uncached path by construction:
+the same ``extract_features`` runs either way, rows are merged by task
+index, and cached rows round-trip through JSON with exact float and
+key-order fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar,
+)
+
+from repro import obs
+from repro.analysis.churn import CommitHistory
+from repro.engine.cache import FeatureCache
+from repro.engine.digest import task_digest
+from repro.lang.sourcefile import Codebase
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knobs the default engine honours (what the CI matrix leg
+#: sets to run the whole suite through the parallel/cached path).
+WORKERS_ENV = "REPRO_WORKERS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class _LazyFuture:
+    """A future that computes on ``result()`` — the serial pool's unit.
+
+    Laziness matters: it keeps execution inside the caller's collect
+    loop (and therefore inside the caller's per-task tracing span),
+    exactly where a process-pool future's wait happens.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, fn: Callable[..., R], args: tuple):
+        self._fn = fn
+        self._args = args
+
+    def result(self) -> R:
+        return self._fn(*self._args)
+
+
+class _SerialPool:
+    """Drop-in for ProcessPoolExecutor that runs in-process."""
+
+    def __enter__(self) -> "_SerialPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def submit(self, fn: Callable[..., R], *args: Any) -> _LazyFuture:
+        return _LazyFuture(fn, args)
+
+
+def make_pool(workers: int, n_tasks: int):
+    """The right executor for ``workers`` parallel slots over ``n_tasks``."""
+    if workers <= 1 or n_tasks <= 1:
+        return _SerialPool()
+    return ProcessPoolExecutor(max_workers=min(workers, n_tasks))
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], workers: int = 1
+) -> List[R]:
+    """Map ``fn`` over ``items``, fanning out across processes.
+
+    Results come back in input order regardless of completion order.
+    ``fn`` and each item must be picklable when ``workers > 1``.
+    """
+    items = list(items)
+    with make_pool(workers, len(items)) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+@dataclass(frozen=True)
+class ExtractionTask:
+    """One unit of testbed work: an app's codebase plus extraction args."""
+
+    name: str
+    codebase: Codebase
+    nominal_kloc: Optional[float] = None
+    history: Optional[CommitHistory] = None
+    include_dynamic: bool = False
+
+
+@dataclass
+class _WorkerResult:
+    """A row plus the worker's telemetry shipment (None when serial)."""
+
+    row: Dict[str, float]
+    span_records: Optional[List[Dict[str, Any]]] = None
+    counters: Optional[Dict[str, float]] = None
+
+
+def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
+    """Run one extraction; in capture mode, also ship telemetry home.
+
+    Module-level so it pickles into worker processes. ``capture_obs``
+    is set only for true multi-process runs with an active parent
+    session: the worker then records into its own private session and
+    returns the finished spans/counters for grafting. Serial runs leave
+    it False so spans land directly (and nest naturally) in the
+    caller's session.
+    """
+    from repro.core.features import extract_features
+
+    session = obs.configure() if capture_obs else None
+    try:
+        with obs.span("engine.worker", pid=os.getpid(), app=task.name):
+            row = extract_features(
+                task.codebase,
+                nominal_kloc=task.nominal_kloc,
+                history=task.history,
+                include_dynamic=task.include_dynamic,
+            )
+    finally:
+        if session is not None:
+            obs.disable()
+    # Normalise to builtin floats: numpy scalars compare equal but repr
+    # (and pickle) differently from the floats a JSON cache round-trip
+    # yields, which would make warm rows distinguishable from cold ones.
+    row = {key: float(value) for key, value in row.items()}
+    if session is None:
+        return _WorkerResult(row=row)
+    return _WorkerResult(
+        row=row,
+        span_records=session.tracer.records(),
+        counters=session.metrics.snapshot()["counters"],
+    )
+
+
+class ExtractionEngine:
+    """Schedules feature extraction across workers and the cache.
+
+    Args:
+        workers: parallel worker processes; 1 (the default) runs
+            everything in-process through the same scheduling code.
+        cache: optional :class:`FeatureCache`; misses are computed and
+            stored back, hits skip extraction entirely.
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[FeatureCache] = None):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+
+    @classmethod
+    def from_env(cls) -> "ExtractionEngine":
+        """Engine configured from ``REPRO_WORKERS``/``REPRO_CACHE_DIR``.
+
+        This is the default engine the pipeline builds when none is
+        passed explicitly, which lets CI (or a user shell) route every
+        extraction in the process through the parallel/cached path
+        without touching call sites. Unset variables mean serial and
+        uncached — the seed behaviour.
+        """
+        try:
+            workers = int(os.environ.get(WORKERS_ENV, "1"))
+        except ValueError:
+            workers = 1
+        cache_dir = os.environ.get(CACHE_DIR_ENV)
+        cache = FeatureCache(cache_dir) if cache_dir else None
+        return cls(workers=workers, cache=cache)
+
+    def extract_rows(
+        self, tasks: Sequence[ExtractionTask]
+    ) -> List[Dict[str, float]]:
+        """Feature rows for ``tasks``, in task order.
+
+        Rows are merged strictly by task index; neither worker
+        completion order nor the hit/miss split can reorder them.
+        """
+        tasks = list(tasks)
+        results: List[Optional[Dict[str, float]]] = [None] * len(tasks)
+        digests: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        with obs.span("engine.extract", apps=len(tasks),
+                      workers=self.workers,
+                      cache=self.cache is not None):
+            for index, task in enumerate(tasks):
+                if self.cache is not None:
+                    with obs.span("engine.cache.lookup", app=task.name):
+                        digests[index] = task_digest(
+                            task.codebase,
+                            nominal_kloc=task.nominal_kloc,
+                            history=task.history,
+                            include_dynamic=task.include_dynamic,
+                            analyzer_version=self.cache.analyzer_version,
+                        )
+                        row = self.cache.get(digests[index])
+                    if row is not None:
+                        with obs.span("testbed.app", app=task.name,
+                                      cached=True):
+                            results[index] = row
+                        continue
+                pending.append(index)
+            # Capture only when tasks truly leave the process: make_pool
+            # stays serial for a single task even with workers > 1, and
+            # an in-process obs.configure() would clobber the caller's
+            # session.
+            in_processes = self.workers > 1 and len(pending) > 1
+            capture = in_processes and obs.is_enabled()
+            with make_pool(self.workers, len(pending)) as pool:
+                futures = [
+                    (index, pool.submit(_execute_task, tasks[index], capture))
+                    for index in pending
+                ]
+                for index, future in futures:
+                    task = tasks[index]
+                    with obs.span("testbed.app", app=task.name,
+                                  cached=False):
+                        outcome = future.result()
+                        if outcome.span_records:
+                            obs.graft_spans(outcome.span_records)
+                        if outcome.counters:
+                            obs.merge_counters(outcome.counters)
+                    results[index] = outcome.row
+                    obs.incr("engine.extracted")
+                    if self.cache is not None and digests[index] is not None:
+                        self.cache.put(digests[index], outcome.row,
+                                       app=task.name)
+        return results  # type: ignore[return-value]
+
+    def extract_one(
+        self,
+        codebase: Codebase,
+        nominal_kloc: Optional[float] = None,
+        history: Optional[CommitHistory] = None,
+        include_dynamic: bool = False,
+    ) -> Dict[str, float]:
+        """Cache-aware extraction for a single codebase."""
+        task = ExtractionTask(
+            name=codebase.name,
+            codebase=codebase,
+            nominal_kloc=nominal_kloc,
+            history=history,
+            include_dynamic=include_dynamic,
+        )
+        return self.extract_rows([task])[0]

@@ -29,6 +29,20 @@ class SourceFile:
         self.spec = spec
         self._tokens: Optional[List[Token]] = None
 
+    def __getstate__(self) -> dict:
+        # Ship only path/text/language-name across process boundaries:
+        # the token cache re-lexes lazily on the other side, and the spec
+        # is re-resolved by name so it stays the module singleton that
+        # identity checks (``f.spec is spec``) rely on.
+        return {"path": self.path, "text": self.text,
+                "language": self.spec.name}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self.text = state["text"]
+        self.spec = language_by_name(state["language"])
+        self._tokens = None
+
     @property
     def tokens(self) -> List[Token]:
         """The file's token stream (lexed on first access, then cached)."""

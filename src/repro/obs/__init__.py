@@ -47,8 +47,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_SPAN",
     "NullSpan", "ObsSession", "SPAN_RECORD_KEYS", "Span", "Tracer",
     "active", "aggregate_spans", "configure", "disable",
-    "format_run_report", "gauge", "incr", "is_enabled", "observe",
-    "percentile", "read_jsonl", "span", "trace_lines", "write_jsonl",
+    "format_run_report", "gauge", "graft_spans", "incr", "is_enabled",
+    "merge_counters", "observe", "percentile", "read_jsonl", "span",
+    "trace_lines", "write_jsonl",
 ]
 
 
@@ -128,3 +129,23 @@ def observe(name: str, value: float) -> None:
     session = _session
     if session is not None:
         session.metrics.histogram(name).observe(value)
+
+
+def graft_spans(records) -> None:
+    """Replay span records from a worker process (no-op when disabled).
+
+    ``records`` is a list of export dicts as produced by
+    :meth:`~repro.obs.tracer.Tracer.records` in the worker's session.
+    """
+    session = _session
+    if session is not None and records:
+        session.tracer.graft(records)
+
+
+def merge_counters(counters) -> None:
+    """Fold a worker's ``{name: value}`` counter snapshot into this
+    session's registry (no-op when disabled)."""
+    session = _session
+    if session is not None and counters:
+        for name, value in counters.items():
+            session.metrics.counter(name).inc(value)

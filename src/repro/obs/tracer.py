@@ -63,6 +63,52 @@ class Tracer:
         if self._on_finish is not None:
             self._on_finish(span)
 
+    # -- cross-process replay ----------------------------------------------
+
+    def graft(self, records: List[Dict[str, Any]]) -> List[Span]:
+        """Append pre-timed span records from another tracer.
+
+        The parallel engine runs analyzers in worker processes, each with
+        its own session; the workers ship their finished spans back as
+        export records (:meth:`records`) and the parent grafts them here
+        so ``--profile`` and ``--trace`` see one unified tree. Span ids
+        are remapped into this tracer's id space, records whose parent is
+        outside the shipment hang off the currently open span, and starts
+        are shifted so the subtree sits at the current wall position.
+        Parent ``child_time`` is reconstructed from the shipped tree so
+        self-time accounting stays truthful.
+        """
+        id_map: Dict[int, int] = {}
+        grafted: Dict[int, Span] = {}
+        attach_parent = self._stack[-1] if self._stack else None
+        offset = self.wall_seconds - min(
+            (r["start"] for r in records), default=0.0
+        )
+        out: List[Span] = []
+        for record in records:
+            span = Span(self, record["name"], dict(record.get("attrs", {})))
+            span.span_id = self._next_id
+            self._next_id += 1
+            id_map[record["span_id"]] = span.span_id
+            grafted[span.span_id] = span
+            parent = record.get("parent")
+            if parent is not None and parent in id_map:
+                span.parent_id = id_map[parent]
+                grafted[span.parent_id].child_time += record["duration"]
+            else:
+                span.parent_id = (
+                    attach_parent.span_id if attach_parent else None
+                )
+                if attach_parent is not None:
+                    attach_parent.child_time += record["duration"]
+            span.start = record["start"] + offset
+            span.duration = record["duration"]
+            self.spans.append(span)
+            out.append(span)
+            if self._on_finish is not None:
+                self._on_finish(span)
+        return out
+
     # -- introspection ------------------------------------------------------
 
     @property

@@ -429,7 +429,21 @@ def generate_apps(
     profiles: Sequence[AppProfile],
     seed: int = 0,
     config: Optional[GeneratorConfig] = None,
+    workers: int = 1,
 ) -> List[SyntheticApp]:
-    """Generate sampled codebases for every profile."""
+    """Generate sampled codebases for every profile.
+
+    Each app is seeded independently (``f"{seed}:{name}:code"``), so
+    fanning generation across ``workers`` processes cannot change the
+    output: results are merged in profile order either way.
+    """
+    import functools
+
+    from repro.engine.scheduler import parallel_map
+
     cfg = config or GeneratorConfig()
-    return [generate_app(p, seed=seed, config=cfg) for p in profiles]
+    return parallel_map(
+        functools.partial(generate_app, seed=seed, config=cfg),
+        profiles,
+        workers=workers,
+    )

@@ -7,6 +7,7 @@ histories, and the CVE database, all deterministically from one seed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -48,6 +49,7 @@ def build_corpus(
     seed: int = 0,
     limit: Optional[int] = None,
     config: Optional[GeneratorConfig] = None,
+    workers: Optional[int] = None,
 ) -> Corpus:
     """Build the calibrated corpus.
 
@@ -58,7 +60,17 @@ def build_corpus(
             cost). The CVE database always covers all 164 profiles so the
             corpus-level calibration statistics stay valid.
         config: source-generator tunables.
+        workers: fan app generation out across this many processes
+            (per-app seeding keeps the result independent of the worker
+            count); None reads ``REPRO_WORKERS`` from the environment.
     """
+    if workers is None:
+        from repro.engine.scheduler import WORKERS_ENV
+
+        try:
+            workers = int(os.environ.get(WORKERS_ENV, "1"))
+        except ValueError:
+            workers = 1
     with obs.span("corpus.build", seed=seed,
                   limit=-1 if limit is None else limit):
         with obs.span("corpus.profiles"):
@@ -67,8 +79,9 @@ def build_corpus(
             database = generate_database(profiles, seed=seed)
         if limit is not None:
             profiles = profiles[:limit]
-        with obs.span("corpus.apps", apps=len(profiles)):
-            apps = generate_apps(profiles, seed=seed, config=config)
+        with obs.span("corpus.apps", apps=len(profiles), workers=workers):
+            apps = generate_apps(profiles, seed=seed, config=config,
+                                 workers=workers)
         with obs.span("corpus.histories"):
             histories = {
                 app.name: history_for_app(app, seed=seed) for app in apps

@@ -58,6 +58,40 @@ class TestTraining:
         }
 
 
+class TestDeterministicOrdering:
+    def test_app_names_come_out_sorted(self, small_training):
+        names = list(small_training.table.app_names)
+        assert names == sorted(names)
+
+    def test_shuffled_corpus_trains_identical_model_bytes(
+        self, small_corpus, small_training
+    ):
+        """Row order is by app name, never by corpus storage order."""
+        import pickle
+        import random
+        from dataclasses import replace
+
+        shuffled_apps = list(small_corpus.apps)
+        random.Random(3).shuffle(shuffled_apps)
+        assert [a.name for a in shuffled_apps] != \
+            [a.name for a in small_corpus.apps]
+        shuffled = replace(small_corpus, apps=shuffled_apps)
+        result = train(shuffled, k=4, seed=7)
+        assert result.table.app_names == small_training.table.app_names
+        assert result.table.rows == small_training.table.rows
+        assert pickle.dumps(result.model) == \
+            pickle.dumps(small_training.model)
+
+    def test_duplicate_app_names_rejected(self, small_corpus):
+        from dataclasses import replace
+
+        doubled = replace(
+            small_corpus, apps=list(small_corpus.apps) + [small_corpus.apps[0]]
+        )
+        with pytest.raises(ValueError, match="unique"):
+            build_feature_table(doubled)
+
+
 class TestSecurityModel:
     def test_assess_shape(self, small_training):
         row = small_training.table.rows[0]

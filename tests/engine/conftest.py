@@ -1,0 +1,39 @@
+"""Engine-test fixtures: a small corpus and its serial reference table.
+
+The corpus is module-expensive, so both are session-scoped; every
+equivalence check compares against the one serial uncached ``reference``
+extraction, which is the behaviour the seed pipeline had.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_isolated():
+    """Engine tests manage their own obs sessions; never leak one."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="session")
+def engine_corpus():
+    """A 6-app corpus dedicated to engine tests (seed 11)."""
+    from repro.synth import build_corpus
+
+    return build_corpus(seed=11, limit=6)
+
+
+@pytest.fixture(scope="session")
+def reference_table(engine_corpus):
+    """The serial, uncached feature table — the ground truth."""
+    from repro.core.pipeline import build_feature_table
+    from repro.engine import ExtractionEngine
+
+    return build_feature_table(
+        engine_corpus, engine=ExtractionEngine(workers=1, cache=None)
+    )

@@ -1,0 +1,233 @@
+"""Property/fuzz tests for the content-addressed cache and its digests.
+
+Invariants under test:
+
+- any semantic change to the inputs (edit/add/delete/rename a file,
+  different history, different extraction args) changes the digest;
+- byte-identical re-layouts (assembly order, application name) do not;
+- corrupt, truncated, or foreign cache entries are misses that fall
+  back to recomputation — never exceptions.
+
+Fuzzing uses the stdlib ``random`` with fixed seeds so failures
+reproduce exactly (and CI needs no extra packages).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.analysis.churn import Commit, CommitHistory, FileDelta
+from repro.engine import (
+    ANALYZER_SET_VERSION,
+    ExtractionEngine,
+    FeatureCache,
+    codebase_digest,
+    history_digest,
+    task_digest,
+)
+from repro.engine.cache import CACHE_FORMAT_VERSION
+from repro.lang import Codebase, SourceFile
+
+BASE_SOURCES = {
+    "src/a.c": "int f(int x) {\n    if (x > 1) {\n        x = x - 1;\n    }\n    return x + 1;\n}\n",
+    "src/b.py": "def g(y):\n    return y * 2\n",
+    "src/c.java": "public class C {\n    int h() { return 3; }\n}\n",
+    "src/d.cc": "int k(int z) {\n    return z - 4;\n}\n",
+}
+
+
+def base_codebase(name="app", sources=None):
+    return Codebase.from_sources(name, dict(sources or BASE_SOURCES))
+
+
+def _mutate(rng, sources):
+    """One random semantic mutation; returns (kind, new sources)."""
+    out = dict(sources)
+    kinds = ("edit", "add", "delete", "rename") if len(out) > 1 \
+        else ("edit", "add", "rename")
+    kind = rng.choice(kinds)
+    path = rng.choice(sorted(out))
+    if kind == "edit":
+        out[path] = out[path] + f"// tweak {rng.randrange(10**6)}\n" \
+            if not path.endswith(".py") else \
+            out[path] + f"# tweak {rng.randrange(10**6)}\n"
+    elif kind == "add":
+        ext = rng.choice((".c", ".py", ".java", ".cc"))
+        out[f"src/new_{rng.randrange(10**6)}{ext}"] = "int q;\n" \
+            if ext != ".py" else "q = 1\n"
+    elif kind == "delete":
+        del out[path]
+    else:  # rename: same bytes, fresh unique path
+        new_path = f"moved_{rng.randrange(10**6)}/{path.rsplit('/', 1)[-1]}"
+        out[new_path] = out.pop(path)
+    return kind, out
+
+
+class TestDigestInvariance:
+    def test_relayout_does_not_change_digest(self):
+        reference = codebase_digest(base_codebase())
+        files = [SourceFile(p, t) for p, t in BASE_SOURCES.items()]
+        rng = random.Random(1)
+        for _ in range(10):
+            rng.shuffle(files)
+            rebuilt = Codebase("app", files)
+            assert codebase_digest(rebuilt) == reference
+
+    def test_application_name_excluded(self):
+        assert codebase_digest(base_codebase("a")) == \
+            codebase_digest(base_codebase("b"))
+
+    def test_disk_roundtrip_same_digest(self, tmp_path):
+        for path, text in BASE_SOURCES.items():
+            full = tmp_path / path
+            full.parent.mkdir(parents=True, exist_ok=True)
+            full.write_text(text)
+        loaded = Codebase.from_directory(str(tmp_path))
+        assert codebase_digest(loaded) == codebase_digest(base_codebase())
+
+    def test_digest_is_stable_across_calls(self):
+        cb = base_codebase()
+        assert codebase_digest(cb) == codebase_digest(cb)
+
+
+class TestDigestSensitivity:
+    def test_fuzzed_mutations_change_digest(self):
+        rng = random.Random(42)
+        reference = codebase_digest(base_codebase())
+        seen_kinds = set()
+        for trial in range(40):
+            kind, mutated = _mutate(rng, BASE_SOURCES)
+            seen_kinds.add(kind)
+            digest = codebase_digest(base_codebase(sources=mutated))
+            assert digest != reference, (trial, kind)
+        assert seen_kinds == {"edit", "add", "delete", "rename"}
+
+    def test_mutation_chains_stay_distinct_until_reverted(self):
+        rng = random.Random(7)
+        sources = dict(BASE_SOURCES)
+        digests = {codebase_digest(base_codebase())}
+        for _ in range(15):
+            _, sources = _mutate(rng, sources)
+            digests.add(codebase_digest(base_codebase(sources=sources)))
+        # every intermediate state hashed uniquely
+        assert len(digests) == 16
+        # reverting to the original bytes restores the original digest
+        assert codebase_digest(base_codebase(sources=BASE_SOURCES)) in digests
+
+    def test_rename_changes_digest_even_with_same_bytes(self):
+        renamed = dict(BASE_SOURCES)
+        renamed["src/a_renamed.c"] = renamed.pop("src/a.c")
+        assert codebase_digest(base_codebase(sources=renamed)) != \
+            codebase_digest(base_codebase())
+
+
+class TestTaskDigest:
+    def _history(self, day=1):
+        return CommitHistory(commits=[
+            Commit(author="ada", day=day,
+                   deltas=(FileDelta("src/a.c", 5, 1),)),
+        ])
+
+    def test_extraction_args_enter_the_key(self):
+        cb = base_codebase()
+        base = task_digest(cb)
+        assert task_digest(cb, nominal_kloc=12.0) != base
+        assert task_digest(cb, include_dynamic=True) != base
+        assert task_digest(cb, history=self._history()) != base
+        assert task_digest(cb, analyzer_version="other") != base
+
+    def test_history_contents_matter(self):
+        cb = base_codebase()
+        assert task_digest(cb, history=self._history(day=1)) != \
+            task_digest(cb, history=self._history(day=2))
+        assert history_digest(None) != history_digest(CommitHistory())
+
+    def test_same_inputs_same_key(self):
+        cb = base_codebase()
+        assert task_digest(cb, nominal_kloc=3.5,
+                           history=self._history()) == \
+            task_digest(base_codebase(), nominal_kloc=3.5,
+                        history=self._history())
+
+
+def _corruptions():
+    """(name, writer) pairs producing broken cache-entry bytes."""
+    valid = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "analyzer_version": ANALYZER_SET_VERSION,
+        "app": "app",
+        "row": {"size.kloc": 1.0},
+    }
+    return [
+        ("empty", lambda p: p.write_text("")),
+        ("garbage", lambda p: p.write_bytes(b"\x00\xff not json at all")),
+        ("truncated", lambda p: p.write_text(
+            json.dumps(valid)[: len(json.dumps(valid)) // 2])),
+        ("json_list", lambda p: p.write_text("[1, 2, 3]")),
+        ("wrong_cache_format", lambda p: p.write_text(
+            json.dumps({**valid, "cache_format": CACHE_FORMAT_VERSION + 9}))),
+        ("wrong_analyzer_version", lambda p: p.write_text(
+            json.dumps({**valid, "analyzer_version": "stale"}))),
+        ("row_not_object", lambda p: p.write_text(
+            json.dumps({**valid, "row": [1.0]}))),
+        ("row_value_not_number", lambda p: p.write_text(
+            json.dumps({**valid, "row": {"size.kloc": "big"}}))),
+        ("row_value_bool", lambda p: p.write_text(
+            json.dumps({**valid, "row": {"size.kloc": True}}))),
+        ("missing_row", lambda p: p.write_text(
+            json.dumps({k: v for k, v in valid.items() if k != "row"}))),
+    ]
+
+
+class TestCorruptEntries:
+    @pytest.mark.parametrize(
+        "name,corrupt", _corruptions(), ids=[n for n, _ in _corruptions()]
+    )
+    def test_corrupt_entry_is_a_miss_then_recomputed(self, tmp_path, name,
+                                                     corrupt):
+        import pathlib
+
+        cache = FeatureCache(str(tmp_path / "cache"))
+        engine = ExtractionEngine(workers=1, cache=cache)
+        cb = base_codebase()
+        expected = engine.extract_one(cb)  # cold run populates the entry
+        digest = task_digest(cb)
+        entry = pathlib.Path(cache.entry_path(digest))
+        assert entry.is_file()
+        corrupt(entry)
+        assert cache.get(digest) is None  # miss, not an exception
+        recomputed = engine.extract_one(cb)  # falls back to recompute
+        assert recomputed == expected
+        # ... and the engine repaired the entry in place
+        assert cache.get(digest) == expected
+
+    def test_unreadable_cache_dir_degrades_to_recompute(self, tmp_path):
+        # Point the cache at a *file* so every mkdir/open fails with
+        # OSError: extraction must still succeed, uncached.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        engine = ExtractionEngine(
+            workers=1, cache=FeatureCache(str(blocker))
+        )
+        row = engine.extract_one(base_codebase())
+        assert row["size.sample_loc"] > 0
+
+    def test_put_is_atomic_no_temp_residue(self, tmp_path):
+        cache = FeatureCache(str(tmp_path / "cache"))
+        cache.put("ab" + "0" * 62, {"x": 1.0}, app="a")
+        shard = tmp_path / "cache" / "ab"
+        leftovers = [p for p in os.listdir(shard) if p.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_entries_shard_by_digest_prefix(self, tmp_path):
+        cache = FeatureCache(str(tmp_path / "cache"))
+        digest = "cd" + "1" * 62
+        cache.put(digest, {"x": 2.0}, app="a")
+        assert cache.entry_path(digest).startswith(
+            str(tmp_path / "cache" / "cd")
+        )
+        assert cache.get(digest) == {"x": 2.0}

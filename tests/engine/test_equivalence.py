@@ -1,0 +1,100 @@
+"""End-to-end equivalence: the proof the engine is safe.
+
+The parallel and cached paths must reproduce the serial uncached
+feature rows *bit for bit* — same keys, same key order, same float
+bits — and the models trained from them must serialise to identical
+bytes. Anything weaker would make ``--workers``/``--cache-dir``
+semantics-changing flags instead of pure go-faster knobs.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import build_feature_table, train
+from repro.engine import ExtractionEngine, FeatureCache
+
+
+def assert_rows_identical(expected, actual):
+    """Key-by-key, order-and-bit-exact comparison of two tables."""
+    assert expected.app_names == actual.app_names
+    for name, exp, act in zip(expected.app_names, expected.rows, actual.rows):
+        assert list(exp) == list(act), f"{name}: feature key order differs"
+        for key in exp:
+            assert exp[key] == act[key], (name, key)
+            # repr equality catches bit-level drift (-0.0, float noise)
+            # that == would wave through for equal-comparing values.
+            assert repr(exp[key]) == repr(act[key]), (name, key)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial(self, engine_corpus, reference_table,
+                                     workers):
+        table = build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=workers)
+        )
+        assert_rows_identical(reference_table, table)
+
+    def test_parallel_summaries_aligned(self, engine_corpus, reference_table):
+        table = build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2)
+        )
+        assert [s.app for s in table.summaries] == list(table.app_names)
+        assert table.summaries == reference_table.summaries
+
+
+class TestCacheEquivalence:
+    def test_cold_and_warm_match_serial(self, engine_corpus, reference_table,
+                                        tmp_path):
+        engine = ExtractionEngine(
+            workers=1, cache=FeatureCache(str(tmp_path / "cache"))
+        )
+        cold = build_feature_table(engine_corpus, engine=engine)
+        warm = build_feature_table(engine_corpus, engine=engine)
+        assert_rows_identical(reference_table, cold)
+        assert_rows_identical(reference_table, warm)
+
+    def test_parallel_warm_cache_matches_serial(self, engine_corpus,
+                                                reference_table, tmp_path):
+        cache = FeatureCache(str(tmp_path / "cache"))
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
+        )
+        warm = build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
+        )
+        assert_rows_identical(reference_table, warm)
+
+    def test_warm_run_extracts_zero_apps(self, engine_corpus, tmp_path):
+        from repro import obs
+
+        cache = FeatureCache(str(tmp_path / "cache"))
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
+        )
+        session = obs.configure()
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
+        )
+        counters = session.metrics.snapshot()["counters"]
+        obs.disable()
+        assert counters["engine.cache.hits"] == len(engine_corpus.apps)
+        assert "engine.extracted" not in counters
+        assert "engine.cache.misses" not in counters
+
+
+class TestModelEquivalence:
+    def test_parallel_cold_run_identical_model_bytes(
+        self, small_corpus, small_training, tmp_path
+    ):
+        """Acceptance: a workers=4 cold run trains to the same bytes."""
+        engine = ExtractionEngine(
+            workers=4, cache=FeatureCache(str(tmp_path / "cache"))
+        )
+        result = train(small_corpus, k=4, seed=7, engine=engine)
+        assert pickle.dumps(result.model) == \
+            pickle.dumps(small_training.model)
+        assert result.table.rows == small_training.table.rows

@@ -97,7 +97,10 @@ class TestAnalyze:
 class TestObservabilityFlags:
     def test_trace_writes_valid_jsonl(self, risky_tree, tmp_path):
         trace = str(tmp_path / "trace.jsonl")
-        assert main(["--trace", trace, "analyze", risky_tree]) == 0
+        # --no-cache keeps analyzer spans present even when the suite
+        # runs with a warm REPRO_CACHE_DIR (the CI engine matrix leg).
+        assert main(["--trace", trace, "analyze", risky_tree,
+                     "--no-cache"]) == 0
         records = [json.loads(line) for line in open(trace)]
         assert records, "trace file is empty"
         for record in records:
@@ -123,7 +126,8 @@ class TestObservabilityFlags:
         assert "cannot write trace" in capsys.readouterr().err
 
     def test_profile_prints_telemetry(self, risky_tree, capsys):
-        assert main(["analyze", risky_tree, "--profile"]) == 0
+        assert main(["analyze", risky_tree, "--profile",
+                     "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "repro telemetry" in out
         assert "per-phase / per-analyzer breakdown" in out
