@@ -31,6 +31,19 @@ Engine knobs (on ``analyze``, ``train``, and the model-using commands):
   an unchanged tree is a read, not a recompute (default
   ``$REPRO_CACHE_DIR`` or no cache).
 - ``--no-cache`` — force recomputation even when a cache is configured.
+
+Failure policy (same commands):
+
+- ``--on-error {raise,skip,retry}`` — what a failed per-app extraction
+  does: abort the run (default), drop the app and keep going, or retry
+  it a bounded number of times first.
+- ``--task-timeout SECONDS`` — per-app wall-clock budget (needs
+  ``--workers`` > 1 to be enforceable).
+- ``--max-retries N`` — extra attempts per crashed app under
+  ``--on-error retry``.
+
+``train`` exits non-zero (after saving the model) when any app was
+skipped, and prints a per-app failure summary to stderr.
 """
 
 from __future__ import annotations
@@ -47,7 +60,13 @@ from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
 from repro.core.model import SecurityModel
 from repro.core.pipeline import train as train_pipeline
 from repro.core.report import format_assessment, format_delta
-from repro.engine import ExtractionEngine, FeatureCache
+from repro.engine import (
+    ON_ERROR_POLICIES,
+    ExtractionEngine,
+    ExtractionError,
+    FeatureCache,
+    format_failures,
+)
 from repro.lang import Codebase
 from repro.synth import build_corpus
 
@@ -76,7 +95,14 @@ def _engine_from_args(args) -> ExtractionEngine:
         cache = FeatureCache(args.cache_dir)
     else:
         cache = env_engine.cache
-    return ExtractionEngine(workers=workers, cache=cache)
+    return ExtractionEngine(
+        workers=workers,
+        cache=cache,
+        on_error=getattr(args, "on_error", None) or "raise",
+        task_timeout=getattr(args, "task_timeout", None),
+        max_retries=getattr(args, "max_retries", None)
+        if getattr(args, "max_retries", None) is not None else 2,
+    )
 
 
 def _train_model(seed: int, apps: int, folds: int, quiet: bool = False,
@@ -112,14 +138,22 @@ def _obtain_model(args) -> SecurityModel:
                 f"retrain with `repro train`"
             )
         return model
-    return _train_model(args.seed, args.apps, args.folds,
-                        engine=_engine_from_args(args)).model
+    result = _train_model(args.seed, args.apps, args.folds,
+                          engine=_engine_from_args(args))
+    if result.table.failures:
+        print(f"warning: model trained without "
+              f"{len(result.table.failures)} skipped application(s)",
+              file=sys.stderr)
+    return result.model
 
 
 def cmd_analyze(args) -> int:
     codebase = _load_codebase(args.path)
     engine = _engine_from_args(args)
-    row = engine.extract_one(codebase, include_dynamic=args.dynamic)
+    try:
+        row = engine.extract_one(codebase, include_dynamic=args.dynamic)
+    except ExtractionError as exc:
+        raise SystemExit(f"error: extraction failed — {exc}")
     if args.json:
         payload = {
             "app": codebase.name,
@@ -145,13 +179,19 @@ def cmd_train(args) -> int:
     with open(args.out, "wb") as handle:
         pickle.dump(result.model, handle)
     print(f"model saved to {args.out}")
+    if result.table.failures:
+        print(format_failures(result.table.failures), file=sys.stderr)
+        return 1
     return 0
 
 
 def cmd_assess(args) -> int:
     model = _obtain_model(args)
     codebase = _load_codebase(args.path)
-    features = _engine_from_args(args).extract_one(codebase)
+    try:
+        features = _engine_from_args(args).extract_one(codebase)
+    except ExtractionError as exc:
+        raise SystemExit(f"error: extraction failed — {exc}")
     assessment = model.assess(features)
     print(format_assessment(codebase.name, assessment, model, features))
     return 0
@@ -270,6 +310,16 @@ def _add_engine_options(parser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the feature cache even if $REPRO_CACHE_DIR is set")
+    parser.add_argument(
+        "--on-error", choices=list(ON_ERROR_POLICIES), default=None,
+        help="failure policy for per-app extraction (default: raise)")
+    parser.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS", default=None,
+        help="per-app wall-clock extraction budget (workers > 1 only)")
+    parser.add_argument(
+        "--max-retries", type=int, metavar="N", default=None,
+        help="extra attempts per crashed app with --on-error retry "
+             "(default: 2)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("corpus", help="export the calibrated CVE corpus")
     p.add_argument("--out", default="cve-corpus.json")
     p.add_argument("--seed", type=int, default=42)
+    _add_engine_options(p)
     p.set_defaults(func=cmd_corpus)
 
     return parser

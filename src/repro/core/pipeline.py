@@ -22,7 +22,11 @@ from repro.core.hypotheses import (
 )
 from repro.core.model import SecurityModel
 from repro.cve.database import AppVulnSummary, CVEDatabase
-from repro.engine.scheduler import ExtractionEngine, ExtractionTask
+from repro.engine.scheduler import (
+    ExtractionEngine,
+    ExtractionTask,
+    TaskFailure,
+)
 from repro.ml.crossval import (
     CVResult,
     cross_validate_classifier,
@@ -51,11 +55,18 @@ def default_regressor_factory():
 
 @dataclass(frozen=True)
 class FeatureTable:
-    """Feature rows plus the aligned app summaries."""
+    """Feature rows plus the aligned app summaries.
+
+    ``failures`` records applications the engine could not analyse
+    under a non-raising failure policy; those apps carry no row and do
+    not appear in ``app_names``. An empty tuple (the default, and the
+    only possibility under ``on_error="raise"``) means a complete run.
+    """
 
     app_names: Tuple[str, ...]
     rows: Tuple[Dict[str, float], ...]
     summaries: Tuple[AppVulnSummary, ...]
+    failures: Tuple[TaskFailure, ...] = ()
 
     def dataset_for(self, hypothesis: Hypothesis) -> Dataset:
         """Dataset with this hypothesis's labels as the target."""
@@ -77,7 +88,8 @@ class FeatureTable:
             {k: v for k, v in row.items() if feature_group(k) in wanted}
             for row in self.rows
         )
-        return FeatureTable(self.app_names, rows, self.summaries)
+        return FeatureTable(self.app_names, rows, self.summaries,
+                            self.failures)
 
     def restricted_to_features(self, names: Sequence[str]) -> "FeatureTable":
         """Keep only the exactly named features."""
@@ -85,7 +97,8 @@ class FeatureTable:
         rows = tuple(
             {k: v for k, v in row.items() if k in wanted} for row in self.rows
         )
-        return FeatureTable(self.app_names, rows, self.summaries)
+        return FeatureTable(self.app_names, rows, self.summaries,
+                            self.failures)
 
 
 def build_feature_table(
@@ -101,6 +114,12 @@ def build_feature_table(
     With no explicit ``engine``, one is built from the environment
     (``REPRO_WORKERS``/``REPRO_CACHE_DIR``) — serial and uncached when
     those are unset.
+
+    Under ``on_error="skip"``/``"retry"`` an app the engine could not
+    analyse is dropped from the table (preserving the name-sorted order
+    of the survivors, so the result is identical to building the table
+    over a corpus that never contained the failing app) and recorded in
+    ``FeatureTable.failures``.
     """
     db = database if database is not None else corpus.database
     if engine is None:
@@ -120,12 +139,17 @@ def build_feature_table(
         for app in apps
     ]
     with obs.span("testbed.build_feature_table", apps=len(apps),
-                  workers=engine.workers):
-        rows = engine.extract_rows(tasks)
-        obs.incr("testbed.apps_analyzed", len(apps))
-    names = tuple(app.name for app in apps)
-    summaries = tuple(db.summary(app.name) for app in apps)
-    return FeatureTable(names, tuple(rows), summaries)
+                  workers=engine.workers) as table_span:
+        report = engine.run(tasks)
+        obs.incr("testbed.apps_analyzed",
+                 len(apps) - len(report.failures))
+        if report.failures:
+            table_span.set_attr("failures", len(report.failures))
+    kept = [i for i, row in enumerate(report.rows) if row is not None]
+    names = tuple(apps[i].name for i in kept)
+    rows = tuple(report.rows[i] for i in kept)
+    summaries = tuple(db.summary(name) for name in names)
+    return FeatureTable(names, rows, summaries, tuple(report.failures))
 
 
 @dataclass

@@ -9,12 +9,17 @@ that corpus-scale extraction fast and incremental:
 - :mod:`repro.engine.cache` — a JSON feature cache under a directory,
   robust to corruption, with hit/miss counters in :mod:`repro.obs`;
 - :mod:`repro.engine.scheduler` — a process-pool scheduler with a
-  serial fallback sharing the same code path, plus the generic
+  serial fallback sharing the same code path, failure policies
+  (``on_error="raise"|"skip"|"retry"``), per-task timeouts, and
+  worker-crash recovery, plus the generic
   :func:`~repro.engine.scheduler.parallel_map` primitive the corpus
-  builder reuses.
+  builder reuses;
+- :mod:`repro.engine.faults` — the fault-injection seam the recovery
+  tests drive (inert unless ``REPRO_FAULTS`` is set).
 
 Results are deterministic: rows merge in task order and are
-bit-identical to a serial uncached run.
+bit-identical to a serial uncached run; under ``on_error="skip"`` the
+surviving rows stay byte-identical to a clean run over the same apps.
 """
 
 from repro.engine.cache import CACHE_FORMAT_VERSION, FeatureCache
@@ -26,9 +31,15 @@ from repro.engine.digest import (
 )
 from repro.engine.scheduler import (
     CACHE_DIR_ENV,
+    ON_ERROR_POLICIES,
     WORKERS_ENV,
     ExtractionEngine,
+    ExtractionError,
+    ExtractionReport,
     ExtractionTask,
+    TaskFailure,
+    TaskTimeout,
+    format_failures,
     parallel_map,
 )
 
@@ -37,10 +48,16 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
     "ExtractionEngine",
+    "ExtractionError",
+    "ExtractionReport",
     "ExtractionTask",
     "FeatureCache",
+    "ON_ERROR_POLICIES",
+    "TaskFailure",
+    "TaskTimeout",
     "WORKERS_ENV",
     "codebase_digest",
+    "format_failures",
     "history_digest",
     "parallel_map",
     "task_digest",

@@ -19,20 +19,26 @@ with the exact key order ``extract_features`` produced, keeping cached
 and cold results bit-identical.
 
 Robustness: any unreadable, truncated, corrupt, or wrong-shape entry is
-a *miss* (counted separately as an error), never an exception — the
+a *miss* (counted separately as a read error), never an exception — the
 engine recomputes and overwrites it. Writes go through a temp file and
 ``os.replace`` so a crashed run can leave at worst a stale temp file,
-not a half-written entry.
+not a half-written entry; ``put`` opportunistically sweeps temp files
+older than the current process out of the shard it is writing to, so
+crash leftovers do not accumulate forever.
 
 Counters (live in the :mod:`repro.obs` registry when enabled):
-``engine.cache.hits`` / ``.misses`` / ``.stores`` / ``.errors``.
+``engine.cache.hits`` / ``.misses`` / ``.stores`` /
+``.read_errors`` (corrupt or unreadable entries on ``get``) /
+``.write_errors`` (failed stores on ``put``).
 """
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Optional
 
 from repro import obs
@@ -40,6 +46,12 @@ from repro.engine.digest import ANALYZER_SET_VERSION
 
 #: Bump when the entry layout (not the analyzer set) changes.
 CACHE_FORMAT_VERSION = 1
+
+#: When this process started (module import is close enough): any
+#: ``*.tmp`` in the cache older than this cannot belong to a live write
+#: of ours, and concurrent *other* processes replace their temp files
+#: within milliseconds — so older temp files are crash leftovers.
+_PROCESS_START = time.time()
 
 
 class FeatureCache:
@@ -66,7 +78,7 @@ class FeatureCache:
         except (OSError, json.JSONDecodeError, UnicodeDecodeError,
                 ValueError, TypeError, KeyError):
             # Corrupt/truncated/foreign file: recompute rather than crash.
-            obs.incr("engine.cache.errors")
+            obs.incr("engine.cache.read_errors")
             obs.incr("engine.cache.misses")
             return None
         obs.incr("engine.cache.hits")
@@ -85,6 +97,7 @@ class FeatureCache:
         shard = os.path.dirname(path)
         try:
             os.makedirs(shard, exist_ok=True)
+            self._sweep_stale_tmp(shard)
             fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -98,9 +111,26 @@ class FeatureCache:
                 raise
         except OSError:
             # A read-only or full cache dir degrades to no caching.
-            obs.incr("engine.cache.errors")
+            obs.incr("engine.cache.write_errors")
             return
         obs.incr("engine.cache.stores")
+
+    @staticmethod
+    def _sweep_stale_tmp(shard: str) -> None:
+        """Unlink crash-orphaned ``*.tmp`` files in ``shard``.
+
+        Only temp files last modified before this process started are
+        touched: anything newer could be a concurrent writer's in-flight
+        entry (which exists for milliseconds between ``mkstemp`` and
+        ``os.replace``). Purely best-effort — a vanished or unremovable
+        file is somebody else's progress, not an error.
+        """
+        for tmp in glob.glob(os.path.join(shard, "*.tmp")):
+            try:
+                if os.path.getmtime(tmp) < _PROCESS_START:
+                    os.unlink(tmp)
+            except OSError:
+                pass
 
     def _validate(self, entry: object) -> Dict[str, float]:
         """Check an entry's shape; raise ValueError on anything off."""

@@ -27,7 +27,7 @@ from repro.lang.sourcefile import Codebase
 #: rules, or the feature-row schema changes in a way that alters
 #: emitted values — every cached entry keyed on the old version then
 #: misses cleanly instead of serving stale rows.
-ANALYZER_SET_VERSION = "2026.08.06-1"
+ANALYZER_SET_VERSION = "2026.08.06-2"
 
 
 def _hasher() -> "hashlib._Hash":
@@ -41,12 +41,16 @@ def codebase_digest(codebase: Codebase) -> str:
     codebase's canonical path-sorted order. The application *name* is
     excluded on purpose: the same tree analysed under two names yields
     the same features (only densities and counts depend on content).
+
+    Every text field is hashed as ``\\x00``-delimited UTF-8 — a
+    non-ASCII language tag (or path) must never abort extraction, and
+    the delimiters keep adjacent fields from aliasing each other.
     """
     h = _hasher()
     for source in codebase.files:
         h.update(source.path.encode("utf-8"))
         h.update(b"\x00")
-        h.update(source.language.encode("ascii"))
+        h.update(source.language.encode("utf-8"))
         h.update(b"\x00")
         h.update(hashlib.sha256(source.text.encode("utf-8")).digest())
         h.update(b"\x01")
@@ -54,7 +58,15 @@ def codebase_digest(codebase: Codebase) -> str:
 
 
 def history_digest(history: Optional[CommitHistory]) -> str:
-    """Digest of a commit history (empty-string sentinel hashed for None)."""
+    """Digest of a commit history (``no-history`` sentinel for None).
+
+    Every field — author, day, per-delta path and line counts — is
+    hashed as ``\\x00``-delimited UTF-8, with ``\\x1e`` closing each
+    delta and ``\\x01`` closing each commit. Unambiguous framing
+    matters: the old scheme appended ``:added:deleted`` straight onto
+    the path, so a path that itself ended in ``:2:3`` could collide
+    with a different (path, counts) split.
+    """
     h = _hasher()
     if history is None:
         h.update(b"no-history")
@@ -62,13 +74,15 @@ def history_digest(history: Optional[CommitHistory]) -> str:
     for commit in history.commits:
         h.update(commit.author.encode("utf-8"))
         h.update(b"\x00")
-        h.update(str(commit.day).encode("ascii"))
+        h.update(str(commit.day).encode("utf-8"))
+        h.update(b"\x00")
         for delta in commit.deltas:
-            h.update(b"\x00")
             h.update(delta.path.encode("utf-8"))
-            h.update(
-                f":{delta.lines_added}:{delta.lines_deleted}".encode("ascii")
-            )
+            h.update(b"\x00")
+            h.update(str(delta.lines_added).encode("utf-8"))
+            h.update(b"\x00")
+            h.update(str(delta.lines_deleted).encode("utf-8"))
+            h.update(b"\x1e")
         h.update(b"\x01")
     return h.hexdigest()
 
@@ -96,4 +110,4 @@ def task_digest(
         },
         sort_keys=True,
     )
-    return hashlib.sha256(payload.encode("ascii")).hexdigest()
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware execution layer for feature extraction.
+"""Parallel, cache-aware, fault-tolerant execution layer for extraction.
 
 Two layers live here:
 
@@ -24,19 +24,57 @@ Results are bit-identical to the serial uncached path by construction:
 the same ``extract_features`` runs either way, rows are merged by task
 index, and cached rows round-trip through JSON with exact float and
 key-order fidelity.
+
+Failure semantics
+-----------------
+
+At corpus scale individual analyses *will* fail, and one bad
+application must not abort a whole run. The engine therefore takes an
+explicit ``on_error`` policy:
+
+- ``"raise"`` (default) — fail fast, exactly like a bare
+  ``future.result()``, except in-flight work is cancelled and worker
+  processes are killed instead of being waited for.
+- ``"skip"`` — a failed task becomes a structured :class:`TaskFailure`
+  (app name, attempt count, exception, traceback text); its row is
+  ``None`` and the run keeps going.
+- ``"retry"`` — like ``"skip"``, but a crashed task is re-attempted up
+  to ``max_retries`` extra times, the *last* attempt running serially
+  in the scheduler's own process (process-pool flakiness — a poisoned
+  worker, an unpicklable payload — cannot touch an in-process run).
+  Timeouts are never retried: a task that hung once is assumed to hang
+  again.
+
+``task_timeout`` bounds the wall-clock wait for each task's result
+(enforceable only when the task runs in a worker process; a serial
+in-process task cannot be preempted). A timed-out worker is killed,
+never joined. A worker death (``BrokenProcessPool``) aborts the run
+under ``"raise"``; under ``"skip"``/``"retry"`` it triggers one pool
+rebuild per run — the pool is recreated and every unfinished task
+re-submitted, each alone in its own pool so a repeat offender cannot
+take innocent batch-mates down with it; a suspect that breaks its pool
+again is failed as ``worker-lost``.
+
+Failure observability: ``engine.task_failures`` / ``engine.task_retries``
+/ ``engine.pool_rebuilds`` counters, and an ``error=`` attribute on the
+failing task's ``testbed.app`` span.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import traceback as traceback_module
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from typing import (
-    Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar,
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar,
 )
 
 from repro import obs
 from repro.analysis.churn import CommitHistory
+from repro.engine import faults
 from repro.engine.cache import FeatureCache
 from repro.engine.digest import task_digest
 from repro.lang.sourcefile import Codebase
@@ -48,6 +86,22 @@ R = TypeVar("R")
 #: sets to run the whole suite through the parallel/cached path).
 WORKERS_ENV = "REPRO_WORKERS"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Valid ``on_error`` policies, in documentation order.
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
+
+#: After a pool break every settled future resolves immediately; this
+#: grace period only guards against the tiny window in which the
+#: executor is still flagging pending futures as broken.
+_POST_BREAK_GRACE = 5.0
+
+
+class ExtractionError(RuntimeError):
+    """A task failed and the failure policy did not absorb it."""
+
+
+class TaskTimeout(ExtractionError):
+    """A task exceeded the engine's per-task wall-clock timeout."""
 
 
 class _LazyFuture:
@@ -64,8 +118,11 @@ class _LazyFuture:
         self._fn = fn
         self._args = args
 
-    def result(self) -> R:
+    def result(self, timeout: Optional[float] = None) -> R:
         return self._fn(*self._args)
+
+    def done(self) -> bool:
+        return True
 
 
 class _SerialPool:
@@ -80,12 +137,37 @@ class _SerialPool:
     def submit(self, fn: Callable[..., R], *args: Any) -> _LazyFuture:
         return _LazyFuture(fn, args)
 
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        pass
+
 
 def make_pool(workers: int, n_tasks: int):
     """The right executor for ``workers`` parallel slots over ``n_tasks``."""
     if workers <= 1 or n_tasks <= 1:
         return _SerialPool()
     return ProcessPoolExecutor(max_workers=min(workers, n_tasks))
+
+
+def _terminate_pool(pool) -> None:
+    """Hard-stop a pool: kill workers, drop queued futures, never wait.
+
+    Used on fatal abort, timeout, and pool breakage — the cases where
+    ``shutdown(wait=True)`` could block forever on a wedged or dead
+    worker. ``_processes`` is executor-private, but killing the workers
+    is the only way to guarantee a hung task cannot stall interpreter
+    exit (the executor's atexit hook joins its workers).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - racy exit
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - executor already torn down
+        pass
 
 
 def parallel_map(
@@ -113,6 +195,50 @@ class ExtractionTask:
     include_dynamic: bool = False
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task the engine could not complete.
+
+    ``kind`` is ``"crash"`` (the task raised), ``"timeout"`` (no result
+    within ``task_timeout``), or ``"worker-lost"`` (the worker process
+    died and recovery was exhausted). ``traceback`` is the formatted
+    exception text (empty for timeouts and lost workers, where there is
+    no Python frame to show).
+    """
+
+    app: str
+    kind: str
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def describe(self) -> str:
+        """One human-readable summary line."""
+        return (f"{self.app}: {self.kind} after {self.attempts} "
+                f"attempt(s) — {self.error_type}: {self.message}")
+
+
+def format_failures(failures: Sequence[TaskFailure]) -> str:
+    """Multi-line report of skipped tasks (what the CLI prints)."""
+    lines = [f"extraction skipped {len(failures)} application(s):"]
+    for failure in failures:
+        lines.append(f"  {failure.describe()}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExtractionReport:
+    """Everything one :meth:`ExtractionEngine.run` call produced.
+
+    ``rows`` aligns with the task list; a failed task's slot is None
+    and its :class:`TaskFailure` appears in ``failures`` (task order).
+    """
+
+    rows: List[Optional[Dict[str, float]]]
+    failures: List[TaskFailure]
+
+
 @dataclass
 class _WorkerResult:
     """A row plus the worker's telemetry shipment (None when serial)."""
@@ -120,6 +246,19 @@ class _WorkerResult:
     row: Dict[str, float]
     span_records: Optional[List[Dict[str, Any]]] = None
     counters: Optional[Dict[str, float]] = None
+    poison: Any = None  # fault-injection cargo; never set in real runs
+
+
+@dataclass
+class _RoundOutcome:
+    """What one pool round produced besides successful rows."""
+
+    errors: Dict[int, Tuple[str, BaseException, str]] = field(
+        default_factory=dict)
+    lost: List[int] = field(default_factory=list)
+    unfinished: List[int] = field(default_factory=list)
+    broken: bool = False
+    broken_exc: Optional[BaseException] = None
 
 
 def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
@@ -134,6 +273,9 @@ def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
     """
     from repro.core.features import extract_features
 
+    fault = faults.active_fault(task.name)
+    if fault is not None:
+        fault.fire()
     session = obs.configure() if capture_obs else None
     try:
         with obs.span("engine.worker", pid=os.getpid(), app=task.name):
@@ -151,28 +293,61 @@ def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
     # yields, which would make warm rows distinguishable from cold ones.
     row = {key: float(value) for key, value in row.items()}
     if session is None:
-        return _WorkerResult(row=row)
-    return _WorkerResult(
-        row=row,
-        span_records=session.tracer.records(),
-        counters=session.metrics.snapshot()["counters"],
-    )
+        result = _WorkerResult(row=row)
+    else:
+        result = _WorkerResult(
+            row=row,
+            span_records=session.tracer.records(),
+            counters=session.metrics.snapshot()["counters"],
+        )
+    if fault is not None and fault.kind == "poison":
+        result.poison = faults.Unpicklable()
+    return result
+
+
+def _format_tb(exc: BaseException) -> str:
+    """Full traceback text, remote-cause chain included."""
+    return "".join(traceback_module.format_exception(
+        type(exc), exc, exc.__traceback__))
 
 
 class ExtractionEngine:
-    """Schedules feature extraction across workers and the cache.
+    """Schedules feature extraction across workers, the cache, and faults.
 
     Args:
         workers: parallel worker processes; 1 (the default) runs
             everything in-process through the same scheduling code.
         cache: optional :class:`FeatureCache`; misses are computed and
             stored back, hits skip extraction entirely.
+        on_error: ``"raise"`` (fail fast, cancel in-flight work),
+            ``"skip"`` (failed apps become :class:`TaskFailure` records)
+            or ``"retry"`` (bounded re-attempts, serial last attempt).
+        task_timeout: per-task wall-clock budget in seconds; enforced
+            only for tasks running in worker processes.
+        max_retries: extra attempts per crashed task under ``"retry"``.
     """
 
     def __init__(self, workers: int = 1,
-                 cache: Optional[FeatureCache] = None):
+                 cache: Optional[FeatureCache] = None,
+                 on_error: str = "raise",
+                 task_timeout: Optional[float] = None,
+                 max_retries: int = 2):
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {on_error!r}")
+        if task_timeout is not None and not task_timeout > 0:
+            raise ValueError("task_timeout must be positive")
         self.workers = max(1, int(workers))
         self.cache = cache
+        self.on_error = on_error
+        self.task_timeout = task_timeout
+        self.max_retries = max(0, int(max_retries))
+        if task_timeout is not None and self.workers <= 1:
+            warnings.warn(
+                "task_timeout is only enforced with workers > 1; a "
+                "serial in-process task cannot be preempted",
+                RuntimeWarning, stacklevel=2)
 
     @classmethod
     def from_env(cls) -> "ExtractionEngine":
@@ -182,31 +357,49 @@ class ExtractionEngine:
         passed explicitly, which lets CI (or a user shell) route every
         extraction in the process through the parallel/cached path
         without touching call sites. Unset variables mean serial and
-        uncached — the seed behaviour.
+        uncached — the seed behaviour. An unparsable or non-positive
+        ``REPRO_WORKERS`` falls back to 1 worker with a warning naming
+        the bad value, so a CI misconfiguration is visible instead of
+        silently serialising the run.
         """
-        try:
-            workers = int(os.environ.get(WORKERS_ENV, "1"))
-        except ValueError:
-            workers = 1
+        raw = os.environ.get(WORKERS_ENV)
+        workers = 1
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                warnings.warn(
+                    f"invalid {WORKERS_ENV}={raw!r} (not an integer); "
+                    f"falling back to 1 worker",
+                    RuntimeWarning, stacklevel=2)
+                workers = 1
+            if workers < 1:
+                warnings.warn(
+                    f"invalid {WORKERS_ENV}={raw!r} (must be >= 1); "
+                    f"falling back to 1 worker",
+                    RuntimeWarning, stacklevel=2)
+                workers = 1
         cache_dir = os.environ.get(CACHE_DIR_ENV)
         cache = FeatureCache(cache_dir) if cache_dir else None
         return cls(workers=workers, cache=cache)
 
-    def extract_rows(
-        self, tasks: Sequence[ExtractionTask]
-    ) -> List[Dict[str, float]]:
-        """Feature rows for ``tasks``, in task order.
+    def run(self, tasks: Sequence[ExtractionTask]) -> ExtractionReport:
+        """Extract every task, honouring the failure policy.
 
         Rows are merged strictly by task index; neither worker
-        completion order nor the hit/miss split can reorder them.
+        completion order nor the hit/miss split nor retries can reorder
+        them. Under ``on_error="raise"`` the first failure propagates
+        (after cancelling in-flight work); otherwise failed tasks leave
+        a None row and a :class:`TaskFailure` record.
         """
         tasks = list(tasks)
-        results: List[Optional[Dict[str, float]]] = [None] * len(tasks)
+        rows: List[Optional[Dict[str, float]]] = [None] * len(tasks)
         digests: List[Optional[str]] = [None] * len(tasks)
         pending: List[int] = []
         with obs.span("engine.extract", apps=len(tasks),
                       workers=self.workers,
-                      cache=self.cache is not None):
+                      cache=self.cache is not None,
+                      on_error=self.on_error) as extract_span:
             for index, task in enumerate(tasks):
                 if self.cache is not None:
                     with obs.span("engine.cache.lookup", app=task.name):
@@ -221,35 +414,23 @@ class ExtractionEngine:
                     if row is not None:
                         with obs.span("testbed.app", app=task.name,
                                       cached=True):
-                            results[index] = row
+                            rows[index] = row
                         continue
                 pending.append(index)
-            # Capture only when tasks truly leave the process: make_pool
-            # stays serial for a single task even with workers > 1, and
-            # an in-process obs.configure() would clobber the caller's
-            # session.
-            in_processes = self.workers > 1 and len(pending) > 1
-            capture = in_processes and obs.is_enabled()
-            with make_pool(self.workers, len(pending)) as pool:
-                futures = [
-                    (index, pool.submit(_execute_task, tasks[index], capture))
-                    for index in pending
-                ]
-                for index, future in futures:
-                    task = tasks[index]
-                    with obs.span("testbed.app", app=task.name,
-                                  cached=False):
-                        outcome = future.result()
-                        if outcome.span_records:
-                            obs.graft_spans(outcome.span_records)
-                        if outcome.counters:
-                            obs.merge_counters(outcome.counters)
-                    results[index] = outcome.row
-                    obs.incr("engine.extracted")
-                    if self.cache is not None and digests[index] is not None:
-                        self.cache.put(digests[index], outcome.row,
-                                       app=task.name)
-        return results  # type: ignore[return-value]
+            failures = self._run_pending(tasks, pending, rows, digests)
+            if failures:
+                extract_span.set_attr("failures", len(failures))
+        return ExtractionReport(rows=rows, failures=failures)
+
+    def extract_rows(
+        self, tasks: Sequence[ExtractionTask]
+    ) -> List[Optional[Dict[str, float]]]:
+        """Feature rows for ``tasks``, in task order.
+
+        Thin wrapper over :meth:`run`; under ``on_error="skip"`` or
+        ``"retry"`` a failed task's slot is None.
+        """
+        return self.run(tasks).rows
 
     def extract_one(
         self,
@@ -258,7 +439,11 @@ class ExtractionEngine:
         history: Optional[CommitHistory] = None,
         include_dynamic: bool = False,
     ) -> Dict[str, float]:
-        """Cache-aware extraction for a single codebase."""
+        """Cache-aware extraction for a single codebase.
+
+        There is no row to skip to, so a failure raises
+        :class:`ExtractionError` whatever the policy.
+        """
         task = ExtractionTask(
             name=codebase.name,
             codebase=codebase,
@@ -266,4 +451,235 @@ class ExtractionEngine:
             history=history,
             include_dynamic=include_dynamic,
         )
-        return self.extract_rows([task])[0]
+        report = self.run([task])
+        if report.failures:
+            raise ExtractionError(report.failures[0].describe())
+        return report.rows[0]
+
+    # -- failure-policy machinery -------------------------------------
+
+    def _run_pending(
+        self,
+        tasks: Sequence[ExtractionTask],
+        pending: List[int],
+        rows: List[Optional[Dict[str, float]]],
+        digests: List[Optional[str]],
+    ) -> List[TaskFailure]:
+        """Drive cache misses to completion or recorded failure."""
+        failures: Dict[int, TaskFailure] = {}
+        attempts: Dict[int, int] = {index: 0 for index in pending}
+        last_kind: Dict[int, str] = {}
+        queue: List[int] = list(pending)
+        rebuilds_left = 1
+        while queue:
+            serial_batch = [
+                index for index in queue
+                if self.on_error == "retry"
+                and last_kind.get(index) == "crash"
+                and 0 < attempts[index] == self.max_retries
+            ]
+            pool_indices = [i for i in queue
+                            if i not in set(serial_batch)]
+            # A worker-lost suspect re-runs *alone* in its own pool: if
+            # it kills its worker again, the blame cannot spill onto
+            # innocent batch-mates that merely shared the broken pool.
+            grouped = [i for i in pool_indices
+                       if last_kind.get(i) != "worker-lost"]
+            batches: List[List[int]] = [grouped] if grouped else []
+            batches.extend(
+                [i] for i in pool_indices
+                if last_kind.get(i) == "worker-lost")
+            queue = []
+            for batch in batches:
+                outcome = self._pool_round(
+                    tasks, batch, rows, digests, attempts,
+                    force_processes=batch is not grouped,
+                )
+                for index, (kind, exc, tb) in outcome.errors.items():
+                    attempts[index] += 1
+                    last_kind[index] = kind
+                    if (kind == "crash" and self.on_error == "retry"
+                            and attempts[index] <= self.max_retries):
+                        obs.incr("engine.task_retries")
+                        queue.append(index)
+                        continue
+                    self._record_failure(failures, tasks[index], index,
+                                         kind, exc, tb, attempts[index])
+                if outcome.broken:
+                    if self.on_error == "raise":
+                        # Fail-fast: a dead worker aborts the run (pool
+                        # rebuilding is a skip/retry amenity).
+                        raise outcome.broken_exc
+                    suspects = outcome.lost + outcome.unfinished
+                    for index in suspects:
+                        attempts[index] += 1
+                        last_kind[index] = "worker-lost"
+                    if rebuilds_left > 0 and suspects:
+                        rebuilds_left -= 1
+                        obs.incr("engine.pool_rebuilds")
+                        queue.extend(suspects)
+                    else:
+                        for index in suspects:
+                            self._record_failure(
+                                failures, tasks[index], index,
+                                "worker-lost", outcome.broken_exc, "",
+                                attempts[index])
+            for index in serial_batch:
+                attempts[index] += 1
+                self._serial_attempt(tasks[index], index, rows, digests,
+                                     attempts, failures)
+        return [failures[index] for index in sorted(failures)]
+
+    def _pool_round(
+        self,
+        tasks: Sequence[ExtractionTask],
+        indices: List[int],
+        rows: List[Optional[Dict[str, float]]],
+        digests: List[Optional[str]],
+        attempts: Dict[int, int],
+        force_processes: bool = False,
+    ) -> _RoundOutcome:
+        """Submit ``indices`` to one pool and collect in task order.
+
+        Successes are stored (row, cache, telemetry graft) here; every
+        kind of failure is classified into the returned outcome for the
+        policy loop to act on. ``force_processes`` keeps a suspected
+        worker-killer out of the scheduler's own process even when the
+        batch is a single task; a configured timeout forces processes
+        too, because a serial task cannot be preempted.
+        """
+        use_processes = self.workers > 1 and (
+            len(indices) > 1 or force_processes
+            or self.task_timeout is not None)
+        if use_processes:
+            pool: Any = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(indices)))
+        else:
+            pool = _SerialPool()
+        capture = use_processes and obs.is_enabled()
+        outcome = _RoundOutcome()
+        timed_out = False
+        completed_normally = False
+        try:
+            futures: List[Tuple[int, Any]] = []
+            try:
+                for index in indices:
+                    futures.append(
+                        (index,
+                         pool.submit(_execute_task, tasks[index], capture)))
+            except BrokenExecutor as exc:
+                outcome.broken = True
+                outcome.broken_exc = exc
+                submitted = {index for index, _ in futures}
+                outcome.unfinished.extend(
+                    index for index in indices if index not in submitted)
+            for index, future in futures:
+                task = tasks[index]
+                with obs.span("testbed.app", app=task.name, cached=False,
+                              attempt=attempts[index] + 1) as app_span:
+                    try:
+                        if outcome.broken:
+                            result = future.result(
+                                timeout=_POST_BREAK_GRACE)
+                        elif (use_processes
+                                and self.task_timeout is not None):
+                            result = future.result(
+                                timeout=self.task_timeout)
+                        else:
+                            result = future.result()
+                    except Exception as exc:
+                        if isinstance(exc, BrokenExecutor):
+                            app_span.set_attr("error", type(exc).__name__)
+                            if outcome.broken:
+                                outcome.unfinished.append(index)
+                            else:
+                                outcome.broken = True
+                                outcome.broken_exc = exc
+                                outcome.lost.append(index)
+                            continue
+                        if (isinstance(exc, FutureTimeout)
+                                and not future.done()):
+                            if outcome.broken:
+                                # post-break grace expired: lost work
+                                app_span.set_attr(
+                                    "error", "BrokenProcessPool")
+                                outcome.unfinished.append(index)
+                                continue
+                            timed_out = True
+                            app_span.set_attr("error", "TaskTimeout")
+                            timeout_exc = TaskTimeout(
+                                f"{task.name}: no result within "
+                                f"{self.task_timeout:g}s")
+                            if self.on_error == "raise":
+                                raise timeout_exc from exc
+                            outcome.errors[index] = (
+                                "timeout", timeout_exc, "")
+                            continue
+                        app_span.set_attr("error", type(exc).__name__)
+                        if self.on_error == "raise":
+                            raise
+                        outcome.errors[index] = (
+                            "crash", exc, _format_tb(exc))
+                        continue
+                    if result.span_records:
+                        obs.graft_spans(result.span_records)
+                    if result.counters:
+                        obs.merge_counters(result.counters)
+                rows[index] = result.row
+                obs.incr("engine.extracted")
+                if self.cache is not None and digests[index] is not None:
+                    self.cache.put(digests[index], result.row,
+                                   app=task.name)
+            completed_normally = True
+        finally:
+            if not completed_normally or timed_out or outcome.broken:
+                # Fatal abort, hung worker, or dead worker: never wait.
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+        return outcome
+
+    def _serial_attempt(
+        self,
+        task: ExtractionTask,
+        index: int,
+        rows: List[Optional[Dict[str, float]]],
+        digests: List[Optional[str]],
+        attempts: Dict[int, int],
+        failures: Dict[int, TaskFailure],
+    ) -> None:
+        """The retry ladder's last rung: re-run in this very process."""
+        with obs.span("testbed.app", app=task.name, cached=False,
+                      attempt=attempts[index],
+                      serial_retry=True) as app_span:
+            try:
+                result = _execute_task(task, capture_obs=False)
+            except Exception as exc:
+                app_span.set_attr("error", type(exc).__name__)
+                self._record_failure(failures, task, index, "crash", exc,
+                                     _format_tb(exc), attempts[index])
+                return
+        rows[index] = result.row
+        obs.incr("engine.extracted")
+        if self.cache is not None and digests[index] is not None:
+            self.cache.put(digests[index], result.row, app=task.name)
+
+    @staticmethod
+    def _record_failure(
+        failures: Dict[int, TaskFailure],
+        task: ExtractionTask,
+        index: int,
+        kind: str,
+        exc: BaseException,
+        tb: str,
+        attempts: int,
+    ) -> None:
+        failures[index] = TaskFailure(
+            app=task.name,
+            kind=kind,
+            attempts=attempts,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=tb,
+        )
+        obs.incr("engine.task_failures")

@@ -39,7 +39,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     percentile,
 )
-from repro.obs.report import aggregate_spans, format_run_report
+from repro.obs.report import (
+    aggregate_spans,
+    format_error_spans,
+    format_run_report,
+)
 from repro.obs.spans import NULL_SPAN, NullSpan, Span
 from repro.obs.tracer import Tracer
 
@@ -47,7 +51,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_SPAN",
     "NullSpan", "ObsSession", "SPAN_RECORD_KEYS", "Span", "Tracer",
     "active", "aggregate_spans", "configure", "disable",
-    "format_run_report", "gauge", "graft_spans", "incr", "is_enabled",
+    "format_error_spans", "format_run_report", "gauge", "graft_spans",
+    "incr", "is_enabled",
     "merge_counters", "observe", "percentile", "read_jsonl", "span",
     "trace_lines", "write_jsonl",
 ]

@@ -87,6 +87,28 @@ def format_metrics(registry: MetricsRegistry) -> str:
     return "\n".join(lines) if lines else "  (no metrics recorded)"
 
 
+def format_error_spans(spans: Sequence[Span]) -> str:
+    """One line per span that finished with an ``error`` attribute.
+
+    Spans record the exception type on abnormal exit (and the engine
+    stamps failure kinds such as ``TaskTimeout`` on its per-app spans),
+    so this section is the ``--profile`` view of what failed and where.
+    Returns "" when no span errored, so reports of clean runs are
+    unchanged.
+    """
+    lines = []
+    for span in spans:
+        if "error" not in span.attrs:
+            continue
+        detail = " ".join(
+            f"{key}={span.attrs[key]}" for key in sorted(span.attrs)
+            if key != "error"
+        )
+        lines.append(
+            f"  {span.name:40s} {span.attrs['error']:<24s} {detail}".rstrip())
+    return "\n".join(lines)
+
+
 def format_run_report(session, title: str = "repro telemetry") -> str:
     """The full ``--profile`` report for one obs session."""
     tracer = session.tracer
@@ -100,4 +122,7 @@ def format_run_report(session, title: str = "repro telemetry") -> str:
         "metrics:",
         format_metrics(session.metrics),
     ]
+    errors = format_error_spans(tracer.spans)
+    if errors:
+        lines.extend(["", "errors:", errors])
     return "\n".join(lines)

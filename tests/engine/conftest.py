@@ -20,6 +20,25 @@ def obs_isolated():
     obs.disable()
 
 
+@pytest.fixture()
+def timer():
+    """Context manager measuring elapsed wall-clock seconds.
+
+    ``with timer() as elapsed: ...; assert elapsed() < bound`` — the
+    fault tests use it to prove the engine killed a hung worker instead
+    of waiting out its 60-second injected sleep.
+    """
+    import time
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _timer():
+        start = time.monotonic()
+        yield lambda: time.monotonic() - start
+
+    return _timer
+
+
 @pytest.fixture(scope="session")
 def engine_corpus():
     """A 6-app corpus dedicated to engine tests (seed 11)."""

@@ -124,6 +124,43 @@ class TestDigestSensitivity:
         assert codebase_digest(base_codebase(sources=renamed)) != \
             codebase_digest(base_codebase())
 
+    def test_non_ascii_language_tag_digests_cleanly(self):
+        # Regression: language tags used to be hashed via
+        # .encode("ascii"), so a non-ASCII tag aborted mid-extraction.
+        from dataclasses import replace
+
+        from repro.lang.languages import language_by_name
+
+        spec = replace(language_by_name("c"), name="sí-lang",
+                       extensions=(".xc",))
+        cb = Codebase("app", [SourceFile("src/a.xc", "int x;\n", spec)])
+        digest = codebase_digest(cb)
+        assert digest == codebase_digest(cb)
+        assert digest != codebase_digest(base_codebase())
+
+    def test_history_delta_fields_do_not_alias(self):
+        # Every delta field is individually framed: moving a digit
+        # between the path and the line counts must change the digest
+        # (the old ":a:d"-suffix scheme leaned on paths never ending in
+        # colon-digit runs).
+        shifted = CommitHistory(commits=[
+            Commit(author="ada", day=1,
+                   deltas=(FileDelta("src/a.c:5", 1, 2),)),
+        ])
+        straight = CommitHistory(commits=[
+            Commit(author="ada", day=1,
+                   deltas=(FileDelta("src/a.c", 5, 1),)),
+        ])
+        assert history_digest(shifted) != history_digest(straight)
+
+    def test_non_ascii_author_digests_cleanly(self):
+        history = CommitHistory(commits=[
+            Commit(author="Ada Lovelace-Çağatay", day=3,
+                   deltas=(FileDelta("src/a.c", 1, 0),)),
+        ])
+        assert history_digest(history) == history_digest(history)
+        assert history_digest(history) != history_digest(None)
+
 
 class TestTaskDigest:
     def _history(self, day=1):
@@ -231,3 +268,99 @@ class TestCorruptEntries:
             str(tmp_path / "cache" / "cd")
         )
         assert cache.get(digest) == {"x": 2.0}
+
+
+class TestErrorCounters:
+    """Read corruption and write failure are distinct counters."""
+
+    def _counters(self):
+        from repro import obs
+
+        return obs.active().metrics.snapshot()["counters"]
+
+    def test_corrupt_entry_counts_as_read_error(self, tmp_path):
+        from repro import obs
+
+        cache = FeatureCache(str(tmp_path / "cache"))
+        digest = "ab" + "0" * 62
+        cache.put(digest, {"x": 1.0}, app="a")
+        import pathlib
+
+        pathlib.Path(cache.entry_path(digest)).write_text("not json")
+        obs.configure()
+        try:
+            assert cache.get(digest) is None
+            counters = self._counters()
+        finally:
+            obs.disable()
+        assert counters.get("engine.cache.read_errors") == 1
+        assert "engine.cache.write_errors" not in counters
+        assert "engine.cache.errors" not in counters
+
+    def test_failed_store_counts_as_write_error(self, tmp_path):
+        from repro import obs
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = FeatureCache(str(blocker))
+        obs.configure()
+        try:
+            cache.put("ab" + "0" * 62, {"x": 1.0}, app="a")
+            counters = self._counters()
+        finally:
+            obs.disable()
+        assert counters.get("engine.cache.write_errors") == 1
+        assert "engine.cache.read_errors" not in counters
+        assert "engine.cache.errors" not in counters
+
+    def test_plain_miss_is_not_an_error(self, tmp_path):
+        from repro import obs
+
+        cache = FeatureCache(str(tmp_path / "cache"))
+        obs.configure()
+        try:
+            assert cache.get("ab" + "0" * 62) is None
+            counters = self._counters()
+        finally:
+            obs.disable()
+        assert counters.get("engine.cache.misses") == 1
+        assert "engine.cache.read_errors" not in counters
+
+
+class TestTmpSweep:
+    """Crash-orphaned ``*.tmp`` files are reaped on the next ``put``."""
+
+    def _plant_stale_tmp(self, shard, age_seconds=120.0):
+        import time
+
+        shard.mkdir(parents=True, exist_ok=True)
+        stale = shard / "orphanXYZ.tmp"
+        stale.write_text("{half-written")
+        old = time.time() - age_seconds
+        os.utime(stale, (old, old))
+        return stale
+
+    def test_put_sweeps_stale_tmp_in_shard(self, tmp_path):
+        cache = FeatureCache(str(tmp_path / "cache"))
+        stale = self._plant_stale_tmp(tmp_path / "cache" / "ab")
+        digest = "ab" + "0" * 62
+        cache.put(digest, {"x": 1.0}, app="a")
+        assert not stale.exists()
+        assert cache.get(digest) == {"x": 1.0}
+
+    def test_fresh_tmp_survives_the_sweep(self, tmp_path):
+        # A temp file younger than this process could be a concurrent
+        # writer's in-flight entry; it must be left alone.
+        cache = FeatureCache(str(tmp_path / "cache"))
+        shard = tmp_path / "cache" / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        fresh = shard / "inflight.tmp"
+        fresh.write_text("{concurrent writer")
+        cache.put("ab" + "0" * 62, {"x": 1.0}, app="a")
+        assert fresh.exists()
+
+    def test_sweep_is_scoped_to_the_written_shard(self, tmp_path):
+        cache = FeatureCache(str(tmp_path / "cache"))
+        other = self._plant_stale_tmp(tmp_path / "cache" / "cd")
+        cache.put("ab" + "0" * 62, {"x": 1.0}, app="a")
+        assert other.exists()  # only the target shard is swept

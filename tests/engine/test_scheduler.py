@@ -103,10 +103,41 @@ class TestEngineConfig:
         assert engine.cache is not None
         assert engine.cache.cache_dir == str(tmp_path / "cache")
 
-    def test_from_env_garbage_workers_falls_back(self, monkeypatch):
+    def test_from_env_garbage_workers_warns_and_falls_back(self,
+                                                           monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
-        assert ExtractionEngine.from_env().workers == 1
+        with pytest.warns(RuntimeWarning, match="'many'"):
+            assert ExtractionEngine.from_env().workers == 1
+
+    def test_from_env_negative_workers_warns_and_falls_back(self,
+                                                            monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        with pytest.warns(RuntimeWarning, match="'-2'"):
+            assert ExtractionEngine.from_env().workers == 1
+
+    def test_from_env_valid_workers_do_not_warn(self, monkeypatch,
+                                                recwarn):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert ExtractionEngine.from_env().workers == 4
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_rejects_unknown_on_error_policy(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ExtractionEngine(on_error="ignore")
+
+    def test_rejects_non_positive_task_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExtractionEngine(workers=2, task_timeout=0)
+
+    def test_serial_task_timeout_warns(self):
+        with pytest.warns(RuntimeWarning, match="workers > 1"):
+            ExtractionEngine(workers=1, task_timeout=5.0)
+
+    def test_max_retries_clamped_to_non_negative(self):
+        assert ExtractionEngine(max_retries=-4).max_retries == 0
 
 
 class TestExtractOne:

@@ -1,0 +1,89 @@
+"""Observability regressions for the cross-validation fold loop.
+
+``cross_validate_*`` reads ``fold_span.duration`` *after* the span
+context exits — which is the shared :class:`NullSpan` singleton when
+obs is disabled, and a finished real span when enabled. Both shapes,
+plus the error path (an estimator raising mid-fold), are pinned here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ml.crossval import (
+    cross_validate_classifier,
+    cross_validate_regressor,
+)
+from repro.ml.dataset import Dataset
+from repro.ml.linear import LinearRegressor
+from repro.ml.logistic import LogisticRegression
+
+
+@pytest.fixture(autouse=True)
+def obs_isolated():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def make_dataset(kind="classification", n=24, seed=3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    if kind == "classification":
+        y = (x[:, 0] + 0.1 * rng.normal(size=n) > 0).astype(int)
+    else:
+        y = x[:, 0] * 2.0 + rng.normal(size=n) * 0.1
+    rows = [{f"f{j}": float(v) for j, v in enumerate(row)} for row in x]
+    return Dataset.from_rows(rows, list(y), name=f"obs-{kind}")
+
+
+class _ExplodingClassifier:
+    def fit(self, x, y):
+        raise FloatingPointError("singular fold")
+
+
+class TestNullSpanSafety:
+    def test_classifier_cv_runs_with_obs_disabled(self):
+        assert not obs.is_enabled()
+        result = cross_validate_classifier(
+            make_dataset(), LogisticRegression, k=3)
+        assert 0.0 <= result["accuracy"] <= 1.0
+
+    def test_regressor_cv_runs_with_obs_disabled(self):
+        assert not obs.is_enabled()
+        result = cross_validate_regressor(
+            make_dataset("regression"), LinearRegressor, k=3)
+        assert "rmse" in result.metrics
+
+    def test_null_span_duration_is_a_float(self):
+        # The exact contract the fold loop leans on: reading .duration
+        # off the disabled-path singleton is a 0.0, never an error.
+        span = obs.span("cv.fold", fold=0)
+        with span:
+            pass
+        assert span.duration == 0.0
+        assert span.self_time == 0.0
+
+
+class TestFoldErrorSpans:
+    def test_fold_span_records_error_on_estimator_raise(self):
+        obs.configure()
+        with pytest.raises(FloatingPointError):
+            cross_validate_classifier(
+                make_dataset(), _ExplodingClassifier, k=3)
+        session = obs.disable()
+        folds = [s for s in session.tracer.spans if s.name == "cv.fold"]
+        assert len(folds) == 1  # the first fold died, none followed
+        assert folds[0].attrs["error"] == "FloatingPointError"
+
+    def test_clean_folds_record_no_error(self):
+        obs.configure()
+        cross_validate_classifier(make_dataset(), LogisticRegression, k=3)
+        session = obs.disable()
+        folds = [s for s in session.tracer.spans if s.name == "cv.fold"]
+        assert len(folds) == 3
+        assert all("error" not in s.attrs for s in folds)
+        histogram = session.metrics.snapshot()["histograms"]
+        assert histogram["cv.fold_seconds"]["count"] == 3

@@ -5,6 +5,7 @@ import pytest
 from repro import obs
 from repro.obs.report import (
     aggregate_spans,
+    format_error_spans,
     format_metrics,
     format_run_report,
     format_span_table,
@@ -97,3 +98,41 @@ class TestFormat:
         report = format_run_report(session)
         assert "no spans" in report
         assert "no metrics" in report
+
+
+class TestErrorSection:
+    def _session_with_failure(self):
+        session = obs.configure()
+        with obs.span("testbed.app", app="lighttpd", cached=False):
+            pass
+        try:
+            with obs.span("testbed.app", app="exim", cached=False):
+                raise RuntimeError("analyzer exploded")
+        except RuntimeError:
+            pass
+        obs.disable()
+        return session
+
+    def test_error_spans_listed_with_attrs(self):
+        session = self._session_with_failure()
+        text = format_error_spans(session.tracer.spans)
+        assert "testbed.app" in text
+        assert "RuntimeError" in text
+        assert "app=exim" in text
+        assert "lighttpd" not in text
+
+    def test_clean_run_has_no_errors_section(self):
+        session = obs.configure()
+        with obs.span("testbed.app", app="ok"):
+            pass
+        obs.disable()
+        assert format_error_spans(session.tracer.spans) == ""
+        assert "errors:" not in format_run_report(session)
+
+    def test_run_report_appends_errors_section(self):
+        session = self._session_with_failure()
+        report = format_run_report(session)
+        assert "errors:" in report
+        assert "RuntimeError" in report
+        # the section comes after the metrics block
+        assert report.index("errors:") > report.index("metrics:")

@@ -245,6 +245,71 @@ class TestSurveyAndCorpus:
         assert db.totals() == (164, 5975)
 
 
+class TestFailurePolicyFlags:
+    def test_flags_reach_the_engine(self):
+        from repro.cli import _engine_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["analyze", "ignored", "--on-error", "retry",
+             "--task-timeout", "7.5", "--max-retries", "4",
+             "--workers", "2"])
+        engine = _engine_from_args(args)
+        assert engine.on_error == "retry"
+        assert engine.task_timeout == 7.5
+        assert engine.max_retries == 4
+
+    def test_defaults_are_fail_fast(self):
+        from repro.cli import _engine_from_args, build_parser
+
+        args = build_parser().parse_args(["analyze", "ignored"])
+        engine = _engine_from_args(args)
+        assert engine.on_error == "raise"
+        assert engine.task_timeout is None
+
+    def test_unknown_policy_rejected_by_parser(self, risky_tree):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", risky_tree, "--on-error", "ignore"])
+        assert excinfo.value.code == 2
+
+    def test_analyze_reports_extraction_failure(self, risky_tree,
+                                                monkeypatch):
+        from repro.engine.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "risky=crash")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", risky_tree, "--on-error", "skip"])
+        assert "extraction failed" in str(excinfo.value)
+        assert "risky" in str(excinfo.value)
+
+    def test_train_exits_nonzero_when_apps_skipped(self, tmp_path,
+                                                   monkeypatch, capsys):
+        from repro.engine.faults import FAULTS_ENV
+
+        monkeypatch.setenv(FAULTS_ENV, "c-app-002=crash")
+        out = str(tmp_path / "m.pkl")
+        code = main(["train", "--seed", "7", "--apps", "16",
+                     "--folds", "3", "--out", out, "--on-error", "skip"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "skipped 1 application(s)" in captured.err
+        assert "c-app-002" in captured.err
+        # the model over the survivors was still trained and saved
+        assert "model saved" in captured.out
+        with open(out, "rb") as handle:
+            assert pickle.load(handle) is not None
+
+    def test_clean_train_still_exits_zero(self, tmp_path, monkeypatch,
+                                          capsys):
+        from repro.engine.faults import FAULTS_ENV
+
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        out = str(tmp_path / "m.pkl")
+        code = main(["train", "--seed", "7", "--apps", "16",
+                     "--folds", "3", "--out", out, "--on-error", "skip"])
+        assert code == 0
+        assert "skipped" not in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
