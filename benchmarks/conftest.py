@@ -3,11 +3,47 @@
 Heavy artefacts are session-scoped and built once; each benchmark then
 times its experiment-specific computation and prints a paper-vs-measured
 table (captured with ``-s`` or in the captured output section).
+
+Every benchmark run also writes ``BENCH_run.json`` into the rootdir:
+per-test wall-clock durations plus every paper-vs-measured table routed
+through ``table_printer``. The CI bench-smoke leg uploads that file as
+a workflow artifact, so the perf trajectory is recorded per commit.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+import time
+
 import pytest
+
+#: Accumulated across the session; flushed by pytest_sessionfinish.
+_RUN_RECORD = {
+    "python": sys.version.split()[0],
+    "platform": platform.platform(),
+    "benchmarks": {},
+    "tables": [],
+}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    _RUN_RECORD["benchmarks"][item.nodeid] = {
+        "seconds": round(time.perf_counter() - start, 6),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _RUN_RECORD["exitstatus"] = int(exitstatus)
+    out = session.config.rootpath / "BENCH_run.json"
+    try:
+        out.write_text(json.dumps(_RUN_RECORD, indent=2) + "\n")
+    except OSError as exc:  # a read-only checkout must not fail the run
+        print(f"warning: cannot write {out}: {exc}", file=sys.stderr)
 
 
 @pytest.fixture(scope="session")
@@ -50,5 +86,14 @@ def print_table(title, headers, rows):
 
 
 @pytest.fixture
-def table_printer():
-    return print_table
+def table_printer(request):
+    """print_table, plus a copy of every table into BENCH_run.json."""
+    def print_and_record(title, headers, rows):
+        print_table(title, headers, rows)
+        _RUN_RECORD["tables"].append({
+            "test": request.node.nodeid,
+            "title": title,
+            "headers": [str(h) for h in headers],
+            "rows": [[str(cell) for cell in row] for row in rows],
+        })
+    return print_and_record

@@ -23,6 +23,26 @@ as the paper's Figure 4 pipeline:
 
 __version__ = "1.0.0"
 
+
+def package_version() -> str:
+    """The installed distribution version, or the module fallback.
+
+    Prefers package metadata (`pip install -e .` keeps it current with
+    pyproject.toml); a source-tree run via ``PYTHONPATH=src`` has no
+    installed distribution, so the module constant stands in. The CLI's
+    ``--version`` flag and the serving layer's ``/healthz`` build
+    identity both come from here.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8 only
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
 from repro import (
     analysis, bugfind, core, cve, engine, lang, ml, stats, surface, synth,
 )
@@ -54,6 +74,7 @@ __all__ = [
     "extract_features",
     "lang",
     "ml",
+    "package_version",
     "stats",
     "surface",
     "synth",

@@ -15,6 +15,12 @@ Commands:
   with).
 - ``survey`` — print the Figure-1 survey table.
 - ``corpus --out FEED.json`` — export the calibrated CVE corpus as JSON.
+- ``serve --model PATH`` — run the prediction service daemon:
+  ``POST /predict`` (micro-batched), ``POST /analyze`` (through the
+  extraction engine), ``GET /healthz``, ``GET /metricz``. Stops cleanly
+  (exit 0) on SIGTERM/SIGINT.
+
+``repro --version`` prints the build version from package metadata.
 
 Observability (accepted before or after the subcommand):
 
@@ -49,12 +55,13 @@ skipped, and prints a per-app failure summary to stderr.
 from __future__ import annotations
 
 import argparse
-import json
 import pickle
+import signal
 import sys
+import threading
 from typing import List, Optional
 
-from repro import obs
+from repro import obs, package_version
 from repro.bugfind.findings import Severity
 from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
 from repro.core.model import SecurityModel
@@ -68,6 +75,8 @@ from repro.engine import (
     format_failures,
 )
 from repro.lang import Codebase
+from repro.serve.modelstore import ModelLoadError, load_model
+from repro.serve.payloads import analysis_payload, dump_payload
 from repro.synth import build_corpus
 
 
@@ -116,28 +125,17 @@ def _train_model(seed: int, apps: int, folds: int, quiet: bool = False,
     return train_pipeline(corpus, k=folds, seed=seed, engine=engine)
 
 
+def _load_model_file(path: str) -> SecurityModel:
+    """Load a saved model for CLI use (SystemExit on any defect)."""
+    try:
+        return load_model(path)
+    except ModelLoadError as exc:
+        raise SystemExit(str(exc))
+
+
 def _obtain_model(args) -> SecurityModel:
     if getattr(args, "model", None):
-        try:
-            with open(args.model, "rb") as handle:
-                model = pickle.load(handle)
-        except (pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError,
-                UnicodeDecodeError) as exc:
-            raise SystemExit(
-                f"error: {args.model!r} is not a readable model file "
-                f"({type(exc).__name__}); retrain with `repro train`"
-            )
-        if not isinstance(model, SecurityModel):
-            raise SystemExit(f"error: {args.model!r} is not a saved model")
-        version = getattr(model, "format_version", None)
-        if version != SecurityModel.FORMAT_VERSION:
-            raise SystemExit(
-                f"error: {args.model!r} has model format version {version!r} "
-                f"but this build expects {SecurityModel.FORMAT_VERSION}; "
-                f"retrain with `repro train`"
-            )
-        return model
+        return _load_model_file(args.model)
     result = _train_model(args.seed, args.apps, args.folds,
                           engine=_engine_from_args(args))
     if result.table.failures:
@@ -148,6 +146,7 @@ def _obtain_model(args) -> SecurityModel:
 
 
 def cmd_analyze(args) -> int:
+    model = _load_model_file(args.model) if args.model else None
     codebase = _load_codebase(args.path)
     engine = _engine_from_args(args)
     try:
@@ -155,18 +154,20 @@ def cmd_analyze(args) -> int:
     except ExtractionError as exc:
         raise SystemExit(f"error: extraction failed — {exc}")
     if args.json:
-        payload = {
-            "app": codebase.name,
-            "files": len(codebase),
-            "primary_language": codebase.primary_language(),
-            "features": dict(sorted(row.items())),
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        # The serving layer's /analyze returns this very document; both
+        # go through dump_payload so the bytes cannot drift apart.
+        sys.stdout.write(dump_payload(analysis_payload(codebase, row, model)))
         return 0
     print(f"metrics for {codebase.name} ({len(codebase)} files, primary "
           f"language: {codebase.primary_language()})")
     for name in sorted(row):
         print(f"  {name:44s} {row[name]:12.4f}")
+    if model is not None:
+        assessment = model.assess(row)
+        print(f"\npredicted risk (model: {args.model}): "
+              f"{assessment.overall_risk:.3f}")
+        for hyp_id in sorted(assessment.probabilities):
+            print(f"  P({hyp_id}) = {assessment.probabilities[hyp_id]:.3f}")
     return 0
 
 
@@ -265,6 +266,45 @@ def cmd_survey(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the prediction daemon until SIGTERM/SIGINT (exit 0)."""
+    from repro.serve import ModelStore, PredictionServer
+    from repro.serve.modelstore import ModelLoadError as LoadError
+
+    try:
+        store = ModelStore.from_specs(args.model)
+    except LoadError as exc:
+        raise SystemExit(str(exc))
+    server = PredictionServer(
+        store,
+        engine=_engine_from_args(args),
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        batch_size=args.batch_size,
+        queue_depth=args.queue_depth,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _request_stop)
+    try:
+        server.start()
+        print(f"repro-serve {package_version()} listening on {server.url} "
+              f"(models: {', '.join(store.names())})", file=sys.stderr)
+        stop.wait()
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
 def cmd_corpus(args) -> int:
     from repro.cve import io as cve_io
     from repro.synth.cvegen import generate_database, generate_profiles
@@ -328,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Clairvoyant: empirical, ML-based software (in)security "
                     "metric (HotOS '17 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the build version (from package metadata) and exit")
     _add_obs_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -352,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include simulated dynamic-trace features")
     p.add_argument("--json", action="store_true",
                    help="emit the feature row as JSON (keys sorted)")
+    p.add_argument("--model", metavar="PATH", default=None,
+                   help="saved model: append its prediction to the output "
+                        "(the serve layer's /predict path)")
     _add_engine_options(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -389,6 +436,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("survey", help="print the Figure-1 survey table")
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_survey)
+
+    p = add_parser("serve",
+                   help="run the prediction service daemon (HTTP)")
+    p.add_argument("--model", action="append", metavar="[NAME=]PATH",
+                   required=True,
+                   help="saved model bundle to serve; repeatable, first "
+                        "is the default, NAME= names it for requests")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="bind port; 0 picks a free one (default: 8080)")
+    p.add_argument("--batch-window", type=float, default=0.01,
+                   metavar="SECONDS",
+                   help="micro-batch collection window (default: 0.01)")
+    p.add_argument("--batch-size", type=int, default=16, metavar="N",
+                   help="maximum predictions per micro-batch (default: 16)")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="bounded inbound queue; beyond it requests are "
+                        "shed with 503 + Retry-After (default: 64)")
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_serve)
 
     p = add_parser("corpus", help="export the calibrated CVE corpus")
     p.add_argument("--out", default="cve-corpus.json")

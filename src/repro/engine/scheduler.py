@@ -325,6 +325,13 @@ class ExtractionEngine:
         task_timeout: per-task wall-clock budget in seconds; enforced
             only for tasks running in worker processes.
         max_retries: extra attempts per crashed task under ``"retry"``.
+
+    The engine is a reusable handle: configuration is immutable after
+    construction and each :meth:`run` builds its own pool, so one
+    engine can serve many sequential runs (the serving layer shares a
+    single handle across all ``/analyze`` requests, behind a lock only
+    because the obs tracer is single-threaded — the engine itself keeps
+    no per-run state).
     """
 
     def __init__(self, workers: int = 1,
@@ -382,6 +389,21 @@ class ExtractionEngine:
         cache_dir = os.environ.get(CACHE_DIR_ENV)
         cache = FeatureCache(cache_dir) if cache_dir else None
         return cls(workers=workers, cache=cache)
+
+    def describe(self) -> Dict[str, Any]:
+        """The engine's configuration as a JSON-ready dict.
+
+        What ``/healthz`` reports so operators can see which engine
+        shape (workers, cache, failure policy) is behind served
+        traffic.
+        """
+        return {
+            "workers": self.workers,
+            "cache_dir": self.cache.cache_dir if self.cache else None,
+            "on_error": self.on_error,
+            "task_timeout": self.task_timeout,
+            "max_retries": self.max_retries,
+        }
 
     def run(self, tasks: Sequence[ExtractionTask]) -> ExtractionReport:
         """Extract every task, honouring the failure policy.

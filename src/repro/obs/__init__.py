@@ -43,6 +43,7 @@ from repro.obs.report import (
     aggregate_spans,
     format_error_spans,
     format_run_report,
+    format_serving_section,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span
 from repro.obs.tracer import Tracer
@@ -51,7 +52,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_SPAN",
     "NullSpan", "ObsSession", "SPAN_RECORD_KEYS", "Span", "Tracer",
     "active", "aggregate_spans", "configure", "disable",
-    "format_error_spans", "format_run_report", "gauge", "graft_spans",
+    "format_error_spans", "format_run_report", "format_serving_section",
+    "gauge", "graft_spans",
     "incr", "is_enabled",
     "merge_counters", "observe", "percentile", "read_jsonl", "span",
     "trace_lines", "write_jsonl",

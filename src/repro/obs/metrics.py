@@ -5,10 +5,18 @@ get-or-create) so call sites never need setup code. Histograms keep raw
 observations and summarise on demand with count/total/mean/min/p50/p95/
 max — the shape the run report renders and `BENCH_*.json` perf claims
 will cite.
+
+Instruments are thread-safe: the serving layer records request
+counters and latency observations from `ThreadingHTTPServer` handler
+threads, so `Counter.inc`, `Gauge.set`, and `Histogram.observe` each
+take a per-instrument lock (and the registry locks instrument
+creation). The single-threaded pipeline pays one uncontended lock
+acquire per record, which is noise next to the measured work.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Sequence
 
 
@@ -31,42 +39,50 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
     """A distribution of observations with on-demand summaries."""
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.values: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        with self._lock:
+            self.values.append(value)
 
     @property
     def count(self) -> int:
@@ -77,45 +93,58 @@ class Histogram:
         return sum(self.values)
 
     def summary(self) -> Dict[str, float]:
-        """count/total/mean/min/p50/p95/max over the observations."""
-        if not self.values:
+        """count/total/mean/min/p50/p95/max over the observations.
+
+        Snapshots the observation list under the lock first, so a
+        summary taken while handler threads are still observing (the
+        ``/metricz`` endpoint does exactly that) sees a consistent
+        prefix rather than a list mutating mid-percentile.
+        """
+        with self._lock:
+            values = list(self.values)
+        if not values:
             return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
                     "p50": 0.0, "p95": 0.0, "max": 0.0}
+        total = sum(values)
         return {
-            "count": len(self.values),
-            "total": self.total,
-            "mean": self.total / len(self.values),
-            "min": min(self.values),
-            "p50": percentile(self.values, 50.0),
-            "p95": percentile(self.values, 95.0),
-            "max": max(self.values),
+            "count": len(values),
+            "total": total,
+            "mean": total / len(values),
+            "min": min(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "max": max(values),
         }
 
 
 class MetricsRegistry:
-    """Named instruments, created on first use."""
+    """Named instruments, created on first use (creation is locked)."""
 
     def __init__(self):
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         inst = self.counters.get(name)
         if inst is None:
-            inst = self.counters[name] = Counter(name)
+            with self._lock:
+                inst = self.counters.setdefault(name, Counter(name))
         return inst
 
     def gauge(self, name: str) -> Gauge:
         inst = self.gauges.get(name)
         if inst is None:
-            inst = self.gauges[name] = Gauge(name)
+            with self._lock:
+                inst = self.gauges.setdefault(name, Gauge(name))
         return inst
 
     def histogram(self, name: str) -> Histogram:
         inst = self.histograms.get(name)
         if inst is None:
-            inst = self.histograms[name] = Histogram(name)
+            with self._lock:
+                inst = self.histograms.setdefault(name, Histogram(name))
         return inst
 
     def snapshot(self) -> Dict[str, Dict]:

@@ -109,6 +109,44 @@ def format_error_spans(spans: Sequence[Span]) -> str:
     return "\n".join(lines)
 
 
+def format_serving_section(registry: MetricsRegistry) -> str:
+    """Request/error/shed totals plus per-endpoint latency lines.
+
+    Summarises the ``serve.*`` instruments the prediction daemon
+    records (``serve.requests``/``serve.errors``/``serve.shed``
+    counters, ``serve.<endpoint>.seconds`` histograms, batch sizes).
+    Returns "" when the session saw no served traffic, so offline runs'
+    reports are unchanged.
+    """
+    snap = registry.snapshot()
+    if not any(name.startswith("serve.")
+               for section in ("counters", "histograms")
+               for name in snap[section]):
+        return ""
+    counters = snap["counters"]
+    requests = counters.get("serve.requests", 0)
+    errors = counters.get("serve.errors", 0)
+    shed = counters.get("serve.shed", 0)
+    lines = [f"  requests={requests:g} errors={errors:g} shed={shed:g}"]
+    batches = snap["histograms"].get("serve.batch_size")
+    if batches and batches["count"]:
+        lines.append(
+            f"  batches={batches['count']} mean_size={batches['mean']:.2f}"
+            f" max_size={batches['max']:g}")
+    for name, summary in snap["histograms"].items():
+        if not (name.startswith("serve.") and name.endswith(".seconds")):
+            continue
+        endpoint = name[len("serve."):-len(".seconds")]
+        lines.append(
+            f"  /{endpoint:12s} n={summary['count']:<5d}"
+            f" mean={summary['mean'] * 1e3:.2f}ms"
+            f" p50={summary['p50'] * 1e3:.2f}ms"
+            f" p95={summary['p95'] * 1e3:.2f}ms"
+            f" max={summary['max'] * 1e3:.2f}ms"
+        )
+    return "\n".join(lines)
+
+
 def format_run_report(session, title: str = "repro telemetry") -> str:
     """The full ``--profile`` report for one obs session."""
     tracer = session.tracer
@@ -122,6 +160,9 @@ def format_run_report(session, title: str = "repro telemetry") -> str:
         "metrics:",
         format_metrics(session.metrics),
     ]
+    serving = format_serving_section(session.metrics)
+    if serving:
+        lines.extend(["", "serving:", serving])
     errors = format_error_spans(tracer.spans)
     if errors:
         lines.extend(["", "errors:", errors])

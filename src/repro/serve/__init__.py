@@ -1,0 +1,56 @@
+"""Prediction service layer: the testbed as a long-running daemon.
+
+The paper's Figure-4 system is not a one-shot script: applications
+stream in, features are extracted, and the trained model answers
+CVE-hypothesis queries on demand. This package is that serving layer —
+a stdlib-only HTTP daemon (`http.server.ThreadingHTTPServer`, no new
+dependencies) in front of the trained :class:`~repro.core.model.
+SecurityModel` bundles and the existing :class:`~repro.engine.
+ExtractionEngine`:
+
+- :mod:`repro.serve.modelstore` — loads and validates one or more
+  saved model bundles at startup (named ``NAME=PATH`` specs);
+- :mod:`repro.serve.batching` — micro-batches concurrent ``/predict``
+  requests behind a bounded queue (configurable window and size) and
+  sheds load with 503 + ``Retry-After`` when the queue is full;
+- :mod:`repro.serve.payloads` — the one place request/CLI payloads are
+  built and serialised, so served responses stay byte-identical to the
+  offline ``repro analyze --json`` path;
+- :mod:`repro.serve.handlers` — routing, validation, and per-endpoint
+  metrics (``serve.requests`` / ``serve.errors`` counters and
+  ``serve.<endpoint>.seconds`` histograms in :mod:`repro.obs`);
+- :mod:`repro.serve.server` — the daemon itself: ``POST /predict``,
+  ``POST /analyze``, ``GET /healthz``, ``GET /metricz``.
+
+Start one from the CLI with ``repro serve --model model.pkl`` or
+programmatically::
+
+    from repro.serve import ModelStore, PredictionServer
+
+    store = ModelStore.from_specs(["default=model.pkl"])
+    server = PredictionServer(store, port=0)   # port 0: pick a free one
+    server.start()
+    ...                                        # server.port is bound now
+    server.stop()
+"""
+
+from repro.serve.batching import MicroBatcher, QueueSaturated
+from repro.serve.modelstore import ModelLoadError, ModelStore, load_model
+from repro.serve.payloads import (
+    analysis_payload,
+    dump_payload,
+    prediction_payload,
+)
+from repro.serve.server import PredictionServer
+
+__all__ = [
+    "MicroBatcher",
+    "ModelLoadError",
+    "ModelStore",
+    "PredictionServer",
+    "QueueSaturated",
+    "analysis_payload",
+    "dump_payload",
+    "load_model",
+    "prediction_payload",
+]

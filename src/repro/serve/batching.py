@@ -1,0 +1,181 @@
+"""Micro-batching with a bounded queue and explicit load shedding.
+
+Concurrent ``/predict`` requests land on a bounded queue; a single
+collector thread drains it in micro-batches — the first item opens a
+batch, then the collector waits up to ``batch_window`` seconds for up
+to ``batch_size`` items before handing the batch to the processing
+callback. Each submission gets a :class:`concurrent.futures.Future`
+the handler thread blocks on, so HTTP latency is (queue wait + window
+remainder + batch processing), never unbounded.
+
+Overload policy is shed-don't-collapse: when the queue is full,
+:meth:`MicroBatcher.submit` raises :class:`QueueSaturated` immediately
+and the HTTP layer turns that into ``503`` with a ``Retry-After``
+header — a saturated server answers cheaply and stays up rather than
+queueing unboundedly until it falls over.
+
+Telemetry (``serve.batches``, ``serve.batch_size``, ``serve.shed``)
+flows into the active :mod:`repro.obs` session.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro import obs
+
+#: Queue sentinel that wakes the collector up for shutdown.
+_STOP = object()
+
+
+class QueueSaturated(Exception):
+    """The bounded inbound queue is full; the request must be shed.
+
+    ``retry_after`` is the whole-second hint the HTTP layer forwards as
+    the ``Retry-After`` header.
+    """
+
+    def __init__(self, retry_after: int):
+        super().__init__(
+            f"inbound queue is full; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+class MicroBatcher:
+    """Groups submissions into bounded micro-batches for one callback.
+
+    Args:
+        process: called with the list of batched items, must return one
+            result per item (same order). Runs on the collector thread.
+        batch_window: seconds the collector waits, after the first item
+            of a batch arrives, for more items to amortise over.
+        batch_size: maximum items per batch; a full batch dispatches
+            before the window closes.
+        queue_depth: bound on queued-but-unbatched submissions; beyond
+            it, :meth:`submit` raises :class:`QueueSaturated`.
+    """
+
+    def __init__(
+        self,
+        process: Callable[[List[Any]], List[Any]],
+        batch_window: float = 0.01,
+        batch_size: int = 16,
+        queue_depth: int = 64,
+    ):
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._process = process
+        self.batch_window = float(batch_window)
+        self.batch_size = int(batch_size)
+        self.queue_depth = int(queue_depth)
+        self.retry_after = max(1, int(math.ceil(self.batch_window)))
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the collector; queued-but-unprocessed futures error out."""
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        self._drain_rejected()
+
+    # -- submission ---------------------------------------------------
+
+    def submit(self, item: Any) -> "Future[Any]":
+        """Enqueue one item; the returned future resolves to its result.
+
+        Raises :class:`QueueSaturated` without blocking when the
+        bounded queue is full (the shed path), or :class:`RuntimeError`
+        when the batcher is not running.
+        """
+        if not self._running:
+            raise RuntimeError("batcher is not running")
+        future: "Future[Any]" = Future()
+        try:
+            self._queue.put_nowait((item, future))
+        except queue.Full:
+            obs.incr("serve.shed")
+            raise QueueSaturated(self.retry_after) from None
+        return future
+
+    # -- collector ----------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _STOP:
+                return
+            batch: List[Tuple[Any, "Future[Any]"]] = [entry]
+            deadline = perf_counter() + self.batch_window
+            saw_stop = False
+            while len(batch) < self.batch_size:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _STOP:
+                    saw_stop = True
+                    break
+                batch.append(entry)
+            self._dispatch(batch)
+            if saw_stop:
+                return
+
+    def _dispatch(self, batch: List[Tuple[Any, "Future[Any]"]]) -> None:
+        obs.incr("serve.batches")
+        obs.observe("serve.batch_size", len(batch))
+        items = [item for item, _ in batch]
+        try:
+            results = self._process(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch callback returned {len(results)} results "
+                    f"for {len(items)} items")
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    def _drain_rejected(self) -> None:
+        """Fail anything still queued after shutdown (never hang callers)."""
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if entry is _STOP:
+                continue
+            _, future = entry
+            if not future.done():
+                future.set_exception(RuntimeError("server shutting down"))

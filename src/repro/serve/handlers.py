@@ -1,0 +1,242 @@
+"""Request routing, validation, and per-endpoint metrics for the daemon.
+
+Transport-free by design: :func:`handle_request` maps (method, path,
+body bytes) to a :class:`Response`, so the whole HTTP surface is unit-
+testable without sockets and the `http.server` glue in
+:mod:`repro.serve.server` stays a thin shell.
+
+Every request increments ``serve.requests`` and lands a latency
+observation in ``serve.<endpoint>.seconds``; every non-2xx response
+also increments ``serve.errors`` (plus ``serve.errors.<status>``).
+These flow into the active :mod:`repro.obs` session, surface verbatim
+on ``GET /metricz``, and show up in the ``--profile`` run report's
+serving section.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.engine import ExtractionError
+from repro.lang import Codebase
+from repro.serve.batching import QueueSaturated
+from repro.serve.payloads import analysis_payload, dump_payload
+
+#: Routing table: path -> allowed method. Anything else is 404/405.
+ROUTES: Dict[str, str] = {
+    "/healthz": "GET",
+    "/metricz": "GET",
+    "/predict": "POST",
+    "/analyze": "POST",
+}
+
+
+@dataclass
+class Response:
+    """One finished HTTP exchange, ready for the transport to write."""
+
+    status: int
+    body: bytes
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    content_type: str = "application/json"
+
+
+class HTTPError(Exception):
+    """A request the handler rejects with a specific status and message."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[List[Tuple[str, str]]] = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or []
+
+
+def _json_response(status: int, payload,
+                   headers: Optional[List[Tuple[str, str]]] = None
+                   ) -> Response:
+    return Response(status=status,
+                    body=dump_payload(payload).encode("utf-8"),
+                    headers=headers or [])
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HTTPError(400, f"request body is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        raise HTTPError(400, "request body must be a JSON object")
+    return doc
+
+
+def _validate_features(features, where: str) -> Dict[str, float]:
+    if not isinstance(features, dict) or not features:
+        raise HTTPError(
+            400, f"{where} must be a non-empty object of feature values")
+    row: Dict[str, float] = {}
+    for name, value in features.items():
+        if not isinstance(name, str) or isinstance(value, bool) \
+                or not isinstance(value, (int, float)):
+            raise HTTPError(
+                400,
+                f"{where} must map feature names to numbers "
+                f"(bad entry: {name!r})")
+        row[name] = float(value)
+    return row
+
+
+def _select_model(app, doc: dict, required: bool):
+    """The model a request names (404 on unknown), or the default.
+
+    ``/analyze`` passes ``required=False``: without a ``model`` key it
+    returns features only, byte-identical to `analyze --json` without
+    ``--model``.
+    """
+    name = doc.get("model")
+    if name is None and not required:
+        return None, None
+    if name is not None and not isinstance(name, str):
+        raise HTTPError(400, "'model' must be a string")
+    try:
+        model = app.store.get(name)
+    except KeyError:
+        raise HTTPError(
+            404,
+            f"unknown model {name!r}; loaded models: {app.store.names()}")
+    return model, name or app.store.default_name
+
+
+# -- endpoints --------------------------------------------------------
+
+
+def _handle_healthz(app, doc: Optional[dict]) -> Response:
+    return _json_response(200, app.health())
+
+
+def _handle_metricz(app, doc: Optional[dict]) -> Response:
+    session = obs.active()
+    if session is None:  # pragma: no cover - server always configures obs
+        raise HTTPError(503, "metrics session not configured")
+    return _json_response(200, session.metrics.snapshot())
+
+
+def _handle_predict(app, doc: dict) -> Response:
+    model, model_name = _select_model(app, doc, required=True)
+    if "instances" in doc:
+        instances = doc["instances"]
+        if not isinstance(instances, list) or not instances:
+            raise HTTPError(400, "'instances' must be a non-empty array")
+        rows = [_validate_features(inst, f"instances[{i}]")
+                for i, inst in enumerate(instances)]
+        batched = True
+    elif "features" in doc:
+        rows = [_validate_features(doc["features"], "'features'")]
+        batched = False
+    else:
+        raise HTTPError(400, "request needs 'features' or 'instances'")
+    try:
+        futures = [app.batcher.submit((model, row)) for row in rows]
+    except QueueSaturated as exc:
+        raise HTTPError(
+            503, str(exc),
+            headers=[("Retry-After", str(exc.retry_after))])
+    try:
+        predictions = [
+            future.result(timeout=app.request_timeout) for future in futures
+        ]
+    except FutureTimeout:
+        raise HTTPError(
+            503, "prediction timed out",
+            headers=[("Retry-After", str(app.batcher.retry_after))])
+    if not batched:
+        return _json_response(200, predictions[0])
+    return _json_response(
+        200, {"model": model_name, "predictions": predictions})
+
+
+def _handle_analyze(app, doc: dict) -> Response:
+    model, _ = _select_model(app, doc, required=False)
+    dynamic = doc.get("dynamic", False)
+    if not isinstance(dynamic, bool):
+        raise HTTPError(400, "'dynamic' must be a boolean")
+    if "paths" in doc:
+        paths = doc["paths"]
+        if not isinstance(paths, list) or not paths or any(
+                not isinstance(p, str) for p in paths):
+            raise HTTPError(400, "'paths' must be a non-empty string array")
+        batched = True
+    elif "path" in doc:
+        if not isinstance(doc["path"], str):
+            raise HTTPError(400, "'path' must be a string")
+        paths = [doc["path"]]
+        batched = False
+    else:
+        raise HTTPError(400, "request needs 'path' or 'paths'")
+    results = []
+    for path in paths:
+        codebase = Codebase.from_directory(path)
+        if len(codebase) == 0:
+            raise HTTPError(
+                400, f"no recognised source files under {path!r}")
+        # One extraction at a time: the shared engine handle already
+        # parallelises *inside* a run, and serialising runs keeps its
+        # tracing spans nested sanely under the single-threaded tracer.
+        with app.engine_lock:
+            try:
+                row = app.engine.extract_one(
+                    codebase, include_dynamic=dynamic)
+            except ExtractionError as exc:
+                raise HTTPError(500, f"extraction failed — {exc}")
+        results.append(analysis_payload(codebase, row, model))
+    if not batched:
+        return _json_response(200, results[0])
+    return _json_response(200, {"results": results})
+
+
+_HANDLERS = {
+    "/healthz": _handle_healthz,
+    "/metricz": _handle_metricz,
+    "/predict": _handle_predict,
+    "/analyze": _handle_analyze,
+}
+
+
+def handle_request(app, method: str, path: str, body: bytes) -> Response:
+    """Route one request and record its telemetry.
+
+    ``app`` is the owning :class:`~repro.serve.server.PredictionServer`
+    (store, engine + lock, batcher, timeouts). Never raises: every
+    failure mode becomes a JSON error response with the right status.
+    """
+    endpoint = path.split("?", 1)[0].rstrip("/") or "/"
+    started = perf_counter()
+    obs.incr("serve.requests")
+    try:
+        expected = ROUTES.get(endpoint)
+        if expected is None:
+            raise HTTPError(404, f"no such endpoint: {endpoint}")
+        if method != expected:
+            raise HTTPError(
+                405, f"{endpoint} only accepts {expected}",
+                headers=[("Allow", expected)])
+        doc = _parse_body(body) if method == "POST" else None
+        response = _HANDLERS[endpoint](app, doc)
+    except HTTPError as exc:
+        response = _json_response(
+            exc.status, {"error": str(exc)}, headers=exc.headers)
+    except Exception as exc:  # the daemon must never crash on a request
+        response = _json_response(
+            500, {"error": f"internal error: {type(exc).__name__}: {exc}"})
+    # Unknown paths share one histogram so request noise cannot mint
+    # unbounded metric names.
+    label = endpoint.strip("/") if endpoint in ROUTES else "unknown"
+    obs.observe(f"serve.{label}.seconds", perf_counter() - started)
+    if response.status >= 400:
+        obs.incr("serve.errors")
+        obs.incr(f"serve.errors.{response.status}")
+    return response

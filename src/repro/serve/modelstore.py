@@ -1,0 +1,128 @@
+"""Model bundle loading and the multi-model store the daemon serves.
+
+`load_model` is the one place a pickled :class:`~repro.core.model.
+SecurityModel` is read and validated — the CLI's ``--model`` flag and
+the daemon's startup both route through it, so a corrupt file or a
+stale ``format_version`` fails with the same clear message everywhere
+instead of an attribute error deep in prediction.
+
+A :class:`ModelStore` holds one or more named bundles (``NAME=PATH``
+specs; a bare path is named after its file stem). The first spec is the
+default model; requests select others with ``"model": "<name>"`` in
+the JSON body.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.model import SecurityModel
+
+
+class ModelLoadError(Exception):
+    """A saved model file could not be loaded or failed validation."""
+
+
+def load_model(path: str) -> SecurityModel:
+    """Load and validate one pickled model bundle.
+
+    Raises :class:`ModelLoadError` with a user-facing message on a
+    unreadable pickle, a pickle of the wrong type, or a format-version
+    mismatch (retraining is the fix in every case).
+    """
+    try:
+        with open(path, "rb") as handle:
+            model = pickle.load(handle)
+    except OSError as exc:
+        raise ModelLoadError(f"error: cannot read model file {path!r}: {exc}")
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError,
+            UnicodeDecodeError) as exc:
+        raise ModelLoadError(
+            f"error: {path!r} is not a readable model file "
+            f"({type(exc).__name__}); retrain with `repro train`"
+        )
+    if not isinstance(model, SecurityModel):
+        raise ModelLoadError(f"error: {path!r} is not a saved model")
+    version = getattr(model, "format_version", None)
+    if version != SecurityModel.FORMAT_VERSION:
+        raise ModelLoadError(
+            f"error: {path!r} has model format version {version!r} "
+            f"but this build expects {SecurityModel.FORMAT_VERSION}; "
+            f"retrain with `repro train`"
+        )
+    return model
+
+
+class ModelStore:
+    """Named, validated model bundles loaded once at daemon startup."""
+
+    def __init__(self):
+        self._models: Dict[str, SecurityModel] = {}
+        self._default: Optional[str] = None
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[str]) -> "ModelStore":
+        """Build a store from ``NAME=PATH`` (or bare ``PATH``) specs.
+
+        The first spec becomes the default model. Raises
+        :class:`ModelLoadError` on an invalid file or a duplicate name.
+        """
+        store = cls()
+        for spec in specs:
+            name, sep, path = spec.partition("=")
+            if not sep:
+                path = spec
+                name = os.path.splitext(os.path.basename(spec))[0]
+            if not name or not path:
+                raise ModelLoadError(
+                    f"error: bad model spec {spec!r} (want NAME=PATH)")
+            store.add(name, load_model(path))
+        if not store._models:
+            raise ModelLoadError("error: at least one --model is required")
+        return store
+
+    def add(self, name: str, model: SecurityModel) -> None:
+        if name in self._models:
+            raise ModelLoadError(f"error: duplicate model name {name!r}")
+        self._models[name] = model
+        if self._default is None:
+            self._default = name
+
+    def get(self, name: Optional[str] = None) -> SecurityModel:
+        """The named model, or the default when ``name`` is None.
+
+        Raises :class:`KeyError` (carrying the unknown name) so the
+        HTTP layer can map it to a 404.
+        """
+        if name is None:
+            name = self._default
+        if name is None or name not in self._models:
+            raise KeyError(name)
+        return self._models[name]
+
+    @property
+    def default_name(self) -> Optional[str]:
+        return self._default
+
+    def names(self) -> List[str]:
+        """Model names, default first, the rest in load order."""
+        return sorted(self._models, key=lambda n: n != self._default)
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Per-model identity block for ``/healthz``."""
+        return [
+            {
+                "name": name,
+                "default": name == self._default,
+                "format_version": model.format_version,
+                "features": len(model.feature_names),
+                "hypotheses": len(model.hypotheses),
+            }
+            for name, model in ((n, self._models[n]) for n in self.names())
+        ]
+
+    def __len__(self) -> int:
+        return len(self._models)

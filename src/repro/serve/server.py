@@ -1,0 +1,185 @@
+"""The prediction daemon: ThreadingHTTPServer glue around the handlers.
+
+:class:`PredictionServer` owns the long-lived pieces — the validated
+:class:`~repro.serve.modelstore.ModelStore`, one shared
+:class:`~repro.engine.ExtractionEngine` handle (so the feature cache,
+worker pool, and failure policies apply to served traffic exactly as
+they do offline), the :class:`~repro.serve.batching.MicroBatcher`, and
+the :mod:`repro.obs` session ``/metricz`` reads. Each HTTP exchange is
+delegated to :func:`repro.serve.handlers.handle_request`; handler
+threads only touch thread-safe state (metrics instruments, the
+batcher's queue, the engine behind its lock).
+
+Endpoints:
+
+- ``GET /healthz`` — build identity (package version), loaded models,
+  engine and batching configuration.
+- ``GET /metricz`` — the metrics registry snapshot as JSON.
+- ``POST /predict`` — ``{"features": {...}}`` or
+  ``{"instances": [{...}, ...]}``, optional ``"model": NAME``;
+  micro-batched, byte-identical to the offline prediction path.
+- ``POST /analyze`` — ``{"path": DIR}`` or ``{"paths": [...]}``,
+  optional ``"model"``/``"dynamic"``; extraction through the shared
+  engine, byte-identical to ``repro analyze --json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs, package_version
+from repro.core.model import SecurityModel
+from repro.engine import ExtractionEngine
+from repro.serve.batching import MicroBatcher
+from repro.serve.handlers import handle_request
+from repro.serve.modelstore import ModelStore
+from repro.serve.payloads import prediction_payload
+
+#: How long a handler thread waits for its batched prediction before
+#: giving up with a 503 (covers a wedged or stopped collector).
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin transport shell; all logic lives in `handlers`."""
+
+    #: Overridden per-server by the subclass `PredictionServer` mints.
+    app: "PredictionServer"
+    server_version = f"repro-serve/{package_version()}"
+
+    # Access logging would interleave with the CLI's own output; the
+    # serve.* metrics are the supported observation channel.
+    def log_message(self, format: str, *args) -> None:
+        pass
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        response = handle_request(self.app, method, self.path, body)
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+
+class PredictionServer:
+    """A running (or startable) prediction service.
+
+    Args:
+        store: validated model bundles (first one is the default).
+        engine: shared extraction engine handle for ``/analyze``;
+            defaults to :meth:`ExtractionEngine.from_env`, so
+            ``REPRO_WORKERS``/``REPRO_CACHE_DIR`` shape served traffic
+            the same way they shape CLI runs.
+        host/port: bind address; port 0 picks a free port (the bound
+            one is on :attr:`port` after construction).
+        batch_window/batch_size/queue_depth: micro-batching knobs (see
+            :class:`~repro.serve.batching.MicroBatcher`).
+        request_timeout: per-request wait bound on batched predictions.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        engine: Optional[ExtractionEngine] = None,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        batch_window: float = 0.01,
+        batch_size: int = 16,
+        queue_depth: int = 64,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ):
+        self.store = store
+        self.engine = engine if engine is not None \
+            else ExtractionEngine.from_env()
+        self.engine_lock = threading.Lock()
+        self.request_timeout = request_timeout
+        # /metricz needs a registry even when the CLI passed no
+        # --profile/--trace; reuse an existing session rather than
+        # clobbering the one main() configured.
+        if not obs.is_enabled():
+            obs.configure()
+        self.batcher = MicroBatcher(
+            self._predict_batch,
+            batch_window=batch_window,
+            batch_size=batch_size,
+            queue_depth=queue_depth,
+        )
+        handler_cls = type(
+            "BoundRequestHandler", (_RequestHandler,), {"app": self})
+        self.httpd = ThreadingHTTPServer((host, port), handler_cls)
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- the batched model hop ----------------------------------------
+
+    @staticmethod
+    def _predict_batch(
+        items: List[Tuple[SecurityModel, Dict[str, float]]]
+    ) -> List[Dict[str, object]]:
+        """Resolve one micro-batch; runs on the collector thread.
+
+        Per-row ``assess`` inside the batch keeps responses bit-equal
+        to the offline path; the batching win is amortised queue and
+        thread wakeup overhead, not cross-row vectorisation.
+        """
+        return [prediction_payload(model, row) for model, row in items]
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Serve in a background thread (tests and embedding)."""
+        self.batcher.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-serve-http",
+            daemon=True)
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path); blocks."""
+        self.batcher.start()
+        self.httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting, close the socket, stop the batcher."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.batcher.stop()
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` document (also handy for embedders)."""
+        return {
+            "status": "ok",
+            "version": package_version(),
+            "models": self.store.describe(),
+            "engine": self.engine.describe(),
+            "batching": {
+                "window_s": self.batcher.batch_window,
+                "max_size": self.batcher.batch_size,
+                "queue_depth": self.batcher.queue_depth,
+            },
+        }

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
 
 
 class TestPercentile:
@@ -86,3 +91,116 @@ class TestSnapshot:
         registry = MetricsRegistry()
         registry.histogram("h").observe(1.0)
         json.dumps(registry.snapshot())
+
+
+class TestServedTrafficEdgeCases:
+    """Histogram/counter shapes the serving layer's handler threads hit."""
+
+    def test_empty_histogram_report_renders(self):
+        # /metricz can be scraped before any request lands an
+        # observation; the report must render the zeroed summary.
+        from repro.obs.report import format_metrics
+
+        registry = MetricsRegistry()
+        registry.histogram("serve.predict.seconds")
+        out = format_metrics(registry)
+        assert "serve.predict.seconds" in out
+        assert "n=0" in out
+
+    def test_single_sample_p95_is_that_sample(self):
+        h = Histogram("serve.analyze.seconds")
+        h.observe(0.125)
+        summary = h.summary()
+        assert summary["p95"] == 0.125
+        assert summary["p50"] == 0.125
+        assert summary["min"] == summary["max"] == 0.125
+        assert summary["count"] == 1
+
+    def test_two_sample_p95_interpolates_between_them(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.observe(2.0)
+        assert 1.0 < h.summary()["p95"] < 2.0
+
+    def test_concurrent_observe_from_handler_threads(self):
+        import threading
+
+        h = Histogram("serve.predict.seconds")
+        n_threads, per_thread = 8, 500
+
+        def hammer(value):
+            for _ in range(per_thread):
+                h.observe(value)
+
+        threads = [threading.Thread(target=hammer, args=(float(i),))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summary = h.summary()
+        assert summary["count"] == n_threads * per_thread
+        assert summary["total"] == per_thread * sum(range(n_threads))
+
+    def test_concurrent_counter_increments_are_not_lost(self):
+        import threading
+
+        c = Counter("serve.requests")
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_summary_during_concurrent_observe_is_consistent(self):
+        import threading
+
+        h = Histogram("h")
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                h.observe(1.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                summary = h.summary()
+                # mean over any consistent prefix of constant values
+                # is exactly that constant
+                if summary["count"]:
+                    assert summary["mean"] == 1.0
+                    assert summary["total"] == summary["count"]
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_registry_get_or_create_is_thread_safe(self):
+        import threading
+
+        registry = MetricsRegistry()
+        instruments = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            inst = registry.counter("serve.requests")
+            with lock:
+                instruments.append(inst)
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(inst is instruments[0] for inst in instruments)

@@ -1,0 +1,58 @@
+"""Serving-layer fixtures: a saved model, a store, a live server.
+
+The server fixture binds port 0 (a free port) and runs the real
+`ThreadingHTTPServer` in a background thread, so the suite exercises
+actual sockets, concurrent handler threads, and the micro-batcher —
+not a mocked transport.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.serve import ModelStore, PredictionServer
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory, small_training):
+    path = tmp_path_factory.mktemp("serve-model") / "model.pkl"
+    with open(path, "wb") as handle:
+        pickle.dump(small_training.model, handle)
+    return str(path)
+
+
+@pytest.fixture
+def store(model_file):
+    return ModelStore.from_specs([f"default={model_file}"])
+
+
+@pytest.fixture
+def server(store):
+    srv = PredictionServer(store, port=0, batch_window=0.005)
+    srv.start()
+    yield srv
+    srv.stop()
+    obs.disable()
+
+
+def http(server, method, path, doc=None, timeout=15):
+    """One request against a live test server -> (status, headers, body)."""
+    data = json.dumps(doc).encode() if doc is not None else None
+    request = urllib.request.Request(
+        server.url + path, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode()
+
+
+@pytest.fixture
+def client():
+    return http

@@ -1,0 +1,185 @@
+"""Micro-batcher semantics: grouping, windows, shedding, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.serve import MicroBatcher, QueueSaturated
+
+
+@pytest.fixture(autouse=True)
+def no_obs_leak():
+    yield
+    obs.disable()
+
+
+def make_batcher(process, **kwargs):
+    batcher = MicroBatcher(process, **kwargs)
+    batcher.start()
+    return batcher
+
+
+class TestBatching:
+    def test_single_item_resolves(self):
+        batcher = make_batcher(lambda items: [x * 2 for x in items],
+                               batch_window=0.001)
+        try:
+            assert batcher.submit(21).result(timeout=5) == 42
+        finally:
+            batcher.stop()
+
+    def test_results_map_to_their_submissions(self):
+        batcher = make_batcher(lambda items: [x + 1 for x in items],
+                               batch_window=0.05, batch_size=8)
+        try:
+            futures = [batcher.submit(i) for i in range(8)]
+            assert [f.result(timeout=5) for f in futures] == list(range(1, 9))
+        finally:
+            batcher.stop()
+
+    def test_concurrent_submissions_group_into_batches(self):
+        batches = []
+
+        def process(items):
+            batches.append(len(items))
+            return items
+
+        batcher = make_batcher(process, batch_window=0.25, batch_size=32)
+        try:
+            futures = []
+            lock = threading.Lock()
+
+            def submit(i):
+                f = batcher.submit(i)
+                with lock:
+                    futures.append(f)
+
+            threads = [threading.Thread(target=submit, args=(i,))
+                       for i in range(10)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for f in futures:
+                f.result(timeout=5)
+            # 10 near-simultaneous submissions under a 250 ms window
+            # must need far fewer than 10 batches.
+            assert sum(batches) == 10
+            assert len(batches) < 10
+        finally:
+            batcher.stop()
+
+    def test_full_batch_dispatches_before_window(self):
+        batcher = make_batcher(lambda items: items,
+                               batch_window=30.0, batch_size=2)
+        try:
+            f1 = batcher.submit("a")
+            f2 = batcher.submit("b")
+            # A 30 s window would time this out; a full batch must not wait.
+            assert f1.result(timeout=5) == "a"
+            assert f2.result(timeout=5) == "b"
+        finally:
+            batcher.stop()
+
+    def test_callback_exception_fails_the_batch(self):
+        def boom(items):
+            raise RuntimeError("model exploded")
+
+        batcher = make_batcher(boom, batch_window=0.001)
+        try:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=5)
+        finally:
+            batcher.stop()
+
+    def test_result_count_mismatch_fails_the_batch(self):
+        batcher = make_batcher(lambda items: [], batch_window=0.001)
+        try:
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                batcher.submit(1).result(timeout=5)
+        finally:
+            batcher.stop()
+
+
+class TestLoadShedding:
+    def test_saturated_queue_sheds_immediately(self):
+        release = threading.Event()
+
+        def blocked(items):
+            release.wait(timeout=10)
+            return items
+
+        batcher = make_batcher(blocked, batch_window=0.0, batch_size=1,
+                               queue_depth=1)
+        try:
+            first = batcher.submit(1)      # taken by the collector
+            time.sleep(0.1)                # let it enter the callback
+            second = batcher.submit(2)     # parks in the queue
+            started = time.perf_counter()
+            with pytest.raises(QueueSaturated) as excinfo:
+                batcher.submit(3)
+            # shed, not queued: the rejection must be immediate
+            assert time.perf_counter() - started < 0.5
+            assert excinfo.value.retry_after >= 1
+            release.set()
+            assert first.result(timeout=5) == 1
+            assert second.result(timeout=5) == 2
+        finally:
+            release.set()
+            batcher.stop()
+
+    def test_shed_increments_counter(self):
+        obs.configure()
+        release = threading.Event()
+        batcher = make_batcher(lambda items: (release.wait(10), items)[1],
+                               batch_window=0.0, batch_size=1, queue_depth=1)
+        try:
+            batcher.submit(1)
+            time.sleep(0.1)
+            batcher.submit(2)
+            with pytest.raises(QueueSaturated):
+                batcher.submit(3)
+            session = obs.active()
+            assert session.metrics.counter("serve.shed").value == 1
+        finally:
+            release.set()
+            batcher.stop()
+
+    def test_retry_after_scales_with_window(self):
+        assert MicroBatcher(lambda i: i, batch_window=0.01).retry_after == 1
+        assert MicroBatcher(lambda i: i, batch_window=2.5).retry_after == 3
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        batcher = MicroBatcher(lambda items: items)
+        with pytest.raises(RuntimeError, match="not running"):
+            batcher.submit(1)
+
+    def test_stop_fails_queued_futures(self):
+        release = threading.Event()
+        batcher = make_batcher(lambda items: (release.wait(10), items)[1],
+                               batch_window=0.0, batch_size=1, queue_depth=8)
+        batcher.submit(1)
+        time.sleep(0.1)
+        stranded = batcher.submit(2)
+        release.set()
+        batcher.stop()
+        # whichever way the race went, the future must be resolved
+        assert stranded.done()
+
+    def test_stop_is_idempotent(self):
+        batcher = make_batcher(lambda items: items)
+        batcher.stop()
+        batcher.stop()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda i: i, batch_window=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda i: i, batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda i: i, queue_depth=0)

@@ -1,0 +1,145 @@
+"""Transport-free routing/validation tests via handle_request."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import PredictionServer
+from repro.serve.handlers import handle_request
+
+
+@pytest.fixture
+def app(store):
+    server = PredictionServer(store, port=0, batch_window=0.005)
+    server.batcher.start()  # handlers need the collector, not the socket
+    yield server
+    server.batcher.stop()
+    server.httpd.server_close()
+    obs.disable()
+
+
+def call(app, method, path, doc=None):
+    body = json.dumps(doc).encode() if doc is not None else b""
+    response = handle_request(app, method, path, body)
+    return response, json.loads(response.body.decode())
+
+
+FEATURES = {"loc.total": 120.0, "complexity.per_kloc": 4.5}
+
+
+class TestRouting:
+    def test_unknown_path_404(self, app):
+        response, doc = call(app, "GET", "/nope")
+        assert response.status == 404
+        assert "no such endpoint" in doc["error"]
+
+    def test_wrong_method_405_with_allow(self, app):
+        response, doc = call(app, "POST", "/healthz", {})
+        assert response.status == 405
+        assert ("Allow", "GET") in response.headers
+
+    def test_trailing_slash_and_query_normalised(self, app):
+        response, _ = call(app, "GET", "/healthz/")
+        assert response.status == 200
+        response, _ = call(app, "GET", "/healthz?verbose=1")
+        assert response.status == 200
+
+    def test_invalid_json_400(self, app):
+        response = handle_request(app, "POST", "/predict", b"{not json")
+        assert response.status == 400
+
+    def test_non_object_body_400(self, app):
+        response = handle_request(app, "POST", "/predict", b"[1, 2]")
+        assert response.status == 400
+
+
+class TestPredictValidation:
+    def test_missing_keys_400(self, app):
+        response, doc = call(app, "POST", "/predict", {})
+        assert response.status == 400
+        assert "'features' or 'instances'" in doc["error"]
+
+    def test_non_numeric_feature_400(self, app):
+        response, _ = call(app, "POST", "/predict",
+                           {"features": {"loc.total": "many"}})
+        assert response.status == 400
+
+    def test_boolean_feature_rejected(self, app):
+        response, _ = call(app, "POST", "/predict",
+                           {"features": {"loc.total": True}})
+        assert response.status == 400
+
+    def test_empty_instances_400(self, app):
+        response, _ = call(app, "POST", "/predict", {"instances": []})
+        assert response.status == 400
+
+    def test_unknown_model_404(self, app):
+        response, doc = call(app, "POST", "/predict",
+                             {"features": FEATURES, "model": "canary"})
+        assert response.status == 404
+        assert "unknown model" in doc["error"]
+
+    def test_single_predict_shape(self, app):
+        response, doc = call(app, "POST", "/predict", {"features": FEATURES})
+        assert response.status == 200
+        assert set(doc) == {"probabilities", "estimates", "overall_risk"}
+
+    def test_batch_predict_shape(self, app):
+        response, doc = call(
+            app, "POST", "/predict",
+            {"instances": [FEATURES, FEATURES, FEATURES]})
+        assert response.status == 200
+        assert doc["model"] == "default"
+        assert len(doc["predictions"]) == 3
+        assert doc["predictions"][0] == doc["predictions"][2]
+
+
+class TestAnalyzeValidation:
+    def test_missing_path_400(self, app):
+        response, doc = call(app, "POST", "/analyze", {})
+        assert response.status == 400
+        assert "'path' or 'paths'" in doc["error"]
+
+    def test_empty_tree_400(self, app, tmp_path):
+        response, doc = call(app, "POST", "/analyze",
+                             {"path": str(tmp_path)})
+        assert response.status == 400
+        assert "no recognised source files" in doc["error"]
+
+    def test_bad_dynamic_400(self, app):
+        response, _ = call(app, "POST", "/analyze",
+                           {"path": "x", "dynamic": "yes"})
+        assert response.status == 400
+
+
+class TestTelemetry:
+    def test_requests_and_errors_counted(self, app):
+        obs.configure()
+        call(app, "GET", "/healthz")
+        call(app, "GET", "/nope")
+        session = obs.active()
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["serve.requests"] == 2
+        assert counters["serve.errors"] == 1
+        assert counters["serve.errors.404"] == 1
+
+    def test_endpoint_latency_histograms(self, app):
+        obs.configure()
+        call(app, "GET", "/healthz")
+        call(app, "POST", "/predict", {"features": FEATURES})
+        call(app, "GET", "/bogus")
+        histograms = obs.active().metrics.snapshot()["histograms"]
+        assert histograms["serve.healthz.seconds"]["count"] == 1
+        assert histograms["serve.predict.seconds"]["count"] == 1
+        # unknown paths share one histogram: no unbounded metric names
+        assert histograms["serve.unknown.seconds"]["count"] == 1
+
+    def test_profile_report_gains_serving_section(self, app):
+        obs.configure()
+        call(app, "GET", "/healthz")
+        call(app, "POST", "/predict", {"features": FEATURES})
+        report = obs.format_run_report(obs.active())
+        assert "serving:" in report
+        assert "/predict" in report
+        assert "requests=2" in report

@@ -1,0 +1,82 @@
+"""Model bundle loading/validation and the named store."""
+
+import pickle
+
+import pytest
+
+from repro.core.model import SecurityModel
+from repro.serve import ModelLoadError, ModelStore, load_model
+
+
+class TestLoadModel:
+    def test_valid_model_loads(self, model_file):
+        model = load_model(model_file)
+        assert isinstance(model, SecurityModel)
+        assert model.format_version == SecurityModel.FORMAT_VERSION
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelLoadError, match="cannot read model file"):
+            load_model(str(tmp_path / "nope.pkl"))
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(ModelLoadError, match="not a readable model"):
+            load_model(str(path))
+
+    def test_wrong_type(self, tmp_path):
+        path = tmp_path / "other.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a model"}, handle)
+        with pytest.raises(ModelLoadError, match="not a saved model"):
+            load_model(str(path))
+
+    def test_stale_format_version(self, tmp_path, model_file):
+        model = load_model(model_file)
+        model.format_version = SecurityModel.FORMAT_VERSION - 1
+        path = tmp_path / "stale.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump(model, handle)
+        with pytest.raises(ModelLoadError, match="model format version"):
+            load_model(str(path))
+
+
+class TestModelStore:
+    def test_bare_path_named_after_stem(self, model_file):
+        store = ModelStore.from_specs([model_file])
+        assert store.names() == ["model"]
+        assert store.default_name == "model"
+
+    def test_named_specs_and_default(self, model_file):
+        store = ModelStore.from_specs(
+            [f"primary={model_file}", f"canary={model_file}"])
+        assert store.default_name == "primary"
+        assert store.names() == ["primary", "canary"]
+        assert store.get() is store.get("primary")
+        assert store.get("canary") is not None
+
+    def test_unknown_name_raises_keyerror(self, model_file):
+        store = ModelStore.from_specs([model_file])
+        with pytest.raises(KeyError):
+            store.get("missing")
+
+    def test_duplicate_name_rejected(self, model_file):
+        with pytest.raises(ModelLoadError, match="duplicate model name"):
+            ModelStore.from_specs([f"m={model_file}", f"m={model_file}"])
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ModelLoadError, match="at least one"):
+            ModelStore.from_specs([])
+
+    def test_bad_spec_rejected(self, model_file):
+        with pytest.raises(ModelLoadError, match="bad model spec"):
+            ModelStore.from_specs([f"={model_file}"])
+
+    def test_describe_reports_identity(self, model_file):
+        store = ModelStore.from_specs([f"default={model_file}"])
+        (entry,) = store.describe()
+        assert entry["name"] == "default"
+        assert entry["default"] is True
+        assert entry["format_version"] == SecurityModel.FORMAT_VERSION
+        assert entry["features"] > 0
+        assert entry["hypotheses"] > 0

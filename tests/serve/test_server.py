@@ -1,0 +1,245 @@
+"""Live-socket tests: the daemon end to end over real HTTP.
+
+The load-bearing assertions here are the byte-identity ones — a served
+``/analyze`` body must equal the offline ``repro analyze --json``
+stdout byte for byte, and a served ``/predict`` must equal the
+``prediction`` block the offline CLI computes. The CI serve-smoke leg
+re-checks the same contract against a subprocess daemon.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs, package_version
+from repro.cli import main
+from repro.serve import ModelStore, PredictionServer
+from repro.serve.payloads import dump_payload
+
+from tests.serve.conftest import http
+
+SOURCE = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    d = tmp_path / "app"
+    d.mkdir()
+    (d / "app.c").write_text(SOURCE)
+    return str(d)
+
+
+def offline_json(capsys, *argv):
+    """Captured stdout of an in-process `repro analyze --json` run."""
+    assert main(["analyze", *argv, "--json"]) == 0
+    return capsys.readouterr().out
+
+
+class TestHealth:
+    def test_healthz_reports_identity(self, server, client):
+        status, _, body = client(server, "GET", "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["version"] == package_version()
+        assert doc["models"][0]["name"] == "default"
+        assert doc["engine"]["workers"] >= 1
+        assert doc["batching"]["queue_depth"] == 64
+
+    def test_port_zero_binds_a_real_port(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+
+class TestByteIdentity:
+    def test_analyze_matches_offline_cli(self, server, client, tree,
+                                         capsys):
+        offline = offline_json(capsys, tree)
+        status, _, body = client(server, "POST", "/analyze", {"path": tree})
+        assert status == 200
+        assert body == offline
+
+    def test_analyze_with_model_matches_offline_cli(
+            self, server, client, tree, model_file, capsys):
+        offline = offline_json(capsys, tree, "--model", model_file)
+        status, _, body = client(server, "POST", "/analyze",
+                                 {"path": tree, "model": "default"})
+        assert status == 200
+        assert body == offline
+
+    def test_predict_matches_offline_prediction(
+            self, server, client, tree, model_file, capsys):
+        offline = json.loads(offline_json(capsys, tree, "--model",
+                                          model_file))
+        status, _, body = client(
+            server, "POST", "/predict",
+            {"features": offline["features"]})
+        assert status == 200
+        assert body == dump_payload(offline["prediction"])
+
+    def test_batch_predict_rows_identical_to_single(
+            self, server, client, tree, capsys):
+        features = json.loads(offline_json(capsys, tree))["features"]
+        _, _, single = client(server, "POST", "/predict",
+                              {"features": features})
+        status, _, body = client(
+            server, "POST", "/predict",
+            {"instances": [features, features, features]})
+        assert status == 200
+        predictions = json.loads(body)["predictions"]
+        assert len(predictions) == 3
+        assert all(p == json.loads(single) for p in predictions)
+
+    def test_batch_analyze_rows_identical_to_single(
+            self, server, client, tree, capsys):
+        offline = offline_json(capsys, tree)
+        status, _, body = client(server, "POST", "/analyze",
+                                 {"paths": [tree, tree]})
+        assert status == 200
+        results = json.loads(body)["results"]
+        assert [dump_payload(r) for r in results] == [offline, offline]
+
+
+class TestConcurrency:
+    def test_parallel_predicts_all_answer(self, server, client, tree,
+                                          capsys):
+        features = json.loads(offline_json(capsys, tree))["features"]
+        statuses = []
+        lock = threading.Lock()
+
+        def fire():
+            status, _, _ = client(server, "POST", "/predict",
+                                  {"features": features})
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=fire) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert statuses == [200] * 12
+
+    def test_metricz_sees_served_traffic(self, server, client, tree,
+                                         capsys):
+        features = json.loads(offline_json(capsys, tree))["features"]
+        client(server, "POST", "/predict", {"features": features})
+        client(server, "GET", "/healthz")
+        status, _, body = client(server, "GET", "/metricz")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["counters"]["serve.requests"] >= 3
+        assert snapshot["histograms"]["serve.predict.seconds"]["count"] >= 1
+        assert snapshot["histograms"]["serve.batch_size"]["count"] >= 1
+
+
+class TestLoadShedding:
+    @pytest.fixture
+    def congested(self, store):
+        """A server whose model hop blocks until `release` is set.
+
+        batch_size=1 and queue_depth=1 mean: one request in flight, one
+        queued, everything else must shed with 503 + Retry-After.
+        """
+        server = PredictionServer(
+            store, port=0, batch_window=0.0, batch_size=1, queue_depth=1)
+        release = threading.Event()
+        fast_path = server.batcher._process
+
+        def blocked(items):
+            release.wait(timeout=10)
+            return fast_path(items)
+
+        server.batcher._process = blocked
+        server.start()
+        yield server, release
+        release.set()
+        server.stop()
+        obs.disable()
+
+    def test_saturated_queue_returns_503_with_retry_after(
+            self, congested, tree, capsys):
+        server, release = congested
+        features = json.loads(offline_json(capsys, tree))["features"]
+        results = {}
+        lock = threading.Lock()
+
+        def fire(index):
+            result = http(server, "POST", "/predict",
+                          {"features": features})
+            with lock:
+                results[index] = result
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+            time.sleep(0.3)  # in-flight, queued, then overflow
+        started = time.perf_counter()
+        threads[2].join(timeout=5)
+        # the shed response must come back long before the model hop
+        # unblocks — a saturated server answers, it does not hang
+        assert time.perf_counter() - started < 5
+        status, headers, body = results[2]
+        assert status == 503
+        assert int(headers["Retry-After"]) >= 1
+        assert "queue is full" in json.loads(body)["error"]
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert results[0][0] == 200
+        assert results[1][0] == 200
+
+    def test_server_survives_shedding(self, congested, tree, capsys):
+        """After a shed burst the daemon answers normally again."""
+        server, release = congested
+        features = json.loads(offline_json(capsys, tree))["features"]
+        threads = [
+            threading.Thread(
+                target=http,
+                args=(server, "POST", "/predict"),
+                kwargs={"doc": {"features": features}})
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        status, _, body = http(server, "GET", "/healthz")
+        assert status == 200
+        status, _, body = http(server, "GET", "/metricz")
+        assert json.loads(body)["counters"].get("serve.shed", 0) >= 1
+
+
+class TestLifecycle:
+    def test_stop_releases_the_port(self, store):
+        server = PredictionServer(store, port=0)
+        server.start()
+        port = server.port
+        server.stop()
+        # the port must be immediately rebindable
+        rebound = PredictionServer(store, port=port)
+        rebound.start()
+        rebound.stop()
+        obs.disable()
+
+    def test_reuses_existing_obs_session(self, store):
+        session = obs.configure()
+        server = PredictionServer(store, port=0)
+        try:
+            assert obs.active() is session
+        finally:
+            server.httpd.server_close()
+            server.batcher.stop()
+            obs.disable()

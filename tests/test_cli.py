@@ -339,3 +339,95 @@ class TestHotspots:
         assert main(["hotspots", risky_tree, "--top", "1"]) == 0
         out = capsys.readouterr().out
         assert "more" in out or out.count("HIGH") <= 2
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        from repro import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert package_version() in capsys.readouterr().out
+
+    def test_version_is_a_dotted_release_string(self):
+        import re
+
+        import repro
+
+        version = repro.package_version()
+        assert re.match(r"^\d+\.\d+", version)
+
+    def test_uninstalled_falls_back_to_module_constant(self, monkeypatch):
+        # PYTHONPATH=src runs have no installed distribution; the module
+        # constant must stand in so /healthz always has an identity.
+        import importlib.metadata
+
+        import repro
+
+        def missing(name):
+            raise importlib.metadata.PackageNotFoundError(name)
+
+        monkeypatch.setattr(importlib.metadata, "version", missing)
+        assert repro.package_version() == repro.__version__
+
+
+class TestAnalyzeWithModel:
+    def test_json_gains_prediction_block(self, risky_tree, model_path,
+                                         capsys):
+        assert main(["analyze", risky_tree, "--json",
+                     "--model", model_path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        prediction = payload["prediction"]
+        assert set(prediction) == {"probabilities", "estimates",
+                                   "overall_risk"}
+        assert 0.0 <= prediction["overall_risk"] <= 1.0
+
+    def test_json_without_model_has_no_prediction(self, risky_tree,
+                                                  capsys):
+        assert main(["analyze", risky_tree, "--json"]) == 0
+        assert "prediction" not in json.loads(capsys.readouterr().out)
+
+    def test_text_mode_prints_risk(self, risky_tree, model_path, capsys):
+        assert main(["analyze", risky_tree, "--model", model_path]) == 0
+        assert "predicted risk" in capsys.readouterr().out
+
+    def test_bad_model_fails_before_extraction(self, risky_tree,
+                                               tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"garbage")
+        with pytest.raises(SystemExit, match="not a readable model"):
+            main(["analyze", risky_tree, "--json", "--model", str(bad)])
+
+
+class TestServeParser:
+    def test_model_flag_is_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--model", "m.pkl"])
+        assert args.model == ["m.pkl"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.batch_window == 0.01
+        assert args.batch_size == 16
+        assert args.queue_depth == 64
+
+    def test_models_accumulate_and_engine_flags_apply(self):
+        from repro.cli import _engine_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--model", "a=m1.pkl", "--model", "b=m2.pkl",
+             "--workers", "3", "--port", "0"])
+        assert args.model == ["a=m1.pkl", "b=m2.pkl"]
+        assert _engine_from_args(args).workers == 3
+
+    def test_unloadable_model_exits_with_message(self, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"nope")
+        with pytest.raises(SystemExit, match="not a readable model"):
+            main(["serve", "--model", str(bad), "--port", "0"])
