@@ -1,0 +1,93 @@
+"""Delta-extraction benchmark — cold vs warm-after-one-edit.
+
+Times single-app extraction over a many-file synthetic codebase three
+ways: cold (empty cache), warm after touching exactly one file (the
+incremental path: one file recomputed, the rest replayed from per-file
+records), and a fully uncached recompute of the same edited tree for
+reference. The incremental claim is that warm-after-edit scales with
+the size of the *edit*, not the size of the tree, so it must beat the
+uncached recompute by a wide margin — while producing the identical
+row.
+
+Uses ``time.perf_counter`` rather than pytest-benchmark so the CI leg
+can run it with the baseline dependency set.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.engine import ExtractionEngine, FeatureCache
+from repro.lang import Codebase, SourceFile
+
+N_FILES = 120
+FUNCS_PER_FILE = 12
+
+
+def _file_body(index: int, edited: bool = False) -> str:
+    parts = []
+    for f in range(FUNCS_PER_FILE):
+        parts.append(
+            f"int fn_{index}_{f}(int a, int b) {{\n"
+            f"    int total = a;\n"
+            f"    for (int i = 0; i < b; i++) {{\n"
+            f"        if ((i + {f}) % 3 == 0) total += i * {index + 1};\n"
+            f"        else total -= i;\n"
+            f"    }}\n"
+            f"    return total;\n"
+            f"}}\n")
+    if edited:
+        parts.append("int edited_in(void) {\n    return 1;\n}\n")
+    return "\n".join(parts)
+
+
+def make_tree(edited: bool = False) -> Codebase:
+    return Codebase("delta-bench", [
+        SourceFile(f"src/unit{i:03d}.c", _file_body(i, edited and i == 0))
+        for i in range(N_FILES)
+    ])
+
+
+def _timed(engine, codebase):
+    start = time.perf_counter()
+    row = engine.extract_one(codebase)
+    return time.perf_counter() - start, row
+
+
+def test_bench_delta(tmp_path, table_printer):
+    obs.disable()
+    cache = FeatureCache(str(tmp_path / "cache"))
+
+    cold_s, _ = _timed(ExtractionEngine(workers=1, cache=cache),
+                       make_tree())
+    warm_s, warm_row = _timed(ExtractionEngine(workers=1, cache=cache),
+                              make_tree(edited=True))
+    uncached_s, reference = _timed(ExtractionEngine(workers=1),
+                                   make_tree(edited=True))
+
+    rows = [
+        ("cold (empty cache)", f"{cold_s:8.3f}", "1.00x",
+         f"{N_FILES} files analyzed"),
+        ("uncached recompute", f"{uncached_s:8.3f}",
+         f"{cold_s / uncached_s:.2f}x", "edited tree, no cache"),
+        ("warm, 1 file edited", f"{warm_s:8.3f}",
+         f"{cold_s / warm_s:.2f}x", "1 file recomputed + merge"),
+    ]
+    table_printer(
+        f"delta — {N_FILES}-file app, warm re-analysis after one edit",
+        ("configuration", "seconds", "speedup", "note"),
+        rows,
+    )
+
+    # The warm row must be byte-identical to the uncached recompute.
+    assert list(warm_row) == list(reference)
+    assert all(repr(warm_row[k]) == repr(reference[k]) for k in reference)
+
+    # Recomputing 1/120th of the tree plus the merge phase must clearly
+    # beat recomputing everything.
+    assert warm_s < uncached_s / 2, (
+        f"warm delta {warm_s:.3f}s vs uncached {uncached_s:.3f}s"
+    )

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for incremental extraction (CI delta-smoke leg).
+
+Drives the real CLI against a synthetic source tree on disk:
+
+1. cold `repro analyze --json --cache-dir D` over the tree (seeds the
+   row, per-file, and manifest caches);
+2. mutate exactly one file, re-analyze warm through the same cache with
+   `--profile`, and require `engine.cache.file_hits > 0` in the profile
+   report (the incremental path actually ran);
+3. diff the warm output byte-for-byte against a fresh
+   `repro analyze --json --no-cache` run over the mutated tree — the
+   delta merge must be indistinguishable from a full recompute.
+
+Any mismatch fails the script. Run locally from the repo root:
+`PYTHONPATH=src python scripts/delta_smoke.py`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+N_FILES = 20
+
+
+def fail(message: str) -> None:
+    print(f"delta-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"delta-smoke: {message}", flush=True)
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    # The smoke must control caching exactly; never inherit a CI cache.
+    env.pop("REPRO_CACHE_DIR", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+
+
+def write_tree(root: str) -> None:
+    src = os.path.join(root, "src")
+    os.makedirs(src, exist_ok=True)
+    for i in range(N_FILES):
+        body = (f"int fn{i}(int a, int b) {{\n"
+                f"    int total = a;\n"
+                f"    for (int j = 0; j < b; j++) {{\n"
+                f"        if ((j + {i}) % 3 == 0) total += j;\n"
+                f"        else total -= {i + 1};\n"
+                f"    }}\n"
+                f"    return total;\n"
+                f"}}\n")
+        with open(os.path.join(src, f"unit{i:02d}.c"), "w") as handle:
+            handle.write(body)
+
+
+def mutate_one_file(root: str) -> str:
+    victim = os.path.join(root, "src", "unit07.c")
+    with open(victim, "a") as handle:
+        handle.write("int edited_in(void) {\n    return 99;\n}\n")
+    return victim
+
+
+def counter_value(profile_text: str, name: str) -> float:
+    match = re.search(
+        rf"counter\s+{re.escape(name)}\s+([0-9.eE+-]+)", profile_text)
+    return float(match.group(1)) if match else 0.0
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="delta-smoke-")
+    tree = os.path.join(workdir, "tree")
+    cache = os.path.join(workdir, "cache")
+    write_tree(tree)
+
+    step(f"cold analyze over {N_FILES}-file tree (seeding {cache})")
+    cold = run_cli("analyze", tree, "--json", "--cache-dir", cache)
+    if cold.returncode != 0:
+        fail(f"cold analyze exited {cold.returncode}:\n{cold.stderr}")
+
+    step("mutating one file and re-analyzing warm (--profile)")
+    mutate_one_file(tree)
+    warm = run_cli("analyze", tree, "--json", "--cache-dir", cache,
+                   "--profile")
+    if warm.returncode != 0:
+        fail(f"warm analyze exited {warm.returncode}:\n{warm.stderr}")
+    # --profile prints the telemetry report after the JSON document;
+    # split them at the blank line the CLI emits between the two.
+    payload, _, profile = warm.stdout.partition("\n\nrepro telemetry")
+    payload += "\n"
+    if not profile:
+        fail("warm run printed no telemetry report")
+
+    file_hits = counter_value(profile, "engine.cache.file_hits")
+    file_misses = counter_value(profile, "engine.cache.file_misses")
+    if file_hits != N_FILES - 1:
+        fail(f"engine.cache.file_hits={file_hits:g}, "
+             f"expected {N_FILES - 1} (incremental path not taken?)")
+    if file_misses != 1:
+        fail(f"engine.cache.file_misses={file_misses:g}, expected 1")
+    if "delta:" not in profile:
+        fail("profile report is missing the delta: section")
+    step(f"file records reused: {file_hits:g}/{N_FILES} "
+         f"(recomputed {file_misses:g})")
+
+    step("diffing warm output against a fresh --no-cache recompute")
+    fresh = run_cli("analyze", tree, "--json", "--no-cache")
+    if fresh.returncode != 0:
+        fail(f"fresh analyze exited {fresh.returncode}:\n{fresh.stderr}")
+    if payload != fresh.stdout:
+        fail("warm delta output differs from full recompute")
+    if payload == cold.stdout:
+        fail("warm output identical to pre-edit output — the edit "
+             "was not picked up")
+
+    step("PASS — delta re-analysis byte-identical, "
+         f"{file_hits:g} file records reused")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

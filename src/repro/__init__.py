@@ -19,6 +19,18 @@ as the paper's Figure 4 pipeline:
 - :mod:`repro.engine` — parallel, cache-aware execution layer for
   corpus-scale feature extraction
 - :mod:`repro.obs` — tracing spans, metrics, and run reports
+
+The supported library surface is the handful of names re-exported here
+(see ``__all__``), chiefly the :mod:`repro.api` entry points::
+
+    import repro
+
+    row = repro.analyze_tree("path/to/project")
+    model = repro.train_model(apps=40)
+    assessment = repro.assess_tree("path/to/project", model=model)
+
+Deep imports keep working, but only the root names carry a stability
+promise.
 """
 
 __version__ = "1.0.0"
@@ -46,7 +58,7 @@ def package_version() -> str:
 from repro import (
     analysis, bugfind, core, cve, engine, lang, ml, stats, surface, synth,
 )
-from repro.engine import ExtractionEngine, FeatureCache
+from repro.engine import EngineConfig, ExtractionEngine, FeatureCache
 from repro.core import (
     ChangeEvaluator,
     RiskAssessment,
@@ -56,16 +68,20 @@ from repro.core import (
 )
 from repro.lang import Codebase, SourceFile
 from repro.synth import build_corpus
+from repro.api import analyze_tree, assess_tree, load_model, train_model
 
 __all__ = [
     "ChangeEvaluator",
     "Codebase",
+    "EngineConfig",
     "ExtractionEngine",
     "FeatureCache",
     "RiskAssessment",
     "SecurityModel",
     "SourceFile",
     "analysis",
+    "analyze_tree",
+    "assess_tree",
     "bugfind",
     "build_corpus",
     "core",
@@ -73,10 +89,12 @@ __all__ = [
     "engine",
     "extract_features",
     "lang",
+    "load_model",
     "ml",
     "package_version",
     "stats",
     "surface",
     "synth",
     "train",
+    "train_model",
 ]

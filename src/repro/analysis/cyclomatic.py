@@ -94,6 +94,17 @@ def complexity_distribution(codebase: Codebase) -> Dict[str, float]:
     values: List[int] = []
     for source in codebase:
         values.extend(r.complexity for r in file_complexities(source))
+    return distribution_from_values(values)
+
+
+def distribution_from_values(values: Sequence[int]) -> Dict[str, float]:
+    """The :func:`complexity_distribution` statistics from raw values.
+
+    Split out so the incremental-extraction merge phase can rebuild the
+    distribution from concatenated per-file value lists and land on the
+    exact floats a whole-codebase pass computes.
+    """
+    values = list(values)
     if not values:
         return {"mean": 0.0, "max": 0.0, "p90": 0.0, "over_10": 0.0}
     values.sort()

@@ -76,6 +76,26 @@ def _metrics_from_counts(counts: CounterT[str]) -> IdentifierMetrics:
     )
 
 
+def file_counts(source: SourceFile) -> CounterT[str]:
+    """The identifier counter of one file, in first-occurrence order.
+
+    Insertion order is part of the contract: merging per-file counters
+    in path order recreates the codebase counter's key order exactly,
+    which the float-summed statistics of :func:`metrics_from_counts`
+    depend on for bit-identical results.
+    """
+    return _identifier_counts([source])
+
+
+def metrics_from_counts(counts) -> IdentifierMetrics:
+    """Identifier metrics from an already-merged counter/mapping.
+
+    Used by the incremental-extraction merge phase; iteration order of
+    ``counts`` must match what a whole-codebase scan would produce.
+    """
+    return _metrics_from_counts(counts)
+
+
 def measure_file(source: SourceFile) -> IdentifierMetrics:
     """Identifier metrics for one file."""
     return _metrics_from_counts(_identifier_counts([source]))

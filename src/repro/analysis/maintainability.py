@@ -86,6 +86,27 @@ def measure_functions(source: SourceFile) -> List[MaintainabilityReport]:
     return reports
 
 
+def report_from_aggregates(
+    name: str,
+    volume: float,
+    complexity: float,
+    code_lines: float,
+    comment_ratio: float,
+) -> MaintainabilityReport:
+    """Build an MI report from already-aggregated inputs.
+
+    The incremental-extraction merge phase computes Halstead volume,
+    cyclomatic complexity, and line counts from summed per-file records;
+    feeding them through the same formulas here yields the exact floats
+    :func:`measure_codebase` would have produced on the full tree.
+    """
+    return MaintainabilityReport(
+        name=name,
+        raw_mi=_raw_mi(volume, complexity, code_lines),
+        comment_bonus=_comment_bonus(comment_ratio),
+    )
+
+
 def measure_codebase(codebase: Codebase) -> MaintainabilityReport:
     """MI over a whole codebase (aggregated inputs, single formula)."""
     counts = loc.count_codebase(codebase)

@@ -1,0 +1,112 @@
+"""The stable, documented entry points for using repro as a library.
+
+Four functions cover the paper's workflow end to end — extract features
+from a tree, train the security model, load a saved model, and assess a
+tree against one — plus :class:`~repro.engine.EngineConfig` for tuning
+how extraction runs. They are re-exported at the package root::
+
+    import repro
+
+    row = repro.analyze_tree("path/to/project")
+    model = repro.train_model(apps=40)
+    assessment = repro.assess_tree("path/to/project", model=model)
+    print(assessment.overall_risk)
+
+Every function takes an optional keyword-only ``config``
+(:class:`~repro.engine.EngineConfig`) so library callers get the same
+parallel, cache-aware, incremental extraction path the CLI flags
+configure. Deep imports (``repro.core.features`` and friends) keep
+working; this module is the surface that will not churn underneath you.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.model import RiskAssessment, SecurityModel
+from repro.core.pipeline import TrainingResult
+from repro.core.pipeline import train as _train_pipeline
+from repro.engine import EngineConfig
+from repro.lang import Codebase
+from repro.serve.modelstore import load_model
+from repro.synth import build_corpus
+
+__all__ = ["analyze_tree", "train_model", "load_model", "assess_tree"]
+
+
+def _as_codebase(tree: Union[str, Codebase]) -> Codebase:
+    if isinstance(tree, Codebase):
+        return tree
+    codebase = Codebase.from_directory(tree)
+    if len(codebase) == 0:
+        raise ValueError(f"no recognised source files under {tree!r}")
+    return codebase
+
+
+def analyze_tree(
+    tree: Union[str, Codebase],
+    *,
+    include_dynamic: bool = False,
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, float]:
+    """Extract the full feature row for one source tree.
+
+    ``tree`` is a directory path (every recognised source file under it
+    is loaded) or an already-built :class:`~repro.lang.Codebase`. The
+    returned dict maps feature name to value in the testbed's canonical
+    order — byte-identical whether it was computed cold, replayed from
+    the feature cache, or incrementally merged from per-file records.
+
+    Raises :class:`~repro.engine.ExtractionError` if extraction fails
+    and ``ValueError`` if the tree holds no recognised source files.
+    """
+    engine = (config or EngineConfig()).build()
+    return engine.extract_one(_as_codebase(tree),
+                              include_dynamic=include_dynamic)
+
+
+def train_model(
+    *,
+    seed: int = 42,
+    apps: int = 40,
+    folds: int = 5,
+    config: Optional[EngineConfig] = None,
+    full_result: bool = False,
+) -> Union[SecurityModel, TrainingResult]:
+    """Train the security model on the calibrated synthetic corpus.
+
+    Builds the ``apps``-application corpus for ``seed``, extracts the
+    feature table through the configured engine, and cross-validates
+    with ``folds`` folds — the library form of ``repro train``. Returns
+    the deployable :class:`~repro.core.SecurityModel`; pass
+    ``full_result=True`` for the whole
+    :class:`~repro.core.pipeline.TrainingResult` (CV metrics, feature
+    table, per-app extraction failures).
+
+    Under the default failure policy an extraction error propagates;
+    with ``config.on_error`` set to ``"skip"`` or ``"retry"``, failed
+    applications are dropped from the corpus and recorded on
+    ``TrainingResult.table.failures``.
+    """
+    engine = (config or EngineConfig()).build()
+    corpus = build_corpus(seed=seed, limit=apps, workers=engine.workers)
+    result = _train_pipeline(corpus, k=folds, seed=seed, engine=engine)
+    return result if full_result else result.model
+
+
+def assess_tree(
+    tree: Union[str, Codebase],
+    *,
+    model: Union[str, SecurityModel],
+    config: Optional[EngineConfig] = None,
+) -> RiskAssessment:
+    """Predict the paper's hypotheses for one source tree.
+
+    ``model`` is a :class:`~repro.core.SecurityModel` or a path to a
+    bundle saved by ``repro train`` (loaded via :func:`load_model`).
+    Returns the :class:`~repro.core.RiskAssessment` with per-hypothesis
+    probabilities/estimates and the blended ``overall_risk``.
+    """
+    if isinstance(model, str):
+        model = load_model(model)
+    return model.assess(analyze_tree(tree, config=config))

@@ -95,3 +95,44 @@ def run_all(codebase: Codebase) -> MetaReport:
         per_severity=per_severity,
         duplicates_removed=len(raw) - len(findings),
     )
+
+
+def file_summary(source: SourceFile) -> Dict[str, object]:
+    """All-integer bug-finding summary for one file (JSON-ready).
+
+    The feature testbed only consumes order-independent aggregates of a
+    :class:`MetaReport` — totals, severity tallies, per-rule and per-CWE
+    counts — and the deduplication key pins ``(path, line)``, so global
+    dedup partitions exactly by file. That makes this per-file summary
+    mergeable: summing the dicts over all files reproduces the numbers
+    :func:`run_all` computes over the whole tree. Deliberately span- and
+    counter-free; the extraction layer owns instrumentation. CWE and
+    severity keys are stored as strings so the record round-trips
+    through JSON unchanged.
+    """
+    raw: List[Finding] = []
+    for tool in TOOLS.values():
+        raw.extend(tool(source))
+    merged: Dict[tuple, Finding] = {}
+    for finding in raw:
+        key = finding.key()
+        existing = merged.get(key)
+        if existing is None or finding.severity > existing.severity:
+            merged[key] = finding
+    per_rule: Dict[str, int] = {}
+    per_cwe: Dict[str, int] = {}
+    severities: Dict[str, int] = {}
+    for finding in merged.values():
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+        if finding.cwe:
+            cwe = str(finding.cwe)
+            per_cwe[cwe] = per_cwe.get(cwe, 0) + 1
+        sev = str(int(finding.severity))
+        severities[sev] = severities.get(sev, 0) + 1
+    return {
+        "total": len(merged),
+        "severities": severities,
+        "per_rule": per_rule,
+        "per_cwe": per_cwe,
+        "duplicates_removed": len(raw) - len(merged),
+    }

@@ -29,7 +29,7 @@ Observability (accepted before or after the subcommand):
 - ``--profile`` — print the ``repro telemetry`` report (per-analyzer /
   per-phase time breakdown plus counters) after the command finishes.
 
-Engine knobs (on ``analyze``, ``train``, and the model-using commands):
+Engine knobs (a shared argparse parent, accepted by every subcommand):
 
 - ``--workers N`` — fan feature extraction / corpus generation out
   across N worker processes (default ``$REPRO_WORKERS`` or serial).
@@ -38,7 +38,7 @@ Engine knobs (on ``analyze``, ``train``, and the model-using commands):
   ``$REPRO_CACHE_DIR`` or no cache).
 - ``--no-cache`` — force recomputation even when a cache is configured.
 
-Failure policy (same commands):
+Failure policy (same parent):
 
 - ``--on-error {raise,skip,retry}`` — what a failed per-app extraction
   does: abort the run (default), drop the app and keep going, or retry
@@ -68,10 +68,10 @@ from repro.core.model import SecurityModel
 from repro.core.pipeline import train as train_pipeline
 from repro.core.report import format_assessment, format_delta
 from repro.engine import (
-    ON_ERROR_POLICIES,
+    EngineConfig,
     ExtractionEngine,
     ExtractionError,
-    FeatureCache,
+    engine_options,
     format_failures,
 )
 from repro.lang import Codebase
@@ -90,28 +90,11 @@ def _load_codebase(path: str) -> Codebase:
 def _engine_from_args(args) -> ExtractionEngine:
     """Build the extraction engine the command's knobs ask for.
 
-    Explicit flags win; unset flags fall back to the environment
-    (``REPRO_WORKERS``/``REPRO_CACHE_DIR``); ``--no-cache`` disables
-    caching even when the environment configures a cache dir.
+    Thin wrapper over :class:`repro.engine.EngineConfig` — flag
+    precedence (explicit flag > environment > default) lives there, so
+    the CLI and the public API resolve knobs identically.
     """
-    env_engine = ExtractionEngine.from_env()
-    workers = getattr(args, "workers", None)
-    if workers is None:
-        workers = env_engine.workers
-    if getattr(args, "no_cache", False):
-        cache = None
-    elif getattr(args, "cache_dir", None):
-        cache = FeatureCache(args.cache_dir)
-    else:
-        cache = env_engine.cache
-    return ExtractionEngine(
-        workers=workers,
-        cache=cache,
-        on_error=getattr(args, "on_error", None) or "raise",
-        task_timeout=getattr(args, "task_timeout", None),
-        max_retries=getattr(args, "max_retries", None)
-        if getattr(args, "max_retries", None) is not None else 2,
-    )
+    return EngineConfig.from_args(args).build()
 
 
 def _train_model(seed: int, apps: int, folds: int, quiet: bool = False,
@@ -336,32 +319,6 @@ def _add_obs_options(parser, top_level: bool) -> None:
              "after the command", **profile_kwargs)
 
 
-def _add_engine_options(parser) -> None:
-    """``--workers``/``--cache-dir``/``--no-cache`` for extraction-heavy
-    commands. Defaults fall back to ``REPRO_WORKERS``/``REPRO_CACHE_DIR``."""
-    parser.add_argument(
-        "--workers", type=int, metavar="N", default=None,
-        help="parallel extraction worker processes (default: "
-             "$REPRO_WORKERS or 1)")
-    parser.add_argument(
-        "--cache-dir", metavar="PATH", default=None,
-        help="content-addressed feature cache directory (default: "
-             "$REPRO_CACHE_DIR or no cache)")
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the feature cache even if $REPRO_CACHE_DIR is set")
-    parser.add_argument(
-        "--on-error", choices=list(ON_ERROR_POLICIES), default=None,
-        help="failure policy for per-app extraction (default: raise)")
-    parser.add_argument(
-        "--task-timeout", type=float, metavar="SECONDS", default=None,
-        help="per-app wall-clock extraction budget (workers > 1 only)")
-    parser.add_argument(
-        "--max-retries", type=int, metavar="N", default=None,
-        help="extra attempts per crashed app with --on-error retry "
-             "(default: 2)")
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -374,9 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the build version (from package metadata) and exit")
     _add_obs_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_parent = engine_options()
 
     def add_parser(name, **kwargs):
-        p = sub.add_parser(name, **kwargs)
+        # Every subcommand inherits the shared engine parent: the
+        # engine surface is uniform across the CLI by construction.
+        p = sub.add_parser(name, parents=[engine_parent], **kwargs)
         _add_obs_options(p, top_level=False)
         return p
 
@@ -388,7 +348,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="corpus size when training on the fly")
         p.add_argument("--folds", type=int, default=5,
                        help="cross-validation folds")
-        _add_engine_options(p)
 
     p = add_parser("analyze", help="print every metric for a source tree")
     p.add_argument("path")
@@ -399,7 +358,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", metavar="PATH", default=None,
                    help="saved model: append its prediction to the output "
                         "(the serve layer's /predict path)")
-    _add_engine_options(p)
     p.set_defaults(func=cmd_analyze)
 
     p = add_parser("train", help="train and save the security model")
@@ -407,7 +365,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--apps", type=int, default=164)
     p.add_argument("--folds", type=int, default=10)
-    _add_engine_options(p)
     p.set_defaults(func=cmd_train)
 
     p = add_parser("assess", help="predict the hypotheses for a tree")
@@ -455,13 +412,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-depth", type=int, default=64, metavar="N",
                    help="bounded inbound queue; beyond it requests are "
                         "shed with 503 + Retry-After (default: 64)")
-    _add_engine_options(p)
     p.set_defaults(func=cmd_serve)
 
     p = add_parser("corpus", help="export the calibrated CVE corpus")
     p.add_argument("--out", default="cve-corpus.json")
     p.add_argument("--seed", type=int, default=42)
-    _add_engine_options(p)
     p.set_defaults(func=cmd_corpus)
 
     return parser

@@ -19,12 +19,33 @@ feature row:
 Count features are emitted both raw (over the analysed sample) and as
 per-kLoC densities: densities estimate the full application from the
 sample, which is what lets the model generalise across sizes.
+
+Extraction is split into two phases so the engine can cache and replay
+it at file granularity:
+
+- a **per-file phase** (:func:`file_record` / the analyzer-major
+  :func:`_collect_records`) runs every analyzer that only needs a single
+  :class:`~repro.lang.sourcefile.SourceFile` — LoC, cyclomatic,
+  Halstead, identifiers, function shape, CFG, dataflow, attack-surface
+  channels, bug finding, smells — and captures its output as an
+  all-integer, JSON-round-trippable *record*;
+- a **merge phase** (:func:`merge_records`) folds the records back
+  together with the exact arithmetic a whole-tree pass uses (integer
+  sums first, floats only derived from the merged integers) and runs
+  the genuinely tree-level analyzers (call graph, attack graph, OO
+  design, churn, optional dynamic traces) live.
+
+Cold extraction *is* collect + merge over every file, so a warm run that
+merges cached records with freshly computed ones lands on the same code
+path and therefore byte-identical rows — the incremental cache needs no
+separate equivalence argument.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.analysis import (
@@ -42,9 +63,11 @@ from repro.analysis import (
     smells,
 )
 from repro.analysis.churn import CommitHistory
-from repro.bugfind import Severity, run_all
+from repro.bugfind import Severity
+from repro.bugfind.meta import file_summary
 from repro.lang.languages import ALL_LANGUAGES
-from repro.lang.sourcefile import Codebase
+from repro.lang.parser import extract_functions
+from repro.lang.sourcefile import Codebase, SourceFile
 from repro.surface import attack_graph, rasq
 
 #: Feature-name prefixes, in vector order (useful for ablations).
@@ -53,43 +76,194 @@ FEATURE_GROUPS = (
     "surface", "bugs", "smell", "churn", "oo", "dynamic",
 )
 
+#: CFG path-count cap; must match ``cfg.measure_codebase``'s default so
+#: the merge phase's sequential capping reproduces its arithmetic.
+_PATH_CAP = 10 ** 6
 
-def extract_features(
+#: One per-file record (all JSON round-trippable): analyzer key ->
+#: integer aggregates. Bump ``ANALYZER_SET_VERSION`` when this changes.
+FileRecord = Dict[str, object]
+
+
+# -- per-file collectors ------------------------------------------------------
+
+def _collect_loc(source: SourceFile) -> FileRecord:
+    counts = loc.count_file(source)
+    return {"code": counts.code, "comment": counts.comment,
+            "blank": counts.blank, "preproc": counts.preproc}
+
+
+def _collect_cyclomatic(source: SourceFile) -> FileRecord:
+    return {
+        "total": cyclomatic.file_complexity(source),
+        "values": [r.complexity
+                   for r in cyclomatic.file_complexities(source)],
+    }
+
+
+def _collect_halstead(source: SourceFile) -> FileRecord:
+    hal = halstead.measure_file(source)
+    return {
+        "distinct_operators": hal.distinct_operators,
+        "distinct_operands": hal.distinct_operands,
+        "total_operators": hal.total_operators,
+        "total_operands": hal.total_operands,
+    }
+
+
+def _collect_functions(source: SourceFile) -> FileRecord:
+    funcs = extract_functions(source)
+    lengths = [f.length for f in funcs]
+    nestings = [f.max_nesting for f in funcs]
+    params = [f.param_count for f in funcs]
+    return {
+        "n_functions": len(funcs),
+        "n_public": sum(1 for f in funcs if f.is_public),
+        "total_params": sum(params),
+        "max_params": max(params, default=0),
+        "total_length": sum(lengths),
+        "max_length": max(lengths, default=0),
+        "total_nesting": sum(nestings),
+        "max_nesting": max(nestings, default=0),
+        "n_declarations": functions.count_declarations(source),
+        "n_variables": functions.count_variables(source),
+    }
+
+
+def _collect_identifiers(source: SourceFile) -> FileRecord:
+    return dict(identifiers.file_counts(source))
+
+
+def _collect_cfg(source: SourceFile) -> FileRecord:
+    nodes = edges = branches = returns = 0
+    paths: List[int] = []
+    cyclomatics: List[int] = []
+    for func in extract_functions(source):
+        graph = cfg_mod.build_cfg(func, source)
+        nodes += graph.n_nodes
+        edges += graph.n_edges
+        branches += graph.n_branch_nodes
+        returns += sum(
+            1 for _, d in graph.graph.nodes(data=True)
+            if d["kind"] == "return"
+        )
+        paths.append(graph.path_count(cap=_PATH_CAP))
+        cyclomatics.append(graph.cyclomatic)
+    return {"nodes": nodes, "edges": edges, "branches": branches,
+            "returns": returns, "paths": paths, "cyclomatics": cyclomatics}
+
+
+def _collect_dataflow(source: SourceFile) -> FileRecord:
+    n_defs = pairs = max_reach = 0
+    sources = sinks = tainted = 0
+    for func in extract_functions(source):
+        graph = cfg_mod.build_cfg(func, source)
+        rd = dataflow.reaching_definitions(graph)
+        n_defs += sum(len(g) for g in rd.gen.values())
+        pairs += rd.def_use_pairs()
+        max_reach = max(max_reach, rd.max_reaching())
+        taint = dataflow.taint_analysis(graph, func.param_names)
+        sources += taint.source_sites
+        sinks += taint.sink_sites
+        tainted += taint.tainted_sink_calls
+    return {"defs": n_defs, "pairs": pairs, "max_reaching": max_reach,
+            "sources": sources, "sinks": sinks, "tainted": tainted}
+
+
+def _collect_surface(source: SourceFile) -> FileRecord:
+    single = Codebase(source.path, [source])
+    surface = rasq.measure_codebase(single)
+    return {
+        "channels": dict(surface.channel_counts),
+        "privilege": surface.n_privilege_sites,
+        "public_methods": surface.n_public_methods,
+    }
+
+
+def _collect_smells(source: SourceFile) -> FileRecord:
+    counts = {kind: 0 for kind in smells.ALL_DETECTORS}
+    for smell in smells.detect_file(source):
+        counts[smell.kind] += 1
+    return counts
+
+
+#: (span name, record key, collector) — analyzer-major so a cold run
+#: emits one span per analyzer covering every file, exactly like the
+#: pre-split whole-tree calls did.
+_PER_FILE_COLLECTORS = (
+    ("analysis.loc", "loc", _collect_loc),
+    ("analysis.cyclomatic", "cyclomatic", _collect_cyclomatic),
+    ("analysis.halstead", "halstead", _collect_halstead),
+    ("analysis.functions", "functions", _collect_functions),
+    ("analysis.identifiers", "identifiers", _collect_identifiers),
+    ("analysis.cfg", "cfg", _collect_cfg),
+    ("analysis.dataflow", "dataflow", _collect_dataflow),
+    ("surface.rasq", "surface", _collect_surface),
+    ("analysis.bugfind", "bugs", file_summary),
+    ("analysis.smells", "smells", _collect_smells),
+)
+
+
+def file_record(source: SourceFile) -> FileRecord:
+    """Run every per-file analyzer over one file (the delta hot path).
+
+    This is what a warm re-analysis recomputes for the files whose
+    content changed; everything else comes from the cache. Deliberately
+    span-free below the caller's unit span — one file is too fine a
+    grain to trace per analyzer.
+    """
+    record: FileRecord = {}
+    for _, key, collect in _PER_FILE_COLLECTORS:
+        record[key] = collect(source)
+    obs.incr("testbed.files_analyzed")
+    obs.incr("bugfind.findings", record["bugs"]["total"])
+    obs.incr("bugfind.duplicates_removed",
+             record["bugs"]["duplicates_removed"])
+    return record
+
+
+def _collect_records(codebase: Codebase) -> List[FileRecord]:
+    """Per-file records for every file, analyzer-major under spans."""
+    sources = codebase.files
+    obs.incr("testbed.files_analyzed", len(sources))
+    records: List[FileRecord] = [{} for _ in sources]
+    for span_name, key, collect in _PER_FILE_COLLECTORS:
+        with obs.span(span_name):
+            for record, source in zip(records, sources):
+                record[key] = collect(source)
+    # The meta-tool counters the pre-split run_all() call maintained:
+    # per-file dedup partitions the global dedup exactly (the key pins
+    # the path), so summed per-file tallies equal the whole-tree ones.
+    obs.incr("bugfind.findings",
+             sum(record["bugs"]["total"] for record in records))
+    obs.incr("bugfind.duplicates_removed",
+             sum(record["bugs"]["duplicates_removed"]
+                 for record in records))
+    return records
+
+
+def merge_records(
     codebase: Codebase,
+    records: List[FileRecord],
     nominal_kloc: Optional[float] = None,
     history: Optional[CommitHistory] = None,
     include_dynamic: bool = False,
 ) -> Dict[str, float]:
-    """Extract the full feature row for one application.
+    """Fold per-file records into the feature row (plus tree analyzers).
 
-    Args:
-        codebase: the (possibly sampled) source tree to analyse.
-        nominal_kloc: the application's full size in kLoC as cloc would
-            report it; defaults to the analysed sample's own size.
-        history: optional commit history for churn/developer features.
-        include_dynamic: also simulate dynamic traces (§5.3's optional
-            improvement; costs roughly another CFG pass per function).
-
-    Returns:
-        An ordered-by-name dict of float features; missing analysers never
-        occur (every group is always emitted, with zeros where the
-        codebase has no relevant constructs).
+    ``records`` must align with ``codebase.files`` (path-sorted order).
+    Integer aggregates are summed first and every float is derived from
+    the merged integers with the same expressions a whole-tree pass
+    uses, so the result is bit-identical whether the records were just
+    computed or replayed from the cache.
     """
-    with obs.span("testbed.extract_features", app=codebase.name,
-                  files=len(codebase)):
-        return _extract(codebase, nominal_kloc, history, include_dynamic)
-
-
-def _extract(
-    codebase: Codebase,
-    nominal_kloc: Optional[float],
-    history: Optional[CommitHistory],
-    include_dynamic: bool,
-) -> Dict[str, float]:
     row: Dict[str, float] = {}
-    obs.incr("testbed.files_analyzed", len(codebase))
-    with obs.span("analysis.loc"):
-        counts = loc.count_codebase(codebase)
+    counts = loc.LineCounts(
+        code=sum(r["loc"]["code"] for r in records),
+        comment=sum(r["loc"]["comment"] for r in records),
+        blank=sum(r["loc"]["blank"] for r in records),
+        preproc=sum(r["loc"]["preproc"] for r in records),
+    )
     sample_kloc = max(counts.code / 1000.0, 1e-6)
     kloc = nominal_kloc if nominal_kloc is not None else sample_kloc
 
@@ -108,9 +282,11 @@ def _extract(
         row[f"lang.{spec.name}"] = 1.0 if primary == spec.name else 0.0
 
     # -- complexity -----------------------------------------------------------
-    with obs.span("analysis.cyclomatic"):
-        total_cc = cyclomatic.codebase_complexity(codebase)
-        dist = cyclomatic.complexity_distribution(codebase)
+    total_cc = sum(r["cyclomatic"]["total"] for r in records)
+    cc_values: List[int] = []
+    for r in records:
+        cc_values.extend(r["cyclomatic"]["values"])
+    dist = cyclomatic.distribution_from_values(cc_values)
     row["complexity.total"] = float(total_cc)
     row["complexity.per_kloc"] = density(total_cc)
     row["complexity.mean_function"] = dist["mean"]
@@ -118,11 +294,22 @@ def _extract(
     row["complexity.p90_function"] = dist["p90"]
     row["complexity.share_over_10"] = dist["over_10"]
 
-    with obs.span("analysis.halstead"):
-        hal = halstead.measure_codebase(codebase)
+    hal = halstead.HalsteadMetrics(
+        distinct_operators=sum(
+            r["halstead"]["distinct_operators"] for r in records),
+        distinct_operands=sum(
+            r["halstead"]["distinct_operands"] for r in records),
+        total_operators=sum(
+            r["halstead"]["total_operators"] for r in records),
+        total_operands=sum(
+            r["halstead"]["total_operands"] for r in records),
+    )
     row["halstead.volume_per_kloc"] = density(hal.volume)
     with obs.span("analysis.maintainability"):
-        mi = maintainability.measure_codebase(codebase)
+        mi = maintainability.report_from_aggregates(
+            codebase.name, hal.volume, total_cc, counts.code,
+            counts.comment_ratio,
+        )
     row["complexity.maintainability_index"] = mi.mi
     row["halstead.difficulty"] = hal.difficulty
     row["halstead.effort_per_kloc"] = density(hal.effort)
@@ -130,46 +317,82 @@ def _extract(
     row["halstead.vocabulary"] = float(hal.vocabulary)
 
     # -- shape -----------------------------------------------------------------
-    with obs.span("analysis.functions"):
-        shape = functions.measure_codebase(codebase)
-    row["shape.functions_per_kloc"] = density(shape.n_functions)
+    n_functions = sum(r["functions"]["n_functions"] for r in records)
+    total_params = sum(r["functions"]["total_params"] for r in records)
+    total_length = sum(r["functions"]["total_length"] for r in records)
+    total_nesting = sum(r["functions"]["total_nesting"] for r in records)
+    row["shape.functions_per_kloc"] = density(n_functions)
     row["shape.public_share"] = (
-        shape.n_public_functions / shape.n_functions if shape.n_functions else 0.0
+        sum(r["functions"]["n_public"] for r in records) / n_functions
+        if n_functions else 0.0
     )
-    row["shape.mean_params"] = shape.mean_params
-    row["shape.max_params"] = float(shape.max_params)
-    row["shape.mean_length"] = shape.mean_length
-    row["shape.max_length"] = float(shape.max_length)
-    row["shape.mean_nesting"] = shape.mean_nesting
-    row["shape.max_nesting"] = float(shape.max_nesting)
-    row["shape.declarations_per_kloc"] = density(shape.n_declarations)
-    row["shape.variables_per_kloc"] = density(shape.n_variables)
-    with obs.span("analysis.identifiers"):
-        names = identifiers.measure_codebase(codebase)
+    row["shape.mean_params"] = (
+        total_params / n_functions if n_functions else 0.0
+    )
+    row["shape.max_params"] = float(max(
+        (r["functions"]["max_params"] for r in records), default=0))
+    row["shape.mean_length"] = (
+        total_length / n_functions if n_functions else 0.0
+    )
+    row["shape.max_length"] = float(max(
+        (r["functions"]["max_length"] for r in records), default=0))
+    row["shape.mean_nesting"] = (
+        total_nesting / n_functions if n_functions else 0.0
+    )
+    row["shape.max_nesting"] = float(max(
+        (r["functions"]["max_nesting"] for r in records), default=0))
+    row["shape.declarations_per_kloc"] = density(
+        sum(r["functions"]["n_declarations"] for r in records))
+    row["shape.variables_per_kloc"] = density(
+        sum(r["functions"]["n_variables"] for r in records))
+    # Merging per-file counters in path order recreates the global
+    # counter's first-occurrence key order, which the float-summed
+    # statistics depend on.
+    merged_idents: Counter = Counter()
+    for r in records:
+        merged_idents.update(r["identifiers"])
+    names = identifiers.metrics_from_counts(merged_idents)
     row["shape.identifier_mean_length"] = names.mean_length
     row["shape.identifier_short_fraction"] = names.short_name_fraction
     row["shape.identifier_numeric_suffixes"] = names.numeric_suffix_fraction
     row["shape.identifier_entropy"] = names.entropy
 
     # -- control / data flow -------------------------------------------------
-    with obs.span("analysis.cfg"):
-        flow = cfg_mod.measure_codebase(codebase)
-    row["flow.cfg_nodes_per_kloc"] = density(flow.n_cfg_nodes)
-    row["flow.cfg_edges_per_kloc"] = density(flow.n_cfg_edges)
-    row["flow.branch_nodes_per_kloc"] = density(flow.n_branch_nodes)
-    row["flow.return_nodes_per_kloc"] = density(flow.n_return_nodes)
-    row["flow.mean_cyclomatic"] = flow.mean_cyclomatic
-    row["flow.log_paths"] = math.log10(1.0 + flow.total_paths)
-    with obs.span("analysis.dataflow"):
-        data = dataflow.measure_codebase(codebase)
-    row["flow.defs_per_kloc"] = density(data.n_defs)
-    row["flow.def_use_per_kloc"] = density(data.def_use_pairs)
-    row["flow.max_reaching"] = float(data.max_reaching)
-    row["flow.taint_sources"] = float(data.source_sites)
-    row["flow.taint_sinks"] = float(data.sink_sites)
-    row["flow.tainted_sink_calls"] = float(data.tainted_sink_calls)
+    row["flow.cfg_nodes_per_kloc"] = density(
+        sum(r["cfg"]["nodes"] for r in records))
+    row["flow.cfg_edges_per_kloc"] = density(
+        sum(r["cfg"]["edges"] for r in records))
+    row["flow.branch_nodes_per_kloc"] = density(
+        sum(r["cfg"]["branches"] for r in records))
+    row["flow.return_nodes_per_kloc"] = density(
+        sum(r["cfg"]["returns"] for r in records))
+    cfg_cyclomatics: List[int] = []
+    total_paths = 0
+    for r in records:
+        cfg_cyclomatics.extend(r["cfg"]["cyclomatics"])
+        # Replicate the sequential per-function capping of
+        # cfg.measure_codebase: the running total saturates at the cap.
+        for path_count in r["cfg"]["paths"]:
+            total_paths = min(_PATH_CAP, total_paths + path_count)
+    row["flow.mean_cyclomatic"] = (
+        sum(cfg_cyclomatics) / len(cfg_cyclomatics)
+        if cfg_cyclomatics else 0.0
+    )
+    row["flow.log_paths"] = math.log10(1.0 + total_paths)
+    row["flow.defs_per_kloc"] = density(
+        sum(r["dataflow"]["defs"] for r in records))
+    row["flow.def_use_per_kloc"] = density(
+        sum(r["dataflow"]["pairs"] for r in records))
+    row["flow.max_reaching"] = float(max(
+        (r["dataflow"]["max_reaching"] for r in records), default=0))
+    row["flow.taint_sources"] = float(
+        sum(r["dataflow"]["sources"] for r in records))
+    row["flow.taint_sinks"] = float(
+        sum(r["dataflow"]["sinks"] for r in records))
+    row["flow.tainted_sink_calls"] = float(
+        sum(r["dataflow"]["tainted"] for r in records))
 
-    # -- call graph ---------------------------------------------------------------
+    # -- call graph (tree-level: edges cross file boundaries) ----------------
     with obs.span("analysis.callgraph"):
         calls = callgraph.measure_codebase(codebase)
     row["calls.edges_per_function"] = (
@@ -182,8 +405,18 @@ def _extract(
     row["calls.recursive_cycles"] = float(calls.n_recursive_cycles)
 
     # -- attack surface ---------------------------------------------------------
-    with obs.span("surface.rasq"):
-        surface = rasq.measure_codebase(codebase)
+    channel_counts = {channel: 0 for channel in rasq.CHANNEL_WEIGHTS}
+    for r in records:
+        for channel in channel_counts:
+            channel_counts[channel] += r["surface"]["channels"].get(
+                channel, 0)
+    surface = rasq.AttackSurface(
+        channel_counts=channel_counts,
+        n_public_methods=sum(
+            r["surface"]["public_methods"] for r in records),
+        n_privilege_sites=sum(
+            r["surface"]["privilege"] for r in records),
+    )
     row["surface.rasq_per_kloc"] = density(surface.rasq)
     row["surface.network_facing"] = 1.0 if surface.network_facing else 0.0
     for channel, count in sorted(surface.channel_counts.items()):
@@ -203,18 +436,34 @@ def _extract(
     )
 
     # -- bug-finding tools -------------------------------------------------------
-    with obs.span("analysis.bugfind"):
-        report = run_all(codebase)
-    row["bugs.total_per_kloc"] = density(report.total)
-    row["bugs.high_per_kloc"] = density(report.count_at_least(Severity.HIGH))
-    for rule, count in sorted(report.per_rule.items()):
+    bug_total = sum(r["bugs"]["total"] for r in records)
+    high_floor = int(Severity.HIGH)
+    bug_high = sum(
+        count
+        for r in records
+        for sev, count in r["bugs"]["severities"].items()
+        if int(sev) >= high_floor
+    )
+    per_rule: Dict[str, int] = {}
+    per_cwe: Dict[int, int] = {}
+    for r in records:
+        for rule, count in r["bugs"]["per_rule"].items():
+            per_rule[rule] = per_rule.get(rule, 0) + count
+        for cwe_id, count in r["bugs"]["per_cwe"].items():
+            key = int(cwe_id)
+            per_cwe[key] = per_cwe.get(key, 0) + count
+    row["bugs.total_per_kloc"] = density(bug_total)
+    row["bugs.high_per_kloc"] = density(bug_high)
+    for rule, count in sorted(per_rule.items()):
         row[f"bugs.rule.{rule}_per_kloc"] = density(count)
-    for cwe_id, count in sorted(report.per_cwe.items()):
+    for cwe_id, count in sorted(per_cwe.items()):
         row[f"bugs.cwe.{cwe_id}_per_kloc"] = density(count)
 
     # -- smells ---------------------------------------------------------------------
-    with obs.span("analysis.smells"):
-        smell_counts = smells.smell_counts(codebase)
+    smell_counts = {kind: 0 for kind in smells.ALL_DETECTORS}
+    for r in records:
+        for kind in smell_counts:
+            smell_counts[kind] += r["smells"].get(kind, 0)
     for kind, count in sorted(smell_counts.items()):
         row[f"smell.{kind}_per_kloc"] = density(count)
 
@@ -266,6 +515,53 @@ def _extract(
         )
         row["dynamic.truncation_rate"] = traces.truncation_rate
 
+    return row
+
+
+def extract_features_with_records(
+    codebase: Codebase,
+    nominal_kloc: Optional[float] = None,
+    history: Optional[CommitHistory] = None,
+    include_dynamic: bool = False,
+) -> Tuple[Dict[str, float], List[FileRecord]]:
+    """Extract the feature row *and* the per-file records behind it.
+
+    The engine uses the records to populate its file-granular cache in
+    the same pass that produced the row, so a cold extraction seeds the
+    incremental path for free.
+    """
+    with obs.span("testbed.extract_features", app=codebase.name,
+                  files=len(codebase)):
+        records = _collect_records(codebase)
+        row = merge_records(codebase, records, nominal_kloc, history,
+                            include_dynamic)
+    return row, records
+
+
+def extract_features(
+    codebase: Codebase,
+    nominal_kloc: Optional[float] = None,
+    history: Optional[CommitHistory] = None,
+    include_dynamic: bool = False,
+) -> Dict[str, float]:
+    """Extract the full feature row for one application.
+
+    Args:
+        codebase: the (possibly sampled) source tree to analyse.
+        nominal_kloc: the application's full size in kLoC as cloc would
+            report it; defaults to the analysed sample's own size.
+        history: optional commit history for churn/developer features.
+        include_dynamic: also simulate dynamic traces (§5.3's optional
+            improvement; costs roughly another CFG pass per function).
+
+    Returns:
+        An ordered-by-name dict of float features; missing analysers never
+        occur (every group is always emitted, with zeros where the
+        codebase has no relevant constructs).
+    """
+    row, _ = extract_features_with_records(
+        codebase, nominal_kloc, history, include_dynamic
+    )
     return row
 
 

@@ -8,6 +8,11 @@ that corpus-scale extraction fast and incremental:
   bytes, commit history, extraction args, and the analyzer-set version;
 - :mod:`repro.engine.cache` — a JSON feature cache under a directory,
   robust to corruption, with hit/miss counters in :mod:`repro.obs`;
+  caches whole feature rows, per-file analyzer records, and per-app
+  manifests (the incremental path's three artefact kinds);
+- :mod:`repro.engine.config` — the :class:`EngineConfig` value object
+  (and shared argparse parent) every CLI command and the public API
+  configure the engine through;
 - :mod:`repro.engine.scheduler` — a process-pool scheduler with a
   serial fallback sharing the same code path, failure policies
   (``on_error="raise"|"skip"|"retry"``), per-task timeouts, and
@@ -23,10 +28,13 @@ surviving rows stay byte-identical to a clean run over the same apps.
 """
 
 from repro.engine.cache import CACHE_FORMAT_VERSION, FeatureCache
+from repro.engine.config import EngineConfig, engine_options
 from repro.engine.digest import (
     ANALYZER_SET_VERSION,
     codebase_digest,
+    file_digest,
     history_digest,
+    manifest_key,
     task_digest,
 )
 from repro.engine.scheduler import (
@@ -47,6 +55,7 @@ __all__ = [
     "ANALYZER_SET_VERSION",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "EngineConfig",
     "ExtractionEngine",
     "ExtractionError",
     "ExtractionReport",
@@ -57,8 +66,11 @@ __all__ = [
     "TaskTimeout",
     "WORKERS_ENV",
     "codebase_digest",
+    "engine_options",
+    "file_digest",
     "format_failures",
     "history_digest",
+    "manifest_key",
     "parallel_map",
     "task_digest",
 ]

@@ -30,6 +30,18 @@ Counters (live in the :mod:`repro.obs` registry when enabled):
 ``engine.cache.hits`` / ``.misses`` / ``.stores`` /
 ``.read_errors`` (corrupt or unreadable entries on ``get``) /
 ``.write_errors`` (failed stores on ``put``).
+
+Besides whole-row entries the cache also stores *per-file analyzer
+records* (``get_file``/``put_file``) — the incremental-extraction layer
+keys them on ``digest(path + language + content + analyzer version)``
+and merges cached records instead of re-running per-file analyzers.
+File traffic is counted separately (``engine.cache.file_hits`` /
+``.file_misses`` / ``.file_stores``) so the row-level counters keep
+meaning "one application (re)analysed". An advisory per-app *manifest*
+(``get_manifest``/``put_manifest``) maps file paths to their last-seen
+digests; it only feeds the ``engine.delta.*`` classification counters
+and is read/written silently — a lost manifest costs telemetry, never
+correctness.
 """
 
 from __future__ import annotations
@@ -93,6 +105,80 @@ class FeatureCache:
             "app": app,
             "row": row,
         }
+        if self._write_entry(digest, entry):
+            obs.incr("engine.cache.stores")
+
+    def get_file(self, digest: str) -> Optional[Dict[str, object]]:
+        """The cached per-file analyzer record for ``digest``, or None.
+
+        Same robustness contract as :meth:`get` (anything off is a miss,
+        corruption additionally counts a read error), but the traffic is
+        tallied under ``engine.cache.file_hits``/``file_misses`` so the
+        row-level counters stay per-application.
+        """
+        try:
+            with open(self.entry_path(digest), encoding="utf-8") as handle:
+                entry = json.load(handle)
+            record = self._validate_file(entry)
+        except FileNotFoundError:
+            obs.incr("engine.cache.file_misses")
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError, TypeError, KeyError):
+            obs.incr("engine.cache.read_errors")
+            obs.incr("engine.cache.file_misses")
+            return None
+        obs.incr("engine.cache.file_hits")
+        return record
+
+    def put_file(self, digest: str, path: str,
+                 record: Dict[str, object]) -> None:
+        """Store one file's analyzer record (atomic, best-effort)."""
+        entry = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "analyzer_version": self.analyzer_version,
+            "path": path,
+            "record": record,
+        }
+        if self._write_entry(digest, entry):
+            obs.incr("engine.cache.file_stores")
+
+    def get_manifest(self, key: str) -> Optional[Dict[str, str]]:
+        """The app's advisory ``{path: file digest}`` manifest, or None.
+
+        Entirely silent: the manifest only classifies files for the
+        ``engine.delta.*`` counters, so a missing or corrupt manifest is
+        not worth a counter of its own.
+        """
+        try:
+            with open(self.entry_path(key), encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if not isinstance(entry, dict) or \
+                    entry.get("cache_format") != CACHE_FORMAT_VERSION or \
+                    entry.get("analyzer_version") != self.analyzer_version:
+                return None
+            files = entry.get("files")
+            if not isinstance(files, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in files.items()
+            ):
+                return None
+            return files
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError, TypeError, KeyError):
+            return None
+
+    def put_manifest(self, key: str, files: Dict[str, str]) -> None:
+        """Store an app's file-digest manifest (atomic, silent)."""
+        entry = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "analyzer_version": self.analyzer_version,
+            "files": files,
+        }
+        self._write_entry(key, entry)
+
+    def _write_entry(self, digest: str, entry: Dict[str, object]) -> bool:
+        """Atomically write ``entry``; False (+ counter) on OSError."""
         path = self.entry_path(digest)
         shard = os.path.dirname(path)
         try:
@@ -112,8 +198,8 @@ class FeatureCache:
         except OSError:
             # A read-only or full cache dir degrades to no caching.
             obs.incr("engine.cache.write_errors")
-            return
-        obs.incr("engine.cache.stores")
+            return False
+        return True
 
     @staticmethod
     def _sweep_stale_tmp(shard: str) -> None:
@@ -150,3 +236,24 @@ class FeatureCache:
                 raise ValueError("row is not a {str: number} mapping")
             out[key] = float(value)
         return out
+
+    def _validate_file(self, entry: object) -> Dict[str, object]:
+        """Check a per-file entry's shape; ValueError on anything off.
+
+        Record validation is deliberately loose (a JSON object keyed by
+        analyzer name): the merge phase owns the per-analyzer layout and
+        the analyzer version already pins it, so the cache only rejects
+        entries that cannot possibly be records.
+        """
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+        if entry.get("cache_format") != CACHE_FORMAT_VERSION:
+            raise ValueError("wrong cache format version")
+        if entry.get("analyzer_version") != self.analyzer_version:
+            raise ValueError("wrong analyzer version")
+        record = entry.get("record")
+        if not isinstance(record, dict) or not all(
+            isinstance(key, str) for key in record
+        ):
+            raise ValueError("record is not a {str: ...} mapping")
+        return record

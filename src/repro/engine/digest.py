@@ -20,14 +20,15 @@ import json
 from typing import Optional
 
 from repro.analysis.churn import CommitHistory
-from repro.lang.sourcefile import Codebase
+from repro.lang.sourcefile import Codebase, SourceFile
 
 #: Version of the analyzer set feeding :func:`repro.core.features
 #: .extract_features`. Bump whenever any analyzer, the bug-finding
 #: rules, or the feature-row schema changes in a way that alters
 #: emitted values — every cached entry keyed on the old version then
-#: misses cleanly instead of serving stale rows.
-ANALYZER_SET_VERSION = "2026.08.06-2"
+#: misses cleanly instead of serving stale rows. Per-file records share
+#: this version: their partial layout is part of the analyzer set.
+ANALYZER_SET_VERSION = "2026.08.06-3"
 
 
 def _hasher() -> "hashlib._Hash":
@@ -54,6 +55,46 @@ def codebase_digest(codebase: Codebase) -> str:
         h.update(b"\x00")
         h.update(hashlib.sha256(source.text.encode("utf-8")).digest())
         h.update(b"\x01")
+    return h.hexdigest()
+
+
+def file_digest(source: SourceFile,
+                analyzer_version: str = ANALYZER_SET_VERSION) -> str:
+    """The cache key for one file's per-file analyzer record.
+
+    Keyed on the file's path, language, content bytes, and the analyzer
+    set version, under a ``file-record`` domain prefix so a file-record
+    key can never alias a task or manifest key. The path is included on
+    purpose: per-file records carry path-dependent facts (bug-finding
+    dedup keys pin the path), so a renamed file must miss and recompute
+    rather than resurrect another path's record.
+    """
+    h = _hasher()
+    h.update(b"file-record\x00")
+    h.update(analyzer_version.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(source.path.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(source.language.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(hashlib.sha256(source.text.encode("utf-8")).digest())
+    return h.hexdigest()
+
+
+def manifest_key(app: str,
+                 analyzer_version: str = ANALYZER_SET_VERSION) -> str:
+    """The cache key of an application's file-digest manifest.
+
+    Keyed on the application *name* (not content — the manifest exists
+    precisely to survive content changes) under its own domain prefix.
+    The manifest is advisory: it only classifies a warm run's files as
+    changed/added/removed for the delta counters, never gates reuse.
+    """
+    h = _hasher()
+    h.update(b"manifest\x00")
+    h.update(analyzer_version.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(app.encode("utf-8"))
     return h.hexdigest()
 
 

@@ -16,6 +16,24 @@ Two layers live here:
   counters back into the parent :mod:`repro.obs` session, and stores
   fresh rows back to the cache.
 
+Incremental extraction
+----------------------
+
+With a cache configured the engine works at *file* granularity. A
+whole-row hit (same tree, same args) still short-circuits everything.
+On a row miss the engine probes the cache for each file's analyzer
+record (keyed on content + path + analyzer version); when at least one
+file hits, only the missing files are scheduled — as per-file units
+through the same pool/failure machinery as whole apps, with per-file
+:class:`TaskFailure` blame — and the cheap merge phase folds cached and
+fresh records into the row. The merge is the same
+:func:`~repro.core.features.merge_records` a cold extraction runs, so a
+warm row is byte-identical to a cold one by construction. Cold cached
+extractions return their per-file records from the worker and seed the
+file cache (plus an advisory per-app manifest used to classify a later
+run's files as changed/added/removed for the ``engine.delta.*``
+counters).
+
 Worker processes re-import this module, so the task payload must stay
 picklable: :class:`~repro.lang.sourcefile.SourceFile` serialises as
 (path, text, language) and re-lexes lazily on the far side.
@@ -76,8 +94,8 @@ from repro import obs
 from repro.analysis.churn import CommitHistory
 from repro.engine import faults
 from repro.engine.cache import FeatureCache
-from repro.engine.digest import task_digest
-from repro.lang.sourcefile import Codebase
+from repro.engine.digest import file_digest, manifest_key, task_digest
+from repro.lang.sourcefile import Codebase, SourceFile
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -203,7 +221,9 @@ class TaskFailure:
     within ``task_timeout``), or ``"worker-lost"`` (the worker process
     died and recovery was exhausted). ``traceback`` is the formatted
     exception text (empty for timeouts and lost workers, where there is
-    no Python frame to show).
+    no Python frame to show). ``file`` names the source file whose
+    per-file unit failed when the task ran through the incremental
+    path; empty for whole-app failures.
     """
 
     app: str
@@ -212,10 +232,12 @@ class TaskFailure:
     error_type: str
     message: str
     traceback: str = ""
+    file: str = ""
 
     def describe(self) -> str:
         """One human-readable summary line."""
-        return (f"{self.app}: {self.kind} after {self.attempts} "
+        where = f"{self.app}[{self.file}]" if self.file else self.app
+        return (f"{where}: {self.kind} after {self.attempts} "
                 f"attempt(s) — {self.error_type}: {self.message}")
 
 
@@ -241,12 +263,44 @@ class ExtractionReport:
 
 @dataclass
 class _WorkerResult:
-    """A row plus the worker's telemetry shipment (None when serial)."""
+    """A unit's output plus the worker's telemetry shipment.
 
-    row: Dict[str, float]
+    Whole-app units fill ``row`` (and ``records`` when the parent wants
+    to seed the file cache); per-file units fill ``record`` instead.
+    ``span_records``/``counters`` are None for in-process execution.
+    """
+
+    row: Optional[Dict[str, float]] = None
+    records: Optional[List[Dict[str, Any]]] = None
+    record: Optional[Dict[str, Any]] = None
     span_records: Optional[List[Dict[str, Any]]] = None
     counters: Optional[Dict[str, float]] = None
     poison: Any = None  # fault-injection cargo; never set in real runs
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """One schedulable piece of work: a whole app or a single file."""
+
+    task_index: int
+    source: Optional[SourceFile] = None  # None => whole-app unit
+    file_pos: int = -1  # position in codebase.files for file units
+
+
+@dataclass
+class _DeltaPlan:
+    """Per-task file-cache probe result (cache configured, row missed).
+
+    ``records`` aligns with ``codebase.files``; cached hits are
+    prefilled, misses are None until their file unit completes.
+    ``recompute`` fixes the missed positions at probe time (the ones
+    whose fresh records must be stored back after the merge).
+    """
+
+    file_digests: List[str]
+    records: List[Optional[Dict[str, Any]]]
+    hits: int
+    recompute: List[int]
 
 
 @dataclass
@@ -261,7 +315,8 @@ class _RoundOutcome:
     broken_exc: Optional[BaseException] = None
 
 
-def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
+def _execute_task(task: ExtractionTask, capture_obs: bool,
+                  want_records: bool = False) -> _WorkerResult:
     """Run one extraction; in capture mode, also ship telemetry home.
 
     Module-level so it pickles into worker processes. ``capture_obs``
@@ -269,9 +324,10 @@ def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
     session: the worker then records into its own private session and
     returns the finished spans/counters for grafting. Serial runs leave
     it False so spans land directly (and nest naturally) in the
-    caller's session.
+    caller's session. ``want_records`` additionally ships the per-file
+    analyzer records so the parent can seed the file-granular cache.
     """
-    from repro.core.features import extract_features
+    from repro.core.features import extract_features_with_records
 
     fault = faults.active_fault(task.name)
     if fault is not None:
@@ -279,7 +335,7 @@ def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
     session = obs.configure() if capture_obs else None
     try:
         with obs.span("engine.worker", pid=os.getpid(), app=task.name):
-            row = extract_features(
+            row, records = extract_features_with_records(
                 task.codebase,
                 nominal_kloc=task.nominal_kloc,
                 history=task.history,
@@ -292,14 +348,44 @@ def _execute_task(task: ExtractionTask, capture_obs: bool) -> _WorkerResult:
     # (and pickle) differently from the floats a JSON cache round-trip
     # yields, which would make warm rows distinguishable from cold ones.
     row = {key: float(value) for key, value in row.items()}
-    if session is None:
-        result = _WorkerResult(row=row)
-    else:
-        result = _WorkerResult(
-            row=row,
-            span_records=session.tracer.records(),
-            counters=session.metrics.snapshot()["counters"],
-        )
+    result = _WorkerResult(
+        row=row,
+        records=records if want_records else None,
+    )
+    if session is not None:
+        result.span_records = session.tracer.records()
+        result.counters = session.metrics.snapshot()["counters"]
+    if fault is not None and fault.kind == "poison":
+        result.poison = faults.Unpicklable()
+    return result
+
+
+def _execute_file(app: str, source: SourceFile,
+                  capture_obs: bool) -> _WorkerResult:
+    """Run the per-file analyzers over one file (a delta-path unit).
+
+    Same contract as :func:`_execute_task` — module-level, picklable,
+    fault seam, optional telemetry capture — scoped to a single source
+    file. The ``engine.worker`` span carries a ``file`` attribute so
+    traces distinguish file units from whole-app ones.
+    """
+    from repro.core.features import file_record
+
+    fault = faults.active_fault(app)
+    if fault is not None:
+        fault.fire()
+    session = obs.configure() if capture_obs else None
+    try:
+        with obs.span("engine.worker", pid=os.getpid(), app=app,
+                      file=source.path):
+            record = file_record(source)
+    finally:
+        if session is not None:
+            obs.disable()
+    result = _WorkerResult(record=record)
+    if session is not None:
+        result.span_records = session.tracer.records()
+        result.counters = session.metrics.snapshot()["counters"]
     if fault is not None and fault.kind == "poison":
         result.poison = faults.Unpicklable()
     return result
@@ -417,7 +503,9 @@ class ExtractionEngine:
         tasks = list(tasks)
         rows: List[Optional[Dict[str, float]]] = [None] * len(tasks)
         digests: List[Optional[str]] = [None] * len(tasks)
-        pending: List[int] = []
+        units: List[_Unit] = []
+        plans: Dict[int, _DeltaPlan] = {}
+        delta_indices: List[int] = []
         with obs.span("engine.extract", apps=len(tasks),
                       workers=self.workers,
                       cache=self.cache is not None,
@@ -438,11 +526,32 @@ class ExtractionEngine:
                                       cached=True):
                             rows[index] = row
                         continue
-                pending.append(index)
-            failures = self._run_pending(tasks, pending, rows, digests)
+                    if len(task.codebase) > 0:
+                        with obs.span("engine.cache.probe", app=task.name,
+                                      files=len(task.codebase)):
+                            plan = self._probe_files(task)
+                        plans[index] = plan
+                        if plan.hits > 0:
+                            # Incremental path: only the missed files
+                            # run; the merge below folds them into the
+                            # cached records.
+                            self._classify_delta(task, plan)
+                            delta_indices.append(index)
+                            sources = task.codebase.files
+                            units.extend(
+                                _Unit(task_index=index,
+                                      source=sources[pos], file_pos=pos)
+                                for pos in plan.recompute)
+                            continue
+                units.append(_Unit(task_index=index))
+            failures = self._run_pending(tasks, units, rows, digests,
+                                         plans)
+            self._merge_deltas(tasks, delta_indices, plans, rows,
+                               digests, failures)
             if failures:
                 extract_span.set_attr("failures", len(failures))
-        return ExtractionReport(rows=rows, failures=failures)
+        failure_list = [failures[index] for index in sorted(failures)]
+        return ExtractionReport(rows=rows, failures=failure_list)
 
     def extract_rows(
         self, tasks: Sequence[ExtractionTask]
@@ -478,104 +587,291 @@ class ExtractionEngine:
             raise ExtractionError(report.failures[0].describe())
         return report.rows[0]
 
+    # -- incremental (file-granular) path -----------------------------
+
+    def _probe_files(self, task: ExtractionTask) -> _DeltaPlan:
+        """Ask the file cache for each file's analyzer record.
+
+        Runs only after the whole-row lookup missed (a full-row hit
+        must not touch the ``engine.cache.file_*`` counters). The
+        returned plan prefils cached records and pins the positions
+        that need recomputation.
+        """
+        sources = task.codebase.files
+        file_digests = [
+            file_digest(source,
+                        analyzer_version=self.cache.analyzer_version)
+            for source in sources
+        ]
+        records: List[Optional[Dict[str, Any]]] = [
+            self.cache.get_file(digest) for digest in file_digests
+        ]
+        recompute = [pos for pos, record in enumerate(records)
+                     if record is None]
+        return _DeltaPlan(
+            file_digests=file_digests,
+            records=records,
+            hits=len(records) - len(recompute),
+            recompute=recompute,
+        )
+
+    def _classify_delta(self, task: ExtractionTask,
+                        plan: _DeltaPlan) -> None:
+        """Compare against the app's manifest for the delta counters.
+
+        The manifest (last run's path → file-digest map) is purely
+        advisory: it exists so ``engine.delta.files_changed`` /
+        ``files_added`` / ``files_removed`` / ``files_unchanged`` can
+        name *why* files are being recomputed. Correctness never
+        depends on it — a missing or stale manifest just means no
+        delta counters.
+        """
+        manifest = self.cache.get_manifest(
+            manifest_key(task.name,
+                         analyzer_version=self.cache.analyzer_version))
+        if manifest is None:
+            return
+        current = {
+            source.path: digest
+            for source, digest in zip(task.codebase.files,
+                                      plan.file_digests)
+        }
+        changed = sum(1 for path, digest in current.items()
+                      if path in manifest and manifest[path] != digest)
+        added = sum(1 for path in current if path not in manifest)
+        removed = sum(1 for path in manifest if path not in current)
+        unchanged = len(current) - changed - added
+        for name, value in (
+            ("engine.delta.files_changed", changed),
+            ("engine.delta.files_added", added),
+            ("engine.delta.files_removed", removed),
+            ("engine.delta.files_unchanged", unchanged),
+        ):
+            if value:
+                obs.incr(name, value)
+
+    def _merge_deltas(
+        self,
+        tasks: Sequence[ExtractionTask],
+        delta_indices: List[int],
+        plans: Dict[int, _DeltaPlan],
+        rows: List[Optional[Dict[str, float]]],
+        digests: List[Optional[str]],
+        failures: Dict[int, TaskFailure],
+    ) -> None:
+        """Fold cached + fresh file records into rows for delta tasks.
+
+        Runs the same :func:`~repro.core.features.merge_records` a cold
+        extraction runs, so the merged row is byte-identical to one
+        computed from scratch. A task that already failed (one of its
+        file units exhausted the policy) is skipped; a merge crash is
+        subject to the same ``on_error`` policy as extraction itself.
+        """
+        if not delta_indices:
+            return
+        from repro.core.features import merge_records
+
+        for index in delta_indices:
+            if index in failures:
+                continue
+            task = tasks[index]
+            plan = plans[index]
+            error: Optional[BaseException] = None
+            with obs.span("testbed.app", app=task.name, cached=False,
+                          delta=True, files_reused=plan.hits,
+                          files_recomputed=len(plan.recompute),
+                          ) as app_span:
+                try:
+                    row = merge_records(
+                        task.codebase, plan.records,
+                        nominal_kloc=task.nominal_kloc,
+                        history=task.history,
+                        include_dynamic=task.include_dynamic,
+                    )
+                except Exception as exc:
+                    app_span.set_attr("error", type(exc).__name__)
+                    if self.on_error == "raise":
+                        raise
+                    error = exc
+            if error is not None:
+                self._record_failure(failures, task, index, "crash",
+                                     error, _format_tb(error), 1)
+                continue
+            rows[index] = {key: float(value)
+                           for key, value in row.items()}
+            obs.incr("engine.extracted")
+            self.cache.put(digests[index], rows[index], app=task.name)
+            for pos in plan.recompute:
+                self.cache.put_file(plan.file_digests[pos],
+                                    task.codebase.files[pos].path,
+                                    plan.records[pos])
+            self.cache.put_manifest(
+                manifest_key(
+                    task.name,
+                    analyzer_version=self.cache.analyzer_version),
+                {source.path: plan.file_digests[pos]
+                 for pos, source in enumerate(task.codebase.files)})
+
     # -- failure-policy machinery -------------------------------------
 
     def _run_pending(
         self,
         tasks: Sequence[ExtractionTask],
-        pending: List[int],
+        units: List[_Unit],
         rows: List[Optional[Dict[str, float]]],
         digests: List[Optional[str]],
-    ) -> List[TaskFailure]:
-        """Drive cache misses to completion or recorded failure."""
+        plans: Dict[int, _DeltaPlan],
+    ) -> Dict[int, TaskFailure]:
+        """Drive cache misses to completion or recorded failure.
+
+        ``units`` mixes whole-app and per-file work; positions into it
+        are the scheduling currency (attempts, retries, batches), while
+        failures are keyed by *task* index — the first failing unit of
+        a task claims the blame and the task's remaining units are
+        dropped from the queue.
+        """
         failures: Dict[int, TaskFailure] = {}
-        attempts: Dict[int, int] = {index: 0 for index in pending}
+        attempts: Dict[int, int] = {pos: 0 for pos in range(len(units))}
         last_kind: Dict[int, str] = {}
-        queue: List[int] = list(pending)
+        queue: List[int] = list(range(len(units)))
         rebuilds_left = 1
         while queue:
+            queue = [pos for pos in queue
+                     if units[pos].task_index not in failures]
             serial_batch = [
-                index for index in queue
+                pos for pos in queue
                 if self.on_error == "retry"
-                and last_kind.get(index) == "crash"
-                and 0 < attempts[index] == self.max_retries
+                and last_kind.get(pos) == "crash"
+                and 0 < attempts[pos] == self.max_retries
             ]
-            pool_indices = [i for i in queue
-                            if i not in set(serial_batch)]
+            pool_positions = [p for p in queue
+                              if p not in set(serial_batch)]
             # A worker-lost suspect re-runs *alone* in its own pool: if
             # it kills its worker again, the blame cannot spill onto
             # innocent batch-mates that merely shared the broken pool.
-            grouped = [i for i in pool_indices
-                       if last_kind.get(i) != "worker-lost"]
+            grouped = [p for p in pool_positions
+                       if last_kind.get(p) != "worker-lost"]
             batches: List[List[int]] = [grouped] if grouped else []
             batches.extend(
-                [i] for i in pool_indices
-                if last_kind.get(i) == "worker-lost")
+                [p] for p in pool_positions
+                if last_kind.get(p) == "worker-lost")
             queue = []
             for batch in batches:
                 outcome = self._pool_round(
-                    tasks, batch, rows, digests, attempts,
+                    tasks, units, batch, rows, digests, plans, attempts,
                     force_processes=batch is not grouped,
                 )
-                for index, (kind, exc, tb) in outcome.errors.items():
-                    attempts[index] += 1
-                    last_kind[index] = kind
+                for pos, (kind, exc, tb) in outcome.errors.items():
+                    attempts[pos] += 1
+                    last_kind[pos] = kind
                     if (kind == "crash" and self.on_error == "retry"
-                            and attempts[index] <= self.max_retries):
+                            and attempts[pos] <= self.max_retries):
                         obs.incr("engine.task_retries")
-                        queue.append(index)
+                        queue.append(pos)
                         continue
-                    self._record_failure(failures, tasks[index], index,
-                                         kind, exc, tb, attempts[index])
+                    unit = units[pos]
+                    self._record_failure(
+                        failures, tasks[unit.task_index],
+                        unit.task_index, kind, exc, tb, attempts[pos],
+                        file=unit.source.path if unit.source else "")
                 if outcome.broken:
                     if self.on_error == "raise":
                         # Fail-fast: a dead worker aborts the run (pool
                         # rebuilding is a skip/retry amenity).
                         raise outcome.broken_exc
                     suspects = outcome.lost + outcome.unfinished
-                    for index in suspects:
-                        attempts[index] += 1
-                        last_kind[index] = "worker-lost"
+                    for pos in suspects:
+                        attempts[pos] += 1
+                        last_kind[pos] = "worker-lost"
                     if rebuilds_left > 0 and suspects:
                         rebuilds_left -= 1
                         obs.incr("engine.pool_rebuilds")
                         queue.extend(suspects)
                     else:
-                        for index in suspects:
+                        for pos in suspects:
+                            unit = units[pos]
                             self._record_failure(
-                                failures, tasks[index], index,
-                                "worker-lost", outcome.broken_exc, "",
-                                attempts[index])
-            for index in serial_batch:
-                attempts[index] += 1
-                self._serial_attempt(tasks[index], index, rows, digests,
-                                     attempts, failures)
-        return [failures[index] for index in sorted(failures)]
+                                failures, tasks[unit.task_index],
+                                unit.task_index, "worker-lost",
+                                outcome.broken_exc, "", attempts[pos],
+                                file=(unit.source.path
+                                      if unit.source else ""))
+            for pos in serial_batch:
+                if units[pos].task_index in failures:
+                    continue
+                attempts[pos] += 1
+                self._serial_attempt(units[pos], pos, tasks, rows,
+                                     digests, plans, attempts, failures)
+        return failures
+
+    def _submit(self, pool: Any, unit: _Unit,
+                tasks: Sequence[ExtractionTask],
+                plans: Dict[int, _DeltaPlan], capture: bool) -> Any:
+        """Submit one unit to ``pool`` with the right entry point."""
+        task = tasks[unit.task_index]
+        if unit.source is not None:
+            return pool.submit(_execute_file, task.name, unit.source,
+                               capture)
+        # A plan exists exactly when the cache is configured and the
+        # codebase is non-empty — the cases where the per-file records
+        # are worth shipping back to seed the file cache.
+        want_records = unit.task_index in plans
+        return pool.submit(_execute_task, task, capture, want_records)
+
+    def _store_success(
+        self,
+        task: ExtractionTask,
+        index: int,
+        result: _WorkerResult,
+        rows: List[Optional[Dict[str, float]]],
+        digests: List[Optional[str]],
+        plans: Dict[int, _DeltaPlan],
+    ) -> None:
+        """Store a completed whole-app unit: row, caches, manifest."""
+        rows[index] = result.row
+        obs.incr("engine.extracted")
+        if self.cache is None or digests[index] is None:
+            return
+        self.cache.put(digests[index], result.row, app=task.name)
+        plan = plans.get(index)
+        if plan is None or result.records is None:
+            return
+        sources = task.codebase.files
+        for pos, source in enumerate(sources):
+            self.cache.put_file(plan.file_digests[pos], source.path,
+                                result.records[pos])
+        self.cache.put_manifest(
+            manifest_key(task.name,
+                         analyzer_version=self.cache.analyzer_version),
+            {source.path: plan.file_digests[pos]
+             for pos, source in enumerate(sources)})
 
     def _pool_round(
         self,
         tasks: Sequence[ExtractionTask],
-        indices: List[int],
+        units: List[_Unit],
+        positions: List[int],
         rows: List[Optional[Dict[str, float]]],
         digests: List[Optional[str]],
+        plans: Dict[int, _DeltaPlan],
         attempts: Dict[int, int],
         force_processes: bool = False,
     ) -> _RoundOutcome:
-        """Submit ``indices`` to one pool and collect in task order.
+        """Submit unit ``positions`` to one pool, collect in unit order.
 
-        Successes are stored (row, cache, telemetry graft) here; every
-        kind of failure is classified into the returned outcome for the
-        policy loop to act on. ``force_processes`` keeps a suspected
-        worker-killer out of the scheduler's own process even when the
-        batch is a single task; a configured timeout forces processes
-        too, because a serial task cannot be preempted.
+        Successes are stored (row/record, cache, telemetry graft) here;
+        every kind of failure is classified into the returned outcome
+        for the policy loop to act on. ``force_processes`` keeps a
+        suspected worker-killer out of the scheduler's own process even
+        when the batch is a single unit; a configured timeout forces
+        processes too, because a serial unit cannot be preempted.
         """
         use_processes = self.workers > 1 and (
-            len(indices) > 1 or force_processes
+            len(positions) > 1 or force_processes
             or self.task_timeout is not None)
         if use_processes:
             pool: Any = ProcessPoolExecutor(
-                max_workers=min(self.workers, len(indices)))
+                max_workers=min(self.workers, len(positions)))
         else:
             pool = _SerialPool()
         capture = use_processes and obs.is_enabled()
@@ -585,20 +881,25 @@ class ExtractionEngine:
         try:
             futures: List[Tuple[int, Any]] = []
             try:
-                for index in indices:
+                for pos in positions:
                     futures.append(
-                        (index,
-                         pool.submit(_execute_task, tasks[index], capture)))
+                        (pos, self._submit(pool, units[pos], tasks,
+                                           plans, capture)))
             except BrokenExecutor as exc:
                 outcome.broken = True
                 outcome.broken_exc = exc
-                submitted = {index for index, _ in futures}
+                submitted = {pos for pos, _ in futures}
                 outcome.unfinished.extend(
-                    index for index in indices if index not in submitted)
-            for index, future in futures:
-                task = tasks[index]
-                with obs.span("testbed.app", app=task.name, cached=False,
-                              attempt=attempts[index] + 1) as app_span:
+                    pos for pos in positions if pos not in submitted)
+            for pos, future in futures:
+                unit = units[pos]
+                task = tasks[unit.task_index]
+                span_attrs: Dict[str, Any] = dict(
+                    app=task.name, cached=False,
+                    attempt=attempts[pos] + 1)
+                if unit.source is not None:
+                    span_attrs["file"] = unit.source.path
+                with obs.span("testbed.app", **span_attrs) as app_span:
                     try:
                         if outcome.broken:
                             result = future.result(
@@ -613,11 +914,11 @@ class ExtractionEngine:
                         if isinstance(exc, BrokenExecutor):
                             app_span.set_attr("error", type(exc).__name__)
                             if outcome.broken:
-                                outcome.unfinished.append(index)
+                                outcome.unfinished.append(pos)
                             else:
                                 outcome.broken = True
                                 outcome.broken_exc = exc
-                                outcome.lost.append(index)
+                                outcome.lost.append(pos)
                             continue
                         if (isinstance(exc, FutureTimeout)
                                 and not future.done()):
@@ -625,7 +926,7 @@ class ExtractionEngine:
                                 # post-break grace expired: lost work
                                 app_span.set_attr(
                                     "error", "BrokenProcessPool")
-                                outcome.unfinished.append(index)
+                                outcome.unfinished.append(pos)
                                 continue
                             timed_out = True
                             app_span.set_attr("error", "TaskTimeout")
@@ -634,24 +935,25 @@ class ExtractionEngine:
                                 f"{self.task_timeout:g}s")
                             if self.on_error == "raise":
                                 raise timeout_exc from exc
-                            outcome.errors[index] = (
+                            outcome.errors[pos] = (
                                 "timeout", timeout_exc, "")
                             continue
                         app_span.set_attr("error", type(exc).__name__)
                         if self.on_error == "raise":
                             raise
-                        outcome.errors[index] = (
+                        outcome.errors[pos] = (
                             "crash", exc, _format_tb(exc))
                         continue
                     if result.span_records:
                         obs.graft_spans(result.span_records)
                     if result.counters:
                         obs.merge_counters(result.counters)
-                rows[index] = result.row
-                obs.incr("engine.extracted")
-                if self.cache is not None and digests[index] is not None:
-                    self.cache.put(digests[index], result.row,
-                                   app=task.name)
+                if unit.source is not None:
+                    plans[unit.task_index].records[unit.file_pos] = (
+                        result.record)
+                else:
+                    self._store_success(task, unit.task_index, result,
+                                        rows, digests, plans)
             completed_normally = True
         finally:
             if not completed_normally or timed_out or outcome.broken:
@@ -663,28 +965,43 @@ class ExtractionEngine:
 
     def _serial_attempt(
         self,
-        task: ExtractionTask,
-        index: int,
+        unit: _Unit,
+        pos: int,
+        tasks: Sequence[ExtractionTask],
         rows: List[Optional[Dict[str, float]]],
         digests: List[Optional[str]],
+        plans: Dict[int, _DeltaPlan],
         attempts: Dict[int, int],
         failures: Dict[int, TaskFailure],
     ) -> None:
         """The retry ladder's last rung: re-run in this very process."""
-        with obs.span("testbed.app", app=task.name, cached=False,
-                      attempt=attempts[index],
-                      serial_retry=True) as app_span:
+        task = tasks[unit.task_index]
+        span_attrs: Dict[str, Any] = dict(
+            app=task.name, cached=False, attempt=attempts[pos],
+            serial_retry=True)
+        if unit.source is not None:
+            span_attrs["file"] = unit.source.path
+        with obs.span("testbed.app", **span_attrs) as app_span:
             try:
-                result = _execute_task(task, capture_obs=False)
+                if unit.source is not None:
+                    result = _execute_file(task.name, unit.source,
+                                           capture_obs=False)
+                else:
+                    result = _execute_task(
+                        task, capture_obs=False,
+                        want_records=unit.task_index in plans)
             except Exception as exc:
                 app_span.set_attr("error", type(exc).__name__)
-                self._record_failure(failures, task, index, "crash", exc,
-                                     _format_tb(exc), attempts[index])
+                self._record_failure(
+                    failures, task, unit.task_index, "crash", exc,
+                    _format_tb(exc), attempts[pos],
+                    file=unit.source.path if unit.source else "")
                 return
-        rows[index] = result.row
-        obs.incr("engine.extracted")
-        if self.cache is not None and digests[index] is not None:
-            self.cache.put(digests[index], result.row, app=task.name)
+        if unit.source is not None:
+            plans[unit.task_index].records[unit.file_pos] = result.record
+        else:
+            self._store_success(task, unit.task_index, result, rows,
+                                digests, plans)
 
     @staticmethod
     def _record_failure(
@@ -695,7 +1012,12 @@ class ExtractionEngine:
         exc: BaseException,
         tb: str,
         attempts: int,
+        file: str = "",
     ) -> None:
+        if index in failures:
+            # First failing unit claims the task; later units of the
+            # same task (still in flight when it failed) are dropped.
+            return
         failures[index] = TaskFailure(
             app=task.name,
             kind=kind,
@@ -703,5 +1025,6 @@ class ExtractionEngine:
             error_type=type(exc).__name__,
             message=str(exc),
             traceback=tb,
+            file=file,
         )
         obs.incr("engine.task_failures")

@@ -41,6 +41,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     aggregate_spans,
+    format_delta_section,
     format_error_spans,
     format_run_report,
     format_serving_section,
@@ -52,7 +53,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_SPAN",
     "NullSpan", "ObsSession", "SPAN_RECORD_KEYS", "Span", "Tracer",
     "active", "aggregate_spans", "configure", "disable",
-    "format_error_spans", "format_run_report", "format_serving_section",
+    "format_delta_section", "format_error_spans", "format_run_report",
+    "format_serving_section",
     "gauge", "graft_spans",
     "incr", "is_enabled",
     "merge_counters", "observe", "percentile", "read_jsonl", "span",

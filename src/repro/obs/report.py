@@ -147,6 +147,42 @@ def format_serving_section(registry: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def format_delta_section(registry: MetricsRegistry) -> str:
+    """File-granular cache effectiveness for incremental extraction.
+
+    Summarises the ``engine.cache.file_*`` counters (per-file record
+    hits/misses/stores) and the ``engine.delta.*`` classification the
+    scheduler derives from the per-app manifest (changed / added /
+    removed / unchanged files). Returns "" when the session never took
+    the incremental path, so cold and uncached runs' reports are
+    unchanged.
+    """
+    counters = registry.snapshot()["counters"]
+    if not any(name.startswith("engine.cache.file_")
+               or name.startswith("engine.delta.")
+               for name in counters):
+        return ""
+    file_hits = counters.get("engine.cache.file_hits", 0)
+    file_misses = counters.get("engine.cache.file_misses", 0)
+    file_stores = counters.get("engine.cache.file_stores", 0)
+    probed = file_hits + file_misses
+    reuse = 100.0 * file_hits / probed if probed else 0.0
+    lines = [
+        f"  file records: hits={file_hits:g} misses={file_misses:g}"
+        f" stores={file_stores:g} reuse={reuse:.1f}%"
+    ]
+    classified = {
+        kind: counters.get(f"engine.delta.files_{kind}", 0)
+        for kind in ("changed", "added", "removed", "unchanged")
+    }
+    if any(classified.values()):
+        lines.append(
+            "  files vs last run: " + " ".join(
+                f"{kind}={value:g}"
+                for kind, value in classified.items()))
+    return "\n".join(lines)
+
+
 def format_run_report(session, title: str = "repro telemetry") -> str:
     """The full ``--profile`` report for one obs session."""
     tracer = session.tracer
@@ -160,6 +196,9 @@ def format_run_report(session, title: str = "repro telemetry") -> str:
         "metrics:",
         format_metrics(session.metrics),
     ]
+    delta = format_delta_section(session.metrics)
+    if delta:
+        lines.extend(["", "delta:", delta])
     serving = format_serving_section(session.metrics)
     if serving:
         lines.extend(["", "serving:", serving])

@@ -37,6 +37,7 @@ programmatically::
 from repro.serve.batching import MicroBatcher, QueueSaturated
 from repro.serve.modelstore import ModelLoadError, ModelStore, load_model
 from repro.serve.payloads import (
+    SCHEMA_VERSION,
     analysis_payload,
     dump_payload,
     prediction_payload,
@@ -49,6 +50,7 @@ __all__ = [
     "ModelStore",
     "PredictionServer",
     "QueueSaturated",
+    "SCHEMA_VERSION",
     "analysis_payload",
     "dump_payload",
     "load_model",

@@ -17,6 +17,11 @@ from typing import Dict, Optional
 from repro.core.model import SecurityModel
 from repro.lang import Codebase
 
+#: Version stamp carried by every payload this module builds, so
+#: consumers of ``analyze --json``, ``/predict``, and ``/analyze`` can
+#: detect shape changes. Bump on any breaking payload change.
+SCHEMA_VERSION = 1
+
 
 def prediction_payload(
     model: SecurityModel, features: Dict[str, float]
@@ -31,6 +36,7 @@ def prediction_payload(
     """
     assessment = model.assess(features)
     return {
+        "schema_version": SCHEMA_VERSION,
         "probabilities": {
             key: assessment.probabilities[key]
             for key in sorted(assessment.probabilities)
@@ -55,6 +61,7 @@ def analysis_payload(
     and the serve-smoke leg diffs against the offline CLI.
     """
     payload: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
         "app": codebase.name,
         "files": len(codebase),
         "primary_language": codebase.primary_language(),

@@ -83,7 +83,9 @@ class TestPredictValidation:
     def test_single_predict_shape(self, app):
         response, doc = call(app, "POST", "/predict", {"features": FEATURES})
         assert response.status == 200
-        assert set(doc) == {"probabilities", "estimates", "overall_risk"}
+        assert set(doc) == {"schema_version", "probabilities", "estimates",
+                            "overall_risk"}
+        assert doc["schema_version"] == 1
 
     def test_batch_predict_shape(self, app):
         response, doc = call(

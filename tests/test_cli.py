@@ -275,6 +275,9 @@ class TestFailurePolicyFlags:
                                                 monkeypatch):
         from repro.engine.faults import FAULTS_ENV
 
+        # An ambient cache (CI engine leg) would satisfy the task from a
+        # prior test's row and the injected crash would never run.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv(FAULTS_ENV, "risky=crash")
         with pytest.raises(SystemExit) as excinfo:
             main(["analyze", risky_tree, "--on-error", "skip"])
@@ -285,6 +288,9 @@ class TestFailurePolicyFlags:
                                                    monkeypatch, capsys):
         from repro.engine.faults import FAULTS_ENV
 
+        # See test_analyze_reports_extraction_failure: cached corpus rows
+        # would mask the injected crash.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         monkeypatch.setenv(FAULTS_ENV, "c-app-002=crash")
         out = str(tmp_path / "m.pkl")
         code = main(["train", "--seed", "7", "--apps", "16",
@@ -378,9 +384,10 @@ class TestAnalyzeWithModel:
         assert main(["analyze", risky_tree, "--json",
                      "--model", model_path]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
         prediction = payload["prediction"]
-        assert set(prediction) == {"probabilities", "estimates",
-                                   "overall_risk"}
+        assert set(prediction) == {"schema_version", "probabilities",
+                                   "estimates", "overall_risk"}
         assert 0.0 <= prediction["overall_risk"] <= 1.0
 
     def test_json_without_model_has_no_prediction(self, risky_tree,
