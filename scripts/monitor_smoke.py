@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the telemetry stack (CI monitor-smoke leg).
+
+Boots a real `repro serve` subprocess with an SLO rule file, a
+telemetry stream, and a structured access log, drives traffic at it,
+and checks the observability contract from the outside:
+
+1. `/metricz` negotiates: `Accept: text/plain` serves parseable
+   Prometheus text exposition; the default stays the JSON snapshot;
+2. `/healthz` carries the SLO block and stays `ok` under healthy
+   traffic;
+3. responses echo the request's trace identity (`X-Trace-Id`,
+   `traceparent`), honouring an inbound `traceparent` header;
+4. the access log holds one well-formed JSON line per request with the
+   matching trace ID;
+5. after SIGTERM, `repro slo-check --stream` exits 0 against the
+   exported healthy stream, and exits non-zero naming the breached
+   rule against a synthetically degraded stream;
+6. `repro monitor --stream --once` renders a dashboard frame from the
+   exported stream.
+
+Run locally from the repo root:
+`PYTHONPATH=src python scripts/monitor_smoke.py`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TARGET_TREE = os.path.join("src", "repro", "obs")
+BOOT_TIMEOUT = 60.0
+
+SLO_RULES = {
+    "slo": [
+        {"name": "predict-p99", "kind": "latency",
+         "histogram": "serve.predict.seconds", "stat": "p99",
+         "max_seconds": 30.0},
+        {"name": "shed-rate", "kind": "ratio_max",
+         "numerator": "serve.shed", "denominator": "serve.requests",
+         "max_ratio": 0.5},
+        {"name": "error-budget", "kind": "counter_max",
+         "counter": "serve.errors", "max_value": 100},
+    ]
+}
+
+
+def fail(message: str) -> None:
+    print(f"monitor-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"monitor-smoke: {message}", flush=True)
+
+
+def cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=cli_env(), capture_output=True, text=True)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def request(url: str, doc=None, method: str = "GET", headers=None):
+    data = json.dumps(doc).encode() if doc is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    for name, value in (headers or {}).items():
+        req.add_header(name, value)
+    with urllib.request.urlopen(req, timeout=15) as resp:
+        return resp.status, resp.read().decode(), dict(resp.headers)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text exposition into {metric{labels}: value}; fail on noise."""
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            fail(f"unparseable exposition line {lineno}: {line!r}")
+        name, value = parts
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            fail(f"non-numeric sample on line {lineno}: {line!r}")
+    return samples
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="monitor-smoke-")
+    model = os.path.join(workdir, "model.pkl")
+    slo_path = os.path.join(workdir, "slo.json")
+    stream_path = os.path.join(workdir, "telemetry.jsonl")
+    access_path = os.path.join(workdir, "access.jsonl")
+    with open(slo_path, "w", encoding="utf-8") as handle:
+        json.dump(SLO_RULES, handle)
+
+    step("training a small model")
+    train = run_cli("train", "--apps", "8", "--folds", "3",
+                    "--seed", "42", "--out", model)
+    if train.returncode != 0:
+        fail(f"train exited {train.returncode}:\n{train.stderr}")
+
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    step(f"booting repro serve with SLO + stream + access log on {port}")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro",
+         "--stream", stream_path,
+         "serve", "--model", model, "--port", str(port),
+         "--batch-window", "0.005",
+         "--slo", slo_path, "--access-log", access_path],
+        cwd=REPO_ROOT, env=cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        deadline = time.monotonic() + BOOT_TIMEOUT
+        health = None
+        while time.monotonic() < deadline:
+            if server.poll() is not None:
+                _, stderr = server.communicate(timeout=5)
+                fail(f"server died during boot (exit {server.returncode}):"
+                     f"\n{stderr}")
+            try:
+                _, body, _ = request(f"{base}/healthz")
+                health = json.loads(body)
+                break
+            except (urllib.error.URLError, ConnectionError, OSError):
+                time.sleep(0.25)
+        if health is None:
+            fail(f"/healthz not answering within {BOOT_TIMEOUT}s")
+
+        step("driving traffic (predict + analyze)")
+        _, offline, _ = request(f"{base}/analyze",
+                                {"path": TARGET_TREE}, "POST")
+        features = json.loads(offline)["features"]
+        for _ in range(5):
+            request(f"{base}/predict",
+                    {"features": features, "model": "model"}, "POST")
+
+        step("checking /healthz SLO block under healthy traffic")
+        _, body, _ = request(f"{base}/healthz")
+        health = json.loads(body)
+        if health.get("status") != "ok":
+            fail(f"health status {health.get('status')!r}, wanted 'ok'")
+        slo = health.get("slo")
+        if not slo or slo.get("ok") is not True or slo.get("breached"):
+            fail(f"health slo block wrong: {slo!r}")
+        if slo.get("rules") != len(SLO_RULES["slo"]):
+            fail(f"health slo rules={slo.get('rules')}")
+
+        step("checking /metricz content negotiation")
+        _, body, headers = request(f"{base}/metricz")
+        if "json" not in headers.get("Content-Type", ""):
+            fail(f"default /metricz content type: {headers!r}")
+        snapshot = json.loads(body)
+        if snapshot["counters"].get("serve.requests", 0) < 6:
+            fail("JSON snapshot missing request traffic")
+        _, text, headers = request(f"{base}/metricz",
+                                   headers={"Accept": "text/plain"})
+        ctype = headers.get("Content-Type", "")
+        if not ctype.startswith("text/plain"):
+            fail(f"negotiated /metricz content type: {ctype!r}")
+        samples = parse_prometheus(text)
+        if samples.get("repro_serve_requests_total", 0) < 6:
+            fail(f"exposition missing repro_serve_requests_total: "
+                 f"{sorted(samples)[:10]}")
+        if not any(name.startswith('repro_serve_predict_seconds{')
+                   for name in samples):
+            fail("exposition missing predict latency quantiles")
+
+        step("checking trace propagation headers")
+        inbound = "11112222333344445555666677778888"
+        traceparent = f"00-{inbound}-00000000000000ff-01"
+        _, _, headers = request(
+            f"{base}/healthz", headers={"traceparent": traceparent})
+        if headers.get("X-Trace-Id") != inbound:
+            fail(f"X-Trace-Id {headers.get('X-Trace-Id')!r} does not "
+                 f"honour inbound traceparent")
+        if inbound not in headers.get("traceparent", ""):
+            fail("response traceparent lost the inbound trace ID")
+        _, _, headers = request(f"{base}/healthz")
+        minted = headers.get("X-Trace-Id", "")
+        if len(minted) != 32 or minted == inbound:
+            fail(f"minted X-Trace-Id looks wrong: {minted!r}")
+
+        step("sending SIGTERM")
+        server.send_signal(signal.SIGTERM)
+        try:
+            code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            fail("server did not exit within 30s of SIGTERM")
+        if code != 0:
+            _, stderr = server.communicate(timeout=5)
+            fail(f"server exited {code} after SIGTERM:\n{stderr}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    step("checking the structured access log")
+    with open(access_path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if len(lines) < 8:
+        fail(f"access log has only {len(lines)} lines")
+    for record in lines:
+        for key in ("ts", "method", "path", "status", "duration_ms",
+                    "trace_id", "batch_size", "shed"):
+            if key not in record:
+                fail(f"access log line missing {key!r}: {record}")
+    if not any(r["trace_id"] == "11112222333344445555666677778888"
+               for r in lines):
+        fail("access log never saw the propagated trace ID")
+
+    step("slo-check against the exported healthy stream")
+    check = run_cli("slo-check", "--slo", slo_path,
+                    "--stream", stream_path)
+    if check.returncode != 0:
+        fail(f"healthy slo-check exited {check.returncode}:\n"
+             f"{check.stdout}\n{check.stderr}")
+    if "slo: ok" not in check.stdout:
+        fail(f"healthy slo-check verdict missing:\n{check.stdout}")
+
+    step("slo-check against a synthetically breached stream")
+    breached_path = os.path.join(workdir, "breached.jsonl")
+    with open(stream_path) as src, open(breached_path, "w") as dst:
+        dst.write(src.read())
+        # Far more shed requests than served ones: shed-rate must breach.
+        for _ in range(50):
+            dst.write(json.dumps(
+                {"v": 1, "ts": time.time(), "type": "counter",
+                 "name": "serve.shed", "delta": 1.0}) + "\n")
+    check = run_cli("slo-check", "--slo", slo_path,
+                    "--stream", breached_path)
+    if check.returncode == 0:
+        fail(f"breached slo-check exited 0:\n{check.stdout}")
+    if "shed-rate" not in check.stdout:
+        fail(f"breached slo-check does not name the rule:\n{check.stdout}")
+
+    step("rendering repro monitor --once from the stream")
+    frame = run_cli("monitor", "--stream", stream_path,
+                    "--slo", slo_path, "--once")
+    if frame.returncode != 0:
+        fail(f"monitor --once exited {frame.returncode}:\n{frame.stderr}")
+    for needle in ("repro monitor", "requests", "latency", "slo: ok"):
+        if needle not in frame.stdout:
+            fail(f"monitor frame missing {needle!r}:\n{frame.stdout}")
+
+    step("PASS — telemetry stack healthy end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,17 +17,32 @@ Commands:
 - ``corpus --out FEED.json`` — export the calibrated CVE corpus as JSON.
 - ``serve --model PATH`` — run the prediction service daemon:
   ``POST /predict`` (micro-batched), ``POST /analyze`` (through the
-  extraction engine), ``GET /healthz``, ``GET /metricz``. Stops cleanly
-  (exit 0) on SIGTERM/SIGINT.
+  extraction engine), ``GET /healthz``, ``GET /metricz`` (JSON, or
+  Prometheus text under ``Accept: text/plain``). ``--slo RULES`` folds
+  a live SLO verdict into ``/healthz``; ``--access-log PATH`` appends
+  one structured JSON line per request. Stops cleanly (exit 0) on
+  SIGTERM/SIGINT.
+- ``slo-check --slo RULES (--stream FILE | --url URL)`` — evaluate SLO
+  rules offline against an exported telemetry stream or live against a
+  daemon's ``/metricz``; exits non-zero naming the breached rules.
+- ``monitor (--url URL | --stream FILE)`` — live terminal dashboard
+  over a running daemon or a telemetry stream file.
 
 ``repro --version`` prints the build version from package metadata.
 
 Observability (accepted before or after the subcommand):
 
 - ``--trace FILE.jsonl`` — record every tracing span (one JSON object
-  per line: name, parent, start, duration, attrs).
+  per line: name, span_id, parent, trace_id, start, duration, attrs).
 - ``--profile`` — print the ``repro telemetry`` report (per-analyzer /
   per-phase time breakdown plus counters) after the command finishes.
+- ``--stream FILE.jsonl`` — append live telemetry events (finished
+  spans, counter deltas, structured events) to a rotating JSONL stream
+  as they happen.
+
+Every observed invocation mints one root trace ID; all spans the run
+records (including those grafted back from worker processes) carry it,
+so one CLI run exports as one connected trace.
 
 Engine knobs (a shared argparse parent, accepted by every subcommand):
 
@@ -55,6 +70,7 @@ skipped, and prints a per-app failure summary to stderr.
 from __future__ import annotations
 
 import argparse
+import json
 import pickle
 import signal
 import sys
@@ -249,6 +265,15 @@ def cmd_survey(args) -> int:
     return 0
 
 
+def _load_rules_or_exit(path: str):
+    from repro.obs.slo import SloConfigError, load_slo_rules
+
+    try:
+        return load_slo_rules(path)
+    except SloConfigError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def cmd_serve(args) -> int:
     """Run the prediction daemon until SIGTERM/SIGINT (exit 0)."""
     from repro.serve import ModelStore, PredictionServer
@@ -258,6 +283,7 @@ def cmd_serve(args) -> int:
         store = ModelStore.from_specs(args.model)
     except LoadError as exc:
         raise SystemExit(str(exc))
+    slo_rules = _load_rules_or_exit(args.slo) if args.slo else ()
     server = PredictionServer(
         store,
         engine=_engine_from_args(args),
@@ -266,6 +292,8 @@ def cmd_serve(args) -> int:
         batch_window=args.batch_window,
         batch_size=args.batch_size,
         queue_depth=args.queue_depth,
+        slo_rules=slo_rules,
+        access_log=args.access_log,
     )
     stop = threading.Event()
 
@@ -288,6 +316,59 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _fetch_metricz(url: str) -> dict:
+    """The /metricz JSON snapshot of a running daemon."""
+    from urllib.request import urlopen
+
+    target = url if url.endswith("/metricz") \
+        else url.rstrip("/") + "/metricz"
+    with urlopen(target, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def cmd_slo_check(args) -> int:
+    """Evaluate SLO rules; exit 1 naming any breached rule."""
+    from repro.obs.slo import evaluate_slos
+    from repro.obs.stream import replay_snapshot
+
+    rules = _load_rules_or_exit(args.slo)
+    if args.stream_file:
+        source = args.stream_file
+        snapshot = replay_snapshot(args.stream_file)
+    else:
+        source = args.url
+        try:
+            snapshot = _fetch_metricz(args.url)
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot fetch metrics from {args.url!r}: {exc}")
+    report = evaluate_slos(rules, snapshot)
+    print(f"slo-check against {source}")
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_monitor(args) -> int:
+    """Live terminal dashboard over a daemon or a stream file."""
+    from repro.obs.monitor import run_monitor
+    from repro.obs.stream import replay_snapshot
+
+    rules = _load_rules_or_exit(args.slo) if args.slo else ()
+    if args.stream_file:
+        source = args.stream_file
+
+        def fetch():
+            return replay_snapshot(args.stream_file)
+    else:
+        source = args.url
+
+        def fetch():
+            return _fetch_metricz(args.url)
+
+    return run_monitor(fetch, slo_rules=rules, source=source,
+                       interval=args.interval, once=args.once)
+
+
 def cmd_corpus(args) -> int:
     from repro.cve import io as cve_io
     from repro.synth.cvegen import generate_database, generate_profiles
@@ -301,7 +382,8 @@ def cmd_corpus(args) -> int:
 
 
 def _add_obs_options(parser, top_level: bool) -> None:
-    """``--trace``/``--profile``, accepted before *and* after the command.
+    """``--trace``/``--profile``/``--stream``, accepted before *and*
+    after the command.
 
     The subcommand copies default to ``SUPPRESS`` so a value parsed at
     the top level is not clobbered back to the default by the subparser.
@@ -317,6 +399,11 @@ def _add_obs_options(parser, top_level: bool) -> None:
         "--profile", action="store_true",
         help="print a telemetry report (per-analyzer/per-phase timings) "
              "after the command", **profile_kwargs)
+    parser.add_argument(
+        "--stream", metavar="FILE.jsonl",
+        help="append live telemetry events (spans, counter deltas, "
+             "structured events) to a rotating JSONL stream",
+        **trace_kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,7 +499,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-depth", type=int, default=64, metavar="N",
                    help="bounded inbound queue; beyond it requests are "
                         "shed with 503 + Retry-After (default: 64)")
+    p.add_argument("--slo", metavar="RULES.{toml,json}", default=None,
+                   help="SLO rule file; /healthz reports degraded on "
+                        "any breach")
+    p.add_argument("--access-log", metavar="PATH", default=None,
+                   help="append one structured JSON line per request "
+                        "(method, path, status, duration, trace id)")
     p.set_defaults(func=cmd_serve)
+
+    # slo-check and monitor are telemetry consumers, not extraction
+    # commands: no engine parent, no recording-side obs flags (their
+    # --stream names the stream to *read*).
+    p = sub.add_parser(
+        "slo-check",
+        help="evaluate SLO rules against a stream file or live daemon")
+    p.add_argument("--slo", required=True, metavar="RULES.{toml,json}",
+                   help="SLO rule file (TOML needs Python >= 3.11; "
+                        "JSON always works)")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--stream", dest="stream_file", metavar="FILE.jsonl",
+                     help="exported telemetry stream to replay offline")
+    src.add_argument("--url", metavar="URL",
+                     help="base URL of a running daemon (evaluates its "
+                          "/metricz snapshot)")
+    p.set_defaults(func=cmd_slo_check)
+
+    p = sub.add_parser(
+        "monitor",
+        help="live terminal dashboard over a daemon or stream file")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--url", metavar="URL",
+                     help="base URL of a running daemon to poll")
+    src.add_argument("--stream", dest="stream_file", metavar="FILE.jsonl",
+                     help="telemetry stream file to tail")
+    p.add_argument("--slo", metavar="RULES.{toml,json}", default=None,
+                   help="SLO rule file to evaluate each frame")
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="refresh interval (default: 2.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (scriptable)")
+    p.set_defaults(func=cmd_monitor)
 
     p = add_parser("corpus", help="export the calibrated CVE corpus")
     p.add_argument("--out", default="cve-corpus.json")
@@ -427,9 +554,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
+    stream_path = getattr(args, "stream", None)
     session = None
-    if trace_path or profile:
-        session = obs.configure(profile=profile, trace_path=trace_path)
+    if trace_path or profile or stream_path:
+        # One root trace ID per invocation: every span this run records
+        # (worker-grafted ones included) carries it, so the exported
+        # JSONL is a single connected trace.
+        session = obs.configure(profile=profile, trace_path=trace_path,
+                                stream_path=stream_path,
+                                trace_id=obs.new_trace_id())
     try:
         try:
             code = args.func(args)

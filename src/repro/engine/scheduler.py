@@ -316,7 +316,8 @@ class _RoundOutcome:
 
 
 def _execute_task(task: ExtractionTask, capture_obs: bool,
-                  want_records: bool = False) -> _WorkerResult:
+                  want_records: bool = False,
+                  trace_id: Optional[str] = None) -> _WorkerResult:
     """Run one extraction; in capture mode, also ship telemetry home.
 
     Module-level so it pickles into worker processes. ``capture_obs``
@@ -326,13 +327,16 @@ def _execute_task(task: ExtractionTask, capture_obs: bool,
     it False so spans land directly (and nest naturally) in the
     caller's session. ``want_records`` additionally ships the per-file
     analyzer records so the parent can seed the file-granular cache.
+    ``trace_id`` is the scheduling request's trace ID: the worker's
+    session adopts it so the shipped spans stitch into the same trace
+    as the parent's request tree after the graft.
     """
     from repro.core.features import extract_features_with_records
 
     fault = faults.active_fault(task.name)
     if fault is not None:
         fault.fire()
-    session = obs.configure() if capture_obs else None
+    session = obs.configure(trace_id=trace_id) if capture_obs else None
     try:
         with obs.span("engine.worker", pid=os.getpid(), app=task.name):
             row, records = extract_features_with_records(
@@ -361,20 +365,22 @@ def _execute_task(task: ExtractionTask, capture_obs: bool,
 
 
 def _execute_file(app: str, source: SourceFile,
-                  capture_obs: bool) -> _WorkerResult:
+                  capture_obs: bool,
+                  trace_id: Optional[str] = None) -> _WorkerResult:
     """Run the per-file analyzers over one file (a delta-path unit).
 
     Same contract as :func:`_execute_task` — module-level, picklable,
-    fault seam, optional telemetry capture — scoped to a single source
-    file. The ``engine.worker`` span carries a ``file`` attribute so
-    traces distinguish file units from whole-app ones.
+    fault seam, optional telemetry capture, request ``trace_id``
+    adoption — scoped to a single source file. The ``engine.worker``
+    span carries a ``file`` attribute so traces distinguish file units
+    from whole-app ones.
     """
     from repro.core.features import file_record
 
     fault = faults.active_fault(app)
     if fault is not None:
         fault.fire()
-    session = obs.configure() if capture_obs else None
+    session = obs.configure(trace_id=trace_id) if capture_obs else None
     try:
         with obs.span("engine.worker", pid=os.getpid(), app=app,
                       file=source.path):
@@ -764,12 +770,18 @@ class ExtractionEngine:
                 for pos, (kind, exc, tb) in outcome.errors.items():
                     attempts[pos] += 1
                     last_kind[pos] = kind
+                    unit = units[pos]
                     if (kind == "crash" and self.on_error == "retry"
                             and attempts[pos] <= self.max_retries):
                         obs.incr("engine.task_retries")
+                        obs.event(
+                            "engine.task_retry",
+                            app=tasks[unit.task_index].name,
+                            file=unit.source.path if unit.source else "",
+                            attempt=attempts[pos],
+                            error_type=type(exc).__name__)
                         queue.append(pos)
                         continue
-                    unit = units[pos]
                     self._record_failure(
                         failures, tasks[unit.task_index],
                         unit.task_index, kind, exc, tb, attempts[pos],
@@ -786,6 +798,10 @@ class ExtractionEngine:
                     if rebuilds_left > 0 and suspects:
                         rebuilds_left -= 1
                         obs.incr("engine.pool_rebuilds")
+                        obs.event(
+                            "engine.pool_rebuild",
+                            suspects=[tasks[units[p].task_index].name
+                                      for p in suspects])
                         queue.extend(suspects)
                     else:
                         for pos in suspects:
@@ -806,17 +822,19 @@ class ExtractionEngine:
 
     def _submit(self, pool: Any, unit: _Unit,
                 tasks: Sequence[ExtractionTask],
-                plans: Dict[int, _DeltaPlan], capture: bool) -> Any:
+                plans: Dict[int, _DeltaPlan], capture: bool,
+                trace_id: Optional[str] = None) -> Any:
         """Submit one unit to ``pool`` with the right entry point."""
         task = tasks[unit.task_index]
         if unit.source is not None:
             return pool.submit(_execute_file, task.name, unit.source,
-                               capture)
+                               capture, trace_id)
         # A plan exists exactly when the cache is configured and the
         # codebase is non-empty — the cases where the per-file records
         # are worth shipping back to seed the file cache.
         want_records = unit.task_index in plans
-        return pool.submit(_execute_task, task, capture, want_records)
+        return pool.submit(_execute_task, task, capture, want_records,
+                           trace_id)
 
     def _store_success(
         self,
@@ -875,6 +893,10 @@ class ExtractionEngine:
         else:
             pool = _SerialPool()
         capture = use_processes and obs.is_enabled()
+        # The trace identity workers inherit, resolved once per round:
+        # the daemon's per-request scope or the CLI's per-invocation
+        # default, whichever governs this call.
+        trace_id = obs.current_trace_id() if capture else None
         outcome = _RoundOutcome()
         timed_out = False
         completed_normally = False
@@ -884,7 +906,7 @@ class ExtractionEngine:
                 for pos in positions:
                     futures.append(
                         (pos, self._submit(pool, units[pos], tasks,
-                                           plans, capture)))
+                                           plans, capture, trace_id)))
             except BrokenExecutor as exc:
                 outcome.broken = True
                 outcome.broken_exc = exc
@@ -1028,3 +1050,6 @@ class ExtractionEngine:
             file=file,
         )
         obs.incr("engine.task_failures")
+        obs.event("engine.task_failure", app=task.name, kind=kind,
+                  attempts=attempts, error_type=type(exc).__name__,
+                  file=file)

@@ -3,22 +3,38 @@
 Line schema (stable; covered by unit tests and documented in README):
 
     {"name": str, "span_id": int, "parent": int | null,
-     "start": float, "duration": float, "attrs": {…}}
+     "trace_id": str | null, "start": float, "duration": float,
+     "attrs": {…}}
 
 ``start`` is monotonic seconds since the tracer's epoch, ``duration`` is
-seconds inside the span, and ``parent`` links a nested span to its
-enclosing span's ``span_id``. Lines are ordered by ``start``.
+seconds inside the span, ``parent`` links a nested span to its enclosing
+span's ``span_id``, and ``trace_id`` groups every span of one logical
+request (or one CLI invocation) under a shared 32-hex-char ID. Lines
+are ordered by ``start``.
+
+Durability: writes go through a temp file in the destination directory
+plus ``os.replace`` (the same crash-safety idiom as the engine cache),
+so a killed process leaves at worst a stale ``.tmp`` file — never a
+half-written trace a later reader would choke on. When ``rotate_bytes``
+is set, an existing file at the destination is rotated aside
+(``trace.jsonl`` → ``trace.jsonl.1`` → … up to ``keep`` generations)
+instead of silently clobbered once the combined size would exceed the
+bound, so a daemon that exports on every shutdown cannot grow one
+unbounded trace file.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict, List
 
 from repro.obs.tracer import Tracer
 
 #: Keys every exported trace line carries.
-SPAN_RECORD_KEYS = ("name", "span_id", "parent", "start", "duration", "attrs")
+SPAN_RECORD_KEYS = ("name", "span_id", "parent", "trace_id", "start",
+                    "duration", "attrs")
 
 
 def _sanitise(attrs: Dict[str, Any]) -> Dict[str, Any]:
@@ -32,30 +48,113 @@ def _sanitise(attrs: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
+def span_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """One span's export dict with JSON-safe attribute values."""
+    record = dict(record)
+    record["attrs"] = _sanitise(record.get("attrs", {}))
+    return record
+
+
 def trace_lines(tracer: Tracer) -> List[str]:
     """The JSONL lines (without newlines) for every finished span."""
-    lines = []
-    for record in tracer.records():
-        record["attrs"] = _sanitise(record["attrs"])
-        lines.append(json.dumps(record, sort_keys=True))
-    return lines
+    return [json.dumps(span_record(record), sort_keys=True)
+            for record in tracer.records()]
 
 
-def write_jsonl(tracer: Tracer, path: str) -> int:
-    """Write the trace to ``path``; returns the number of spans written."""
-    lines = trace_lines(tracer)
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in lines:
-            handle.write(line + "\n")
+def rotate_files(path: str, keep: int = 3) -> None:
+    """Shift ``path`` into numbered generations (``path.1`` newest).
+
+    ``path.<keep>`` falls off the end; each younger generation moves up
+    one slot; the live file becomes ``path.1``. Missing generations are
+    skipped silently, so rotation is safe to call on any state.
+    """
+    if keep < 1:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        return
+    try:
+        os.remove(f"{path}.{keep}")
+    except FileNotFoundError:
+        pass
+    for gen in range(keep - 1, 0, -1):
+        try:
+            os.replace(f"{path}.{gen}", f"{path}.{gen + 1}")
+        except FileNotFoundError:
+            continue
+    try:
+        os.replace(path, f"{path}.1")
+    except FileNotFoundError:
+        pass
+
+
+def write_jsonl_lines(lines: List[str], path: str) -> int:
+    """Atomically write ``lines`` (one JSON doc each) to ``path``.
+
+    The temp file lands in the destination directory so ``os.replace``
+    is a same-filesystem rename: readers see either the old complete
+    file or the new complete file, never a partial write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
     return len(lines)
 
 
-def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Parse a trace file back into span records (the export inverse)."""
+def write_jsonl(tracer: Tracer, path: str,
+                rotate_bytes: int = 0, keep: int = 3) -> int:
+    """Write the trace to ``path``; returns the number of spans written.
+
+    With ``rotate_bytes > 0`` an existing file at ``path`` is rotated
+    aside first whenever keeping both would exceed the bound, so
+    repeated exports accumulate bounded history instead of either
+    clobbering the previous trace or growing without limit.
+    """
+    lines = trace_lines(tracer)
+    if rotate_bytes > 0:
+        try:
+            existing = os.path.getsize(path)
+        except OSError:
+            existing = 0
+        payload = sum(len(line) + 1 for line in lines)
+        if existing and existing + payload > rotate_bytes:
+            rotate_files(path, keep=keep)
+    return write_jsonl_lines(lines, path)
+
+
+def read_jsonl(path: str,
+               include_rotated: bool = False) -> List[Dict[str, Any]]:
+    """Parse a trace file back into span records (the export inverse).
+
+    With ``include_rotated`` the numbered generations next to ``path``
+    are read too, oldest first, so a rotated export reads back as one
+    continuous record stream.
+    """
+    paths = [path]
+    if include_rotated:
+        generation = 1
+        older = []
+        while os.path.exists(f"{path}.{generation}"):
+            older.append(f"{path}.{generation}")
+            generation += 1
+        paths = list(reversed(older)) + paths
     records = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for part in paths:
+        with open(part, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
     return records

@@ -23,8 +23,8 @@ class Span:
     this span spent in its own code.
     """
 
-    __slots__ = ("name", "span_id", "parent_id", "start", "duration",
-                 "attrs", "child_time", "_tracer", "_t0")
+    __slots__ = ("name", "span_id", "parent_id", "trace_id", "start",
+                 "duration", "attrs", "child_time", "_tracer", "_t0")
 
     def __init__(self, tracer, name: str, attrs: Dict[str, Any]):
         self._tracer = tracer
@@ -32,6 +32,7 @@ class Span:
         self.attrs = attrs
         self.span_id: Optional[int] = None
         self.parent_id: Optional[int] = None
+        self.trace_id: Optional[str] = None
         self.start = 0.0
         self.duration = 0.0
         self.child_time = 0.0
@@ -63,6 +64,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent": self.parent_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "duration": self.duration,
             "attrs": self.attrs,

@@ -1,20 +1,34 @@
-"""Span-based tracer with nesting and monotonic timings.
+"""Span-based tracer with nesting, monotonic timings, and trace IDs.
 
-The tracer keeps an explicit stack of open spans; a span entered while
-another is open becomes its child (``parent_id`` links them, and the
-parent's ``child_time`` grows by the child's duration on exit). Finished
-spans land on :attr:`Tracer.spans` in completion order, ready for the
-JSONL exporter and the run-report aggregator.
+The tracer keeps an explicit stack of open spans *per thread*; a span
+entered while another is open on the same thread becomes its child
+(``parent_id`` links them, and the parent's ``child_time`` grows by the
+child's duration on exit). Finished spans land on :attr:`Tracer.spans`
+in completion order, ready for the JSONL exporter and the run-report
+aggregator.
 
-The pipeline is single-threaded, so the tracer deliberately carries no
-locks; one tracer must not be shared across threads.
+Threading model: span *nesting* is thread-local (each thread nests its
+own spans — the serving daemon's handler threads each build their own
+request subtree), while span-ID allocation and the finished-span list
+are guarded by one small lock so concurrent threads never corrupt
+shared state. The single-threaded pipeline pays one uncontended lock
+acquire per span boundary, which is noise next to the measured work.
+
+Trace IDs: every pushed span is stamped with the current thread's
+trace ID (:func:`repro.obs.context.current_trace_id` — what the daemon
+binds per request) or, failing that, the tracer-wide default
+:attr:`Tracer.trace_id` (what the CLI mints per invocation). Grafted
+worker spans keep the trace ID they were recorded under, so a
+request's spans share one ID across process boundaries.
 """
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs import context
 from repro.obs.spans import Span
 
 
@@ -24,15 +38,42 @@ class Tracer:
     Args:
         on_finish: optional callback invoked with each finished span —
             the obs session uses it to feed per-span duration
-            histograms into the metrics registry.
+            histograms into the metrics registry (and the telemetry
+            stream, when one is attached).
+        trace_id: default trace ID stamped on spans recorded while no
+            thread-local trace scope is bound (the CLI's per-invocation
+            root ID). None leaves unscoped spans untraced.
     """
 
-    def __init__(self, on_finish: Optional[Callable[[Span], None]] = None):
+    def __init__(self, on_finish: Optional[Callable[[Span], None]] = None,
+                 trace_id: Optional[str] = None):
         self.spans: List[Span] = []
-        self._stack: List[Span] = []
+        self.trace_id = trace_id
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._epoch = perf_counter()
         self._next_id = 1
         self._on_finish = on_finish
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's stack of open spans."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _collect(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+        if self._on_finish is not None:
+            self._on_finish(span)
 
     def span(self, name: str, **attrs: Any) -> Span:
         """A new span, to be used as a context manager."""
@@ -41,27 +82,27 @@ class Tracer:
     # -- span lifecycle (called by Span.__enter__/__exit__) -----------------
 
     def _push(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        span.parent_id = self._stack[-1].span_id if self._stack else None
-        self._stack.append(span)
+        stack = self._stack
+        span.span_id = self._allocate_id()
+        span.parent_id = stack[-1].span_id if stack else None
+        span.trace_id = context.current_trace_id() or self.trace_id
+        stack.append(span)
         span._t0 = perf_counter()
         span.start = span._t0 - self._epoch
 
     def _pop(self, span: Span) -> None:
         span.duration = perf_counter() - span._t0
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:  # mismatched exit: drop abandoned children
-            while self._stack and self._stack[-1] is not span:
-                self._stack.pop()
-            if self._stack:
-                self._stack.pop()
-        if self._stack:
-            self._stack[-1].child_time += span.duration
-        self.spans.append(span)
-        if self._on_finish is not None:
-            self._on_finish(span)
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mismatched exit: drop abandoned children
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if stack:
+            stack[-1].child_time += span.duration
+        self._collect(span)
 
     # -- cross-process replay ----------------------------------------------
 
@@ -76,19 +117,27 @@ class Tracer:
         outside the shipment hang off the currently open span, and starts
         are shifted so the subtree sits at the current wall position.
         Parent ``child_time`` is reconstructed from the shipped tree so
-        self-time accounting stays truthful.
+        self-time accounting stays truthful. A shipped record's trace ID
+        survives the graft; records shipped without one inherit the
+        attach point's (so worker spans always join the request or run
+        that scheduled them).
         """
         id_map: Dict[int, int] = {}
         grafted: Dict[int, Span] = {}
-        attach_parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        attach_parent = stack[-1] if stack else None
+        inherited = None
+        if attach_parent is not None:
+            inherited = attach_parent.trace_id
+        if inherited is None:
+            inherited = context.current_trace_id() or self.trace_id
         offset = self.wall_seconds - min(
             (r["start"] for r in records), default=0.0
         )
         out: List[Span] = []
         for record in records:
             span = Span(self, record["name"], dict(record.get("attrs", {})))
-            span.span_id = self._next_id
-            self._next_id += 1
+            span.span_id = self._allocate_id()
             id_map[record["span_id"]] = span.span_id
             grafted[span.span_id] = span
             parent = record.get("parent")
@@ -101,12 +150,11 @@ class Tracer:
                 )
                 if attach_parent is not None:
                     attach_parent.child_time += record["duration"]
+            span.trace_id = record.get("trace_id") or inherited
             span.start = record["start"] + offset
             span.duration = record["duration"]
-            self.spans.append(span)
+            self._collect(span)
             out.append(span)
-            if self._on_finish is not None:
-                self._on_finish(span)
         return out
 
     # -- introspection ------------------------------------------------------
@@ -118,7 +166,7 @@ class Tracer:
 
     @property
     def open_spans(self) -> int:
-        """Spans currently entered but not yet exited."""
+        """Spans currently entered but not yet exited (this thread)."""
         return len(self._stack)
 
     def spans_named(self, name: str) -> List[Span]:

@@ -119,6 +119,8 @@ class MicroBatcher:
             self._queue.put_nowait((item, future))
         except queue.Full:
             obs.incr("serve.shed")
+            obs.event("serve.shed", retry_after=self.retry_after,
+                      queue_depth=self.queue_depth)
             raise QueueSaturated(self.retry_after) from None
         return future
 

@@ -11,6 +11,15 @@ also increments ``serve.errors`` (plus ``serve.errors.<status>``).
 These flow into the active :mod:`repro.obs` session, surface verbatim
 on ``GET /metricz``, and show up in the ``--profile`` run report's
 serving section.
+
+Trace identity: every request gets a 128-bit trace ID — taken from an
+inbound W3C ``traceparent`` header when the caller sent one, minted
+otherwise — bound to the handler thread for the request's duration, so
+the ``serve.request`` span, the extraction engine's spans, and even
+spans grafted back from pool worker processes all stitch into one
+trace. The ID is echoed on the response as ``X-Trace-Id`` and
+``traceparent``, and stamped on the structured access log line when
+the server has one configured.
 """
 
 from __future__ import annotations
@@ -24,6 +33,16 @@ from typing import Dict, List, Optional, Tuple
 from repro import obs
 from repro.engine import ExtractionError
 from repro.lang import Codebase
+from repro.obs.context import (
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    trace_scope,
+)
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_exposition,
+)
 from repro.serve.batching import QueueSaturated
 from repro.serve.payloads import analysis_payload, dump_payload
 
@@ -44,6 +63,21 @@ class Response:
     body: bytes
     headers: List[Tuple[str, str]] = field(default_factory=list)
     content_type: str = "application/json"
+
+
+@dataclass
+class RequestContext:
+    """Per-request facts shared between the router and the endpoints.
+
+    ``headers`` is the inbound header map (keys lowercased);
+    ``trace_id`` the request's resolved trace identity; ``batch_size``
+    and ``shed`` are filled in by ``/predict`` for the access log.
+    """
+
+    headers: Dict[str, str] = field(default_factory=dict)
+    trace_id: str = ""
+    batch_size: Optional[int] = None
+    shed: bool = False
 
 
 class HTTPError(Exception):
@@ -114,18 +148,31 @@ def _select_model(app, doc: dict, required: bool):
 # -- endpoints --------------------------------------------------------
 
 
-def _handle_healthz(app, doc: Optional[dict]) -> Response:
+def _handle_healthz(app, doc: Optional[dict],
+                    ctx: RequestContext) -> Response:
     return _json_response(200, app.health())
 
 
-def _handle_metricz(app, doc: Optional[dict]) -> Response:
+def _handle_metricz(app, doc: Optional[dict],
+                    ctx: RequestContext) -> Response:
     session = obs.active()
     if session is None:  # pragma: no cover - server always configures obs
         raise HTTPError(503, "metrics session not configured")
-    return _json_response(200, session.metrics.snapshot())
+    snapshot = session.metrics.snapshot()
+    # Content negotiation: a Prometheus scraper (Accept: text/plain or
+    # an OpenMetrics type) gets the text exposition; everything else —
+    # including no Accept header at all — keeps the byte-stable JSON
+    # document existing tooling parses.
+    accept = ctx.headers.get("accept", "")
+    if "text/plain" in accept or "openmetrics" in accept:
+        return Response(
+            status=200,
+            body=prometheus_exposition(snapshot).encode("utf-8"),
+            content_type=PROMETHEUS_CONTENT_TYPE)
+    return _json_response(200, snapshot)
 
 
-def _handle_predict(app, doc: dict) -> Response:
+def _handle_predict(app, doc: dict, ctx: RequestContext) -> Response:
     model, model_name = _select_model(app, doc, required=True)
     if "instances" in doc:
         instances = doc["instances"]
@@ -139,16 +186,20 @@ def _handle_predict(app, doc: dict) -> Response:
         batched = False
     else:
         raise HTTPError(400, "request needs 'features' or 'instances'")
+    ctx.batch_size = len(rows)
     try:
         futures = [app.batcher.submit((model, row)) for row in rows]
     except QueueSaturated as exc:
+        ctx.shed = True
         raise HTTPError(
             503, str(exc),
             headers=[("Retry-After", str(exc.retry_after))])
     try:
-        predictions = [
-            future.result(timeout=app.request_timeout) for future in futures
-        ]
+        with obs.span("serve.batch_wait", items=len(futures)):
+            predictions = [
+                future.result(timeout=app.request_timeout)
+                for future in futures
+            ]
     except FutureTimeout:
         raise HTTPError(
             503, "prediction timed out",
@@ -159,7 +210,7 @@ def _handle_predict(app, doc: dict) -> Response:
         200, {"model": model_name, "predictions": predictions})
 
 
-def _handle_analyze(app, doc: dict) -> Response:
+def _handle_analyze(app, doc: dict, ctx: RequestContext) -> Response:
     model, _ = _select_model(app, doc, required=False)
     dynamic = doc.get("dynamic", False)
     if not isinstance(dynamic, bool):
@@ -184,8 +235,10 @@ def _handle_analyze(app, doc: dict) -> Response:
             raise HTTPError(
                 400, f"no recognised source files under {path!r}")
         # One extraction at a time: the shared engine handle already
-        # parallelises *inside* a run, and serialising runs keeps its
-        # tracing spans nested sanely under the single-threaded tracer.
+        # parallelises *inside* a run, and serialising runs bounds the
+        # process-pool fan-out under concurrent requests. The request's
+        # thread-bound trace ID rides into the engine (and its worker
+        # processes) regardless of which handler thread holds the lock.
         with app.engine_lock:
             try:
                 row = app.engine.extract_one(
@@ -206,37 +259,72 @@ _HANDLERS = {
 }
 
 
-def handle_request(app, method: str, path: str, body: bytes) -> Response:
+def handle_request(app, method: str, path: str, body: bytes,
+                   headers: Optional[Dict[str, str]] = None) -> Response:
     """Route one request and record its telemetry.
 
     ``app`` is the owning :class:`~repro.serve.server.PredictionServer`
-    (store, engine + lock, batcher, timeouts). Never raises: every
-    failure mode becomes a JSON error response with the right status.
+    (store, engine + lock, batcher, timeouts). ``headers`` is the
+    inbound header map (case-insensitive; used for ``traceparent``
+    propagation and ``/metricz`` content negotiation). Never raises:
+    every failure mode becomes a JSON error response with the right
+    status.
     """
     endpoint = path.split("?", 1)[0].rstrip("/") or "/"
     started = perf_counter()
+    header_map = {key.lower(): value
+                  for key, value in (headers or {}).items()}
+    trace_id = (parse_traceparent(header_map.get("traceparent", ""))
+                or new_trace_id())
+    ctx = RequestContext(headers=header_map, trace_id=trace_id)
     obs.incr("serve.requests")
-    try:
-        expected = ROUTES.get(endpoint)
-        if expected is None:
-            raise HTTPError(404, f"no such endpoint: {endpoint}")
-        if method != expected:
-            raise HTTPError(
-                405, f"{endpoint} only accepts {expected}",
-                headers=[("Allow", expected)])
-        doc = _parse_body(body) if method == "POST" else None
-        response = _HANDLERS[endpoint](app, doc)
-    except HTTPError as exc:
-        response = _json_response(
-            exc.status, {"error": str(exc)}, headers=exc.headers)
-    except Exception as exc:  # the daemon must never crash on a request
-        response = _json_response(
-            500, {"error": f"internal error: {type(exc).__name__}: {exc}"})
+    with trace_scope(trace_id):
+        with obs.span("serve.request", method=method,
+                      endpoint=endpoint) as request_span:
+            try:
+                expected = ROUTES.get(endpoint)
+                if expected is None:
+                    raise HTTPError(404, f"no such endpoint: {endpoint}")
+                if method != expected:
+                    raise HTTPError(
+                        405, f"{endpoint} only accepts {expected}",
+                        headers=[("Allow", expected)])
+                doc = _parse_body(body) if method == "POST" else None
+                response = _HANDLERS[endpoint](app, doc, ctx)
+            except HTTPError as exc:
+                response = _json_response(
+                    exc.status, {"error": str(exc)}, headers=exc.headers)
+            except Exception as exc:
+                # the daemon must never crash on a request
+                response = _json_response(
+                    500,
+                    {"error":
+                     f"internal error: {type(exc).__name__}: {exc}"})
+            request_span.set_attr("status", response.status)
+    duration = perf_counter() - started
     # Unknown paths share one histogram so request noise cannot mint
     # unbounded metric names.
     label = endpoint.strip("/") if endpoint in ROUTES else "unknown"
-    obs.observe(f"serve.{label}.seconds", perf_counter() - started)
+    obs.observe(f"serve.{label}.seconds", duration)
     if response.status >= 400:
         obs.incr("serve.errors")
         obs.incr(f"serve.errors.{response.status}")
+    response.headers.append(("X-Trace-Id", trace_id))
+    # With tracing live the request span's real ID goes in the
+    # parent-id field; disabled, any nonzero filler keeps the header
+    # spec-valid (an all-zero parent-id must be rejected by parsers).
+    span_id = getattr(request_span, "span_id", None) or 1
+    response.headers.append(
+        ("traceparent", format_traceparent(trace_id, span_id)))
+    access_log = getattr(app, "access_log", None)
+    if access_log is not None:
+        access_log.log(
+            method=method,
+            path=endpoint,
+            status=response.status,
+            duration_ms=round(duration * 1e3, 3),
+            trace_id=trace_id,
+            batch_size=ctx.batch_size,
+            shed=ctx.shed,
+        )
     return response

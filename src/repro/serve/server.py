@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs, package_version
 from repro.core.model import SecurityModel
 from repro.engine import ExtractionEngine
+from repro.obs.slo import SloRule, evaluate_slos
+from repro.serve.accesslog import AccessLog
 from repro.serve.batching import MicroBatcher
 from repro.serve.handlers import handle_request
 from repro.serve.modelstore import ModelStore
@@ -57,7 +59,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        response = handle_request(self.app, method, self.path, body)
+        headers = {key.lower(): value for key, value in self.headers.items()}
+        response = handle_request(self.app, method, self.path, body,
+                                  headers=headers)
         try:
             self.send_response(response.status)
             self.send_header("Content-Type", response.content_type)
@@ -90,6 +94,12 @@ class PredictionServer:
         batch_window/batch_size/queue_depth: micro-batching knobs (see
             :class:`~repro.serve.batching.MicroBatcher`).
         request_timeout: per-request wait bound on batched predictions.
+        slo_rules: optional :class:`~repro.obs.slo.SloRule` sequence;
+            ``/healthz`` evaluates them against the live metrics
+            snapshot and reports ``status: degraded`` on any breach.
+        access_log: optional path; each finished request appends one
+            structured JSON line (method, path, status, duration,
+            trace ID, batching facts) there.
     """
 
     def __init__(
@@ -102,12 +112,16 @@ class PredictionServer:
         batch_size: int = 16,
         queue_depth: int = 64,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        slo_rules: Optional[Sequence[SloRule]] = None,
+        access_log: Optional[str] = None,
     ):
         self.store = store
         self.engine = engine if engine is not None \
             else ExtractionEngine.from_env()
         self.engine_lock = threading.Lock()
         self.request_timeout = request_timeout
+        self.slo_rules = tuple(slo_rules or ())
+        self.access_log = AccessLog(access_log) if access_log else None
         # /metricz needs a registry even when the CLI passed no
         # --profile/--trace; reuse an existing session rather than
         # clobbering the one main() configured.
@@ -163,6 +177,8 @@ class PredictionServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.batcher.stop()
+        if self.access_log is not None:
+            self.access_log.close()
 
     # -- identity -----------------------------------------------------
 
@@ -171,8 +187,15 @@ class PredictionServer:
         return f"http://{self.host}:{self.port}"
 
     def health(self) -> Dict[str, object]:
-        """The ``/healthz`` document (also handy for embedders)."""
-        return {
+        """The ``/healthz`` document (also handy for embedders).
+
+        With SLO rules loaded, the document gains an ``slo`` block
+        (verdict, breached rule names, rule count) evaluated against
+        the live metrics snapshot, and ``status`` flips to
+        ``"degraded"`` on any breach. Without rules the document keeps
+        its historical shape — ``status`` is always ``"ok"``.
+        """
+        doc: Dict[str, object] = {
             "status": "ok",
             "version": package_version(),
             "models": self.store.describe(),
@@ -183,3 +206,16 @@ class PredictionServer:
                 "queue_depth": self.batcher.queue_depth,
             },
         }
+        if self.slo_rules:
+            session = obs.active()
+            snapshot = (session.metrics.snapshot()
+                        if session is not None else {})
+            report = evaluate_slos(self.slo_rules, snapshot)
+            doc["slo"] = {
+                "ok": report.ok,
+                "breached": report.breached,
+                "rules": len(self.slo_rules),
+            }
+            if not report.ok:
+                doc["status"] = "degraded"
+        return doc

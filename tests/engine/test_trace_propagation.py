@@ -1,0 +1,67 @@
+"""Trace identity flows through the engine into pool workers.
+
+The contract: whatever trace ID is bound when the engine runs — a
+request's :func:`trace_scope` binding or the CLI's per-invocation
+default — every span the run records carries it, including spans
+recorded inside worker *processes* and grafted back.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import build_feature_table
+from repro.engine import ExtractionEngine
+
+
+@pytest.fixture(autouse=True)
+def clean_session():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+TRACE = "feed" * 8
+
+
+class TestScopedTrace:
+    def test_scope_reaches_worker_process_spans(self, engine_corpus):
+        session = obs.configure()
+        with obs.trace_scope(TRACE):
+            build_feature_table(
+                engine_corpus, engine=ExtractionEngine(workers=2))
+        spans = session.tracer.spans
+        assert spans, "expected a populated trace"
+        assert {span.trace_id for span in spans} == {TRACE}
+        # worker-side spans were really grafted, not recorded locally
+        assert session.tracer.spans_named("engine.worker")
+
+    def test_scope_reaches_serial_path(self, engine_corpus):
+        session = obs.configure()
+        with obs.trace_scope(TRACE):
+            build_feature_table(
+                engine_corpus, engine=ExtractionEngine(workers=1))
+        spans = session.tracer.spans
+        assert spans
+        assert {span.trace_id for span in spans} == {TRACE}
+
+    def test_session_default_used_outside_any_scope(self, engine_corpus):
+        minted = obs.new_trace_id()
+        session = obs.configure(trace_id=minted)
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2))
+        assert {span.trace_id for span in session.tracer.spans} == {minted}
+
+    def test_scope_overrides_session_default(self, engine_corpus):
+        session = obs.configure(trace_id=obs.new_trace_id())
+        with obs.trace_scope(TRACE):
+            build_feature_table(
+                engine_corpus, engine=ExtractionEngine(workers=2))
+        assert {span.trace_id for span in session.tracer.spans} == {TRACE}
+
+    def test_no_trace_bound_leaves_spans_unstamped(self, engine_corpus):
+        session = obs.configure()
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=2))
+        assert {span.trace_id for span in session.tracer.spans} == {None}

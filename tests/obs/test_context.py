@@ -1,0 +1,109 @@
+"""Trace IDs, traceparent parsing, and thread-local trace scopes."""
+
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    current_trace_id,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    trace_scope,
+)
+
+
+class TestNewTraceId:
+    def test_shape(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        assert int(trace_id, 16) != 0
+        assert trace_id == trace_id.lower()
+
+    def test_unique(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestParseTraceparent:
+    TRACE = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+    def test_valid_header(self):
+        value = f"00-{self.TRACE}-00f067aa0ba902b7-01"
+        assert parse_traceparent(value) == self.TRACE
+
+    def test_surrounding_whitespace_tolerated(self):
+        value = f"  00-{self.TRACE}-00f067aa0ba902b7-01  "
+        assert parse_traceparent(value) == self.TRACE
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        "",
+        "garbage",
+        "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  # version
+        "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",  # short
+        "00-" + "0" * 32 + "-00f067aa0ba902b7-01",  # zero trace
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-" + "0" * 16 + "-01",  # zero span
+        "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  # upper
+    ])
+    def test_malformed_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_round_trip(self):
+        trace_id = new_trace_id()
+        assert parse_traceparent(format_traceparent(trace_id, 7)) == trace_id
+
+    def test_default_span_id_is_spec_valid(self):
+        # The filler parent-id must not be the forbidden all-zero value.
+        trace_id = new_trace_id()
+        assert parse_traceparent(format_traceparent(trace_id)) == trace_id
+
+
+class TestTraceScope:
+    def test_unbound_by_default(self):
+        assert current_trace_id() is None
+
+    def test_binds_and_restores(self):
+        with trace_scope("a" * 32):
+            assert current_trace_id() == "a" * 32
+        assert current_trace_id() is None
+
+    def test_nesting_restores_outer(self):
+        with trace_scope("a" * 32):
+            with trace_scope("b" * 32):
+                assert current_trace_id() == "b" * 32
+            assert current_trace_id() == "a" * 32
+
+    def test_none_clears_temporarily(self):
+        with trace_scope("a" * 32):
+            with trace_scope(None):
+                assert current_trace_id() is None
+            assert current_trace_id() == "a" * 32
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_scope("a" * 32):
+                raise RuntimeError("boom")
+        assert current_trace_id() is None
+
+    def test_binding_is_thread_local(self):
+        seen = {}
+        ready = threading.Event()
+        release = threading.Event()
+
+        def other():
+            seen["before"] = current_trace_id()
+            with trace_scope("b" * 32):
+                ready.set()
+                release.wait(timeout=5)
+                seen["inside"] = current_trace_id()
+
+        thread = threading.Thread(target=other)
+        with trace_scope("a" * 32):
+            thread.start()
+            assert ready.wait(timeout=5)
+            # The other thread's binding must not leak into this one.
+            assert current_trace_id() == "a" * 32
+            release.set()
+        thread.join(timeout=5)
+        assert seen["before"] is None
+        assert seen["inside"] == "b" * 32

@@ -7,6 +7,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     percentile,
+    prometheus_exposition,
+    sanitize_metric_name,
 )
 
 
@@ -69,7 +71,8 @@ class TestInstruments:
     def test_empty_histogram_summary_is_zeroed(self):
         summary = MetricsRegistry().histogram("h").summary()
         assert summary == {"count": 0, "total": 0.0, "mean": 0.0,
-                           "min": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+                           "min": 0.0, "p50": 0.0, "p95": 0.0,
+                           "p99": 0.0, "max": 0.0}
 
 
 class TestSnapshot:
@@ -204,3 +207,80 @@ class TestServedTrafficEdgeCases:
         for t in threads:
             t.join()
         assert all(inst is instruments[0] for inst in instruments)
+
+
+class TestSanitizeMetricName:
+    @pytest.mark.parametrize("raw,clean", [
+        ("serve.predict.seconds", "serve_predict_seconds"),
+        ("already_legal", "already_legal"),
+        ("serve.errors.503", "serve_errors_503"),
+        ("weird-chars/like these", "weird_chars_like_these"),
+        ("1starts_with_digit", "_1starts_with_digit"),
+        ("", "_"),
+    ])
+    def test_coerces_to_prometheus_charset(self, raw, clean):
+        assert sanitize_metric_name(raw) == clean
+
+    def test_result_is_always_legal(self):
+        import re
+        legal = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for raw in ("a.b", "9", ".", "é", "x y z", "snake_ok"):
+            assert legal.match(sanitize_metric_name(raw))
+
+
+class TestPrometheusExposition:
+    def test_counters_get_total_suffix(self):
+        text = prometheus_exposition(
+            {"counters": {"serve.requests": 42.0},
+             "gauges": {}, "histograms": {}})
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 42" in text
+
+    def test_gauges_keep_their_name(self):
+        text = prometheus_exposition(
+            {"counters": {}, "gauges": {"queue.depth": 3.5},
+             "histograms": {}})
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 3.5" in text
+
+    def test_histogram_exposes_summary_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.01, 0.02, 0.03, 0.04):
+            registry.histogram("serve.predict.seconds").observe(value)
+        text = prometheus_exposition(registry.snapshot())
+        assert "# TYPE repro_serve_predict_seconds summary" in text
+        assert 'repro_serve_predict_seconds{quantile="0.5"}' in text
+        assert 'repro_serve_predict_seconds{quantile="0.99"}' in text
+        assert "repro_serve_predict_seconds_sum 0.1" in text
+        assert "repro_serve_predict_seconds_count 4" in text
+
+    def test_zero_sample_histogram_omits_quantiles_keeps_totals(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.predict.seconds")  # minted, never fed
+        text = prometheus_exposition(registry.snapshot())
+        assert "quantile=" not in text
+        assert "repro_serve_predict_seconds_sum 0" in text
+        assert "repro_serve_predict_seconds_count 0" in text
+
+    def test_exposition_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert prometheus_exposition(snapshot) == \
+            prometheus_exposition(snapshot)
+
+    def test_every_line_is_comment_or_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(5)
+        registry.histogram("serve.predict.seconds").observe(0.01)
+        for line in prometheus_exposition(
+                registry.snapshot()).strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE repro_")
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name.startswith("repro_")
+                float(value)

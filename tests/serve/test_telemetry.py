@@ -1,0 +1,210 @@
+"""Serving telemetry: /metricz negotiation, trace identity, access log.
+
+Transport-free where possible (handle_request with an explicit header
+map); the acceptance test drives a real extraction through /analyze and
+walks the exported span tree.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import read_jsonl
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.serve import PredictionServer
+from repro.serve.accesslog import AccessLog
+from repro.serve.handlers import handle_request
+
+FEATURES = {"loc.total": 120.0, "complexity.per_kloc": 4.5}
+
+SOURCE = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def app(store):
+    server = PredictionServer(store, port=0, batch_window=0.005)
+    server.batcher.start()
+    yield server
+    server.batcher.stop()
+    server.httpd.server_close()
+    obs.disable()
+
+
+def call(app, method, path, doc=None, headers=None):
+    body = json.dumps(doc).encode() if doc is not None else b""
+    return handle_request(app, method, path, body, headers=headers)
+
+
+class TestMetriczNegotiation:
+    def test_json_by_default(self, app):
+        response = call(app, "GET", "/metricz")
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        snapshot = json.loads(response.body.decode())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["serve.requests"] >= 1
+
+    def test_prometheus_when_text_plain_accepted(self, app):
+        call(app, "GET", "/healthz")
+        response = call(app, "GET", "/metricz",
+                        headers={"Accept": "text/plain"})
+        assert response.status == 200
+        assert response.content_type == PROMETHEUS_CONTENT_TYPE
+        text = response.body.decode()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total" in text
+
+    def test_prometheus_when_openmetrics_accepted(self, app):
+        response = call(
+            app, "GET", "/metricz",
+            headers={"Accept": "application/openmetrics-text;version=1.0"})
+        assert response.content_type == PROMETHEUS_CONTENT_TYPE
+
+    def test_json_for_other_accept_values(self, app):
+        response = call(app, "GET", "/metricz",
+                        headers={"Accept": "application/json"})
+        assert response.content_type == "application/json"
+        json.loads(response.body.decode())
+
+
+class TestTraceIdentity:
+    def test_response_carries_trace_headers(self, app):
+        response = call(app, "GET", "/healthz")
+        headers = dict(response.headers)
+        trace_id = headers["X-Trace-Id"]
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+        assert obs.parse_traceparent(headers["traceparent"]) == trace_id
+
+    def test_inbound_traceparent_is_honoured(self, app):
+        trace = "11112222333344445555666677778888"
+        response = call(
+            app, "GET", "/healthz",
+            headers={"traceparent": f"00-{trace}-00000000000000ff-01"})
+        headers = dict(response.headers)
+        assert headers["X-Trace-Id"] == trace
+        assert obs.parse_traceparent(headers["traceparent"]) == trace
+
+    def test_header_lookup_is_case_insensitive(self, app):
+        trace = "11112222333344445555666677778888"
+        response = call(
+            app, "GET", "/healthz",
+            headers={"Traceparent": f"00-{trace}-00000000000000ff-01"})
+        assert dict(response.headers)["X-Trace-Id"] == trace
+
+    def test_malformed_traceparent_mints_fresh_id(self, app):
+        response = call(app, "GET", "/healthz",
+                        headers={"traceparent": "garbage"})
+        trace_id = dict(response.headers)["X-Trace-Id"]
+        assert len(trace_id) == 32
+        assert trace_id != "0" * 32
+
+    def test_distinct_requests_get_distinct_traces(self, app):
+        ids = {dict(call(app, "GET", "/healthz").headers)["X-Trace-Id"]
+               for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_error_responses_still_carry_trace_headers(self, app):
+        response = call(app, "GET", "/nope")
+        assert response.status == 404
+        assert "X-Trace-Id" in dict(response.headers)
+
+
+class TestAccessLog:
+    def read_lines(self, path):
+        with open(path, encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    def test_one_json_line_per_request(self, app, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        app.access_log = AccessLog(path)
+        call(app, "GET", "/healthz")
+        response = call(app, "POST", "/predict", {"features": FEATURES})
+        assert response.status == 200
+        call(app, "GET", "/nope")
+        app.access_log.close()
+        lines = self.read_lines(path)
+        assert [(l["method"], l["path"], l["status"]) for l in lines] == [
+            ("GET", "/healthz", 200),
+            ("POST", "/predict", 200),
+            ("GET", "/nope", 404),
+        ]
+        for line in lines:
+            assert set(line) == {"ts", "method", "path", "status",
+                                 "duration_ms", "trace_id", "batch_size",
+                                 "shed"}
+            assert line["duration_ms"] >= 0
+            assert line["ts"] > 0
+
+    def test_logs_the_request_trace_id_and_batch_size(self, app, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        app.access_log = AccessLog(path)
+        trace = "11112222333344445555666677778888"
+        call(app, "POST", "/predict",
+             {"instances": [FEATURES, FEATURES, FEATURES]},
+             headers={"traceparent": f"00-{trace}-00000000000000ff-01"})
+        app.access_log.close()
+        (line,) = self.read_lines(path)
+        assert line["trace_id"] == trace
+        assert line["batch_size"] == 3
+        assert line["shed"] is False
+
+    def test_no_access_log_configured_writes_nothing(self, app, tmp_path):
+        call(app, "GET", "/healthz")
+        assert app.access_log is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAnalyzeSpanTree:
+    """Acceptance: one /analyze request exports one connected trace."""
+
+    def test_spans_form_one_tree_under_the_request_trace(
+            self, store, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        session = obs.configure(trace_path=trace_path)
+        server = PredictionServer(store, port=0, batch_window=0.005)
+        server.batcher.start()
+        try:
+            tree = tmp_path / "app"
+            tree.mkdir()
+            (tree / "app.c").write_text(SOURCE)
+            trace = "ab" * 16
+            response = handle_request(
+                server, "POST", "/analyze",
+                json.dumps({"path": str(tree)}).encode(),
+                headers={"traceparent": f"00-{trace}-00000000000000ff-01"})
+            assert response.status == 200
+        finally:
+            server.batcher.stop()
+            server.httpd.server_close()
+        assert session.write_trace() > 0
+        obs.disable()
+
+        records = read_jsonl(trace_path)
+        # every span carries the caller's trace ID — one trace, no strays
+        assert {record["trace_id"] for record in records} == {trace}
+        by_id = {record["span_id"]: record for record in records}
+        roots = [r for r in records if r["parent"] is None]
+        assert [r["name"] for r in roots] == ["serve.request"]
+        # every span walks parent links up to the single request root
+        for record in records:
+            hops, current = 0, record
+            while current["parent"] is not None:
+                assert current["parent"] in by_id, \
+                    f"{current['name']} has a dangling parent link"
+                current = by_id[current["parent"]]
+                hops += 1
+                assert hops < len(records)
+            assert current["name"] == "serve.request"
+        # the tree reaches through the engine into the analyzers
+        names = {record["name"] for record in records}
+        assert "engine.extract" in names
+        assert any(name.startswith("analysis.") for name in names)

@@ -105,7 +105,8 @@ class TestObservabilityFlags:
         assert records, "trace file is empty"
         for record in records:
             assert sorted(record) == ["attrs", "duration", "name",
-                                      "parent", "span_id", "start"]
+                                      "parent", "span_id", "start",
+                                      "trace_id"]
         names = {r["name"] for r in records}
         assert "testbed.extract_features" in names
         assert "analysis.cfg" in names
@@ -438,3 +439,126 @@ class TestServeParser:
         bad.write_bytes(b"nope")
         with pytest.raises(SystemExit, match="not a readable model"):
             main(["serve", "--model", str(bad), "--port", "0"])
+
+
+class TestTelemetryStreamFlag:
+    def test_stream_writes_live_events(self, risky_tree, tmp_path):
+        stream = str(tmp_path / "telemetry.jsonl")
+        assert main(["--stream", stream, "analyze", risky_tree,
+                     "--no-cache"]) == 0
+        events = obs.read_events(stream)
+        assert events, "stream file is empty"
+        kinds = {event["type"] for event in events}
+        assert "span" in kinds
+        assert all(event["v"] == obs.TELEMETRY_VERSION for event in events)
+
+    def test_invocation_mints_one_root_trace_id(self, risky_tree,
+                                                tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["--trace", trace, "analyze", risky_tree,
+                     "--no-cache"]) == 0
+        records = [json.loads(line) for line in open(trace)]
+        trace_ids = {record["trace_id"] for record in records}
+        assert len(trace_ids) == 1
+        (trace_id,) = trace_ids
+        assert trace_id and len(trace_id) == 32
+        int(trace_id, 16)
+
+    def test_two_invocations_mint_distinct_trace_ids(self, risky_tree,
+                                                     tmp_path):
+        ids = set()
+        for name in ("a.jsonl", "b.jsonl"):
+            trace = str(tmp_path / name)
+            assert main(["--trace", trace, "analyze", risky_tree]) == 0
+            ids |= {json.loads(line)["trace_id"] for line in open(trace)}
+        assert len(ids) == 2
+
+
+def write_stream(tmp_path, events, name="telemetry.jsonl"):
+    path = tmp_path / name
+    path.write_text("".join(
+        json.dumps({"v": 1, "ts": 0.0, **event}) + "\n"
+        for event in events))
+    return str(path)
+
+
+def write_slo(tmp_path, rules, name="slo.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps({"slo": rules}))
+    return str(path)
+
+
+ERROR_BUDGET = {"name": "error-budget", "kind": "counter_max",
+                "counter": "serve.errors", "max_value": 10}
+
+
+class TestSloCheck:
+    def test_healthy_stream_exits_zero(self, tmp_path, capsys):
+        stream = write_stream(tmp_path, [
+            {"type": "counter", "name": "serve.errors", "delta": 3.0}])
+        slo = write_slo(tmp_path, [ERROR_BUDGET])
+        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 0
+        out = capsys.readouterr().out
+        assert "slo-check against" in out
+        assert "slo: ok" in out
+
+    def test_breached_stream_exits_nonzero_naming_the_rule(
+            self, tmp_path, capsys):
+        stream = write_stream(tmp_path, [
+            {"type": "counter", "name": "serve.errors", "delta": 50.0}])
+        slo = write_slo(tmp_path, [ERROR_BUDGET])
+        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 1
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "error-budget" in out
+
+    def test_latency_rule_against_replayed_spans(self, tmp_path, capsys):
+        stream = write_stream(tmp_path, [
+            {"type": "observe", "name": "serve.predict.seconds",
+             "value": 2.5}])
+        slo = write_slo(tmp_path, [
+            {"name": "predict-p99", "kind": "latency",
+             "histogram": "serve.predict.seconds", "stat": "p99",
+             "max_seconds": 0.5}])
+        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 1
+        assert "predict-p99" in capsys.readouterr().out
+
+    def test_invalid_rules_file_exits_with_message(self, tmp_path):
+        stream = write_stream(tmp_path, [])
+        bad = tmp_path / "slo.json"
+        bad.write_text("{broken")
+        with pytest.raises(SystemExit, match="invalid JSON"):
+            main(["slo-check", "--slo", str(bad), "--stream", stream])
+
+    def test_requires_a_source(self, tmp_path, capsys):
+        slo = write_slo(tmp_path, [ERROR_BUDGET])
+        with pytest.raises(SystemExit):
+            main(["slo-check", "--slo", slo])
+
+
+class TestMonitorCommand:
+    def test_once_renders_a_frame_from_a_stream(self, tmp_path, capsys):
+        stream = write_stream(tmp_path, [
+            {"type": "counter", "name": "serve.requests", "delta": 5.0},
+            {"type": "observe", "name": "serve.predict.seconds",
+             "value": 0.02}])
+        assert main(["monitor", "--stream", stream, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro monitor" in out
+        assert "requests  total=5" in out
+        assert "/predict" in out
+
+    def test_once_with_slo_rules_renders_verdict(self, tmp_path, capsys):
+        stream = write_stream(tmp_path, [
+            {"type": "counter", "name": "serve.errors", "delta": 50.0}])
+        slo = write_slo(tmp_path, [ERROR_BUDGET])
+        assert main(["monitor", "--stream", stream, "--slo", slo,
+                     "--once"]) == 0
+        assert "DEGRADED — breached: error-budget" in \
+            capsys.readouterr().out
+
+    def test_url_and_stream_are_mutually_exclusive(self, tmp_path):
+        stream = write_stream(tmp_path, [])
+        with pytest.raises(SystemExit):
+            main(["monitor", "--stream", stream, "--url",
+                  "http://localhost:1", "--once"])
