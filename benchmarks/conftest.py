@@ -24,6 +24,7 @@ _RUN_RECORD = {
     "python": sys.version.split()[0],
     "platform": platform.platform(),
     "benchmarks": {},
+    "analyzers": {},
     "tables": [],
 }
 
@@ -83,6 +84,26 @@ def print_table(title, headers, rows):
     print("-" * len(line))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def analyzer_recorder(request):
+    """Record per-analyzer wall-clock seconds into BENCH_run.json.
+
+    Call with a ``{analyzer_key: seconds}`` mapping (optionally more
+    than once — later calls merge). The timings land under
+    ``analyzers.<nodeid>`` so ``scripts/bench_compare.py`` consumers and
+    the CI artifact can track which analyzer ate a regression, not just
+    that extraction as a whole got slower.
+    """
+    def record(timings, label=None):
+        key = request.node.nodeid if label is None else (
+            f"{request.node.nodeid}[{label}]"
+        )
+        slot = _RUN_RECORD["analyzers"].setdefault(key, {})
+        for name, seconds in timings.items():
+            slot[name] = round(float(seconds), 6)
+    return record
 
 
 @pytest.fixture

@@ -13,6 +13,14 @@ dominated by scheduler jitter) from flapping the check. Benchmarks
 present on only one side are reported but never fail the comparison
 (new benchmarks have no baseline; removed ones have no run).
 
+Per-analyzer timings (the ``analyzers`` section ``analyzer_recorder``
+writes, e.g. the fused-vs-legacy breakdown from ``test_bench_fused``)
+are compared the same way under their own, looser knobs
+(``--analyzer-tolerance`` / ``--analyzer-min-seconds``): a single
+analyzer's column is tens of milliseconds, so it needs a wider relative
+band and a lower absolute floor than whole benchmarks to catch a real
+per-analyzer regression without flapping on scheduler jitter.
+
 CI wires this as a *non-blocking* annotation on the bench-smoke leg:
 shared-runner timings are too noisy to gate merges on, but the table
 in the job log makes a real regression visible the day it lands.
@@ -47,6 +55,32 @@ def load_benchmarks(path: str) -> dict:
         if isinstance(seconds, (int, float)) and not isinstance(
                 seconds, bool):
             out[nodeid] = float(seconds)
+    return out
+
+
+def load_analyzers(path: str) -> dict:
+    """Flat ``{"<nodeid>::<analyzer>": seconds}`` map from ``analyzers``.
+
+    The section is optional (the committed baseline may predate it);
+    missing or malformed entries are skipped, mirroring
+    :func:`load_benchmarks`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    analyzers = doc.get("analyzers")
+    if not isinstance(analyzers, dict):
+        return {}
+    out = {}
+    for nodeid, timings in analyzers.items():
+        if not isinstance(timings, dict):
+            continue
+        for analyzer, seconds in timings.items():
+            if isinstance(seconds, (int, float)) and not isinstance(
+                    seconds, bool):
+                out[f"{nodeid}::{analyzer}"] = float(seconds)
     return out
 
 
@@ -109,6 +143,12 @@ def main(argv=None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.25,
                         help="absolute-growth noise floor; smaller "
                              "slowdowns never fail (default: 0.25s)")
+    parser.add_argument("--analyzer-tolerance", type=float, default=0.75,
+                        help="allowed relative growth for one analyzer's "
+                             "recorded timing (default: 0.75 = +75%%)")
+    parser.add_argument("--analyzer-min-seconds", type=float, default=0.1,
+                        help="absolute-growth noise floor for per-analyzer "
+                             "timings (default: 0.1s)")
     args = parser.parse_args(argv)
 
     baseline = load_benchmarks(args.baseline)
@@ -119,6 +159,19 @@ def main(argv=None) -> int:
           f"(tolerance +{args.tolerance:.0%}, "
           f"floor {args.min_seconds:g}s)")
     print_table(rows)
+
+    base_analyzers = load_analyzers(args.baseline)
+    run_analyzers = load_analyzers(args.run)
+    if base_analyzers or run_analyzers:
+        analyzer_rows, analyzer_regressed = compare(
+            base_analyzers, run_analyzers, args.analyzer_tolerance,
+            args.analyzer_min_seconds)
+        print(f"\nper-analyzer timings "
+              f"(tolerance +{args.analyzer_tolerance:.0%}, "
+              f"floor {args.analyzer_min_seconds:g}s)")
+        print_table(analyzer_rows)
+        regressed = regressed + analyzer_regressed
+
     if regressed:
         print(f"\nbench-compare: {len(regressed)} benchmark(s) regressed:")
         for nodeid in regressed:

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Regenerate the golden feature-record expectations.
+
+Reads every source file under ``tests/data/golden/tree/``, runs the
+per-file analyzers and the merge phase over the tree, and rewrites
+``tests/data/golden/expected_records.json`` and
+``tests/data/golden/expected_row.json``.
+
+Run this ONLY when an analyzer change is intentional — the whole point
+of the golden corpus is that accidental drift fails
+``tests/analysis/test_golden_records.py`` with a readable diff. An
+intentional regeneration must ship with an ``ANALYZER_SET_VERSION``
+bump (see ``repro.engine.digest``) so cached records miss cleanly.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.features import file_record, merge_records  # noqa: E402
+from repro.lang.sourcefile import Codebase  # noqa: E402
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "tests", "data", "golden"
+)
+
+
+def main() -> int:
+    obs.disable()
+    tree = os.path.join(GOLDEN_DIR, "tree")
+    codebase = Codebase.from_directory(tree, name="golden")
+    if not len(codebase):
+        print(f"no source files under {tree}", file=sys.stderr)
+        return 1
+
+    records = {src.path: file_record(src) for src in codebase.files}
+    row = merge_records(codebase, [records[p] for p in sorted(records)])
+
+    records_path = os.path.join(GOLDEN_DIR, "expected_records.json")
+    row_path = os.path.join(GOLDEN_DIR, "expected_row.json")
+    with open(records_path, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=1)
+        fh.write("\n")
+    with open(row_path, "w", encoding="utf-8") as fh:
+        json.dump(row, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {records_path} ({len(records)} files)")
+    print(f"wrote {row_path} ({len(row)} features)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,11 @@ Modules:
 - :mod:`repro.analysis.callgraph` — whole-codebase call graphs
 - :mod:`repro.analysis.smells` — code-smell detectors
 - :mod:`repro.analysis.churn` — commit history, churn, developer activity
+- :mod:`repro.analysis.artifact` — the shared single-parse FileArtifact
 """
 
 from repro.analysis import (
+    artifact,
     callgraph,
     cfg,
     churn,
@@ -28,6 +30,7 @@ from repro.analysis import (
     oo,
     smells,
 )
+from repro.analysis.artifact import FileArtifact, artifact_for, artifacts_for
 from repro.analysis.cfg import CFG, build_cfg, parse_statements
 from repro.analysis.churn import Commit, CommitHistory, FileDelta
 from repro.analysis.cyclomatic import codebase_complexity, file_complexity
@@ -37,12 +40,16 @@ from repro.analysis.smells import Smell, detect_codebase, smell_counts
 
 __all__ = [
     "CFG",
+    "FileArtifact",
     "Commit",
     "CommitHistory",
     "FileDelta",
     "HalsteadMetrics",
     "LineCounts",
     "Smell",
+    "artifact",
+    "artifact_for",
+    "artifacts_for",
     "build_cfg",
     "callgraph",
     "cfg",

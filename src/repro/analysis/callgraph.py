@@ -22,19 +22,23 @@ from repro.lang.tokens import TokenKind
 ENTRY_POINT_NAMES = frozenset({"main", "__main__", "run", "start"})
 
 
-def build_callgraph(codebase: Codebase) -> nx.DiGraph:
+def build_callgraph(codebase: Codebase, artifacts=None) -> nx.DiGraph:
     """Build the name-resolved call graph of ``codebase``.
 
     Node attributes: ``file`` (defining path), ``public`` (visibility
     heuristic), ``params`` (parameter count). Calls to undefined names
     (library functions) are recorded on the caller as the ``external``
-    attribute count rather than as graph nodes.
+    attribute count rather than as graph nodes. ``artifacts`` maps paths
+    to per-file analysis artifacts (``.functions``) so the pass reuses
+    the shared function tables.
     """
     graph = nx.DiGraph()
     defined: Dict[str, FunctionInfo] = {}
     bodies: List[Tuple[str, FunctionInfo]] = []
     for source in codebase:
-        for func in extract_functions(source):
+        art = artifacts.get(source.path) if artifacts is not None else None
+        functions = art.functions if art is not None else extract_functions(source)
+        for func in functions:
             # First definition wins; duplicates (overloads, per-file statics)
             # merge into one node, which is the right granularity for
             # codebase-level fan-in/fan-out statistics.
@@ -51,7 +55,7 @@ def build_callgraph(codebase: Codebase) -> nx.DiGraph:
 
     for caller, func in bodies:
         external = 0
-        tokens = [t for t in func.body_tokens if t.is_code()]
+        tokens = func.body_tokens  # already code-filtered by the parser
         for i, tok in enumerate(tokens[:-1]):
             if tok.kind != TokenKind.IDENT or tokens[i + 1].text != "(":
                 continue
@@ -88,9 +92,9 @@ class CallGraphMetrics:
         return self.reachable_from_entry / self.n_functions
 
 
-def measure_codebase(codebase: Codebase) -> CallGraphMetrics:
+def measure_codebase(codebase: Codebase, artifacts=None) -> CallGraphMetrics:
     """Compute :class:`CallGraphMetrics` for ``codebase``."""
-    graph = build_callgraph(codebase)
+    graph = build_callgraph(codebase, artifacts)
     n = graph.number_of_nodes()
     fan_in = [graph.in_degree(v) for v in graph]
     fan_out = [graph.out_degree(v) for v in graph]

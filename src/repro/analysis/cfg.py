@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -43,7 +44,9 @@ class _BraceStmtParser:
     """Parses the statement shape of a brace-language token stream."""
 
     def __init__(self, tokens: Sequence[Token]):
-        self.tokens = [t for t in tokens if t.is_code()]
+        # Callers pass parser-produced body tokens, which are already
+        # code-filtered (see ``extract_functions``).
+        self.tokens = tokens
         self.i = 0
 
     def parse(self) -> List[Stmt]:
@@ -63,38 +66,42 @@ class _BraceStmtParser:
 
     def _skip_parens(self) -> List[Token]:
         """Consume a balanced ``( ... )`` group; return the inner tokens."""
+        toks = self.tokens
+        n = len(toks)
+        i = self.i
+        if i >= n or toks[i].text != "(":
+            return []
         inner: List[Token] = []
-        tok = self._peek()
-        if tok is None or tok.text != "(":
-            return inner
-        depth = 0
-        while self.i < len(self.tokens):
-            tok = self.tokens[self.i]
-            self.i += 1
-            if tok.text == "(":
+        append = inner.append
+        depth = 1
+        i += 1
+        while i < n:
+            tok = toks[i]
+            i += 1
+            text = tok.text
+            if text == "(":
                 depth += 1
-                if depth == 1:
-                    continue
-            elif tok.text == ")":
+            elif text == ")":
                 depth -= 1
                 if depth == 0:
                     break
-            inner.append(tok)
+            append(tok)
+        self.i = i
         return inner
 
     def _parse_until(self, terminators) -> Tuple[List[Stmt], Optional[str]]:
         """Parse statements until EOF or a terminator token text."""
         stmts: List[Stmt] = []
-        while True:
-            tok = self._peek()
-            if tok is None:
-                return stmts, None
-            if tok.text in terminators:
-                return stmts, tok.text
+        toks = self.tokens
+        n = len(toks)
+        while self.i < n:
+            text = toks[self.i].text
+            if text in terminators:
+                return stmts, text
             stmt = self._parse_statement()
             if stmt is not None:
                 stmts.append(stmt)
-        # unreachable
+        return stmts, None
 
     def _parse_block_or_statement(self) -> List[Stmt]:
         tok = self._peek()
@@ -242,26 +249,31 @@ class _BraceStmtParser:
 
     def _consume_simple(self, leading: bool = False) -> List[Token]:
         """Consume an expression up to ``;`` (or a block boundary)."""
+        toks = self.tokens
+        n = len(toks)
+        i = self.i
         out: List[Token] = []
+        append = out.append
         depth = 0
-        while True:
-            tok = self._peek()
-            if tok is None:
-                return out
-            if tok.text in "([":
+        while i < n:
+            tok = toks[i]
+            text = tok.text
+            if text in "([":
                 depth += 1
-            elif tok.text in ")]":
+            elif text in ")]":
                 if depth == 0:
-                    return out
+                    break
                 depth -= 1
             elif depth == 0:
-                if tok.text == ";":
-                    self._advance()
-                    return out
-                if tok.text in ("{", "}"):
-                    return out
-            out.append(tok)
-            self._advance()
+                if text == ";":
+                    i += 1
+                    break
+                if text == "{" or text == "}":
+                    break
+            append(tok)
+            i += 1
+        self.i = i
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -272,13 +284,21 @@ _PY_HEADERS = {"if", "elif", "else", "while", "for", "try", "except",
                "finally", "with", "def", "class", "match", "case"}
 
 
-def _py_parse_lines(source: SourceFile, start: int, end: int) -> List[Stmt]:
-    """Parse lines [start, end] (1-based, inclusive) into a statement tree."""
+def _py_parse_lines(
+    source: SourceFile,
+    start: int,
+    end: int,
+    tokens_by_line: Optional[dict] = None,
+) -> List[Stmt]:
+    """Parse lines [start, end] (1-based, inclusive) into a statement tree.
+
+    ``tokens_by_line`` maps line number -> code tokens on that line; when a
+    caller analyses every function in a file (the analysis artifact) it is
+    computed once per file instead of once per function.
+    """
     lines = source.lines
-    tokens_by_line: dict = {}
-    for tok in source.tokens:
-        if tok.is_code():
-            tokens_by_line.setdefault(tok.line, []).append(tok)
+    if tokens_by_line is None:
+        tokens_by_line = code_tokens_by_line(source.tokens)
 
     def indent_of(ln: int) -> int:
         line = lines[ln - 1]
@@ -362,16 +382,31 @@ def _py_parse_lines(source: SourceFile, start: int, end: int) -> List[Stmt]:
     return parse_range(start, end)
 
 
-def parse_statements(func: FunctionInfo, source: SourceFile) -> List[Stmt]:
+def code_tokens_by_line(tokens: Sequence[Token]) -> dict:
+    """Group code tokens by their (1-based) line number."""
+    by_line: dict = {}
+    for tok in tokens:
+        if tok.is_code():
+            by_line.setdefault(tok.line, []).append(tok)
+    return by_line
+
+
+def parse_statements(
+    func: FunctionInfo,
+    source: SourceFile,
+    tokens_by_line: Optional[dict] = None,
+) -> List[Stmt]:
     """Recover the statement tree for one function."""
     if source.spec.function_style == "indent":
-        return _py_parse_lines(source, func.start_line + 1, func.end_line)
+        return _py_parse_lines(
+            source, func.start_line + 1, func.end_line, tokens_by_line
+        )
     body = func.body_tokens
-    # Strip the enclosing braces if present.
-    code = [t for t in body if t.is_code()]
-    if code and code[0].text == "{" and code[-1].text == "}":
-        code = code[1:-1]
-    return _BraceStmtParser(code).parse()
+    # ``body_tokens`` come from the parser already code-filtered; strip
+    # the enclosing braces if present.
+    if body and body[0].text == "{" and body[-1].text == "}":
+        body = body[1:-1]
+    return _BraceStmtParser(body).parse()
 
 
 # ---------------------------------------------------------------------------
@@ -408,67 +443,93 @@ class CFG:
         """Number of acyclic entry→exit paths (NPATH-like), capped.
 
         Back edges are removed first, so loops contribute their fall-through
-        structure only; the count is exact on the resulting DAG.
+        structure only; the count is exact on the resulting DAG. Nodes
+        unreachable from entry cannot lie on an entry→exit path, so the
+        walk covers reachable nodes only.
         """
-        dag = _acyclic_view(self.graph, self.entry)
+        order, succs = self._dag
         counts = {self.entry: 1}
-        for node in nx.topological_sort(dag):
+        for node in order:
             c = counts.get(node, 0)
             if c == 0 and node != self.entry:
                 continue
-            for succ in dag.successors(node):
+            for succ in succs[node]:
                 counts[succ] = min(cap, counts.get(succ, 0) + c)
         return counts.get(self.exit, 0)
 
     def max_depth(self) -> int:
         """Longest acyclic path length from entry (statement depth proxy)."""
-        dag = _acyclic_view(self.graph, self.entry)
+        order, succs = self._dag
         depth = {self.entry: 0}
-        for node in nx.topological_sort(dag):
+        for node in order:
             if node not in depth:
                 continue
-            for succ in dag.successors(node):
+            for succ in succs[node]:
                 depth[succ] = max(depth.get(succ, 0), depth[node] + 1)
         return max(depth.values(), default=0)
 
+    @cached_property
+    def _dag(self):
+        """Shared back-edge-free DAG: both path metrics walk the same one.
 
-def _acyclic_view(graph: nx.DiGraph, entry: int) -> nx.DiGraph:
-    """Copy of ``graph`` with back edges (DFS on ``entry``) removed."""
-    dag = graph.copy()
-    back = []
-    state: dict = {}
-    stack = [(entry, iter(graph.successors(entry)))]
-    state[entry] = 1
+        ``cached_property`` stores into ``__dict__`` directly, which the
+        frozen dataclass permits; the graph is never mutated after build,
+        so the cache cannot go stale.
+        """
+        return _acyclic_dag(self.graph, self.entry)
+
+
+def _acyclic_dag(graph: nx.DiGraph, entry: int):
+    """Back-edge-free reachable DAG of ``graph``, as plain containers.
+
+    Returns ``(order, succs)`` where ``order`` is a topological order
+    (DFS reverse postorder) of the nodes reachable from ``entry`` and
+    ``succs`` maps each of them to its non-back successors. One DFS
+    classifies back edges (targets on the active DFS stack) and produces
+    the ordering; no graph copy or networkx traversal is needed.
+    """
+    # State: 0 unvisited, 1 on the active DFS path, 2 finished.
+    state: dict = {entry: 1}
+    succs: dict = {}
+    postorder: list = []
+    # Raw successor dicts: ``graph.successors`` re-resolves the adjacency
+    # mapping per call, and this DFS touches it once per node.
+    adj = graph._succ
+    stack = [(entry, iter(adj[entry]))]
     while stack:
         node, it = stack[-1]
         advanced = False
+        keep = succs.setdefault(node, [])
         for succ in it:
-            if state.get(succ, 0) == 1:
-                back.append((node, succ))
-            elif state.get(succ, 0) == 0:
+            s = state.get(succ, 0)
+            if s == 1:
+                continue  # back edge: drop it from the DAG
+            keep.append(succ)
+            if s == 0:
                 state[succ] = 1
-                stack.append((succ, iter(graph.successors(succ))))
+                stack.append((succ, iter(adj[succ])))
                 advanced = True
                 break
         if not advanced:
             state[node] = 2
+            postorder.append(node)
             stack.pop()
-    dag.remove_edges_from(back)
-    # Remove any residual cycles among nodes unreachable from entry.
-    while True:
-        try:
-            cycle = nx.find_cycle(dag)
-        except nx.NetworkXNoCycle:
-            break
-        dag.remove_edge(*cycle[0][:2])
-    return dag
+    postorder.reverse()
+    return postorder, succs
 
 
 class _CFGBuilder:
     """Lowers a statement tree to a CFG of abstract nodes."""
 
     def __init__(self) -> None:
-        self.graph = nx.DiGraph()
+        # Nodes and edges are buffered and inserted into the DiGraph in
+        # one batch at the end of ``build`` — networkx pays real per-call
+        # cost in ``add_node``/``add_edge``, and the lowering never needs
+        # to query the graph while it grows. Append order matches the
+        # old call order exactly, so adjacency iteration order (which the
+        # back-edge DFS in ``_acyclic_dag`` depends on) is unchanged.
+        self._nodes: List[Tuple[int, dict]] = []
+        self._edges: List[Tuple[int, int]] = []
         self._ids = itertools.count()
         self.entry = self._new("entry")
         self.exit = self._new("exit")
@@ -477,23 +538,28 @@ class _CFGBuilder:
 
     def _new(self, kind: str, stmt: Optional[Stmt] = None) -> int:
         node = next(self._ids)
-        self.graph.add_node(node, kind=kind, stmt=stmt)
+        self._nodes.append((node, {"kind": kind, "stmt": stmt}))
         return node
 
     def build(self, stmts: List[Stmt]) -> CFG:
         tails = self._lower_seq(stmts, [self.entry], None, None)
+        edges = self._edges
         for tail in tails:
-            self.graph.add_edge(tail, self.exit)
+            edges.append((tail, self.exit))
         for node, label in self._pending_gotos:
-            target = self._labels.get(label, self.exit)
-            self.graph.add_edge(node, target)
-        if self.graph.out_degree(self.entry) == 0:
-            self.graph.add_edge(self.entry, self.exit)
-        return CFG(self.graph, self.entry, self.exit)
+            edges.append((node, self._labels.get(label, self.exit)))
+        entry = self.entry
+        if not any(u == entry for u, _ in edges):
+            edges.append((entry, self.exit))
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(edges)
+        return CFG(graph, entry, self.exit)
 
     def _connect(self, preds: List[int], node: int) -> None:
+        edges = self._edges
         for p in preds:
-            self.graph.add_edge(p, node)
+            edges.append((p, node))
 
     def _lower_seq(
         self,
@@ -538,8 +604,8 @@ class _CFGBuilder:
             self._connect(preds, head)
             body_tails = self._lower_seq(stmt.body, [head], after, head)
             for tail in body_tails:
-                self.graph.add_edge(tail, head)
-            self.graph.add_edge(head, after)
+                self._edges.append((tail, head))
+            self._edges.append((head, after))
             return [after]
         if kind == "switch":
             head = self._new("branch", stmt)
@@ -549,8 +615,8 @@ class _CFGBuilder:
             for arm in arms:
                 tails = self._lower_seq(arm, [head], after, continue_to)
                 for tail in tails:
-                    self.graph.add_edge(tail, after)
-            self.graph.add_edge(head, after)  # no-match / fallthrough
+                    self._edges.append((tail, after))
+            self._edges.append((head, after))  # no-match / fallthrough
             return [after]
         if kind == "try":
             head = self._new("stmt", stmt)
@@ -564,18 +630,18 @@ class _CFGBuilder:
         if kind == "return":
             node = self._new("return", stmt)
             self._connect(preds, node)
-            self.graph.add_edge(node, self.exit)
+            self._edges.append((node, self.exit))
             return []
         if kind == "break":
             node = self._new("break", stmt)
             self._connect(preds, node)
-            self.graph.add_edge(node, break_to if break_to is not None else self.exit)
+            self._edges.append((node, break_to if break_to is not None else self.exit))
             return []
         if kind == "continue":
             node = self._new("continue", stmt)
             self._connect(preds, node)
-            self.graph.add_edge(
-                node, continue_to if continue_to is not None else self.exit
+            self._edges.append(
+                (node, continue_to if continue_to is not None else self.exit)
             )
             return []
         if kind == "goto":
@@ -593,9 +659,19 @@ class _CFGBuilder:
         raise ValueError(f"unknown statement kind: {kind!r}")
 
 
-def build_cfg(func: FunctionInfo, source: SourceFile) -> CFG:
-    """Build the control-flow graph for one function."""
-    return _CFGBuilder().build(parse_statements(func, source))
+def build_cfg(
+    func: FunctionInfo,
+    source: SourceFile,
+    tokens_by_line: Optional[dict] = None,
+) -> CFG:
+    """Build the control-flow graph for one function.
+
+    Node ids are assigned by a per-build counter, so building the same
+    function twice yields structurally identical graphs — which is what
+    lets one CFG be shared between the control-flow and data-flow
+    analyzers without changing either's output.
+    """
+    return _CFGBuilder().build(parse_statements(func, source, tokens_by_line))
 
 
 @dataclass(frozen=True)

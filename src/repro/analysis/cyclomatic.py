@@ -12,7 +12,7 @@ the same whole-program figure the paper plots in Figure 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lang.parser import FunctionInfo, extract_functions
 from repro.lang.sourcefile import Codebase, SourceFile
@@ -31,12 +31,15 @@ class ComplexityReport:
 def decision_count(tokens: Iterable[Token], decision_tokens) -> int:
     """Number of decision points in a token stream."""
     count = 0
+    keyword = TokenKind.KEYWORD
+    operator = TokenKind.OPERATOR
     for tok in tokens:
-        if not tok.is_code():
-            continue
-        if tok.kind in (TokenKind.KEYWORD, TokenKind.OPERATOR):
-            if tok.text in decision_tokens:
-                count += 1
+        # KEYWORD/OPERATOR tokens are code by definition, so the kind
+        # test alone also rejects every non-code token.
+        kind = tok.kind
+        if (kind is keyword or kind is operator) \
+                and tok.text in decision_tokens:
+            count += 1
     return count
 
 
@@ -55,6 +58,31 @@ def file_complexities(source: SourceFile) -> List[ComplexityReport]:
     return reports
 
 
+def _stray_decisions(
+    source: SourceFile,
+    covered: List[Tuple[int, int]],
+    code_tokens: Optional[List[Token]] = None,
+) -> int:
+    """Decision tokens on lines outside every covered (start, end) range."""
+    tokens = source.tokens if code_tokens is None else code_tokens
+    decision_tokens = source.spec.decision_tokens
+    stray = 0
+    keyword = TokenKind.KEYWORD
+    operator = TokenKind.OPERATOR
+    for tok in tokens:
+        # KEYWORD/OPERATOR tokens are code by definition (see
+        # ``decision_count``).
+        kind = tok.kind
+        if kind is not keyword and kind is not operator:
+            continue
+        if tok.text not in decision_tokens:
+            continue
+        if any(lo <= tok.line <= hi for lo, hi in covered):
+            continue
+        stray += 1
+    return stray
+
+
 def file_complexity(source: SourceFile) -> int:
     """Total file complexity: sum over functions, min 1 for non-empty files.
 
@@ -62,22 +90,34 @@ def file_complexity(source: SourceFile) -> int:
     code, macros) are counted once more so they are not silently dropped.
     """
     functions = extract_functions(source)
-    covered = []
-    for f in functions:
-        covered.append((f.start_line, f.end_line))
+    covered = [(f.start_line, f.end_line) for f in functions]
     total = sum(function_complexity(f, source) for f in functions)
-    stray = 0
-    for tok in source.tokens:
-        if not tok.is_code():
-            continue
-        if tok.kind not in (TokenKind.KEYWORD, TokenKind.OPERATOR):
-            continue
-        if tok.text not in source.spec.decision_tokens:
-            continue
-        if any(lo <= tok.line <= hi for lo, hi in covered):
-            continue
-        stray += 1
-    return total + stray
+    return total + _stray_decisions(source, covered)
+
+
+def file_summary(
+    source: SourceFile,
+    functions: Optional[List[FunctionInfo]] = None,
+    code_tokens: Optional[List[Token]] = None,
+) -> Tuple[int, List[ComplexityReport]]:
+    """(file total, per-function reports) computing each complexity once.
+
+    Equivalent to ``(file_complexity(source), file_complexities(source))``
+    but shares one function extraction and one complexity pass between the
+    two; ``functions``/``code_tokens`` let the analysis artifact supply its
+    cached views.
+    """
+    if functions is None:
+        functions = extract_functions(source)
+    complexities = [function_complexity(f, source) for f in functions]
+    reports = [
+        ComplexityReport(f.name, f.start_line, c)
+        for f, c in zip(functions, complexities)
+    ]
+    reports.sort(key=lambda r: r.start_line)
+    covered = [(f.start_line, f.end_line) for f in functions]
+    total = sum(complexities) + _stray_decisions(source, covered, code_tokens)
+    return total, reports
 
 
 def codebase_complexity(codebase: Codebase) -> int:

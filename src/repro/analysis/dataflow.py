@@ -11,7 +11,7 @@ features; taint flow counts double as an attack-surface-adjacent signal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.cfg import CFG, build_cfg
 from repro.lang.parser import FunctionInfo, extract_functions
@@ -75,6 +75,30 @@ def _stmt_tokens(cfg: CFG, node: int) -> List[Token]:
     return stmt.tokens if stmt is not None else []
 
 
+#: Per-node (defs, uses, calls) for a whole CFG.
+NodeFlowInfo = Dict[int, Tuple[Set[str], Set[str], Set[str]]]
+
+
+def node_flow_info(cfg: CFG) -> NodeFlowInfo:
+    """(defs, uses, calls) for every CFG node, computed in one pass.
+
+    Both :func:`reaching_definitions` and :func:`taint_analysis` need this
+    table; callers running both on the same CFG should compute it once and
+    pass it to each. Statement-less nodes (entry/exit/joins) all share
+    one empty triple — every consumer treats the sets as read-only.
+    """
+    node_attrs = cfg.graph._node
+    empty: Tuple[Set[str], Set[str], Set[str]] = (set(), set(), set())
+    info: NodeFlowInfo = {}
+    for node, attrs in node_attrs.items():
+        stmt = attrs.get("stmt")
+        if stmt is not None and stmt.tokens:
+            info[node] = _node_defs_uses(stmt.tokens)
+        else:
+            info[node] = empty
+    return info
+
+
 @dataclass(frozen=True)
 class ReachingDefinitions:
     """Result of the reaching-definitions fixpoint for one function."""
@@ -99,36 +123,117 @@ class ReachingDefinitions:
         return max((len(s) for s in self.in_sets.values()), default=0)
 
 
-def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
-    """Run the standard worklist reaching-definitions analysis on ``cfg``."""
+def _rd_fixpoint(
+    cfg: CFG, node_info: NodeFlowInfo
+) -> Tuple[
+    Dict[int, Set[Tuple[int, str]]],
+    Dict[int, Set[Tuple[int, str]]],
+    Dict[int, Set[str]],
+]:
+    """The reaching-definitions worklist over raw (mutable) sets.
+
+    Returns ``(in_sets, gen, uses)``; :func:`reaching_definitions`
+    freezes them for its public dataclass while :func:`rd_metrics`
+    reads them directly — the two therefore agree by construction.
+    Sets are only ever rebound, never mutated in place, so aliasing a
+    predecessor's OUT set as a single-pred node's IN set is safe.
+    """
+    graph = cfg.graph
+    nodes = list(graph.nodes)
     gen: Dict[int, Set[Tuple[int, str]]] = {}
     kill_vars: Dict[int, Set[str]] = {}
     uses: Dict[int, Set[str]] = {}
-    for node in cfg.graph.nodes:
-        defs, used, _calls = _node_defs_uses(_stmt_tokens(cfg, node))
-        gen[node] = {(node, v) for v in defs}
-        kill_vars[node] = set(defs)
+    # Most CFG nodes define nothing; they can all share one (never
+    # mutated) empty gen set, and the kill set can alias the node's
+    # defs set directly — it is only read.
+    empty_gen: Set[Tuple[int, str]] = set()
+    for node in nodes:
+        defs, used, _calls = node_info[node]
+        gen[node] = {(node, v) for v in defs} if defs else empty_gen
+        kill_vars[node] = defs
         uses[node] = used
 
-    in_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in cfg.graph.nodes}
-    out_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in cfg.graph.nodes}
-    worklist = list(cfg.graph.nodes)
+    # Adjacency resolved once: the worklist revisits nodes many times,
+    # and networkx predecessor/successor views are dict lookups per call.
+    # One edge sweep builds both directions (set-valued fixpoints make
+    # neighbour order irrelevant).
+    preds: Dict[int, List[int]] = {n: [] for n in nodes}
+    succs: Dict[int, List[int]] = {n: [] for n in nodes}
+    for u, v in graph.edges():
+        succs[u].append(v)
+        preds[v].append(u)
+    in_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in nodes}
+    out_sets: Dict[int, Set[Tuple[int, str]]] = {n: set() for n in nodes}
+    # Reversed so pop() (LIFO) visits nodes in insertion order — roughly
+    # entry-to-exit for CFG builders — which propagates facts forward and
+    # converges in fewer sweeps. The fixpoint itself is order-independent.
+    worklist = list(reversed(nodes))
     while worklist:
         node = worklist.pop()
-        new_in: Set[Tuple[int, str]] = set()
-        for pred in cfg.graph.predecessors(node):
-            new_in |= out_sets[pred]
+        ps = preds[node]
+        if len(ps) == 1:
+            # Single predecessor: its OUT set IS the meet. Aliasing is
+            # safe because no set is ever mutated after being stored.
+            new_in = out_sets[ps[0]]
+        else:
+            new_in = set()
+            for pred in ps:
+                new_in |= out_sets[pred]
         killed = kill_vars[node]
-        new_out = {d for d in new_in if d[1] not in killed} | gen[node]
+        if killed:
+            new_out = {d for d in new_in if d[1] not in killed} | gen[node]
+        else:
+            # Nothing killed and (by construction) nothing generated:
+            # the transfer function is the identity.
+            new_out = new_in
         if new_in != in_sets[node] or new_out != out_sets[node]:
             in_sets[node] = new_in
             out_sets[node] = new_out
-            worklist.extend(cfg.graph.successors(node))
+            worklist.extend(succs[node])
+    return in_sets, gen, uses
+
+
+def reaching_definitions(
+    cfg: CFG, node_info: Optional[NodeFlowInfo] = None
+) -> ReachingDefinitions:
+    """Run the standard worklist reaching-definitions analysis on ``cfg``."""
+    if node_info is None:
+        node_info = node_flow_info(cfg)
+    in_sets, gen, uses = _rd_fixpoint(cfg, node_info)
     return ReachingDefinitions(
         in_sets={n: frozenset(s) for n, s in in_sets.items()},
         gen={n: frozenset(s) for n, s in gen.items()},
         uses={n: frozenset(s) for n, s in uses.items()},
     )
+
+
+def rd_metrics(
+    cfg: CFG, node_info: Optional[NodeFlowInfo] = None
+) -> Tuple[int, int, int, int]:
+    """(defs, uses, def-use pairs, max reaching) for one CFG.
+
+    The numbers :class:`ReachingDefinitions` would yield via
+    ``def_use_pairs``/``max_reaching`` and the gen/uses set sizes,
+    computed from the raw fixpoint sets without freezing ~every node's
+    sets into throwaway frozensets — the extraction hot path calls this
+    per function, so the materialisation cost is real.
+    """
+    if node_info is None:
+        node_info = node_flow_info(cfg)
+    in_sets, gen, uses = _rd_fixpoint(cfg, node_info)
+    n_defs = sum(len(g) for g in gen.values())
+    n_uses = sum(len(u) for u in uses.values())
+    pairs = 0
+    max_reach = 0
+    for node, reaching in in_sets.items():
+        size = len(reaching)
+        if size > max_reach:
+            max_reach = size
+        if size:
+            used = uses[node]
+            if used:
+                pairs += sum(1 for (_, var) in reaching if var in used)
+    return n_defs, n_uses, pairs, max_reach
 
 
 @dataclass(frozen=True)
@@ -141,37 +246,60 @@ class TaintResult:
     sink_sites: int
 
 
-def taint_analysis(cfg: CFG, params: List[str]) -> TaintResult:
+def taint_analysis(
+    cfg: CFG, params: List[str], node_info: Optional[NodeFlowInfo] = None
+) -> TaintResult:
     """Propagate taint from parameters/input calls to dangerous sinks.
 
     A statement taints the variables it defines when its right-hand side
     mentions a tainted variable or calls a known source. A sink call whose
     statement mentions any tainted variable counts as a tainted flow.
     """
-    node_info = {
-        node: _node_defs_uses(_stmt_tokens(cfg, node)) for node in cfg.graph.nodes
-    }
+    if node_info is None:
+        node_info = node_flow_info(cfg)
+    # ``isdisjoint`` tests overlap without building the intersection
+    # sets ``&`` would allocate per node.
     source_sites = sum(
-        1 for _, (_, _, calls) in node_info.items() if calls & TAINT_SOURCES
+        1 for _, (_, _, calls) in node_info.items()
+        if not calls.isdisjoint(TAINT_SOURCES)
     )
     sink_sites = sum(
-        1 for _, (_, _, calls) in node_info.items() if calls & TAINT_SINKS
+        1 for _, (_, _, calls) in node_info.items()
+        if not calls.isdisjoint(TAINT_SINKS)
     )
 
-    in_taint: Dict[int, Set[str]] = {n: set() for n in cfg.graph.nodes}
-    out_taint: Dict[int, Set[str]] = {n: set() for n in cfg.graph.nodes}
+    graph = cfg.graph
+    nodes = list(graph.nodes)
+    preds: Dict[int, List[int]] = {n: [] for n in nodes}
+    succs: Dict[int, List[int]] = {n: [] for n in nodes}
+    for u, v in graph.edges():
+        succs[u].append(v)
+        preds[v].append(u)
+    in_taint: Dict[int, Set[str]] = {n: set() for n in nodes}
+    out_taint: Dict[int, Set[str]] = {n: set() for n in nodes}
     seed = set(params)
     out_taint[cfg.entry] = set(seed)
 
-    worklist = list(cfg.graph.nodes)
+    worklist = list(reversed(nodes))
+    entry = cfg.entry
     while worklist:
         node = worklist.pop()
-        new_in: Set[str] = set(seed) if node == cfg.entry else set()
-        for pred in cfg.graph.predecessors(node):
-            new_in |= out_taint[pred]
+        ps = preds[node]
+        if node != entry and len(ps) == 1:
+            # Single predecessor, no seed to fold in: the meet is the
+            # predecessor's OUT set. Aliasing is safe — sets are only
+            # rebound below, never mutated in place.
+            new_in = out_taint[ps[0]]
+        else:
+            new_in = set(seed) if node == entry else set()
+            for pred in ps:
+                new_in |= out_taint[pred]
         defs, used, calls = node_info[node]
-        rhs_tainted = bool((used - defs) & new_in) or bool(calls & TAINT_SOURCES)
-        if rhs_tainted:
+        if not defs:
+            # Defines nothing: both branches reduce to the identity.
+            new_out = new_in
+        elif ((not used.isdisjoint(new_in) and (used - defs) & new_in)
+                or not calls.isdisjoint(TAINT_SOURCES)):
             new_out = new_in | defs
         else:
             # A plain reassignment from untainted data clears the variable.
@@ -179,15 +307,18 @@ def taint_analysis(cfg: CFG, params: List[str]) -> TaintResult:
         if new_in != in_taint[node] or new_out != out_taint[node]:
             in_taint[node] = new_in
             out_taint[node] = new_out
-            worklist.extend(cfg.graph.successors(node))
+            worklist.extend(succs[node])
 
     tainted: Set[str] = set(seed)
     tainted_sinks = 0
     for node, (defs, used, calls) in node_info.items():
-        reach = in_taint[node] | (seed if node == cfg.entry else set())
-        if (used & reach) or (calls & TAINT_SOURCES):
+        reach = in_taint[node]
+        if node == entry and seed:
+            reach = reach | seed
+        used_reach = not used.isdisjoint(reach)
+        if used_reach or not calls.isdisjoint(TAINT_SOURCES):
             tainted |= defs
-        if calls & TAINT_SINKS and (used & reach):
+        if used_reach and not calls.isdisjoint(TAINT_SINKS):
             tainted_sinks += 1
     return TaintResult(
         tainted_vars=frozenset(tainted),
@@ -217,12 +348,13 @@ def measure_codebase(codebase: Codebase) -> DataflowMetrics:
     for source in codebase:
         for func in extract_functions(source):
             cfg = build_cfg(func, source)
-            rd = reaching_definitions(cfg)
-            n_defs += sum(len(g) for g in rd.gen.values())
-            n_uses += sum(len(u) for u in rd.uses.values())
-            pairs += rd.def_use_pairs()
-            max_reach = max(max_reach, rd.max_reaching())
-            taint = taint_analysis(cfg, func.param_names)
+            info = node_flow_info(cfg)
+            defs, used, du_pairs, reach = rd_metrics(cfg, info)
+            n_defs += defs
+            n_uses += used
+            pairs += du_pairs
+            max_reach = max(max_reach, reach)
+            taint = taint_analysis(cfg, func.param_names, info)
             sources += taint.source_sites
             sinks += taint.sink_sites
             tainted += taint.tainted_sink_calls

@@ -126,12 +126,25 @@ def measure_codebase(
     n_walks: int = 10,
     max_steps: int = 150,
     seed: int = 0,
+    artifacts=None,
 ) -> DynamicMetrics:
-    """Simulate every function of ``codebase`` and aggregate."""
+    """Simulate every function of ``codebase`` and aggregate.
+
+    ``artifacts`` maps paths to per-file analysis artifacts
+    (``.functions``/``.cfgs``, index-aligned) so the simulation reuses
+    the shared CFGs; walk seeds depend only on the function index, which
+    the shared table preserves.
+    """
     results: List[TraceResult] = []
     for source in codebase:
-        for index, func in enumerate(extract_functions(source)):
-            cfg = build_cfg(func, source)
+        art = artifacts.get(source.path) if artifacts is not None else None
+        if art is not None:
+            cfgs = art.cfgs
+        else:
+            cfgs = [
+                build_cfg(func, source) for func in extract_functions(source)
+            ]
+        for index, cfg in enumerate(cfgs):
             # zlib.crc32, not hash(): str hashing is salted per process
             # and would make feature extraction non-reproducible.
             walk_seed = zlib.crc32(

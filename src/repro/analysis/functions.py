@@ -48,14 +48,19 @@ class FunctionMetrics:
         return self.total_params / self.n_functions if self.n_functions else 0.0
 
 
-def count_declarations(source: SourceFile) -> int:
+def count_declarations(source: SourceFile, code_tokens=None) -> int:
     """Approximate declaration count for a file.
 
     For C-family/Java: a type keyword followed by an identifier. For
     Python: def/class/lambda/global/nonlocal plus first-bindings via ``=``
     are approximated by counting def/class/lambda statements.
+    ``code_tokens`` lets the analysis artifact supply the filtered stream.
     """
-    tokens = [t for t in source.tokens if t.is_code()]
+    tokens = (
+        [t for t in source.tokens if t.is_code()]
+        if code_tokens is None
+        else code_tokens
+    )
     if source.spec.name == "python":
         return sum(
             1
@@ -74,14 +79,18 @@ def count_declarations(source: SourceFile) -> int:
     return count
 
 
-def count_variables(source: SourceFile) -> int:
+def count_variables(source: SourceFile, code_tokens=None) -> int:
     """Number of distinct identifiers assigned anywhere in the file.
 
     Counts identifiers immediately followed by an assignment operator
     (including compound assignments); a cheap but language-agnostic proxy
     for variable count.
     """
-    tokens = [t for t in source.tokens if t.is_code()]
+    tokens = (
+        [t for t in source.tokens if t.is_code()]
+        if code_tokens is None
+        else code_tokens
+    )
     assigned = set()
     assign_ops = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
                   ">>=", ":="}

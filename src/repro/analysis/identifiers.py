@@ -76,15 +76,25 @@ def _metrics_from_counts(counts: CounterT[str]) -> IdentifierMetrics:
     )
 
 
-def file_counts(source: SourceFile) -> CounterT[str]:
+def file_counts(source: SourceFile, code_tokens=None) -> CounterT[str]:
     """The identifier counter of one file, in first-occurrence order.
 
     Insertion order is part of the contract: merging per-file counters
     in path order recreates the codebase counter's key order exactly,
     which the float-summed statistics of :func:`metrics_from_counts`
     depend on for bit-identical results.
+
+    ``code_tokens`` lets the analysis artifact supply its cached filtered
+    stream; comments and newlines are never IDENT tokens, so counting over
+    it preserves both the counts and the first-occurrence key order.
     """
-    return _identifier_counts([source])
+    if code_tokens is None:
+        return _identifier_counts([source])
+    counts: CounterT[str] = Counter()
+    for tok in code_tokens:
+        if tok.kind == TokenKind.IDENT:
+            counts[tok.text] += 1
+    return counts
 
 
 def metrics_from_counts(counts) -> IdentifierMetrics:

@@ -64,16 +64,28 @@ def count_file(source: SourceFile) -> LineCounts:
             if ln <= n_lines:
                 array[ln] = True
 
+    # Hot path: every token kind except comments, strings, and
+    # preprocessor lines is single-line by construction, so the newline
+    # count (and the range walk in ``mark``) is skipped for them.
+    NEWLINE = TokenKind.NEWLINE
+    COMMENT = TokenKind.COMMENT
+    PREPROC = TokenKind.PREPROC
+    STRING = TokenKind.STRING
     for tok in source.tokens:
-        if tok.kind == TokenKind.NEWLINE:
+        kind = tok.kind
+        if kind is NEWLINE:
             continue
-        if tok.kind == TokenKind.COMMENT:
+        if kind is COMMENT:
             mark(has_comment, tok.line, tok.text)
-        elif tok.kind == TokenKind.PREPROC:
+        elif kind is PREPROC:
             mark(is_preproc, tok.line, tok.text)
             mark(has_code, tok.line, tok.text)
-        else:
+        elif kind is STRING:
             mark(has_code, tok.line, tok.text)
+        else:
+            ln = tok.line
+            if ln <= n_lines:
+                has_code[ln] = True
 
     code = comment = blank = preproc = 0
     for ln in range(1, n_lines + 1):

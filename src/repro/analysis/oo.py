@@ -51,10 +51,14 @@ class ClassDesignMetrics:
         return (self.public_method_fraction + self.public_field_fraction) / 2.0
 
 
-def _inheritance_edges(source: SourceFile) -> Dict[str, str]:
+def _inheritance_edges(source: SourceFile, code_tokens=None) -> Dict[str, str]:
     """Child-class -> parent-class edges recovered from headers."""
     edges: Dict[str, str] = {}
-    tokens = [t for t in source.tokens if t.is_code()]
+    tokens = (
+        [t for t in source.tokens if t.is_code()]
+        if code_tokens is None
+        else code_tokens
+    )
     for i, tok in enumerate(tokens):
         if tok.kind != TokenKind.KEYWORD or tok.text not in ("class",):
             continue
@@ -110,7 +114,7 @@ def _field_visibility(source: SourceFile, cls: ClassInfo) -> Tuple[int, int]:
         # Attributes assigned as self.<name> inside methods.
         names: Set[str] = set()
         for method in cls.methods:
-            tokens = [t for t in method.body_tokens if t.is_code()]
+            tokens = method.body_tokens  # already code-filtered by the parser
             for i in range(len(tokens) - 2):
                 if (
                     tokens[i].text == "self"
@@ -128,17 +132,27 @@ def _field_visibility(source: SourceFile, cls: ClassInfo) -> Tuple[int, int]:
     return 0, 0
 
 
-def measure_codebase(codebase: Codebase) -> ClassDesignMetrics:
-    """Compute OO design metrics over every class in ``codebase``."""
+def measure_codebase(codebase: Codebase, artifacts=None) -> ClassDesignMetrics:
+    """Compute OO design metrics over every class in ``codebase``.
+
+    ``artifacts`` maps paths to per-file analysis artifacts
+    (``.classes``/``.code_tokens``) so the pass reuses the shared parse.
+    """
     all_classes: List[Tuple[SourceFile, ClassInfo]] = []
     inheritance: Dict[str, str] = {}
     method_owner: Dict[str, str] = {}
     for source in codebase:
-        for cls in extract_classes(source):
+        art = artifacts.get(source.path) if artifacts is not None else None
+        classes = art.classes if art is not None else extract_classes(source)
+        for cls in classes:
             all_classes.append((source, cls))
             for method in cls.methods:
                 method_owner.setdefault(method.name, cls.name)
-        inheritance.update(_inheritance_edges(source))
+        inheritance.update(
+            _inheritance_edges(
+                source, art.code_tokens if art is not None else None
+            )
+        )
 
     if not all_classes:
         return ClassDesignMetrics(0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0)
@@ -159,7 +173,7 @@ def measure_codebase(codebase: Codebase) -> ClassDesignMetrics:
     for _, cls in all_classes:
         coupled: Set[str] = set()
         for method in cls.methods:
-            tokens = [t for t in method.body_tokens if t.is_code()]
+            tokens = method.body_tokens  # already code-filtered by the parser
             for i, tok in enumerate(tokens[:-1]):
                 if tok.kind != TokenKind.IDENT or tokens[i + 1].text != "(":
                     continue

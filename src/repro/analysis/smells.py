@@ -37,32 +37,38 @@ LONG_LINE_COLUMNS = 120
 DUPLICATE_WINDOW = 6
 
 
-def long_methods(source: SourceFile) -> List[Smell]:
+def long_methods(source: SourceFile, functions=None) -> List[Smell]:
     """Functions longer than LONG_METHOD_LINES physical lines."""
+    if functions is None:
+        functions = extract_functions(source)
     return [
         Smell("long-method", source.path, f.start_line,
               f"{f.name} is {f.length} lines")
-        for f in extract_functions(source)
+        for f in functions
         if f.length > LONG_METHOD_LINES
     ]
 
 
-def long_parameter_lists(source: SourceFile) -> List[Smell]:
+def long_parameter_lists(source: SourceFile, functions=None) -> List[Smell]:
     """Functions with more than LONG_PARAMETER_LIST parameters."""
+    if functions is None:
+        functions = extract_functions(source)
     return [
         Smell("long-parameter-list", source.path, f.start_line,
               f"{f.name} takes {f.param_count} parameters")
-        for f in extract_functions(source)
+        for f in functions
         if f.param_count > LONG_PARAMETER_LIST
     ]
 
 
-def deep_nesting(source: SourceFile) -> List[Smell]:
+def deep_nesting(source: SourceFile, functions=None) -> List[Smell]:
     """Functions nested deeper than DEEP_NESTING levels."""
+    if functions is None:
+        functions = extract_functions(source)
     return [
         Smell("deep-nesting", source.path, f.start_line,
               f"{f.name} nests {f.max_nesting} levels")
-        for f in extract_functions(source)
+        for f in functions
         if f.max_nesting > DEEP_NESTING
     ]
 
@@ -174,11 +180,25 @@ ALL_DETECTORS: Dict[str, Callable[[SourceFile], List[Smell]]] = {
 }
 
 
-def detect_file(source: SourceFile) -> List[Smell]:
-    """Run every detector over one file."""
+#: Detectors that consume the function table (get the shared one passed).
+_FUNCTION_DETECTORS = frozenset(
+    {"long-method", "long-parameter-list", "deep-nesting"}
+)
+
+
+def detect_file(source: SourceFile, functions=None) -> List[Smell]:
+    """Run every detector over one file.
+
+    ``functions`` lets the analysis artifact supply its cached function
+    table to the detectors that need one; the final sort is stable, so
+    detector-order ties are unchanged either way.
+    """
     smells: List[Smell] = []
-    for detector in ALL_DETECTORS.values():
-        smells.extend(detector(source))
+    for kind, detector in ALL_DETECTORS.items():
+        if kind in _FUNCTION_DETECTORS:
+            smells.extend(detector(source, functions))
+        else:
+            smells.extend(detector(source))
     smells.sort(key=lambda s: (s.line, s.kind))
     return smells
 

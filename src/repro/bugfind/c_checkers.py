@@ -52,11 +52,15 @@ def _call_sites(tokens: List[Token]) -> List[int]:
     ]
 
 
-def check_unbounded_copy(source: SourceFile) -> List[Finding]:
+def check_unbounded_copy(source: SourceFile, tokens=None,
+                         call_sites=None) -> List[Finding]:
     """CWE-121/120/242: use of inherently unbounded copy/input routines."""
     findings = []
-    tokens = _code_tokens(source)
-    for i in _call_sites(tokens):
+    if tokens is None:
+        tokens = _code_tokens(source)
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         name = tokens[i].text
         cwe = _UNBOUNDED_COPY.get(name)
         if cwe is None:
@@ -69,11 +73,15 @@ def check_unbounded_copy(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_format_string(source: SourceFile) -> List[Finding]:
+def check_format_string(source: SourceFile, tokens=None,
+                        call_sites=None) -> List[Finding]:
     """CWE-134: format function whose format argument is not a literal."""
     findings = []
-    tokens = _code_tokens(source)
-    for i in _call_sites(tokens):
+    if tokens is None:
+        tokens = _code_tokens(source)
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         name = tokens[i].text
         if name not in _FORMAT_FUNCS:
             continue
@@ -114,16 +122,20 @@ def _format_argument(tokens: List[Token], call_idx: int, name: str) -> Optional[
     return None
 
 
-def check_unchecked_allocation(source: SourceFile) -> List[Finding]:
+def check_unchecked_allocation(source: SourceFile, tokens=None,
+                               call_sites=None) -> List[Finding]:
     """CWE-476: allocation result never compared against NULL.
 
     Flags ``p = malloc(...)`` when no ``p == NULL`` / ``!p`` / ``p != NULL``
     test appears within the rest of the same function-sized window.
     """
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     text_stream = [t.text for t in tokens]
-    for i in _call_sites(tokens):
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         if tokens[i].text not in _ALLOC_FUNCS:
             continue
         if i < 2 or tokens[i - 1].text != "=":
@@ -151,11 +163,15 @@ def check_unchecked_allocation(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_multiplication_in_alloc(source: SourceFile) -> List[Finding]:
+def check_multiplication_in_alloc(source: SourceFile, tokens=None,
+                                  call_sites=None) -> List[Finding]:
     """CWE-190: unchecked multiplication inside an allocation size."""
     findings = []
-    tokens = _code_tokens(source)
-    for i in _call_sites(tokens):
+    if tokens is None:
+        tokens = _code_tokens(source)
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         if tokens[i].text not in ("malloc", "alloca", "realloc"):
             continue
         depth = 0
@@ -181,11 +197,15 @@ def check_multiplication_in_alloc(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_command_injection(source: SourceFile) -> List[Finding]:
+def check_command_injection(source: SourceFile, tokens=None,
+                            call_sites=None) -> List[Finding]:
     """CWE-78: exec-family call with a non-literal command."""
     findings = []
-    tokens = _code_tokens(source)
-    for i in _call_sites(tokens):
+    if tokens is None:
+        tokens = _code_tokens(source)
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         if tokens[i].text not in _EXEC_FUNCS:
             continue
         nxt = tokens[i + 2] if i + 2 < len(tokens) else None
@@ -199,11 +219,15 @@ def check_command_injection(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_toctou(source: SourceFile) -> List[Finding]:
+def check_toctou(source: SourceFile, tokens=None,
+                 call_sites=None) -> List[Finding]:
     """CWE-367: check/use race — access()/stat() then open() on any path."""
     findings = []
-    tokens = _code_tokens(source)
-    calls = [(i, tokens[i].text) for i in _call_sites(tokens)]
+    if tokens is None:
+        tokens = _code_tokens(source)
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    calls = [(i, tokens[i].text) for i in call_sites]
     for (i, first), (j, second) in zip(calls, calls[1:]):
         if (first, second) in _RACE_PAIRS:
             findings.append(
@@ -215,15 +239,19 @@ def check_toctou(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_weak_random(source: SourceFile) -> List[Finding]:
+def check_weak_random(source: SourceFile, tokens=None,
+                      call_sites=None) -> List[Finding]:
     """CWE-338: rand()/random() used where unpredictability matters."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     security_idents = {"key", "token", "nonce", "seed", "secret", "session",
                        "password", "salt"}
     idents = {t.text.lower() for t in tokens if t.kind == TokenKind.IDENT}
     relevant = bool(idents & security_idents)
-    for i in _call_sites(tokens):
+    if call_sites is None:
+        call_sites = _call_sites(tokens)
+    for i in call_sites:
         if tokens[i].text in ("rand", "random", "srand") and relevant:
             findings.append(
                 Finding(TOOL, "weak-random", source.path, tokens[i].line,
@@ -245,12 +273,19 @@ C_CHECKERS = (
 )
 
 
-def run(source: SourceFile) -> List[Finding]:
-    """Run every C/C++ checker over one file (no-op for other languages)."""
+def run(source: SourceFile, *, code_tokens=None, functions=None,
+        call_sites=None) -> List[Finding]:
+    """Run every C/C++ checker over one file (no-op for other languages).
+
+    ``code_tokens`` and ``call_sites`` let the analysis artifact supply
+    its cached filtered stream and call-site index; ``functions`` is part
+    of the shared tool signature but unused.
+    """
+    del functions  # accepted for the common tool signature
     if source.spec.name not in ("c", "cpp"):
         return []
     findings: List[Finding] = []
     for checker in C_CHECKERS:
-        findings.extend(checker(source))
+        findings.extend(checker(source, code_tokens, call_sites))
     findings.sort(key=lambda f: (f.line, f.rule))
     return findings

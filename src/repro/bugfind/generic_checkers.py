@@ -32,10 +32,11 @@ def _code_tokens(source: SourceFile) -> List[Token]:
     return [t for t in source.tokens if t.is_code()]
 
 
-def check_hardcoded_secret(source: SourceFile) -> List[Finding]:
+def check_hardcoded_secret(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-798: a secret-named variable assigned a string literal."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i in range(len(tokens) - 2):
         tok = tokens[i]
         if tok.kind != TokenKind.IDENT:
@@ -54,10 +55,11 @@ def check_hardcoded_secret(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_dynamic_eval(source: SourceFile) -> List[Finding]:
+def check_dynamic_eval(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-95: eval/exec of a non-literal expression."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i in range(len(tokens) - 2):
         tok = tokens[i]
         if tok.kind != TokenKind.IDENT or tok.text not in _EVAL_FUNCS:
@@ -74,10 +76,11 @@ def check_dynamic_eval(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_sql_concatenation(source: SourceFile) -> List[Finding]:
+def check_sql_concatenation(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-89: SQL text concatenated with a variable."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i, tok in enumerate(tokens):
         if tok.kind != TokenKind.STRING:
             continue
@@ -96,10 +99,12 @@ def check_sql_concatenation(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_weak_crypto(source: SourceFile) -> List[Finding]:
+def check_weak_crypto(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-327: use of a broken or risky cryptographic primitive."""
     findings = []
-    for tok in _code_tokens(source):
+    if tokens is None:
+        tokens = _code_tokens(source)
+    for tok in tokens:
         if tok.kind not in (TokenKind.IDENT, TokenKind.STRING):
             continue
         lowered = tok.text.lower().strip("\"'")
@@ -113,10 +118,11 @@ def check_weak_crypto(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_permissive_mode(source: SourceFile) -> List[Finding]:
+def check_permissive_mode(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-732: chmod/open with a world-writable mode literal."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i, tok in enumerate(tokens):
         if tok.kind != TokenKind.IDENT or tok.text not in ("chmod", "open",
                                                            "umask", "mkdir"):
@@ -136,10 +142,11 @@ def check_permissive_mode(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_swallowed_exception(source: SourceFile) -> List[Finding]:
+def check_swallowed_exception(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-390: catch/except block whose body is empty or only `pass`."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i, tok in enumerate(tokens):
         if tok.kind != TokenKind.KEYWORD or tok.text not in ("catch", "except"):
             continue
@@ -173,10 +180,11 @@ _DESERIAL_FUNCS = frozenset({"loads", "load", "readObject", "unserialize"})
 _DESERIAL_MODULES = frozenset({"pickle", "marshal", "yaml", "shelve"})
 
 
-def check_unsafe_deserialization(source: SourceFile) -> List[Finding]:
+def check_unsafe_deserialization(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-502: deserialising with pickle/yaml.load/readObject."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i in range(len(tokens) - 2):
         tok = tokens[i]
         if tok.kind != TokenKind.IDENT:
@@ -205,10 +213,11 @@ def check_unsafe_deserialization(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_insecure_tempfile(source: SourceFile) -> List[Finding]:
+def check_insecure_tempfile(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-377: predictable temporary files (mktemp, tmpnam, /tmp paths)."""
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     for i, tok in enumerate(tokens):
         if tok.kind == TokenKind.IDENT and tok.text in ("mktemp", "tmpnam",
                                                         "tempnam"):
@@ -228,12 +237,13 @@ def check_insecure_tempfile(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def check_assert_validation(source: SourceFile) -> List[Finding]:
+def check_assert_validation(source: SourceFile, tokens=None) -> List[Finding]:
     """CWE-617: input validation via assert (stripped with -O)."""
     if source.spec.name != "python":
         return []
     findings = []
-    tokens = _code_tokens(source)
+    if tokens is None:
+        tokens = _code_tokens(source)
     input_names = {"request", "input", "arg", "args", "param", "params",
                    "data", "payload", "user"}
     for i, tok in enumerate(tokens):
@@ -264,10 +274,148 @@ GENERIC_CHECKERS = (
 )
 
 
-def run(source: SourceFile) -> List[Finding]:
-    """Run every generic checker over one file."""
+_PERMISSIVE_CALLS = frozenset({"chmod", "open", "umask", "mkdir"})
+_PERMISSIVE_MODES = frozenset({"0777", "0o777", "777", "0666", "0o666"})
+_TEMPFILE_FUNCS = frozenset({"mktemp", "tmpnam", "tempnam"})
+_ASSERT_INPUT_NAMES = frozenset(
+    {"request", "input", "arg", "args", "param", "params", "data",
+     "payload", "user"}
+)
+
+
+def run(source: SourceFile, *, code_tokens=None, functions=None,
+        call_sites=None) -> List[Finding]:
+    """Run every generic checker over one file.
+
+    ``code_tokens`` lets the analysis artifact supply its cached filtered
+    stream (otherwise the checkers filter for themselves); ``functions``
+    and ``call_sites`` are part of the shared tool signature but unused
+    here.
+
+    The individual ``check_*`` functions each walk the whole token list;
+    nine walks per file is real cost on the extraction hot path, so this
+    entry point runs all of their rules in one kind-dispatched pass.
+    The final sort on ``(line, rule)`` makes the fused order identical
+    to the checker-by-checker order: ties share a rule, and within one
+    rule both variants emit in token order.
+    """
+    del functions, call_sites  # accepted for the common tool signature
+    tokens = code_tokens if code_tokens is not None else _code_tokens(source)
+    n = len(tokens)
+    is_python = source.spec.name == "python"
+    path = source.path
+    ident = TokenKind.IDENT
+    string = TokenKind.STRING
+    keyword = TokenKind.KEYWORD
+    number = TokenKind.NUMBER
     findings: List[Finding] = []
-    for checker in GENERIC_CHECKERS:
-        findings.extend(checker(source))
+    append = findings.append
+    for i, tok in enumerate(tokens):
+        kind = tok.kind
+        if kind is ident:
+            text = tok.text
+            lowered = text.lower()
+            if (lowered in _SECRET_NAMES and i < n - 2
+                    and tokens[i + 1].text == "="):
+                value = tokens[i + 2]
+                if value.kind is string and len(value.text) > 4:
+                    append(Finding(
+                        TOOL, "hardcoded-secret", path, tok.line,
+                        Severity.HIGH,
+                        f"{text!r} assigned a literal secret", cwe=798))
+            if (text in _EVAL_FUNCS and i < n - 2
+                    and tokens[i + 1].text == "("
+                    and tokens[i + 2].kind is not string):
+                append(Finding(
+                    TOOL, "dynamic-eval", path, tok.line,
+                    Severity.CRITICAL,
+                    f"{text}() evaluates a dynamic expression", cwe=95))
+            if lowered in _WEAK_CRYPTO:
+                append(Finding(
+                    TOOL, "weak-crypto", path, tok.line, Severity.MEDIUM,
+                    f"{lowered.upper()} is cryptographically broken",
+                    cwe=327))
+            if text in _PERMISSIVE_CALLS:
+                for w in tokens[i:i + 10]:
+                    if w.kind is number and w.text in _PERMISSIVE_MODES:
+                        append(Finding(
+                            TOOL, "permissive-mode", path, tok.line,
+                            Severity.MEDIUM,
+                            f"{text}() with world-writable mode {w.text}",
+                            cwe=732))
+                        break
+            if i < n - 2:
+                if (text in _DESERIAL_MODULES
+                        and tokens[i + 1].text == "."
+                        and tokens[i + 2].text in _DESERIAL_FUNCS
+                        and not (text == "yaml"
+                                 and "safe" in tokens[i + 2].text)):
+                    append(Finding(
+                        TOOL, "unsafe-deserialization", path, tok.line,
+                        Severity.HIGH,
+                        f"{text}.{tokens[i + 2].text}() deserialises "
+                        "untrusted data", cwe=502))
+                if text == "readObject" and tokens[i + 1].text == "(":
+                    append(Finding(
+                        TOOL, "unsafe-deserialization", path, tok.line,
+                        Severity.HIGH,
+                        "readObject() deserialises untrusted data",
+                        cwe=502))
+            if (text in _TEMPFILE_FUNCS and i + 1 < n
+                    and tokens[i + 1].text == "("):
+                append(Finding(
+                    TOOL, "insecure-tempfile", path, tok.line,
+                    Severity.MEDIUM,
+                    f"{text}() creates a predictable temp path", cwe=377))
+        elif kind is string:
+            text = tok.text
+            lowered = text.lower()
+            if any(verb in lowered for verb in _SQL_VERBS):
+                nxt = tokens[i + 1] if i + 1 < n else None
+                after = tokens[i + 2] if i + 2 < n else None
+                if (nxt is not None and nxt.text == "+"
+                        and after is not None and after.kind is ident):
+                    append(Finding(
+                        TOOL, "sql-concatenation", path, tok.line,
+                        Severity.HIGH,
+                        "SQL statement built by string concatenation",
+                        cwe=89))
+            stripped = lowered.strip("\"'")
+            if stripped in _WEAK_CRYPTO:
+                append(Finding(
+                    TOOL, "weak-crypto", path, tok.line, Severity.MEDIUM,
+                    f"{stripped.upper()} is cryptographically broken",
+                    cwe=327))
+            if "/tmp/" in text:
+                append(Finding(
+                    TOOL, "insecure-tempfile", path, tok.line,
+                    Severity.LOW,
+                    "hardcoded /tmp path invites symlink races", cwe=377))
+        elif kind is keyword:
+            text = tok.text
+            if text in ("catch", "except"):
+                j = i + 1
+                while j < n and tokens[j].text not in ("{", ":"):
+                    j += 1
+                if j < n:
+                    if tokens[j].text == "{":
+                        if j + 1 < n and tokens[j + 1].text == "}":
+                            append(Finding(
+                                TOOL, "swallowed-exception", path, tok.line,
+                                Severity.LOW, "empty catch block", cwe=390))
+                    elif j + 1 < n and tokens[j + 1].text == "pass":
+                        append(Finding(
+                            TOOL, "swallowed-exception", path, tok.line,
+                            Severity.LOW, "except clause only passes",
+                            cwe=390))
+            elif is_python and text == "assert":
+                window = {t.text.lower() for t in tokens[i + 1:i + 8]
+                          if t.kind is ident}
+                if window & _ASSERT_INPUT_NAMES:
+                    append(Finding(
+                        TOOL, "assert-validation", path, tok.line,
+                        Severity.MEDIUM,
+                        "assert validates external input but vanishes "
+                        "under -O", cwe=617))
     findings.sort(key=lambda f: (f.line, f.rule))
     return findings

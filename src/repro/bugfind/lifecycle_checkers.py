@@ -51,11 +51,17 @@ def _events(tokens: List[Token]) -> List[Tuple[str, str, int]]:
     return events
 
 
-def check_memory_lifecycle(source: SourceFile) -> List[Finding]:
-    """Per-function double-free / use-after-free / leak detection."""
+def check_memory_lifecycle(source: SourceFile, functions=None) -> List[Finding]:
+    """Per-function double-free / use-after-free / leak detection.
+
+    ``functions`` lets the analysis artifact supply its cached function
+    table instead of re-extracting.
+    """
     findings: List[Finding] = []
-    for func in extract_functions(source):
-        tokens = [t for t in func.body_tokens if t.is_code()]
+    if functions is None:
+        functions = extract_functions(source)
+    for func in functions:
+        tokens = func.body_tokens  # already code-filtered by the parser
         freed: Set[str] = set()
         allocated: Dict[str, int] = {}
         for kind, var, line in _events(tokens):
@@ -93,8 +99,15 @@ def check_memory_lifecycle(source: SourceFile) -> List[Finding]:
     return findings
 
 
-def run(source: SourceFile) -> List[Finding]:
-    """Run the lifecycle checker (C/C++ only)."""
+def run(source: SourceFile, *, code_tokens=None, functions=None,
+        call_sites=None) -> List[Finding]:
+    """Run the lifecycle checker (C/C++ only).
+
+    ``functions`` lets the analysis artifact supply its cached function
+    table; ``code_tokens`` and ``call_sites`` are part of the shared
+    tool signature but unused.
+    """
+    del code_tokens, call_sites  # accepted for the common tool signature
     if source.spec.name not in ("c", "cpp"):
         return []
-    return check_memory_lifecycle(source)
+    return check_memory_lifecycle(source, functions)

@@ -17,8 +17,10 @@ from repro.bugfind import c_checkers, generic_checkers, lifecycle_checkers
 from repro.bugfind.findings import Finding, Severity
 from repro.lang.sourcefile import Codebase, SourceFile
 
-#: The registered tools, by name. Each maps a file to findings.
-TOOLS: Dict[str, Callable[[SourceFile], List[Finding]]] = {
+#: The registered tools, by name. Each maps a file to findings, and must
+#: accept keyword-only ``code_tokens``/``functions`` (ignoring whichever it
+#: does not need) so the analysis artifact's cached views can be passed in.
+TOOLS: Dict[str, Callable[..., List[Finding]]] = {
     c_checkers.TOOL: c_checkers.run,
     generic_checkers.TOOL: generic_checkers.run,
     lifecycle_checkers.TOOL: lifecycle_checkers.run,
@@ -97,7 +99,9 @@ def run_all(codebase: Codebase) -> MetaReport:
     )
 
 
-def file_summary(source: SourceFile) -> Dict[str, object]:
+def file_summary(
+    source: SourceFile, code_tokens=None, functions=None, call_sites=None
+) -> Dict[str, object]:
     """All-integer bug-finding summary for one file (JSON-ready).
 
     The feature testbed only consumes order-independent aggregates of a
@@ -112,7 +116,8 @@ def file_summary(source: SourceFile) -> Dict[str, object]:
     """
     raw: List[Finding] = []
     for tool in TOOLS.values():
-        raw.extend(tool(source))
+        raw.extend(tool(source, code_tokens=code_tokens, functions=functions,
+                        call_sites=call_sites))
     merged: Dict[tuple, Finding] = {}
     for finding in raw:
         key = finding.key()

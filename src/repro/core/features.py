@@ -62,6 +62,7 @@ from repro.analysis import (
     oo,
     smells,
 )
+from repro.analysis.artifact import artifact_for, artifacts_for
 from repro.analysis.churn import CommitHistory
 from repro.bugfind import Severity
 from repro.bugfind.meta import file_summary
@@ -86,6 +87,16 @@ FileRecord = Dict[str, object]
 
 
 # -- per-file collectors ------------------------------------------------------
+#
+# Each collector comes in two flavours. The *fused* one (the default hot
+# path) pulls every derived view — filtered tokens, function table, CFGs,
+# per-node flow info — from the file's shared
+# :class:`~repro.analysis.artifact.FileArtifact`, so the file is lexed and
+# parsed exactly once no matter how many analyzers run. The *legacy* one
+# is the original implementation where every analyzer re-derives its own
+# views; it is kept as the independent reference the differential harness
+# (``tests/analysis/test_fused_equivalence.py``) compares against. Both
+# must produce byte-identical records.
 
 def _collect_loc(source: SourceFile) -> FileRecord:
     counts = loc.count_file(source)
@@ -94,6 +105,14 @@ def _collect_loc(source: SourceFile) -> FileRecord:
 
 
 def _collect_cyclomatic(source: SourceFile) -> FileRecord:
+    art = artifact_for(source)
+    total, reports = cyclomatic.file_summary(
+        source, art.functions, art.code_tokens
+    )
+    return {"total": total, "values": [r.complexity for r in reports]}
+
+
+def _collect_cyclomatic_legacy(source: SourceFile) -> FileRecord:
     return {
         "total": cyclomatic.file_complexity(source),
         "values": [r.complexity
@@ -101,8 +120,7 @@ def _collect_cyclomatic(source: SourceFile) -> FileRecord:
     }
 
 
-def _collect_halstead(source: SourceFile) -> FileRecord:
-    hal = halstead.measure_file(source)
+def _halstead_record(hal) -> FileRecord:
     return {
         "distinct_operators": hal.distinct_operators,
         "distinct_operands": hal.distinct_operands,
@@ -111,8 +129,18 @@ def _collect_halstead(source: SourceFile) -> FileRecord:
     }
 
 
-def _collect_functions(source: SourceFile) -> FileRecord:
-    funcs = extract_functions(source)
+def _collect_halstead(source: SourceFile) -> FileRecord:
+    # Comments and newlines are neither Halstead operators nor operands,
+    # so counting over the filtered stream is exact.
+    art = artifact_for(source)
+    return _halstead_record(halstead.measure_tokens(art.code_tokens))
+
+
+def _collect_halstead_legacy(source: SourceFile) -> FileRecord:
+    return _halstead_record(halstead.measure_file(source))
+
+
+def _functions_record(source: SourceFile, funcs, code_tokens=None) -> FileRecord:
     lengths = [f.length for f in funcs]
     nestings = [f.max_nesting for f in funcs]
     params = [f.param_count for f in funcs]
@@ -125,21 +153,33 @@ def _collect_functions(source: SourceFile) -> FileRecord:
         "max_length": max(lengths, default=0),
         "total_nesting": sum(nestings),
         "max_nesting": max(nestings, default=0),
-        "n_declarations": functions.count_declarations(source),
-        "n_variables": functions.count_variables(source),
+        "n_declarations": functions.count_declarations(source, code_tokens),
+        "n_variables": functions.count_variables(source, code_tokens),
     }
 
 
+def _collect_functions(source: SourceFile) -> FileRecord:
+    art = artifact_for(source)
+    return _functions_record(source, art.functions, art.code_tokens)
+
+
+def _collect_functions_legacy(source: SourceFile) -> FileRecord:
+    return _functions_record(source, extract_functions(source))
+
+
 def _collect_identifiers(source: SourceFile) -> FileRecord:
+    return dict(identifiers.file_counts(source, artifact_for(source).code_tokens))
+
+
+def _collect_identifiers_legacy(source: SourceFile) -> FileRecord:
     return dict(identifiers.file_counts(source))
 
 
-def _collect_cfg(source: SourceFile) -> FileRecord:
+def _cfg_record(cfgs) -> FileRecord:
     nodes = edges = branches = returns = 0
     paths: List[int] = []
     cyclomatics: List[int] = []
-    for func in extract_functions(source):
-        graph = cfg_mod.build_cfg(func, source)
+    for graph in cfgs:
         nodes += graph.n_nodes
         edges += graph.n_edges
         branches += graph.n_branch_nodes
@@ -153,16 +193,27 @@ def _collect_cfg(source: SourceFile) -> FileRecord:
             "returns": returns, "paths": paths, "cyclomatics": cyclomatics}
 
 
+def _collect_cfg(source: SourceFile) -> FileRecord:
+    return _cfg_record(artifact_for(source).cfgs)
+
+
+def _collect_cfg_legacy(source: SourceFile) -> FileRecord:
+    return _cfg_record(
+        cfg_mod.build_cfg(func, source) for func in extract_functions(source)
+    )
+
+
 def _collect_dataflow(source: SourceFile) -> FileRecord:
+    art = artifact_for(source)
     n_defs = pairs = max_reach = 0
     sources = sinks = tainted = 0
-    for func in extract_functions(source):
-        graph = cfg_mod.build_cfg(func, source)
-        rd = dataflow.reaching_definitions(graph)
-        n_defs += sum(len(g) for g in rd.gen.values())
-        pairs += rd.def_use_pairs()
-        max_reach = max(max_reach, rd.max_reaching())
-        taint = dataflow.taint_analysis(graph, func.param_names)
+    for index, (func, graph) in enumerate(zip(art.functions, art.cfgs)):
+        info = art.node_info(index)
+        defs, _uses, du_pairs, reach = dataflow.rd_metrics(graph, info)
+        n_defs += defs
+        pairs += du_pairs
+        max_reach = max(max_reach, reach)
+        taint = dataflow.taint_analysis(graph, func.param_names, info)
         sources += taint.source_sites
         sinks += taint.sink_sites
         tainted += taint.tainted_sink_calls
@@ -170,9 +221,25 @@ def _collect_dataflow(source: SourceFile) -> FileRecord:
             "sources": sources, "sinks": sinks, "tainted": tainted}
 
 
-def _collect_surface(source: SourceFile) -> FileRecord:
-    single = Codebase(source.path, [source])
-    surface = rasq.measure_codebase(single)
+def _collect_dataflow_legacy(source: SourceFile) -> FileRecord:
+    n_defs = pairs = max_reach = 0
+    sources = sinks = tainted = 0
+    for func in extract_functions(source):
+        graph = cfg_mod.build_cfg(func, source)
+        info = dataflow.node_flow_info(graph)
+        defs, _uses, du_pairs, reach = dataflow.rd_metrics(graph, info)
+        n_defs += defs
+        pairs += du_pairs
+        max_reach = max(max_reach, reach)
+        taint = dataflow.taint_analysis(graph, func.param_names, info)
+        sources += taint.source_sites
+        sinks += taint.sink_sites
+        tainted += taint.tainted_sink_calls
+    return {"defs": n_defs, "pairs": pairs, "max_reaching": max_reach,
+            "sources": sources, "sinks": sinks, "tainted": tainted}
+
+
+def _surface_record(surface) -> FileRecord:
     return {
         "channels": dict(surface.channel_counts),
         "privilege": surface.n_privilege_sites,
@@ -180,7 +247,36 @@ def _collect_surface(source: SourceFile) -> FileRecord:
     }
 
 
+def _collect_surface(source: SourceFile) -> FileRecord:
+    art = artifact_for(source)
+    return _surface_record(
+        rasq.measure_file(source, art.code_tokens, art.functions)
+    )
+
+
+def _collect_surface_legacy(source: SourceFile) -> FileRecord:
+    single = Codebase(source.path, [source])
+    return _surface_record(rasq.measure_codebase(single))
+
+
+def _collect_bugs(source: SourceFile) -> FileRecord:
+    art = artifact_for(source)
+    return file_summary(source, art.code_tokens, art.functions,
+                        art.call_sites)
+
+
+def _collect_bugs_legacy(source: SourceFile) -> FileRecord:
+    return file_summary(source)
+
+
 def _collect_smells(source: SourceFile) -> FileRecord:
+    counts = {kind: 0 for kind in smells.ALL_DETECTORS}
+    for smell in smells.detect_file(source, artifact_for(source).functions):
+        counts[smell.kind] += 1
+    return counts
+
+
+def _collect_smells_legacy(source: SourceFile) -> FileRecord:
     counts = {kind: 0 for kind in smells.ALL_DETECTORS}
     for smell in smells.detect_file(source):
         counts[smell.kind] += 1
@@ -189,7 +285,8 @@ def _collect_smells(source: SourceFile) -> FileRecord:
 
 #: (span name, record key, collector) — analyzer-major so a cold run
 #: emits one span per analyzer covering every file, exactly like the
-#: pre-split whole-tree calls did.
+#: pre-split whole-tree calls did. These are the fused collectors; the
+#: first analyzer to touch a file builds its artifact, the rest share it.
 _PER_FILE_COLLECTORS = (
     ("analysis.loc", "loc", _collect_loc),
     ("analysis.cyclomatic", "cyclomatic", _collect_cyclomatic),
@@ -199,8 +296,25 @@ _PER_FILE_COLLECTORS = (
     ("analysis.cfg", "cfg", _collect_cfg),
     ("analysis.dataflow", "dataflow", _collect_dataflow),
     ("surface.rasq", "surface", _collect_surface),
-    ("analysis.bugfind", "bugs", file_summary),
+    ("analysis.bugfind", "bugs", _collect_bugs),
     ("analysis.smells", "smells", _collect_smells),
+)
+
+#: The pre-artifact reference collectors, same span names and record
+#: keys. Every entry re-derives its own token/function/CFG views from the
+#: SourceFile alone (no artifact cache reads), so the differential harness
+#: compares two genuinely independent computations.
+LEGACY_PER_FILE_COLLECTORS = (
+    ("analysis.loc", "loc", _collect_loc),
+    ("analysis.cyclomatic", "cyclomatic", _collect_cyclomatic_legacy),
+    ("analysis.halstead", "halstead", _collect_halstead_legacy),
+    ("analysis.functions", "functions", _collect_functions_legacy),
+    ("analysis.identifiers", "identifiers", _collect_identifiers_legacy),
+    ("analysis.cfg", "cfg", _collect_cfg_legacy),
+    ("analysis.dataflow", "dataflow", _collect_dataflow_legacy),
+    ("surface.rasq", "surface", _collect_surface_legacy),
+    ("analysis.bugfind", "bugs", _collect_bugs_legacy),
+    ("analysis.smells", "smells", _collect_smells_legacy),
 )
 
 
@@ -219,6 +333,20 @@ def file_record(source: SourceFile) -> FileRecord:
     obs.incr("bugfind.findings", record["bugs"]["total"])
     obs.incr("bugfind.duplicates_removed",
              record["bugs"]["duplicates_removed"])
+    return record
+
+
+def file_record_legacy(source: SourceFile) -> FileRecord:
+    """:func:`file_record` via the pre-artifact reference collectors.
+
+    Every analyzer re-derives its own token/function/CFG views, exactly
+    as before the single-parse artifact existed. Exists for the
+    differential harness; deliberately counter-free so comparing the two
+    paths does not double-book metrics.
+    """
+    record: FileRecord = {}
+    for _, key, collect in LEGACY_PER_FILE_COLLECTORS:
+        record[key] = collect(source)
     return record
 
 
@@ -256,7 +384,12 @@ def merge_records(
     the merged integers with the same expressions a whole-tree pass
     uses, so the result is bit-identical whether the records were just
     computed or replayed from the cache.
+
+    The genuinely tree-level analyzers run live here; they receive the
+    per-file artifact map so they share one parse per file (with each
+    other, and with the per-file phase when it ran in this process).
     """
+    artifacts = artifacts_for(codebase)
     row: Dict[str, float] = {}
     counts = loc.LineCounts(
         code=sum(r["loc"]["code"] for r in records),
@@ -394,7 +527,7 @@ def merge_records(
 
     # -- call graph (tree-level: edges cross file boundaries) ----------------
     with obs.span("analysis.callgraph"):
-        calls = callgraph.measure_codebase(codebase)
+        calls = callgraph.measure_codebase(codebase, artifacts)
     row["calls.edges_per_function"] = (
         calls.n_edges / calls.n_functions if calls.n_functions else 0.0
     )
@@ -423,7 +556,9 @@ def merge_records(
         row[f"surface.{channel}_per_kloc"] = density(count)
     row["surface.privilege_sites"] = float(surface.n_privilege_sites)
     with obs.span("surface.attack_graph"):
-        graph_metrics = attack_graph.measure_codebase(codebase)
+        graph_metrics = attack_graph.measure_codebase(
+            codebase, artifacts=artifacts
+        )
     row["surface.attack_states"] = float(graph_metrics.n_states)
     row["surface.goal_reachable"] = 1.0 if graph_metrics.goal_reachable else 0.0
     row["surface.shortest_attack_path"] = float(
@@ -491,7 +626,7 @@ def merge_records(
 
     # -- object-oriented design (Alshammari et al.) ----------------------------
     with obs.span("analysis.oo"):
-        design = oo.measure_codebase(codebase)
+        design = oo.measure_codebase(codebase, artifacts)
     row["oo.classes_per_kloc"] = density(design.n_classes)
     row["oo.mean_methods_per_class"] = design.mean_methods_per_class
     row["oo.public_method_fraction"] = design.public_method_fraction
@@ -505,7 +640,7 @@ def merge_records(
         from repro.analysis import dynamic
 
         with obs.span("analysis.dynamic"):
-            traces = dynamic.measure_codebase(codebase)
+            traces = dynamic.measure_codebase(codebase, artifacts=artifacts)
         row["dynamic.node_coverage"] = traces.mean_node_coverage
         row["dynamic.edge_coverage"] = traces.mean_edge_coverage
         row["dynamic.trace_length"] = traces.mean_trace_length

@@ -50,22 +50,36 @@ class ClassInfo:
     methods: List[FunctionInfo] = field(default_factory=list)
 
 
-def extract_functions(source: SourceFile) -> List[FunctionInfo]:
+def extract_functions(
+    source: SourceFile, code_tokens: Optional[List[Token]] = None
+) -> List[FunctionInfo]:
     """Extract function definitions from ``source``.
 
     Dispatches on the language's ``function_style``: brace matching for
-    C/C++/Java, indentation tracking for Python.
+    C/C++/Java, indentation tracking for Python. ``code_tokens`` lets a
+    caller that already filtered the token stream (the analysis artifact)
+    skip the refilter; it must equal ``[t for t in source.tokens if
+    t.is_code()]``.
     """
     if source.spec.function_style == "indent":
-        return _extract_python_functions(source)
-    return _extract_brace_functions(source)
+        return _extract_python_functions(source, code_tokens)
+    return _extract_brace_functions(source, code_tokens)
 
 
-def extract_classes(source: SourceFile) -> List[ClassInfo]:
-    """Extract class definitions (with their methods) from ``source``."""
+def extract_classes(
+    source: SourceFile,
+    code_tokens: Optional[List[Token]] = None,
+    functions: Optional[List[FunctionInfo]] = None,
+) -> List[ClassInfo]:
+    """Extract class definitions (with their methods) from ``source``.
+
+    ``functions`` lets a caller reuse an already-extracted function list;
+    methods are matched to classes by line extent, and matched functions
+    get their ``owner`` field filled in.
+    """
     if source.spec.function_style == "indent":
-        return _extract_python_classes(source)
-    return _extract_brace_classes(source)
+        return _extract_python_classes(source, code_tokens, functions)
+    return _extract_brace_classes(source, code_tokens, functions)
 
 
 # ---------------------------------------------------------------------------
@@ -148,8 +162,10 @@ def _body_nesting(tokens: List[Token]) -> int:
     return max(deepest - 1, 0)
 
 
-def _extract_brace_functions(source: SourceFile) -> List[FunctionInfo]:
-    tokens = _code_tokens(source)
+def _extract_brace_functions(
+    source: SourceFile, code_tokens: Optional[List[Token]] = None
+) -> List[FunctionInfo]:
+    tokens = _code_tokens(source) if code_tokens is None else code_tokens
     functions: List[FunctionInfo] = []
     i = 0
     n = len(tokens)
@@ -215,10 +231,15 @@ def _brace_is_public(tokens: List[Token], name_idx: int) -> bool:
     return not modifiers & {"static", "private", "protected"}
 
 
-def _extract_brace_classes(source: SourceFile) -> List[ClassInfo]:
-    tokens = _code_tokens(source)
+def _extract_brace_classes(
+    source: SourceFile,
+    code_tokens: Optional[List[Token]] = None,
+    functions: Optional[List[FunctionInfo]] = None,
+) -> List[ClassInfo]:
+    tokens = _code_tokens(source) if code_tokens is None else code_tokens
     classes: List[ClassInfo] = []
-    functions = _extract_brace_functions(source)
+    if functions is None:
+        functions = _extract_brace_functions(source, tokens)
     i = 0
     n = len(tokens)
     while i < n:
@@ -277,8 +298,10 @@ def _python_block_end(lines: List[str], header_line: int) -> int:
     return end
 
 
-def _extract_python_functions(source: SourceFile) -> List[FunctionInfo]:
-    tokens = _code_tokens(source)
+def _extract_python_functions(
+    source: SourceFile, code_tokens: Optional[List[Token]] = None
+) -> List[FunctionInfo]:
+    tokens = _code_tokens(source) if code_tokens is None else code_tokens
     lines = source.lines
     functions: List[FunctionInfo] = []
     n = len(tokens)
@@ -346,10 +369,15 @@ def _is_python_param(
     return False
 
 
-def _extract_python_classes(source: SourceFile) -> List[ClassInfo]:
-    tokens = _code_tokens(source)
+def _extract_python_classes(
+    source: SourceFile,
+    code_tokens: Optional[List[Token]] = None,
+    functions: Optional[List[FunctionInfo]] = None,
+) -> List[ClassInfo]:
+    tokens = _code_tokens(source) if code_tokens is None else code_tokens
     lines = source.lines
-    functions = _extract_python_functions(source)
+    if functions is None:
+        functions = _extract_python_functions(source, tokens)
     classes: List[ClassInfo] = []
     for i, tok in enumerate(tokens):
         if tok.kind != TokenKind.KEYWORD or tok.text != "class":

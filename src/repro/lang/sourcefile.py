@@ -28,6 +28,8 @@ class SourceFile:
         self.text = text
         self.spec = spec
         self._tokens: Optional[List[Token]] = None
+        self._lines: Optional[List[str]] = None
+        self._artifact = None  # lazily-built repro.analysis.artifact.FileArtifact
 
     def __getstate__(self) -> dict:
         # Ship only path/text/language-name across process boundaries:
@@ -42,6 +44,8 @@ class SourceFile:
         self.text = state["text"]
         self.spec = language_by_name(state["language"])
         self._tokens = None
+        self._lines = None
+        self._artifact = None
 
     @property
     def tokens(self) -> List[Token]:
@@ -52,8 +56,10 @@ class SourceFile:
 
     @property
     def lines(self) -> List[str]:
-        """Physical lines of the file, without trailing newlines."""
-        return self.text.splitlines()
+        """Physical lines of the file, without trailing newlines (cached)."""
+        if self._lines is None:
+            self._lines = self.text.splitlines()
+        return self._lines
 
     @property
     def language(self) -> str:

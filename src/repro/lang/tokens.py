@@ -10,7 +10,6 @@ to be correct for four languages.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 
 class TokenKind(enum.Enum):
@@ -28,6 +27,12 @@ class TokenKind(enum.Enum):
     NEWLINE = "newline"
     UNKNOWN = "unknown"
 
+    # Members are singletons, so identity hashing is sound — and the
+    # C-level object hash roughly halves the cost of the `kind in
+    # OPERATOR_KINDS`-style membership tests the analyzers do millions
+    # of times per tree (enum's own __hash__ is a Python-level call).
+    __hash__ = object.__hash__
+
 
 #: Kinds that contribute to Halstead operator/operand classification.
 OPERATOR_KINDS = frozenset({TokenKind.KEYWORD, TokenKind.OPERATOR, TokenKind.PUNCT})
@@ -36,25 +41,53 @@ OPERAND_KINDS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+#: Kinds excluded from code-token streams (structure/documentation only).
+NON_CODE_KINDS = frozenset({TokenKind.COMMENT, TokenKind.NEWLINE})
+
+
 class Token:
     """A single lexical token.
+
+    A plain ``__slots__`` class rather than a dataclass: the lexer
+    constructs one per lexeme (hundreds of thousands per tree), and a
+    direct ``__init__`` is several times faster than the frozen
+    dataclass ``object.__setattr__`` path while keeping the same field
+    order, defaults, equality, and repr.
 
     Attributes:
         kind: the :class:`TokenKind` classification.
         text: the exact source text of the token.
         line: 1-based line number where the token starts.
         col: 1-based column number where the token starts.
+        offset: 0-based character offset of the token in the source text,
+            or -1 for synthetic tokens. ``text == source[offset:offset +
+            len(text)]`` holds for every lexer-produced token — the
+            round-trip invariant the artifact property suite checks.
     """
 
-    kind: TokenKind
-    text: str
-    line: int
-    col: int = 1
+    __slots__ = ("kind", "text", "line", "col", "offset")
+
+    def __init__(self, kind: TokenKind, text: str, line: int,
+                 col: int = 1, offset: int = -1):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.col = col
+        self.offset = offset
 
     def is_code(self) -> bool:
         """True for tokens that are part of executable/declarative code."""
-        return self.kind not in (TokenKind.COMMENT, TokenKind.NEWLINE)
+        return self.kind not in NON_CODE_KINDS
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind is other.kind and self.text == other.text
+                and self.line == other.line and self.col == other.col
+                and self.offset == other.offset)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.text, self.line, self.col, self.offset))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

@@ -48,11 +48,12 @@ def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     x_var = float(np.var(x))
     if x_var == 0.0:
         raise RegressionError("x has zero variance")
+    y_mean = np.mean(y)
     slope = float(np.cov(x, y, bias=True)[0, 1] / x_var)
-    intercept = float(np.mean(y) - slope * np.mean(x))
+    intercept = float(y_mean - slope * np.mean(x))
     predicted = intercept + slope * x
     ss_res = float(np.sum((y - predicted) ** 2))
-    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    ss_tot = float(np.sum((y - y_mean) ** 2))
     r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
     return LinearFit(slope=slope, intercept=intercept, r_squared=r2, n=len(xs))
 

@@ -275,9 +275,14 @@ def measure_codebase(
     codebase: Codebase,
     initial: Iterable[str] = ("remote", "local"),
     goal: str = "root",
+    artifacts=None,
 ) -> AttackGraphMetrics:
-    """Build the codebase's attack graph and summarise its difficulty."""
-    surface = _surface(codebase)
+    """Build the codebase's attack graph and summarise its difficulty.
+
+    ``artifacts`` is forwarded to the attack-surface scan so it reuses
+    the shared per-file analysis artifacts.
+    """
+    surface = _surface(codebase, artifacts)
     graph = AttackGraph(exploits_from_surface(surface), initial, goal)
     shortest = graph.shortest_attack_path()
     cheapest = graph.cheapest_attack_cost()

@@ -97,34 +97,65 @@ class AttackSurface:
         return self.channel_counts.get("network", 0) > 0
 
 
-def measure_codebase(codebase: Codebase) -> AttackSurface:
+def measure_file(source, code_tokens=None, functions=None) -> AttackSurface:
+    """The :class:`AttackSurface` contribution of one file.
+
+    ``code_tokens``/``functions`` let the analysis artifact supply its
+    cached views; the scan itself is unchanged.
+    """
+    channel_counts = {channel: 0 for channel in CHANNEL_WEIGHTS}
+    privilege = 0
+    tokens = (
+        [t for t in source.tokens if t.is_code()]
+        if code_tokens is None
+        else code_tokens
+    )
+    for i, tok in enumerate(tokens):
+        if tok.kind != TokenKind.IDENT:
+            continue
+        is_call = i + 1 < len(tokens) and tokens[i + 1].text == "("
+        name = tok.text
+        if name in _PRIVILEGE_APIS:
+            privilege += 1
+            continue
+        if not is_call:
+            continue
+        for channel, apis in CHANNEL_APIS.items():
+            if name in apis:
+                channel_counts[channel] += 1
+                break
+    if functions is None:
+        functions = extract_functions(source)
+    public_methods = sum(1 for f in functions if f.is_public)
+    return AttackSurface(
+        channel_counts=channel_counts,
+        n_public_methods=public_methods,
+        n_privilege_sites=privilege,
+    )
+
+
+def measure_codebase(codebase: Codebase, artifacts=None) -> AttackSurface:
     """Compute the :class:`AttackSurface` of ``codebase``.
 
     A channel instance is a call site of one of the channel's APIs; each
-    public function counts toward the method dimension.
+    public function counts toward the method dimension. ``artifacts`` maps
+    paths to per-file analysis artifacts (``.code_tokens``/``.functions``)
+    so the scan reuses the shared parse.
     """
     channel_counts = {channel: 0 for channel in CHANNEL_WEIGHTS}
     privilege = 0
     public_methods = 0
     for source in codebase:
-        tokens = [t for t in source.tokens if t.is_code()]
-        for i, tok in enumerate(tokens):
-            if tok.kind != TokenKind.IDENT:
-                continue
-            is_call = i + 1 < len(tokens) and tokens[i + 1].text == "("
-            name = tok.text
-            if name in _PRIVILEGE_APIS:
-                privilege += 1
-                continue
-            if not is_call:
-                continue
-            for channel, apis in CHANNEL_APIS.items():
-                if name in apis:
-                    channel_counts[channel] += 1
-                    break
-        public_methods += sum(
-            1 for f in extract_functions(source) if f.is_public
+        art = artifacts.get(source.path) if artifacts is not None else None
+        surface = measure_file(
+            source,
+            art.code_tokens if art is not None else None,
+            art.functions if art is not None else None,
         )
+        for channel, count in surface.channel_counts.items():
+            channel_counts[channel] += count
+        privilege += surface.n_privilege_sites
+        public_methods += surface.n_public_methods
     return AttackSurface(
         channel_counts=channel_counts,
         n_public_methods=public_methods,

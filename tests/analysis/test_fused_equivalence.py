@@ -1,0 +1,140 @@
+"""Differential harness: the fused single-parse path is byte-identical.
+
+Every per-file collector in ``repro.core.features`` has a fused flavour
+(reads the shared :class:`~repro.analysis.artifact.FileArtifact`) and a
+legacy flavour (re-derives everything from the SourceFile alone). The
+contract of the artifact refactor is *byte identity*: for every file,
+every analyzer, fused and legacy must agree on repr, on JSON bytes, and
+on dict key order — not merely on numeric equality. The same holds for
+the tree-level analyzers with and without an artifact map, and for the
+merged feature row.
+
+The legacy side always runs on a fresh SourceFile copy, so it cannot be
+contaminated by artifact caches the fused side planted.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import artifact_for, artifacts_for, callgraph, dynamic, oo
+from repro.core.features import (
+    LEGACY_PER_FILE_COLLECTORS,
+    _PER_FILE_COLLECTORS,
+    file_record,
+    file_record_legacy,
+    merge_records,
+)
+from repro.lang.sourcefile import Codebase
+from repro.surface import attack_graph, rasq
+
+from tests.analysis.conftest import fresh_copy
+
+_FUSED = {key: collect for _, key, collect in _PER_FILE_COLLECTORS}
+_LEGACY = {key: collect for _, key, collect in LEGACY_PER_FILE_COLLECTORS}
+
+
+def _key_orders(obj):
+    """Nested key-order skeleton of a record, for order-sensitive diffs."""
+    if isinstance(obj, dict):
+        return [(k, _key_orders(v)) for k, v in obj.items()]
+    if isinstance(obj, list):
+        return [_key_orders(v) for v in obj]
+    return None
+
+
+def test_collector_tables_align():
+    assert list(_FUSED) == list(_LEGACY)
+    spans_fused = [span for span, _, _ in _PER_FILE_COLLECTORS]
+    spans_legacy = [span for span, _, _ in LEGACY_PER_FILE_COLLECTORS]
+    assert spans_fused == spans_legacy
+
+
+@pytest.mark.parametrize("key", list(_FUSED))
+def test_per_analyzer_fused_equals_legacy(key, corpus_files):
+    for source in corpus_files:
+        fused = _FUSED[key](source)
+        legacy = _LEGACY[key](fresh_copy(source))
+        assert repr(fused) == repr(legacy), (key, source.path)
+        assert json.dumps(fused) == json.dumps(legacy), (key, source.path)
+        assert _key_orders(fused) == _key_orders(legacy), (key, source.path)
+
+
+def test_file_record_fused_equals_legacy(corpus_files):
+    for source in corpus_files:
+        fused = file_record(source)
+        legacy = file_record_legacy(fresh_copy(source))
+        assert repr(fused) == repr(legacy), source.path
+        assert json.dumps(fused) == json.dumps(legacy), source.path
+        assert _key_orders(fused) == _key_orders(legacy), source.path
+
+
+def test_artifact_views_match_legacy_derivations(corpus_files):
+    from repro.lang.parser import extract_classes, extract_functions
+
+    for source in corpus_files:
+        art = artifact_for(source)
+        fresh = fresh_copy(source)
+        assert [repr(t) for t in art.code_tokens] == [
+            repr(t) for t in fresh.tokens if t.is_code()
+        ], source.path
+        assert repr(art.functions) == repr(extract_functions(fresh)), source.path
+        assert repr(art.classes) == repr(extract_classes(fresh)), source.path
+        assert len(art.cfgs) == len(art.functions)
+
+
+class TestTreeLevelAnalyzers:
+    """measure_codebase with artifacts == without, on independent copies."""
+
+    def _copies(self, corpus_files):
+        with_art = Codebase("t", [fresh_copy(f) for f in corpus_files])
+        without = Codebase("t", [fresh_copy(f) for f in corpus_files])
+        return with_art, artifacts_for(with_art), without
+
+    def test_callgraph(self, corpus_files):
+        cb, arts, plain = self._copies(corpus_files)
+        assert callgraph.measure_codebase(cb, arts) == \
+            callgraph.measure_codebase(plain)
+
+    def test_oo(self, corpus_files):
+        cb, arts, plain = self._copies(corpus_files)
+        assert oo.measure_codebase(cb, arts) == oo.measure_codebase(plain)
+
+    def test_rasq(self, corpus_files):
+        cb, arts, plain = self._copies(corpus_files)
+        fused = rasq.measure_codebase(cb, arts)
+        legacy = rasq.measure_codebase(plain)
+        assert fused == legacy
+        assert list(fused.channel_counts) == list(legacy.channel_counts)
+
+    def test_attack_graph(self, corpus_files):
+        cb, arts, plain = self._copies(corpus_files)
+        assert attack_graph.measure_codebase(cb, artifacts=arts) == \
+            attack_graph.measure_codebase(plain)
+
+    def test_dynamic(self, corpus_files):
+        cb, arts, plain = self._copies(corpus_files)
+        assert dynamic.measure_codebase(cb, artifacts=arts) == \
+            dynamic.measure_codebase(plain)
+
+
+def test_merged_row_fused_equals_legacy(corpus_files):
+    fused_cb = Codebase("corpus", [fresh_copy(f) for f in corpus_files])
+    legacy_cb = Codebase("corpus", [fresh_copy(f) for f in corpus_files])
+    fused_records = [file_record(f) for f in fused_cb.files]
+    legacy_records = [file_record_legacy(f) for f in legacy_cb.files]
+    fused_row = merge_records(fused_cb, fused_records, include_dynamic=True)
+    legacy_row = merge_records(legacy_cb, legacy_records, include_dynamic=True)
+    assert repr(fused_row) == repr(legacy_row)
+    assert list(fused_row) == list(legacy_row)
+    assert json.dumps(fused_row) == json.dumps(legacy_row)
+
+
+def test_rasq_measure_file_matches_single_file_codebase(corpus_files):
+    for source in corpus_files:
+        per_file = rasq.measure_file(fresh_copy(source))
+        wrapped = rasq.measure_codebase(
+            Codebase(source.path, [fresh_copy(source)])
+        )
+        assert per_file == wrapped, source.path
+        assert list(per_file.channel_counts) == list(wrapped.channel_counts)

@@ -1,0 +1,82 @@
+"""Golden feature-row regression: committed expectations, readable diffs.
+
+``tests/data/golden/`` holds a small hand-written source tree plus the
+``file_record`` output and merged feature row the analyzer set produced
+when the expectations were generated (``scripts/regen_golden.py``). Any
+drift in any analyzer shows up here as a field-level diff — and demands
+an ``ANALYZER_SET_VERSION`` bump, which is exactly what the single-parse
+refactor must NOT need.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.features import file_record, merge_records
+from repro.lang.sourcefile import Codebase
+
+from tests.analysis.conftest import GOLDEN_DIR, GOLDEN_TREE
+
+
+def _load(name):
+    with open(os.path.join(GOLDEN_DIR, name)) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture()
+def golden_codebase():
+    return Codebase.from_directory(GOLDEN_TREE, name="golden")
+
+
+def _diff_lines(expected, actual, prefix=""):
+    """Human-readable field-level diff between two nested JSON values."""
+    lines = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            where = f"{prefix}.{key}" if prefix else str(key)
+            if key not in expected:
+                lines.append(f"  + {where}: unexpected {actual[key]!r}")
+            elif key not in actual:
+                lines.append(f"  - {where}: missing (expected {expected[key]!r})")
+            else:
+                lines.extend(_diff_lines(expected[key], actual[key], where))
+        if list(expected) != list(actual) and set(expected) == set(actual):
+            lines.append(f"  ~ {prefix or '<root>'}: key order changed")
+    elif expected != actual:
+        lines.append(f"  ~ {prefix}: expected {expected!r}, got {actual!r}")
+    return lines
+
+
+def _assert_json_equal(expected, actual, label):
+    diff = _diff_lines(expected, actual)
+    assert not diff, f"{label} drifted (ANALYZER_SET_VERSION bump needed?):\n" \
+        + "\n".join(diff)
+
+
+def test_golden_file_records_unchanged(golden_codebase):
+    expected = _load("expected_records.json")
+    actual = {f.path: file_record(f) for f in golden_codebase.files}
+    actual = json.loads(json.dumps(actual))  # JSON round-trip, like the cache
+    assert sorted(actual) == sorted(expected)
+    for path in sorted(expected):
+        _assert_json_equal(expected[path], actual[path], f"record[{path}]")
+
+
+def test_golden_feature_row_unchanged(golden_codebase):
+    expected = _load("expected_row.json")
+    records = [file_record(f) for f in golden_codebase.files]
+    row = json.loads(json.dumps(merge_records(golden_codebase, records)))
+    _assert_json_equal(expected, row, "feature row")
+    assert list(row) == list(expected), "feature order changed"
+
+
+def test_golden_row_bytes_unchanged(golden_codebase):
+    # The strongest form: the serialised bytes are identical, which is
+    # what the PR5 digest cache actually keys on.
+    expected_bytes = json.dumps(_load("expected_records.json"),
+                                sort_keys=True).encode()
+    actual = {f.path: file_record(f) for f in golden_codebase.files}
+    actual_bytes = json.dumps(json.loads(json.dumps(actual)),
+                              sort_keys=True).encode()
+    assert actual_bytes == expected_bytes

@@ -1,0 +1,61 @@
+import java.io.*;
+import java.net.*;
+import java.util.*;
+
+public class Server {
+    private int port;
+    public String banner;
+    private List<String> log;
+
+    public Server(int port) {
+        this.port = port;
+        this.log = new ArrayList<String>();
+        this.banner = "ready";
+    }
+
+    public void serve() throws IOException {
+        ServerSocket sock = new ServerSocket(port);
+        while (true) {
+            Socket conn = sock.accept();
+            try {
+                handle(conn);
+            } catch (IOException e) {
+                log.add("error");
+            } finally {
+                conn.close();
+            }
+        }
+    }
+
+    private void handle(Socket conn) throws IOException {
+        BufferedReader in = new BufferedReader(
+            new InputStreamReader(conn.getInputStream()));
+        String line = in.readLine();
+        if (line == null || line.isEmpty()) {
+            return;
+        }
+        String cmd = line.trim();
+        Runtime.getRuntime().exec(cmd); // command injection
+        log.add(cmd);
+    }
+
+    public int pending() {
+        int count = 0;
+        for (String entry : log) {
+            if (entry.length() > 0) {
+                count++;
+            }
+        }
+        return count;
+    }
+}
+
+class Audit extends Server {
+    public Audit() {
+        super(9000);
+    }
+
+    public boolean noisy() {
+        return pending() > 10 && banner != null;
+    }
+}

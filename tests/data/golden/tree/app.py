@@ -1,0 +1,55 @@
+"""Golden Python module: classes, nesting, taint paths."""
+
+import os
+import subprocess
+
+
+def load_config(path):
+    settings = {}
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.partition("=")
+            settings[key.strip()] = value.strip()
+    return settings
+
+
+def run_command(user_input):
+    # FIXME: sanitise before spawning
+    cmd = "echo " + user_input
+    os.system(cmd)
+    return cmd
+
+
+class Pipeline:
+    def __init__(self, stages):
+        self.stages = list(stages)
+        self.results = []
+
+    def push(self, item):
+        for stage in self.stages:
+            item = stage(item)
+            if item is None:
+                break
+        else:
+            self.results.append(item)
+        return item
+
+    def _drain(self):
+        drained = self.results
+        self.results = []
+        return drained
+
+
+class Counter(Pipeline):
+    def __init__(self):
+        super().__init__([])
+        self.total = 0
+
+    def push(self, item):
+        self.total += 1
+        while self.total > 100:
+            self.total -= 10
+        return super().push(item)

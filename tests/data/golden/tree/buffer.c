@@ -1,0 +1,71 @@
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+
+#define CAP 64
+
+/* Ring buffer with deliberately risky copy paths.
+ * Exercises: switch, goto, do-while, taint source->sink. */
+
+struct ring {
+    char data[CAP];
+    int head;
+    int tail;
+};
+
+static int ring_put(struct ring *r, const char *src, int n) {
+    int i;
+    if (n > CAP) {
+        n = CAP; /* clamp */
+    }
+    for (i = 0; i < n; i++) {
+        r->data[(r->head + i) % CAP] = src[i];
+    }
+    r->head = (r->head + n) % CAP;
+    return n;
+}
+
+int drain(struct ring *r, FILE *out) {
+    int moved = 0;
+    do {
+        if (r->tail == r->head) {
+            break;
+        }
+        fputc(r->data[r->tail], out);
+        r->tail = (r->tail + 1) % CAP;
+        moved++;
+    } while (moved < CAP);
+    return moved;
+}
+
+int classify(int kind) {
+    switch (kind) {
+    case 0:
+        return 10;
+    case 1:
+    case 2:
+        return 20;
+    default:
+        goto fallback;
+    }
+fallback:
+    return -1;
+}
+
+int main(int argc, char **argv) {
+    struct ring r;
+    char buf[CAP];
+    memset(&r, 0, sizeof(r));
+    if (argc > 1) {
+        strcpy(buf, argv[1]);        /* classic overflow */
+        ring_put(&r, buf, (int)strlen(buf));
+    }
+    while (fgets(buf, CAP, stdin)) {
+        if (buf[0] == 'q') {
+            break;
+        }
+        ring_put(&r, buf, (int)strlen(buf));
+    }
+    drain(&r, stdout);
+    return classify(argc);
+}

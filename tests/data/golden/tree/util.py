@@ -1,0 +1,38 @@
+"""Smell-heavy helper module for the golden corpus."""
+
+MAGIC = 86400
+password = "hunter2-not-really"
+
+
+def interp(xs, ys, t):
+    """Linear interpolation with deliberately short names."""
+    if t <= xs[0]:
+        return ys[0]
+    if t >= xs[-1]:
+        return ys[-1]
+    for a, b, c, d in zip(xs, xs[1:], ys, ys[1:]):
+        if a <= t <= b:
+            span = b - a
+            if span == 0:
+                return c
+            return c + (d - c) * (t - a) / span
+    return ys[-1]
+
+
+def widen(row, pad=3):
+    out = []
+    for cell in row:
+        out.append(str(cell).ljust(pad))
+    return out
+
+
+def summarize(values):
+    # TODO: replace with a streaming variant
+    total = 0
+    peak = 0
+    for v in values:
+        total += v
+        if v > peak:
+            peak = v
+    mean = total / len(values) if values else 0
+    return {"total": total, "mean": mean, "peak": peak, "window": MAGIC, "alignment_padding_for_an_exceedingly_long_line": 1}

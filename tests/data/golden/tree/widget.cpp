@@ -1,0 +1,58 @@
+#include <string>
+#include <vector>
+
+// Small class hierarchy: inheritance depth, coupling, const methods.
+
+class Shape {
+public:
+    Shape(int sides) : sides_(sides) {}
+    virtual ~Shape() {}
+
+    int sides() const {
+        return sides_;
+    }
+
+    virtual double area() const {
+        return 0.0;
+    }
+
+protected:
+    int sides_;
+};
+
+class Box : Shape {
+public:
+    Box(double w, double h) : Shape(4), w_(w), h_(h) {}
+
+    double area() const {
+        return w_ * h_;
+    }
+
+    bool wider_than(const Box &other) const {
+        if (w_ > other.w_) {
+            return true;
+        }
+        return false;
+    }
+
+private:
+    double w_;
+    double h_;
+};
+
+static double total_area(const std::vector<Box> &boxes) {
+    double sum = 0.0;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+        sum += boxes[i].area();
+    }
+    return sum;
+}
+
+int run(int n) {
+    std::vector<Box> boxes;
+    for (int i = 0; i < n; i++) {
+        boxes.push_back(Box(1.0 + i, 2.0));
+    }
+    double area = total_area(boxes);
+    return area > 100.0 ? 1 : 0;
+}

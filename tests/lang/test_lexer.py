@@ -194,7 +194,10 @@ def test_lexer_never_crashes_on_arbitrary_text(text):
 @given(st.text(max_size=200))
 def test_newline_tokens_match_newline_count(text):
     toks = tokenize(text, C)
-    assert sum(1 for t in toks if t.kind == TokenKind.NEWLINE) == text.count("\n")
+    # One NEWLINE per line terminator: \n, lone \r, or \r\n (counted once),
+    # matching str.splitlines so token lines agree with the physical line table.
+    terminators = text.count("\n") + text.count("\r") - text.count("\r\n")
+    assert sum(1 for t in toks if t.kind == TokenKind.NEWLINE) == terminators
 
 
 @settings(max_examples=60)
