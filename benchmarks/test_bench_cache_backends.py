@@ -1,0 +1,74 @@
+"""Cache-backend micro-benchmark — filesystem vs SQLite warm serving.
+
+Times cold (populating) and warm (serving) extraction runs through a
+``FeatureCache`` on each storage backend and prints the comparison
+table. The timing assertion is one-sided and backend-agnostic: a warm
+run on *either* backend does zero extraction, so it must clearly beat
+the cold run that populated it. The byte-identity claims (warm rows on
+both backends equal the cold rows) are asserted unconditionally.
+
+Uses ``time.perf_counter`` rather than pytest-benchmark so the CI leg
+can run it with the baseline dependency set.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.core.pipeline import build_feature_table
+from repro.engine import ExtractionEngine, FeatureCache
+
+N_APPS = 16
+
+
+def _timed(corpus, engine):
+    start = time.perf_counter()
+    table = build_feature_table(corpus, engine=engine)
+    return time.perf_counter() - start, table
+
+
+def test_bench_cache_backends(tmp_path, table_printer):
+    from repro.synth import build_corpus
+
+    obs.disable()
+    corpus = build_corpus(seed=5, limit=N_APPS)
+    backends = {
+        "fs": str(tmp_path / "fs-cache"),
+        "sqlite": f"sqlite:{tmp_path / 'cache.db'}",
+    }
+
+    timings = {}
+    tables = {}
+    for kind, spec in backends.items():
+        cache = FeatureCache(spec)
+        cold_s, cold = _timed(
+            corpus, ExtractionEngine(workers=1, cache=cache))
+        warm_s, warm = _timed(
+            corpus, ExtractionEngine(workers=1, cache=cache))
+        timings[kind] = (cold_s, warm_s)
+        tables[kind] = (cold, warm)
+
+    rows = []
+    for kind, (cold_s, warm_s) in timings.items():
+        rows.append((f"{kind} cold", f"{cold_s:8.3f}", "populates cache"))
+        rows.append((f"{kind} warm", f"{warm_s:8.3f}",
+                     f"{cold_s / warm_s:.1f}x faster, zero extractions"))
+    table_printer(
+        f"cache backends — {N_APPS}-app extraction, cold vs warm",
+        ("configuration", "seconds", "note"),
+        rows,
+    )
+
+    # Byte-identity: warm rows on both backends match the cold rows,
+    # and the two backends agree with each other.
+    reference = tables["fs"][0]
+    for kind, (cold, warm) in tables.items():
+        assert cold.rows == reference.rows, kind
+        assert warm.rows == reference.rows, kind
+        assert warm.app_names == reference.app_names, kind
+
+    # Serving beats computing on every backend.
+    for kind, (cold_s, warm_s) in timings.items():
+        assert warm_s < cold_s / 2, (
+            f"{kind}: warm {warm_s:.3f}s vs cold {cold_s:.3f}s")

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Concurrent shared-cache smoke test (CI cache-shared leg).
+
+Proves the SQLite cache backend does what it exists for: many
+concurrent extraction processes sharing one warm cache do ~1x the
+extraction work, not Nx, and every process reads back byte-identical
+rows.
+
+1. build K distinct synthetic source trees;
+2. run two concurrent worker processes over all K trees against one
+   `sqlite:` cache — worker A walks the trees forward, worker B in
+   reverse, so they race hardest in the middle;
+3. sum `engine.extracted` / `engine.cache.hits` over all 2K CLI
+   invocations: total extraction work must be ~K (each tree computed
+   once fleet-wide, modulo a small race window at the crossing point),
+   with the other ~K served as hits;
+4. require each tree's JSON payload to be byte-identical across both
+   workers and to a fresh `--no-cache` recompute.
+
+Any mismatch fails the script. Run locally from the repo root:
+`PYTHONPATH=src python scripts/shared_cache_smoke.py`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+N_TREES = 8
+#: Concurrency slack: both workers may extract the tree where they
+#: cross before either's row lands in the cache.
+RACE_SLACK = 2
+
+
+def fail(message: str) -> None:
+    print(f"cache-shared-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"cache-shared-smoke: {message}", flush=True)
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    # The smoke must control caching exactly; never inherit a CI cache.
+    env.pop("REPRO_CACHE_DIR", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+
+
+def write_trees(root: str) -> list:
+    """K small C trees with distinct content (distinct cache keys)."""
+    trees = []
+    for t in range(N_TREES):
+        tree = os.path.join(root, f"tree{t:02d}")
+        src = os.path.join(tree, "src")
+        os.makedirs(src, exist_ok=True)
+        for i in range(4):
+            body = (f"int fn{t}_{i}(int a, int b) {{\n"
+                    f"    int total = a + {t * 17 + i};\n"
+                    f"    for (int j = 0; j < b; j++) {{\n"
+                    f"        if ((j + {i}) % {t + 2} == 0) total += j;\n"
+                    f"        else total -= {i + 1};\n"
+                    f"    }}\n"
+                    f"    return total;\n"
+                    f"}}\n")
+            with open(os.path.join(src, f"unit{i}.c"), "w") as handle:
+                handle.write(body)
+        trees.append(tree)
+    return trees
+
+
+def counter_value(profile_text: str, name: str) -> float:
+    match = re.search(
+        rf"counter\s+{re.escape(name)}\s+([0-9.eE+-]+)", profile_text)
+    return float(match.group(1)) if match else 0.0
+
+
+def worker(name: str, trees: list, cache_spec: str, out: dict) -> None:
+    """Analyze every tree through the shared cache, recording results."""
+    payloads = {}
+    extracted = 0.0
+    hits = 0.0
+    for tree in trees:
+        result = run_cli("analyze", tree, "--json",
+                         "--cache-dir", cache_spec, "--profile")
+        if result.returncode != 0:
+            out["error"] = (f"worker {name}: analyze {tree} exited "
+                            f"{result.returncode}:\n{result.stderr}")
+            return
+        payload, _, profile = result.stdout.partition(
+            "\n\nrepro telemetry")
+        if not profile:
+            out["error"] = f"worker {name}: no telemetry report for {tree}"
+            return
+        payloads[os.path.basename(tree)] = payload + "\n"
+        extracted += counter_value(profile, "engine.extracted")
+        hits += counter_value(profile, "engine.cache.hits")
+    out.update(payloads=payloads, extracted=extracted, hits=hits)
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="cache-shared-smoke-")
+    trees = write_trees(workdir)
+    cache_spec = f"sqlite:{os.path.join(workdir, 'shared.db')}"
+
+    step(f"launching two concurrent workers over {N_TREES} trees "
+         f"sharing {cache_spec}")
+    forward: dict = {}
+    reverse: dict = {}
+    threads = [
+        threading.Thread(target=worker,
+                         args=("fwd", trees, cache_spec, forward)),
+        threading.Thread(target=worker,
+                         args=("rev", list(reversed(trees)), cache_spec,
+                               reverse)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for out in (forward, reverse):
+        if "error" in out:
+            fail(out["error"])
+
+    extracted = forward["extracted"] + reverse["extracted"]
+    hits = forward["hits"] + reverse["hits"]
+    step(f"fleet totals: extracted={extracted:g} hits={hits:g} "
+         f"over {2 * N_TREES} invocations")
+    if extracted + hits != 2 * N_TREES:
+        fail(f"extracted+hits={extracted + hits:g}, "
+             f"expected {2 * N_TREES} (a tree was neither computed "
+             f"nor served?)")
+    if extracted > N_TREES + RACE_SLACK:
+        fail(f"extracted={extracted:g} > {N_TREES + RACE_SLACK} — the "
+             f"shared cache is not deduplicating work across processes")
+    if hits < N_TREES - RACE_SLACK:
+        fail(f"hits={hits:g} < {N_TREES - RACE_SLACK} — warm rows are "
+             f"not being served from the shared cache")
+
+    step("diffing payloads across workers and against --no-cache")
+    for tree in trees:
+        name = os.path.basename(tree)
+        if forward["payloads"][name] != reverse["payloads"][name]:
+            fail(f"{name}: workers disagree on the payload bytes")
+        fresh = run_cli("analyze", tree, "--json", "--no-cache")
+        if fresh.returncode != 0:
+            fail(f"fresh analyze {name} exited {fresh.returncode}:\n"
+                 f"{fresh.stderr}")
+        if forward["payloads"][name] != fresh.stdout:
+            fail(f"{name}: shared-cache payload differs from a fresh "
+                 f"--no-cache recompute")
+
+    step(f"PASS — {extracted:g} extractions for {2 * N_TREES} "
+         f"invocations, all payloads byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,15 @@ how extraction runs. They are re-exported at the package root::
 Every function takes an optional keyword-only ``config``
 (:class:`~repro.engine.EngineConfig`) so library callers get the same
 parallel, cache-aware, incremental extraction path the CLI flags
-configure. Deep imports (``repro.core.features`` and friends) keep
+configure — including the shared-cache backends::
+
+    config = repro.EngineConfig(cache_dir="sqlite:/shared/repro.db")
+    row = repro.analyze_tree("path/to/project", config=config)
+
+``cache_dir`` takes the same URI-style spec as ``--cache-dir``: a
+directory path for the default filesystem layout, ``sqlite:PATH`` for
+one WAL-mode SQLite cache that any number of concurrent processes can
+share warm. Deep imports (``repro.core.features`` and friends) keep
 working; this module is the surface that will not churn underneath you.
 """
 

@@ -50,7 +50,9 @@ Engine knobs (a shared argparse parent, accepted by every subcommand):
   across N worker processes (default ``$REPRO_WORKERS`` or serial).
 - ``--cache-dir PATH`` — content-addressed feature cache; re-analysing
   an unchanged tree is a read, not a recompute (default
-  ``$REPRO_CACHE_DIR`` or no cache).
+  ``$REPRO_CACHE_DIR`` or no cache). ``sqlite:PATH`` selects the
+  shared SQLite backend (WAL mode) so many concurrent runs on one
+  volume share a single warm cache.
 - ``--no-cache`` — force recomputation even when a cache is configured.
 
 Failure policy (same parent):

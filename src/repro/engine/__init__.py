@@ -6,10 +6,14 @@ that corpus-scale extraction fast and incremental:
 
 - :mod:`repro.engine.digest` — content-addressed keys over codebase
   bytes, commit history, extraction args, and the analyzer-set version;
-- :mod:`repro.engine.cache` — a JSON feature cache under a directory,
-  robust to corruption, with hit/miss counters in :mod:`repro.obs`;
-  caches whole feature rows, per-file analyzer records, and per-app
-  manifests (the incremental path's three artefact kinds);
+- :mod:`repro.engine.cache` — a JSON feature cache, robust to
+  corruption, with hit/miss counters in :mod:`repro.obs`; caches whole
+  feature rows, per-file analyzer records, and per-app manifests (the
+  incremental path's three artefact kinds);
+- :mod:`repro.engine.backends` — the pluggable :class:`CacheBackend`
+  storage protocol under the cache: the sharded-directory layout by
+  default, a shared SQLite WAL database for ``sqlite:PATH`` specs so a
+  fleet of runs shares one warm cache;
 - :mod:`repro.engine.config` — the :class:`EngineConfig` value object
   (and shared argparse parent) every CLI command and the public API
   configure the engine through;
@@ -27,6 +31,13 @@ bit-identical to a serial uncached run; under ``on_error="skip"`` the
 surviving rows stay byte-identical to a clean run over the same apps.
 """
 
+from repro.engine.backends import (
+    BackendReadError,
+    CacheBackend,
+    FilesystemBackend,
+    SqliteBackend,
+    backend_from_spec,
+)
 from repro.engine.cache import CACHE_FORMAT_VERSION, FeatureCache
 from repro.engine.config import EngineConfig, engine_options
 from repro.engine.digest import (
@@ -53,9 +64,13 @@ from repro.engine.scheduler import (
 
 __all__ = [
     "ANALYZER_SET_VERSION",
+    "BackendReadError",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT_VERSION",
+    "CacheBackend",
     "EngineConfig",
+    "FilesystemBackend",
+    "SqliteBackend",
     "ExtractionEngine",
     "ExtractionError",
     "ExtractionReport",
@@ -65,6 +80,7 @@ __all__ = [
     "TaskFailure",
     "TaskTimeout",
     "WORKERS_ENV",
+    "backend_from_spec",
     "codebase_digest",
     "engine_options",
     "file_digest",

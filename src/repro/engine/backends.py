@@ -1,0 +1,335 @@
+"""Pluggable storage backends behind the feature cache.
+
+:class:`~repro.engine.cache.FeatureCache` owns the *semantics* of the
+cache — entry layout, validation, miss-on-corruption, hit/miss/error
+counters. This module owns the *storage*: a :class:`CacheBackend` maps
+a digest key to one parsed JSON entry and back, and the cache never
+cares which medium sits underneath. Two backends ship:
+
+- :class:`FilesystemBackend` — the historical sharded-directory JSON
+  layout (``<root>/<key[:2]>/<key>.json``, atomic temp-file writes,
+  crash-orphan sweeping). One cache per volume, zero dependencies.
+- :class:`SqliteBackend` — a single SQLite database file in WAL mode,
+  built for *fleet-scale sharing*: many concurrent processes (CI
+  runners, serving daemons, parallel ``analyze`` runs) point at one DB
+  on a shared volume and the k-th consumer finds the cache warm.
+  ``PRAGMA busy_timeout`` plus a bounded retry loop absorb
+  ``SQLITE_BUSY`` under write contention; readers never block writers
+  (and vice versa) thanks to WAL.
+
+Selection is URI-style through the one ``cache_dir`` string every
+layer already passes around (:func:`backend_from_spec`):
+
+- ``sqlite:PATH`` — the SQLite backend on ``PATH``;
+- anything else — a filesystem cache rooted at that directory.
+
+Byte-identity across backends is by construction: both serialise the
+same entry dict with :func:`json.dumps` defaults and deserialise with
+:func:`json.loads`, so key order and float bits survive identically —
+a row served from SQLite is ``repr``-equal to the same row served from
+a directory cache.
+
+Failure contract (shared by all backends):
+
+- :meth:`~CacheBackend.load` returns ``None`` for a plain miss and
+  raises :class:`BackendReadError` for anything unreadable — a corrupt
+  DB file, a truncated JSON entry, an I/O error. The cache translates
+  that into a counted miss, never an exception.
+- :meth:`~CacheBackend.store` returns ``False`` on failure (read-only
+  volume, locked-out DB); caching silently degrades to recomputation.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+#: Scheme prefix selecting the SQLite backend in a ``cache_dir`` spec.
+SQLITE_SCHEME = "sqlite:"
+
+#: How long one SQLite connection lets the engine wait out a writer
+#: before surfacing SQLITE_BUSY (milliseconds).
+SQLITE_BUSY_TIMEOUT_MS = 5_000
+
+#: Bounded retries on top of the busy timeout; each waits a beat so a
+#: herd of writers interleaves instead of failing together.
+SQLITE_BUSY_RETRIES = 5
+_RETRY_SLEEP_S = 0.05
+
+
+class BackendReadError(Exception):
+    """The backend could not produce a parseable entry for a key.
+
+    Raised for *corruption-shaped* failures only (unreadable medium,
+    undecodable payload); a plain not-found is ``load() -> None``. The
+    cache counts these as ``engine.cache.read_errors`` and treats them
+    as misses.
+    """
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the feature cache requires of a storage medium.
+
+    ``kind`` is a short stable tag (``"fs"``, ``"sqlite"``) surfaced in
+    ``/healthz`` and ``--profile``; ``location`` a human-readable
+    description of where the data lives.
+    """
+
+    kind: str
+    location: str
+
+    def load(self, key: str) -> Optional[object]:
+        """The parsed JSON entry under ``key``; None on a plain miss.
+
+        Raises :class:`BackendReadError` when the medium or payload is
+        unreadable.
+        """
+        ...  # pragma: no cover - protocol
+
+    def store(self, key: str, entry: Dict[str, object]) -> bool:
+        """Persist ``entry`` under ``key``; False on failure."""
+        ...  # pragma: no cover - protocol
+
+
+def backend_from_spec(spec: str) -> "CacheBackend":
+    """Resolve a ``cache_dir`` string into a backend instance.
+
+    ``sqlite:PATH`` selects :class:`SqliteBackend` on ``PATH``; any
+    other non-empty string is a :class:`FilesystemBackend` root.
+    """
+    if spec.startswith(SQLITE_SCHEME):
+        path = spec[len(SQLITE_SCHEME):]
+        if not path:
+            raise ValueError(
+                "sqlite cache spec needs a database path "
+                "(e.g. sqlite:/shared/repro-cache.db)")
+        return SqliteBackend(path)
+    if not spec:
+        raise ValueError("cache spec must not be empty")
+    return FilesystemBackend(spec)
+
+
+#: When this process started (module import is close enough): any
+#: ``*.tmp`` in a filesystem cache older than this cannot belong to a
+#: live write of ours, and concurrent *other* processes replace their
+#: temp files within milliseconds — so older temp files are crash
+#: leftovers.
+_PROCESS_START = time.time()
+
+
+class FilesystemBackend:
+    """Sharded per-entry JSON files under a directory (the default).
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — entries shard by the
+    first two hex characters of the digest so a corpus-scale cache
+    never piles tens of thousands of files into one directory. Writes
+    go through a temp file and ``os.replace`` so a crashed run can
+    leave at worst a stale temp file, not a half-written entry;
+    ``store`` opportunistically sweeps temp files older than the
+    current process out of the shard it is writing to.
+    """
+
+    kind = "fs"
+
+    def __init__(self, root: str):
+        self.root = root
+        self.location = root
+
+    def entry_path(self, key: str) -> str:
+        """Where the entry for ``key`` lives (shard dir + file)."""
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def load(self, key: str) -> Optional[object]:
+        try:
+            with open(self.entry_path(key), encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BackendReadError(str(exc)) from exc
+
+    def store(self, key: str, entry: Dict[str, object]) -> bool:
+        path = self.entry_path(key)
+        shard = os.path.dirname(path)
+        try:
+            os.makedirs(shard, exist_ok=True)
+            self._sweep_stale_tmp(shard)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache dir degrades to no caching.
+            return False
+        return True
+
+    @staticmethod
+    def _sweep_stale_tmp(shard: str) -> None:
+        """Unlink crash-orphaned ``*.tmp`` files in ``shard``.
+
+        Only temp files last modified before this process started are
+        touched: anything newer could be a concurrent writer's
+        in-flight entry (which exists for milliseconds between
+        ``mkstemp`` and ``os.replace``). Purely best-effort — a
+        vanished or unremovable file is somebody else's progress, not
+        an error.
+        """
+        for tmp in glob.glob(os.path.join(shard, "*.tmp")):
+            try:
+                if os.path.getmtime(tmp) < _PROCESS_START:
+                    os.unlink(tmp)
+            except OSError:
+                pass
+
+
+class SqliteBackend:
+    """One SQLite database file shared by many concurrent consumers.
+
+    WAL journaling lets readers proceed while a writer commits, so k
+    parallel ``analyze`` runs against one DB on a shared volume cost
+    ~1× extraction total instead of k× cold starts. Write contention
+    is absorbed twice over: ``PRAGMA busy_timeout`` makes SQLite wait
+    out a competing writer, and a bounded retry loop re-attempts the
+    statement on a surfaced ``SQLITE_BUSY`` before giving up (a lost
+    store only costs a future recompute, never correctness).
+
+    Thread/process safety: one connection per process (reopened after
+    a fork — worker processes must never share the parent's handle),
+    serialised by an internal lock. Payloads are the exact
+    ``json.dumps`` text the filesystem backend writes, so entries are
+    byte-identical across backends.
+    """
+
+    kind = "sqlite"
+
+    _SCHEMA = ("CREATE TABLE IF NOT EXISTS entries ("
+               "key TEXT PRIMARY KEY, payload TEXT NOT NULL)")
+
+    def __init__(self, path: str,
+                 busy_timeout_ms: int = SQLITE_BUSY_TIMEOUT_MS,
+                 busy_retries: int = SQLITE_BUSY_RETRIES):
+        self.path = path
+        self.location = f"{SQLITE_SCHEME}{path}"
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        self.busy_retries = max(0, int(busy_retries))
+        self._lock = threading.Lock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+
+    # -- connection management ----------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The process-local connection, (re)opened lazily.
+
+        A forked child (the engine's process pool) sees a pid mismatch
+        and opens its own handle instead of corrupting the parent's.
+        Raises ``sqlite3.Error`` when the file is not a database — the
+        caller maps that to miss/degraded-write semantics.
+        """
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        conn = sqlite3.connect(
+            self.path,
+            timeout=self.busy_timeout_ms / 1000.0,
+            check_same_thread=False,
+        )
+        try:
+            conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+            # WAL so concurrent readers never block the single writer;
+            # NORMAL sync is durable enough for a cache (a torn last
+            # commit after power loss is just a future miss).
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(self._SCHEMA)
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        self._conn = conn
+        self._pid = os.getpid()
+        return conn
+
+    def _execute(self, statement: str, params: tuple):
+        """Run one statement, retrying a bounded number of busy errors.
+
+        ``busy_timeout`` already makes SQLite wait inside the call;
+        the loop on top covers the deadlock-avoidance cases where
+        SQLITE_BUSY surfaces immediately regardless of the timeout.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._connection().execute(statement, params)
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                busy = "locked" in message or "busy" in message
+                if not busy or attempts >= self.busy_retries:
+                    raise
+                attempts += 1
+                time.sleep(_RETRY_SLEEP_S * attempts)
+
+    # -- CacheBackend protocol ----------------------------------------
+
+    def load(self, key: str) -> Optional[object]:
+        with self._lock:
+            try:
+                cursor = self._execute(
+                    "SELECT payload FROM entries WHERE key = ?", (key,))
+                row = cursor.fetchone()
+            except sqlite3.Error as exc:
+                # Not-a-database, locked out past retries, I/O error:
+                # all corruption-shaped, all a counted miss upstream.
+                raise BackendReadError(str(exc)) from exc
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except (TypeError, ValueError) as exc:
+            raise BackendReadError(
+                f"undecodable cache payload: {exc}") from exc
+
+    def store(self, key: str, entry: Dict[str, object]) -> bool:
+        payload = json.dumps(entry)
+        with self._lock:
+            try:
+                self._execute(
+                    "INSERT OR REPLACE INTO entries (key, payload) "
+                    "VALUES (?, ?)", (key, payload))
+                self._connection().commit()
+            except sqlite3.Error:
+                return False
+        return True
+
+    def close(self) -> None:
+        """Release the process-local connection (tests, daemons)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
+                self._conn = None
+                self._pid = None

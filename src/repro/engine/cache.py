@@ -1,12 +1,14 @@
-"""Content-addressed feature cache: JSON rows keyed by task digest.
+"""Content-addressed feature cache: JSON entries keyed by task digest.
 
-Layout (under ``cache_dir``)::
+Storage is pluggable (see :mod:`repro.engine.backends`): the cache
+resolves its ``cache_dir`` spec into a :class:`CacheBackend` — the
+historical sharded-directory layout for a plain path, a shared SQLite
+WAL database for ``sqlite:PATH`` — and every entry kind (whole rows,
+per-file records, per-app manifests) goes through the same two-method
+protocol. This module owns everything above the medium: entry layout,
+validation, miss-on-corruption semantics, and the obs counters.
 
-    <cache_dir>/<d[:2]>/<digest>.json
-
-Entries are sharded by the first two hex characters of the digest so a
-corpus-scale cache never piles tens of thousands of files into one
-directory. Each entry carries::
+Each entry carries::
 
     {"cache_format": 1, "analyzer_version": "...", "app": "...",
      "row": {"size.kloc": 8.0, ...}}
@@ -16,15 +18,13 @@ re-checks the analyzer set (it is already folded into the digest, so a
 mismatch here means a hand-edited or collided entry — treated as a
 miss). Rows are stored without key sorting so a cached row round-trips
 with the exact key order ``extract_features`` produced, keeping cached
-and cold results bit-identical.
+and cold results bit-identical — on every backend, since all backends
+serialise the same entry dict through ``json``.
 
 Robustness: any unreadable, truncated, corrupt, or wrong-shape entry is
 a *miss* (counted separately as a read error), never an exception — the
-engine recomputes and overwrites it. Writes go through a temp file and
-``os.replace`` so a crashed run can leave at worst a stale temp file,
-not a half-written entry; ``put`` opportunistically sweeps temp files
-older than the current process out of the shard it is writing to, so
-crash leftovers do not accumulate forever.
+engine recomputes and overwrites it. A failed store (read-only volume,
+locked-out database) degrades to no caching.
 
 Counters (live in the :mod:`repro.obs` registry when enabled):
 ``engine.cache.hits`` / ``.misses`` / ``.stores`` /
@@ -46,50 +46,68 @@ correctness.
 
 from __future__ import annotations
 
-import glob
-import json
-import os
-import tempfile
-import time
 from typing import Dict, Optional
 
 from repro import obs
+from repro.engine.backends import (
+    BackendReadError,
+    CacheBackend,
+    backend_from_spec,
+)
 from repro.engine.digest import ANALYZER_SET_VERSION
 
 #: Bump when the entry layout (not the analyzer set) changes.
 CACHE_FORMAT_VERSION = 1
 
-#: When this process started (module import is close enough): any
-#: ``*.tmp`` in the cache older than this cannot belong to a live write
-#: of ours, and concurrent *other* processes replace their temp files
-#: within milliseconds — so older temp files are crash leftovers.
-_PROCESS_START = time.time()
-
 
 class FeatureCache:
-    """A directory of content-addressed feature rows."""
+    """A content-addressed store of feature rows over a pluggable backend.
+
+    ``cache_dir`` is the user-facing spec string: a directory path for
+    the default filesystem layout, ``sqlite:PATH`` for the shared
+    SQLite backend. Pass ``backend`` to supply a ready
+    :class:`~repro.engine.backends.CacheBackend` directly (tests,
+    embedders); the spec string then only serves as the display name.
+    """
 
     def __init__(self, cache_dir: str,
-                 analyzer_version: str = ANALYZER_SET_VERSION):
+                 analyzer_version: str = ANALYZER_SET_VERSION,
+                 backend: Optional[CacheBackend] = None):
         self.cache_dir = cache_dir
         self.analyzer_version = analyzer_version
+        self.backend = backend if backend is not None \
+            else backend_from_spec(cache_dir)
 
     def entry_path(self, digest: str) -> str:
-        """Where the entry for ``digest`` lives (shard dir + file)."""
-        return os.path.join(self.cache_dir, digest[:2], f"{digest}.json")
+        """Where the entry for ``digest`` lives (filesystem backend only).
+
+        Backends without per-entry files (SQLite) have no meaningful
+        path; callers that need one are inspecting the on-disk layout
+        and should be looking at the backend directly.
+        """
+        path = getattr(self.backend, "entry_path", None)
+        if path is None:
+            raise AttributeError(
+                f"{self.backend.kind!r} cache backend has no "
+                f"per-entry files")
+        return path(digest)
 
     def get(self, digest: str) -> Optional[Dict[str, float]]:
         """The cached row for ``digest``, or None on miss/corruption."""
         try:
-            with open(self.entry_path(digest), encoding="utf-8") as handle:
-                entry = json.load(handle)
-            row = self._validate(entry)
-        except FileNotFoundError:
+            entry = self.backend.load(digest)
+        except BackendReadError:
+            # Corrupt/truncated/foreign entry or unreadable medium:
+            # recompute rather than crash.
+            obs.incr("engine.cache.read_errors")
             obs.incr("engine.cache.misses")
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
-                ValueError, TypeError, KeyError):
-            # Corrupt/truncated/foreign file: recompute rather than crash.
+        if entry is None:
+            obs.incr("engine.cache.misses")
+            return None
+        try:
+            row = self._validate(entry)
+        except (ValueError, TypeError, KeyError):
             obs.incr("engine.cache.read_errors")
             obs.incr("engine.cache.misses")
             return None
@@ -98,7 +116,7 @@ class FeatureCache:
 
     def put(self, digest: str, row: Dict[str, float],
             app: str = "") -> None:
-        """Store ``row`` under ``digest`` (atomic; best-effort on OSError)."""
+        """Store ``row`` under ``digest`` (atomic; best-effort on failure)."""
         entry = {
             "cache_format": CACHE_FORMAT_VERSION,
             "analyzer_version": self.analyzer_version,
@@ -117,14 +135,17 @@ class FeatureCache:
         row-level counters stay per-application.
         """
         try:
-            with open(self.entry_path(digest), encoding="utf-8") as handle:
-                entry = json.load(handle)
-            record = self._validate_file(entry)
-        except FileNotFoundError:
+            entry = self.backend.load(digest)
+        except BackendReadError:
+            obs.incr("engine.cache.read_errors")
             obs.incr("engine.cache.file_misses")
             return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
-                ValueError, TypeError, KeyError):
+        if entry is None:
+            obs.incr("engine.cache.file_misses")
+            return None
+        try:
+            record = self._validate_file(entry)
+        except (ValueError, TypeError, KeyError):
             obs.incr("engine.cache.read_errors")
             obs.incr("engine.cache.file_misses")
             return None
@@ -151,22 +172,20 @@ class FeatureCache:
         not worth a counter of its own.
         """
         try:
-            with open(self.entry_path(key), encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if not isinstance(entry, dict) or \
-                    entry.get("cache_format") != CACHE_FORMAT_VERSION or \
-                    entry.get("analyzer_version") != self.analyzer_version:
-                return None
-            files = entry.get("files")
-            if not isinstance(files, dict) or not all(
-                isinstance(k, str) and isinstance(v, str)
-                for k, v in files.items()
-            ):
-                return None
-            return files
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
-                ValueError, TypeError, KeyError):
+            entry = self.backend.load(key)
+        except BackendReadError:
             return None
+        if not isinstance(entry, dict) or \
+                entry.get("cache_format") != CACHE_FORMAT_VERSION or \
+                entry.get("analyzer_version") != self.analyzer_version:
+            return None
+        files = entry.get("files")
+        if not isinstance(files, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in files.items()
+        ):
+            return None
+        return files
 
     def put_manifest(self, key: str, files: Dict[str, str]) -> None:
         """Store an app's file-digest manifest (atomic, silent)."""
@@ -178,45 +197,12 @@ class FeatureCache:
         self._write_entry(key, entry)
 
     def _write_entry(self, digest: str, entry: Dict[str, object]) -> bool:
-        """Atomically write ``entry``; False (+ counter) on OSError."""
-        path = self.entry_path(digest)
-        shard = os.path.dirname(path)
-        try:
-            os.makedirs(shard, exist_ok=True)
-            self._sweep_stale_tmp(shard)
-            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            # A read-only or full cache dir degrades to no caching.
-            obs.incr("engine.cache.write_errors")
-            return False
-        return True
-
-    @staticmethod
-    def _sweep_stale_tmp(shard: str) -> None:
-        """Unlink crash-orphaned ``*.tmp`` files in ``shard``.
-
-        Only temp files last modified before this process started are
-        touched: anything newer could be a concurrent writer's in-flight
-        entry (which exists for milliseconds between ``mkstemp`` and
-        ``os.replace``). Purely best-effort — a vanished or unremovable
-        file is somebody else's progress, not an error.
-        """
-        for tmp in glob.glob(os.path.join(shard, "*.tmp")):
-            try:
-                if os.path.getmtime(tmp) < _PROCESS_START:
-                    os.unlink(tmp)
-            except OSError:
-                pass
+        """Store ``entry`` via the backend; False (+ counter) on failure."""
+        if self.backend.store(digest, entry):
+            return True
+        # A read-only or contended medium degrades to no caching.
+        obs.incr("engine.cache.write_errors")
+        return False
 
     def _validate(self, entry: object) -> Dict[str, float]:
         """Check an entry's shape; raise ValueError on anything off."""

@@ -37,6 +37,11 @@ class EngineConfig:
     built-in defaults, mirroring what the CLI does with unset flags.
     ``no_cache=True`` disables caching even when the environment (or
     ``cache_dir``) configures one.
+
+    ``cache_dir`` is a URI-style backend spec: a plain path selects
+    the sharded filesystem layout, ``sqlite:PATH`` a single SQLite
+    database in WAL mode that many concurrent runs (CI runners,
+    daemons) can share as one warm cache.
     """
 
     workers: Optional[int] = None
@@ -106,8 +111,10 @@ def engine_options() -> argparse.ArgumentParser:
         help="parallel extraction worker processes (default: "
              "$REPRO_WORKERS or 1)")
     group.add_argument(
-        "--cache-dir", metavar="PATH", default=None,
-        help="content-addressed feature cache directory (default: "
+        "--cache-dir", metavar="PATH|sqlite:PATH", default=None,
+        help="content-addressed feature cache: a directory for the "
+             "filesystem backend, sqlite:PATH for a shared SQLite "
+             "database many runs can use concurrently (default: "
              "$REPRO_CACHE_DIR or no cache)")
     group.add_argument(
         "--no-cache", action="store_true",

@@ -459,7 +459,10 @@ class ExtractionEngine:
         uncached — the seed behaviour. An unparsable or non-positive
         ``REPRO_WORKERS`` falls back to 1 worker with a warning naming
         the bad value, so a CI misconfiguration is visible instead of
-        silently serialising the run.
+        silently serialising the run. ``REPRO_CACHE_DIR`` takes the
+        same URI-style spec as ``--cache-dir``: a directory path for
+        the filesystem backend, ``sqlite:PATH`` for the shared SQLite
+        backend.
         """
         raw = os.environ.get(WORKERS_ENV)
         workers = 1
@@ -492,6 +495,8 @@ class ExtractionEngine:
         return {
             "workers": self.workers,
             "cache_dir": self.cache.cache_dir if self.cache else None,
+            "cache_backend": self.cache.backend.kind if self.cache
+            else None,
             "on_error": self.on_error,
             "task_timeout": self.task_timeout,
             "max_retries": self.max_retries,

@@ -93,11 +93,25 @@ class MicroBatcher:
         self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Stop the collector; queued-but-unprocessed futures error out."""
+        """Stop the collector; queued-but-unprocessed futures error out.
+
+        Bounded even under saturation: a blocking ``put`` here would
+        park the SIGTERM path behind a full backlog while the
+        collector is busy. Instead the stop sentinel is enqueued with
+        ``put_nowait``, failing one queued entry per refusal to make
+        room — each iteration either places the sentinel or shrinks
+        the queue, so the loop terminates after at most ``queue_depth``
+        drains.
+        """
         if not self._running:
             return
         self._running = False
-        self._queue.put(_STOP)
+        while True:
+            try:
+                self._queue.put_nowait(_STOP)
+                break
+            except queue.Full:
+                self._reject_one()
         if self._thread is not None:
             self._thread.join(timeout=timeout)
             self._thread = None
@@ -151,6 +165,12 @@ class MicroBatcher:
                 return
 
     def _dispatch(self, batch: List[Tuple[Any, "Future[Any]"]]) -> None:
+        # A handler that shed or timed out cancels the futures it will
+        # never collect; running the model on them would be pure waste.
+        batch = [(item, future) for item, future in batch
+                 if not future.cancelled()]
+        if not batch:
+            return
         obs.incr("serve.batches")
         obs.observe("serve.batch_size", len(batch))
         items = [item for item, _ in batch]
@@ -169,15 +189,19 @@ class MicroBatcher:
             if not future.done():
                 future.set_result(result)
 
+    def _reject_one(self) -> None:
+        """Pull one queued entry and fail its future (shutdown path)."""
+        try:
+            entry = self._queue.get_nowait()
+        except queue.Empty:
+            return
+        if entry is _STOP:
+            return
+        _, future = entry
+        if not future.done():
+            future.set_exception(RuntimeError("server shutting down"))
+
     def _drain_rejected(self) -> None:
         """Fail anything still queued after shutdown (never hang callers)."""
-        while True:
-            try:
-                entry = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if entry is _STOP:
-                continue
-            _, future = entry
-            if not future.done():
-                future.set_exception(RuntimeError("server shutting down"))
+        while not self._queue.empty():
+            self._reject_one()

@@ -64,6 +64,12 @@ class Response:
     headers: List[Tuple[str, str]] = field(default_factory=list)
     content_type: str = "application/json"
 
+    def __post_init__(self) -> None:
+        # Own the header list: the router appends trace headers to
+        # every response, and a shared caller list (an HTTPError's
+        # headers, a module constant) must not accumulate them.
+        self.headers = list(self.headers)
+
 
 @dataclass
 class RequestContext:
@@ -145,6 +151,23 @@ def _select_model(app, doc: dict, required: bool):
     return model, name or app.store.default_name
 
 
+def _discard_futures(futures) -> None:
+    """Cancel predictions the handler will never collect.
+
+    Used on the shed and timeout paths. Futures still queued are
+    cancelled outright — the collector drops cancelled entries before
+    running the model, so no work is wasted on them
+    (``serve.cancelled``). Futures already batched or resolved cannot
+    be cancelled; their results are computed and dropped
+    (``serve.discarded``), counted so the wasted work is observable.
+    """
+    cancelled = sum(1 for future in futures if future.cancel())
+    if cancelled:
+        obs.incr("serve.cancelled", cancelled)
+    if len(futures) - cancelled:
+        obs.incr("serve.discarded", len(futures) - cancelled)
+
+
 # -- endpoints --------------------------------------------------------
 
 
@@ -187,20 +210,35 @@ def _handle_predict(app, doc: dict, ctx: RequestContext) -> Response:
     else:
         raise HTTPError(400, "request needs 'features' or 'instances'")
     ctx.batch_size = len(rows)
+    futures = []
     try:
-        futures = [app.batcher.submit((model, row)) for row in rows]
+        for row in rows:
+            futures.append(app.batcher.submit((model, row)))
     except QueueSaturated as exc:
         ctx.shed = True
+        # Shedding mid-batch must not leak the already-enqueued
+        # futures: nobody will collect them, so cancel them before the
+        # collector wastes model work on orphans. (A future the
+        # collector already picked up cannot be cancelled; its result
+        # is simply dropped — counted so the waste is visible.)
+        _discard_futures(futures)
         raise HTTPError(
             503, str(exc),
             headers=[("Retry-After", str(exc.retry_after))])
+    # One wall-clock deadline for the whole request: waiting
+    # request_timeout *per future* would let a k-instance batch hold a
+    # handler thread for k times the configured bound.
+    deadline = perf_counter() + app.request_timeout
     try:
         with obs.span("serve.batch_wait", items=len(futures)):
-            predictions = [
-                future.result(timeout=app.request_timeout)
-                for future in futures
-            ]
+            predictions = []
+            for future in futures:
+                remaining = deadline - perf_counter()
+                if remaining <= 0:
+                    raise FutureTimeout()
+                predictions.append(future.result(timeout=remaining))
     except FutureTimeout:
+        _discard_futures(futures)
         raise HTTPError(
             503, "prediction timed out",
             headers=[("Retry-After", str(app.batcher.retry_after))])

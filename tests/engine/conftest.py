@@ -39,6 +39,25 @@ def timer():
     return _timer
 
 
+@pytest.fixture(params=["fs", "sqlite"])
+def make_cache(request, tmp_path):
+    """Factory building a FeatureCache on each storage backend.
+
+    Parametrized over the filesystem and SQLite backends so every
+    suite using it proves its invariants on both; ``make_cache.kind``
+    exposes the active backend for backend-specific assertions.
+    """
+    from repro.engine import FeatureCache
+
+    def _make(name="cache", **kwargs):
+        if request.param == "sqlite":
+            return FeatureCache(f"sqlite:{tmp_path / name}.db", **kwargs)
+        return FeatureCache(str(tmp_path / name), **kwargs)
+
+    _make.kind = request.param
+    return _make
+
+
 @pytest.fixture(scope="session")
 def engine_corpus():
     """A 6-app corpus dedicated to engine tests (seed 11)."""

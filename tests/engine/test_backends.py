@@ -1,0 +1,348 @@
+"""The pluggable cache-backend layer: selection, parity, robustness.
+
+Three claims under test:
+
+- *selection* — the one ``cache_dir`` string everybody passes around
+  resolves to the right backend (plain path -> filesystem,
+  ``sqlite:PATH`` -> SQLite WAL) through every layer that builds a
+  cache (constructor, :class:`EngineConfig`, ``REPRO_CACHE_DIR``);
+- *parity* — both backends satisfy the identical storage contract:
+  exact JSON round-trips for rows, per-file records, and manifests
+  (the fuzz class), and byte-identical rows out of either medium;
+- *robustness* — corruption of any kind (garbage DB file, mangled
+  payload, stale entries, a locked-out database) is a counted miss or
+  a silently degraded write, never an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.engine import (
+    EngineConfig,
+    ExtractionEngine,
+    FeatureCache,
+    FilesystemBackend,
+    SqliteBackend,
+    backend_from_spec,
+    task_digest,
+)
+from repro.engine.backends import BackendReadError
+
+from tests.engine.test_cache_properties import base_codebase
+
+DIGEST = "ab" + "0" * 62
+
+
+def corrupt_entry(cache: FeatureCache, digest: str) -> None:
+    """Mangle the stored entry for ``digest``, whatever the medium."""
+    if cache.backend.kind == "fs":
+        pathlib.Path(cache.entry_path(digest)).write_text("{not json")
+    else:
+        conn = sqlite3.connect(cache.backend.path)
+        conn.execute(
+            "UPDATE entries SET payload = '{not json' WHERE key = ?",
+            (digest,))
+        conn.commit()
+        conn.close()
+
+
+class TestBackendSelection:
+    def test_plain_path_selects_filesystem(self, tmp_path):
+        backend = backend_from_spec(str(tmp_path / "cache"))
+        assert isinstance(backend, FilesystemBackend)
+        assert backend.kind == "fs"
+
+    def test_sqlite_scheme_selects_sqlite(self, tmp_path):
+        backend = backend_from_spec(f"sqlite:{tmp_path / 'c.db'}")
+        assert isinstance(backend, SqliteBackend)
+        assert backend.kind == "sqlite"
+        assert backend.path == str(tmp_path / "c.db")
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            backend_from_spec("")
+        with pytest.raises(ValueError):
+            backend_from_spec("sqlite:")
+
+    def test_feature_cache_parses_spec(self, tmp_path):
+        assert FeatureCache(str(tmp_path)).backend.kind == "fs"
+        assert FeatureCache(
+            f"sqlite:{tmp_path / 'c.db'}").backend.kind == "sqlite"
+
+    def test_engine_config_builds_sqlite_cache(self, tmp_path):
+        spec = f"sqlite:{tmp_path / 'c.db'}"
+        engine = EngineConfig(cache_dir=spec).build()
+        assert engine.cache is not None
+        assert engine.cache.backend.kind == "sqlite"
+        assert engine.cache.cache_dir == spec
+
+    def test_env_var_takes_sqlite_spec(self, tmp_path, monkeypatch):
+        spec = f"sqlite:{tmp_path / 'c.db'}"
+        monkeypatch.setenv("REPRO_CACHE_DIR", spec)
+        engine = ExtractionEngine.from_env()
+        assert engine.cache is not None
+        assert engine.cache.backend.kind == "sqlite"
+
+    def test_describe_names_the_backend(self, tmp_path):
+        engine = ExtractionEngine(
+            cache=FeatureCache(f"sqlite:{tmp_path / 'c.db'}"))
+        described = engine.describe()
+        assert described["cache_backend"] == "sqlite"
+        assert described["cache_dir"].startswith("sqlite:")
+        assert ExtractionEngine().describe()["cache_backend"] is None
+
+    def test_entry_path_is_filesystem_only(self, tmp_path):
+        assert FeatureCache(str(tmp_path / "d")).entry_path(DIGEST)
+        with pytest.raises(AttributeError):
+            FeatureCache(f"sqlite:{tmp_path / 'c.db'}").entry_path(DIGEST)
+
+
+class TestBackendParity:
+    """Both backends honour the same storage contract (``make_cache``)."""
+
+    def test_row_roundtrip(self, make_cache):
+        cache = make_cache()
+        cache.put(DIGEST, {"x": 1.5, "neg": -0.0, "n": 3.0}, app="a")
+        row = cache.get(DIGEST)
+        assert list(row) == ["x", "neg", "n"]
+        assert repr(row["neg"]) == "-0.0"
+
+    def test_file_record_roundtrip(self, make_cache):
+        cache = make_cache()
+        record = {"loc": {"total": 12}, "cfg": {"edges": 4}}
+        cache.put_file(DIGEST, "src/a.c", record)
+        assert cache.get_file(DIGEST) == record
+
+    def test_manifest_roundtrip(self, make_cache):
+        cache = make_cache()
+        files = {"src/a.c": "d" * 64, "src/b.py": "e" * 64}
+        cache.put_manifest(DIGEST, files)
+        assert cache.get_manifest(DIGEST) == files
+
+    def test_missing_key_is_plain_miss(self, make_cache):
+        cache = make_cache()
+        session = obs.configure()
+        assert cache.get(DIGEST) is None
+        counters = session.metrics.snapshot()["counters"]
+        obs.disable()
+        assert counters.get("engine.cache.misses") == 1
+        assert "engine.cache.read_errors" not in counters
+
+    def test_overwrite_replaces_entry(self, make_cache):
+        cache = make_cache()
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        cache.put(DIGEST, {"x": 2.0}, app="a")
+        assert cache.get(DIGEST) == {"x": 2.0}
+
+    def test_stale_analyzer_version_is_a_miss(self, make_cache):
+        cache = make_cache()
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        reader = make_cache(analyzer_version="some-future-version")
+        assert reader.get(DIGEST) is None
+        assert cache.get(DIGEST) == {"x": 1.0}
+
+    def test_fuzzed_entries_roundtrip_exactly(self, make_cache):
+        """Random JSON-shaped rows survive the medium bit-for-bit."""
+        cache = make_cache()
+        rng = random.Random(23)
+        for trial in range(30):
+            digest = f"{rng.randrange(16**8):08x}" + "f" * 56
+            row = {
+                f"metric.{rng.randrange(1000)}.{j}":
+                rng.choice([
+                    rng.random() * 10 ** rng.randrange(-3, 4),
+                    float(rng.randrange(-10**6, 10**6)),
+                    -0.0,
+                    0.5,
+                ])
+                for j in range(rng.randrange(1, 8))
+            }
+            cache.put(digest, row, app=f"app{trial}")
+            out = cache.get(digest)
+            assert list(out) == list(row), trial
+            for key in row:
+                assert repr(out[key]) == repr(row[key]), (trial, key)
+
+    def test_corrupt_entry_is_miss_then_repaired(self, make_cache):
+        cache = make_cache()
+        engine = ExtractionEngine(workers=1, cache=cache)
+        cb = base_codebase()
+        expected = engine.extract_one(cb)  # cold run populates
+        digest = task_digest(cb)
+        corrupt_entry(cache, digest)
+        session = obs.configure()
+        assert cache.get(digest) is None  # miss, not an exception
+        counters = session.metrics.snapshot()["counters"]
+        obs.disable()
+        assert counters.get("engine.cache.read_errors") == 1
+        recomputed = engine.extract_one(cb)  # falls back to recompute
+        assert recomputed == expected
+        assert cache.get(digest) == expected  # ... and repaired in place
+
+    def test_engine_roundtrip_byte_identical(self, make_cache):
+        cache = make_cache()
+        engine = ExtractionEngine(workers=1, cache=cache)
+        cb = base_codebase()
+        cold = engine.extract_one(cb)
+        warm = engine.extract_one(cb)
+        assert list(cold) == list(warm)
+        assert all(repr(cold[k]) == repr(warm[k]) for k in cold)
+
+
+class TestSqliteRobustness:
+    """The shared-cache backend under hostile media and contention."""
+
+    def test_wal_mode_is_active(self, tmp_path):
+        cache = FeatureCache(f"sqlite:{tmp_path / 'c.db'}")
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        conn = sqlite3.connect(str(tmp_path / "c.db"))
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        conn.close()
+
+    def test_garbage_db_file_degrades_not_crashes(self, tmp_path):
+        """A non-database file behind the spec is misses + failed stores."""
+        path = tmp_path / "c.db"
+        path.write_bytes(b"\x00\xffdefinitely not a database\x00" * 10)
+        cache = FeatureCache(f"sqlite:{path}")
+        session = obs.configure()
+        assert cache.get(DIGEST) is None
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        counters = session.metrics.snapshot()["counters"]
+        obs.disable()
+        assert counters.get("engine.cache.read_errors") == 1
+        assert counters.get("engine.cache.write_errors") == 1
+        # extraction itself must still succeed, merely uncached
+        row = ExtractionEngine(
+            workers=1, cache=cache).extract_one(base_codebase())
+        assert row["size.sample_loc"] > 0
+
+    def test_undecodable_payload_is_read_error(self, tmp_path):
+        cache = FeatureCache(f"sqlite:{tmp_path / 'c.db'}")
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        corrupt_entry(cache, DIGEST)
+        with pytest.raises(BackendReadError):
+            cache.backend.load(DIGEST)
+        assert cache.get(DIGEST) is None
+
+    def test_locked_out_writer_degrades(self, tmp_path):
+        """An exclusive lock past the retry budget fails the store only."""
+        path = str(tmp_path / "c.db")
+        cache = FeatureCache(
+            f"sqlite:{path}",
+            backend=SqliteBackend(path, busy_timeout_ms=20,
+                                  busy_retries=1))
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN EXCLUSIVE")
+        try:
+            session = obs.configure()
+            cache.put("cd" + "1" * 62, {"y": 2.0}, app="b")
+            counters = session.metrics.snapshot()["counters"]
+            obs.disable()
+            assert counters.get("engine.cache.write_errors") == 1
+        finally:
+            blocker.rollback()
+            blocker.close()
+        # with the lock released the same store goes through
+        cache.put("cd" + "1" * 62, {"y": 2.0}, app="b")
+        assert cache.get("cd" + "1" * 62) == {"y": 2.0}
+
+    def test_busy_writer_is_waited_out(self, tmp_path):
+        """A lock released mid-retry is absorbed, not surfaced."""
+        import threading
+        import time
+
+        path = str(tmp_path / "c.db")
+        cache = FeatureCache(f"sqlite:{path}")
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        blocker = sqlite3.connect(path, check_same_thread=False)
+        blocker.execute("BEGIN IMMEDIATE")
+        timer = threading.Timer(0.3, lambda: (blocker.commit(),
+                                              blocker.close()))
+        timer.start()
+        try:
+            start = time.perf_counter()
+            cache.put("cd" + "1" * 62, {"y": 2.0}, app="b")
+            waited = time.perf_counter() - start
+        finally:
+            timer.join()
+        assert cache.get("cd" + "1" * 62) == {"y": 2.0}
+        assert waited < 5.0  # waited the lock out, not the full budget
+
+    def test_two_handles_share_one_database(self, tmp_path):
+        """Two backend instances (two 'processes') see each other's writes."""
+        spec = f"sqlite:{tmp_path / 'c.db'}"
+        writer, reader = FeatureCache(spec), FeatureCache(spec)
+        writer.put(DIGEST, {"x": 42.0}, app="a")
+        assert reader.get(DIGEST) == {"x": 42.0}
+        reader.put("cd" + "1" * 62, {"y": 7.0}, app="b")
+        assert writer.get("cd" + "1" * 62) == {"y": 7.0}
+
+    def test_concurrent_threads_interleave_cleanly(self, tmp_path):
+        import threading
+
+        spec = f"sqlite:{tmp_path / 'c.db'}"
+        caches = [FeatureCache(spec) for _ in range(4)]
+        errors = []
+
+        def hammer(cache, worker):
+            try:
+                for i in range(25):
+                    digest = f"{worker}{i:03d}".ljust(64, "0")
+                    cache.put(digest, {"v": float(worker * 100 + i)},
+                              app=f"w{worker}")
+                    assert cache.get(digest) == {
+                        "v": float(worker * 100 + i)}
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(cache, n))
+                   for n, cache in enumerate(caches)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # every write from every handle is visible afterwards
+        probe = FeatureCache(spec)
+        for worker in range(4):
+            for i in range(25):
+                digest = f"{worker}{i:03d}".ljust(64, "0")
+                assert probe.get(digest) == {
+                    "v": float(worker * 100 + i)}
+
+    def test_forked_child_reopens_its_own_connection(self, tmp_path):
+        """The pid guard: a stale handle is replaced, not reused."""
+        cache = FeatureCache(f"sqlite:{tmp_path / 'c.db'}")
+        cache.put(DIGEST, {"x": 1.0}, app="a")
+        backend = cache.backend
+        first_conn = backend._conn
+        backend._pid = -1  # simulate having been forked
+        assert cache.get(DIGEST) == {"x": 1.0}
+        assert backend._conn is not first_conn
+        assert backend._pid == os.getpid()
+
+    def test_payload_text_matches_fs_bytes(self, tmp_path):
+        """The stored JSON text is exactly what the FS backend writes."""
+        fs_cache = FeatureCache(str(tmp_path / "fs"))
+        sq_cache = FeatureCache(f"sqlite:{tmp_path / 'c.db'}")
+        row = {"b.first": 1.25, "a.second": -0.0, "z": 3.0}
+        fs_cache.put(DIGEST, row, app="app")
+        sq_cache.put(DIGEST, row, app="app")
+        fs_text = pathlib.Path(
+            fs_cache.entry_path(DIGEST)).read_text(encoding="utf-8")
+        conn = sqlite3.connect(str(tmp_path / "c.db"))
+        sq_text = conn.execute(
+            "SELECT payload FROM entries WHERE key = ?",
+            (DIGEST,)).fetchone()[0]
+        conn.close()
+        assert json.loads(fs_text) == json.loads(sq_text)
+        assert fs_text == sq_text

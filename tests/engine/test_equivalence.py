@@ -47,19 +47,25 @@ class TestParallelEquivalence:
 
 
 class TestCacheEquivalence:
+    """Cold/warm byte-identity, proven on every storage backend.
+
+    ``make_cache`` parametrizes these over the filesystem and SQLite
+    backends: a row served from a shared SQLite cache must be exactly
+    as indistinguishable from a cold serial row as one served from the
+    historical directory layout.
+    """
+
     def test_cold_and_warm_match_serial(self, engine_corpus, reference_table,
-                                        tmp_path):
-        engine = ExtractionEngine(
-            workers=1, cache=FeatureCache(str(tmp_path / "cache"))
-        )
+                                        make_cache):
+        engine = ExtractionEngine(workers=1, cache=make_cache())
         cold = build_feature_table(engine_corpus, engine=engine)
         warm = build_feature_table(engine_corpus, engine=engine)
         assert_rows_identical(reference_table, cold)
         assert_rows_identical(reference_table, warm)
 
     def test_parallel_warm_cache_matches_serial(self, engine_corpus,
-                                                reference_table, tmp_path):
-        cache = FeatureCache(str(tmp_path / "cache"))
+                                                reference_table, make_cache):
+        cache = make_cache()
         build_feature_table(
             engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
         )
@@ -68,10 +74,10 @@ class TestCacheEquivalence:
         )
         assert_rows_identical(reference_table, warm)
 
-    def test_warm_run_extracts_zero_apps(self, engine_corpus, tmp_path):
+    def test_warm_run_extracts_zero_apps(self, engine_corpus, make_cache):
         from repro import obs
 
-        cache = FeatureCache(str(tmp_path / "cache"))
+        cache = make_cache()
         build_feature_table(
             engine_corpus, engine=ExtractionEngine(workers=2, cache=cache)
         )
@@ -84,6 +90,27 @@ class TestCacheEquivalence:
         assert counters["engine.cache.hits"] == len(engine_corpus.apps)
         assert "engine.extracted" not in counters
         assert "engine.cache.misses" not in counters
+
+    def test_backends_serve_identical_bytes(self, engine_corpus,
+                                            reference_table, tmp_path):
+        """FS-served and SQLite-served rows are repr/key-order equal."""
+        fs_cache = FeatureCache(str(tmp_path / "fs-cache"))
+        sq_cache = FeatureCache(f"sqlite:{tmp_path / 'cache.db'}")
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=1, cache=fs_cache)
+        )
+        build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=1, cache=sq_cache)
+        )
+        warm_fs = build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=1, cache=fs_cache)
+        )
+        warm_sq = build_feature_table(
+            engine_corpus, engine=ExtractionEngine(workers=1, cache=sq_cache)
+        )
+        assert_rows_identical(reference_table, warm_fs)
+        assert_rows_identical(reference_table, warm_sq)
+        assert_rows_identical(warm_fs, warm_sq)
 
 
 class TestModelEquivalence:

@@ -153,6 +153,55 @@ class TestLoadShedding:
         assert MicroBatcher(lambda i: i, batch_window=2.5).retry_after == 3
 
 
+class TestCancelledFutures:
+    def test_cancelled_entry_never_reaches_the_model(self):
+        processed = []
+        release = threading.Event()
+
+        def process(items):
+            release.wait(timeout=10)
+            processed.extend(items)
+            return items
+
+        batcher = make_batcher(process, batch_window=0.0, batch_size=1,
+                               queue_depth=4)
+        try:
+            first = batcher.submit(1)
+            time.sleep(0.1)           # collector holds item 1
+            orphan = batcher.submit(2)
+            assert orphan.cancel()    # handler gave up on it
+            release.set()
+            assert first.result(timeout=5) == 1
+            # the collector must drain (and drop) the cancelled entry
+            for _ in range(100):
+                if batcher._queue.empty():
+                    break
+                time.sleep(0.02)
+            time.sleep(0.1)
+            assert processed == [1]
+        finally:
+            release.set()
+            batcher.stop()
+
+    def test_fully_cancelled_batch_counts_nothing(self):
+        obs.configure()
+        release = threading.Event()
+        batcher = make_batcher(lambda items: (release.wait(10), items)[1],
+                               batch_window=0.0, batch_size=1, queue_depth=4)
+        try:
+            batcher.submit(1)
+            time.sleep(0.1)
+            batcher.submit(2).cancel()
+            release.set()
+            time.sleep(0.2)
+            histograms = obs.active().metrics.snapshot()["histograms"]
+            # only the live batch was dispatched and sized
+            assert histograms["serve.batch_size"]["count"] == 1
+        finally:
+            release.set()
+            batcher.stop()
+
+
 class TestLifecycle:
     def test_submit_before_start_rejected(self):
         batcher = MicroBatcher(lambda items: items)
@@ -170,6 +219,33 @@ class TestLifecycle:
         batcher.stop()
         # whichever way the race went, the future must be resolved
         assert stranded.done()
+
+    def test_stop_with_full_queue_is_bounded(self):
+        """Shutdown must not park behind a saturated queue.
+
+        Regression: ``stop()`` used a blocking ``put(_STOP)``, so with
+        the queue full and the collector busy the SIGTERM path stalled
+        until the backlog drained. Now the sentinel goes in with
+        ``put_nowait``, failing one queued future per refusal.
+        """
+        release = threading.Event()
+        batcher = make_batcher(lambda items: (release.wait(10), items)[1],
+                               batch_window=0.0, batch_size=1, queue_depth=2)
+        try:
+            batcher.submit(1)          # taken by the collector, blocked
+            time.sleep(0.1)
+            stranded = [batcher.submit(2), batcher.submit(3)]  # queue full
+            started = time.perf_counter()
+            batcher.stop(timeout=0.2)
+            elapsed = time.perf_counter() - started
+            # bounded by the join timeout, not the 10 s collector block
+            assert elapsed < 2.0
+            for future in stranded:
+                assert future.done()
+                assert isinstance(future.exception(timeout=1),
+                                  RuntimeError)
+        finally:
+            release.set()
 
     def test_stop_is_idempotent(self):
         batcher = make_batcher(lambda items: items)
