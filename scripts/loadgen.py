@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Synthetic load generator for the prediction daemon.
+
+Drives one endpoint of a running daemon at fixed concurrency for a
+fixed duration over persistent (keep-alive) connections, then reports
+latency percentiles, throughput, and shed rate:
+
+    PYTHONPATH=src python scripts/loadgen.py \\
+        --url http://127.0.0.1:8080 --endpoint /analyze \\
+        --payload '{"path": "src/repro/serve"}' \\
+        --concurrency 16 --duration 10 --report loadgen.json \\
+        --bench-json BENCH_run.json --label analyze.async
+
+Each worker thread owns one connection and fires requests back to
+back, so ``--concurrency N`` means exactly N requests in flight. A
+``--warmup`` window at the start is driven but excluded from the
+stats (cold caches and pool fork cost would otherwise pollute p99).
+
+Status accounting: 2xx is ``ok``, 503 is ``shed`` (the daemon's
+bounded queues refusing work — counted separately because shedding
+under overload is correct behaviour with its own SLO), anything else
+is ``errors``. Connection failures count as errors and the worker
+reconnects.
+
+With ``--bench-json`` the summary is also merged into a
+``BENCH_run.json``-shaped document under a top-level ``"serving"``
+mapping keyed by ``--label``, so serving performance rides the same
+artifact and comparison tooling as the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+import urllib.parse
+
+
+class Worker(threading.Thread):
+    """One persistent-connection client hammering the endpoint."""
+
+    def __init__(self, args, stop_at, warmup_until):
+        super().__init__(daemon=True)
+        self.args = args
+        self.stop_at = stop_at
+        self.warmup_until = warmup_until
+        self.latencies_ms = []
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.warmup_requests = 0
+
+    def run(self):
+        parsed = urllib.parse.urlsplit(self.args.url)
+        host = parsed.hostname or "127.0.0.1"
+        port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        body = self.args.payload_bytes
+        headers = {"Content-Type": "application/json"}
+        connection = None
+        while time.monotonic() < self.stop_at:
+            if connection is None:
+                connection = http.client.HTTPConnection(
+                    host,
+                    port,
+                    timeout=self.args.request_timeout,
+                )
+            started = time.monotonic()
+            try:
+                connection.request(
+                    self.args.method,
+                    self.args.endpoint,
+                    body=body,
+                    headers=headers,
+                )
+                response = connection.getresponse()
+                response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException):
+                self.record(started, None)
+                connection.close()
+                connection = None
+                continue
+            self.record(started, status)
+        if connection is not None:
+            connection.close()
+
+    def record(self, started, status):
+        elapsed_ms = (time.monotonic() - started) * 1e3
+        if started < self.warmup_until:
+            self.warmup_requests += 1
+            return
+        if status is None:
+            self.errors += 1
+        elif status == 503:
+            self.shed += 1
+        elif 200 <= status < 300:
+            self.ok += 1
+            self.latencies_ms.append(elapsed_ms)
+        else:
+            self.errors += 1
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return None
+    index = round(q * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+def run_load(args):
+    now = time.monotonic()
+    warmup_until = now + args.warmup
+    stop_at = warmup_until + args.duration
+    workers = [Worker(args, stop_at, warmup_until) for _ in range(args.concurrency)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=args.warmup + args.duration + 120)
+        if worker.is_alive():
+            raise SystemExit("loadgen: a worker thread never finished")
+    latencies = sorted(value for worker in workers for value in worker.latencies_ms)
+    ok = sum(worker.ok for worker in workers)
+    shed = sum(worker.shed for worker in workers)
+    errors = sum(worker.errors for worker in workers)
+    warmup = sum(worker.warmup_requests for worker in workers)
+    total = ok + shed + errors
+    summary = {
+        "url": args.url,
+        "endpoint": args.endpoint,
+        "concurrency": args.concurrency,
+        "duration_s": args.duration,
+        "warmup_s": args.warmup,
+        "warmup_requests": warmup,
+        "requests": total,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "shed_rate": (shed / total) if total else 0.0,
+        "error_rate": (errors / total) if total else 0.0,
+        "throughput_rps": ok / args.duration if args.duration else 0.0,
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50),
+            "p90": percentile(latencies, 0.90),
+            "p99": percentile(latencies, 0.99),
+            "mean": (sum(latencies) / len(latencies)) if latencies else None,
+            "max": latencies[-1] if latencies else None,
+        },
+    }
+    return summary
+
+
+def merge_bench(path, label, summary):
+    """Fold the summary into a BENCH_run.json-shaped document.
+
+    Creates the file (with an empty ``benchmarks`` mapping, the shape
+    ``bench_compare.py`` requires) when it does not exist yet;
+    otherwise only the ``serving`` section is touched.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        doc = {}
+    doc.setdefault("benchmarks", {})
+    doc.setdefault("serving", {})[label] = {
+        "concurrency": summary["concurrency"],
+        "throughput_rps": summary["throughput_rps"],
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "shed_rate": summary["shed_rate"],
+        "error_rate": summary["error_rate"],
+        "requests": summary["requests"],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="drive a running repro daemon at fixed concurrency"
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of the daemon, e.g. http://127.0.0.1:8080",
+    )
+    parser.add_argument(
+        "--endpoint",
+        default="/analyze",
+        help="endpoint to hammer (default: /analyze)",
+    )
+    parser.add_argument(
+        "--method",
+        default="POST",
+        choices=("GET", "POST"),
+        help="HTTP method (default: POST)",
+    )
+    payload = parser.add_mutually_exclusive_group()
+    payload.add_argument(
+        "--payload",
+        default=None,
+        help="inline JSON request body",
+    )
+    payload.add_argument(
+        "--payload-file",
+        default=None,
+        help="file holding the JSON request body",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="worker threads / in-flight requests (default: 8)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="measured seconds of load (default: 10)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=2.0,
+        help="seconds of unmeasured warmup traffic (default: 2)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help="per-request socket timeout (default: 60)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="write the full summary JSON here",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="merge the summary into this BENCH_run.json document",
+    )
+    parser.add_argument(
+        "--label",
+        default="serve",
+        help="key for the bench-json serving section (default: serve)",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.payload_file:
+        with open(args.payload_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = args.payload or ""
+    if text:
+        try:
+            json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"loadgen: payload is not valid JSON: {exc}")
+    args.payload_bytes = text.encode("utf-8") if text else None
+    if args.concurrency < 1:
+        raise SystemExit("loadgen: --concurrency must be >= 1")
+    summary = run_load(args)
+    json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.bench_json:
+        merge_bench(args.bench_json, args.label, summary)
+    if summary["requests"] == 0:
+        raise SystemExit("loadgen: no requests completed — daemon down?")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

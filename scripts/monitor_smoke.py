@@ -27,18 +27,24 @@ from __future__ import annotations
 
 import json
 import os
-import signal
 import socket
 import subprocess
 import sys
 import tempfile
 import time
-import urllib.error
 import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from smokeboot import (  # noqa: E402 — sibling helper module
+    DaemonError,
+    boot_daemon,
+    cli_env,
+    kill_quietly,
+    shutdown_daemon,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGET_TREE = os.path.join("src", "repro", "obs")
-BOOT_TIMEOUT = 60.0
 
 SLO_RULES = {
     "slo": [
@@ -61,12 +67,6 @@ def fail(message: str) -> None:
 
 def step(message: str) -> None:
     print(f"monitor-smoke: {message}", flush=True)
-
-
-def cli_env() -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
-    return env
 
 
 def run_cli(*argv: str) -> subprocess.CompletedProcess:
@@ -124,32 +124,19 @@ def main() -> int:
 
     port = free_port()
     base = f"http://127.0.0.1:{port}"
+    stderr_path = os.path.join(workdir, "daemon.stderr")
     step(f"booting repro serve with SLO + stream + access log on {port}")
-    server = subprocess.Popen(
-        [sys.executable, "-m", "repro",
-         "--stream", stream_path,
-         "serve", "--model", model, "--port", str(port),
-         "--batch-window", "0.005",
-         "--slo", slo_path, "--access-log", access_path],
-        cwd=REPO_ROOT, env=cli_env(),
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
-        deadline = time.monotonic() + BOOT_TIMEOUT
-        health = None
-        while time.monotonic() < deadline:
-            if server.poll() is not None:
-                _, stderr = server.communicate(timeout=5)
-                fail(f"server died during boot (exit {server.returncode}):"
-                     f"\n{stderr}")
-            try:
-                _, body, _ = request(f"{base}/healthz")
-                health = json.loads(body)
-                break
-            except (urllib.error.URLError, ConnectionError, OSError):
-                time.sleep(0.25)
-        if health is None:
-            fail(f"/healthz not answering within {BOOT_TIMEOUT}s")
-
+        server, health = boot_daemon(
+            [sys.executable, "-m", "repro",
+             "--stream", stream_path,
+             "serve", "--model", model, "--port", str(port),
+             "--batch-window", "0.005",
+             "--slo", slo_path, "--access-log", access_path],
+            base, stderr_path, cwd=REPO_ROOT)
+    except DaemonError as exc:
+        fail(exc.message)
+    try:
         step("driving traffic (predict + analyze)")
         _, offline, _ = request(f"{base}/analyze",
                                 {"path": TARGET_TREE}, "POST")
@@ -205,18 +192,12 @@ def main() -> int:
             fail(f"minted X-Trace-Id looks wrong: {minted!r}")
 
         step("sending SIGTERM")
-        server.send_signal(signal.SIGTERM)
         try:
-            code = server.wait(timeout=30)
-        except subprocess.TimeoutExpired:
-            server.kill()
-            fail("server did not exit within 30s of SIGTERM")
-        if code != 0:
-            _, stderr = server.communicate(timeout=5)
-            fail(f"server exited {code} after SIGTERM:\n{stderr}")
+            shutdown_daemon(server, stderr_path)
+        except DaemonError as exc:
+            fail(exc.message)
     finally:
-        if server.poll() is None:
-            server.kill()
+        kill_quietly(server)
 
     step("checking the structured access log")
     with open(access_path, "r", encoding="utf-8") as handle:

@@ -22,18 +22,23 @@ from __future__ import annotations
 
 import json
 import os
-import signal
 import socket
 import subprocess
 import sys
 import tempfile
-import time
-import urllib.error
 import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from smokeboot import (  # noqa: E402 — sibling helper module
+    DaemonError,
+    boot_daemon,
+    cli_env,
+    kill_quietly,
+    shutdown_daemon,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGET_TREE = os.path.join("src", "repro", "serve")
-BOOT_TIMEOUT = 60.0
 
 
 def fail(message: str) -> None:
@@ -46,11 +51,9 @@ def step(message: str) -> None:
 
 
 def run_cli(*argv: str) -> subprocess.CompletedProcess:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, "-m", "repro", *argv],
-        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        cwd=REPO_ROOT, env=cli_env(), capture_output=True, text=True)
 
 
 def free_port() -> int:
@@ -93,30 +96,16 @@ def main() -> int:
 
     port = free_port()
     base = f"http://127.0.0.1:{port}"
+    stderr_path = os.path.join(workdir, "daemon.stderr")
     step(f"booting repro serve on port {port}")
-    env = dict(os.environ)
-    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
-    server = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--model", model,
-         "--port", str(port), "--batch-window", "0.005"],
-        cwd=REPO_ROOT, env=env,
-        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
-        deadline = time.monotonic() + BOOT_TIMEOUT
-        health = None
-        while time.monotonic() < deadline:
-            if server.poll() is not None:
-                _, stderr = server.communicate(timeout=5)
-                fail(f"server died during boot (exit {server.returncode}):"
-                     f"\n{stderr}")
-            try:
-                _, body = request(f"{base}/healthz")
-                health = json.loads(body)
-                break
-            except (urllib.error.URLError, ConnectionError, OSError):
-                time.sleep(0.25)
-        if health is None:
-            fail(f"/healthz not answering within {BOOT_TIMEOUT}s")
+        server, health = boot_daemon(
+            [sys.executable, "-m", "repro", "serve", "--model", model,
+             "--port", str(port), "--batch-window", "0.005"],
+            base, stderr_path, cwd=REPO_ROOT)
+    except DaemonError as exc:
+        fail(exc.message)
+    try:
         step("checking /healthz build identity")
         if health["status"] != "ok":
             fail(f"unexpected health status: {health['status']}")
@@ -161,18 +150,12 @@ def main() -> int:
             fail("predict latency histogram missing observations")
 
         step("sending SIGTERM and checking clean exit")
-        server.send_signal(signal.SIGTERM)
         try:
-            code = server.wait(timeout=30)
-        except subprocess.TimeoutExpired:
-            server.kill()
-            fail("server did not exit within 30s of SIGTERM")
-        if code != 0:
-            _, stderr = server.communicate(timeout=5)
-            fail(f"server exited {code} after SIGTERM:\n{stderr}")
+            shutdown_daemon(server, stderr_path)
+        except DaemonError as exc:
+            fail(exc.message)
     finally:
-        if server.poll() is None:
-            server.kill()
+        kill_quietly(server)
     step("PASS — served responses byte-identical, clean shutdown")
     return 0
 

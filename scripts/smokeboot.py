@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Shared daemon-boot plumbing for the smoke and load scripts.
+
+Every serve-flavoured CI leg used to roll its own boot loop, and the
+flakiest failure mode in the suite was always the same one: the daemon
+subprocess wrote stderr into a ``subprocess.PIPE`` nobody drained, the
+pipe filled, and the daemon blocked mid-boot until the poll deadline
+shrugged with an unexplained timeout. This module fixes that once:
+
+- stderr goes to a *file* (unbounded, never blocks the child), and its
+  full contents ride along in every failure message;
+- boot is a bounded-deadline poll against ``/healthz`` — no fixed
+  sleeps — that also notices the daemon dying early and reports its
+  exit code plus captured stderr instead of a generic timeout.
+
+Import it from a sibling script (``scripts/`` is the script's own
+directory, so a plain ``import smokeboot`` works when run as
+``python scripts/serve_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional, Tuple
+
+DEFAULT_BOOT_TIMEOUT = 60.0
+
+
+class DaemonError(SystemExit):
+    """A daemon lifecycle step failed; the message is print-ready."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+def cli_env() -> dict:
+    """The subprocess environment with ``src`` on ``PYTHONPATH``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def captured_stderr(stderr_path: str) -> str:
+    try:
+        with open(stderr_path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return "<stderr file unreadable>"
+
+
+def boot_daemon(
+    argv: List[str],
+    base_url: str,
+    stderr_path: str,
+    cwd: Optional[str] = None,
+    env: Optional[dict] = None,
+    boot_timeout: float = DEFAULT_BOOT_TIMEOUT,
+) -> Tuple[subprocess.Popen, dict]:
+    """Start a daemon subprocess and wait for ``/healthz`` to answer.
+
+    Polls with a bounded deadline instead of a fixed sleep; returns
+    ``(process, health_document)`` once the daemon is up. Raises
+    :class:`DaemonError` — with the daemon's captured stderr in the
+    message — if the process dies during boot or the deadline passes.
+    """
+    stderr_handle = open(stderr_path, "w", encoding="utf-8")
+    try:
+        process = subprocess.Popen(
+            argv, cwd=cwd, env=env or cli_env(),
+            stdout=subprocess.DEVNULL, stderr=stderr_handle)
+    finally:
+        # The child owns the descriptor now; the parent's handle would
+        # only keep the file open past the child's lifetime.
+        stderr_handle.close()
+    deadline = time.monotonic() + boot_timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise DaemonError(
+                f"daemon died during boot (exit {process.returncode});"
+                f" stderr:\n{captured_stderr(stderr_path)}")
+        try:
+            with urllib.request.urlopen(f"{base_url}/healthz",
+                                        timeout=5) as resp:
+                return process, json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, ConnectionError, OSError,
+                json.JSONDecodeError):
+            time.sleep(0.25)
+    process.kill()
+    process.wait(timeout=10)
+    raise DaemonError(
+        f"/healthz not answering within {boot_timeout:.0f}s; daemon "
+        f"stderr:\n{captured_stderr(stderr_path)}")
+
+
+def shutdown_daemon(process: subprocess.Popen, stderr_path: str,
+                    timeout: float = 30.0) -> None:
+    """SIGTERM the daemon and require a clean exit code 0.
+
+    Raises :class:`DaemonError` (with captured stderr) on a timeout or
+    a non-zero exit.
+    """
+    import signal
+
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10)
+        raise DaemonError(
+            f"daemon did not exit within {timeout:.0f}s of SIGTERM; "
+            f"stderr:\n{captured_stderr(stderr_path)}")
+    if code != 0:
+        raise DaemonError(
+            f"daemon exited {code} after SIGTERM; stderr:\n"
+            f"{captured_stderr(stderr_path)}")
+
+
+def kill_quietly(process: subprocess.Popen) -> None:
+    """Best-effort cleanup for ``finally`` blocks."""
+    if process.poll() is None:
+        process.kill()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+if __name__ == "__main__":
+    print("smokeboot is a helper module for the smoke scripts, "
+          "not a script itself", file=sys.stderr)
+    raise SystemExit(2)

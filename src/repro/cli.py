@@ -277,8 +277,19 @@ def _load_rules_or_exit(path: str):
 
 
 def cmd_serve(args) -> int:
-    """Run the prediction daemon until SIGTERM/SIGINT (exit 0)."""
-    from repro.serve import ModelStore, PredictionServer
+    """Run the prediction daemon until SIGTERM/SIGINT (exit 0).
+
+    SIGHUP (POSIX) triggers a blue/green model re-scan: the specs the
+    live store was built from are re-read from disk and swapped in
+    atomically; a failed re-scan is logged and the old store keeps
+    serving. The handler only flags the request — the actual reload
+    runs on the main thread's wait loop, never in signal context.
+    """
+    from repro.serve import (
+        AsyncPredictionServer,
+        ModelStore,
+        PredictionServer,
+    )
     from repro.serve.modelstore import ModelLoadError as LoadError
 
     try:
@@ -286,9 +297,7 @@ def cmd_serve(args) -> int:
     except LoadError as exc:
         raise SystemExit(str(exc))
     slo_rules = _load_rules_or_exit(args.slo) if args.slo else ()
-    server = PredictionServer(
-        store,
-        engine=_engine_from_args(args),
+    shared = dict(
         host=args.host,
         port=args.port,
         batch_window=args.batch_window,
@@ -297,19 +306,59 @@ def cmd_serve(args) -> int:
         slo_rules=slo_rules,
         access_log=args.access_log,
     )
-    stop = threading.Event()
+    if args.server == "thread":
+        server = PredictionServer(
+            store, engine=_engine_from_args(args), **shared)
+    else:
+        server = AsyncPredictionServer(
+            store,
+            config=EngineConfig.from_args(args),
+            pool_size=args.pool_size,
+            checkout_timeout=args.checkout_timeout,
+            **shared)
+
+    wake = threading.Event()
+    flags = {"stop": False, "reload": False}
 
     def _request_stop(signum, frame):
-        stop.set()
+        flags["stop"] = True
+        wake.set()
+
+    def _request_reload(signum, frame):
+        flags["reload"] = True
+        wake.set()
 
     previous = {}
     for signum in (signal.SIGTERM, signal.SIGINT):
         previous[signum] = signal.signal(signum, _request_stop)
+    if hasattr(signal, "SIGHUP"):
+        previous[signal.SIGHUP] = signal.signal(
+            signal.SIGHUP, _request_reload)
     try:
-        server.start()
-        print(f"repro-serve {package_version()} listening on {server.url} "
+        if args.server == "async":
+            server.start(warm=True)  # fork pool workers before traffic
+        else:
+            server.start()
+        print(f"repro-serve {package_version()} ({args.server}) "
+              f"listening on {server.url} "
               f"(models: {', '.join(store.names())})", file=sys.stderr)
-        stop.wait()
+        while True:
+            wake.wait()
+            wake.clear()
+            if flags["reload"]:
+                flags["reload"] = False
+                try:
+                    old, new = server.reload_models()
+                    print(f"SIGHUP: models reloaded "
+                          f"(v{old.version} -> v{new.version}: "
+                          f"{', '.join(new.names())})", file=sys.stderr)
+                except LoadError as exc:
+                    obs.incr("serve.model_reload_errors")
+                    print(f"SIGHUP: reload failed, keeping "
+                          f"v{server.store.version} serving — {exc}",
+                          file=sys.stderr)
+            if flags["stop"]:
+                break
         print("shutting down", file=sys.stderr)
         server.stop()
     finally:
@@ -493,6 +542,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind address (default: 127.0.0.1)")
     p.add_argument("--port", type=int, default=8080,
                    help="bind port; 0 picks a free one (default: 8080)")
+    p.add_argument("--server", choices=("async", "thread"),
+                   default="async",
+                   help="serving tier: 'async' (keep-alive HTTP + "
+                        "engine pool, the default) or 'thread' (the "
+                        "single-engine-lock ThreadingHTTPServer)")
+    p.add_argument("--pool-size", type=int, default=2, metavar="N",
+                   help="async tier: engine-pool slots — concurrent "
+                        "/analyze extraction bound (default: 2)")
+    p.add_argument("--checkout-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="async tier: how long /analyze waits for a "
+                        "free engine before 503 (default: 30.0)")
     p.add_argument("--batch-window", type=float, default=0.01,
                    metavar="SECONDS",
                    help="micro-batch collection window (default: 0.01)")

@@ -19,22 +19,36 @@ ExtractionEngine`:
 - :mod:`repro.serve.handlers` — routing, validation, and per-endpoint
   metrics (``serve.requests`` / ``serve.errors`` counters and
   ``serve.<endpoint>.seconds`` histograms in :mod:`repro.obs`);
-- :mod:`repro.serve.server` — the daemon itself: ``POST /predict``,
-  ``POST /analyze``, ``GET /healthz``, ``GET /metricz``.
+- :mod:`repro.serve.enginepool` — N extraction engines in worker
+  processes, checked out per ``/analyze`` request (the async tier's
+  concurrency unit);
+- :mod:`repro.serve.server` — the shared app core
+  (:class:`~repro.serve.server.ServingApp`: model store + blue/green
+  hot reload, batcher, health) and the threaded daemon;
+- :mod:`repro.serve.aio` — the asyncio daemon: keep-alive HTTP/1.1,
+  engine-pool ``/analyze``, direct load shedding at the loop.
+
+Both tiers serve ``POST /predict``, ``POST /analyze``,
+``GET /healthz``, ``GET /metricz``, and ``GET|POST /models`` (model
+hot reload), and both build every response in
+:mod:`repro.serve.payloads` — so served bytes are identical across
+tiers and to the offline ``repro analyze --json`` path.
 
 Start one from the CLI with ``repro serve --model model.pkl`` or
 programmatically::
 
-    from repro.serve import ModelStore, PredictionServer
+    from repro.serve import AsyncPredictionServer, ModelStore
 
     store = ModelStore.from_specs(["default=model.pkl"])
-    server = PredictionServer(store, port=0)   # port 0: pick a free one
+    server = AsyncPredictionServer(store, port=0, pool_size=4)
     server.start()
     ...                                        # server.port is bound now
     server.stop()
 """
 
+from repro.serve.aio import AsyncPredictionServer
 from repro.serve.batching import MicroBatcher, QueueSaturated
+from repro.serve.enginepool import EnginePool, PoolSaturated
 from repro.serve.modelstore import ModelLoadError, ModelStore, load_model
 from repro.serve.payloads import (
     SCHEMA_VERSION,
@@ -42,15 +56,19 @@ from repro.serve.payloads import (
     dump_payload,
     prediction_payload,
 )
-from repro.serve.server import PredictionServer
+from repro.serve.server import PredictionServer, ServingApp
 
 __all__ = [
+    "AsyncPredictionServer",
+    "EnginePool",
     "MicroBatcher",
     "ModelLoadError",
     "ModelStore",
+    "PoolSaturated",
     "PredictionServer",
     "QueueSaturated",
     "SCHEMA_VERSION",
+    "ServingApp",
     "analysis_payload",
     "dump_payload",
     "load_model",

@@ -1,0 +1,288 @@
+"""A pool of extraction engines for concurrent ``/analyze`` traffic.
+
+The threaded daemon serialised every ``/analyze`` behind one
+``engine_lock`` — correct, but it caps extraction throughput at one
+request at a time no matter how many cores the host has. The
+:class:`EnginePool` replaces the lock with *N engines checked out per
+request*: each pool slot is a long-lived worker **process** owning its
+own :class:`~repro.engine.ExtractionEngine` (built from the same
+:class:`~repro.engine.EngineConfig` the CLI resolves), so N requests
+extract genuinely in parallel — separate interpreters, no GIL
+contention — while the (N+1)-th waits for a slot.
+
+Checkout semantics are shed-don't-collapse, mirroring the
+micro-batcher: a request that cannot obtain a slot within
+``checkout_timeout`` seconds is refused with :class:`PoolSaturated`,
+which the HTTP layer turns into ``503`` + ``Retry-After``. The wait
+itself is observable (``serve.pool.wait.seconds``), as are the shed
+count (``serve.pool.shed``), the live occupancy gauge
+(``serve.pool.in_use``), and one-per-lifetime executor rebuilds after
+a worker death (``serve.pool.rebuilds``).
+
+Byte-identity is preserved by construction: a pool worker runs the very
+same ``ExtractionEngine.extract_one`` the offline CLI runs (serial
+inside the worker — the pool slot *is* the parallelism unit), with the
+same float normalisation and the same cache semantics, so a row
+computed by slot 3 is indistinguishable from one computed by the CLI.
+Worker-side telemetry (spans, counters — cache hits included) is
+captured in the worker's private :mod:`repro.obs` session, stamped with
+the request's trace ID, shipped back, and grafted into the parent
+session, exactly like the extraction scheduler's own process-pool
+workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.engine import EngineConfig, ExtractionEngine
+from repro.lang import Codebase
+
+#: Default bound on how long a request waits for a free engine before
+#: being shed (seconds). Matches the serving layer's request timeout
+#: scale: a pool that cannot free a slot in this long is overloaded.
+DEFAULT_CHECKOUT_TIMEOUT = 30.0
+
+
+class PoolSaturated(Exception):
+    """Every engine is busy and the checkout wait timed out.
+
+    ``retry_after`` is the whole-second hint the HTTP layer forwards as
+    the ``Retry-After`` header.
+    """
+
+    def __init__(self, retry_after: int = 1):
+        super().__init__(
+            f"all extraction engines are busy; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+# -- worker-process side ----------------------------------------------
+
+#: Per-process engine handle, built lazily from the config the
+#: initializer ships in. Module-level because pool workers re-import
+#: this module; one engine per worker process, reused across requests.
+_WORKER_ENGINE: Optional[ExtractionEngine] = None
+
+
+def _pool_init(config: EngineConfig) -> None:
+    """Executor initializer: build this worker's private engine.
+
+    The engine is forced to ``workers=1`` — the pool slot is the unit
+    of parallelism, so a pooled engine extracting through a nested
+    process pool would only oversubscribe the host. Cache configuration
+    (filesystem or shared SQLite) carries over unchanged: all slots
+    share one warm cache exactly like concurrent CLI runs do.
+    """
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = dataclasses.replace(config, workers=1).build()
+
+
+def _pool_extract(
+    codebase: Codebase,
+    include_dynamic: bool,
+    capture: bool,
+    trace_id: Optional[str],
+) -> Tuple[Dict[str, float], Optional[List[dict]], Optional[Dict[str, float]]]:
+    """Run one extraction on this worker's engine; ship telemetry home.
+
+    Returns ``(row, span_records, counters)``. With ``capture`` the
+    worker records into a private obs session stamped with the
+    request's ``trace_id`` so the shipped spans stitch into the same
+    request trace after the parent grafts them.
+    """
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("engine pool worker was not initialised")
+    session = obs.configure(trace_id=trace_id) if capture else None
+    try:
+        row = engine.extract_one(codebase, include_dynamic=include_dynamic)
+    finally:
+        if session is not None:
+            obs.disable()
+    if session is not None:
+        return (row, session.tracer.records(),
+                session.metrics.snapshot()["counters"])
+    return row, None, None
+
+
+# -- parent side ------------------------------------------------------
+
+
+class EnginePool:
+    """N extraction engines, each in its own process, checked out per
+    request.
+
+    Args:
+        config: the engine shape every slot builds (workers forced to
+            1 per slot; cache/failure knobs carry over).
+        size: number of engine slots — the daemon's concurrent
+            ``/analyze`` extraction bound.
+        checkout_timeout: seconds a request may wait for a free slot
+            before being shed with :class:`PoolSaturated`.
+
+    The pool is thread-safe: handler threads call
+    :meth:`extract_one` concurrently; a semaphore bounds occupancy and
+    the shared :class:`~concurrent.futures.ProcessPoolExecutor` (one
+    worker per slot) runs the extractions. A worker death rebuilds the
+    executor once per pool lifetime (``serve.pool.rebuilds``); a second
+    breakage propagates.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        size: int = 2,
+        checkout_timeout: float = DEFAULT_CHECKOUT_TIMEOUT,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if not checkout_timeout > 0:
+            raise ValueError("checkout_timeout must be positive")
+        self.config = config if config is not None else EngineConfig()
+        self.size = int(size)
+        self.checkout_timeout = float(checkout_timeout)
+        self._slots = threading.Semaphore(self.size)
+        self._state_lock = threading.Lock()
+        self._in_use = 0
+        self._rebuilds_left = 1
+        self._closed = False
+        self._executor = self._make_executor()
+        # Resolved once: /healthz asks for this on every probe, and
+        # building an engine (cache backend included) per probe would
+        # be wasteful.
+        self._engine_shape = dataclasses.replace(
+            self.config, workers=1).build().describe()
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.size,
+            initializer=_pool_init,
+            initargs=(self.config,),
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def prestart(self) -> None:
+        """Spawn and initialise every worker now, not on first request.
+
+        ProcessPoolExecutor spawns workers on demand; a daemon that
+        warms the pool at boot pays import/fork cost once, before
+        traffic, instead of on the first N requests.
+        """
+        list(self._executor.map(_noop, range(self.size)))
+
+    def close(self) -> None:
+        """Shut the executor down; in-flight extractions finish first."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor = self._executor
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- extraction ---------------------------------------------------
+
+    def extract_one(
+        self,
+        codebase: Codebase,
+        include_dynamic: bool = False,
+    ) -> Dict[str, float]:
+        """Extract one codebase on the next free engine.
+
+        Blocks up to ``checkout_timeout`` for a slot, then raises
+        :class:`PoolSaturated`. Extraction failures surface as
+        :class:`~repro.engine.ExtractionError` exactly like the
+        in-process path. The caller's thread-bound trace ID rides into
+        the worker and its spans/counters are grafted back, so one
+        request still exports one connected trace.
+        """
+        waited_from = perf_counter()
+        if not self._slots.acquire(timeout=self.checkout_timeout):
+            obs.incr("serve.pool.shed")
+            obs.event("serve.pool.shed", size=self.size,
+                      waited_s=round(self.checkout_timeout, 3))
+            raise PoolSaturated(max(1, int(self.checkout_timeout // 4)))
+        obs.observe("serve.pool.wait.seconds", perf_counter() - waited_from)
+        with self._state_lock:
+            self._in_use += 1
+            obs.gauge("serve.pool.in_use", self._in_use)
+        try:
+            capture = obs.is_enabled()
+            trace_id = obs.current_trace_id() if capture else None
+            with obs.span("serve.pool.extract", pool_size=self.size,
+                          app=codebase.name):
+                row, spans, counters = self._run(
+                    codebase, include_dynamic, capture, trace_id)
+            if spans:
+                obs.graft_spans(spans)
+            if counters:
+                obs.merge_counters(counters)
+            return row
+        finally:
+            with self._state_lock:
+                self._in_use -= 1
+                obs.gauge("serve.pool.in_use", self._in_use)
+            self._slots.release()
+
+    def _run(self, codebase, include_dynamic, capture, trace_id):
+        """Submit to the executor, surviving one worker-pool breakage."""
+        try:
+            executor = self._executor_or_raise()
+            return executor.submit(
+                _pool_extract, codebase, include_dynamic, capture,
+                trace_id).result()
+        except BrokenExecutor:
+            self._rebuild()
+            executor = self._executor_or_raise()
+            return executor.submit(
+                _pool_extract, codebase, include_dynamic, capture,
+                trace_id).result()
+
+    def _executor_or_raise(self) -> ProcessPoolExecutor:
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("engine pool is closed")
+            return self._executor
+
+    def _rebuild(self) -> None:
+        """Replace a broken executor, at most once per pool lifetime."""
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("engine pool is closed")
+            if self._rebuilds_left <= 0:
+                raise RuntimeError(
+                    "engine pool worker processes died twice; refusing "
+                    "to rebuild again")
+            self._rebuilds_left -= 1
+            broken = self._executor
+            self._executor = self._make_executor()
+        obs.incr("serve.pool.rebuilds")
+        obs.event("serve.pool.rebuild", size=self.size)
+        broken.shutdown(wait=False, cancel_futures=True)
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        with self._state_lock:
+            return self._in_use
+
+    def describe(self) -> Dict[str, Any]:
+        """The pool's shape for ``/healthz`` (size, occupancy, engine)."""
+        return {
+            "size": self.size,
+            "in_use": self.in_use,
+            "checkout_timeout": self.checkout_timeout,
+            "engine": dict(self._engine_shape),
+        }
+
+
+def _noop(_: int) -> None:
+    """Warm-up unit for :meth:`EnginePool.prestart`."""
+    return None

@@ -44,14 +44,17 @@ from repro.obs.metrics import (
     prometheus_exposition,
 )
 from repro.serve.batching import QueueSaturated
+from repro.serve.enginepool import PoolSaturated
+from repro.serve.modelstore import ModelLoadError
 from repro.serve.payloads import analysis_payload, dump_payload
 
-#: Routing table: path -> allowed method. Anything else is 404/405.
-ROUTES: Dict[str, str] = {
-    "/healthz": "GET",
-    "/metricz": "GET",
-    "/predict": "POST",
-    "/analyze": "POST",
+#: Routing table: path -> allowed methods. Anything else is 404/405.
+ROUTES: Dict[str, Tuple[str, ...]] = {
+    "/healthz": ("GET",),
+    "/metricz": ("GET",),
+    "/predict": ("POST",),
+    "/analyze": ("POST",),
+    "/models": ("GET", "POST"),
 }
 
 
@@ -76,12 +79,18 @@ class RequestContext:
     """Per-request facts shared between the router and the endpoints.
 
     ``headers`` is the inbound header map (keys lowercased);
-    ``trace_id`` the request's resolved trace identity; ``batch_size``
+    ``trace_id`` the request's resolved trace identity; ``method`` the
+    HTTP method (for endpoints accepting more than one); ``batch_size``
     and ``shed`` are filled in by ``/predict`` for the access log.
+    ``store`` is the model-store *snapshot* resolved once at routing
+    time — every model lookup in the request goes through it, so a
+    blue/green swap mid-request cannot mix two stores in one response.
     """
 
     headers: Dict[str, str] = field(default_factory=dict)
     trace_id: str = ""
+    method: str = "GET"
+    store: Optional[object] = None
     batch_size: Optional[int] = None
     shed: bool = False
 
@@ -130,25 +139,31 @@ def _validate_features(features, where: str) -> Dict[str, float]:
     return row
 
 
-def _select_model(app, doc: dict, required: bool):
+def _select_model(ctx: RequestContext, doc: dict, required: bool):
     """The model a request names (404 on unknown), or the default.
+
+    Resolution goes through the request's store *snapshot*
+    (``ctx.store``), never back through the live server attribute — a
+    hot reload between two lookups in the same request must not let the
+    response mix models from two store versions.
 
     ``/analyze`` passes ``required=False``: without a ``model`` key it
     returns features only, byte-identical to `analyze --json` without
     ``--model``.
     """
+    store = ctx.store
     name = doc.get("model")
     if name is None and not required:
         return None, None
     if name is not None and not isinstance(name, str):
         raise HTTPError(400, "'model' must be a string")
     try:
-        model = app.store.get(name)
+        model = store.get(name)
     except KeyError:
         raise HTTPError(
             404,
-            f"unknown model {name!r}; loaded models: {app.store.names()}")
-    return model, name or app.store.default_name
+            f"unknown model {name!r}; loaded models: {store.names()}")
+    return model, name or store.default_name
 
 
 def _discard_futures(futures) -> None:
@@ -195,8 +210,52 @@ def _handle_metricz(app, doc: Optional[dict],
     return _json_response(200, snapshot)
 
 
+def _handle_models(app, doc: Optional[dict],
+                   ctx: RequestContext) -> Response:
+    """``GET /models`` lists the live snapshot; ``POST`` hot-reloads.
+
+    A POST body may name replacement specs (``{"models":
+    ["NAME=PATH", ...]}``) or be empty / ``{"rescan": true}`` to
+    re-read the specs the current store was built from (the same
+    re-scan SIGHUP triggers). The reload is blue/green: the new store
+    is fully built and validated first, then swapped in atomically —
+    a corrupt replacement model yields 400 and the old store keeps
+    serving; in-flight requests finish on the snapshot they started
+    with either way.
+    """
+    if ctx.method == "GET":
+        store = ctx.store
+        return _json_response(200, {
+            "version": store.version,
+            "default": store.default_name,
+            "models": store.describe(),
+        })
+    doc = doc or {}
+    specs = doc.get("models")
+    if specs is not None:
+        if not isinstance(specs, list) or not specs or any(
+                not isinstance(s, str) for s in specs):
+            raise HTTPError(
+                400, "'models' must be a non-empty array of NAME=PATH "
+                     "specs")
+    elif doc.get("rescan", True) is not True:
+        raise HTTPError(400, "'rescan' must be true when no 'models' "
+                             "are given")
+    try:
+        old, new = app.reload_models(specs)
+    except ModelLoadError as exc:
+        obs.incr("serve.model_reload_errors")
+        raise HTTPError(400, str(exc))
+    return _json_response(200, {
+        "version": new.version,
+        "previous_version": old.version,
+        "default": new.default_name,
+        "models": new.describe(),
+    })
+
+
 def _handle_predict(app, doc: dict, ctx: RequestContext) -> Response:
-    model, model_name = _select_model(app, doc, required=True)
+    model, model_name = _select_model(ctx, doc, required=True)
     if "instances" in doc:
         instances = doc["instances"]
         if not isinstance(instances, list) or not instances:
@@ -249,7 +308,7 @@ def _handle_predict(app, doc: dict, ctx: RequestContext) -> Response:
 
 
 def _handle_analyze(app, doc: dict, ctx: RequestContext) -> Response:
-    model, _ = _select_model(app, doc, required=False)
+    model, _ = _select_model(ctx, doc, required=False)
     dynamic = doc.get("dynamic", False)
     if not isinstance(dynamic, bool):
         raise HTTPError(400, "'dynamic' must be a boolean")
@@ -272,17 +331,20 @@ def _handle_analyze(app, doc: dict, ctx: RequestContext) -> Response:
         if len(codebase) == 0:
             raise HTTPError(
                 400, f"no recognised source files under {path!r}")
-        # One extraction at a time: the shared engine handle already
-        # parallelises *inside* a run, and serialising runs bounds the
-        # process-pool fan-out under concurrent requests. The request's
-        # thread-bound trace ID rides into the engine (and its worker
-        # processes) regardless of which handler thread holds the lock.
-        with app.engine_lock:
-            try:
-                row = app.engine.extract_one(
-                    codebase, include_dynamic=dynamic)
-            except ExtractionError as exc:
-                raise HTTPError(500, f"extraction failed — {exc}")
+        # Extraction concurrency is the server's business: the threaded
+        # tier serialises behind its engine lock, the async tier checks
+        # an engine out of its pool. Either way the request's
+        # thread-bound trace ID rides into the extraction (and any
+        # worker process it runs in).
+        try:
+            row = app.analyze_one(codebase, include_dynamic=dynamic)
+        except PoolSaturated as exc:
+            ctx.shed = True
+            raise HTTPError(
+                503, str(exc),
+                headers=[("Retry-After", str(exc.retry_after))])
+        except ExtractionError as exc:
+            raise HTTPError(500, f"extraction failed — {exc}")
         results.append(analysis_payload(codebase, row, model))
     if not batched:
         return _json_response(200, results[0])
@@ -294,6 +356,7 @@ _HANDLERS = {
     "/metricz": _handle_metricz,
     "/predict": _handle_predict,
     "/analyze": _handle_analyze,
+    "/models": _handle_models,
 }
 
 
@@ -314,19 +377,23 @@ def handle_request(app, method: str, path: str, body: bytes,
                   for key, value in (headers or {}).items()}
     trace_id = (parse_traceparent(header_map.get("traceparent", ""))
                 or new_trace_id())
-    ctx = RequestContext(headers=header_map, trace_id=trace_id)
+    # One store snapshot per request: a concurrent blue/green model
+    # swap must never be observable *within* a single response.
+    ctx = RequestContext(headers=header_map, trace_id=trace_id,
+                         method=method, store=app.store)
     obs.incr("serve.requests")
     with trace_scope(trace_id):
         with obs.span("serve.request", method=method,
                       endpoint=endpoint) as request_span:
             try:
-                expected = ROUTES.get(endpoint)
-                if expected is None:
+                allowed = ROUTES.get(endpoint)
+                if allowed is None:
                     raise HTTPError(404, f"no such endpoint: {endpoint}")
-                if method != expected:
+                if method not in allowed:
                     raise HTTPError(
-                        405, f"{endpoint} only accepts {expected}",
-                        headers=[("Allow", expected)])
+                        405,
+                        f"{endpoint} only accepts {', '.join(allowed)}",
+                        headers=[("Allow", ", ".join(allowed))])
                 doc = _parse_body(body) if method == "POST" else None
                 response = _HANDLERS[endpoint](app, doc, ctx)
             except HTTPError as exc:

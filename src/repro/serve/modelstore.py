@@ -10,6 +10,15 @@ A :class:`ModelStore` holds one or more named bundles (``NAME=PATH``
 specs; a bare path is named after its file stem). The first spec is the
 default model; requests select others with ``"model": "<name>"`` in
 the JSON body.
+
+Stores are *immutable snapshots* once built, which is what makes the
+daemon's blue/green hot reload safe: a reload builds and fully
+validates a brand-new store (carrying ``version = old.version + 1`` and
+remembering the specs it was built from, so a SIGHUP re-scan can
+re-read the same paths), then swaps the server's store reference
+atomically. In-flight requests keep serving from the old snapshot they
+resolved at routing time; a reload that fails validation leaves the old
+snapshot in place untouched.
 """
 
 from __future__ import annotations
@@ -57,20 +66,34 @@ def load_model(path: str) -> SecurityModel:
 
 
 class ModelStore:
-    """Named, validated model bundles loaded once at daemon startup."""
+    """Named, validated model bundles — one immutable serving snapshot.
 
-    def __init__(self):
+    ``version`` is a monotonically increasing identity stamp: the
+    daemon's startup store is version 1 and every successful hot reload
+    mints the next number, so clients (and the hot-reload tests) can
+    tell exactly which snapshot answered a request. ``specs`` remembers
+    the ``NAME=PATH`` specs the snapshot was built from, which is what
+    a SIGHUP re-scan re-reads.
+    """
+
+    def __init__(self, version: int = 1,
+                 specs: Sequence[str] = ()):
         self._models: Dict[str, SecurityModel] = {}
         self._default: Optional[str] = None
+        self.version = int(version)
+        self.specs: tuple = tuple(specs)
 
     @classmethod
-    def from_specs(cls, specs: Sequence[str]) -> "ModelStore":
+    def from_specs(cls, specs: Sequence[str],
+                   version: int = 1) -> "ModelStore":
         """Build a store from ``NAME=PATH`` (or bare ``PATH``) specs.
 
         The first spec becomes the default model. Raises
         :class:`ModelLoadError` on an invalid file or a duplicate name.
+        The whole store is validated before anyone can serve from it —
+        a reload that fails here never replaces a live store.
         """
-        store = cls()
+        store = cls(version=version, specs=specs)
         for spec in specs:
             name, sep, path = spec.partition("=")
             if not sep:

@@ -21,6 +21,9 @@ Endpoints:
 - ``POST /analyze`` — ``{"path": DIR}`` or ``{"paths": [...]}``,
   optional ``"model"``/``"dynamic"``; extraction through the shared
   engine, byte-identical to ``repro analyze --json``.
+- ``GET /models`` / ``POST /models`` — inspect the live model-store
+  snapshot / hot-reload it blue/green (see
+  :meth:`PredictionServer.reload_models`).
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import obs, package_version
 from repro.core.model import SecurityModel
 from repro.engine import ExtractionEngine
+from repro.lang import Codebase
 from repro.obs.slo import SloRule, evaluate_slos
 from repro.serve.accesslog import AccessLog
 from repro.serve.batching import MicroBatcher
@@ -80,17 +84,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
 
-class PredictionServer:
-    """A running (or startable) prediction service.
+class ServingApp:
+    """Transport-free application core shared by both serving tiers.
+
+    Owns everything :func:`~repro.serve.handlers.handle_request` needs
+    from its ``app`` — the model-store snapshot (and its blue/green
+    reload), the prediction micro-batcher, timeouts, SLO rules, and the
+    access log. Subclasses add a transport (threaded ``http.server`` or
+    asyncio) and an extraction strategy (:meth:`analyze_one`).
 
     Args:
         store: validated model bundles (first one is the default).
-        engine: shared extraction engine handle for ``/analyze``;
-            defaults to :meth:`ExtractionEngine.from_env`, so
-            ``REPRO_WORKERS``/``REPRO_CACHE_DIR`` shape served traffic
-            the same way they shape CLI runs.
-        host/port: bind address; port 0 picks a free port (the bound
-            one is on :attr:`port` after construction).
         batch_window/batch_size/queue_depth: micro-batching knobs (see
             :class:`~repro.serve.batching.MicroBatcher`).
         request_timeout: per-request wait bound on batched predictions.
@@ -100,6 +104,170 @@ class PredictionServer:
         access_log: optional path; each finished request appends one
             structured JSON line (method, path, status, duration,
             trace ID, batching facts) there.
+    """
+
+    def __init__(
+        self,
+        store: ModelStore,
+        batch_window: float = 0.01,
+        batch_size: int = 16,
+        queue_depth: int = 64,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        slo_rules: Optional[Sequence[SloRule]] = None,
+        access_log: Optional[str] = None,
+    ):
+        self._store = store
+        self._reload_lock = threading.Lock()
+        self.request_timeout = request_timeout
+        self.slo_rules = tuple(slo_rules or ())
+        self.access_log = AccessLog(access_log) if access_log else None
+        # /metricz needs a registry even when the CLI passed no
+        # --profile/--trace; reuse an existing session rather than
+        # clobbering the one main() configured.
+        if not obs.is_enabled():
+            obs.configure()
+        self.batcher = MicroBatcher(
+            self._predict_batch,
+            batch_window=batch_window,
+            batch_size=batch_size,
+            queue_depth=queue_depth,
+        )
+
+    # -- models: snapshot + blue/green reload --------------------------
+
+    @property
+    def store(self) -> ModelStore:
+        """The live model-store snapshot (atomic reference read).
+
+        Handlers read this exactly once per request and resolve every
+        model lookup through that snapshot, so a concurrent
+        :meth:`reload_models` can never mix two store versions inside
+        one response.
+        """
+        return self._store
+
+    def reload_models(self, specs: Optional[Sequence[str]] = None):
+        """Blue/green reload: build → validate → swap atomically.
+
+        With ``specs`` the new store is built from those ``NAME=PATH``
+        specs; without, the current store's own specs are re-read from
+        disk (the SIGHUP re-scan path). The new store is fully loaded
+        and validated *before* the reference swap, so a corrupt
+        replacement raises :class:`~repro.serve.modelstore.
+        ModelLoadError` and leaves the old store serving untouched.
+        Returns ``(old, new)`` store snapshots.
+        """
+        with self._reload_lock:
+            old = self._store
+            new = ModelStore.from_specs(
+                list(specs) if specs is not None else old.specs,
+                version=old.version + 1)
+            self._store = new
+        obs.incr("serve.model_reloads")
+        obs.event("serve.model_reload", version=new.version,
+                  previous_version=old.version, models=new.names())
+        return old, new
+
+    # -- the extraction hop -------------------------------------------
+
+    def analyze_one(self, codebase: Codebase,
+                    include_dynamic: bool = False) -> Dict[str, float]:
+        """Extract one codebase for ``/analyze``.
+
+        Each tier supplies its concurrency model: the threaded tier
+        serialises behind one engine lock; the async tier checks an
+        engine out of its pool.
+        """
+        raise NotImplementedError
+
+    def engine_shape(self) -> Dict[str, object]:
+        """The extraction backend's identity block for ``/healthz``."""
+        raise NotImplementedError
+
+    # -- the batched model hop ----------------------------------------
+
+    @staticmethod
+    def _predict_batch(
+        items: List[Tuple[SecurityModel, Dict[str, float]]]
+    ) -> List[Dict[str, object]]:
+        """Resolve one micro-batch; runs on the collector thread.
+
+        Per-row ``assess`` inside the batch keeps responses bit-equal
+        to the offline path; the batching win is amortised queue and
+        thread wakeup overhead, not cross-row vectorisation.
+        """
+        return [prediction_payload(model, row) for model, row in items]
+
+    # -- shared lifecycle ---------------------------------------------
+
+    def _shutdown_app(self) -> None:
+        """Stop the shared app pieces (batcher, access log)."""
+        self.batcher.stop()
+        if self.access_log is not None:
+            self.access_log.close()
+
+    # -- identity -----------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` document (also handy for embedders).
+
+        With SLO rules loaded, the document gains an ``slo`` block
+        (verdict, breached rule names, rule count) evaluated against
+        the live metrics snapshot, and ``status`` flips to
+        ``"degraded"`` on any breach. Without rules the document keeps
+        its historical shape — ``status`` is always ``"ok"``.
+        """
+        store = self.store
+        doc: Dict[str, object] = {
+            "status": "ok",
+            "version": package_version(),
+            "models": store.describe(),
+            "models_version": store.version,
+            "engine": self.engine_shape(),
+            "batching": {
+                "window_s": self.batcher.batch_window,
+                "max_size": self.batcher.batch_size,
+                "queue_depth": self.batcher.queue_depth,
+            },
+        }
+        if self.slo_rules:
+            session = obs.active()
+            snapshot = (session.metrics.snapshot()
+                        if session is not None else {})
+            report = evaluate_slos(self.slo_rules, snapshot)
+            doc["slo"] = {
+                "ok": report.ok,
+                "breached": report.breached,
+                "rules": len(self.slo_rules),
+            }
+            if not report.ok:
+                doc["status"] = "degraded"
+        return doc
+
+
+class PredictionServer(ServingApp):
+    """The threaded prediction daemon (``ThreadingHTTPServer`` tier).
+
+    One shared :class:`~repro.engine.ExtractionEngine` handle behind a
+    lock — ``/analyze`` requests serialise, which is simple and
+    correct but caps extraction throughput at one request at a time.
+    The asyncio tier (:class:`~repro.serve.aio.AsyncPredictionServer`)
+    trades the lock for an engine pool.
+
+    Args:
+        store: validated model bundles (first one is the default).
+        engine: shared extraction engine handle for ``/analyze``;
+            defaults to :meth:`ExtractionEngine.from_env`, so
+            ``REPRO_WORKERS``/``REPRO_CACHE_DIR`` shape served traffic
+            the same way they shape CLI runs.
+        host/port: bind address; port 0 picks a free port (the bound
+            one is on :attr:`port` after construction).
+
+    Remaining knobs are :class:`ServingApp`'s.
     """
 
     def __init__(
@@ -115,24 +283,18 @@ class PredictionServer:
         slo_rules: Optional[Sequence[SloRule]] = None,
         access_log: Optional[str] = None,
     ):
-        self.store = store
-        self.engine = engine if engine is not None \
-            else ExtractionEngine.from_env()
-        self.engine_lock = threading.Lock()
-        self.request_timeout = request_timeout
-        self.slo_rules = tuple(slo_rules or ())
-        self.access_log = AccessLog(access_log) if access_log else None
-        # /metricz needs a registry even when the CLI passed no
-        # --profile/--trace; reuse an existing session rather than
-        # clobbering the one main() configured.
-        if not obs.is_enabled():
-            obs.configure()
-        self.batcher = MicroBatcher(
-            self._predict_batch,
+        super().__init__(
+            store,
             batch_window=batch_window,
             batch_size=batch_size,
             queue_depth=queue_depth,
+            request_timeout=request_timeout,
+            slo_rules=slo_rules,
+            access_log=access_log,
         )
+        self.engine = engine if engine is not None \
+            else ExtractionEngine.from_env()
+        self.engine_lock = threading.Lock()
         handler_cls = type(
             "BoundRequestHandler", (_RequestHandler,), {"app": self})
         self.httpd = ThreadingHTTPServer((host, port), handler_cls)
@@ -140,19 +302,16 @@ class PredictionServer:
         self.host, self.port = self.httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
-    # -- the batched model hop ----------------------------------------
+    # -- the extraction hop -------------------------------------------
 
-    @staticmethod
-    def _predict_batch(
-        items: List[Tuple[SecurityModel, Dict[str, float]]]
-    ) -> List[Dict[str, object]]:
-        """Resolve one micro-batch; runs on the collector thread.
+    def analyze_one(self, codebase: Codebase,
+                    include_dynamic: bool = False) -> Dict[str, float]:
+        with self.engine_lock:
+            return self.engine.extract_one(
+                codebase, include_dynamic=include_dynamic)
 
-        Per-row ``assess`` inside the batch keeps responses bit-equal
-        to the offline path; the batching win is amortised queue and
-        thread wakeup overhead, not cross-row vectorisation.
-        """
-        return [prediction_payload(model, row) for model, row in items]
+    def engine_shape(self) -> Dict[str, object]:
+        return self.engine.describe()
 
     # -- lifecycle ----------------------------------------------------
 
@@ -176,46 +335,4 @@ class PredictionServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        self.batcher.stop()
-        if self.access_log is not None:
-            self.access_log.close()
-
-    # -- identity -----------------------------------------------------
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    def health(self) -> Dict[str, object]:
-        """The ``/healthz`` document (also handy for embedders).
-
-        With SLO rules loaded, the document gains an ``slo`` block
-        (verdict, breached rule names, rule count) evaluated against
-        the live metrics snapshot, and ``status`` flips to
-        ``"degraded"`` on any breach. Without rules the document keeps
-        its historical shape — ``status`` is always ``"ok"``.
-        """
-        doc: Dict[str, object] = {
-            "status": "ok",
-            "version": package_version(),
-            "models": self.store.describe(),
-            "engine": self.engine.describe(),
-            "batching": {
-                "window_s": self.batcher.batch_window,
-                "max_size": self.batcher.batch_size,
-                "queue_depth": self.batcher.queue_depth,
-            },
-        }
-        if self.slo_rules:
-            session = obs.active()
-            snapshot = (session.metrics.snapshot()
-                        if session is not None else {})
-            report = evaluate_slos(self.slo_rules, snapshot)
-            doc["slo"] = {
-                "ok": report.ok,
-                "breached": report.breached,
-                "rules": len(self.slo_rules),
-            }
-            if not report.ok:
-                doc["status"] = "degraded"
-        return doc
+        self._shutdown_app()

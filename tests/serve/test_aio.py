@@ -1,0 +1,220 @@
+"""The asyncio tier over real sockets: keep-alive, identity, shedding.
+
+The async daemon must be byte-for-byte interchangeable with the
+threaded tier (same handlers, same payload layer), while adding what
+the threaded tier lacks: persistent connections, loop-level load
+shedding, and engine-pool ``/analyze`` concurrency.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import obs, package_version
+from repro.cli import main
+from repro.engine import EngineConfig
+from repro.serve import AsyncPredictionServer, ModelStore
+from repro.serve.payloads import dump_payload
+
+from tests.serve.conftest import http as fire
+
+SOURCE = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    d = tmp_path / "app"
+    d.mkdir()
+    (d / "app.c").write_text(SOURCE)
+    return str(d)
+
+
+def offline_json(capsys, *argv):
+    assert main(["analyze", *argv, "--json"]) == 0
+    return capsys.readouterr().out
+
+
+@pytest.fixture
+def aserver(store):
+    srv = AsyncPredictionServer(
+        store, config=EngineConfig(no_cache=True), port=0, pool_size=1,
+        batch_window=0.005)
+    srv.start()
+    yield srv
+    srv.stop()
+    obs.disable()
+
+
+class TestIdentity:
+    def test_healthz_reports_pool_and_inflight(self, aserver):
+        status, _, body = fire(aserver, "GET", "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["version"] == package_version()
+        assert doc["pool"]["size"] == 1
+        assert doc["inflight"]["max"] == aserver.max_inflight
+        assert doc["engine"]["workers"] == 1
+
+    def test_analyze_matches_offline_cli(self, aserver, tree, capsys):
+        offline = offline_json(capsys, tree)
+        status, _, body = fire(aserver, "POST", "/analyze",
+                               {"path": tree})
+        assert status == 200
+        assert body == offline
+
+    def test_predict_matches_offline_prediction(self, aserver, tree,
+                                                model_file, capsys):
+        offline = json.loads(
+            offline_json(capsys, tree, "--model", model_file))
+        status, _, body = fire(aserver, "POST", "/predict",
+                               {"features": offline["features"]})
+        assert status == 200
+        assert body == dump_payload(offline["prediction"])
+
+    def test_unknown_endpoint_and_method(self, aserver):
+        status, _, _ = fire(aserver, "GET", "/nope")
+        assert status == 404
+        status, headers, _ = fire(aserver, "POST", "/healthz", {})
+        assert status == 405
+        assert headers["Allow"] == "GET"
+
+
+class TestKeepAlive:
+    def test_two_requests_reuse_one_connection(self, aserver):
+        conn = http.client.HTTPConnection(
+            aserver.host, aserver.port, timeout=15)
+        try:
+            conn.request("GET", "/healthz")
+            first = conn.getresponse()
+            body_one = first.read()
+            assert first.status == 200
+            assert first.headers["Connection"] == "keep-alive"
+            sock_before = conn.sock
+            conn.request("GET", "/healthz")
+            second = conn.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read()) == json.loads(body_one)
+            # http.client only reuses the socket when the server kept
+            # the connection open; same object means true keep-alive.
+            assert conn.sock is sock_before
+        finally:
+            conn.close()
+
+    def test_connection_close_honoured(self, aserver):
+        conn = http.client.HTTPConnection(
+            aserver.host, aserver.port, timeout=15)
+        try:
+            conn.request("GET", "/healthz",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            response.read()
+            assert response.headers["Connection"] == "close"
+        finally:
+            conn.close()
+
+    def test_malformed_request_line_gets_400(self, aserver):
+        with socket.create_connection(
+                (aserver.host, aserver.port), timeout=10) as raw:
+            raw.sendall(b"NONSENSE\r\n\r\n")
+            reply = raw.recv(65536)
+        assert reply.startswith(b"HTTP/1.1 400 ")
+
+
+class TestConcurrency:
+    def test_parallel_predicts_all_answer(self, aserver, tree, capsys):
+        features = json.loads(offline_json(capsys, tree))["features"]
+        statuses, lock = [], threading.Lock()
+
+        def one():
+            status, _, _ = fire(aserver, "POST", "/predict",
+                                {"features": features})
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=one) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert statuses == [200] * 12
+
+    def test_loop_sheds_beyond_max_inflight(self, store, tree, capsys):
+        """With max_inflight=1 and a wedged model hop, the second
+        request is refused at the loop with 503 + Retry-After — the
+        daemon answers under overload instead of queueing silently."""
+        srv = AsyncPredictionServer(
+            store, config=EngineConfig(no_cache=True), port=0,
+            pool_size=1, max_inflight=1, batch_window=0.0)
+        release = threading.Event()
+        fast_path = srv.batcher._process
+
+        def blocked(items):
+            release.wait(timeout=15)
+            return fast_path(items)
+
+        srv.batcher._process = blocked
+        srv.start()
+        try:
+            features = json.loads(offline_json(capsys, tree))["features"]
+            results = {}
+
+            def first():
+                results["first"] = fire(srv, "POST", "/predict",
+                                        {"features": features})
+
+            holder = threading.Thread(target=first)
+            holder.start()
+            time.sleep(0.5)  # let the first request occupy the slot
+            status, headers, body = fire(srv, "POST", "/predict",
+                                         {"features": features})
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert "capacity" in json.loads(body)["error"]
+            release.set()
+            holder.join(timeout=15)
+            assert results["first"][0] == 200
+            # and the daemon is healthy again afterwards
+            status, _, _ = fire(srv, "GET", "/healthz")
+            assert status == 200
+        finally:
+            release.set()
+            srv.stop()
+            obs.disable()
+
+
+class TestLifecycle:
+    def test_stop_releases_the_port(self, store):
+        srv = AsyncPredictionServer(
+            store, config=EngineConfig(no_cache=True), port=0,
+            pool_size=1)
+        srv.start()
+        port = srv.port
+        srv.stop()
+        rebound = AsyncPredictionServer(
+            store, config=EngineConfig(no_cache=True), port=port,
+            pool_size=1)
+        rebound.start()
+        rebound.stop()
+        obs.disable()
+
+    def test_port_zero_is_discoverable_before_start(self, store):
+        srv = AsyncPredictionServer(
+            store, config=EngineConfig(no_cache=True), port=0,
+            pool_size=1)
+        try:
+            assert srv.port > 0
+        finally:
+            srv.stop()
+            obs.disable()

@@ -1,0 +1,125 @@
+"""The engine pool in isolation: checkout, shedding, byte-identity.
+
+The pool's contract is that a row extracted by any worker process is
+indistinguishable from one extracted by the engine the offline CLI
+builds — same config, same floats — and that a saturated pool refuses
+quickly (:class:`PoolSaturated`) instead of queueing unboundedly.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.lang import Codebase
+from repro.serve import EnginePool, PoolSaturated
+
+SOURCE = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    d = tmp_path / "app"
+    d.mkdir()
+    (d / "app.c").write_text(SOURCE)
+    return str(d)
+
+
+@pytest.fixture
+def codebase(tree):
+    return Codebase.from_directory(tree)
+
+
+@pytest.fixture
+def pool():
+    p = EnginePool(EngineConfig(no_cache=True), size=1,
+                   checkout_timeout=5.0)
+    yield p
+    p.close()
+
+
+class TestExtraction:
+    def test_row_byte_identical_to_direct_engine(self, pool, codebase):
+        pooled = pool.extract_one(codebase)
+        direct = EngineConfig(no_cache=True).build().extract_one(codebase)
+        assert pooled == direct
+        assert all(isinstance(v, float) for v in pooled.values())
+
+    def test_concurrent_extractions_all_agree(self, tree):
+        pool = EnginePool(EngineConfig(no_cache=True), size=2)
+        rows, lock = [], threading.Lock()
+
+        def fire():
+            row = pool.extract_one(Codebase.from_directory(tree))
+            with lock:
+                rows.append(row)
+
+        try:
+            threads = [threading.Thread(target=fire) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(rows) == 4
+            assert all(row == rows[0] for row in rows)
+        finally:
+            pool.close()
+
+
+class TestCheckout:
+    def test_saturated_pool_sheds_within_timeout(self, codebase):
+        pool = EnginePool(EngineConfig(no_cache=True), size=1,
+                          checkout_timeout=0.2)
+        # Hog the only slot so the next checkout must time out.
+        assert pool._slots.acquire(timeout=1)
+        try:
+            with pytest.raises(PoolSaturated) as excinfo:
+                pool.extract_one(codebase)
+            assert excinfo.value.retry_after >= 1
+        finally:
+            pool._slots.release()
+            pool.close()
+
+    def test_slot_released_after_extraction(self, pool, codebase):
+        pool.extract_one(codebase)
+        assert pool.in_use == 0
+        # A second extraction must find the slot free again.
+        pool.extract_one(codebase)
+        assert pool.in_use == 0
+
+
+class TestLifecycle:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            EnginePool(size=0)
+        with pytest.raises(ValueError):
+            EnginePool(checkout_timeout=0.0)
+
+    def test_extract_after_close_raises(self, codebase):
+        pool = EnginePool(EngineConfig(no_cache=True), size=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.extract_one(codebase)
+
+    def test_close_is_idempotent(self):
+        pool = EnginePool(EngineConfig(no_cache=True), size=1)
+        pool.close()
+        pool.close()
+
+    def test_describe_shape(self, pool):
+        shape = pool.describe()
+        assert shape["size"] == 1
+        assert shape["in_use"] == 0
+        assert shape["checkout_timeout"] == 5.0
+        assert shape["engine"]["workers"] == 1
+
+    def test_prestart_spawns_workers(self, pool, codebase):
+        pool.prestart()
+        assert pool.extract_one(codebase)
