@@ -3,18 +3,23 @@
 §5.3: "Based on these code properties, the classifier can give the
 developer an evaluation of, say, whether a code change has raised or
 lowered the risk than the previous version of the code." This example
-plays both sides: a hardening patch (bounded copies, parameterised
-queries) and a regressing patch (new attacker-facing exec path), and
-shows the gate verdict plus the flagged properties for each.
+drives the *public* gate API (`repro.api.gate_tree` — the same code
+path behind `repro gate` and the daemon's `POST /gate`) on both sides:
+a hardening patch (bounded copies, parameterised formats) and a
+regressing patch (new attacker-facing exec path), and prints each
+gate report with its per-file driving feature changes.
 
-Exit status mimics a CI gate: nonzero if the *last* evaluated change
-regressed.
+Exit status mimics a CI gate: `EXIT_GATE_BREACH` (3) if the *last*
+evaluated change breached the threshold.
 """
 
-from repro.core import ChangeEvaluator, format_delta, train
-from repro.core.evaluator import Verdict
+import repro
+from repro.gate import format_gate_report
 from repro.lang import Codebase
-from repro.synth import build_corpus
+
+#: Breach when the risk delta is strictly above this; exactly at it
+#: passes, and an improving (negative) delta can never breach.
+THRESHOLD = 0.0
 
 BASE = {
     "service.c": """\
@@ -84,22 +89,25 @@ int admin_exec(char *request) {
 
 def main() -> int:
     print("training the gate's model (40-app corpus) ...")
-    corpus = build_corpus(seed=42, limit=40)
-    evaluator = ChangeEvaluator(train(corpus, k=5, seed=42).model)
+    model = repro.train_model(seed=42, apps=40, folds=5)
 
     base = Codebase.from_sources("service", BASE)
 
     print("\n--- change 1: hardening patch -------------------------------")
-    delta = evaluator.risk_delta(base, Codebase.from_sources("service", HARDENED))
-    print(format_delta("bounded-copies patch", delta))
+    report = repro.gate_tree(
+        base, Codebase.from_sources("service", HARDENED),
+        model=model, threshold=THRESHOLD)
+    print(format_gate_report(report))
 
     print("\n--- change 2: new remote admin endpoint ----------------------")
-    delta = evaluator.risk_delta(base, Codebase.from_sources("service", REGRESSED))
-    print(format_delta("admin-exec patch", delta))
+    report = repro.gate_tree(
+        base, Codebase.from_sources("service", REGRESSED),
+        model=model, threshold=THRESHOLD)
+    print(format_gate_report(report))
 
-    if delta.verdict is Verdict.REGRESSED:
-        print("\nCI gate: BLOCK (risk increased)")
-        return 1
+    if report.breach:
+        print("\nCI gate: BREACH (risk delta above threshold)")
+        return 3
     print("\nCI gate: pass")
     return 0
 

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the risk gate (CI gate-smoke leg).
+
+Drives the real CLI against a synthetic before/after pair on disk,
+through a shared SQLite cache — the deployment shape of a CI security
+gate (one cache, many gate runs):
+
+1. cold `repro gate BASE HEAD --json --cache-dir sqlite:DB` — the head
+   introduces a dangerous-call regression, so the gate must breach
+   (exit 3) and the payload must attribute the breach to the edited
+   file;
+2. identical re-run — byte-identical JSON (the gate document is a
+   cacheable artifact, so its bytes must be deterministic);
+3. edit one more head file, re-gate warm with `--profile` — still a
+   breach, >= 90% of per-file records must come from the cache, and
+   the warm run must finish in at most half the cold run's wall time.
+
+Any mismatch fails the script. Run locally from the repo root:
+`PYTHONPATH=src python scripts/gate_smoke.py`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+N_FILES = 20
+#: Functions per synthetic file. The bodies are long and
+#: assignment-dense on purpose: per-file analyses (CFG, dataflow,
+#: Halstead) must dominate the cold run so the warm run's per-file
+#: cache hits show up in wall time, while the function count stays
+#: modest so tree-level passes (the call graph), which run cold and
+#: warm alike, stay cheap.
+N_FUNCS = 12
+N_STMTS = 40
+
+GATE_ARGS = ("--features-only", "--threshold", "0.0", "--json")
+
+
+def fail(message: str) -> None:
+    print(f"gate-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"gate-smoke: {message}", flush=True)
+
+
+def run_cli(*argv: str) -> "tuple[subprocess.CompletedProcess, float]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CACHE_DIR", None)
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    return proc, time.perf_counter() - started
+
+
+def write_tree(root: str) -> None:
+    src = os.path.join(root, "src")
+    os.makedirs(src, exist_ok=True)
+    for i in range(N_FILES):
+        parts = []
+        for f in range(N_FUNCS):
+            body = [f"int fn{i}_{f}(int a, int b) {{",
+                    f"    int v0 = a + {f};"]
+            for s in range(1, N_STMTS):
+                body.append(
+                    f"    int v{s} = v{s - 1} ^ (b + {s});\n"
+                    f"    if ((v{s} + {i}) % {2 + s % 5} == 0) "
+                    f"v{s} += v{max(0, s - 3)};\n"
+                    f"    else v{s} -= v{s // 2};")
+            body.append(f"    return v{N_STMTS - 1};")
+            body.append("}")
+            parts.append("\n".join(body) + "\n")
+        with open(os.path.join(src, f"unit{i:02d}.c"), "w") as handle:
+            handle.write("\n".join(parts))
+
+
+def introduce_regression(root: str) -> None:
+    victim = os.path.join(root, "src", "unit03.c")
+    with open(victim, "a") as handle:
+        handle.write(
+            "#include <string.h>\n"
+            "int handle_request(char *req) {\n"
+            "    char buf[32];\n"
+            "    strcpy(buf, req);\n"
+            "    system(req);\n"
+            "    return 0;\n"
+            "}\n")
+
+
+def edit_one_more_file(root: str) -> None:
+    victim = os.path.join(root, "src", "unit09.c")
+    with open(victim, "a") as handle:
+        handle.write("int edited_in(void) {\n    return 99;\n}\n")
+
+
+def counter_value(profile_text: str, name: str) -> float:
+    match = re.search(
+        rf"counter\s+{re.escape(name)}\s+([0-9.eE+-]+)", profile_text)
+    return float(match.group(1)) if match else 0.0
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="gate-smoke-")
+    base = os.path.join(workdir, "base")
+    head = os.path.join(workdir, "head")
+    cache = "sqlite:" + os.path.join(workdir, "gate-cache.db")
+    write_tree(base)
+    shutil.copytree(base, head)
+    introduce_regression(head)
+
+    step(f"cold gate over two {N_FILES}-file trees (seeding {cache})")
+    cold, cold_s = run_cli("gate", base, head, *GATE_ARGS,
+                           "--cache-dir", cache)
+    if cold.returncode != 3:
+        fail(f"cold gate exited {cold.returncode}, expected 3 (breach):"
+             f"\n{cold.stderr}")
+    import json
+    doc = json.loads(cold.stdout)
+    if doc["breach"] is not True:
+        fail("cold gate payload does not report a breach")
+    if not any(f["path"] == "src/unit03.c" for f in doc["files"]):
+        fail("breach payload does not attribute the edited file")
+    step(f"cold gate breached as expected in {cold_s:.2f}s")
+
+    step("identical re-run must produce byte-identical JSON")
+    rerun, _ = run_cli("gate", base, head, *GATE_ARGS,
+                       "--cache-dir", cache)
+    if rerun.returncode != 3:
+        fail(f"re-run exited {rerun.returncode}, expected 3")
+    if rerun.stdout != cold.stdout:
+        fail("gate JSON differs between identical runs")
+
+    step("editing one more head file and re-gating warm (--profile)")
+    edit_one_more_file(head)
+    warm, warm_s = run_cli("gate", base, head, *GATE_ARGS,
+                           "--cache-dir", cache, "--profile")
+    if warm.returncode != 3:
+        fail(f"warm gate exited {warm.returncode}, expected 3:"
+             f"\n{warm.stderr}")
+    payload, _, profile = warm.stdout.partition("\n\nrepro telemetry")
+    if not profile:
+        fail("warm run printed no telemetry report")
+    if payload + "\n" == cold.stdout:
+        fail("warm output identical to pre-edit output — the edit "
+             "was not picked up")
+
+    file_hits = counter_value(profile, "engine.cache.file_hits")
+    file_misses = counter_value(profile, "engine.cache.file_misses")
+    probed = file_hits + file_misses
+    reuse = 100.0 * file_hits / probed if probed else 0.0
+    # Base is untouched (N hits) and head moved by one file
+    # (N-1 hits, 1 miss): 2N-1 of 2N records must come from the cache.
+    if probed != 2 * N_FILES:
+        fail(f"probed {probed:g} file records, expected {2 * N_FILES}")
+    if file_misses != 1:
+        fail(f"engine.cache.file_misses={file_misses:g}, expected 1")
+    if reuse < 90.0:
+        fail(f"file-record reuse {reuse:.1f}% < 90%")
+    if "gate:" not in profile:
+        fail("profile report is missing the gate: section")
+    step(f"file records reused: {file_hits:g}/{probed:g} "
+         f"({reuse:.1f}%), recomputed {file_misses:g}")
+
+    if warm_s > cold_s / 2.0:
+        fail(f"warm gate took {warm_s:.2f}s, over half the cold run's "
+             f"{cold_s:.2f}s — the incremental path is not paying off")
+    step(f"warm re-gate {cold_s / warm_s:.1f}x faster than cold "
+         f"({warm_s:.2f}s vs {cold_s:.2f}s)")
+
+    step("PASS — breach exit code, byte-stable JSON, "
+         f"{reuse:.1f}% record reuse, {cold_s / warm_s:.1f}x warm speedup")
+    shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

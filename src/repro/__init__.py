@@ -68,7 +68,15 @@ from repro.core import (
 )
 from repro.lang import Codebase, SourceFile
 from repro.synth import build_corpus
-from repro.api import analyze_tree, assess_tree, load_model, train_model
+from repro.api import (
+    GateReport,
+    analyze_tree,
+    assess_delta,
+    assess_tree,
+    gate_tree,
+    load_model,
+    train_model,
+)
 
 __all__ = [
     "ChangeEvaluator",
@@ -76,11 +84,13 @@ __all__ = [
     "EngineConfig",
     "ExtractionEngine",
     "FeatureCache",
+    "GateReport",
     "RiskAssessment",
     "SecurityModel",
     "SourceFile",
     "analysis",
     "analyze_tree",
+    "assess_delta",
     "assess_tree",
     "bugfind",
     "build_corpus",
@@ -88,6 +98,7 @@ __all__ = [
     "cve",
     "engine",
     "extract_features",
+    "gate_tree",
     "lang",
     "load_model",
     "ml",

@@ -1,9 +1,11 @@
 """The stable, documented entry points for using repro as a library.
 
-Four functions cover the paper's workflow end to end — extract features
-from a tree, train the security model, load a saved model, and assess a
-tree against one — plus :class:`~repro.engine.EngineConfig` for tuning
-how extraction runs. They are re-exported at the package root::
+Six functions cover the paper's workflow end to end — extract features
+from a tree, train the security model, load a saved model, assess a
+tree against one, and judge the *delta* between two versions of a tree
+(the continuous-assessment surface behind ``repro gate``) — plus
+:class:`~repro.engine.EngineConfig` for tuning how extraction runs.
+They are re-exported at the package root::
 
     import repro
 
@@ -11,6 +13,10 @@ how extraction runs. They are re-exported at the package root::
     model = repro.train_model(apps=40)
     assessment = repro.assess_tree("path/to/project", model=model)
     print(assessment.overall_risk)
+
+    report = repro.gate_tree("v1/", "v2/", model=model, threshold=0.02)
+    if report.breach:
+        raise SystemExit(f"risk up {report.risk_delta:+.3f}")
 
 Every function takes an optional keyword-only ``config``
 (:class:`~repro.engine.EngineConfig`) so library callers get the same
@@ -35,11 +41,20 @@ from repro.core.model import RiskAssessment, SecurityModel
 from repro.core.pipeline import TrainingResult
 from repro.core.pipeline import train as _train_pipeline
 from repro.engine import EngineConfig
+from repro.gate import GateReport, assess_delta, gate_tree
 from repro.lang import Codebase
 from repro.serve.modelstore import load_model
 from repro.synth import build_corpus
 
-__all__ = ["analyze_tree", "train_model", "load_model", "assess_tree"]
+__all__ = [
+    "GateReport",
+    "analyze_tree",
+    "assess_delta",
+    "assess_tree",
+    "gate_tree",
+    "load_model",
+    "train_model",
+]
 
 
 def _as_codebase(tree: Union[str, Codebase]) -> Codebase:

@@ -8,7 +8,18 @@ Commands:
   save it (pickle) for the other commands.
 - ``assess PATH`` — predict the hypotheses for a source tree (§5.3's
   developer-facing report), with a saved or freshly trained model.
-- ``gate OLD NEW`` — CI gate: exit 1 if the change raised predicted risk.
+- ``gate BASE HEAD`` — CI gate over the delta engine: report the risk
+  delta with the top driving feature changes per file and exit
+  ``EXIT_GATE_BREACH`` (3) when the delta is strictly above
+  ``--threshold``. Trees are directories or ``synth:NAME@K``
+  synthetic-history specs (also accepted via ``--base``/``--head``);
+  ``--json`` emits the canonical payload (byte-identical to the
+  daemon's ``POST /gate`` response); ``--features-only`` skips the
+  model and scores with the deterministic feature risk proxy.
+- ``watch PATH`` — continuous re-assessment loop: poll the tree,
+  coalesce rapid edits behind a debounce window, recompute only the
+  changed files, and print one ``obs.stream``-compatible JSON event
+  line per re-assessment.
 - ``compare A B`` — pick the safer of two candidate codebases (§1).
 - ``hotspots PATH`` — rank least-maintainable functions and findings
   (no model needed; the "focus bug-finding effort" use the paper closes
@@ -65,8 +76,18 @@ Failure policy (same parent):
 - ``--max-retries N`` — extra attempts per crashed app under
   ``--on-error retry``.
 
-``train`` exits non-zero (after saving the model) when any app was
-skipped, and prints a per-app failure summary to stderr.
+Exit codes (one contract across every subcommand):
+
+- ``EXIT_OK`` (0) — the command completed and nothing it was asked to
+  judge was breached.
+- ``EXIT_FAILURES`` (1) — an operational failure: bad input tree,
+  extraction error, unreadable model, or ``train`` skipping
+  applications (the model is still saved; the summary goes to stderr).
+- ``EXIT_USAGE`` (2) — malformed invocation (argparse's own value).
+- ``EXIT_GATE_BREACH`` (3) — the command ran fine and the *judgement*
+  failed: ``gate`` found a risk delta above the threshold, or
+  ``slo-check`` found breached SLO rules. CI distinguishes "the tool
+  broke" from "the tool worked and the change is bad" on this value.
 """
 
 from __future__ import annotations
@@ -81,10 +102,10 @@ from typing import List, Optional
 
 from repro import obs, package_version
 from repro.bugfind.findings import Severity
-from repro.core.evaluator import ChangeEvaluator, Verdict, loc_naive_choice
+from repro.core.evaluator import ChangeEvaluator, loc_naive_choice
 from repro.core.model import SecurityModel
 from repro.core.pipeline import train as train_pipeline
-from repro.core.report import format_assessment, format_delta
+from repro.core.report import format_assessment
 from repro.engine import (
     EngineConfig,
     ExtractionEngine,
@@ -92,10 +113,25 @@ from repro.engine import (
     engine_options,
     format_failures,
 )
+from repro.gate import (
+    DEFAULT_THRESHOLD,
+    GateError,
+    TreeWatcher,
+    format_gate_report,
+    gate_payload,
+    gate_tree,
+)
 from repro.lang import Codebase
 from repro.serve.modelstore import ModelLoadError, load_model
 from repro.serve.payloads import analysis_payload, dump_payload
 from repro.synth import build_corpus
+
+#: The CLI-wide exit-code contract (see the module docstring). These
+#: are the only values ``main`` returns; scripts and CI match on them.
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_USAGE = 2  # argparse's own usage-error value, adopted as ours
+EXIT_GATE_BREACH = 3
 
 
 def _load_codebase(path: str) -> Codebase:
@@ -183,8 +219,8 @@ def cmd_train(args) -> int:
     print(f"model saved to {args.out}")
     if result.table.failures:
         print(format_failures(result.table.failures), file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 
 def cmd_assess(args) -> int:
@@ -199,18 +235,73 @@ def cmd_assess(args) -> int:
     return 0
 
 
+def _gate_trees(args) -> "tuple[str, str]":
+    """The (base, head) specs from positionals and/or flags."""
+    trees = list(args.trees)
+    base = args.base if args.base is not None else \
+        (trees.pop(0) if trees else None)
+    head = args.head if args.head is not None else \
+        (trees.pop(0) if trees else None)
+    if base is None or head is None or trees:
+        print("error: gate needs exactly two trees — "
+              "`repro gate BASE HEAD` or --base/--head "
+              "(directories or synth:NAME@K specs)", file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    return base, head
+
+
 def cmd_gate(args) -> int:
-    model = _obtain_model(args)
-    evaluator = ChangeEvaluator(model)
-    delta = evaluator.risk_delta(
-        _load_codebase(args.old), _load_codebase(args.new)
-    )
-    print(format_delta(f"{args.old} -> {args.new}", delta))
-    if delta.verdict is Verdict.REGRESSED:
-        print("gate: BLOCK (risk increased)")
-        return 1
-    print("gate: pass")
-    return 0
+    base, head = _gate_trees(args)
+    model = None if args.features_only else _obtain_model(args)
+    try:
+        report = gate_tree(
+            base, head,
+            model=model,
+            threshold=args.threshold,
+            config=EngineConfig.from_args(args),
+            seed=args.seed,
+        )
+    except (GateError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    except ExtractionError as exc:
+        raise SystemExit(f"error: extraction failed — {exc}")
+    if args.json:
+        # POST /gate returns this very document; both go through
+        # dump_payload so the bytes cannot drift apart.
+        sys.stdout.write(dump_payload(gate_payload(report)))
+    else:
+        print(format_gate_report(report))
+        print()
+        print("gate: BREACH (risk delta above threshold)"
+              if report.breach else "gate: pass")
+    return EXIT_GATE_BREACH if report.breach else EXIT_OK
+
+
+def cmd_watch(args) -> int:
+    model = _load_model_file(args.model) if args.model else None
+    try:
+        watcher = TreeWatcher(
+            args.path,
+            model=model,
+            threshold=args.threshold,
+            debounce=args.debounce,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"watching {args.path} ({len(watcher.codebase)} files, "
+          f"mode: {'model' if model else 'features'}, "
+          f"debounce {args.debounce:g}s) — one JSON line per "
+          f"re-assessment", file=sys.stderr)
+
+    def emit(event) -> None:
+        sys.stdout.write(json.dumps(event, sort_keys=True) + "\n")
+        sys.stdout.flush()
+
+    try:
+        watcher.run(emit, interval=args.interval, count=args.count)
+    except KeyboardInterrupt:
+        print("watch stopped", file=sys.stderr)
+    return EXIT_OK
 
 
 def cmd_compare(args) -> int:
@@ -378,7 +469,7 @@ def _fetch_metricz(url: str) -> dict:
 
 
 def cmd_slo_check(args) -> int:
-    """Evaluate SLO rules; exit 1 naming any breached rule."""
+    """Evaluate SLO rules; exit EXIT_GATE_BREACH naming breached rules."""
     from repro.obs.slo import evaluate_slos
     from repro.obs.stream import replay_snapshot
 
@@ -396,7 +487,7 @@ def cmd_slo_check(args) -> int:
     report = evaluate_slos(rules, snapshot)
     print(f"slo-check against {source}")
     print(report.describe())
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_GATE_BREACH
 
 
 def cmd_monitor(args) -> int:
@@ -511,10 +602,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_assess)
 
     p = add_parser("gate", help="CI gate: block risk-raising changes")
-    p.add_argument("old")
-    p.add_argument("new")
+    p.add_argument("trees", nargs="*", metavar="TREE",
+                   help="base then head tree: a directory or a "
+                        "synth:NAME@K synthetic-history spec")
+    p.add_argument("--base", metavar="TREE", default=None,
+                   help="base tree (alternative to the first positional)")
+    p.add_argument("--head", metavar="TREE", default=None,
+                   help="head tree (alternative to the second positional)")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   metavar="DELTA",
+                   help="breach when the risk delta is strictly above "
+                        "this (default: the evaluator's neutral band, "
+                        f"{DEFAULT_THRESHOLD:g})")
+    p.add_argument("--json", action="store_true",
+                   help="emit the canonical gate payload (byte-identical "
+                        "to the daemon's POST /gate response)")
+    p.add_argument("--features-only", action="store_true",
+                   help="skip the model: score both versions with the "
+                        "deterministic feature risk proxy")
     add_model_options(p)
     p.set_defaults(func=cmd_gate)
+
+    p = add_parser("watch",
+                   help="continuously re-assess a tree as it changes")
+    p.add_argument("path")
+    p.add_argument("--model", metavar="PATH", default=None,
+                   help="saved model to score with (default: the "
+                        "feature risk proxy)")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   metavar="DELTA",
+                   help="per-re-assessment breach threshold "
+                        f"(default: {DEFAULT_THRESHOLD:g})")
+    p.add_argument("--interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="poll interval (default: 1.0)")
+    p.add_argument("--debounce", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="quiet window before a burst of edits is "
+                        "re-assessed as one batch (default: 0.5)")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="exit after N re-assessments (default: run "
+                        "until interrupted)")
+    p.set_defaults(func=cmd_watch)
 
     p = add_parser("compare", help="choose the safer of two candidates")
     p.add_argument("candidate_a")

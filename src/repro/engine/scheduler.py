@@ -598,6 +598,92 @@ class ExtractionEngine:
             raise ExtractionError(report.failures[0].describe())
         return report.rows[0]
 
+    def extract_with_records(
+        self,
+        codebase: Codebase,
+        include_dynamic: bool = False,
+    ) -> Tuple[Dict[str, float], List[Dict[str, Any]]]:
+        """Feature row *and* per-file analyzer records for one codebase.
+
+        The gate surfaces (``repro gate``/``repro watch``/``POST
+        /gate``) run on this: the records are what per-file delta
+        attribution diffs, and with a cache configured the method works
+        at file granularity — every file whose record is already cached
+        (from a prior gate run, an ``/analyze`` request, *or the other
+        side of the same gate*, since file keys ignore the app name) is
+        reused, only changed files are recomputed (fanned out across
+        ``workers``), and fresh records seed the cache for the next
+        run. The merged row is byte-identical to a cold extraction's by
+        the same :func:`~repro.core.features.merge_records` argument.
+
+        Failures always raise :class:`ExtractionError` — there is no
+        row to skip to, as with :meth:`extract_one`.
+        """
+        from repro.core.features import (
+            extract_features_with_records, file_record, merge_records,
+        )
+
+        sources = codebase.files
+        with obs.span("engine.extract_records", app=codebase.name,
+                      files=len(sources),
+                      cache=self.cache is not None) as span:
+            if self.cache is None:
+                try:
+                    row, records = extract_features_with_records(
+                        codebase, include_dynamic=include_dynamic)
+                except Exception as exc:
+                    raise ExtractionError(
+                        f"{codebase.name}: {type(exc).__name__}: {exc}"
+                    ) from exc
+                obs.incr("engine.extracted")
+                row = {key: float(value) for key, value in row.items()}
+                return row, records
+            file_digests = [
+                file_digest(source,
+                            analyzer_version=self.cache.analyzer_version)
+                for source in sources
+            ]
+            records = [self.cache.get_file(digest)
+                       for digest in file_digests]
+            recompute = [pos for pos, record in enumerate(records)
+                         if record is None]
+            span.set_attr("files_reused", len(sources) - len(recompute))
+            span.set_attr("files_recomputed", len(recompute))
+            if recompute:
+                try:
+                    fresh = parallel_map(
+                        file_record,
+                        [sources[pos] for pos in recompute],
+                        workers=self.workers)
+                except Exception as exc:
+                    raise ExtractionError(
+                        f"{codebase.name}: {type(exc).__name__}: {exc}"
+                    ) from exc
+                for pos, record in zip(recompute, fresh):
+                    records[pos] = record
+            try:
+                row = merge_records(codebase, records,
+                                    include_dynamic=include_dynamic)
+            except Exception as exc:
+                raise ExtractionError(
+                    f"{codebase.name}: merge failed — "
+                    f"{type(exc).__name__}: {exc}") from exc
+            row = {key: float(value) for key, value in row.items()}
+            obs.incr("engine.extracted")
+            digest = task_digest(
+                codebase, include_dynamic=include_dynamic,
+                analyzer_version=self.cache.analyzer_version)
+            self.cache.put(digest, row, app=codebase.name)
+            for pos in recompute:
+                self.cache.put_file(file_digests[pos],
+                                    sources[pos].path, records[pos])
+            self.cache.put_manifest(
+                manifest_key(codebase.name,
+                             analyzer_version=self.cache.analyzer_version),
+                {source.path: file_digests[pos]
+                 for pos, source in enumerate(sources)})
+            return row, records
+
     # -- incremental (file-granular) path -----------------------------
 
     def _probe_files(self, task: ExtractionTask) -> _DeltaPlan:

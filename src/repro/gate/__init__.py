@@ -1,0 +1,61 @@
+"""Continuous assessment: risk gates and watch mode over the delta engine.
+
+The paper's pitch is *clairvoyance for developers* — security assessment
+cheap and continuous enough to run on every change. This package is that
+workload as a product surface:
+
+- :func:`~repro.gate.delta.assess_delta` / :func:`~repro.gate.delta.gate_tree`
+  — compare two versions of a tree (directories, :class:`~repro.lang.Codebase`
+  objects, or ``synth:NAME@K`` synthetic-history specs), report the risk
+  delta with the top driving feature changes per file, and judge it
+  against a threshold. The CLI's ``repro gate``, the daemon's
+  ``POST /gate``, and the public :mod:`repro.api` entry points all call
+  into here, so the three surfaces cannot drift apart.
+- :class:`~repro.gate.watch.TreeWatcher` — the polling re-assessment loop
+  behind ``repro watch PATH``: mtime/content-digest change detection with
+  debounce coalescing, file-granular delta recompute (only changed files
+  are re-analyzed), one ``obs.stream``-compatible JSON line per
+  re-assessment.
+- :mod:`repro.gate.report` — the :class:`~repro.gate.report.GateReport`
+  value object, its canonical JSON payload (stamped with the serve
+  layer's ``SCHEMA_VERSION``; offline bytes identical to the served
+  bytes by construction), and the human-readable rendering.
+
+Threshold semantics are strict-greater: a delta exactly at the threshold
+passes, anything above it breaches (``repro gate`` exits
+``EXIT_GATE_BREACH``). A negative (improving) delta can never breach.
+"""
+
+from repro.gate.delta import (
+    DEFAULT_THRESHOLD,
+    GateError,
+    assess_delta,
+    build_gate_report,
+    feature_risk_score,
+    gate_tree,
+)
+from repro.gate.report import (
+    FeatureMove,
+    FileDelta,
+    GateReport,
+    format_gate_report,
+    gate_payload,
+)
+from repro.gate.trees import resolve_tree
+from repro.gate.watch import TreeWatcher
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "FeatureMove",
+    "FileDelta",
+    "GateError",
+    "GateReport",
+    "TreeWatcher",
+    "assess_delta",
+    "build_gate_report",
+    "feature_risk_score",
+    "format_gate_report",
+    "gate_payload",
+    "gate_tree",
+    "resolve_tree",
+]

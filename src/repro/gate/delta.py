@@ -1,0 +1,408 @@
+"""Delta diffing and thresholds: turn two trees into a GateReport.
+
+The unit developers act on is the *risk delta with its driving feature
+changes per file* (Le et al.'s assessment survey; the paper's §5.3
+change-evaluation workflow), so this module works at two grains:
+
+- **tree level** — both versions' feature rows, scored either by a
+  trained model (``overall_risk``, with per-hypothesis probability
+  deltas) or by the deterministic model-less
+  :func:`feature_risk_score` proxy;
+- **file level** — both versions' per-file analyzer records (the same
+  records the engine's incremental cache stores), flattened to scalar
+  features, diffed path by path, and ranked by a security-salience
+  weighting so ``strcpy`` showing up outranks a comment reflow.
+
+Extraction goes through
+:meth:`~repro.engine.ExtractionEngine.extract_with_records`, so a gate
+run shares the engine's cache: the warm re-run after a one-file edit
+recomputes one file, and base/head trees that share files (the common
+case — a PR touches a handful) share their per-file records too.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.core.evaluator import NEUTRAL_BAND
+from repro.core.model import SecurityModel
+from repro.engine import EngineConfig, ExtractionEngine
+from repro.gate.report import FeatureMove, FileDelta, GateReport
+from repro.gate.trees import resolve_tree
+from repro.lang.sourcefile import Codebase
+from repro.serve.modelstore import load_model
+
+#: Default risk-delta threshold for gating surfaces: the evaluator's
+#: neutral band, so "breach" and "verdict: regressed" agree by default.
+DEFAULT_THRESHOLD = NEUTRAL_BAND
+
+#: File deltas kept per report; the rest are counted, never silent.
+MAX_FILE_DELTAS = 20
+
+#: Driving feature moves kept per file / per tree.
+MAX_FILE_DRIVERS = 5
+MAX_TREE_MOVES = 8
+
+
+class GateError(ValueError):
+    """A gate request that cannot be assessed (bad tree, bad spec)."""
+
+
+# -- per-file record flattening ----------------------------------------
+#
+# A per-file record (repro.core.features.file_record) is a nested dict
+# of integer aggregates. The flattener lifts an explicit whitelist of
+# scalars into flat ``group.name`` features; list-valued entries (raw
+# per-function distributions) and the identifier bag are deliberately
+# skipped — they have no meaningful scalar delta.
+
+_RECORD_SCALARS = (
+    ("loc", ("code", "comment", "blank", "preproc")),
+    ("cyclomatic", ("total",)),
+    ("halstead", ("distinct_operators", "distinct_operands",
+                  "total_operators", "total_operands")),
+    ("functions", ("n_functions", "n_public", "total_params",
+                   "max_params", "total_length", "max_length",
+                   "total_nesting", "max_nesting", "n_declarations",
+                   "n_variables")),
+    ("cfg", ("nodes", "edges", "branches", "returns")),
+    ("dataflow", ("defs", "pairs", "max_reaching", "sources", "sinks",
+                  "tainted")),
+)
+
+#: Severity floor for the ``bugs.high`` aggregate; import-free copy of
+#: ``int(repro.bugfind.Severity.HIGH)`` to keep this module light.
+_HIGH_SEVERITY = 3
+
+
+def flatten_record(record: Dict[str, object]) -> Dict[str, float]:
+    """One file's analyzer record as flat ``group.name`` scalars."""
+    flat: Dict[str, float] = {}
+    for group, names in _RECORD_SCALARS:
+        section = record.get(group, {})
+        for name in names:
+            flat[f"{group}.{name}"] = float(section.get(name, 0))
+    surface = record.get("surface", {})
+    flat["surface.privilege"] = float(surface.get("privilege", 0))
+    flat["surface.public_methods"] = float(
+        surface.get("public_methods", 0))
+    for channel, count in surface.get("channels", {}).items():
+        if count:
+            flat[f"surface.channel.{channel}"] = float(count)
+    bugs = record.get("bugs", {})
+    flat["bugs.total"] = float(bugs.get("total", 0))
+    flat["bugs.high"] = float(sum(
+        count for severity, count in bugs.get("severities", {}).items()
+        if int(severity) >= _HIGH_SEVERITY))
+    for rule, count in bugs.get("per_rule", {}).items():
+        if count:
+            flat[f"bugs.rule.{rule}"] = float(count)
+    for kind, count in record.get("smells", {}).items():
+        if count:
+            flat[f"smell.{kind}"] = float(count)
+    return flat
+
+
+#: Security-salience weights for ranking feature movement: first match
+#: wins (exact name before prefix). A moved dangerous-call finding
+#: should outrank an equal-sized movement in plain line counts.
+_SALIENCE: Tuple[Tuple[str, float], ...] = (
+    ("bugs.high", 10.0),
+    ("bugs.rule.", 8.0),
+    ("bugs.total", 6.0),
+    ("dataflow.tainted", 8.0),
+    ("surface.channel.", 5.0),
+    ("surface.privilege", 5.0),
+    ("dataflow.sources", 3.0),
+    ("dataflow.sinks", 3.0),
+    ("smell.", 2.0),
+    ("surface.public_methods", 2.0),
+    ("cyclomatic.", 1.0),
+    ("cfg.", 1.0),
+    ("functions.", 1.0),
+    ("dataflow.", 1.0),
+    ("halstead.", 0.5),
+    ("loc.", 0.5),
+)
+
+
+def _salience(name: str) -> float:
+    for prefix, weight in _SALIENCE:
+        if name == prefix or name.startswith(prefix):
+            return weight
+    return 1.0
+
+
+def _ranked_moves(
+    before: Dict[str, float], after: Dict[str, float], limit: int,
+    weights: Optional[Dict[str, float]] = None,
+) -> Tuple[List[FeatureMove], float]:
+    """Weighted feature moves between two flat rows, largest first.
+
+    Magnitude is weight × *relative* change (``|delta|`` over the
+    larger endpoint, so it is bounded by the weight): raw feature
+    scales span six orders of magnitude (Halstead effort per kLoC vs a
+    bug count), and absolute deltas would let a big benign feature
+    swamp a salient small one. ``weights`` overrides the static
+    salience table (model mode uses the trained model's own weights at
+    tree level). Returns the kept moves and the *total* weighted
+    movement (the file's ranking score, computed before truncation so
+    the cap cannot skew ranking).
+    """
+    moves: List[Tuple[float, FeatureMove]] = []
+    total = 0.0
+    for name in sorted(set(before) | set(after)):
+        value_before = before.get(name, 0.0)
+        value_after = after.get(name, 0.0)
+        if value_before == value_after:
+            continue
+        if weights is not None:
+            weight = abs(weights.get(name, 0.0))
+            if weight == 0.0:
+                weight = 1e-6  # unweighted features still rank, last
+        else:
+            weight = _salience(name)
+        relative = (abs(value_after - value_before)
+                    / max(abs(value_before), abs(value_after)))
+        magnitude = weight * relative
+        total += magnitude
+        moves.append((magnitude, FeatureMove(
+            name=name, before=value_before, after=value_after)))
+    moves.sort(key=lambda pair: (-pair[0], pair[1].name))
+    return [move for _, move in moves[:limit]], total
+
+
+# -- model-less risk proxy ---------------------------------------------
+
+#: The fixed, documented feature set behind :func:`feature_risk_score`.
+#: Every term is a non-negative exposure; weights put one high-severity
+#: finding per kLoC on the same order as a network-facing surface.
+RISK_PROXY_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("bugs.high_per_kloc", 0.06),
+    ("bugs.total_per_kloc", 0.02),
+    ("flow.tainted_sink_calls", 0.08),
+    ("surface.rasq_per_kloc", 0.01),
+    ("surface.network_facing", 0.30),
+    ("complexity.share_over_10", 0.50),
+)
+
+
+def feature_risk_score(row: Dict[str, float]) -> float:
+    """Model-less risk proxy over a tree's feature row.
+
+    ``1 - exp(-Σ wᵢ·max(0, xᵢ))`` over :data:`RISK_PROXY_WEIGHTS`:
+    deterministic, bounded to ``[0, 1)``, and monotone in every
+    security-salient input, so a features-only gate still orders
+    versions sensibly — it just cannot claim calibrated probabilities.
+    An empty row scores 0.0.
+    """
+    exposure = sum(
+        weight * max(0.0, float(row.get(name, 0.0)))
+        for name, weight in RISK_PROXY_WEIGHTS
+    )
+    return 1.0 - math.exp(-exposure)
+
+
+# -- report assembly ---------------------------------------------------
+
+
+def _file_deltas(
+    base: Codebase,
+    head: Codebase,
+    records_base: List[Dict[str, object]],
+    records_head: List[Dict[str, object]],
+) -> Tuple[List[FileDelta], Dict[str, int], int]:
+    """Per-file diff of the two versions' analyzer records."""
+    flat_base = {source.path: flatten_record(record)
+                 for source, record in zip(base.files, records_base)}
+    flat_head = {source.path: flatten_record(record)
+                 for source, record in zip(head.files, records_head)}
+    deltas: List[FileDelta] = []
+    unchanged = 0
+    counts = {"files_base": len(base.files),
+              "files_head": len(head.files)}
+    for path in sorted(set(flat_base) | set(flat_head)):
+        before = flat_base.get(path)
+        after = flat_head.get(path)
+        if before is None:
+            status = "added"
+            before = {}
+        elif after is None:
+            status = "removed"
+            after = {}
+        elif before == after:
+            unchanged += 1
+            continue
+        else:
+            status = "changed"
+        drivers, score = _ranked_moves(before, after, MAX_FILE_DRIVERS)
+        deltas.append(FileDelta(path=path, status=status, score=score,
+                                drivers=tuple(drivers)))
+    counts["changed"] = sum(1 for d in deltas if d.status == "changed")
+    counts["added"] = sum(1 for d in deltas if d.status == "added")
+    counts["removed"] = sum(1 for d in deltas if d.status == "removed")
+    counts["unchanged"] = unchanged
+    deltas.sort(key=lambda d: (-d.score, d.path))
+    truncated = max(0, len(deltas) - MAX_FILE_DELTAS)
+    return deltas[:MAX_FILE_DELTAS], counts, truncated
+
+
+def build_gate_report(
+    base: Codebase,
+    head: Codebase,
+    row_base: Dict[str, float],
+    records_base: List[Dict[str, object]],
+    row_head: Dict[str, float],
+    records_head: List[Dict[str, object]],
+    model: Optional[SecurityModel] = None,
+    threshold: Optional[float] = None,
+) -> GateReport:
+    """Assemble a :class:`GateReport` from already-extracted artifacts.
+
+    Pure assembly — no extraction, no I/O — so the watch loop (which
+    keeps records in memory) and the gate surfaces (which extract
+    through the engine) share one report builder.
+    """
+    probability_deltas: Dict[str, float] = {}
+    tree_weights: Optional[Dict[str, float]] = None
+    if model is not None:
+        mode = "model"
+        assess_base = model.assess(row_base)
+        assess_head = model.assess(row_head)
+        risk_before = assess_base.overall_risk
+        risk_after = assess_head.overall_risk
+        probability_deltas = {
+            hyp: assess_head.probabilities[hyp]
+            - assess_base.probabilities[hyp]
+            for hyp in assess_base.probabilities
+        }
+        if probability_deltas:
+            worst = max(probability_deltas,
+                        key=lambda hyp: probability_deltas[hyp])
+            tree_weights = dict(model.top_properties(
+                worst, k=len(model.feature_names)))
+    else:
+        mode = "features"
+        risk_before = feature_risk_score(row_base)
+        risk_after = feature_risk_score(row_head)
+    moved, _ = _ranked_moves(row_base, row_head, MAX_TREE_MOVES,
+                             weights=tree_weights)
+    files, counts, truncated = _file_deltas(
+        base, head, records_base, records_head)
+    report = GateReport(
+        base_name=base.name,
+        head_name=head.name,
+        mode=mode,
+        risk_before=float(risk_before),
+        risk_after=float(risk_after),
+        threshold=threshold,
+        probability_deltas=probability_deltas,
+        moved_features=tuple(moved),
+        files=tuple(files),
+        counts=counts,
+        truncated_files=truncated,
+    )
+    obs.incr("gate.runs")
+    if report.breach:
+        obs.incr("gate.breaches")
+    obs.event("gate.assessed", base=base.name, head=head.name,
+              mode=mode, risk_delta=report.risk_delta,
+              breach=report.breach,
+              files_changed=counts.get("changed", 0))
+    return report
+
+
+def _resolve_model(
+    model: Optional[Union[str, SecurityModel]]
+) -> Optional[SecurityModel]:
+    if model is None or isinstance(model, SecurityModel):
+        return model
+    return load_model(model)
+
+
+def _extract_pair(
+    base: Codebase, head: Codebase, engine: ExtractionEngine
+) -> Tuple[Dict[str, float], List[Dict[str, object]],
+           Dict[str, float], List[Dict[str, object]]]:
+    """Row + records for both versions through one engine handle.
+
+    An empty tree (the "gate a brand-new project" case) short-circuits
+    to an empty row rather than erroring: risk scores treat missing
+    features as zero, and every head file classifies as added.
+    """
+    def one(codebase: Codebase):
+        if len(codebase) == 0:
+            return {}, []
+        return engine.extract_with_records(codebase)
+
+    row_base, records_base = one(base)
+    row_head, records_head = one(head)
+    return row_base, records_base, row_head, records_head
+
+
+def assess_delta(
+    base: Union[str, Codebase],
+    head: Union[str, Codebase],
+    model: Optional[Union[str, SecurityModel]] = None,
+    config: Optional[EngineConfig] = None,
+    *,
+    seed: int = 0,
+) -> GateReport:
+    """Assess the risk delta between two versions of a tree.
+
+    ``base``/``head`` are directory paths, already-built
+    :class:`~repro.lang.Codebase` objects, or ``synth:NAME@K``
+    synthetic-history specs (see :func:`~repro.gate.trees.resolve_tree`;
+    ``seed`` feeds the synthetic history). With ``model`` (a
+    :class:`~repro.core.SecurityModel` or a saved-bundle path) risk is
+    the model's ``overall_risk``; without, the deterministic
+    :func:`feature_risk_score` proxy. No threshold is applied — the
+    returned report's ``breach`` is always False; use
+    :func:`gate_tree` to gate.
+    """
+    with obs.span("gate.assess_delta"):
+        base_tree = resolve_tree(base, seed=seed, allow_empty=True)
+        head_tree = resolve_tree(head, seed=seed, allow_empty=True)
+        engine = (config or EngineConfig()).build()
+        row_base, records_base, row_head, records_head = _extract_pair(
+            base_tree, head_tree, engine)
+        return build_gate_report(
+            base_tree, head_tree, row_base, records_base,
+            row_head, records_head,
+            model=_resolve_model(model), threshold=None)
+
+
+def gate_tree(
+    base: Union[str, Codebase],
+    head: Union[str, Codebase],
+    model: Optional[Union[str, SecurityModel]] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    config: Optional[EngineConfig] = None,
+    *,
+    seed: int = 0,
+) -> GateReport:
+    """Gate a change: :func:`assess_delta` judged against ``threshold``.
+
+    The returned report's ``breach`` is True exactly when the risk
+    delta is *strictly* greater than ``threshold`` — a delta exactly at
+    the threshold passes, and an improving (negative) delta can never
+    breach. This is the library form of ``repro gate`` and the daemon's
+    ``POST /gate``; callers decide what a breach does (the CLI exits
+    ``EXIT_GATE_BREACH``, CI fails the job).
+    """
+    if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool) or not math.isfinite(threshold):
+        raise GateError(f"threshold must be a finite number, "
+                        f"got {threshold!r}")
+    with obs.span("gate.gate_tree", threshold=threshold):
+        base_tree = resolve_tree(base, seed=seed, allow_empty=True)
+        head_tree = resolve_tree(head, seed=seed, allow_empty=True)
+        engine = (config or EngineConfig()).build()
+        row_base, records_base, row_head, records_head = _extract_pair(
+            base_tree, head_tree, engine)
+        return build_gate_report(
+            base_tree, head_tree, row_base, records_base,
+            row_head, records_head,
+            model=_resolve_model(model), threshold=float(threshold))

@@ -1,0 +1,220 @@
+"""The gate report: value objects, canonical payload, text rendering.
+
+A :class:`GateReport` is the single artifact every continuous-assessment
+surface hands back — ``repro gate``, ``repro watch``, ``POST /gate``,
+and :func:`repro.api.assess_delta` all produce one. The JSON form goes
+through :func:`gate_payload` + :func:`~repro.serve.payloads.dump_payload`
+so the offline CLI's ``--json`` bytes and the daemon's response body are
+identical by construction (the payload deliberately carries no
+model-*identity* field — the CLI knows a path, the daemon a store name,
+and either would break the byte contract without informing the verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.evaluator import NEUTRAL_BAND, Verdict
+from repro.serve.payloads import SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class FeatureMove:
+    """One feature's movement between the base and head versions."""
+
+    name: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+        }
+
+
+@dataclass(frozen=True)
+class FileDelta:
+    """One file's contribution to the change, with its driving features.
+
+    ``status`` is ``"added"``, ``"removed"``, or ``"changed"``;
+    unchanged files never appear (their records are byte-identical, so
+    they cannot drive anything). ``score`` is the security-salience-
+    weighted magnitude of the file's feature movement — the ranking key,
+    not a probability. ``drivers`` is the top handful of per-file
+    feature moves, largest weighted movement first.
+    """
+
+    path: str
+    status: str
+    score: float
+    drivers: Tuple[FeatureMove, ...]
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "status": self.status,
+            "score": self.score,
+            "drivers": [move.as_payload() for move in self.drivers],
+        }
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """The risk delta between two versions of a tree, fully attributed.
+
+    ``mode`` records how risk was scored: ``"model"`` (a trained
+    :class:`~repro.core.SecurityModel`'s ``overall_risk``) or
+    ``"features"`` (the model-less
+    :func:`~repro.gate.delta.feature_risk_score` proxy).
+    ``threshold`` is None for a pure assessment
+    (:func:`~repro.api.assess_delta`); a gating surface sets it and
+    reads :attr:`breach`.
+    """
+
+    base_name: str
+    head_name: str
+    mode: str
+    risk_before: float
+    risk_after: float
+    threshold: Optional[float]
+    #: hypothesis id -> probability delta (model mode; empty otherwise).
+    probability_deltas: Dict[str, float]
+    #: tree-level feature moves that drove the delta, largest first.
+    moved_features: Tuple[FeatureMove, ...]
+    #: per-file attribution, highest-scoring file first.
+    files: Tuple[FileDelta, ...]
+    #: files_base / files_head / changed / added / removed / unchanged.
+    counts: Dict[str, int]
+    #: file deltas dropped beyond the per-report cap (never silent).
+    truncated_files: int = 0
+
+    @property
+    def risk_delta(self) -> float:
+        return self.risk_after - self.risk_before
+
+    @property
+    def breach(self) -> bool:
+        """Strictly above the threshold; exactly at it passes."""
+        if self.threshold is None:
+            return False
+        return self.risk_delta > self.threshold
+
+    @property
+    def verdict(self) -> Verdict:
+        if self.risk_delta > NEUTRAL_BAND:
+            return Verdict.REGRESSED
+        if self.risk_delta < -NEUTRAL_BAND:
+            return Verdict.IMPROVED
+        return Verdict.NEUTRAL
+
+
+def gate_payload(report: GateReport) -> Dict[str, object]:
+    """The canonical JSON document for one gate run.
+
+    This is the document ``repro gate --json`` writes and ``POST /gate``
+    returns; both serialise it with
+    :func:`~repro.serve.payloads.dump_payload`, so the bytes cannot
+    drift apart.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "base": {"app": report.base_name,
+                 "files": report.counts.get("files_base", 0)},
+        "head": {"app": report.head_name,
+                 "files": report.counts.get("files_head", 0)},
+        "mode": report.mode,
+        "risk": {
+            "before": report.risk_before,
+            "after": report.risk_after,
+            "delta": report.risk_delta,
+        },
+        "threshold": report.threshold,
+        "breach": report.breach,
+        "verdict": report.verdict.value,
+        "probability_deltas": {
+            key: report.probability_deltas[key]
+            for key in sorted(report.probability_deltas)
+        },
+        "moved_features": [move.as_payload()
+                           for move in report.moved_features],
+        "files": [delta.as_payload() for delta in report.files],
+        "counts": {key: report.counts[key]
+                   for key in sorted(report.counts)},
+        "truncated_files": report.truncated_files,
+    }
+
+
+def format_gate_report(report: GateReport) -> str:
+    """Human-readable rendering (what ``repro gate`` prints sans --json)."""
+    title = f"Risk gate: {report.base_name} -> {report.head_name}"
+    arrow = {
+        Verdict.IMPROVED: "risk DOWN",
+        Verdict.REGRESSED: "risk UP",
+        Verdict.NEUTRAL: "risk unchanged",
+    }[report.verdict]
+    sign = "+" if report.risk_delta >= 0 else ""
+    lines = [
+        title,
+        "=" * len(title),
+        f"verdict: {arrow} ({report.risk_before:.3f} -> "
+        f"{report.risk_after:.3f}, delta {sign}{report.risk_delta:.3f})",
+        f"mode: {report.mode}",
+    ]
+    if report.threshold is not None:
+        outcome = "BREACH" if report.breach else "pass"
+        lines.append(
+            f"threshold: {report.threshold:g} -> {outcome}")
+    counts = report.counts
+    lines.append(
+        f"files: {counts.get('files_base', 0)} -> "
+        f"{counts.get('files_head', 0)} "
+        f"(changed {counts.get('changed', 0)}, "
+        f"added {counts.get('added', 0)}, "
+        f"removed {counts.get('removed', 0)}, "
+        f"unchanged {counts.get('unchanged', 0)})")
+    if report.probability_deltas:
+        lines.append("")
+        lines.append("per-hypothesis movement:")
+        for hyp_id in sorted(report.probability_deltas):
+            d = report.probability_deltas[hyp_id]
+            hyp_sign = "+" if d >= 0 else ""
+            lines.append(f"  {hyp_id:24s} {hyp_sign}{d:.3f}")
+    if report.moved_features:
+        lines.append("")
+        lines.append("features that moved risk most:")
+        for move in report.moved_features:
+            move_sign = "+" if move.delta >= 0 else ""
+            lines.append(f"  {move.name:40s} {move.before:10.3f} -> "
+                         f"{move.after:10.3f} ({move_sign}{move.delta:.3f})")
+    if report.files:
+        lines.append("")
+        lines.append("files driving the change:")
+        for delta in report.files:
+            lines.append(
+                f"  [{delta.status:7s}] {delta.path}  (score "
+                f"{delta.score:.1f})")
+            for move in delta.drivers:
+                move_sign = "+" if move.delta >= 0 else ""
+                lines.append(f"      {move.name:36s} "
+                             f"{move_sign}{move.delta:g}")
+    if report.truncated_files:
+        lines.append(f"  ... and {report.truncated_files} more "
+                     f"lower-scoring file(s)")
+    return "\n".join(lines)
+
+
+def top_feature_summary(report: GateReport, k: int = 3) -> List[str]:
+    """Compact ``name:+delta`` strings for stream/watch event lines."""
+    out = []
+    for move in report.moved_features[:k]:
+        sign = "+" if move.delta >= 0 else ""
+        out.append(f"{move.name}:{sign}{move.delta:.4g}")
+    return out

@@ -1,0 +1,97 @@
+"""Resolve gate tree specs: directories, Codebases, synthetic history.
+
+Every continuous-assessment surface takes two "versions of a tree".
+This module canonicalises what a version *is*:
+
+- an already-built :class:`~repro.lang.Codebase` (passed through);
+- a directory path (loaded via ``Codebase.from_directory``);
+- a ``synth:NAME[@K]`` spec — version ``K`` of the named synthetic
+  application's labelled change history (``@0``/omitted is the
+  generated v0), built deterministically from the corpus seed via
+  :func:`repro.synth.versions.version_chain`. This is how the CLI,
+  tests, and the gate-smoke CI leg gate *known* regressions without
+  shipping fixture trees.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.lang.sourcefile import Codebase
+
+#: Spec prefix for synthetic-history versions.
+SYNTH_PREFIX = "synth:"
+
+
+def _parse_synth_spec(spec: str) -> "tuple[str, int]":
+    body = spec[len(SYNTH_PREFIX):]
+    name, sep, version = body.partition("@")
+    if not name:
+        raise ValueError(f"empty app name in tree spec {spec!r}")
+    if not sep:
+        return name, 0
+    try:
+        index = int(version)
+    except ValueError:
+        raise ValueError(
+            f"bad version index in tree spec {spec!r} "
+            f"(expected synth:NAME@K with integer K)") from None
+    if index < 0:
+        raise ValueError(f"negative version index in tree spec {spec!r}")
+    return name, index
+
+
+def _resolve_synth(spec: str, seed: int) -> Codebase:
+    # Imported lazily: gating two directories must not pay for (or
+    # depend on) the synthetic corpus machinery.
+    from repro.synth.appgen import generate_app
+    from repro.synth.cvegen import generate_profiles
+    from repro.synth.versions import version_chain
+
+    name, index = _parse_synth_spec(spec)
+    profile = next(
+        (p for p in generate_profiles(seed=seed) if p.name == name), None)
+    if profile is None:
+        raise ValueError(
+            f"unknown synthetic app {name!r} in tree spec {spec!r} "
+            f"(seed {seed})")
+    app = generate_app(profile, seed=seed)
+    if index == 0:
+        return app.codebase
+    return version_chain(app, steps=index, seed=seed)[index]
+
+
+def resolve_tree(
+    spec: Union[str, Codebase],
+    *,
+    seed: int = 0,
+    allow_empty: bool = False,
+    name: Optional[str] = None,
+) -> Codebase:
+    """Resolve one tree spec to a :class:`~repro.lang.Codebase`.
+
+    ``allow_empty`` admits trees with zero recognised source files —
+    the gate treats an empty *base* as "everything is new" rather than
+    an error, while analysis surfaces keep rejecting empty trees.
+    ``name`` overrides the codebase name for directory specs (synthetic
+    specs are self-naming; prebuilt codebases keep their own).
+    """
+    if isinstance(spec, Codebase):
+        codebase = spec
+    elif not isinstance(spec, str):
+        raise TypeError(
+            f"tree spec must be a path, synth:NAME@K spec, or Codebase; "
+            f"got {type(spec).__name__}")
+    elif spec.startswith(SYNTH_PREFIX):
+        codebase = _resolve_synth(spec, seed)
+    else:
+        if not os.path.isdir(spec):
+            raise ValueError(
+                f"tree spec {spec!r} is not a directory "
+                f"(synthetic versions use the synth:NAME@K form)")
+        codebase = Codebase.from_directory(spec, name=name)
+    if len(codebase) == 0 and not allow_empty:
+        raise ValueError(
+            f"tree {codebase.name!r} contains no recognised source files")
+    return codebase

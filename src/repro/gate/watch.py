@@ -1,0 +1,232 @@
+"""Watch mode: continuous re-assessment of a tree on disk.
+
+``repro watch PATH`` is the paper's clairvoyance loop made literal: a
+developer keeps it running in a terminal (or a CI sidecar tails its
+stream) and every save re-scores the tree. The loop is built for the
+delta engine's economics:
+
+- **change detection** is content-digest based (the same
+  :func:`~repro.engine.digest.file_digest` the cache keys on), so a
+  ``touch`` that changes only the mtime re-assesses nothing;
+- **debounce coalescing** — a burst of rapid saves (editors write
+  multiple times, formatters rewrite whole trees) produces *one*
+  re-assessment once the tree has been quiet for the debounce window,
+  not one per write;
+- **file-granular recompute** — only files whose digest moved are
+  re-analyzed; every other record comes from the in-memory baseline,
+  then :func:`~repro.core.features.merge_records` folds the tree row.
+
+Each re-assessment emits one JSON-able event shaped exactly like an
+``obs.stream`` ``event`` line (``{"v": 1, "ts": …, "type": "event",
+"name": "watch.assess", "fields": {…}}``), so ``repro monitor`` and any
+stream consumer can tail a watch session unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.features import file_record, merge_records
+from repro.core.model import SecurityModel
+from repro.engine.digest import file_digest
+from repro.gate.delta import build_gate_report
+from repro.gate.report import GateReport, top_feature_summary
+from repro.lang.sourcefile import Codebase
+
+#: Default quiet window before a dirty tree is re-assessed (seconds).
+DEFAULT_DEBOUNCE = 0.5
+
+#: Default poll interval for the run loop (seconds).
+DEFAULT_INTERVAL = 1.0
+
+
+class TreeWatcher:
+    """Debounced, file-granular re-assessment of one directory tree.
+
+    Drive it by calling :meth:`poll` on a cadence (the CLI's
+    :meth:`run` loop does; tests call it directly with a fake clock).
+    ``poll`` returns ``None`` while the tree is unchanged or still
+    settling, and one :class:`~repro.gate.report.GateReport` — base =
+    the previously assessed state, head = the tree now — per coalesced
+    batch of changes.
+
+    ``clock`` is injectable (monotonic seconds) so debounce behaviour
+    is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        model: Optional[SecurityModel] = None,
+        threshold: Optional[float] = None,
+        debounce: float = DEFAULT_DEBOUNCE,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if debounce < 0:
+            raise ValueError(f"debounce must be >= 0, got {debounce}")
+        if not os.path.isdir(root):
+            raise ValueError(f"watch root {root!r} is not a directory")
+        self.root = root
+        self.model = model
+        self.threshold = threshold
+        self.debounce = float(debounce)
+        self._clock = clock
+        self.seq = 0
+        #: path -> (digest, per-file record) for the assessed baseline.
+        self._records: Dict[str, Tuple[str, dict]] = {}
+        self._codebase = Codebase("empty")
+        self._row: Dict[str, float] = {}
+        #: digests last observed on disk (may be ahead of the baseline).
+        self._pending: Dict[str, str] = {}
+        self._dirty = False
+        self._quiet_since = self._clock()
+        self._baseline()
+
+    @property
+    def codebase(self) -> Codebase:
+        """The most recently assessed state of the tree."""
+        return self._codebase
+
+    # -- assessment ---------------------------------------------------
+
+    def _scan(self) -> Tuple[Codebase, Dict[str, str]]:
+        codebase = Codebase.from_directory(self.root)
+        digests = {source.path: file_digest(source)
+                   for source in codebase.files}
+        return codebase, digests
+
+    def _assess(self, codebase: Codebase,
+                digests: Dict[str, str]) -> GateReport:
+        """Re-score ``codebase``, recomputing only changed files."""
+        recomputed = 0
+        records: Dict[str, Tuple[str, dict]] = {}
+        for source in codebase.files:
+            digest = digests[source.path]
+            kept = self._records.get(source.path)
+            if kept is not None and kept[0] == digest:
+                records[source.path] = kept
+            else:
+                records[source.path] = (digest, file_record(source))
+                recomputed += 1
+        ordered = [records[source.path][1]
+                   for source in codebase.files]
+        row = {key: float(value) for key, value in
+               merge_records(codebase, ordered).items()}
+        report = build_gate_report(
+            self._codebase, codebase,
+            self._row,
+            [self._records[s.path][1] for s in self._codebase.files],
+            row, ordered,
+            model=self.model, threshold=self.threshold)
+        obs.incr("watch.reassessments")
+        obs.incr("watch.files_recomputed", recomputed)
+        self._codebase = codebase
+        self._records = records
+        self._row = row
+        self.seq += 1
+        return report
+
+    def _baseline(self) -> None:
+        """Assess the initial state without emitting a delta."""
+        codebase, digests = self._scan()
+        records: Dict[str, Tuple[str, dict]] = {
+            source.path: (digests[source.path], file_record(source))
+            for source in codebase.files}
+        ordered = [records[source.path][1]
+                   for source in codebase.files]
+        self._codebase = codebase
+        self._records = records
+        self._row = {key: float(value) for key, value in
+                     merge_records(codebase, ordered).items()} \
+            if codebase.files else {}
+        self._pending = digests
+
+    # -- polling ------------------------------------------------------
+
+    def poll(self) -> Optional[GateReport]:
+        """One poll tick: detect changes, re-assess once settled.
+
+        Returns a report only when a coalesced batch of changes has
+        been quiet for the debounce window; otherwise ``None``.
+        """
+        now = self._clock()
+        codebase, digests = self._scan()
+        if digests != self._pending:
+            # Still being written to: restart the quiet window.
+            self._pending = digests
+            self._dirty = True
+            self._quiet_since = now
+            return None
+        if not self._dirty:
+            return None
+        if now - self._quiet_since < self.debounce:
+            return None
+        self._dirty = False
+        return self._assess(codebase, digests)
+
+    def run(
+        self,
+        emit: Callable[[Dict[str, object]], None],
+        interval: float = DEFAULT_INTERVAL,
+        count: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> int:
+        """Poll forever (or for ``count`` re-assessments), emitting events.
+
+        ``emit`` receives one :func:`watch_event` dict per
+        re-assessment. Returns the number of re-assessments performed
+        (useful when ``count`` bounds a test or smoke run).
+        """
+        emitted = 0
+        while count is None or emitted < count:
+            report = self.poll()
+            if report is not None:
+                event = watch_event(self, report)
+                emit(event)
+                obs.event("watch.assess", **event["fields"])
+                emitted += 1
+                if count is not None and emitted >= count:
+                    break
+            sleep(interval)
+        return emitted
+
+
+def watch_event(watcher: TreeWatcher,
+                report: GateReport) -> Dict[str, object]:
+    """One re-assessment as an ``obs.stream``-compatible event line."""
+    counts = report.counts
+    return {
+        "v": 1,
+        "ts": round(time.time(), 6),
+        "type": "event",
+        "name": "watch.assess",
+        "fields": {
+            "seq": watcher.seq,
+            "root": watcher.root,
+            "files": counts.get("files_head", 0),
+            "changed": counts.get("changed", 0),
+            "added": counts.get("added", 0),
+            "removed": counts.get("removed", 0),
+            "risk": report.risk_after,
+            "risk_delta": report.risk_delta,
+            "verdict": report.verdict.value,
+            "breach": report.breach,
+            "top": top_feature_summary(report),
+        },
+    }
+
+
+def iter_watch(
+    watcher: TreeWatcher,
+    interval: float = DEFAULT_INTERVAL,
+    count: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> "List[Dict[str, object]]":
+    """Collect ``count`` watch events (testing/scripting convenience)."""
+    events: List[Dict[str, object]] = []
+    watcher.run(events.append, interval=interval, count=count,
+                sleep=sleep)
+    return events

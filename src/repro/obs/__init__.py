@@ -67,6 +67,7 @@ from repro.obs.report import (
     aggregate_spans,
     format_delta_section,
     format_error_spans,
+    format_gate_section,
     format_run_report,
     format_serving_section,
 )
@@ -87,8 +88,8 @@ __all__ = [
     "Tracer",
     "active", "aggregate_spans", "configure", "current_trace_id",
     "disable", "event",
-    "format_delta_section", "format_error_spans", "format_run_report",
-    "format_serving_section", "format_traceparent",
+    "format_delta_section", "format_error_spans", "format_gate_section",
+    "format_run_report", "format_serving_section", "format_traceparent",
     "gauge", "graft_spans",
     "incr", "is_enabled",
     "merge_counters", "new_trace_id", "observe", "parse_traceparent",

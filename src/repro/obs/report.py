@@ -183,6 +183,30 @@ def format_delta_section(registry: MetricsRegistry) -> str:
     return "\n".join(lines)
 
 
+def format_gate_section(registry: MetricsRegistry) -> str:
+    """Risk-gate activity: runs, breaches, watch re-assessments.
+
+    Summarises the ``gate.*`` counters :func:`repro.gate.delta.
+    build_gate_report` records and the ``watch.*`` counters the tree
+    watcher adds on top. Returns "" when the session ran no gates, so
+    non-gate runs' reports are unchanged.
+    """
+    counters = registry.snapshot()["counters"]
+    if not any(name.startswith("gate.") or name.startswith("watch.")
+               for name in counters):
+        return ""
+    runs = counters.get("gate.runs", 0)
+    breaches = counters.get("gate.breaches", 0)
+    lines = [f"  gates={runs:g} breaches={breaches:g}"]
+    reassessments = counters.get("watch.reassessments", 0)
+    if reassessments:
+        recomputed = counters.get("watch.files_recomputed", 0)
+        lines.append(
+            f"  watch: reassessments={reassessments:g}"
+            f" files_recomputed={recomputed:g}")
+    return "\n".join(lines)
+
+
 def format_run_report(session, title: str = "repro telemetry") -> str:
     """The full ``--profile`` report for one obs session."""
     tracer = session.tracer
@@ -199,6 +223,9 @@ def format_run_report(session, title: str = "repro telemetry") -> str:
     delta = format_delta_section(session.metrics)
     if delta:
         lines.extend(["", "delta:", delta])
+    gate = format_gate_section(session.metrics)
+    if gate:
+        lines.extend(["", "gate:", gate])
     serving = format_serving_section(session.metrics)
     if serving:
         lines.extend(["", "serving:", serving])

@@ -167,6 +167,9 @@ class AsyncPredictionServer(ServingApp):
         return self.pool.extract_one(
             codebase, include_dynamic=include_dynamic)
 
+    def analyze_records(self, codebase: Codebase):
+        return self.pool.extract_with_records(codebase)
+
     def engine_shape(self) -> Dict[str, object]:
         return dict(self.pool.describe()["engine"])
 

@@ -111,6 +111,35 @@ def _pool_extract(
     return row, None, None
 
 
+def _pool_extract_records(
+    codebase: Codebase,
+    capture: bool,
+    trace_id: Optional[str],
+) -> Tuple[Tuple[Dict[str, float], List[dict]],
+           Optional[List[dict]], Optional[Dict[str, float]]]:
+    """Row + per-file records on this worker's engine (the /gate unit).
+
+    Same telemetry contract as :func:`_pool_extract`; the payload is
+    ``(row, records)`` from
+    :meth:`~repro.engine.ExtractionEngine.extract_with_records`, so a
+    pooled gate shares the worker engine's file-granular cache with
+    every other request the slot has served.
+    """
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("engine pool worker was not initialised")
+    session = obs.configure(trace_id=trace_id) if capture else None
+    try:
+        row, records = engine.extract_with_records(codebase)
+    finally:
+        if session is not None:
+            obs.disable()
+    if session is not None:
+        return ((row, records), session.tracer.records(),
+                session.metrics.snapshot()["counters"])
+    return (row, records), None, None
+
+
 # -- parent side ------------------------------------------------------
 
 
@@ -218,7 +247,8 @@ class EnginePool:
             with obs.span("serve.pool.extract", pool_size=self.size,
                           app=codebase.name):
                 row, spans, counters = self._run(
-                    codebase, include_dynamic, capture, trace_id)
+                    _pool_extract, codebase, include_dynamic, capture,
+                    trace_id)
             if spans:
                 obs.graft_spans(spans)
             if counters:
@@ -230,19 +260,55 @@ class EnginePool:
                 obs.gauge("serve.pool.in_use", self._in_use)
             self._slots.release()
 
-    def _run(self, codebase, include_dynamic, capture, trace_id):
+    def extract_with_records(
+        self,
+        codebase: Codebase,
+    ) -> Tuple[Dict[str, float], List[dict]]:
+        """Extract row *and* per-file records on the next free engine.
+
+        The ``/gate`` counterpart of :meth:`extract_one`: identical
+        checkout semantics (:class:`PoolSaturated` on timeout, wait
+        observed, occupancy gauged, telemetry grafted back), but the
+        worker runs ``extract_with_records`` so the caller gets the
+        per-file records the delta engine diffs.
+        """
+        waited_from = perf_counter()
+        if not self._slots.acquire(timeout=self.checkout_timeout):
+            obs.incr("serve.pool.shed")
+            obs.event("serve.pool.shed", size=self.size,
+                      waited_s=round(self.checkout_timeout, 3))
+            raise PoolSaturated(max(1, int(self.checkout_timeout // 4)))
+        obs.observe("serve.pool.wait.seconds", perf_counter() - waited_from)
+        with self._state_lock:
+            self._in_use += 1
+            obs.gauge("serve.pool.in_use", self._in_use)
+        try:
+            capture = obs.is_enabled()
+            trace_id = obs.current_trace_id() if capture else None
+            with obs.span("serve.pool.extract_records",
+                          pool_size=self.size, app=codebase.name):
+                (row, records), spans, counters = self._run(
+                    _pool_extract_records, codebase, capture, trace_id)
+            if spans:
+                obs.graft_spans(spans)
+            if counters:
+                obs.merge_counters(counters)
+            return row, records
+        finally:
+            with self._state_lock:
+                self._in_use -= 1
+                obs.gauge("serve.pool.in_use", self._in_use)
+            self._slots.release()
+
+    def _run(self, fn, *args):
         """Submit to the executor, surviving one worker-pool breakage."""
         try:
             executor = self._executor_or_raise()
-            return executor.submit(
-                _pool_extract, codebase, include_dynamic, capture,
-                trace_id).result()
+            return executor.submit(fn, *args).result()
         except BrokenExecutor:
             self._rebuild()
             executor = self._executor_or_raise()
-            return executor.submit(
-                _pool_extract, codebase, include_dynamic, capture,
-                trace_id).result()
+            return executor.submit(fn, *args).result()
 
     def _executor_or_raise(self) -> ProcessPoolExecutor:
         with self._state_lock:

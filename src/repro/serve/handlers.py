@@ -46,7 +46,11 @@ from repro.obs.metrics import (
 from repro.serve.batching import QueueSaturated
 from repro.serve.enginepool import PoolSaturated
 from repro.serve.modelstore import ModelLoadError
-from repro.serve.payloads import analysis_payload, dump_payload
+from repro.serve.payloads import (
+    SCHEMA_VERSION,
+    analysis_payload,
+    dump_payload,
+)
 
 #: Routing table: path -> allowed methods. Anything else is 404/405.
 ROUTES: Dict[str, Tuple[str, ...]] = {
@@ -54,6 +58,7 @@ ROUTES: Dict[str, Tuple[str, ...]] = {
     "/metricz": ("GET",),
     "/predict": ("POST",),
     "/analyze": ("POST",),
+    "/gate": ("POST",),
     "/models": ("GET", "POST"),
 }
 
@@ -207,7 +212,10 @@ def _handle_metricz(app, doc: Optional[dict],
             status=200,
             body=prometheus_exposition(snapshot).encode("utf-8"),
             content_type=PROMETHEUS_CONTENT_TYPE)
-    return _json_response(200, snapshot)
+    # The JSON document carries the uniform serve schema stamp (the
+    # Prometheus exposition has its own format contract).
+    return _json_response(
+        200, {"schema_version": SCHEMA_VERSION, **snapshot})
 
 
 def _handle_models(app, doc: Optional[dict],
@@ -226,6 +234,7 @@ def _handle_models(app, doc: Optional[dict],
     if ctx.method == "GET":
         store = ctx.store
         return _json_response(200, {
+            "schema_version": SCHEMA_VERSION,
             "version": store.version,
             "default": store.default_name,
             "models": store.describe(),
@@ -247,6 +256,7 @@ def _handle_models(app, doc: Optional[dict],
         obs.incr("serve.model_reload_errors")
         raise HTTPError(400, str(exc))
     return _json_response(200, {
+        "schema_version": SCHEMA_VERSION,
         "version": new.version,
         "previous_version": old.version,
         "default": new.default_name,
@@ -351,11 +361,81 @@ def _handle_analyze(app, doc: dict, ctx: RequestContext) -> Response:
     return _json_response(200, {"results": results})
 
 
+def _handle_gate(app, doc: dict, ctx: RequestContext) -> Response:
+    """``POST /gate``: risk-delta judgement between two tree specs.
+
+    Body: ``{"base": SPEC, "head": SPEC}`` plus optional ``"model"``
+    (omitted → the feature risk proxy, like ``gate --features-only``),
+    ``"threshold"`` (default: the gate module's), and ``"seed"`` (for
+    ``synth:NAME@K`` specs). The response is the canonical gate payload
+    — byte-identical to ``repro gate --json`` for the same inputs,
+    because both go through :func:`~repro.gate.report.gate_payload` and
+    :func:`~repro.serve.payloads.dump_payload`. A breach is still a 200
+    (the *judgement* is the payload's ``breach`` field; HTTP status
+    codes stay about the request itself).
+    """
+    # Imported lazily: repro.gate.report imports this package's
+    # payloads module, so a module-level import here would be circular.
+    from repro.gate import (
+        DEFAULT_THRESHOLD,
+        build_gate_report,
+        gate_payload,
+        resolve_tree,
+    )
+
+    model, _ = _select_model(ctx, doc, required=False)
+    threshold = doc.get("threshold", DEFAULT_THRESHOLD)
+    if isinstance(threshold, bool) \
+            or not isinstance(threshold, (int, float)) \
+            or threshold != threshold or threshold in (
+                float("inf"), float("-inf")):
+        raise HTTPError(400, "'threshold' must be a finite number")
+    seed = doc.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise HTTPError(400, "'seed' must be an integer")
+    base_spec = doc.get("base")
+    head_spec = doc.get("head")
+    if not isinstance(base_spec, str) or not isinstance(head_spec, str):
+        raise HTTPError(
+            400, "request needs string 'base' and 'head' tree specs "
+                 "(a directory path or synth:NAME@K)")
+    try:
+        base = resolve_tree(base_spec, seed=seed, allow_empty=True)
+        head = resolve_tree(head_spec, seed=seed, allow_empty=True)
+    except (TypeError, ValueError) as exc:
+        raise HTTPError(400, str(exc))
+    if len(head) == 0:
+        # An empty *base* means "everything is new" and gates fine; an
+        # empty head means there is nothing to assess.
+        raise HTTPError(
+            400, f"no recognised source files under head tree "
+                 f"{head_spec!r}")
+    try:
+        if len(base) == 0:
+            row_base: Dict[str, float] = {}
+            records_base: List[dict] = []
+        else:
+            row_base, records_base = app.analyze_records(base)
+        row_head, records_head = app.analyze_records(head)
+    except PoolSaturated as exc:
+        ctx.shed = True
+        raise HTTPError(
+            503, str(exc),
+            headers=[("Retry-After", str(exc.retry_after))])
+    except ExtractionError as exc:
+        raise HTTPError(500, f"extraction failed — {exc}")
+    report = build_gate_report(
+        base, head, row_base, records_base, row_head, records_head,
+        model=model, threshold=float(threshold))
+    return _json_response(200, gate_payload(report))
+
+
 _HANDLERS = {
     "/healthz": _handle_healthz,
     "/metricz": _handle_metricz,
     "/predict": _handle_predict,
     "/analyze": _handle_analyze,
+    "/gate": _handle_gate,
     "/models": _handle_models,
 }
 

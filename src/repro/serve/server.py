@@ -41,7 +41,7 @@ from repro.serve.accesslog import AccessLog
 from repro.serve.batching import MicroBatcher
 from repro.serve.handlers import handle_request
 from repro.serve.modelstore import ModelStore
-from repro.serve.payloads import prediction_payload
+from repro.serve.payloads import SCHEMA_VERSION, prediction_payload
 
 #: How long a handler thread waits for its batched prediction before
 #: giving up with a 503 (covers a wedged or stopped collector).
@@ -180,6 +180,17 @@ class ServingApp:
         """
         raise NotImplementedError
 
+    def analyze_records(
+        self, codebase: Codebase
+    ) -> Tuple[Dict[str, float], List[Dict[str, object]]]:
+        """Feature row plus per-file analyzer records, for ``/gate``.
+
+        Same concurrency contract as :meth:`analyze_one`; backed by
+        :meth:`~repro.engine.ExtractionEngine.extract_with_records`, so
+        a warm daemon re-gates a one-file edit by recomputing one file.
+        """
+        raise NotImplementedError
+
     def engine_shape(self) -> Dict[str, object]:
         """The extraction backend's identity block for ``/healthz``."""
         raise NotImplementedError
@@ -223,6 +234,7 @@ class ServingApp:
         """
         store = self.store
         doc: Dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
             "status": "ok",
             "version": package_version(),
             "models": store.describe(),
@@ -309,6 +321,12 @@ class PredictionServer(ServingApp):
         with self.engine_lock:
             return self.engine.extract_one(
                 codebase, include_dynamic=include_dynamic)
+
+    def analyze_records(
+        self, codebase: Codebase
+    ) -> Tuple[Dict[str, float], List[Dict[str, object]]]:
+        with self.engine_lock:
+            return self.engine.extract_with_records(codebase)
 
     def engine_shape(self) -> Dict[str, object]:
         return self.engine.describe()

@@ -98,13 +98,23 @@ def _dangerous_lines(language: str) -> Tuple[str, ...]:
     )
 
 
-def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
-    """Produce the successor version of ``app`` under change ``kind``."""
+def _apply_change(
+    sources: Dict[str, str],
+    language: str,
+    kind: str,
+    rng: random.Random,
+    handler_offset: int = 0,
+) -> int:
+    """Apply one labelled change to ``sources`` in place.
+
+    Returns the net dangerous-call-site delta. ``handler_offset`` shifts
+    the injected-module numbering so chained ``regress`` steps add *new*
+    handlers instead of overwriting the previous step's
+    (:func:`version_chain` passes the count already present; ``evolve``
+    passes 0 and stays byte-for-byte what it always produced).
+    """
     if kind not in CHANGE_KINDS:
         raise ValueError(f"unknown change kind: {kind!r}")
-    rng = random.Random(f"{seed}:{app.name}:{kind}")
-    language = app.profile.language
-    sources: Dict[str, str] = {f.path: f.text for f in app.codebase}
     danger_delta = 0
 
     if kind == "harden":
@@ -127,7 +137,7 @@ def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
         # app level (a one-liner in a million-line app would rightly be
         # invisible to an aggregate metric).
         n_handlers = max(3, len(sources) // 2 + 1)
-        for h in range(n_handlers):
+        for h in range(handler_offset, handler_offset + n_handlers):
             chunk = _REGRESSION_MODULE[language].format(
                 size=rng.randint(8, 64)
             )
@@ -144,6 +154,15 @@ def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
             if rng.random() < 0.5:
                 sources[path] = comment + "\n" + sources[path]
 
+    return danger_delta
+
+
+def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
+    """Produce the successor version of ``app`` under change ``kind``."""
+    rng = random.Random(f"{seed}:{app.name}:{kind}")
+    sources: Dict[str, str] = {f.path: f.text for f in app.codebase}
+    danger_delta = _apply_change(
+        sources, app.profile.language, kind, rng)
     after = Codebase.from_sources(app.name, sources)
     return VersionPair(
         app_name=app.name,
@@ -152,6 +171,37 @@ def evolve(app: SyntheticApp, kind: str, seed: int = 0) -> VersionPair:
         after=after,
         danger_delta=danger_delta,
     )
+
+
+def version_chain(
+    app: SyntheticApp,
+    steps: int,
+    seed: int = 0,
+    kinds: Tuple[str, ...] = CHANGE_KINDS,
+) -> List[Codebase]:
+    """A deterministic version *history*: ``[v0, v1, ..., v_steps]``.
+
+    Step ``k`` (producing ``v_{k+1}``) applies ``kinds[k % len(kinds)]``
+    to the previous version, with its own rng stream so inserting or
+    dropping a step never reshuffles later ones. The gate surfaces
+    resolve ``synth:NAME@K`` specs through this, so two processes (or
+    the CLI and the daemon) asking for the same version always get
+    byte-identical trees.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    chain = [app.codebase]
+    language = app.profile.language
+    sources: Dict[str, str] = {f.path: f.text for f in app.codebase}
+    for k in range(steps):
+        kind = kinds[k % len(kinds)]
+        rng = random.Random(f"{seed}:{app.name}:{kind}:{k}")
+        offset = sum(1 for path in sources
+                     if path.startswith("src/imported_"))
+        _apply_change(sources, language, kind, rng,
+                      handler_offset=offset)
+        chain.append(Codebase.from_sources(app.name, sources))
+    return chain
 
 
 def version_pairs(

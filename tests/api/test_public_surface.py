@@ -1,0 +1,147 @@
+"""The public API contract, snapshotted.
+
+``repro.api`` is the stable programmatic surface (``repro gate`` and CI
+scripts build on it), so its shape is pinned here as golden data:
+``repro.__all__``, ``repro.api.__all__``, and the exact
+``inspect.signature`` of every ``repro.api`` function. A failure in
+this file means the public contract moved — that is sometimes the
+point of a PR, but it must be a *decision* (update the snapshot in the
+same change that announces the break), never an accident.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro
+import repro.api
+
+#: Everything importable from the package root. Sorted, so additions
+#: show up as a clean one-line diff.
+ROOT_ALL = [
+    "ChangeEvaluator",
+    "Codebase",
+    "EngineConfig",
+    "ExtractionEngine",
+    "FeatureCache",
+    "GateReport",
+    "RiskAssessment",
+    "SecurityModel",
+    "SourceFile",
+    "analysis",
+    "analyze_tree",
+    "assess_delta",
+    "assess_tree",
+    "bugfind",
+    "build_corpus",
+    "core",
+    "cve",
+    "engine",
+    "extract_features",
+    "gate_tree",
+    "lang",
+    "load_model",
+    "ml",
+    "package_version",
+    "stats",
+    "surface",
+    "synth",
+    "train",
+    "train_model",
+]
+
+#: The narrow, supported-forever surface.
+API_ALL = [
+    "GateReport",
+    "analyze_tree",
+    "assess_delta",
+    "assess_tree",
+    "gate_tree",
+    "load_model",
+    "train_model",
+]
+
+#: Exact signatures of every ``repro.api`` function. Keyword-only
+#: markers, defaults, and annotations are all part of the contract —
+#: changing any of them changes what user code can pass.
+API_SIGNATURES = {
+    "analyze_tree": (
+        "(tree: 'Union[str, Codebase]', *,"
+        " include_dynamic: 'bool' = False,"
+        " config: 'Optional[EngineConfig]' = None)"
+        " -> 'Dict[str, float]'"
+    ),
+    "assess_delta": (
+        "(base: 'Union[str, Codebase]', head: 'Union[str, Codebase]',"
+        " model: 'Optional[Union[str, SecurityModel]]' = None,"
+        " config: 'Optional[EngineConfig]' = None, *,"
+        " seed: 'int' = 0) -> 'GateReport'"
+    ),
+    "assess_tree": (
+        "(tree: 'Union[str, Codebase]', *,"
+        " model: 'Union[str, SecurityModel]',"
+        " config: 'Optional[EngineConfig]' = None)"
+        " -> 'RiskAssessment'"
+    ),
+    "gate_tree": (
+        "(base: 'Union[str, Codebase]', head: 'Union[str, Codebase]',"
+        " model: 'Optional[Union[str, SecurityModel]]' = None,"
+        " threshold: 'float' = 0.02,"
+        " config: 'Optional[EngineConfig]' = None, *,"
+        " seed: 'int' = 0) -> 'GateReport'"
+    ),
+    "load_model": "(path: 'str') -> 'SecurityModel'",
+    "train_model": (
+        "(*, seed: 'int' = 42, apps: 'int' = 40, folds: 'int' = 5,"
+        " config: 'Optional[EngineConfig]' = None,"
+        " full_result: 'bool' = False)"
+        " -> 'Union[SecurityModel, TrainingResult]'"
+    ),
+}
+
+
+class TestRootSurface:
+    def test_root_all_is_snapshotted(self):
+        assert list(repro.__all__) == ROOT_ALL
+
+    def test_root_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_every_root_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_api_names_reexported_at_root(self):
+        for name in API_ALL:
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+
+class TestApiSurface:
+    def test_api_all_is_snapshotted(self):
+        assert list(repro.api.__all__) == API_ALL
+
+    def test_api_all_is_sorted(self):
+        assert list(repro.api.__all__) == sorted(repro.api.__all__)
+
+    def test_signatures_are_golden(self):
+        for name, expected in API_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(repro.api, name)))
+            assert actual == expected, (
+                f"repro.api.{name} signature changed:\n"
+                f"  expected {expected}\n"
+                f"  actual   {actual}\n"
+                "If this break is intentional, update API_SIGNATURES "
+                "in the same PR."
+            )
+
+    def test_snapshot_covers_every_api_function(self):
+        functions = [
+            name for name in repro.api.__all__
+            if callable(getattr(repro.api, name))
+            and not isinstance(getattr(repro.api, name), type)
+        ]
+        assert sorted(API_SIGNATURES) == sorted(functions)
+
+    def test_every_api_function_has_docstring(self):
+        for name in repro.api.__all__:
+            assert (getattr(repro.api, name).__doc__ or "").strip()

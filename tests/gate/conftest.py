@@ -1,0 +1,50 @@
+"""Gate fixtures: a benign base tree and a regressed head tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+SAFE_C = (
+    "#include <string.h>\n"
+    "int handle(const char *req, char *out, unsigned cap) {\n"
+    "    strncpy(out, req, cap - 1);\n"
+    "    out[cap - 1] = 0;\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+RISKY_C = (
+    "#include <string.h>\n"
+    "int handle(char *req) {\n"
+    "    char buf[32];\n"
+    "    strcpy(buf, req);\n"
+    "    system(req);\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+@pytest.fixture(autouse=True)
+def obs_reset():
+    """Gate surfaces record counters; never leak a session across tests."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def base_tree(tmp_path):
+    d = tmp_path / "base"
+    d.mkdir()
+    (d / "app.c").write_text(SAFE_C)
+    return str(d)
+
+
+@pytest.fixture
+def head_tree(tmp_path):
+    d = tmp_path / "head"
+    d.mkdir()
+    (d / "app.c").write_text(RISKY_C)
+    return str(d)

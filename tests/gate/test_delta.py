@@ -1,0 +1,210 @@
+"""Gate semantics: thresholds, risk scoring, attribution, payloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gate import (
+    DEFAULT_THRESHOLD,
+    GateError,
+    GateReport,
+    assess_delta,
+    feature_risk_score,
+    format_gate_report,
+    gate_payload,
+    gate_tree,
+)
+from repro.gate.delta import flatten_record
+from repro.serve.payloads import SCHEMA_VERSION, dump_payload
+
+
+def report_with(risk_before, risk_after, threshold):
+    """A minimal report for pure threshold-semantics tests."""
+    return GateReport(
+        base_name="base", head_name="head", mode="features",
+        risk_before=risk_before, risk_after=risk_after,
+        threshold=threshold, probability_deltas={},
+        moved_features=(), files=(), counts={})
+
+
+class TestThresholdSemantics:
+    def test_delta_exactly_at_threshold_passes(self):
+        # Strictly-greater semantics: 0.5 - 0.0 == threshold -> pass.
+        report = report_with(0.0, 0.5, threshold=0.5)
+        assert report.risk_delta == 0.5
+        assert report.breach is False
+
+    def test_delta_just_above_threshold_breaches(self):
+        report = report_with(0.0, 0.5000001, threshold=0.5)
+        assert report.breach is True
+
+    def test_negative_delta_never_breaches(self):
+        # An improving change passes even a zero threshold.
+        report = report_with(0.6, 0.2, threshold=0.0)
+        assert report.risk_delta < 0
+        assert report.breach is False
+
+    def test_no_threshold_never_breaches(self):
+        report = report_with(0.0, 0.9, threshold=None)
+        assert report.breach is False
+
+    def test_default_threshold_matches_neutral_band(self):
+        from repro.core.evaluator import NEUTRAL_BAND
+
+        assert DEFAULT_THRESHOLD == NEUTRAL_BAND
+
+    @pytest.mark.parametrize("bad", [
+        float("nan"), float("inf"), float("-inf"), True, "0.1", None])
+    def test_gate_tree_rejects_non_finite_threshold(self, bad, base_tree,
+                                                    head_tree):
+        with pytest.raises(GateError):
+            gate_tree(base_tree, head_tree, threshold=bad)
+
+
+class TestFeaturesOnlyGate:
+    def test_regression_breaches_without_a_model(self, base_tree,
+                                                 head_tree):
+        report = gate_tree(base_tree, head_tree, threshold=0.0)
+        assert report.mode == "features"
+        assert report.risk_delta > 0
+        assert report.breach is True
+        assert report.probability_deltas == {}
+
+    def test_improvement_passes(self, base_tree, head_tree):
+        report = gate_tree(head_tree, base_tree, threshold=0.0)
+        assert report.risk_delta < 0
+        assert report.breach is False
+        assert report.verdict.value == "improved"
+
+    def test_identical_trees_are_neutral(self, base_tree):
+        report = gate_tree(base_tree, base_tree, threshold=0.0)
+        assert report.risk_delta == 0.0
+        assert report.breach is False
+        assert report.counts["unchanged"] == report.counts["files_base"]
+
+    def test_risk_proxy_is_bounded_and_monotone(self):
+        assert feature_risk_score({}) == 0.0
+        low = feature_risk_score({"bugs.high_per_kloc": 1.0})
+        high = feature_risk_score({"bugs.high_per_kloc": 5.0})
+        assert 0.0 < low < high < 1.0
+        # Negative inputs clamp to zero exposure, not negative risk.
+        assert feature_risk_score({"bugs.high_per_kloc": -3.0}) == 0.0
+
+
+class TestEmptyTrees:
+    def test_empty_base_classifies_everything_added(self, tmp_path,
+                                                    head_tree):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        report = gate_tree(str(empty), head_tree, threshold=0.0)
+        assert report.counts["files_base"] == 0
+        assert report.counts["added"] == report.counts["files_head"] == 1
+        assert report.risk_before == 0.0
+        assert report.breach is True
+
+    def test_empty_head_counts_removals(self, tmp_path, base_tree):
+        empty = tmp_path / "empty2"
+        empty.mkdir()
+        report = gate_tree(base_tree, str(empty), threshold=0.0)
+        assert report.counts["removed"] == 1
+        assert report.risk_after == 0.0
+        assert report.breach is False
+
+    def test_missing_directory_is_an_error(self, base_tree):
+        with pytest.raises(ValueError, match="not a directory"):
+            gate_tree(base_tree, base_tree + "-nope", threshold=0.0)
+
+
+class TestAttribution:
+    def test_changed_file_carries_salient_drivers(self, base_tree,
+                                                  head_tree):
+        report = gate_tree(base_tree, head_tree, threshold=0.0)
+        assert [f.path for f in report.files] == ["app.c"]
+        delta = report.files[0]
+        assert delta.status == "changed"
+        assert delta.score > 0
+        names = [move.name for move in delta.drivers]
+        # Dangerous-call findings outrank size churn in the ranking.
+        assert any(name.startswith("bugs.") for name in names)
+
+    def test_moved_features_report_tree_level_changes(self, base_tree,
+                                                      head_tree):
+        report = gate_tree(base_tree, head_tree, threshold=0.0)
+        moved = {move.name: move for move in report.moved_features}
+        assert moved  # the regression moved something
+        for move in moved.values():
+            assert move.delta == move.after - move.before
+
+    def test_model_mode_reports_probability_deltas(self, base_tree,
+                                                   head_tree,
+                                                   small_training):
+        report = gate_tree(base_tree, head_tree,
+                           model=small_training.model, threshold=0.0)
+        assert report.mode == "model"
+        assert report.probability_deltas
+        assert report.risk_delta == pytest.approx(
+            report.risk_after - report.risk_before)
+
+    def test_assess_delta_never_gates(self, base_tree, head_tree):
+        report = assess_delta(base_tree, head_tree)
+        assert report.threshold is None
+        assert report.breach is False
+        assert report.risk_delta > 0
+
+
+class TestPayload:
+    def test_payload_shape_and_schema_version(self, base_tree, head_tree):
+        payload = gate_payload(gate_tree(base_tree, head_tree,
+                                         threshold=0.0))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload) == {
+            "schema_version", "base", "head", "mode", "risk",
+            "threshold", "breach", "verdict", "probability_deltas",
+            "moved_features", "files", "counts", "truncated_files"}
+        assert payload["risk"]["delta"] == pytest.approx(
+            payload["risk"]["after"] - payload["risk"]["before"])
+        assert math.isfinite(payload["risk"]["delta"])
+
+    def test_payload_bytes_are_deterministic(self, base_tree, head_tree):
+        first = dump_payload(gate_payload(
+            gate_tree(base_tree, head_tree, threshold=0.0)))
+        second = dump_payload(gate_payload(
+            gate_tree(base_tree, head_tree, threshold=0.0)))
+        assert first == second
+
+    def test_text_report_states_breach(self, base_tree, head_tree):
+        text = format_gate_report(gate_tree(base_tree, head_tree,
+                                            threshold=0.0))
+        assert "Risk gate: base -> head" in text
+        assert "BREACH" in text
+        assert "files driving the change:" in text
+
+
+class TestFlattenRecord:
+    def test_whitelisted_scalars_and_derived_aggregates(self):
+        record = {
+            "loc": {"code": 10, "comment": 2, "blank": 1, "preproc": 0},
+            "bugs": {"total": 3, "severities": {"3": 2, "1": 1},
+                     "per_rule": {"unbounded-copy/strcpy": 2,
+                                  "quiet-rule": 0}},
+            "smells": {"long-function": 1, "clean": 0},
+            "surface": {"privilege": 1, "public_methods": 2,
+                        "channels": {"network": 1, "none": 0}},
+        }
+        flat = flatten_record(record)
+        assert flat["loc.code"] == 10.0
+        assert flat["bugs.total"] == 3.0
+        assert flat["bugs.high"] == 2.0  # severity >= 3 only
+        assert flat["bugs.rule.unbounded-copy/strcpy"] == 2.0
+        assert "bugs.rule.quiet-rule" not in flat  # zero counts skipped
+        assert flat["smell.long-function"] == 1.0
+        assert flat["surface.channel.network"] == 1.0
+        assert "surface.channel.none" not in flat
+
+    def test_missing_sections_default_to_zero(self):
+        flat = flatten_record({})
+        assert flat["loc.code"] == 0.0
+        assert flat["bugs.total"] == 0.0
+        assert flat["bugs.high"] == 0.0

@@ -1,0 +1,69 @@
+"""Tree-spec resolution: directories, Codebases, synth:NAME@K specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gate import resolve_tree
+from repro.lang import Codebase
+
+
+class TestDirectoryAndCodebase:
+    def test_directory_resolves(self, base_tree):
+        codebase = resolve_tree(base_tree)
+        assert len(codebase) == 1
+
+    def test_codebase_passes_through(self):
+        codebase = Codebase.from_sources("x", {"a.py": "x = 1\n"})
+        assert resolve_tree(codebase) is codebase
+
+    def test_non_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            resolve_tree(str(tmp_path / "missing"))
+
+    def test_empty_tree_rejected_unless_allowed(self, tmp_path):
+        empty = tmp_path / "void"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no recognised"):
+            resolve_tree(str(empty))
+        assert len(resolve_tree(str(empty), allow_empty=True)) == 0
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_tree(42)
+
+
+class TestSynthSpecs:
+    @pytest.fixture(scope="class")
+    def app_name(self):
+        from repro.synth.cvegen import generate_profiles
+
+        return generate_profiles(seed=0)[0].name
+
+    def test_version_zero_is_the_generated_app(self, app_name):
+        v0 = resolve_tree(f"synth:{app_name}")
+        explicit = resolve_tree(f"synth:{app_name}@0")
+        assert {s.path: s.text for s in v0.files} == \
+            {s.path: s.text for s in explicit.files}
+
+    def test_versions_are_deterministic(self, app_name):
+        first = resolve_tree(f"synth:{app_name}@2", seed=0)
+        again = resolve_tree(f"synth:{app_name}@2", seed=0)
+        assert {s.path: s.text for s in first.files} == \
+            {s.path: s.text for s in again.files}
+
+    def test_later_version_differs_from_v0(self, app_name):
+        v0 = resolve_tree(f"synth:{app_name}@0")
+        v2 = resolve_tree(f"synth:{app_name}@2")
+        assert {s.path: s.text for s in v0.files} != \
+            {s.path: s.text for s in v2.files}
+
+    @pytest.mark.parametrize("spec, message", [
+        ("synth:", "empty app name"),
+        ("synth:app@x", "bad version index"),
+        ("synth:app@-1", "negative version index"),
+        ("synth:no-such-app-ever", "unknown synthetic app"),
+    ])
+    def test_bad_specs_rejected(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            resolve_tree(spec)

@@ -1,0 +1,179 @@
+"""Watch-loop semantics: debounce coalescing, incremental recompute."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.gate import TreeWatcher
+from repro.gate.watch import watch_event
+from tests.gate.conftest import RISKY_C, SAFE_C
+
+
+class FakeClock:
+    """A controllable monotonic clock for debounce tests."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def tree(tmp_path):
+    d = tmp_path / "watched"
+    d.mkdir()
+    (d / "app.c").write_text(SAFE_C)
+    (d / "util.c").write_text("int add(int a, int b) { return a + b; }\n")
+    return d
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def watcher(tree, clock):
+    return TreeWatcher(str(tree), debounce=0.5, clock=clock)
+
+
+class TestConstruction:
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            TreeWatcher(str(tmp_path / "nope"))
+
+    def test_negative_debounce_rejected(self, tree):
+        with pytest.raises(ValueError, match="debounce"):
+            TreeWatcher(str(tree), debounce=-0.1)
+
+    def test_baseline_is_assessed_without_emitting(self, watcher):
+        assert watcher.seq == 0
+        assert len(watcher.codebase) == 2
+
+
+class TestDebounce:
+    def test_unchanged_tree_never_reassesses(self, watcher, clock):
+        for _ in range(5):
+            clock.advance(1.0)
+            assert watcher.poll() is None
+        assert watcher.seq == 0
+
+    def test_mtime_only_touch_is_invisible(self, watcher, tree, clock):
+        # Rewriting identical bytes changes no digest -> no assessment.
+        (tree / "app.c").write_text(SAFE_C)
+        clock.advance(1.0)
+        assert watcher.poll() is None
+        assert watcher.seq == 0
+
+    def test_change_waits_out_the_quiet_window(self, watcher, tree,
+                                               clock):
+        (tree / "app.c").write_text(RISKY_C)
+        assert watcher.poll() is None        # detected; quiet restarts
+        clock.advance(0.2)
+        assert watcher.poll() is None        # still inside debounce
+        clock.advance(0.4)
+        report = watcher.poll()              # 0.6s quiet > 0.5 debounce
+        assert report is not None
+        assert report.counts["changed"] == 1
+        assert watcher.seq == 1
+
+    def test_burst_of_writes_coalesces_to_one_report(self, watcher,
+                                                     tree, clock):
+        (tree / "app.c").write_text(RISKY_C)
+        assert watcher.poll() is None
+        clock.advance(0.3)
+        # Second write inside the window restarts the quiet timer.
+        (tree / "util.c").write_text(
+            "int add(int a, int b) { return a + b + 1; }\n")
+        assert watcher.poll() is None
+        clock.advance(0.4)                   # 0.4 < debounce since write 2
+        assert watcher.poll() is None
+        clock.advance(0.2)
+        report = watcher.poll()
+        assert report is not None
+        # One coalesced report covering both files, not one per write.
+        assert report.counts["changed"] == 2
+        assert watcher.seq == 1
+        clock.advance(5.0)
+        assert watcher.poll() is None        # nothing left to report
+
+    def test_zero_debounce_fires_on_next_quiet_poll(self, tree, clock):
+        watcher = TreeWatcher(str(tree), debounce=0.0, clock=clock)
+        (tree / "app.c").write_text(RISKY_C)
+        assert watcher.poll() is None
+        assert watcher.poll() is not None
+
+
+class TestIncrementalRecompute:
+    def test_only_changed_files_recompute(self, watcher, tree, clock):
+        obs.configure()
+        (tree / "app.c").write_text(RISKY_C)
+        watcher.poll()
+        clock.advance(1.0)
+        assert watcher.poll() is not None
+        counters = obs.active().metrics.snapshot()["counters"]
+        assert counters["watch.reassessments"] == 1
+        assert counters["watch.files_recomputed"] == 1  # not 2
+
+    def test_added_and_removed_files_are_classified(self, watcher, tree,
+                                                    clock):
+        (tree / "new.c").write_text("int neu(void) { return 1; }\n")
+        (tree / "util.c").unlink()
+        watcher.poll()
+        clock.advance(1.0)
+        report = watcher.poll()
+        assert report.counts["added"] == 1
+        assert report.counts["removed"] == 1
+        assert len(watcher.codebase) == 2
+
+    def test_next_delta_is_against_latest_baseline(self, watcher, tree,
+                                                   clock):
+        (tree / "app.c").write_text(RISKY_C)
+        watcher.poll()
+        clock.advance(1.0)
+        first = watcher.poll()
+        assert first.risk_delta > 0
+        (tree / "app.c").write_text(SAFE_C)  # revert
+        watcher.poll()
+        clock.advance(1.0)
+        second = watcher.poll()
+        # The revert is judged against the risky state, not the origin.
+        assert second.risk_delta == pytest.approx(-first.risk_delta)
+
+
+class TestEventShape:
+    def test_watch_event_is_stream_compatible(self, watcher, tree, clock):
+        (tree / "app.c").write_text(RISKY_C)
+        watcher.poll()
+        clock.advance(1.0)
+        report = watcher.poll()
+        event = watch_event(watcher, report)
+        assert event["v"] == 1
+        assert event["type"] == "event"
+        assert event["name"] == "watch.assess"
+        fields = event["fields"]
+        assert fields["seq"] == 1
+        assert fields["changed"] == 1
+        assert fields["breach"] is False    # no threshold configured
+        assert fields["verdict"] == report.verdict.value
+        assert isinstance(fields["top"], list)
+
+    def test_run_emits_count_events(self, watcher, tree, clock):
+        (tree / "app.c").write_text(RISKY_C)
+        events = []
+        ticks = iter([0.0] * 10)
+
+        def fake_sleep(_):
+            clock.advance(1.0)
+            next(ticks)
+
+        emitted = watcher.run(events.append, interval=0.0, count=1,
+                              sleep=fake_sleep)
+        assert emitted == 1
+        assert len(events) == 1
+        assert events[0]["fields"]["seq"] == 1

@@ -72,6 +72,15 @@ class TestExtraction:
         finally:
             pool.close()
 
+    def test_records_path_matches_direct_engine(self, pool, codebase):
+        row, records = pool.extract_with_records(codebase)
+        direct_row, direct_records = EngineConfig(
+            no_cache=True).build().extract_with_records(codebase)
+        assert row == direct_row
+        assert records == direct_records
+        assert len(records) == len(codebase)
+        assert pool.in_use == 0
+
 
 class TestCheckout:
     def test_saturated_pool_sheds_within_timeout(self, codebase):

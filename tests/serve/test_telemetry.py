@@ -49,7 +49,8 @@ class TestMetriczNegotiation:
         assert response.status == 200
         assert response.content_type == "application/json"
         snapshot = json.loads(response.body.decode())
-        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert set(snapshot) == {
+            "counters", "gauges", "histograms", "schema_version"}
         assert snapshot["counters"]["serve.requests"] >= 1
 
     def test_prometheus_when_text_plain_accepted(self, app):

@@ -195,31 +195,81 @@ class TestAssess:
             main(["assess", risky_tree, "--model", str(stale)])
 
 
+class TestExitCodes:
+    """The documented exit-code contract, pinned as a regression test."""
+
+    def test_constants_are_stable(self):
+        from repro import cli
+
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_FAILURES == 1
+        assert cli.EXIT_USAGE == 2
+        assert cli.EXIT_GATE_BREACH == 3
+
+    def test_argparse_usage_errors_use_exit_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["no-such-command"])
+        assert excinfo.value.code == 2
+
+
 class TestGateAndCompare:
     def test_gate_identical_passes(self, risky_tree, model_path, capsys):
         code = main(["gate", risky_tree, risky_tree, "--model", model_path])
         assert code == 0
         assert "gate: pass" in capsys.readouterr().out
 
-    def test_gate_blocks_on_regression(self, risky_tree, safe_tree,
-                                       model_path, capsys, monkeypatch):
-        from repro.core.evaluator import ChangeEvaluator, RiskDelta, Verdict
-        from repro.core.model import RiskAssessment
-
-        regressed = RiskDelta(
-            before=RiskAssessment(probabilities={"h1": 0.2}, estimates={}),
-            after=RiskAssessment(probabilities={"h1": 0.8}, estimates={}),
-            verdict=Verdict.REGRESSED,
-            probability_deltas={"h1": 0.6},
-            moved_properties=[("complexity.total", 0.5)],
-        )
-        monkeypatch.setattr(ChangeEvaluator, "risk_delta",
-                            lambda self, before, after: regressed)
-        code = main(["gate", safe_tree, risky_tree, "--model", model_path])
-        assert code == 1
+    def test_gate_model_mode_breach_exit_code(self, risky_tree, safe_tree,
+                                              model_path, capsys):
+        # Any delta is strictly above a -1 threshold, so this pins the
+        # breach path (exit 3) without depending on what the tiny
+        # fixture trees score under the session model.
+        code = main(["gate", safe_tree, risky_tree, "--model", model_path,
+                     "--threshold", "-1.0"])
+        assert code == 3
         out = capsys.readouterr().out
-        assert "gate: BLOCK" in out
+        assert "gate: BREACH" in out
+        assert "mode: model" in out
+
+    def test_gate_features_only_needs_no_model(self, risky_tree,
+                                               safe_tree, capsys):
+        code = main(["gate", safe_tree, risky_tree, "--features-only",
+                     "--threshold", "0.0"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "mode: features" in out
         assert "risk UP" in out
+
+    def test_gate_improvement_passes_zero_threshold(self, risky_tree,
+                                                    safe_tree, capsys):
+        code = main(["gate", risky_tree, safe_tree, "--features-only",
+                     "--threshold", "0.0"])
+        assert code == 0
+        assert "gate: pass" in capsys.readouterr().out
+
+    def test_gate_json_document(self, risky_tree, safe_tree, capsys):
+        code = main(["gate", safe_tree, risky_tree, "--features-only",
+                     "--threshold", "0.0", "--json"])
+        assert code == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert doc["breach"] is True
+        assert doc["files"][0]["path"] == "app.c"
+        assert doc["files"][0]["drivers"]
+
+    def test_gate_base_head_flags(self, risky_tree, safe_tree, capsys):
+        code = main(["gate", "--base", safe_tree, "--head", risky_tree,
+                     "--features-only", "--threshold", "0.0"])
+        assert code == 3
+
+    def test_gate_requires_exactly_two_trees(self, risky_tree, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gate", risky_tree, "--features-only"])
+        assert excinfo.value.code == 2
+
+    def test_gate_missing_tree_errors(self, risky_tree):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["gate", risky_tree, risky_tree + "-gone",
+                  "--features-only"])
 
     def test_compare_reports_both(self, risky_tree, safe_tree, model_path,
                                   capsys):
@@ -229,6 +279,40 @@ class TestGateAndCompare:
         out = capsys.readouterr().out
         assert "model chooses:" in out
         assert "LoC-naive metric would choose" in out
+
+
+class TestWatch:
+    def test_watch_missing_root_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["watch", str(tmp_path / "gone")])
+
+    def test_watch_zero_count_exits_clean(self, risky_tree, capsys):
+        assert main(["watch", risky_tree, "--count", "0"]) == 0
+        banner = capsys.readouterr().err
+        assert "watching" in banner
+
+    def test_watch_emits_stream_compatible_lines(self, risky_tree,
+                                                 capsys):
+        import threading
+        import pathlib
+
+        def edit():
+            pathlib.Path(risky_tree, "app.c").write_text(
+                "int handle(void) { return 0; }\n")
+
+        timer = threading.Timer(0.3, edit)
+        timer.start()
+        try:
+            code = main(["watch", risky_tree, "--count", "1",
+                         "--interval", "0.05", "--debounce", "0.0"])
+        finally:
+            timer.cancel()
+        assert code == 0
+        line = capsys.readouterr().out.strip()
+        event = json.loads(line)
+        assert event["type"] == "event"
+        assert event["name"] == "watch.assess"
+        assert event["fields"]["changed"] == 1
 
 
 class TestSurveyAndCorpus:
@@ -507,7 +591,7 @@ class TestSloCheck:
         stream = write_stream(tmp_path, [
             {"type": "counter", "name": "serve.errors", "delta": 50.0}])
         slo = write_slo(tmp_path, [ERROR_BUDGET])
-        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 1
+        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 3
         out = capsys.readouterr().out
         assert "DEGRADED" in out
         assert "error-budget" in out
@@ -520,7 +604,7 @@ class TestSloCheck:
             {"name": "predict-p99", "kind": "latency",
              "histogram": "serve.predict.seconds", "stat": "p99",
              "max_seconds": 0.5}])
-        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 1
+        assert main(["slo-check", "--slo", slo, "--stream", stream]) == 3
         assert "predict-p99" in capsys.readouterr().out
 
     def test_invalid_rules_file_exits_with_message(self, tmp_path):
